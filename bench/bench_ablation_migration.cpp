@@ -1,0 +1,64 @@
+// Ablation on the overload eviction rule: the paper pairs PageRankVM with
+// the PageRank-residual victim and the baselines with CloudSim's
+// minimum-migration-time victim; this bench holds the placement algorithm
+// fixed (PageRankVM) and swaps only the victim policy.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "trace/planetlab.hpp"
+
+int main() {
+  using namespace prvm;
+  std::cout << "==== Ablation: overload victim selection (placement fixed: PageRankVM) "
+               "====\n\n";
+
+  const Catalog catalog = ec2_sim_catalog();
+  auto tables = std::make_shared<const ScoreTableSet>(build_score_tables(catalog));
+  const std::size_t vm_count = prvm::bench::fast_mode() ? 200 : 1000;
+  const std::size_t epochs = prvm::bench::fast_mode() ? 48 : 288;
+
+  struct Variant {
+    std::string name;
+    std::unique_ptr<MigrationPolicy> policy;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"pagerank-residual (paper)",
+                      std::make_unique<PageRankMigrationPolicy>(tables)});
+  variants.push_back({"min-migration-time (CloudSim)",
+                      std::make_unique<MinimumMigrationTimePolicy>()});
+  variants.push_back({"max-cpu-victim", std::make_unique<MaxCpuVictimPolicy>()});
+  variants.push_back({"random-victim", std::make_unique<RandomVictimPolicy>(7)});
+
+  TextTable table({"victim policy", "migrations", "overload events", "SLO %", "PMs used"});
+  for (Variant& v : variants) {
+    // A fixed seeded workload shared by every variant.
+    Rng rng(987654);
+    auto vms = weighted_vm_requests(rng, catalog, vm_count, default_vm_mix(catalog));
+    const PlanetLabTraceGenerator generator;
+    Rng trace_rng = rng.fork(1);
+    TraceSet traces = TraceSet::from_generator(generator, trace_rng, 256, epochs);
+    auto binding = random_trace_binding(rng, vm_count, traces.size());
+    SimulationOptions options;
+    options.epochs = epochs;
+    Datacenter dc(catalog, mixed_pm_fleet(catalog, 2 * vm_count));
+    auto algorithm = make_algorithm(AlgorithmKind::kPageRankVm, tables);
+    CloudSimulation sim(std::move(dc), std::move(vms), std::move(binding),
+                        std::move(traces), options);
+    const SimMetrics m = sim.run(*algorithm, *v.policy);
+    table.row()
+        .add(v.name)
+        .add(m.vm_migrations)
+        .add(m.overload_events)
+        .add(m.slo_violation_percent, 2)
+        .add(m.pms_used_max);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: max-cpu-victim resolves each overload with the fewest\n"
+               "evictions; the paper's pagerank-residual rule trades a few extra\n"
+               "migrations for residual profiles that stay close to the best profile\n"
+               "(better future packing); random is the noise floor.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablations on the score-table design decisions DESIGN.md calls out:
+//   (a) vote direction — the Algorithm-1-as-printed forward voting versus
+//       the semantics-faithful reverse-to-best voting (see VoteDirection);
+//   (b) the BPRU discount (Algorithm 1 line 19) on/off;
+//   (c) the damping factor d (the paper fixes 0.85).
+// Each variant is judged on the paper's own §V-A quality ordering and on a
+// 1000-VM simulation.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "sim/migration_policy.hpp"
+#include "trace/planetlab.hpp"
+
+namespace {
+
+using namespace prvm;
+
+struct Variant {
+  std::string name;
+  ScoreTableOptions options;
+};
+
+// Does the variant reproduce "[3,3,3,3] outranks [4,4,2,2]"?
+bool example_ordering_holds(const ScoreTableOptions& options) {
+  ProfileShape shape({DimensionGroup{ResourceKind::kCpu, 4, 4}});
+  std::vector<QuantizedDemand> demands = {QuantizedDemand{{{1, 1}}},
+                                          QuantizedDemand{{{1, 1, 1, 1}}}};
+  const ProfileGraph graph(shape, demands);
+  const ScoreTable table = ScoreTable::build(graph, options);
+  const double balanced = table.score(Profile::from_levels(shape, {3, 3, 3, 3}).pack(shape));
+  const double lopsided = table.score(Profile::from_levels(shape, {4, 4, 2, 2}).pack(shape));
+  return balanced > lopsided;
+}
+
+SimMetrics simulate_with(const ScoreTableOptions& options, std::size_t vm_count,
+                         std::size_t epochs) {
+  const Catalog catalog = ec2_sim_catalog();
+  auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(catalog, options));
+  Rng rng(424242);
+  auto vms = weighted_vm_requests(rng, catalog, vm_count, default_vm_mix(catalog));
+  const PlanetLabTraceGenerator generator;
+  Rng trace_rng = rng.fork(1);
+  TraceSet traces = TraceSet::from_generator(generator, trace_rng, 256, epochs);
+  auto binding = random_trace_binding(rng, vm_count, traces.size());
+  SimulationOptions sim_options;
+  sim_options.epochs = epochs;
+  Datacenter dc(catalog, mixed_pm_fleet(catalog, 2 * vm_count));
+  auto algorithm = make_algorithm(AlgorithmKind::kPageRankVm, tables);
+  auto policy = default_policy_for(AlgorithmKind::kPageRankVm, tables);
+  CloudSimulation sim(std::move(dc), std::move(vms), std::move(binding), std::move(traces),
+                      sim_options);
+  return sim.run(*algorithm, *policy);
+}
+
+}  // namespace
+
+int main() {
+  using namespace prvm;
+  std::cout << "==== Ablation: PageRank scoring variants ====\n\n";
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"reverse-to-best (default)", {}};
+    variants.push_back(v);
+    v = {"forward-as-printed", {}};
+    v.options.direction = VoteDirection::kForwardAsPrinted;
+    variants.push_back(v);
+    v = {"forward, no BPRU", {}};
+    v.options.direction = VoteDirection::kForwardAsPrinted;
+    v.options.apply_bpru = false;
+    variants.push_back(v);
+    for (double d : {0.5, 0.85, 0.95}) {
+      v = {"reverse, d=" + format_fixed(d, 2), {}};
+      v.options.pagerank.damping = d;
+      variants.push_back(v);
+    }
+  }
+
+  const std::size_t vm_count = prvm::bench::fast_mode() ? 200 : 1000;
+  const std::size_t epochs = prvm::bench::fast_mode() ? 48 : 288;
+
+  TextTable table({"variant", "SecV-A ordering", "PMs used", "migrations", "SLO %"});
+  for (const Variant& v : variants) {
+    const bool ordering = example_ordering_holds(v.options);
+    const SimMetrics m = simulate_with(v.options, vm_count, epochs);
+    table.row()
+        .add(v.name)
+        .add(std::string(ordering ? "holds" : "inverted"))
+        .add(m.pms_used_max)
+        .add(m.vm_migrations)
+        .add(m.slo_violation_percent, 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the literal forward voting inverts the paper's own example\n"
+               "ordering and concentrates vCPUs (more migrations/SLO); the reverse-to-best\n"
+               "direction reproduces the paper's claims. Damping shifts the balance-vs-\n"
+               "consolidation trade-off mildly around the paper's d=0.85.\n";
+  return 0;
+}

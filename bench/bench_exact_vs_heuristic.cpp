@@ -1,0 +1,72 @@
+// Reproduces the §IV complexity argument: branch-and-bound on the exact
+// integer program explodes with instance size while PageRankVM's table
+// lookup placement stays microseconds per VM — "a heuristic algorithm is
+// needed to quickly solve the VM placement problem".
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/catalog_graphs.hpp"
+#include "exact/branch_and_bound.hpp"
+#include "placement/algorithm_factory.hpp"
+
+int main() {
+  using namespace prvm;
+  using Clock = std::chrono::steady_clock;
+
+  std::cout << "==== Section IV: exact branch-and-bound vs PageRankVM ====\n";
+  std::cout << "(EC2 Table I/II catalog — multi-dimensional with per-core/per-disk\n"
+               " anti-collocation, the setting where the MIP 'has an exceedingly large\n"
+               " number of variables'; B&B time limit 10 s per instance)\n\n";
+
+  const Catalog catalog = ec2_catalog();
+  const auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(catalog));
+
+  TextTable table({"#VMs", "naive B&B nodes", "naive seconds", "bounded B&B nodes",
+                   "bounded seconds", "opt PMs", "PageRankVM us", "PageRankVM PMs"});
+  const std::size_t max_vms = prvm::bench::fast_mode() ? 8 : 14;
+  for (std::size_t n = 2; n <= max_vms; n += 2) {
+    Rng rng(n);
+    std::vector<Vm> vms;
+    for (std::size_t i = 0; i < n; ++i) {
+      vms.push_back(Vm{static_cast<VmId>(i), rng.uniform_index(catalog.vm_types().size())});
+    }
+    ExactInstance instance{catalog, {0, 1, 0, 1, 0, 1}, vms, {}};
+
+    BranchAndBoundOptions naive;
+    naive.time_limit_seconds = 10.0;
+    naive.use_capacity_bound = false;
+    const auto exact_naive = solve_exact(instance, naive);
+
+    BranchAndBoundOptions bounded;
+    bounded.time_limit_seconds = 10.0;
+    const auto exact = solve_exact(instance, bounded);
+
+    Datacenter dc(catalog, instance.pm_types_of);
+    auto algorithm = make_algorithm(AlgorithmKind::kPageRankVm, tables);
+    const auto t0 = Clock::now();
+    algorithm->place_all(dc, vms);
+    const double heuristic_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    table.row()
+        .add(n)
+        .add(static_cast<long long>(exact_naive.nodes_explored))
+        .add(exact_naive.seconds, 3)
+        .add(static_cast<long long>(exact.nodes_explored))
+        .add(exact.seconds, 3)
+        .add(exact.feasible && exact.proven_optimal
+                 ? std::to_string(exact.pms_used)
+                 : std::string("timeout"))
+        .add(heuristic_seconds * 1e6, 1)
+        .add(dc.used_count());
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: the naive search tree explodes combinatorially with #VMs\n"
+               "(each VM multiplies the tree by PMs x anti-collocation permutations); the\n"
+               "aggregate-capacity bound postpones but does not prevent the blow-up. The\n"
+               "heuristic's table-lookup placement stays in microseconds and matches the\n"
+               "proven optimum on these instances — the paper's §IV argument.\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 3(a)/(b): the number of PMs used versus the number of
+// VMs (1000-3000), PlanetLab and Google traces, median with 1st/99th
+// percentile bars over repeated runs.
+#include "ec2_figure.hpp"
+
+int main() {
+  using namespace prvm;
+  bench::print_figure("Figure 3", "number of PMs used",
+                      [](const Ec2ExperimentResult& r) { return r.pms_used(); }, 0);
+  return 0;
+}

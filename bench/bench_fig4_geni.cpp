@@ -1,0 +1,15 @@
+// Reproduces Figure 4(a)/(b): the GENI testbed experiment — number of PMs
+// (instances) used and number of (kill-and-restart) migrations versus the
+// number of VMs (jobs).
+#include "geni_figure.hpp"
+
+int main() {
+  using namespace prvm;
+  bench::print_geni_figure(
+      "Figure 4(a)", "number of PMs used",
+      [](const TestbedMetrics& m) { return static_cast<double>(m.pms_used); }, 0);
+  bench::print_geni_figure(
+      "Figure 4(b)", "number of VM migrations",
+      [](const TestbedMetrics& m) { return static_cast<double>(m.migrations); }, 0);
+  return 0;
+}

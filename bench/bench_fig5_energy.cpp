@@ -1,0 +1,10 @@
+// Reproduces Figure 5(a)/(b): the cumulated energy consumption (kWh, Table
+// III model) of all active PMs over the 24 h simulation.
+#include "ec2_figure.hpp"
+
+int main() {
+  using namespace prvm;
+  bench::print_figure("Figure 5", "energy consumption (kWh)",
+                      [](const Ec2ExperimentResult& r) { return r.energy_kwh(); }, 0);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 6(a)/(b): the number of VM migrations triggered by PM
+// overload (threshold 90 %) over the 24 h simulation.
+#include "ec2_figure.hpp"
+
+int main() {
+  using namespace prvm;
+  bench::print_figure("Figure 6", "number of VM migrations",
+                      [](const Ec2ExperimentResult& r) { return r.migrations(); }, 0);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 7(a)/(b): SLO violations — the percentage of active
+// time PMs spend with a CPU dimension at 100 % utilization.
+#include "ec2_figure.hpp"
+
+int main() {
+  using namespace prvm;
+  bench::print_figure("Figure 7", "SLO violations (%)",
+                      [](const Ec2ExperimentResult& r) { return r.slo_percent(); }, 2);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 8: SLO violations in the GENI testbed experiment versus
+// the number of VMs (jobs).
+#include "geni_figure.hpp"
+
+int main() {
+  using namespace prvm;
+  bench::print_geni_figure(
+      "Figure 8", "SLO violations (%)",
+      [](const TestbedMetrics& m) { return m.slo_violation_percent; }, 2);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: canonicalization,
+// permutation enumeration, PageRank iteration, graph build, score lookups
+// and single-VM placement for every algorithm.
+#include <benchmark/benchmark.h>
+
+#include "core/catalog_graphs.hpp"
+#include "placement/algorithm_factory.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+const ProfileShape& m3_shape() {
+  static const ProfileShape shape = ec2_pm_types()[0].make_shape(QuantizationConfig{});
+  return shape;
+}
+
+void BM_ProfileCanonicalize(benchmark::State& state) {
+  const ProfileShape& shape = m3_shape();
+  const Profile p = Profile::from_levels(shape, {0, 3, 1, 4, 2, 2, 0, 1, 9, 2, 0, 4, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.canonical(shape));
+  }
+}
+BENCHMARK(BM_ProfileCanonicalize);
+
+void BM_ProfilePackUnpack(benchmark::State& state) {
+  const ProfileShape& shape = m3_shape();
+  const Profile p =
+      Profile::from_levels(shape, {4, 3, 2, 2, 1, 1, 0, 0, 9, 4, 2, 1, 0});
+  for (auto _ : state) {
+    const ProfileKey key = p.pack(shape);
+    benchmark::DoNotOptimize(Profile::unpack(shape, key));
+  }
+}
+BENCHMARK(BM_ProfilePackUnpack);
+
+void BM_EnumeratePlacements(benchmark::State& state) {
+  const Catalog catalog = ec2_catalog();
+  const ProfileShape& shape = catalog.shape(0);
+  const Profile current =
+      Profile::from_levels(shape, {2, 2, 1, 1, 0, 0, 0, 0, 5, 1, 1, 0, 0});
+  const auto& demand = catalog.demand(0, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_placements(shape, current, *demand));
+  }
+}
+BENCHMARK(BM_EnumeratePlacements)->DenseRange(0, 5);  // all six Table I types
+
+void BM_PageRankIteration(benchmark::State& state) {
+  // The paper's example graph scaled up: one CPU group with `range` dims.
+  ProfileShape shape({DimensionGroup{ResourceKind::kCpu, static_cast<int>(state.range(0)), 4}});
+  std::vector<QuantizedDemand> demands = {
+      QuantizedDemand{{{1, 1}}},
+      QuantizedDemand{{std::vector<int>(static_cast<std::size_t>(state.range(0)), 1)}}};
+  const ProfileGraph graph(shape, demands);
+  PageRankOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_pagerank(graph.graph(), options));
+  }
+  state.counters["nodes"] = static_cast<double>(graph.node_count());
+}
+BENCHMARK(BM_PageRankIteration)->DenseRange(4, 8);
+
+void BM_ProfileGraphBuild(benchmark::State& state) {
+  ProfileShape shape({DimensionGroup{ResourceKind::kCpu, static_cast<int>(state.range(0)), 4}});
+  std::vector<QuantizedDemand> demands = {QuantizedDemand{{{1, 1}}},
+                                          QuantizedDemand{{{2, 1}}}};
+  for (auto _ : state) {
+    const ProfileGraph graph(shape, demands);
+    benchmark::DoNotOptimize(graph.node_count());
+  }
+}
+BENCHMARK(BM_ProfileGraphBuild)->DenseRange(4, 8);
+
+void BM_ScoreLookup(benchmark::State& state) {
+  static const ScoreTableSet tables = build_score_tables(geni_catalog());
+  const Catalog catalog = geni_catalog();
+  const ProfileShape& shape = catalog.shape(0);
+  const ProfileKey key = Profile::from_levels(shape, {3, 2, 1, 0}).pack(shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tables.table(0).best_after(key, 0));
+  }
+}
+BENCHMARK(BM_ScoreLookup);
+
+void BM_PlaceOneVm(benchmark::State& state) {
+  const AlgorithmKind kind = static_cast<AlgorithmKind>(state.range(0));
+  const Catalog catalog = ec2_sim_catalog();
+  static const auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(ec2_sim_catalog()));
+  // A datacenter mid-experiment: 400 VMs already placed.
+  Rng rng(5);
+  Datacenter dc(catalog, mixed_pm_fleet(catalog, 1000));
+  auto algorithm = make_algorithm(kind, tables);
+  const auto warmup = weighted_vm_requests(rng, catalog, 400, default_vm_mix(catalog));
+  algorithm->place_all(dc, warmup);
+  VmId next = 100000;
+  for (auto _ : state) {
+    const Vm vm{next++, 0};
+    const auto pm = algorithm->place(dc, vm);
+    benchmark::DoNotOptimize(pm);
+    state.PauseTiming();
+    if (pm.has_value()) dc.remove(vm.id);
+    state.ResumeTiming();
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_PlaceOneVm)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace prvm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction benches: environment-variable
+// scaling (PRVM_REPS, PRVM_FAST) and common banner output.
+//
+// The paper repeats every simulation 100 times; these benches default to 5
+// repetitions so the whole suite finishes in minutes on a laptop. Set
+// PRVM_REPS=100 to match the paper, or PRVM_FAST=1 for a smoke run.
+#pragma once
+
+#include <cstdlib>
+#include <vector>
+#include <iostream>
+#include <string>
+
+namespace prvm::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name); value != nullptr && *value != '\0') {
+    const long parsed = std::strtol(value, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline bool fast_mode() {
+  const char* value = std::getenv("PRVM_FAST");
+  return value != nullptr && *value != '\0' && *value != '0';
+}
+
+inline std::size_t repetitions() { return env_size("PRVM_REPS", fast_mode() ? 2 : 5); }
+
+inline std::vector<std::size_t> vm_counts() {
+  if (fast_mode()) return {200, 400};
+  return {1000, 2000, 3000};  // paper: "from 1000 to 3000 with an interval of 1000"
+}
+
+inline std::vector<std::size_t> geni_job_counts() {
+  if (fast_mode()) return {50, 100};
+  return {100, 200, 300};  // paper Fig. 4/8 x-axis
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "==== " << title << " ====\n";
+  std::cout << "(" << repetitions()
+            << " repetitions per point; PRVM_REPS overrides, PRVM_FAST=1 shrinks the sweep;\n"
+               " cells are median [p1; p99], matching the paper's error bars)\n\n";
+}
+
+}  // namespace prvm::bench

@@ -1,0 +1,47 @@
+// Shared driver for the paper's simulation figures (3, 5, 6, 7): the same
+// sweep — VMs from 1000 to 3000, PlanetLab and Google traces, all four
+// algorithms — feeds all of them, so the per-(config, algorithm) results
+// cache in .prvm-cache lets each figure binary reuse runs computed by the
+// others.
+#pragma once
+
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace prvm::bench {
+
+using MetricFn = std::function<Summary(const Ec2ExperimentResult&)>;
+
+inline std::vector<FigurePoint> ec2_sweep(TraceKind trace, const MetricFn& metric) {
+  std::vector<FigurePoint> points;
+  for (std::size_t vms : vm_counts()) {
+    Ec2ExperimentConfig config;
+    config.vm_count = vms;
+    config.repetitions = repetitions();
+    config.trace = trace;
+    const Ec2Experiment experiment(config);
+    for (AlgorithmKind kind : all_algorithm_kinds()) {
+      const auto result = experiment.run(kind);
+      points.push_back({static_cast<double>(vms), kind, metric(result)});
+    }
+  }
+  return points;
+}
+
+/// Prints one (a)/(b) subfigure pair: the PlanetLab and Google sweeps.
+inline void print_figure(const std::string& figure, const std::string& metric_label,
+                         const MetricFn& metric, int precision = 1) {
+  banner(figure + " — " + metric_label);
+  for (TraceKind trace : {TraceKind::kPlanetLab, TraceKind::kGoogleCluster}) {
+    std::cout << "--- " << to_string(trace) << " trace ---\n";
+    const auto points = ec2_sweep(trace, metric);
+    figure_table("#VMs", points, precision).print(std::cout);
+    std::cout << ordering_verdict(points) << "\n";
+  }
+}
+
+}  // namespace prvm::bench

@@ -1,0 +1,64 @@
+// EC2 consolidation scenario: 600 VM requests drawn from Table I placed on
+// an M3/C3 fleet by all four algorithms; compares PMs used, mean
+// utilization of the active PMs, and placement latency — the paper's §VI-B
+// question ("resource efficiency of VM allocation") at example scale.
+#include <chrono>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/catalog_graphs.hpp"
+#include "placement/algorithm_factory.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace prvm;
+  using Clock = std::chrono::steady_clock;
+
+  const Catalog catalog = ec2_sim_catalog();
+  std::cout << "building/loading score tables (cached under .prvm-cache)...\n";
+  auto tables = std::make_shared<const ScoreTableSet>(build_score_tables(catalog));
+
+  const std::size_t vm_count = 600;
+  Rng rng(123);
+  const auto vms = weighted_vm_requests(rng, catalog, vm_count, default_vm_mix(catalog));
+  std::cout << vm_count << " VM requests (compute-heavy mix), fleet of " << 2 * vm_count
+            << " PMs (M3/C3 alternating)\n\n";
+
+  TextTable table({"algorithm", "PMs used", "mean CPU levels %", "mean mem levels %",
+                   "placement ms", "rejected"});
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    Datacenter dc(catalog, mixed_pm_fleet(catalog, 2 * vm_count));
+    auto algorithm = make_algorithm(kind, tables);
+    const auto t0 = Clock::now();
+    const auto rejected = algorithm->place_all(dc, vms);
+    const double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    // Mean allocated fraction per resource over used PMs.
+    double cpu = 0.0, mem = 0.0;
+    for (PmIndex i : dc.used_pms()) {
+      const auto& pm = dc.pm(i);
+      const ProfileShape& shape = dc.shape_of(i);
+      int cpu_used = 0, cpu_cap = 0;
+      for (int c = 0; c < shape.groups()[0].count; ++c) {
+        cpu_used += pm.usage.level(c);
+        cpu_cap += shape.groups()[0].capacity;
+      }
+      cpu += static_cast<double>(cpu_used) / cpu_cap;
+      const int mem_dim = shape.group_offset(1);
+      mem += static_cast<double>(pm.usage.level(mem_dim)) / shape.groups()[1].capacity;
+    }
+    const double n = static_cast<double>(dc.used_count());
+    table.row()
+        .add(std::string(to_string(kind)))
+        .add(dc.used_count())
+        .add(100.0 * cpu / n, 1)
+        .add(100.0 * mem / n, 1)
+        .add(ms, 1)
+        .add(rejected.size());
+  }
+  table.print(std::cout);
+  std::cout << "\nTable I demand ratios tile the PM capacity almost perfectly, so static\n"
+               "packing differences are small (FFDSum's large-first order strands the most);\n"
+               "the algorithms separate under runtime dynamics — see bench_fig6/7.\n";
+  return 0;
+}

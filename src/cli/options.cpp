@@ -1,0 +1,124 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+
+#include "common/check.hpp"
+#include "placement/algorithm_factory.hpp"
+
+namespace prvm {
+
+namespace {
+
+std::uint64_t parse_number(std::string_view flag, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  PRVM_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+               std::string(flag) + " expects a non-negative integer, got '" +
+                   std::string(value) + "'");
+  return out;
+}
+
+CliMode parse_mode(std::string_view value) {
+  if (value == "place") return CliMode::kPlace;
+  if (value == "simulate") return CliMode::kSimulate;
+  if (value == "lifecycle") return CliMode::kLifecycle;
+  if (value == "geni") return CliMode::kGeni;
+  PRVM_REQUIRE(false, "unknown --mode '" + std::string(value) +
+                          "' (expected place|simulate|lifecycle|geni)");
+  return CliMode::kPlace;
+}
+
+AlgorithmKind parse_algorithm(std::string_view value) {
+  for (AlgorithmKind kind : extended_algorithm_kinds()) {
+    if (value == to_string(kind)) return kind;
+  }
+  PRVM_REQUIRE(false, "unknown --algorithm '" + std::string(value) +
+                          "' (expected PageRankVM|CompVM|FFDSum|FF|BestFit|RoundRobin)");
+  return AlgorithmKind::kPageRankVm;
+}
+
+TraceKind parse_trace(std::string_view value) {
+  if (value == "planetlab") return TraceKind::kPlanetLab;
+  if (value == "google") return TraceKind::kGoogleCluster;
+  PRVM_REQUIRE(false,
+               "unknown --trace '" + std::string(value) + "' (expected planetlab|google)");
+  return TraceKind::kPlanetLab;
+}
+
+}  // namespace
+
+const char* to_string(CliMode mode) {
+  switch (mode) {
+    case CliMode::kPlace: return "place";
+    case CliMode::kSimulate: return "simulate";
+    case CliMode::kLifecycle: return "lifecycle";
+    case CliMode::kGeni: return "geni";
+  }
+  return "?";
+}
+
+CliOptions parse_cli(std::span<const std::string_view> args) {
+  CliOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      continue;
+    }
+    if (arg == "--csv") {
+      options.csv = true;
+      continue;
+    }
+    const auto value = [&]() -> std::string_view {
+      PRVM_REQUIRE(i + 1 < args.size(), std::string(arg) + " expects a value");
+      return args[++i];
+    };
+    if (arg == "--mode") {
+      options.mode = parse_mode(value());
+    } else if (arg == "--algorithm") {
+      options.algorithm = parse_algorithm(value());
+    } else if (arg == "--vms") {
+      options.vms = parse_number(arg, value());
+      PRVM_REQUIRE(options.vms > 0, "--vms must be positive");
+    } else if (arg == "--reps") {
+      options.repetitions = parse_number(arg, value());
+      PRVM_REQUIRE(options.repetitions > 0, "--reps must be positive");
+    } else if (arg == "--seed") {
+      options.seed = parse_number(arg, value());
+    } else if (arg == "--epochs") {
+      options.epochs = parse_number(arg, value());
+      PRVM_REQUIRE(options.epochs > 0, "--epochs must be positive");
+    } else if (arg == "--trace") {
+      options.trace = parse_trace(value());
+    } else {
+      PRVM_REQUIRE(false, "unknown argument '" + std::string(arg) + "' (see --help)");
+    }
+  }
+  return options;
+}
+
+std::string cli_help() {
+  return R"(prvm — PageRankVM reproduction command line
+
+usage: prvm [--mode place|simulate|lifecycle|geni] [options]
+
+modes
+  place       batch placement on the EC2 catalog; reports PMs used
+  simulate    trace-driven 24h simulation (the paper's Figures 3/5/6/7 loop)
+  lifecycle   open system with Poisson arrivals / geometric lifetimes
+  geni        GENI testbed emulation (the paper's Figures 4/8 loop)
+
+options
+  --algorithm NAME   one of PageRankVM CompVM FFDSum FF BestFit RoundRobin
+                     (default: compare the paper's four)
+  --vms N            number of VMs / jobs             (default 500)
+  --reps N           seeded repetitions               (default 3)
+  --seed N           base seed                        (default 42)
+  --epochs N         simulation epochs                (default 288)
+  --trace KIND       planetlab | google               (default planetlab)
+  --csv              emit CSV instead of a table
+  --help             this text
+)";
+}
+
+}  // namespace prvm

@@ -1,0 +1,38 @@
+// Command-line interface of the `prvm` tool: argument parsing, kept in the
+// library so it is unit-testable.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "harness/experiment.hpp"
+
+namespace prvm {
+
+enum class CliMode { kPlace, kSimulate, kLifecycle, kGeni };
+
+struct CliOptions {
+  CliMode mode = CliMode::kSimulate;
+  /// Restrict to one algorithm; nullopt = compare all of the paper's four.
+  std::optional<AlgorithmKind> algorithm;
+  std::size_t vms = 500;
+  std::size_t repetitions = 3;
+  std::uint64_t seed = 42;
+  std::size_t epochs = 288;
+  TraceKind trace = TraceKind::kPlanetLab;
+  bool csv = false;   ///< emit CSV instead of an aligned table
+  bool help = false;
+};
+
+/// Parses argv-style arguments (excluding the program name). Throws
+/// std::invalid_argument with a human-readable message on bad input.
+CliOptions parse_cli(std::span<const std::string_view> args);
+
+/// The --help text.
+std::string cli_help();
+
+const char* to_string(CliMode mode);
+
+}  // namespace prvm

@@ -1,0 +1,147 @@
+#include "cli/run.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+#include "harness/report.hpp"
+#include "sim/lifecycle.hpp"
+#include "testbed/testbed.hpp"
+
+namespace prvm {
+
+namespace {
+
+std::vector<AlgorithmKind> selected_algorithms(const CliOptions& options) {
+  if (options.algorithm.has_value()) return {*options.algorithm};
+  return all_algorithm_kinds();
+}
+
+void emit(const TextTable& table, bool csv, std::ostream& out) {
+  if (csv) {
+    out << table.csv();
+  } else {
+    table.print(out);
+  }
+}
+
+int run_place(const CliOptions& options, std::ostream& out) {
+  const Catalog catalog = ec2_sim_catalog();
+  auto tables = std::make_shared<const ScoreTableSet>(build_score_tables(catalog));
+  Rng rng(options.seed);
+  const auto vms =
+      weighted_vm_requests(rng, catalog, options.vms, default_vm_mix(catalog));
+  TextTable table({"algorithm", "PMs used", "rejected"});
+  for (AlgorithmKind kind : selected_algorithms(options)) {
+    Datacenter dc(catalog, mixed_pm_fleet(catalog, 2 * options.vms));
+    auto algorithm = make_algorithm(kind, tables);
+    const auto rejected = algorithm->place_all(dc, vms);
+    table.row().add(std::string(to_string(kind))).add(dc.used_count()).add(rejected.size());
+  }
+  emit(table, options.csv, out);
+  return 0;
+}
+
+int run_simulate(const CliOptions& options, std::ostream& out) {
+  Ec2ExperimentConfig config;
+  config.vm_count = options.vms;
+  config.repetitions = options.repetitions;
+  config.seed = options.seed;
+  config.trace = options.trace;
+  config.sim.epochs = options.epochs;
+  const Ec2Experiment experiment(config);
+  TextTable table(
+      {"algorithm", "PMs used", "migrations", "energy kWh", "SLO %", "rejected"});
+  for (AlgorithmKind kind : selected_algorithms(options)) {
+    const auto result = experiment.run(kind);
+    const Summary rejected = result.summarize(
+        [](const SimMetrics& m) { return static_cast<double>(m.rejected_vms); });
+    table.row()
+        .add(std::string(to_string(kind)))
+        .add(summary_cell(result.pms_used(), 0))
+        .add(summary_cell(result.migrations(), 0))
+        .add(summary_cell(result.energy_kwh(), 0))
+        .add(summary_cell(result.slo_percent(), 2))
+        .add(rejected.median, 0);
+  }
+  emit(table, options.csv, out);
+  return 0;
+}
+
+int run_lifecycle(const CliOptions& options, std::ostream& out) {
+  const Catalog catalog = ec2_sim_catalog();
+  auto tables = std::make_shared<const ScoreTableSet>(build_score_tables(catalog));
+  TextTable table({"algorithm", "mean used PMs", "peak used PMs", "fragmentation",
+                   "rejected"});
+  for (AlgorithmKind kind : selected_algorithms(options)) {
+    std::vector<double> mean_pms, peak_pms, frag, rejected;
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      LifecycleOptions lifecycle;
+      lifecycle.epochs = options.epochs;
+      lifecycle.seed = options.seed + 31 * rep;
+      lifecycle.vm_mix = default_vm_mix(catalog);
+      // Scale the arrival rate so the steady-state population is ~vms.
+      lifecycle.arrivals_per_epoch =
+          static_cast<double>(options.vms) / lifecycle.mean_lifetime_epochs;
+      LifecycleSimulation sim(
+          Datacenter(catalog, mixed_pm_fleet(catalog, 2 * options.vms)), lifecycle);
+      auto algorithm = make_algorithm(kind, tables);
+      const LifecycleMetrics m = sim.run(*algorithm);
+      mean_pms.push_back(m.mean_used_pms);
+      peak_pms.push_back(static_cast<double>(m.peak_used_pms));
+      frag.push_back(m.mean_fragmentation);
+      rejected.push_back(static_cast<double>(m.rejected));
+    }
+    table.row()
+        .add(std::string(to_string(kind)))
+        .add(summary_cell(Summary::of(mean_pms), 1))
+        .add(summary_cell(Summary::of(peak_pms), 0))
+        .add(summary_cell(Summary::of(frag), 3))
+        .add(Summary::of(rejected).median, 0);
+  }
+  emit(table, options.csv, out);
+  return 0;
+}
+
+int run_geni(const CliOptions& options, std::ostream& out) {
+  auto tables = geni_score_tables();
+  TextTable table({"algorithm", "PMs used", "migrations", "SLO %", "rejected jobs"});
+  for (AlgorithmKind kind : selected_algorithms(options)) {
+    std::vector<double> pms, migrations, slo, rejected;
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      GeniExperimentConfig config;
+      config.jobs = options.vms;
+      config.seed = options.seed + 7919 * rep;
+      const TestbedMetrics m = run_geni_experiment(kind, config, tables);
+      pms.push_back(static_cast<double>(m.pms_used));
+      migrations.push_back(static_cast<double>(m.migrations));
+      slo.push_back(m.slo_violation_percent);
+      rejected.push_back(static_cast<double>(m.rejected_jobs));
+    }
+    table.row()
+        .add(std::string(to_string(kind)))
+        .add(summary_cell(Summary::of(pms), 0))
+        .add(summary_cell(Summary::of(migrations), 0))
+        .add(summary_cell(Summary::of(slo), 2))
+        .add(Summary::of(rejected).median, 0);
+  }
+  emit(table, options.csv, out);
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const CliOptions& options, std::ostream& out) {
+  if (options.help) {
+    out << cli_help();
+    return 0;
+  }
+  switch (options.mode) {
+    case CliMode::kPlace: return run_place(options, out);
+    case CliMode::kSimulate: return run_simulate(options, out);
+    case CliMode::kLifecycle: return run_lifecycle(options, out);
+    case CliMode::kGeni: return run_geni(options, out);
+  }
+  return 1;
+}
+
+}  // namespace prvm

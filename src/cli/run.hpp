@@ -1,0 +1,14 @@
+// Execution of a parsed CLI invocation, writing results to a stream
+// (unit-testable; the `prvm` binary is a thin wrapper).
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/options.hpp"
+
+namespace prvm {
+
+/// Runs the requested mode; returns a process exit code.
+int run_cli(const CliOptions& options, std::ostream& out);
+
+}  // namespace prvm

@@ -1,0 +1,68 @@
+#include "cluster/catalog.hpp"
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+Catalog::Catalog(std::vector<VmType> vm_types, std::vector<PmType> pm_types,
+                 QuantizationConfig quantization)
+    : vm_types_(std::move(vm_types)),
+      pm_types_(std::move(pm_types)),
+      quantization_(quantization) {
+  PRVM_REQUIRE(!vm_types_.empty(), "catalog needs at least one VM type");
+  PRVM_REQUIRE(!pm_types_.empty(), "catalog needs at least one PM type");
+
+  shapes_.reserve(pm_types_.size());
+  demands_.resize(pm_types_.size());
+  fitting_.resize(pm_types_.size());
+  for (std::size_t p = 0; p < pm_types_.size(); ++p) {
+    shapes_.push_back(pm_types_[p].make_shape(quantization_));
+    demands_[p].reserve(vm_types_.size());
+    for (std::size_t v = 0; v < vm_types_.size(); ++v) {
+      auto d = pm_types_[p].quantize(vm_types_[v], quantization_);
+      if (d.has_value()) {
+        d->validate(shapes_[p]);
+        fitting_[p].demands.push_back(*d);
+        fitting_[p].vm_type_of.push_back(v);
+      }
+      demands_[p].push_back(std::move(d));
+    }
+  }
+
+  // Every VM type must fit at least one PM type or no assignment can ever
+  // satisfy constraint (1).
+  for (std::size_t v = 0; v < vm_types_.size(); ++v) {
+    bool fits_somewhere = false;
+    for (std::size_t p = 0; p < pm_types_.size(); ++p) {
+      fits_somewhere = fits_somewhere || demands_[p][v].has_value();
+    }
+    PRVM_REQUIRE(fits_somewhere, "VM type fits no PM type: " + vm_types_[v].name);
+  }
+}
+
+const std::optional<QuantizedDemand>& Catalog::demand(std::size_t p, std::size_t v) const {
+  return demands_.at(p).at(v);
+}
+
+Catalog ec2_catalog(QuantizationConfig quantization) {
+  return Catalog(ec2_vm_types(), ec2_pm_types(), quantization);
+}
+
+Catalog ec2_sim_catalog(double cpu_alloc_factor) {
+  PRVM_REQUIRE(cpu_alloc_factor >= 1.0, "oversubscription factor must be >= 1");
+  std::vector<PmType> pms = ec2_pm_types();
+  for (PmType& pm : pms) pm.cpu_alloc_factor = cpu_alloc_factor;
+  QuantizationConfig quantization;
+  quantization.cpu_levels = static_cast<int>(std::lround(4.0 * cpu_alloc_factor));
+  return Catalog(ec2_vm_types(), std::move(pms), quantization);
+}
+
+Catalog geni_catalog() {
+  // One vCPU slot = one level: cpu_levels = 4 slots per core.
+  QuantizationConfig q;
+  q.cpu_levels = 4;
+  return Catalog(geni_vm_types(), geni_pm_types(), q);
+}
+
+}  // namespace prvm

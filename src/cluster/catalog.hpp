@@ -1,0 +1,68 @@
+// A catalog bundles the VM-type set, PM-type set and quantization config of
+// one deployment and precomputes every (PM type, VM type) quantized demand.
+// It is the single source of truth shared by the score tables, the
+// datacenter ledger and the placement algorithms, which keeps their views
+// of "what fits where" exactly consistent.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/pm.hpp"
+#include "cluster/vm.hpp"
+#include "profile/quantization.hpp"
+
+namespace prvm {
+
+class Catalog {
+ public:
+  Catalog(std::vector<VmType> vm_types, std::vector<PmType> pm_types,
+          QuantizationConfig quantization = {});
+
+  const std::vector<VmType>& vm_types() const { return vm_types_; }
+  const std::vector<PmType>& pm_types() const { return pm_types_; }
+  const QuantizationConfig& quantization() const { return quantization_; }
+
+  const VmType& vm_type(std::size_t i) const { return vm_types_.at(i); }
+  const PmType& pm_type(std::size_t i) const { return pm_types_.at(i); }
+
+  /// The profile shape of PM type `p`.
+  const ProfileShape& shape(std::size_t p) const { return shapes_.at(p); }
+
+  /// The quantized demand of VM type `v` on PM type `p`; nullopt when that
+  /// VM type can never fit that PM type.
+  const std::optional<QuantizedDemand>& demand(std::size_t p, std::size_t v) const;
+
+  /// Demands of all VM types that fit PM type `p` (order preserved, unfitting
+  /// types skipped) plus the mapping back to VM-type indices. This is the
+  /// VM-type set S_v used to build PM type `p`'s profile graph.
+  struct FittingDemands {
+    std::vector<QuantizedDemand> demands;
+    std::vector<std::size_t> vm_type_of;  ///< demands[i] is VM type vm_type_of[i]
+  };
+  const FittingDemands& fitting_demands(std::size_t p) const { return fitting_.at(p); }
+
+ private:
+  std::vector<VmType> vm_types_;
+  std::vector<PmType> pm_types_;
+  QuantizationConfig quantization_;
+  std::vector<ProfileShape> shapes_;
+  std::vector<std::vector<std::optional<QuantizedDemand>>> demands_;  // [pm][vm]
+  std::vector<FittingDemands> fitting_;
+};
+
+/// Table I + Table II under the given quantization.
+Catalog ec2_catalog(QuantizationConfig quantization = {});
+
+/// Table I + Table II with optional CPU oversubscription for the dynamic
+/// (runtime/migration) experiments: vCPUs are admitted against
+/// factor * physical CPU. cpu_levels scales with the factor
+/// (round(4 * factor)) so one CPU level stays 0.65 GHz on M3 regardless of
+/// the factor. factor 1.0 (default) admits against physical capacity; the
+/// burst demand model (sim/simulator.hpp) still produces overloads.
+Catalog ec2_sim_catalog(double cpu_alloc_factor = 1.0);
+
+/// The GENI testbed setup of §VI-A.
+Catalog geni_catalog();
+
+}  // namespace prvm

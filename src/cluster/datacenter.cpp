@@ -1,0 +1,132 @@
+#include "cluster/datacenter.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+Datacenter::Datacenter(Catalog catalog, std::vector<std::size_t> pm_types_of)
+    : catalog_(std::move(catalog)) {
+  PRVM_REQUIRE(!pm_types_of.empty(), "datacenter needs at least one PM");
+  pms_.reserve(pm_types_of.size());
+  for (std::size_t type : pm_types_of) {
+    PRVM_REQUIRE(type < catalog_.pm_types().size(), "PM type index out of range");
+    const ProfileShape& shape = catalog_.shape(type);
+    const Profile zero = Profile::zero(shape);
+    pms_.push_back(PmState{type, zero, zero.pack(shape), {}});
+  }
+}
+
+std::vector<PmIndex> Datacenter::unused_pms() const {
+  std::vector<PmIndex> result;
+  for (PmIndex i = 0; i < pms_.size(); ++i) {
+    if (!pms_[i].used()) result.push_back(i);
+  }
+  return result;
+}
+
+bool Datacenter::fits(PmIndex i, std::size_t vm_type) const {
+  const PmState& pm = pms_.at(i);
+  const auto& demand = catalog_.demand(pm.type_index, vm_type);
+  if (!demand.has_value()) return false;
+  return demand_fits(catalog_.shape(pm.type_index), pm.usage, *demand);
+}
+
+std::vector<DemandPlacement> Datacenter::placements(PmIndex i, std::size_t vm_type) const {
+  const PmState& pm = pms_.at(i);
+  const auto& demand = catalog_.demand(pm.type_index, vm_type);
+  if (!demand.has_value()) return {};
+  return enumerate_placements(catalog_.shape(pm.type_index), pm.usage, *demand);
+}
+
+void Datacenter::place(PmIndex i, const Vm& vm, const DemandPlacement& placement) {
+  PRVM_REQUIRE(i < pms_.size(), "PM index out of range");
+  PRVM_REQUIRE(!vm_index_.contains(vm.id), "VM already placed");
+  PmState& pm = pms_[i];
+  const ProfileShape& shape = catalog_.shape(pm.type_index);
+
+  // Validate: each assignment within capacity and anti-collocation (no two
+  // assignments of this VM on the same dimension).
+  std::vector<int> levels(pm.usage.levels().begin(), pm.usage.levels().end());
+  std::vector<int> touched;
+  for (auto [dim, amount] : placement.assignments) {
+    PRVM_REQUIRE(dim >= 0 && dim < shape.total_dims(), "assignment dimension out of range");
+    PRVM_REQUIRE(amount > 0, "assignment amount must be positive");
+    PRVM_REQUIRE(std::find(touched.begin(), touched.end(), dim) == touched.end(),
+                 "anti-collocation violated: two items of one VM on one dimension");
+    touched.push_back(dim);
+    levels[static_cast<std::size_t>(dim)] += amount;
+    PRVM_REQUIRE(levels[static_cast<std::size_t>(dim)] <= shape.dim_capacity(dim),
+                 "placement exceeds dimension capacity");
+  }
+
+  const bool was_used = pm.used();
+  pm.usage = Profile::from_levels(shape, std::move(levels));
+  pm.vms.push_back(PlacedVm{vm, placement.assignments});
+  recompute_key(i);
+  vm_index_.emplace(vm.id, i);
+  if (!was_used) used_order_.push_back(i);
+}
+
+void Datacenter::place_first_fit(PmIndex i, const Vm& vm) {
+  auto options = placements(i, vm.type_index);
+  PRVM_REQUIRE(!options.empty(), "VM does not fit PM");
+  place(i, vm, options.front());
+}
+
+Datacenter::PlacedVm Datacenter::remove(VmId vm) {
+  const auto it = vm_index_.find(vm);
+  PRVM_REQUIRE(it != vm_index_.end(), "VM is not placed");
+  const PmIndex i = it->second;
+  PmState& pm = pms_[i];
+  const ProfileShape& shape = catalog_.shape(pm.type_index);
+
+  const auto vit = std::find_if(pm.vms.begin(), pm.vms.end(),
+                                [&](const PlacedVm& p) { return p.vm.id == vm; });
+  PRVM_CHECK(vit != pm.vms.end(), "ledger out of sync with VM index");
+  PlacedVm record = std::move(*vit);
+  pm.vms.erase(vit);
+
+  std::vector<int> levels(pm.usage.levels().begin(), pm.usage.levels().end());
+  for (auto [dim, amount] : record.assignments) {
+    levels[static_cast<std::size_t>(dim)] -= amount;
+    PRVM_CHECK(levels[static_cast<std::size_t>(dim)] >= 0, "usage underflow on removal");
+  }
+  pm.usage = Profile::from_levels(shape, std::move(levels));
+  recompute_key(i);
+  vm_index_.erase(it);
+
+  if (!pm.used()) {
+    const auto uit = std::find(used_order_.begin(), used_order_.end(), i);
+    PRVM_CHECK(uit != used_order_.end(), "used list out of sync");
+    used_order_.erase(uit);
+  }
+  return record;
+}
+
+std::optional<PmIndex> Datacenter::pm_of(VmId vm) const {
+  const auto it = vm_index_.find(vm);
+  if (it == vm_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Datacenter::clear() {
+  for (PmIndex i = 0; i < pms_.size(); ++i) {
+    PmState& pm = pms_[i];
+    const ProfileShape& shape = catalog_.shape(pm.type_index);
+    pm.usage = Profile::zero(shape);
+    pm.canonical_key = pm.usage.pack(shape);
+    pm.vms.clear();
+  }
+  used_order_.clear();
+  vm_index_.clear();
+}
+
+void Datacenter::recompute_key(PmIndex i) {
+  PmState& pm = pms_[i];
+  const ProfileShape& shape = catalog_.shape(pm.type_index);
+  pm.canonical_key = pm.usage.canonical(shape).pack(shape);
+}
+
+}  // namespace prvm

@@ -1,0 +1,94 @@
+// The datacenter allocation ledger.
+//
+// Tracks, for every PM, the concrete per-core / per-disk / memory usage in
+// quantized levels and which VM occupies which dimensions — the x/y/z
+// assignment variables of the paper's §IV formulation in executable form.
+// All placement algorithms mutate a Datacenter through place()/remove(),
+// which enforce capacity and anti-collocation invariants on every call.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "profile/permutation.hpp"
+
+namespace prvm {
+
+/// Index of a PM within a Datacenter.
+using PmIndex = std::size_t;
+
+class Datacenter {
+ public:
+  /// A VM placed on a PM together with its dimension assignments
+  /// ((global dimension index, levels) pairs — its y/z variables).
+  struct PlacedVm {
+    Vm vm;
+    std::vector<std::pair<int, int>> assignments;
+  };
+
+  struct PmState {
+    std::size_t type_index = 0;
+    Profile usage;            ///< raw per-dimension levels (not canonical)
+    ProfileKey canonical_key; ///< cached canonical key of `usage`
+    std::vector<PlacedVm> vms;
+
+    bool used() const { return !vms.empty(); }
+  };
+
+  /// Builds a datacenter of pm_types_of[i] typed PMs over a catalog. The
+  /// catalog is copied so the datacenter is self-contained.
+  Datacenter(Catalog catalog, std::vector<std::size_t> pm_types_of);
+
+  const Catalog& catalog() const { return catalog_; }
+  std::size_t pm_count() const { return pms_.size(); }
+  const PmState& pm(PmIndex i) const { return pms_.at(i); }
+  const ProfileShape& shape_of(PmIndex i) const { return catalog_.shape(pms_.at(i).type_index); }
+
+  /// PMs currently hosting at least one VM, in activation order — the
+  /// used_PM_list of Algorithm 2.
+  const std::vector<PmIndex>& used_pms() const { return used_order_; }
+
+  /// PMs hosting no VM, in index order — the unused_PM_list.
+  std::vector<PmIndex> unused_pms() const;
+
+  std::size_t used_count() const { return used_order_.size(); }
+
+  /// True when VM type `vm_type` has at least one feasible anti-collocation
+  /// placement on PM `i` right now.
+  bool fits(PmIndex i, std::size_t vm_type) const;
+
+  /// All distinct-by-canonical-outcome placements of VM type `vm_type` on
+  /// PM `i` (Algorithm 2 line 6). Empty when the VM does not fit.
+  std::vector<DemandPlacement> placements(PmIndex i, std::size_t vm_type) const;
+
+  /// Places a VM with an explicit placement previously obtained from
+  /// placements(). Validates capacity and anti-collocation.
+  void place(PmIndex i, const Vm& vm, const DemandPlacement& placement);
+
+  /// Places with the first feasible placement (used by baselines that do
+  /// not score permutations). Throws if the VM does not fit.
+  void place_first_fit(PmIndex i, const Vm& vm);
+
+  /// Removes a VM and returns its record (for migration re-placement).
+  PlacedVm remove(VmId vm);
+
+  /// The PM currently hosting `vm`, if any.
+  std::optional<PmIndex> pm_of(VmId vm) const;
+
+  std::size_t vm_count() const { return vm_index_.size(); }
+
+  /// Resets every PM to empty (keeps the catalog and PM fleet).
+  void clear();
+
+ private:
+  void recompute_key(PmIndex i);
+
+  Catalog catalog_;
+  std::vector<PmState> pms_;
+  std::vector<PmIndex> used_order_;
+  std::unordered_map<VmId, PmIndex> vm_index_;
+};
+
+}  // namespace prvm

@@ -1,0 +1,101 @@
+#include "cluster/pm.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+ProfileShape PmType::make_shape(const QuantizationConfig& q) const {
+  PRVM_REQUIRE(cores >= 1 && core_ghz > 0.0, "PM type needs CPU capacity");
+  std::vector<DimensionGroup> groups;
+  groups.push_back(DimensionGroup{ResourceKind::kCpu, cores, q.cpu_levels});
+  if (memory_gib > 0.0) {
+    groups.push_back(DimensionGroup{ResourceKind::kMemory, 1, q.mem_levels});
+  }
+  if (disks > 0) {
+    PRVM_REQUIRE(disk_gb > 0.0, "PM type with disks needs disk capacity");
+    groups.push_back(DimensionGroup{ResourceKind::kDisk, disks, q.disk_levels});
+  }
+  return ProfileShape(std::move(groups));
+}
+
+std::optional<QuantizedDemand> PmType::quantize(const VmType& vm,
+                                                const QuantizationConfig& q) const {
+  QuantizedDemand demand;
+
+  // vCPUs: one item per vCPU, each on a distinct core.
+  if (vm.vcpus > cores) return std::nullopt;
+  std::vector<int> cpu_items;
+  if (vm.vcpus > 0 && vm.vcpu_ghz > 0.0) {
+    if (vm.vcpu_ghz > alloc_core_ghz()) return std::nullopt;
+    const int units = quantize_demand(vm.vcpu_ghz, alloc_core_ghz(), q.cpu_levels);
+    cpu_items.assign(static_cast<std::size_t>(vm.vcpus), units);
+  }
+  demand.group_items.push_back(std::move(cpu_items));
+
+  // Memory: single dimension (only present when the PM type has memory).
+  if (memory_gib > 0.0) {
+    std::vector<int> mem_items;
+    if (vm.memory_gib > 0.0) {
+      if (vm.memory_gib > memory_gib) return std::nullopt;
+      mem_items.push_back(quantize_demand(vm.memory_gib, memory_gib, q.mem_levels));
+    }
+    demand.group_items.push_back(std::move(mem_items));
+  } else if (vm.memory_gib > 0.0) {
+    return std::nullopt;
+  }
+
+  // Virtual disks: one item per vdisk, each on a distinct physical disk.
+  if (disks > 0) {
+    std::vector<int> disk_items;
+    if (vm.vdisks > 0 && vm.vdisk_gb > 0.0) {
+      if (vm.vdisks > disks || vm.vdisk_gb > disk_gb) return std::nullopt;
+      const int units = quantize_demand(vm.vdisk_gb, disk_gb, q.disk_levels);
+      disk_items.assign(static_cast<std::size_t>(vm.vdisks), units);
+    }
+    demand.group_items.push_back(std::move(disk_items));
+  } else if (vm.vdisks > 0 && vm.vdisk_gb > 0.0) {
+    return std::nullopt;
+  }
+  return demand;
+}
+
+std::string PmType::describe() const {
+  std::ostringstream os;
+  os << name << ": " << cores << " core x " << core_ghz << " GHz, " << memory_gib << " GiB";
+  if (disks > 0) os << ", " << disks << " disk x " << disk_gb << " GB";
+  if (!cpu_model.empty()) os << " (" << cpu_model << ")";
+  return os.str();
+}
+
+std::vector<PmType> ec2_pm_types() {
+  // Table II, except C3 memory: the paper prints 7.5 GiB, which is the
+  // c3.xlarge *VM* figure and would cap a C3 server at two small VMs —
+  // physically implausible for an 8-core Xeon host and distorting for every
+  // algorithm. We use 60 GiB (the EC2 c3.8xlarge host-class figure);
+  // ec2_pm_types_as_printed() keeps the literal table for ablation.
+  return {
+      {"M3", 8, 2.6, 64.0, 4, 250.0, "E5-2670"},
+      {"C3", 8, 2.8, 60.0, 4, 250.0, "E5-2680"},
+  };
+}
+
+std::vector<PmType> ec2_pm_types_as_printed() {
+  return {
+      {"M3", 8, 2.6, 64.0, 4, 250.0, "E5-2670"},
+      {"C3", 8, 2.8, 7.5, 4, 250.0, "E5-2680"},
+  };
+}
+
+std::vector<PmType> geni_pm_types() {
+  // §VI-A: 4 physical cores, each hosting up to 4 vCPUs; CPU only.
+  // Core capacity is modeled as 4.0 vCPU slots so that with cpu_levels = 4
+  // one vCPU quantizes to exactly one level.
+  return {
+      {"geni-instance", 4, 4.0, 0.0, 0, 0.0, "E5-2670"},
+  };
+}
+
+}  // namespace prvm

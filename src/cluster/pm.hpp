@@ -1,0 +1,66 @@
+// PM types (paper Table II and §IV notation).
+//
+// A PM's capacity is R_j = {C_j, B_j, D_j}: a set of physical cores (A GHz
+// each), memory (GiB) and a set of physical disks (G GB each). A PM type
+// induces a ProfileShape under a QuantizationConfig: one CPU dimension per
+// core, one memory dimension (when the type has memory), one disk dimension
+// per disk.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/vm.hpp"
+#include "profile/permutation.hpp"
+#include "profile/profile.hpp"
+#include "profile/quantization.hpp"
+
+namespace prvm {
+
+struct PmType {
+  std::string name;
+  int cores = 1;
+  double core_ghz = 0.0;
+  double memory_gib = 0.0;  ///< 0 disables the memory dimension (GENI setup)
+  int disks = 0;
+  double disk_gb = 0.0;
+  std::string cpu_model;  ///< energy-model key, e.g. "E5-2670"
+
+  /// CPU oversubscription for *allocation*: vCPUs are admitted against
+  /// core_ghz * cpu_alloc_factor per core while runtime utilization and
+  /// energy are measured against the physical core_ghz. 1.0 = no
+  /// oversubscription. Mirrors how CloudSim's dynamic-consolidation setup
+  /// (and real clouds) let demand exceed physical capacity so that
+  /// overloads and SLO violations can actually occur.
+  double cpu_alloc_factor = 1.0;
+
+  /// Allocation capacity per core in GHz (core_ghz * cpu_alloc_factor).
+  double alloc_core_ghz() const { return core_ghz * cpu_alloc_factor; }
+  /// Physical CPU capacity of the whole PM in GHz.
+  double total_cpu_ghz() const { return cores * core_ghz; }
+
+  /// The profile shape of this PM type under a quantization.
+  ProfileShape make_shape(const QuantizationConfig& q) const;
+
+  /// Quantizes a VM type's demand against this PM type's shape; nullopt when
+  /// the VM can never fit an empty PM of this type (e.g. more vCPUs than
+  /// cores, or a single demand bigger than a dimension).
+  std::optional<QuantizedDemand> quantize(const VmType& vm, const QuantizationConfig& q) const;
+
+  std::string describe() const;
+};
+
+/// The two Amazon-EC2-style PM types of Table II (C3 memory corrected from
+/// the paper's implausible 7.5 GiB to 60 GiB — see the .cpp comment).
+std::vector<PmType> ec2_pm_types();
+
+/// Table II exactly as printed (C3 with 7.5 GiB); used by the fidelity
+/// ablation.
+std::vector<PmType> ec2_pm_types_as_printed();
+
+/// The GENI-testbed instance type (§VI-A): 4 cores, each hosting up to 4
+/// vCPUs, CPU only.
+std::vector<PmType> geni_pm_types();
+
+}  // namespace prvm

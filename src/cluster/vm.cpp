@@ -1,0 +1,35 @@
+#include "cluster/vm.hpp"
+
+#include <sstream>
+
+namespace prvm {
+
+std::string VmType::describe() const {
+  std::ostringstream os;
+  os << name << ": " << vcpus << " vCPU x " << vcpu_ghz << " GHz, " << memory_gib << " GiB";
+  if (vdisks > 0) os << ", " << vdisks << " disk x " << vdisk_gb << " GB";
+  return os.str();
+}
+
+std::vector<VmType> ec2_vm_types() {
+  // Table I verbatim.
+  return {
+      {"m3.medium", 1, 0.6, 3.75, 1, 4.0},
+      {"m3.large", 2, 0.6, 7.5, 1, 32.0},
+      {"m3.xlarge", 4, 0.6, 15.0, 2, 40.0},
+      {"m3.2xlarge", 8, 0.6, 30.0, 2, 80.0},
+      {"c3.large", 2, 0.7, 3.75, 2, 16.0},
+      {"c3.xlarge", 4, 0.7, 7.5, 2, 40.0},
+  };
+}
+
+std::vector<VmType> geni_vm_types() {
+  // §VI-A: VM types [1,1] and [1,1,1,1]; each vCPU takes one of the four
+  // slots of a core (cores modeled as capacity 4.0 "slots").
+  return {
+      {"job-2core", 2, 1.0, 0.0, 0, 0.0},
+      {"job-4core", 4, 1.0, 0.0, 0, 0.0},
+  };
+}
+
+}  // namespace prvm

@@ -1,0 +1,47 @@
+// VM types and instances (paper Table I and §IV notation).
+//
+// A VM type is r_i = {c_i, beta_i, d_i}: a set of vCPUs (each alpha GHz, to
+// be placed on distinct physical cores), a memory requirement (GiB), and a
+// set of virtual disks (each gamma GB, to be placed on distinct physical
+// disks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prvm {
+
+using VmId = std::uint32_t;
+
+struct VmType {
+  std::string name;
+  int vcpus = 1;           ///< |c_i|
+  double vcpu_ghz = 0.0;   ///< alpha_i^k — identical across a VM's vCPUs
+  double memory_gib = 0.0; ///< beta_i
+  int vdisks = 0;          ///< |d_i|
+  double vdisk_gb = 0.0;   ///< gamma_i^k — identical across a VM's vdisks
+
+  /// Total CPU demand in GHz (vcpus * vcpu_ghz).
+  double total_cpu_ghz() const { return vcpus * vcpu_ghz; }
+  /// Total disk demand in GB.
+  double total_disk_gb() const { return vdisks * vdisk_gb; }
+
+  std::string describe() const;
+};
+
+/// A concrete VM request: an instance of a catalog type. Trace binding and
+/// placement state live elsewhere (sim / datacenter).
+struct Vm {
+  VmId id = 0;
+  std::size_t type_index = 0;  ///< into the catalog's VM-type list
+};
+
+/// The six Amazon EC2 VM types of Table I.
+std::vector<VmType> ec2_vm_types();
+
+/// The two GENI-testbed VM types (paper §VI-A): [1,1] and [1,1,1,1] —
+/// 2 vCPUs on two cores and 4 vCPUs on four cores, one "slot" each.
+std::vector<VmType> geni_vm_types();
+
+}  // namespace prvm

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// PRVM_REQUIRE is for argument validation on public API boundaries (throws
+// std::invalid_argument); PRVM_CHECK is for internal invariants (throws
+// std::logic_error). Both are always on: this is a research-grade system
+// where a silent invariant violation would invalidate experiment results,
+// so we pay the (cheap) branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace prvm {
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace prvm
+
+#define PRVM_REQUIRE(expr, msg)                                                \
+  do {                                                                         \
+    if (!(expr)) ::prvm::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define PRVM_CHECK(expr, msg)                                                  \
+  do {                                                                         \
+    if (!(expr)) ::prvm::detail::throw_logic_error(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,76 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+std::uint64_t Rng::split_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  PRVM_REQUIRE(lo <= hi, "uniform_int bounds");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  PRVM_REQUIRE(n > 0, "uniform_index over empty range");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::beta(double a, double b) {
+  std::gamma_distribution<double> ga(a, 1.0);
+  std::gamma_distribution<double> gb(b, 1.0);
+  const double x = ga(engine_);
+  const double y = gb(engine_);
+  const double s = x + y;
+  return s > 0.0 ? x / s : 0.5;
+}
+
+bool Rng::chance(double p) {
+  const double q = std::clamp(p, 0.0, 1.0);
+  return uniform(0.0, 1.0) < q;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  PRVM_REQUIRE(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+  const double u = std::max(uniform(0.0, 1.0), 1e-12);
+  return xm * std::pow(u, -1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  PRVM_REQUIRE(!weights.empty(), "weighted_index over empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    PRVM_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  PRVM_REQUIRE(total > 0.0, "at least one weight must be positive");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t label) {
+  const std::uint64_t base = engine_();
+  return Rng(base ^ split_mix(label));
+}
+
+}  // namespace prvm

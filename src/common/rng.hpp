@@ -1,0 +1,58 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in the library (trace generators, workload
+// mixes, 2-choice sampling) draws from an explicitly-passed Rng so that an
+// experiment is reproducible from its seed alone. There is no global RNG.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace prvm {
+
+/// A seedable pseudo-random source wrapping std::mt19937_64 with the
+/// distribution helpers the library needs. Copyable (copies the stream
+/// state), cheap to fork for independent sub-streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(split_mix(seed)) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform std::size_t in [0, n-1]. Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Beta(a, b) sample via two gamma draws; used for skewed utilization means.
+  double beta(double a, double b);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Pareto-tail sample: xm * U^{-1/alpha}; used for bursty load spikes.
+  double pareto(double xm, double alpha);
+
+  /// Draw an index according to non-negative weights (at least one positive).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fork an independent sub-stream; deterministic in (this stream, label).
+  Rng fork(std::uint64_t label);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  // SplitMix64 — decorrelates small consecutive seeds before feeding the
+  // Mersenne Twister, so seeds 1,2,3… give unrelated streams.
+  static std::uint64_t split_mix(std::uint64_t x);
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace prvm

@@ -1,0 +1,62 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+double percentile(std::span<const double> values, double p) {
+  PRVM_REQUIRE(!values.empty(), "percentile of empty sample");
+  PRVM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  PRVM_REQUIRE(!values.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  PRVM_REQUIRE(!values.empty(), "stddev of empty sample");
+  const double m = mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size()));
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double dimension_variance(std::span<const double> values) {
+  PRVM_REQUIRE(!values.empty(), "variance of empty vector");
+  const double m = mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return s / static_cast<double>(values.size());
+}
+
+Summary Summary::of(std::span<const double> values) {
+  PRVM_REQUIRE(!values.empty(), "summary of empty sample");
+  Summary s;
+  s.n = values.size();
+  s.median = percentile(values, 50.0);
+  s.p1 = percentile(values, 1.0);
+  s.p99 = percentile(values, 99.0);
+  s.mean = prvm::mean(values);
+  s.stddev = prvm::stddev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  return s;
+}
+
+}  // namespace prvm

@@ -1,0 +1,40 @@
+// Order statistics for experiment reporting.
+//
+// The paper reports the median with 1st/99th percentile error bars over
+// repeated runs; Summary provides exactly those plus mean/stddev.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace prvm {
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics (the "inclusive" definition). p is in [0, 100].
+double percentile(std::span<const double> values, double p);
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);
+double median(std::span<const double> values);
+
+/// Variance across the entries of a vector (population variance), as used by
+/// the paper's definition v = (1/m) * sum_i (p_i - u/m)^2.
+double dimension_variance(std::span<const double> values);
+
+/// Five-number style summary of repeated-run results, matching the paper's
+/// error bars (median, 1st percentile, 99th percentile).
+struct Summary {
+  std::size_t n = 0;
+  double median = 0.0;
+  double p1 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Summary of(std::span<const double> values);
+};
+
+}  // namespace prvm

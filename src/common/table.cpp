@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  PRVM_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  PRVM_CHECK(cells_.empty() || cells_.back().size() == header_.size(),
+             "previous row incomplete");
+  cells_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  PRVM_REQUIRE(!cells_.empty(), "row() before add()");
+  PRVM_REQUIRE(cells_.back().size() < header_.size(), "row has too many cells");
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  return add(format_fixed(value, precision));
+}
+
+TextTable& TextTable::add(long long value) { return add(std::to_string(value)); }
+TextTable& TextTable::add(std::size_t value) { return add(std::to_string(value)); }
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : cells_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[c])) << cell;
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& r : cells_) emit(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      PRVM_REQUIRE(r[c].find(',') == std::string::npos, "CSV cell contains a comma");
+      os << (c == 0 ? "" : ",") << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : cells_) emit(r);
+  return os.str();
+}
+
+}  // namespace prvm

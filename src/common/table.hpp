@@ -1,0 +1,47 @@
+// ASCII table rendering and CSV output for benches and examples.
+//
+// Every figure-reproduction bench prints one human-readable table (the rows
+// the paper plots) and can optionally dump the same rows as CSV for
+// replotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prvm {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add(double value, int precision = 2);
+  TextTable& add(long long value);
+  TextTable& add(std::size_t value);
+  TextTable& add(int value);
+
+  /// Renders with padded columns, a header separator and a trailing newline.
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of commas: cells must not
+  /// contain commas — checked).
+  std::string csv() const;
+
+  std::size_t rows() const { return cells_.size(); }
+  const std::vector<std::vector<std::string>>& cells() const { return cells_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with TextTable).
+std::string format_fixed(double value, int precision);
+
+}  // namespace prvm

@@ -1,0 +1,26 @@
+#include "core/bpru.hpp"
+
+#include <algorithm>
+
+namespace prvm {
+
+std::vector<double> compute_bpru(const ProfileGraph& graph) {
+  const Digraph& g = graph.graph();
+  const std::vector<NodeId> order = topological_order(g);
+  std::vector<double> bpru(g.node_count(), 0.0);
+  // Successors first: walk the topological order backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    const auto succ = g.successors(u);
+    if (succ.empty()) {
+      bpru[u] = graph.utilization(u);
+    } else {
+      double best = 0.0;
+      for (NodeId v : succ) best = std::max(best, bpru[v]);
+      bpru[u] = best;
+    }
+  }
+  return bpru;
+}
+
+}  // namespace prvm

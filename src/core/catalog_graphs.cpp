@@ -1,0 +1,78 @@
+#include "core/catalog_graphs.hpp"
+
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+std::optional<std::size_t> ScoreTableSet::demand_slot(std::size_t pm_type,
+                                                      std::size_t vm_type) const {
+  return slots_.at(pm_type).at(vm_type);
+}
+
+std::filesystem::path default_cache_dir() {
+  if (const char* dir = std::getenv("PRVM_CACHE_DIR"); dir != nullptr && *dir != '\0') {
+    return std::filesystem::path(dir);
+  }
+  return std::filesystem::path(".prvm-cache");
+}
+
+ScoreTableSet build_score_tables(const Catalog& catalog, const ScoreTableOptions& options,
+                                 const std::optional<std::filesystem::path>& cache_dir) {
+  ScoreTableSet set;
+  set.tables_.reserve(catalog.pm_types().size());
+  set.slots_.resize(catalog.pm_types().size());
+
+  for (std::size_t p = 0; p < catalog.pm_types().size(); ++p) {
+    const ProfileShape& shape = catalog.shape(p);
+    const Catalog::FittingDemands& fitting = catalog.fitting_demands(p);
+    PRVM_REQUIRE(!fitting.demands.empty(),
+                 "no VM type fits PM type " + catalog.pm_type(p).name);
+
+    const std::string digest = ScoreTable::digest(shape, fitting.demands, options);
+    std::optional<std::filesystem::path> cache_file;
+    if (cache_dir.has_value()) {
+      cache_file = *cache_dir / ("scoretable-" + digest + ".bin");
+    }
+
+    bool loaded = false;
+    if (cache_file.has_value() && std::filesystem::exists(*cache_file)) {
+      try {
+        ScoreTable table = ScoreTable::load(*cache_file);
+        if (table.digest_string() == digest) {
+          set.tables_.push_back(std::move(table));
+          loaded = true;
+        }
+      } catch (const std::exception&) {
+        // Corrupt or stale cache entry: fall through and rebuild.
+      }
+    }
+    if (!loaded) {
+      const ProfileGraph graph(shape, fitting.demands);
+      set.tables_.push_back(ScoreTable::build(graph, options));
+      if (cache_file.has_value()) {
+        std::error_code ec;
+        std::filesystem::create_directories(*cache_dir, ec);
+        if (!ec) {
+          try {
+            set.tables_.back().save(*cache_file);
+          } catch (const std::exception&) {
+            // Cache write failure is non-fatal (e.g. read-only filesystem).
+          }
+        }
+      }
+    }
+
+    // Invert vm_type_of into per-VM-type slots.
+    auto& slots = set.slots_[p];
+    slots.assign(catalog.vm_types().size(), std::nullopt);
+    for (std::size_t i = 0; i < fitting.vm_type_of.size(); ++i) {
+      slots[fitting.vm_type_of[i]] = i;
+    }
+  }
+  return set;
+}
+
+}  // namespace prvm

@@ -1,0 +1,46 @@
+// Score tables for every PM type of a catalog, with on-disk caching.
+//
+// Building the EC2-scale profile graphs takes seconds; the paper notes the
+// Profile-PageRank table "is relatively stable during a certain period of
+// time", so we persist each table keyed by a digest of
+// (shape, demand set, PageRank options) and reload on subsequent runs.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "core/score_table.hpp"
+
+namespace prvm {
+
+/// One ScoreTable per PM type plus the (PM type, VM type) -> table-demand-
+/// slot mapping (VM types that never fit a PM type have no slot there).
+class ScoreTableSet {
+ public:
+  const ScoreTable& table(std::size_t pm_type) const { return tables_.at(pm_type); }
+  std::size_t pm_type_count() const { return tables_.size(); }
+
+  /// The demand index within table(pm_type) for VM type `vm_type`, or
+  /// nullopt when the VM type cannot fit that PM type at all.
+  std::optional<std::size_t> demand_slot(std::size_t pm_type, std::size_t vm_type) const;
+
+ private:
+  friend ScoreTableSet build_score_tables(const Catalog&, const ScoreTableOptions&,
+                                          const std::optional<std::filesystem::path>&);
+  std::vector<ScoreTable> tables_;
+  std::vector<std::vector<std::optional<std::size_t>>> slots_;  // [pm][vm]
+};
+
+/// Directory used for score-table caching: $PRVM_CACHE_DIR if set, else
+/// ".prvm-cache" under the current directory.
+std::filesystem::path default_cache_dir();
+
+/// Builds (or loads from cache) the score tables of every PM type in the
+/// catalog. Pass std::nullopt as cache_dir to disable caching.
+ScoreTableSet build_score_tables(
+    const Catalog& catalog, const ScoreTableOptions& options = {},
+    const std::optional<std::filesystem::path>& cache_dir = default_cache_dir());
+
+}  // namespace prvm

@@ -1,0 +1,130 @@
+#include "core/profile_graph.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+namespace {
+
+// Distinct successor keys of one canonical profile across all demands.
+std::vector<ProfileKey> expand_node(const ProfileShape& shape, ProfileKey key,
+                                    const std::vector<QuantizedDemand>& demands) {
+  const Profile profile = Profile::unpack(shape, key);
+  std::vector<ProfileKey> succ;
+  for (const QuantizedDemand& demand : demands) {
+    auto keys = enumerate_successor_keys(shape, profile, demand);
+    succ.insert(succ.end(), keys.begin(), keys.end());
+  }
+  std::sort(succ.begin(), succ.end());
+  succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  return succ;
+}
+
+}  // namespace
+
+ProfileGraph::ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> demands,
+                           const ProfileGraphOptions& options)
+    : shape_(std::move(shape)), demands_(std::move(demands)) {
+  PRVM_REQUIRE(!demands_.empty(), "profile graph needs at least one VM type");
+  for (const QuantizedDemand& d : demands_) {
+    d.validate(shape_);
+    PRVM_REQUIRE(d.total() > 0, "VM demand must consume at least one level");
+  }
+
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+
+  const Profile zero = Profile::zero(shape_);
+  keys_.push_back(zero.pack(shape_));
+  usage_.push_back(0);
+  index_.emplace(keys_[0], NodeId{0});
+  graph_.add_node();
+
+  std::vector<NodeId> frontier{0};
+  while (!frontier.empty()) {
+    // Parallel phase: enumerate successor keys for the whole frontier.
+    std::vector<std::vector<ProfileKey>> expanded(frontier.size());
+    if (threads <= 1 || frontier.size() < 64) {
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        expanded[i] = expand_node(shape_, keys_[frontier[i]], demands_);
+      }
+    } else {
+      std::vector<std::thread> pool;
+      std::size_t chunk = (frontier.size() + threads - 1) / threads;
+      for (unsigned t = 0; t < threads; ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(begin + chunk, frontier.size());
+        if (begin >= end) break;
+        pool.emplace_back([&, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) {
+            expanded[i] = expand_node(shape_, keys_[frontier[i]], demands_);
+          }
+        });
+      }
+      for (std::thread& th : pool) th.join();
+    }
+
+    // Serial phase: register new nodes and edges.
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const NodeId from = frontier[i];
+      for (ProfileKey key : expanded[i]) {
+        auto [it, inserted] = index_.try_emplace(key, static_cast<NodeId>(keys_.size()));
+        if (inserted) {
+          PRVM_REQUIRE(keys_.size() < options.max_nodes,
+                       "profile graph exceeds max_nodes; coarsen quantization");
+          keys_.push_back(key);
+          usage_.push_back(
+              static_cast<std::uint16_t>(Profile::unpack(shape_, key).total_usage()));
+          graph_.add_node();
+          next.push_back(it->second);
+        }
+        graph_.add_edge(from, it->second);
+      }
+    }
+    frontier = std::move(next);
+  }
+  graph_.finalize();
+}
+
+std::optional<NodeId> ProfileGraph::best_node() const {
+  return find_node(best_profile(shape_).pack(shape_));
+}
+
+std::optional<NodeId> ProfileGraph::find_node(ProfileKey key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+double ProfileGraph::utilization(NodeId node) const {
+  PRVM_REQUIRE(node < keys_.size(), "node out of range");
+  return static_cast<double>(usage_[node]) / static_cast<double>(shape_.total_capacity());
+}
+
+std::vector<NodeId> ProfileGraph::sink_nodes() const {
+  std::vector<NodeId> sinks;
+  for (NodeId u = 0; u < graph_.node_count(); ++u) {
+    if (graph_.out_degree(u) == 0) sinks.push_back(u);
+  }
+  return sinks;
+}
+
+std::vector<NodeId> ProfileGraph::successors_for_demand(NodeId node,
+                                                        std::size_t demand_index) const {
+  PRVM_REQUIRE(node < keys_.size(), "node out of range");
+  PRVM_REQUIRE(demand_index < demands_.size(), "demand index out of range");
+  const Profile profile = profile_of(node);
+  std::vector<NodeId> result;
+  for (ProfileKey key : enumerate_successor_keys(shape_, profile, demands_[demand_index])) {
+    const auto it = index_.find(key);
+    PRVM_CHECK(it != index_.end(), "successor missing from graph");
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+}  // namespace prvm

@@ -1,0 +1,74 @@
+// The PageRankVM profile graph (paper §V-B, Algorithm 1 line 1).
+//
+// Nodes are the canonical PM usage profiles reachable from the empty profile
+// by repeatedly accommodating VMs from the given VM-type set; an edge P -> P'
+// exists when P' results from placing one VM (any type, any anti-collocation
+// permutation) on P. The graph is a DAG because each placement strictly
+// increases total usage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pagerank/graph.hpp"
+#include "profile/permutation.hpp"
+#include "profile/profile.hpp"
+
+namespace prvm {
+
+struct ProfileGraphOptions {
+  /// Safety valve: building aborts (throws) past this many nodes so a
+  /// mis-quantized catalog cannot consume all memory.
+  std::size_t max_nodes = 8'000'000;
+  /// Worker threads for frontier expansion; 0 = hardware concurrency.
+  unsigned threads = 0;
+};
+
+class ProfileGraph {
+ public:
+  /// Builds the reachable profile graph for one shape and VM-type set.
+  /// Demands are validated against the shape. Every demand must be
+  /// non-empty (a VM that consumes nothing would make the graph cyclic).
+  ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> demands,
+               const ProfileGraphOptions& options = {});
+
+  const ProfileShape& shape() const { return shape_; }
+  const std::vector<QuantizedDemand>& demands() const { return demands_; }
+  const Digraph& graph() const { return graph_; }
+
+  std::size_t node_count() const { return keys_.size(); }
+
+  /// The empty profile's node (always id 0).
+  NodeId zero_node() const { return 0; }
+
+  /// Node of the full-capacity profile, if reachable from empty.
+  std::optional<NodeId> best_node() const;
+
+  std::optional<NodeId> find_node(ProfileKey key) const;
+  ProfileKey key_of(NodeId node) const { return keys_[node]; }
+  Profile profile_of(NodeId node) const { return Profile::unpack(shape_, keys_[node]); }
+
+  /// Utilization in [0,1] of a node's profile (cached).
+  double utilization(NodeId node) const;
+
+  /// Nodes with no outgoing edges: profiles that cannot accommodate any
+  /// further VM — the "endpoints" of the BPRU definition.
+  std::vector<NodeId> sink_nodes() const;
+
+  /// Re-enumerates the distinct successors of `node` under demand `t`
+  /// (used by the score-table best-successor pass; successors per demand
+  /// are not stored to keep the graph memory-bounded).
+  std::vector<NodeId> successors_for_demand(NodeId node, std::size_t demand_index) const;
+
+ private:
+  ProfileShape shape_;
+  std::vector<QuantizedDemand> demands_;
+  Digraph graph_;
+  std::vector<ProfileKey> keys_;
+  std::vector<std::uint16_t> usage_;  ///< total usage per node
+  std::unordered_map<ProfileKey, NodeId> index_;
+};
+
+}  // namespace prvm

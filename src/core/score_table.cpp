@@ -1,0 +1,277 @@
+#include "core/score_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "core/bpru.hpp"
+
+namespace prvm {
+
+namespace {
+
+// FNV-1a, good enough for a cache fingerprint (not security-relevant).
+class Fnv {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix_double(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+constexpr char kMagic[8] = {'P', 'R', 'V', 'M', 'S', 'C', 'R', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  PRVM_REQUIRE(is.good(), "truncated score-table file");
+}
+
+}  // namespace
+
+std::string ScoreTable::digest(const ProfileShape& shape,
+                               const std::vector<QuantizedDemand>& demands,
+                               const ScoreTableOptions& options) {
+  Fnv fnv;
+  for (const DimensionGroup& g : shape.groups()) {
+    fnv.mix(static_cast<std::uint64_t>(g.kind));
+    fnv.mix(static_cast<std::uint64_t>(g.count));
+    fnv.mix(static_cast<std::uint64_t>(g.capacity));
+  }
+  fnv.mix(demands.size());
+  for (const QuantizedDemand& d : demands) {
+    for (const auto& items : d.group_items) {
+      fnv.mix(items.size());
+      for (int item : items) fnv.mix(static_cast<std::uint64_t>(item));
+    }
+  }
+  fnv.mix_double(options.pagerank.damping);
+  fnv.mix_double(options.pagerank.epsilon);
+  fnv.mix(static_cast<std::uint64_t>(options.direction));
+  fnv.mix(static_cast<std::uint64_t>(options.apply_bpru));
+  fnv.mix(static_cast<std::uint64_t>(options.normalize_to_max));
+  std::ostringstream os;
+  os << std::hex << fnv.value();
+  return os.str();
+}
+
+ScoreTable ScoreTable::build(const ProfileGraph& graph, const ScoreTableOptions& options) {
+  const PageRankResult pr = [&] {
+    if (options.direction == VoteDirection::kForwardAsPrinted) {
+      return compute_pagerank(graph.graph(), options.pagerank);
+    }
+    // Reverse every edge and run the identical iteration with the teleport
+    // mass pinned on the best reachable profile(s): rank(P) becomes the
+    // damped, branching-discounted weight of the paths P -> best — the
+    // "convergence of transferring to the best profile" of §V-A.
+    Digraph reversed(graph.graph().node_count());
+    for (NodeId u = 0; u < graph.graph().node_count(); ++u) {
+      for (NodeId v : graph.graph().successors(u)) reversed.add_edge(v, u);
+    }
+    reversed.finalize();
+    // Teleport to the sinks with maximum utilization (the best profile when
+    // the VM set can tile the capacity exactly).
+    const std::vector<NodeId> sinks = graph.sink_nodes();
+    PRVM_CHECK(!sinks.empty(), "a finite profile DAG must have sinks");
+    double best_util = 0.0;
+    for (NodeId s : sinks) best_util = std::max(best_util, graph.utilization(s));
+    std::vector<double> teleport(graph.graph().node_count(), 0.0);
+    for (NodeId s : sinks) {
+      if (graph.utilization(s) >= best_util - 1e-12) teleport[s] = 1.0;
+    }
+    return compute_pagerank(reversed, options.pagerank, teleport);
+  }();
+
+  std::vector<double> scores = pr.scores;
+  if (options.apply_bpru) {
+    const std::vector<double> bpru = compute_bpru(graph);
+    for (std::size_t i = 0; i < scores.size(); ++i) scores[i] *= bpru[i];
+  }
+  if (options.normalize_to_max) {
+    const double max = *std::max_element(scores.begin(), scores.end());
+    if (max > 0.0) {
+      for (double& s : scores) s /= max;
+    }
+  }
+
+  ScoreTable table;
+  table.shape_ = graph.shape();
+  table.demand_count_ = graph.demands().size();
+  table.digest_ = digest(graph.shape(), graph.demands(), options);
+  table.iterations_ = pr.iterations;
+  table.converged_ = pr.converged;
+
+  const std::size_t n = graph.node_count();
+  table.keys_.resize(n);
+  table.scores_.resize(n);
+  table.index_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    table.keys_[u] = graph.key_of(u);
+    table.scores_[u] = static_cast<float>(scores[u]);
+    table.index_.emplace(table.keys_[u], u);
+  }
+
+  // Best-successor pass: for every (profile, VM type), the highest-scoring
+  // canonical outcome across anti-collocation permutations. Embarrassingly
+  // parallel over nodes.
+  table.best_.assign(n * table.demand_count_, BestEntry{});
+  const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  auto work = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      for (std::size_t t = 0; t < table.demand_count_; ++t) {
+        BestEntry entry;
+        for (NodeId v : graph.successors_for_demand(static_cast<NodeId>(u), t)) {
+          const auto s = static_cast<float>(scores[v]);
+          if (entry.successor == kNoFit || s > entry.score) {
+            entry.score = s;
+            entry.successor = v;
+          }
+        }
+        table.best_[u * table.demand_count_ + t] = entry;
+      }
+    }
+  };
+  if (threads <= 1 || n < 256) {
+    work(0, n);
+  } else {
+    std::vector<std::thread> pool;
+    const std::size_t chunk = (n + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      pool.emplace_back(work, begin, end);
+    }
+    for (std::thread& th : pool) th.join();
+  }
+  return table;
+}
+
+std::optional<double> ScoreTable::find(ProfileKey key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return static_cast<double>(scores_[it->second]);
+}
+
+double ScoreTable::score(ProfileKey key) const {
+  const auto s = find(key);
+  PRVM_REQUIRE(s.has_value(), "profile not present in score table");
+  return *s;
+}
+
+std::optional<ScoreTable::Best> ScoreTable::best_after(ProfileKey current,
+                                                       std::size_t demand_index) const {
+  PRVM_REQUIRE(demand_index < demand_count_, "demand index out of range");
+  const auto it = index_.find(current);
+  PRVM_REQUIRE(it != index_.end(), "profile not present in score table");
+  const BestEntry& entry = best_[it->second * demand_count_ + demand_index];
+  if (entry.successor == kNoFit) return std::nullopt;
+  return Best{static_cast<double>(entry.score), keys_[entry.successor]};
+}
+
+void ScoreTable::save(const std::filesystem::path& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  PRVM_REQUIRE(os.is_open(), "cannot open score-table file for writing: " + path.string());
+  os.write(kMagic, sizeof kMagic);
+
+  const std::uint64_t digest_len = digest_.size();
+  write_pod(os, digest_len);
+  os.write(digest_.data(), static_cast<std::streamsize>(digest_.size()));
+
+  const std::uint64_t group_count = shape_.groups().size();
+  write_pod(os, group_count);
+  for (const DimensionGroup& g : shape_.groups()) {
+    write_pod(os, static_cast<std::int32_t>(g.kind));
+    write_pod(os, static_cast<std::int32_t>(g.count));
+    write_pod(os, static_cast<std::int32_t>(g.capacity));
+  }
+
+  write_pod(os, static_cast<std::uint64_t>(demand_count_));
+  write_pod(os, static_cast<std::uint64_t>(keys_.size()));
+  os.write(reinterpret_cast<const char*>(keys_.data()),
+           static_cast<std::streamsize>(keys_.size() * sizeof(ProfileKey)));
+  os.write(reinterpret_cast<const char*>(scores_.data()),
+           static_cast<std::streamsize>(scores_.size() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(best_.data()),
+           static_cast<std::streamsize>(best_.size() * sizeof(BestEntry)));
+  write_pod(os, static_cast<std::int32_t>(iterations_));
+  write_pod(os, static_cast<std::uint8_t>(converged_));
+  PRVM_REQUIRE(os.good(), "error writing score-table file: " + path.string());
+}
+
+ScoreTable ScoreTable::load(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  PRVM_REQUIRE(is.is_open(), "cannot open score-table file: " + path.string());
+  char magic[sizeof kMagic];
+  is.read(magic, sizeof magic);
+  PRVM_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+               "not a score-table file: " + path.string());
+
+  ScoreTable table;
+  std::uint64_t digest_len = 0;
+  read_pod(is, digest_len);
+  PRVM_REQUIRE(digest_len < 256, "corrupt score-table digest");
+  table.digest_.resize(digest_len);
+  is.read(table.digest_.data(), static_cast<std::streamsize>(digest_len));
+
+  std::uint64_t group_count = 0;
+  read_pod(is, group_count);
+  PRVM_REQUIRE(group_count >= 1 && group_count < 64, "corrupt score-table shape");
+  std::vector<DimensionGroup> groups;
+  groups.reserve(group_count);
+  for (std::uint64_t g = 0; g < group_count; ++g) {
+    std::int32_t kind = 0, count = 0, capacity = 0;
+    read_pod(is, kind);
+    read_pod(is, count);
+    read_pod(is, capacity);
+    groups.push_back(DimensionGroup{static_cast<ResourceKind>(kind), count, capacity});
+  }
+  table.shape_ = ProfileShape(std::move(groups));
+
+  std::uint64_t demand_count = 0, node_count = 0;
+  read_pod(is, demand_count);
+  read_pod(is, node_count);
+  PRVM_REQUIRE(node_count < static_cast<std::uint64_t>(kNoFit), "corrupt score-table node count");
+  PRVM_REQUIRE(demand_count < 1024, "corrupt score-table demand count");
+  table.demand_count_ = demand_count;
+  table.keys_.resize(node_count);
+  table.scores_.resize(node_count);
+  table.best_.resize(node_count * demand_count);
+  is.read(reinterpret_cast<char*>(table.keys_.data()),
+          static_cast<std::streamsize>(node_count * sizeof(ProfileKey)));
+  is.read(reinterpret_cast<char*>(table.scores_.data()),
+          static_cast<std::streamsize>(node_count * sizeof(float)));
+  is.read(reinterpret_cast<char*>(table.best_.data()),
+          static_cast<std::streamsize>(table.best_.size() * sizeof(BestEntry)));
+  std::int32_t iterations = 0;
+  std::uint8_t converged = 0;
+  read_pod(is, iterations);
+  read_pod(is, converged);
+  table.iterations_ = iterations;
+  table.converged_ = converged != 0;
+
+  table.index_.reserve(node_count);
+  for (NodeId u = 0; u < node_count; ++u) table.index_.emplace(table.keys_[u], u);
+  return table;
+}
+
+}  // namespace prvm

@@ -1,0 +1,120 @@
+// The Profile → PageRank-score table (paper §V-B) plus the best-successor
+// cache that makes Algorithm 2's inner loop a hash lookup.
+//
+// Build pipeline: profile graph -> Algorithm 1 PageRank -> BPRU discount ->
+// optional normalization to the table maximum (so scores from differently
+// sized graphs — M3 vs C3 PMs — are comparable) -> per-(profile, VM-type)
+// best successor.
+//
+// The table is self-contained after build (the graph can be discarded) and
+// can be saved to / loaded from a binary cache file, because building the
+// EC2-scale graphs takes seconds-to-minutes and the paper notes the table
+// "is relatively stable during a certain period of time".
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/profile_graph.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace prvm {
+
+/// Which way votes flow in the profile graph.
+///
+/// The paper's prose defines profile quality as "the capability of this
+/// profile to develop to the best profile" (§V-A) and ranks [3,3,3,3] above
+/// [4,4,2,2]; but Algorithm 1 *as printed* (each profile votes for its
+/// successors, uniform teleport) produces the opposite ordering — nearly
+/// saturated profiles have few out-links, so their votes concentrate and
+/// rank pools in dead-end-adjacent deep profiles, which measurably degrades
+/// placement (hot cores, migration storms). kReverseToBest runs the
+/// identical iteration on the reversed graph with the teleport mass pinned
+/// on the best reachable profile: rank(P) is then the damped,
+/// branching-discounted weight of all paths P -> best — exactly the
+/// "convergence of transferring to the best profile", preferring fuller
+/// (closer to best), balanced (more ways to reach best) profiles and
+/// zeroing dead ends. It is the default; kForwardAsPrinted reproduces the
+/// literal pseudocode and is exercised by the ablation bench.
+enum class VoteDirection { kReverseToBest, kForwardAsPrinted };
+
+struct ScoreTableOptions {
+  PageRankOptions pagerank;
+  VoteDirection direction = VoteDirection::kReverseToBest;
+  /// Apply the BPRU discount (Algorithm 1 line 19). Off only for ablation.
+  bool apply_bpru = true;
+  /// Rescale so the highest score is 1.0, making tables of different PM
+  /// types comparable during placement.
+  bool normalize_to_max = true;
+};
+
+class ScoreTable {
+ public:
+  /// Builds the table from a freshly constructed profile graph.
+  static ScoreTable build(const ProfileGraph& graph, const ScoreTableOptions& options = {});
+
+  const ProfileShape& shape() const { return shape_; }
+  std::size_t size() const { return keys_.size(); }
+  std::size_t demand_count() const { return demand_count_; }
+
+  /// Score of a canonical profile; nullopt if the profile is not in the
+  /// graph (unreachable from empty under the VM set).
+  std::optional<double> find(ProfileKey key) const;
+
+  /// Score of a profile known to be in the table (throws otherwise).
+  double score(ProfileKey key) const;
+
+  struct Best {
+    double score = 0.0;       ///< score of the best successor profile
+    ProfileKey successor = 0; ///< that profile's key
+  };
+
+  /// Best resulting profile of placing VM type `demand_index` on `current`
+  /// (the max over anti-collocation permutations, Algorithm 2 lines 6-7);
+  /// nullopt if the VM does not fit.
+  std::optional<Best> best_after(ProfileKey current, std::size_t demand_index) const;
+
+  /// Diagnostics from the build.
+  int pagerank_iterations() const { return iterations_; }
+  bool pagerank_converged() const { return converged_; }
+
+  /// Binary persistence. The file embeds a digest of (shape, options,
+  /// demand fingerprint); load() verifies it and throws on mismatch.
+  void save(const std::filesystem::path& path) const;
+  static ScoreTable load(const std::filesystem::path& path);
+
+  /// Digest string identifying (shape, demands, options); doubles as the
+  /// cache-file naming scheme. Computable without building the graph.
+  static std::string digest(const ProfileShape& shape,
+                            const std::vector<QuantizedDemand>& demands,
+                            const ScoreTableOptions& options);
+
+  /// The digest this table was built with (for cache validation).
+  const std::string& digest_string() const { return digest_; }
+
+ private:
+  ScoreTable() = default;
+
+  ProfileShape shape_{std::vector<DimensionGroup>{DimensionGroup{}}};
+  std::vector<ProfileKey> keys_;
+  std::vector<float> scores_;
+  // Flat [node * demand_count + demand] best-successor entries;
+  // kNoFit marks "VM type does not fit this profile".
+  struct BestEntry {
+    float score = 0.0F;
+    NodeId successor = kNoFit;
+  };
+  static constexpr NodeId kNoFit = static_cast<NodeId>(-1);
+  std::vector<BestEntry> best_;
+  std::size_t demand_count_ = 0;
+  std::unordered_map<ProfileKey, NodeId> index_;
+  std::string digest_;
+  int iterations_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace prvm

@@ -1,0 +1,41 @@
+#include "energy/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+PowerModel::PowerModel(std::array<double, 6> watts) : watts_(watts) {
+  for (std::size_t i = 0; i < watts_.size(); ++i) {
+    PRVM_REQUIRE(watts_[i] >= 0.0, "power must be non-negative");
+    PRVM_REQUIRE(i == 0 || watts_[i] >= watts_[i - 1], "power must be non-decreasing");
+  }
+}
+
+double PowerModel::power_watts(double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  const double pos = u * 5.0;  // anchor spacing is 20 %
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo >= 5) return watts_[5];
+  const double frac = pos - static_cast<double>(lo);
+  return watts_[lo] * (1.0 - frac) + watts_[lo + 1] * frac;
+}
+
+const PowerModel& power_model_for(std::string_view cpu_model) {
+  // Table III verbatim.
+  static const PowerModel e5_2670({337.3, 349.2, 363.6, 378.0, 396.0, 417.6});
+  static const PowerModel e5_2680({394.4, 408.3, 425.2, 442.0, 463.1, 488.3});
+  if (cpu_model == "E5-2670") return e5_2670;
+  if (cpu_model == "E5-2680") return e5_2680;
+  PRVM_REQUIRE(false, "unknown CPU model: " + std::string(cpu_model));
+  return e5_2670;  // unreachable
+}
+
+double watts_to_kwh(double watts, double seconds) {
+  return watts * seconds / 3.6e6;
+}
+
+}  // namespace prvm

@@ -1,0 +1,41 @@
+// Server power model (paper Table III and §VI-A "Energy Model").
+//
+// Power draw as a piecewise-linear function of CPU utilization, anchored at
+// the 0/20/40/60/80/100 % measurements. Energy is power integrated over the
+// epochs a PM is active (the paper: "a fixed operation cost is incurred for
+// a PM as long as the PM is used").
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace prvm {
+
+class PowerModel {
+ public:
+  /// Watts at CPU utilization 0 %, 20 %, ..., 100 % (6 anchor points,
+  /// non-decreasing).
+  explicit PowerModel(std::array<double, 6> watts);
+
+  /// Instantaneous power at a utilization in [0,1] (clamped), linearly
+  /// interpolated between anchors.
+  double power_watts(double utilization) const;
+
+  /// Idle (0 %) and peak (100 %) draw.
+  double idle_watts() const { return watts_.front(); }
+  double peak_watts() const { return watts_.back(); }
+
+  const std::array<double, 6>& anchors() const { return watts_; }
+
+ private:
+  std::array<double, 6> watts_;
+};
+
+/// Table III models by CPU model name ("E5-2670", "E5-2680"). Throws on an
+/// unknown model.
+const PowerModel& power_model_for(std::string_view cpu_model);
+
+/// Converts watts sustained over a duration to kWh.
+double watts_to_kwh(double watts, double seconds);
+
+}  // namespace prvm

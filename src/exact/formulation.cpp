@@ -1,0 +1,53 @@
+#include "exact/formulation.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_set>
+
+namespace prvm {
+
+bool verify_assignment(const ExactInstance& instance, const ExactAssignment& assignment) {
+  if (assignment.size() != instance.vms.size()) return false;  // constraint (1)
+  try {
+    Datacenter dc(instance.catalog, instance.pm_types_of);
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      // place() enforces capacity (5)(6)(10), anti-collocation (3)(4)(8)(9)
+      // and single placement (1)(2)(7); it throws on any violation.
+      dc.place(assignment[i].pm, instance.vms[i], assignment[i].placement);
+    }
+    // Additionally require that each VM's assignment shape matches its
+    // catalog demand (right number of items per group with right sizes):
+    // place() validated dims and amounts, but not the multiset of amounts.
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      const std::size_t pm_type = instance.pm_types_of.at(assignment[i].pm);
+      const auto& demand = instance.catalog.demand(pm_type, instance.vms[i].type_index);
+      if (!demand.has_value()) return false;
+      // Collect assigned amounts per group and compare as multisets.
+      const ProfileShape& shape = instance.catalog.shape(pm_type);
+      std::vector<std::vector<int>> amounts(shape.group_count());
+      for (auto [dim, amount] : assignment[i].placement.assignments) {
+        for (std::size_t g = shape.group_count(); g-- > 0;) {
+          if (dim >= shape.group_offset(g)) {
+            amounts[g].push_back(amount);
+            break;
+          }
+        }
+      }
+      for (auto& a : amounts) std::sort(a.begin(), a.end(), std::greater<int>());
+      if (amounts != demand->group_items) return false;
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+double assignment_cost(const ExactInstance& instance, const ExactAssignment& assignment) {
+  std::unordered_set<PmIndex> used;
+  for (const VmAssignment& a : assignment) used.insert(a.pm);
+  double cost = 0.0;
+  for (PmIndex j : used) cost += instance.cost_of(j);
+  return cost;
+}
+
+}  // namespace prvm

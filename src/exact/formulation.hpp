@@ -1,0 +1,47 @@
+// The paper's §IV analytic model in executable form.
+//
+// An ExactInstance is the tuple (catalog, PM fleet, VM requests, per-PM
+// operating costs s_j); an ExactAssignment fixes the x_ij (VM -> PM) and
+// y/z (vCPU -> core, vdisk -> disk) variables via concrete
+// DemandPlacements. verify_assignment() checks constraints (1)-(10) by
+// replaying the assignment through the Datacenter ledger, and
+// assignment_cost() evaluates objective (11).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/datacenter.hpp"
+
+namespace prvm {
+
+struct ExactInstance {
+  Catalog catalog;
+  std::vector<std::size_t> pm_types_of;  ///< PM fleet: type index per PM
+  std::vector<Vm> vms;                   ///< the request list V
+  /// s_j per PM; empty means every PM costs 1 (objective = #PMs used).
+  std::vector<double> pm_costs;
+
+  double cost_of(PmIndex j) const {
+    return pm_costs.empty() ? 1.0 : pm_costs.at(j);
+  }
+};
+
+/// One VM's placement: the PM and the concrete dimension assignments.
+struct VmAssignment {
+  PmIndex pm = 0;
+  DemandPlacement placement;
+};
+
+/// A full assignment, parallel to instance.vms.
+using ExactAssignment = std::vector<VmAssignment>;
+
+/// Replays the assignment through a Datacenter; true iff constraints (1)-(10)
+/// all hold (every VM placed exactly once, capacities respected,
+/// anti-collocation respected).
+bool verify_assignment(const ExactInstance& instance, const ExactAssignment& assignment);
+
+/// Objective (11): sum of s_j over PMs hosting at least one VM.
+double assignment_cost(const ExactInstance& instance, const ExactAssignment& assignment);
+
+}  // namespace prvm

@@ -1,0 +1,179 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "sim/migration_policy.hpp"
+#include "trace/google_cluster.hpp"
+#include "trace/planetlab.hpp"
+
+namespace prvm {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPlanetLab: return "PlanetLab";
+    case TraceKind::kGoogleCluster: return "Google";
+  }
+  return "?";
+}
+
+Summary Ec2ExperimentResult::summarize(
+    const std::function<double(const SimMetrics&)>& metric) const {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const SimMetrics& m : runs) values.push_back(metric(m));
+  return Summary::of(values);
+}
+
+Summary Ec2ExperimentResult::pms_used() const {
+  return summarize([](const SimMetrics& m) { return static_cast<double>(m.pms_used_max); });
+}
+Summary Ec2ExperimentResult::energy_kwh() const {
+  return summarize([](const SimMetrics& m) { return m.energy_kwh; });
+}
+Summary Ec2ExperimentResult::migrations() const {
+  return summarize([](const SimMetrics& m) { return static_cast<double>(m.vm_migrations); });
+}
+Summary Ec2ExperimentResult::slo_percent() const {
+  return summarize([](const SimMetrics& m) { return m.slo_violation_percent; });
+}
+
+Ec2Experiment::Ec2Experiment(Ec2ExperimentConfig config)
+    : config_(config), catalog_(ec2_sim_catalog(config.cpu_alloc_factor)) {
+  PRVM_REQUIRE(config_.vm_count > 0, "experiment needs VMs");
+  PRVM_REQUIRE(config_.repetitions > 0, "experiment needs at least one repetition");
+  tables_ = std::make_shared<ScoreTableSet>(build_score_tables(catalog_));
+}
+
+SimMetrics Ec2Experiment::run_once(AlgorithmKind kind, std::size_t repetition) const {
+  // Repetition seeds are decorrelated but reproducible.
+  Rng rng(config_.seed + 0x1000003 * (repetition + 1));
+
+  // Workload: weighted random VM mix, random trace binding.
+  const std::vector<double> mix =
+      config_.vm_mix.empty() ? default_vm_mix(catalog_) : config_.vm_mix;
+  std::vector<Vm> vms = weighted_vm_requests(rng, catalog_, config_.vm_count, mix);
+
+  const std::size_t trace_pool = std::min<std::size_t>(config_.vm_count, 512);
+  Rng trace_rng = rng.fork(0x7ace);
+  TraceSet traces = [&] {
+    if (config_.trace == TraceKind::kPlanetLab) {
+      const PlanetLabTraceGenerator generator;
+      return TraceSet::from_generator(generator, trace_rng, trace_pool, config_.sim.epochs);
+    }
+    const GoogleClusterTraceGenerator generator;
+    return TraceSet::from_generator(generator, trace_rng, trace_pool, config_.sim.epochs);
+  }();
+  std::vector<std::size_t> binding =
+      random_trace_binding(rng, config_.vm_count, traces.size());
+
+  const std::size_t fleet_size =
+      config_.fleet_size > 0 ? config_.fleet_size : 2 * config_.vm_count;
+  Datacenter dc(catalog_, mixed_pm_fleet(catalog_, fleet_size));
+
+  auto algorithm = make_algorithm(kind, tables_);
+  auto policy = default_policy_for(kind, tables_);
+
+  CloudSimulation simulation(std::move(dc), std::move(vms), std::move(binding),
+                             std::move(traces), config_.sim);
+  return simulation.run(*algorithm, *policy);
+}
+
+namespace {
+
+// Bump when simulation semantics change so stale cached results are ignored.
+constexpr int kResultsVersion = 3;
+
+std::filesystem::path results_cache_file(const Ec2ExperimentConfig& config,
+                                         AlgorithmKind kind) {
+  std::ostringstream key;
+  key << kResultsVersion << '|' << config.vm_count << '|' << config.repetitions << '|'
+      << config.seed << '|' << static_cast<int>(config.trace) << '|' << config.sim.epochs
+      << '|' << config.sim.epoch_seconds << '|' << config.sim.overload_threshold << '|'
+      << static_cast<int>(config.sim.cpu_model) << '|' << config.sim.burst_factor << '|'
+      << static_cast<int>(config.sim.overload_rule) << '|' << config.cpu_alloc_factor << '|'
+      << config.fleet_size << '|' << to_string(kind);
+  for (double w : config.vm_mix) key << '|' << w;
+  // FNV-1a over the key string.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key.str()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::ostringstream name;
+  name << "simresult-" << std::hex << h << ".txt";
+  return default_cache_dir() / name.str();
+}
+
+bool load_cached_runs(const std::filesystem::path& file, std::size_t expected,
+                      std::vector<SimMetrics>& runs) {
+  std::ifstream is(file);
+  if (!is.is_open()) return false;
+  std::vector<SimMetrics> loaded;
+  SimMetrics m;
+  while (is >> m.pms_used_initial >> m.pms_used_max >> m.pms_used_ever >> m.vm_migrations >>
+         m.failed_migrations >> m.overload_events >> m.rejected_vms >> m.energy_kwh >>
+         m.slo_violation_percent >> m.placement_seconds >> m.simulated_seconds) {
+    loaded.push_back(m);
+  }
+  if (loaded.size() != expected) return false;
+  runs = std::move(loaded);
+  return true;
+}
+
+void save_cached_runs(const std::filesystem::path& file, const std::vector<SimMetrics>& runs) {
+  std::error_code ec;
+  std::filesystem::create_directories(file.parent_path(), ec);
+  if (ec) return;
+  std::ofstream os(file, std::ios::trunc);
+  if (!os.is_open()) return;
+  os.precision(17);
+  for (const SimMetrics& m : runs) {
+    os << m.pms_used_initial << ' ' << m.pms_used_max << ' ' << m.pms_used_ever << ' '
+       << m.vm_migrations << ' ' << m.failed_migrations << ' ' << m.overload_events << ' '
+       << m.rejected_vms << ' ' << m.energy_kwh << ' ' << m.slo_violation_percent << ' '
+       << m.placement_seconds << ' ' << m.simulated_seconds << '\n';
+  }
+}
+
+}  // namespace
+
+Ec2ExperimentResult Ec2Experiment::run(AlgorithmKind kind) const {
+  Ec2ExperimentResult result;
+  result.algorithm = kind;
+
+  const std::filesystem::path cache_file = results_cache_file(config_, kind);
+  if (config_.cache_results && load_cached_runs(cache_file, config_.repetitions, result.runs)) {
+    return result;
+  }
+  result.runs.resize(config_.repetitions);
+
+  unsigned threads = config_.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(config_.repetitions));
+
+  if (threads <= 1) {
+    for (std::size_t r = 0; r < config_.repetitions; ++r) result.runs[r] = run_once(kind, r);
+  } else {
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t r = next.fetch_add(1);
+          if (r >= config_.repetitions) return;
+          result.runs[r] = run_once(kind, r);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+  if (config_.cache_results) save_cached_runs(cache_file, result.runs);
+  return result;
+}
+
+}  // namespace prvm

@@ -1,0 +1,74 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "placement/algorithm_factory.hpp"
+
+namespace prvm {
+
+std::string summary_cell(const Summary& summary, int precision) {
+  std::ostringstream os;
+  os << format_fixed(summary.median, precision) << " [" << format_fixed(summary.p1, precision)
+     << "; " << format_fixed(summary.p99, precision) << "]";
+  return os.str();
+}
+
+TextTable figure_table(const std::string& x_label, const std::vector<FigurePoint>& points,
+                       int precision) {
+  const std::vector<AlgorithmKind>& kinds = all_algorithm_kinds();
+  std::vector<std::string> header{x_label};
+  for (AlgorithmKind k : kinds) header.emplace_back(to_string(k));
+  TextTable table(std::move(header));
+
+  // Group by x, preserving first-seen order.
+  std::vector<double> xs;
+  for (const FigurePoint& p : points) {
+    if (std::find(xs.begin(), xs.end(), p.x) == xs.end()) xs.push_back(p.x);
+  }
+  for (double x : xs) {
+    table.row().add(format_fixed(x, 0));
+    for (AlgorithmKind k : kinds) {
+      const auto it = std::find_if(points.begin(), points.end(), [&](const FigurePoint& p) {
+        return p.x == x && p.algorithm == k;
+      });
+      table.add(it == points.end() ? std::string("-") : summary_cell(it->summary, precision));
+    }
+  }
+  return table;
+}
+
+std::string ordering_verdict(const std::vector<FigurePoint>& points) {
+  // The paper's order, best first.
+  const std::vector<AlgorithmKind> order = {AlgorithmKind::kPageRankVm, AlgorithmKind::kCompVm,
+                                            AlgorithmKind::kFfdSum, AlgorithmKind::kFirstFit};
+  std::vector<double> xs;
+  for (const FigurePoint& p : points) {
+    if (std::find(xs.begin(), xs.end(), p.x) == xs.end()) xs.push_back(p.x);
+  }
+  std::ostringstream os;
+  bool all_ok = true;
+  for (double x : xs) {
+    std::map<AlgorithmKind, double> medians;
+    for (const FigurePoint& p : points) {
+      if (p.x == x) medians[p.algorithm] = p.summary.median;
+    }
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const auto a = medians.find(order[i]);
+      const auto b = medians.find(order[i + 1]);
+      if (a == medians.end() || b == medians.end()) continue;
+      if (a->second > b->second) {
+        all_ok = false;
+        os << "  x=" << format_fixed(x, 0) << ": " << to_string(order[i]) << " ("
+           << format_fixed(a->second, 2) << ") > " << to_string(order[i + 1]) << " ("
+           << format_fixed(b->second, 2) << ")\n";
+      }
+    }
+  }
+  if (all_ok) return "ordering PageRankVM <= CompVM <= FFDSum <= FF holds at every x\n";
+  return "ordering violations:\n" + os.str();
+}
+
+}  // namespace prvm

@@ -1,0 +1,35 @@
+// Figure-style reporting: the rows the paper plots, as text tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+/// "median [p1; p99]" — the paper's error-bar presentation.
+std::string summary_cell(const Summary& summary, int precision = 1);
+
+/// One data point of a figure: x value (e.g. #VMs), series (algorithm),
+/// summarized y.
+struct FigurePoint {
+  double x = 0.0;
+  AlgorithmKind algorithm = AlgorithmKind::kPageRankVm;
+  Summary summary;
+};
+
+/// Renders a figure as a table: one row per x value, one column per
+/// algorithm (cells are summary_cell). Algorithms appear in the paper's
+/// reporting order.
+TextTable figure_table(const std::string& x_label, const std::vector<FigurePoint>& points,
+                       int precision = 1);
+
+/// Checks the paper's headline ordering PageRankVM < CompVM < FFDSum < FF
+/// (lower is better) on medians for each x; returns a human-readable
+/// verdict listing any violations.
+std::string ordering_verdict(const std::vector<FigurePoint>& points);
+
+}  // namespace prvm

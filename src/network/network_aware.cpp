@@ -1,0 +1,124 @@
+#include "network/network_aware.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+NetworkAwarePageRankVm::NetworkAwarePageRankVm(
+    std::shared_ptr<const ScoreTableSet> tables,
+    std::shared_ptr<const LeafSpineTopology> topology,
+    std::shared_ptr<const TrafficModel> traffic, NetworkAwareOptions options)
+    : base_(std::move(tables)),
+      topology_(std::move(topology)),
+      traffic_(std::move(traffic)),
+      options_(options) {
+  PRVM_REQUIRE(topology_ != nullptr, "network-aware placement needs a topology");
+  PRVM_REQUIRE(traffic_ != nullptr, "network-aware placement needs a traffic model");
+  PRVM_REQUIRE(options_.locality_weight_factor >= 0.0 && options_.locality_weight_factor <= 1.0,
+               "locality weight factor must be in [0, 1]");
+}
+
+std::optional<double> NetworkAwarePageRankVm::affinity(const Datacenter& dc, PmIndex pm,
+                                                       VmId vm) const {
+  double weight_sum = 0.0;
+  std::size_t placed_peers = 0;
+  for (VmId peer : traffic_->peers_of(vm)) {
+    const auto host = dc.pm_of(peer);
+    if (!host.has_value()) continue;
+    ++placed_peers;
+    weight_sum += topology_->locality_weight(pm, *host);
+  }
+  if (placed_peers == 0) return std::nullopt;
+  return weight_sum / static_cast<double>(placed_peers);
+}
+
+std::optional<PmIndex> NetworkAwarePageRankVm::place(Datacenter& dc, const Vm& vm,
+                                                     const PlacementConstraints& constraints) {
+  const double w = options_.locality_weight_factor;
+
+  // Candidates: every used PM, plus — when the VM has placed peers — one
+  // unused PM in each rack hosting a peer. The latter is what makes the
+  // extension a genuine packing-vs-bandwidth trade-off: when the peers'
+  // racks are already full, a bandwidth-aware placer powers on a rack-local
+  // PM rather than sending the traffic across the spine.
+  std::vector<PmIndex> candidates = dc.used_pms();
+  bool has_peers = false;
+  {
+    std::vector<bool> peer_rack(topology_->rack_count(), false);
+    for (VmId peer : traffic_->peers_of(vm.id)) {
+      const auto host = dc.pm_of(peer);
+      if (!host.has_value()) continue;
+      has_peers = true;
+      peer_rack[topology_->rack_of(*host)] = true;
+    }
+    if (has_peers && w > 0.0) {
+      const std::size_t per_rack = topology_->config().pms_per_rack;
+      for (std::size_t r = 0; r < peer_rack.size(); ++r) {
+        if (!peer_rack[r]) continue;
+        const PmIndex begin = r * per_rack;
+        const PmIndex end = std::min<PmIndex>(begin + per_rack, dc.pm_count());
+        for (PmIndex i = begin; i < end; ++i) {
+          if (dc.pm(i).used()) continue;
+          if (!constraints.allowed(dc, i)) continue;
+          if (!dc.fits(i, vm.type_index)) continue;
+          candidates.push_back(i);
+          break;  // one representative unused PM per peer rack
+        }
+      }
+    }
+  }
+
+  std::optional<PmIndex> best_pm;
+  double best_combined = 0.0;
+  for (PmIndex i : candidates) {
+    if (!constraints.allowed(dc, i)) continue;
+    const auto score = base_.placement_score(dc, i, vm.type_index);
+    if (!score.has_value()) continue;
+    const auto a = affinity(dc, i, vm.id);
+    const double combined = a.has_value() ? (1.0 - w) * *score + w * *a : *score;
+    if (!best_pm.has_value() || combined > best_combined) {
+      best_combined = combined;
+      best_pm = i;
+    }
+  }
+
+  if (!has_peers) {
+    // No placed peers anywhere: behave exactly like plain PageRankVM
+    // (including its unused-PM fallback).
+    return base_.place(dc, vm, constraints);
+  }
+  if (best_pm.has_value()) {
+    // Materialize via the base algorithm's best-permutation logic by
+    // constraining it to the chosen PM.
+    PlacementConstraints pinned;
+    pinned.allow = [target = *best_pm](const Datacenter&, PmIndex candidate) {
+      return candidate == target;
+    };
+    const auto placed = base_.place(dc, vm, pinned);
+    PRVM_CHECK(placed == best_pm, "pinned placement diverged");
+    return placed;
+  }
+  // Nothing used fits: open an unused PM in the rack with the most placed
+  // peers (bandwidth-efficient activation), else first unused.
+  std::optional<PmIndex> fallback;
+  double fallback_affinity = -1.0;
+  for (PmIndex i : dc.unused_pms()) {
+    if (!constraints.allowed(dc, i)) continue;
+    if (!dc.fits(i, vm.type_index)) continue;
+    const double a = affinity(dc, i, vm.id).value_or(0.0);
+    if (a > fallback_affinity) {
+      fallback_affinity = a;
+      fallback = i;
+    }
+  }
+  if (!fallback.has_value()) return std::nullopt;
+  PlacementConstraints pinned;
+  pinned.allow = [target = *fallback](const Datacenter&, PmIndex candidate) {
+    return candidate == target;
+  };
+  return base_.place(dc, vm, pinned);
+}
+
+}  // namespace prvm

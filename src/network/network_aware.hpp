@@ -1,0 +1,52 @@
+// Network-aware PageRankVM — the paper's §VII future work, implemented.
+//
+// Algorithm 2 is extended with a locality factor: a candidate PM's PageRank
+// score is blended with the topological closeness to the VM's already
+// placed traffic peers,
+//
+//   combined(pm) = (1 - w) * pagerank_score(pm) + w * affinity(pm, vm)
+//
+// where affinity is the traffic-weighted mean locality_weight (1 same PM,
+// 1/2 same rack, 1/4 across racks) over placed peers, and w is
+// locality_weight_factor. w = 0 degenerates to plain PageRankVM; w = 1
+// places purely for bandwidth. VMs with no placed peers fall back to the
+// plain score, so packing quality is untouched for ungrouped workloads.
+#pragma once
+
+#include <memory>
+
+#include "network/topology.hpp"
+#include "network/traffic.hpp"
+#include "placement/pagerank_vm.hpp"
+
+namespace prvm {
+
+struct NetworkAwareOptions {
+  double locality_weight_factor = 0.5;  ///< w in [0, 1]
+};
+
+class NetworkAwarePageRankVm final : public PlacementAlgorithm {
+ public:
+  NetworkAwarePageRankVm(std::shared_ptr<const ScoreTableSet> tables,
+                         std::shared_ptr<const LeafSpineTopology> topology,
+                         std::shared_ptr<const TrafficModel> traffic,
+                         NetworkAwareOptions options = {});
+
+  std::string_view name() const override { return "NetworkPageRankVM"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kPageRankVm; }
+
+  std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                               const PlacementConstraints& constraints = {}) override;
+
+  /// Locality affinity of hosting `vm` on `pm` given its placed peers, in
+  /// [0, 1]; nullopt when the VM has no placed peers (exposed for tests).
+  std::optional<double> affinity(const Datacenter& dc, PmIndex pm, VmId vm) const;
+
+ private:
+  PageRankVm base_;
+  std::shared_ptr<const LeafSpineTopology> topology_;
+  std::shared_ptr<const TrafficModel> traffic_;
+  NetworkAwareOptions options_;
+};
+
+}  // namespace prvm

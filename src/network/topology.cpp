@@ -1,0 +1,34 @@
+#include "network/topology.hpp"
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+LeafSpineTopology::LeafSpineTopology(std::size_t pm_count, TopologyConfig config)
+    : pm_count_(pm_count), config_(config) {
+  PRVM_REQUIRE(pm_count_ > 0, "topology needs at least one PM");
+  PRVM_REQUIRE(config_.pms_per_rack > 0, "racks need at least one PM");
+  PRVM_REQUIRE(config_.host_link_gbps > 0.0 && config_.rack_uplink_gbps > 0.0,
+               "link bandwidths must be positive");
+  rack_count_ = (pm_count_ + config_.pms_per_rack - 1) / config_.pms_per_rack;
+}
+
+std::size_t LeafSpineTopology::rack_of(PmIndex pm) const {
+  PRVM_REQUIRE(pm < pm_count_, "PM index out of range");
+  return pm / config_.pms_per_rack;
+}
+
+int LeafSpineTopology::hop_distance(PmIndex a, PmIndex b) const {
+  if (a == b) return 0;
+  return rack_of(a) == rack_of(b) ? 2 : 4;
+}
+
+double LeafSpineTopology::locality_weight(PmIndex a, PmIndex b) const {
+  switch (hop_distance(a, b)) {
+    case 0: return 1.0;
+    case 2: return 0.5;
+    default: return 0.25;
+  }
+}
+
+}  // namespace prvm

@@ -1,0 +1,47 @@
+// Datacenter network topology (paper §VII future work: "incorporating
+// network infrastructure in designing PageRankVM in order to achieve
+// bandwidth efficiency").
+//
+// A two-tier leaf-spine fabric: PMs grouped into racks behind a top-of-rack
+// switch, racks joined by a spine. Communication cost between two placed
+// VMs is measured in hops: 0 within a PM, 2 within a rack (PM-ToR-PM), 4
+// across racks (PM-ToR-spine-ToR-PM). Traffic that crosses the rack uplink
+// is the expensive kind the future-work extension tries to minimize.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/datacenter.hpp"
+
+namespace prvm {
+
+struct TopologyConfig {
+  std::size_t pms_per_rack = 16;
+  double host_link_gbps = 1.0;    ///< PM <-> ToR
+  double rack_uplink_gbps = 10.0; ///< ToR <-> spine
+};
+
+class LeafSpineTopology {
+ public:
+  LeafSpineTopology(std::size_t pm_count, TopologyConfig config = {});
+
+  std::size_t pm_count() const { return pm_count_; }
+  std::size_t rack_count() const { return rack_count_; }
+  const TopologyConfig& config() const { return config_; }
+
+  std::size_t rack_of(PmIndex pm) const;
+
+  /// Hop distance between two PMs: 0 same PM, 2 same rack, 4 across racks.
+  int hop_distance(PmIndex a, PmIndex b) const;
+
+  /// Locality weight in (0, 1]: 1 for same PM, 1/2 same rack, 1/4 across
+  /// racks (2^(-hops/2)) — the discount the network-aware placement uses.
+  double locality_weight(PmIndex a, PmIndex b) const;
+
+ private:
+  std::size_t pm_count_;
+  TopologyConfig config_;
+  std::size_t rack_count_;
+};
+
+}  // namespace prvm

@@ -1,0 +1,78 @@
+#include "network/traffic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+void TrafficModel::add_group(TrafficGroup group) {
+  PRVM_REQUIRE(group.members.size() >= 2, "a traffic group needs at least two members");
+  PRVM_REQUIRE(group.pairwise_mbps >= 0.0, "traffic rate must be non-negative");
+  const std::size_t index = groups_.size();
+  for (VmId vm : group.members) {
+    const auto [it, inserted] = group_of_.emplace(vm, index);
+    PRVM_REQUIRE(inserted, "VM already belongs to a traffic group");
+  }
+  groups_.push_back(std::move(group));
+}
+
+std::vector<VmId> TrafficModel::peers_of(VmId vm) const {
+  const auto it = group_of_.find(vm);
+  if (it == group_of_.end()) return {};
+  std::vector<VmId> peers;
+  for (VmId member : groups_[it->second].members) {
+    if (member != vm) peers.push_back(member);
+  }
+  return peers;
+}
+
+double TrafficModel::rate_of(VmId vm) const {
+  const auto it = group_of_.find(vm);
+  return it == group_of_.end() ? 0.0 : groups_[it->second].pairwise_mbps;
+}
+
+TrafficModel::CostBreakdown TrafficModel::evaluate(const Datacenter& dc,
+                                                   const LeafSpineTopology& topology) const {
+  CostBreakdown cost;
+  for (const TrafficGroup& group : groups_) {
+    for (std::size_t i = 0; i < group.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.members.size(); ++j) {
+        const auto a = dc.pm_of(group.members[i]);
+        const auto b = dc.pm_of(group.members[j]);
+        if (!a.has_value() || !b.has_value()) continue;
+        cost.total_mbps += group.pairwise_mbps;
+        const int hops = topology.hop_distance(*a, *b);
+        cost.weighted_hop_mbps += group.pairwise_mbps * hops;
+        if (hops == 0) {
+          cost.intra_pm_mbps += group.pairwise_mbps;
+        } else if (hops == 2) {
+          cost.intra_rack_mbps += group.pairwise_mbps;
+        } else {
+          cost.inter_rack_mbps += group.pairwise_mbps;
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+TrafficModel random_traffic_groups(Rng& rng, std::span<const Vm> vms, int min_size,
+                                   int max_size, double pairwise_mbps) {
+  PRVM_REQUIRE(min_size >= 2 && max_size >= min_size, "bad group size range");
+  TrafficModel model;
+  std::size_t next = 0;
+  while (next < vms.size()) {
+    const std::size_t size = static_cast<std::size_t>(rng.uniform_int(min_size, max_size));
+    if (vms.size() - next < 2) break;  // a trailing singleton stays ungrouped
+    TrafficGroup group;
+    group.pairwise_mbps = pairwise_mbps;
+    for (std::size_t k = 0; k < size && next < vms.size(); ++k) {
+      group.members.push_back(vms[next++].id);
+    }
+    if (group.members.size() >= 2) model.add_group(std::move(group));
+  }
+  return model;
+}
+
+}  // namespace prvm

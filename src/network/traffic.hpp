@@ -1,0 +1,66 @@
+// VM-to-VM traffic model for the network-aware extension.
+//
+// Tenants deploy VMs in groups (a multi-tier service, a parallel job);
+// members of a group exchange traffic all-to-all at a fixed rate. Placement
+// quality is then measured by how much of that traffic crosses PM / rack
+// boundaries.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "network/topology.hpp"
+
+namespace prvm {
+
+struct TrafficGroup {
+  std::vector<VmId> members;
+  double pairwise_mbps = 0.0;  ///< rate between every pair of members
+};
+
+class TrafficModel {
+ public:
+  TrafficModel() = default;
+
+  void add_group(TrafficGroup group);
+
+  std::span<const TrafficGroup> groups() const { return groups_; }
+
+  /// The other members of `vm`'s group (empty when the VM has no group —
+  /// a VM belongs to at most one group).
+  std::vector<VmId> peers_of(VmId vm) const;
+
+  /// The pairwise rate of `vm`'s group (0 when ungrouped).
+  double rate_of(VmId vm) const;
+
+  struct CostBreakdown {
+    double total_mbps = 0.0;       ///< sum of pair rates (placement-independent)
+    double intra_pm_mbps = 0.0;    ///< stays inside one PM
+    double intra_rack_mbps = 0.0;  ///< crosses PMs within a rack
+    double inter_rack_mbps = 0.0;  ///< crosses the rack uplinks
+    double weighted_hop_mbps = 0.0;///< sum of rate * hop_distance
+
+    double inter_rack_share() const {
+      return total_mbps > 0.0 ? inter_rack_mbps / total_mbps : 0.0;
+    }
+  };
+
+  /// Evaluates the current placement: where each communicating pair's
+  /// traffic flows. Pairs with an unplaced endpoint are skipped.
+  CostBreakdown evaluate(const Datacenter& dc, const LeafSpineTopology& topology) const;
+
+ private:
+  std::vector<TrafficGroup> groups_;
+  std::unordered_map<VmId, std::size_t> group_of_;
+};
+
+/// Partitions `vms` into consecutive groups of random size in
+/// [min_size, max_size] with the given pairwise rate. Mirrors how tenants
+/// request multi-VM deployments.
+TrafficModel random_traffic_groups(Rng& rng, std::span<const Vm> vms, int min_size,
+                                   int max_size, double pairwise_mbps);
+
+}  // namespace prvm

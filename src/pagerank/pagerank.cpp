@@ -1,0 +1,77 @@
+#include "pagerank/pagerank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+PageRankResult compute_pagerank(const Digraph& graph, const PageRankOptions& options) {
+  return compute_pagerank(graph, options, {});
+}
+
+PageRankResult compute_pagerank(const Digraph& graph, const PageRankOptions& options,
+                                std::span<const double> teleport) {
+  const std::size_t n = graph.node_count();
+  PRVM_REQUIRE(n > 0, "PageRank over an empty graph");
+  PRVM_REQUIRE(options.damping >= 0.0 && options.damping < 1.0, "damping must be in [0,1)");
+  PRVM_REQUIRE(options.epsilon > 0.0, "epsilon must be positive");
+  PRVM_REQUIRE(options.max_iterations >= 1, "need at least one iteration");
+  PRVM_REQUIRE(teleport.empty() || teleport.size() == n,
+               "teleport vector must have one weight per node");
+
+  // Normalized teleport distribution (uniform when none given).
+  std::vector<double> base(n, 0.0);
+  if (teleport.empty()) {
+    std::fill(base.begin(), base.end(), (1.0 - options.damping) / static_cast<double>(n));
+  } else {
+    double total = 0.0;
+    for (double w : teleport) {
+      PRVM_REQUIRE(w >= 0.0, "teleport weights must be non-negative");
+      total += w;
+    }
+    PRVM_REQUIRE(total > 0.0, "teleport needs at least one positive weight");
+    for (std::size_t u = 0; u < n; ++u) {
+      base[u] = (1.0 - options.damping) * teleport[u] / total;
+    }
+  }
+
+  PageRankResult result;
+  result.scores.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> aux(n, 0.0);
+  std::vector<double> previous(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    previous = result.scores;
+
+    std::fill(aux.begin(), aux.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const std::span<const NodeId> succ = graph.successors(u);
+      if (succ.empty()) continue;
+      const double share = result.scores[u] / static_cast<double>(succ.size());
+      for (NodeId v : succ) aux[v] += share;
+    }
+
+    double sum = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      result.scores[u] = base[u] + options.damping * aux[u];
+      sum += result.scores[u];
+    }
+    PRVM_CHECK(sum > 0.0, "PageRank mass vanished");
+    for (double& s : result.scores) s /= sum;
+
+    double max_delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      max_delta = std::max(max_delta, std::abs(result.scores[u] - previous[u]));
+    }
+    result.iterations = iter + 1;
+    if (max_delta < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace prvm

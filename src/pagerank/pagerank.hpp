@@ -1,0 +1,39 @@
+// Damped PageRank over a Digraph — the iteration of the paper's Algorithm 1.
+//
+// Faithful to the pseudocode: push-style auxiliary accumulation
+// (Aux(P') += PR(P)/|S(P)|), update PR(P) = (1-d)/N + d*Aux(P), then L1
+// normalization *inside* every iteration (Line 17), converging when the
+// largest per-node change drops below epsilon.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pagerank/graph.hpp"
+
+namespace prvm {
+
+struct PageRankOptions {
+  double damping = 0.85;   ///< d; the paper uses 0.85 "as generally assumed"
+  double epsilon = 1e-12;  ///< convergence threshold on max |ΔPR|
+  int max_iterations = 10000;
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  ///< normalized: sums to 1, all non-negative
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs the Algorithm 1 iteration on a graph. Requires at least one node.
+PageRankResult compute_pagerank(const Digraph& graph, const PageRankOptions& options = {});
+
+/// Personalized variant: the (1-d) teleport mass is distributed according
+/// to `teleport` (non-negative, at least one positive; internally
+/// normalized) instead of uniformly. With teleport at a single node t the
+/// result is the damped sum of walk weights from t, i.e. rank(P) reflects
+/// the (damped, branching-discounted) number of paths t -> P.
+PageRankResult compute_pagerank(const Digraph& graph, const PageRankOptions& options,
+                                std::span<const double> teleport);
+
+}  // namespace prvm

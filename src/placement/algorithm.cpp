@@ -1,0 +1,25 @@
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+const char* to_string(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kPageRankVm: return "PageRankVM";
+    case AlgorithmKind::kFirstFit: return "FF";
+    case AlgorithmKind::kFfdSum: return "FFDSum";
+    case AlgorithmKind::kCompVm: return "CompVM";
+    case AlgorithmKind::kRoundRobin: return "RoundRobin";
+    case AlgorithmKind::kBestFit: return "BestFit";
+  }
+  return "?";
+}
+
+std::vector<VmId> PlacementAlgorithm::place_all(Datacenter& dc, std::span<const Vm> vms) {
+  std::vector<VmId> rejected;
+  for (const Vm& vm : vms) {
+    if (!place(dc, vm).has_value()) rejected.push_back(vm.id);
+  }
+  return rejected;
+}
+
+}  // namespace prvm

@@ -1,0 +1,66 @@
+// The VM-placement algorithm interface.
+//
+// An algorithm chooses a PM (and an anti-collocation permutation) for each
+// VM against a live Datacenter ledger. place() serves both initial
+// allocation and migration re-placement (migration passes the overloaded
+// source PM as `exclude`); place_all() is the batch entry point of the
+// paper's Algorithm 2 and lets order-sensitive algorithms (FFDSum) reorder
+// the request list.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cluster/datacenter.hpp"
+
+namespace prvm {
+
+enum class AlgorithmKind {
+  // The four algorithms of the paper's evaluation.
+  kPageRankVm,
+  kFirstFit,
+  kFfdSum,
+  kCompVm,
+  // Extra baselines the paper's introduction cites.
+  kRoundRobin,
+  kBestFit,
+};
+
+const char* to_string(AlgorithmKind kind);
+
+/// Restrictions on one placement decision. Used during migration: the
+/// overloaded source is excluded, and the simulator vetoes destinations
+/// that are themselves (nearly) overloaded — CloudSim's allocator does the
+/// same, and it applies to every algorithm alike.
+struct PlacementConstraints {
+  std::optional<PmIndex> exclude;
+  /// Extra veto; PMs for which it returns false are not candidates.
+  /// Empty = no veto.
+  std::function<bool(const Datacenter&, PmIndex)> allow;
+
+  bool allowed(const Datacenter& dc, PmIndex pm) const {
+    if (exclude.has_value() && *exclude == pm) return false;
+    return !allow || allow(dc, pm);
+  }
+};
+
+class PlacementAlgorithm {
+ public:
+  virtual ~PlacementAlgorithm() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual AlgorithmKind kind() const = 0;
+
+  /// Places one VM; returns the chosen PM or nullopt when no PM can host it.
+  virtual std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                                       const PlacementConstraints& constraints = {}) = 0;
+
+  /// Places a batch of VMs (default: in the given order) and returns the ids
+  /// of VMs that could not be placed anywhere.
+  virtual std::vector<VmId> place_all(Datacenter& dc, std::span<const Vm> vms);
+};
+
+}  // namespace prvm

@@ -1,0 +1,47 @@
+#include "placement/algorithm_factory.hpp"
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+const std::vector<AlgorithmKind>& all_algorithm_kinds() {
+  static const std::vector<AlgorithmKind> kinds = {
+      AlgorithmKind::kPageRankVm,
+      AlgorithmKind::kCompVm,
+      AlgorithmKind::kFfdSum,
+      AlgorithmKind::kFirstFit,
+  };
+  return kinds;
+}
+
+const std::vector<AlgorithmKind>& extended_algorithm_kinds() {
+  static const std::vector<AlgorithmKind> kinds = {
+      AlgorithmKind::kPageRankVm, AlgorithmKind::kCompVm,    AlgorithmKind::kFfdSum,
+      AlgorithmKind::kFirstFit,   AlgorithmKind::kBestFit,   AlgorithmKind::kRoundRobin,
+  };
+  return kinds;
+}
+
+std::unique_ptr<PlacementAlgorithm> make_algorithm(AlgorithmKind kind,
+                                                   std::shared_ptr<const ScoreTableSet> tables,
+                                                   const PageRankVmOptions& pagerank_options) {
+  switch (kind) {
+    case AlgorithmKind::kPageRankVm:
+      PRVM_REQUIRE(tables != nullptr, "PageRankVM requires score tables");
+      return std::make_unique<PageRankVm>(std::move(tables), pagerank_options);
+    case AlgorithmKind::kFirstFit:
+      return std::make_unique<FirstFit>();
+    case AlgorithmKind::kFfdSum:
+      return std::make_unique<FfdSum>();
+    case AlgorithmKind::kCompVm:
+      return std::make_unique<CompVm>();
+    case AlgorithmKind::kRoundRobin:
+      return std::make_unique<RoundRobin>();
+    case AlgorithmKind::kBestFit:
+      return std::make_unique<BestFit>();
+  }
+  PRVM_REQUIRE(false, "unknown algorithm kind");
+  return nullptr;
+}
+
+}  // namespace prvm

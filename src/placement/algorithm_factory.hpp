@@ -1,0 +1,31 @@
+// Constructs placement algorithms by kind, sharing one ScoreTableSet across
+// PageRankVM instances (and across the migration policy).
+#pragma once
+
+#include <memory>
+
+#include "placement/algorithm.hpp"
+#include "placement/best_fit.hpp"
+#include "placement/comp_vm.hpp"
+#include "placement/ffd_sum.hpp"
+#include "placement/first_fit.hpp"
+#include "placement/pagerank_vm.hpp"
+#include "placement/round_robin.hpp"
+
+namespace prvm {
+
+/// The four kinds the paper compares, in its reporting order (used by the
+/// figure benches).
+const std::vector<AlgorithmKind>& all_algorithm_kinds();
+
+/// Every implemented kind, including the extra baselines the paper's
+/// introduction cites (Round-Robin, Best-Fit).
+const std::vector<AlgorithmKind>& extended_algorithm_kinds();
+
+/// Builds an algorithm. `tables` is required for kPageRankVm and ignored by
+/// the baselines (they may pass nullptr).
+std::unique_ptr<PlacementAlgorithm> make_algorithm(
+    AlgorithmKind kind, std::shared_ptr<const ScoreTableSet> tables = nullptr,
+    const PageRankVmOptions& pagerank_options = {});
+
+}  // namespace prvm

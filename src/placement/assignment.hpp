@@ -1,0 +1,41 @@
+// Shared anti-collocation assignment helpers used by the baselines.
+//
+// The paper runs every comparison algorithm with PageRankVM's
+// anti-collocation handling (permutable per-unit dimensions). Baselines do
+// not *score* permutations, so they need a deterministic rule for picking
+// one: tight_placement() assigns each item (largest first) to the feasible
+// dimension with the least remaining headroom — classic best-fit within the
+// PM, which is feasibility-complete for items sorted descending (exchange
+// argument; property-tested against the exhaustive enumerator).
+#pragma once
+
+#include <optional>
+
+#include "cluster/datacenter.hpp"
+#include "profile/permutation.hpp"
+
+namespace prvm {
+
+/// Best-fit anti-collocation assignment of VM type `vm_type` on PM `pm` of
+/// `dc`; nullopt when the VM does not fit.
+std::optional<DemandPlacement> tight_placement(const Datacenter& dc, PmIndex pm,
+                                               std::size_t vm_type);
+
+/// Among all placements of `vm_type` on `pm`, the one minimizing the
+/// variance of the resulting normalized per-dimension utilization (CompVM's
+/// selection rule); nullopt when the VM does not fit. Exhaustive over
+/// canonical outcomes — the reference implementation used by tests.
+std::optional<DemandPlacement> min_variance_placement(const Datacenter& dc, PmIndex pm,
+                                                      std::size_t vm_type);
+
+/// Greedy min-variance assignment: each item (largest first) goes to the
+/// feasible unused dimension with the lowest current usage. Absent binding
+/// capacity constraints this matches min_variance_placement exactly (a
+/// rearrangement-inequality argument: pairing large items with lightly
+/// used dimensions minimizes the sum of squares), and it is
+/// feasibility-complete; O(items * dims) instead of exhaustive. CompVM's
+/// hot path uses this.
+std::optional<DemandPlacement> balanced_placement(const Datacenter& dc, PmIndex pm,
+                                                  std::size_t vm_type);
+
+}  // namespace prvm

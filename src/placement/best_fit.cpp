@@ -1,0 +1,50 @@
+#include "placement/best_fit.hpp"
+
+#include <limits>
+
+#include "placement/assignment.hpp"
+
+namespace prvm {
+
+double BestFit::remaining_after(const Datacenter& dc, PmIndex i, const Profile& usage) {
+  const ProfileShape& shape = dc.shape_of(i);
+  double remaining = 0.0;
+  for (int d = 0; d < shape.total_dims(); ++d) {
+    remaining += static_cast<double>(shape.dim_capacity(d) - usage.level(d)) /
+                 static_cast<double>(shape.dim_capacity(d));
+  }
+  return remaining / shape.total_dims();
+}
+
+std::optional<PmIndex> BestFit::place(Datacenter& dc, const Vm& vm,
+                                      const PlacementConstraints& constraints) {
+  std::optional<PmIndex> best_pm;
+  std::optional<DemandPlacement> best_placement;
+  double best_remaining = std::numeric_limits<double>::infinity();
+
+  for (PmIndex i : dc.used_pms()) {
+    if (!constraints.allowed(dc, i)) continue;
+    auto placement = tight_placement(dc, i, vm.type_index);
+    if (!placement.has_value()) continue;
+    const double remaining = remaining_after(dc, i, placement->result);
+    if (remaining < best_remaining) {
+      best_remaining = remaining;
+      best_pm = i;
+      best_placement = std::move(placement);
+    }
+  }
+  if (best_pm.has_value()) {
+    dc.place(*best_pm, vm, *best_placement);
+    return best_pm;
+  }
+  for (PmIndex i : dc.unused_pms()) {
+    if (!constraints.allowed(dc, i)) continue;
+    auto placement = tight_placement(dc, i, vm.type_index);
+    if (!placement.has_value()) continue;
+    dc.place(i, vm, *placement);
+    return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prvm

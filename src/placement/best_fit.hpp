@@ -1,0 +1,27 @@
+// Best Fit baseline (the approach of [10] as the paper summarizes it:
+// "allocates a VM to the best-fit PM that has the minimum remaining
+// resources after allocating the VM").
+//
+// Among the used PMs that can host the VM, picks the one minimizing the
+// total remaining capacity (normalized across dimensions) after the
+// placement; falls back to the first unused PM.
+#pragma once
+
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+class BestFit final : public PlacementAlgorithm {
+ public:
+  std::string_view name() const override { return "BestFit"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kBestFit; }
+
+  std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                               const PlacementConstraints& constraints = {}) override;
+
+  /// Normalized remaining capacity of PM `i` if `levels` were its usage;
+  /// exposed for tests.
+  static double remaining_after(const Datacenter& dc, PmIndex i, const Profile& usage);
+};
+
+}  // namespace prvm

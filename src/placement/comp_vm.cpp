@@ -1,0 +1,41 @@
+#include "placement/comp_vm.hpp"
+
+#include <limits>
+
+#include "placement/assignment.hpp"
+
+namespace prvm {
+
+std::optional<PmIndex> CompVm::place(Datacenter& dc, const Vm& vm,
+                                     const PlacementConstraints& constraints) {
+  std::optional<PmIndex> best_pm;
+  std::optional<DemandPlacement> best_placement;
+  double best_variance = std::numeric_limits<double>::infinity();
+
+  for (PmIndex i : dc.used_pms()) {
+    if (!constraints.allowed(dc, i)) continue;
+    auto placement = balanced_placement(dc, i, vm.type_index);
+    if (!placement.has_value()) continue;
+    const double v = placement->result.variance(dc.shape_of(i));
+    if (v < best_variance) {
+      best_variance = v;
+      best_pm = i;
+      best_placement = std::move(placement);
+    }
+  }
+  if (best_pm.has_value()) {
+    dc.place(*best_pm, vm, *best_placement);
+    return best_pm;
+  }
+
+  for (PmIndex i : dc.unused_pms()) {
+    if (!constraints.allowed(dc, i)) continue;
+    auto placement = balanced_placement(dc, i, vm.type_index);
+    if (!placement.has_value()) continue;
+    dc.place(i, vm, *placement);
+    return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prvm

@@ -1,0 +1,26 @@
+// CompVM baseline [Chen & Shen, INFOCOM'14; paper §VI-A].
+//
+// Consolidates complementary VMs: among the used PMs that can host the VM it
+// picks the PM (and anti-collocation permutation) whose resulting profile
+// has the lowest variance of normalized utilization across dimensions —
+// i.e. the placement where the VM's demand best complements what the PM
+// already hosts. Falls back to the first unused PM. This is the
+// spatial-complementarity core of CompVM; the temporal prediction part of
+// the original system is not exercised by the paper's comparison (all
+// algorithms see the same traces at runtime).
+#pragma once
+
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+class CompVm final : public PlacementAlgorithm {
+ public:
+  std::string_view name() const override { return "CompVM"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kCompVm; }
+
+  std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                               const PlacementConstraints& constraints = {}) override;
+};
+
+}  // namespace prvm

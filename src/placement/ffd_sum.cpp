@@ -1,0 +1,41 @@
+#include "placement/ffd_sum.hpp"
+
+#include <algorithm>
+
+namespace prvm {
+
+double FfdSum::vm_size(const Catalog& catalog, std::size_t vm_type) {
+  const VmType& vm = catalog.vm_type(vm_type);
+  // Normalize each resource by the largest aggregate capacity any PM type
+  // offers, so dimensions are commensurable.
+  double max_cpu = 0.0, max_mem = 0.0, max_disk = 0.0;
+  for (const PmType& pm : catalog.pm_types()) {
+    max_cpu = std::max(max_cpu, pm.cores * pm.core_ghz);
+    max_mem = std::max(max_mem, pm.memory_gib);
+    max_disk = std::max(max_disk, pm.disks * pm.disk_gb);
+  }
+  double size = 0.0;
+  if (max_cpu > 0.0) size += vm.total_cpu_ghz() / max_cpu;
+  if (max_mem > 0.0) size += vm.memory_gib / max_mem;
+  if (max_disk > 0.0) size += vm.total_disk_gb() / max_disk;
+  return size;
+}
+
+std::optional<PmIndex> FfdSum::place(Datacenter& dc, const Vm& vm,
+                                     const PlacementConstraints& constraints) {
+  return first_fit_.place(dc, vm, constraints);
+}
+
+std::vector<VmId> FfdSum::place_all(Datacenter& dc, std::span<const Vm> vms) {
+  std::vector<Vm> sorted(vms.begin(), vms.end());
+  std::stable_sort(sorted.begin(), sorted.end(), [&](const Vm& a, const Vm& b) {
+    return vm_size(dc.catalog(), a.type_index) > vm_size(dc.catalog(), b.type_index);
+  });
+  std::vector<VmId> rejected;
+  for (const Vm& vm : sorted) {
+    if (!place(dc, vm).has_value()) rejected.push_back(vm.id);
+  }
+  return rejected;
+}
+
+}  // namespace prvm

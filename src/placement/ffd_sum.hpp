@@ -1,0 +1,34 @@
+// First Fit Decreasing Sum (FFDSum) baseline [Panigrahy et al., MSR 2011;
+// paper §VI-A].
+//
+// Scores each VM by the weighted sum of its d-dimensional demand vector
+// (weights normalize each resource by the largest PM capacity in the
+// catalog), sorts the request list by decreasing size, then first-fits.
+// Single-VM place() calls behave like FF — the "decreasing" part only
+// applies to batch allocation.
+#pragma once
+
+#include "cluster/catalog.hpp"
+#include "placement/algorithm.hpp"
+#include "placement/first_fit.hpp"
+
+namespace prvm {
+
+class FfdSum final : public PlacementAlgorithm {
+ public:
+  std::string_view name() const override { return "FFDSum"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kFfdSum; }
+
+  std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                               const PlacementConstraints& constraints = {}) override;
+
+  std::vector<VmId> place_all(Datacenter& dc, std::span<const Vm> vms) override;
+
+  /// The weighted-sum size of a VM type under a catalog (exposed for tests).
+  static double vm_size(const Catalog& catalog, std::size_t vm_type);
+
+ private:
+  FirstFit first_fit_;
+};
+
+}  // namespace prvm

@@ -1,0 +1,28 @@
+#include "placement/first_fit.hpp"
+
+#include "placement/assignment.hpp"
+
+namespace prvm {
+
+std::optional<PmIndex> FirstFit::place(Datacenter& dc, const Vm& vm,
+                                       const PlacementConstraints& constraints) {
+  auto try_pm = [&](PmIndex i) -> bool {
+    if (!constraints.allowed(dc, i)) return false;
+    auto placement = tight_placement(dc, i, vm.type_index);
+    if (!placement.has_value()) return false;
+    dc.place(i, vm, *placement);
+    return true;
+  };
+
+  // used_pms() mutates when a PM becomes used, so iterate over a copy.
+  const std::vector<PmIndex> used = dc.used_pms();
+  for (PmIndex i : used) {
+    if (try_pm(i)) return i;
+  }
+  for (PmIndex i : dc.unused_pms()) {
+    if (try_pm(i)) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prvm

@@ -1,0 +1,21 @@
+// First Fit (FF) baseline [Nurmi et al., CCGRID'09; paper §VI-A].
+//
+// Places a VM on the first PM — used PMs in activation order, then unused
+// PMs — that has sufficient resources, using the shared best-fit
+// anti-collocation assignment.
+#pragma once
+
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+class FirstFit final : public PlacementAlgorithm {
+ public:
+  std::string_view name() const override { return "FF"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kFirstFit; }
+
+  std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                               const PlacementConstraints& constraints = {}) override;
+};
+
+}  // namespace prvm

@@ -1,0 +1,94 @@
+#include "placement/pagerank_vm.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+PageRankVm::PageRankVm(std::shared_ptr<const ScoreTableSet> tables, PageRankVmOptions options)
+    : tables_(std::move(tables)), options_(options), rng_(options.seed) {
+  PRVM_REQUIRE(tables_ != nullptr, "PageRankVM needs score tables");
+}
+
+std::optional<double> PageRankVm::placement_score(const Datacenter& dc, PmIndex i,
+                                                  std::size_t vm_type) const {
+  const Datacenter::PmState& pm = dc.pm(i);
+  const auto slot = tables_->demand_slot(pm.type_index, vm_type);
+  if (!slot.has_value()) return std::nullopt;
+  const auto best = tables_->table(pm.type_index).best_after(pm.canonical_key, *slot);
+  if (!best.has_value()) return std::nullopt;
+  return best->score;
+}
+
+void PageRankVm::place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm) const {
+  const Datacenter::PmState& pm = dc.pm(i);
+  const ProfileShape& shape = dc.shape_of(i);
+  const auto slot = tables_->demand_slot(pm.type_index, vm.type_index);
+  PRVM_CHECK(slot.has_value(), "placing a VM type that never fits this PM type");
+  const auto best = tables_->table(pm.type_index).best_after(pm.canonical_key, *slot);
+  PRVM_CHECK(best.has_value(), "placing a VM that does not fit");
+
+  // Materialize a concrete assignment whose canonical outcome matches the
+  // winning profile. The enumeration is permutation-invariant, so a match
+  // always exists.
+  auto options = dc.placements(i, vm.type_index);
+  const auto it = std::find_if(options.begin(), options.end(), [&](const DemandPlacement& p) {
+    return p.result.canonical(shape).pack(shape) == best->successor;
+  });
+  PRVM_CHECK(it != options.end(), "winning permutation not found among placements");
+  dc.place(i, vm, *it);
+}
+
+std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
+                                         const PlacementConstraints& constraints) {
+  // Candidate used PMs: all of them, or two sampled ones in 2-choice mode.
+  std::vector<PmIndex> candidates;
+  for (PmIndex i : dc.used_pms()) {
+    if (constraints.allowed(dc, i)) candidates.push_back(i);
+  }
+  if (options_.two_choice) {
+    // "Two PMs are randomly selected and then the best one is selected"
+    // (§V-C). Sampling is over the used PMs that can host the VM — a PM
+    // with no room is not a choice — so 2-choice trades only scoring
+    // effort, not admission.
+    std::vector<PmIndex> fitting;
+    for (PmIndex i : candidates) {
+      if (dc.fits(i, vm.type_index)) fitting.push_back(i);
+    }
+    candidates = std::move(fitting);
+    if (candidates.size() > 2) {
+      const std::size_t a = rng_.uniform_index(candidates.size());
+      std::size_t b = rng_.uniform_index(candidates.size() - 1);
+      if (b >= a) ++b;
+      candidates = {candidates[a], candidates[b]};
+    }
+  }
+
+  // Algorithm 2 lines 2-13: the used PM giving the highest-scoring profile.
+  std::optional<PmIndex> best_pm;
+  double max_score = 0.0;
+  for (PmIndex i : candidates) {
+    const auto score = placement_score(dc, i, vm.type_index);
+    if (!score.has_value()) continue;
+    if (!best_pm.has_value() || *score > max_score) {
+      max_score = *score;
+      best_pm = i;
+    }
+  }
+  if (best_pm.has_value()) {
+    place_best_permutation(dc, *best_pm, vm);
+    return best_pm;
+  }
+
+  // Lines 17-24: first unused PM with sufficient resources.
+  for (PmIndex i : dc.unused_pms()) {
+    if (!constraints.allowed(dc, i)) continue;
+    if (!dc.fits(i, vm.type_index)) continue;
+    place_best_permutation(dc, i, vm);
+    return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prvm

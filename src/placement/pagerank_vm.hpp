@@ -1,0 +1,55 @@
+// PageRankVM (paper Algorithm 2): the core contribution.
+//
+// For a given VM, every used PM is scored by the PageRank value of the best
+// profile reachable by hosting the VM there (maximum over anti-collocation
+// permutations, precomputed in the ScoreTable's best-successor cache); the
+// VM goes to the PM with the highest score, with the winning permutation
+// materialized into concrete core/disk assignments. If no used PM fits, the
+// first unused PM with sufficient resources is activated. The optional
+// 2-choice mode (§V-C closing remark) scores two randomly sampled used PMs
+// instead of scanning the whole used list.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/catalog_graphs.hpp"
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+struct PageRankVmOptions {
+  bool two_choice = false;  ///< sample 2 used PMs instead of scanning all
+  std::uint64_t seed = 1;   ///< RNG seed for 2-choice sampling
+};
+
+class PageRankVm final : public PlacementAlgorithm {
+ public:
+  explicit PageRankVm(std::shared_ptr<const ScoreTableSet> tables,
+                      PageRankVmOptions options = {});
+
+  std::string_view name() const override { return "PageRankVM"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kPageRankVm; }
+
+  std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                               const PlacementConstraints& constraints = {}) override;
+
+  /// Score of placing `vm_type` on PM `i` right now: the PageRank value of
+  /// the best resulting profile; nullopt when the VM does not fit. Exposed
+  /// for tests and for the migration policy.
+  std::optional<double> placement_score(const Datacenter& dc, PmIndex i,
+                                        std::size_t vm_type) const;
+
+  const ScoreTableSet& tables() const { return *tables_; }
+
+ private:
+  /// Places `vm` on PM `i` using the permutation whose canonical outcome has
+  /// the highest score.
+  void place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm) const;
+
+  std::shared_ptr<const ScoreTableSet> tables_;
+  PageRankVmOptions options_;
+  Rng rng_;
+};
+
+}  // namespace prvm

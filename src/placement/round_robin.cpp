@@ -1,0 +1,24 @@
+#include "placement/round_robin.hpp"
+
+#include "placement/assignment.hpp"
+
+namespace prvm {
+
+std::optional<PmIndex> RoundRobin::place(Datacenter& dc, const Vm& vm,
+                                         const PlacementConstraints& constraints) {
+  const std::size_t n = dc.pm_count();
+  for (std::size_t step = 0; step < n; ++step) {
+    const PmIndex i = (cursor_ + step) % n;
+    if (!constraints.allowed(dc, i)) continue;
+    // Round-robin spreads, so the balanced assignment is its natural
+    // within-PM companion.
+    auto placement = balanced_placement(dc, i, vm.type_index);
+    if (!placement.has_value()) continue;
+    dc.place(i, vm, *placement);
+    cursor_ = (i + 1) % n;
+    return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace prvm

@@ -1,0 +1,25 @@
+// Round-Robin baseline (paper §I cites it among the heuristics practical
+// clouds adopt [Lin et al., Cloud'11]).
+//
+// Cycles through the PM list, placing each VM on the next PM with room
+// (used or not). Deliberately spreads load — the anti-consolidation extreme
+// against which the packing algorithms are contrasted.
+#pragma once
+
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+class RoundRobin final : public PlacementAlgorithm {
+ public:
+  std::string_view name() const override { return "RoundRobin"; }
+  AlgorithmKind kind() const override { return AlgorithmKind::kRoundRobin; }
+
+  std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
+                               const PlacementConstraints& constraints = {}) override;
+
+ private:
+  PmIndex cursor_ = 0;
+};
+
+}  // namespace prvm

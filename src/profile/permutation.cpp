@@ -1,0 +1,203 @@
+#include "profile/permutation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+int QuantizedDemand::total() const {
+  int sum = 0;
+  for (const auto& items : group_items)
+    sum += std::accumulate(items.begin(), items.end(), 0);
+  return sum;
+}
+
+void QuantizedDemand::validate(const ProfileShape& shape) const {
+  PRVM_REQUIRE(group_items.size() == shape.group_count(),
+               "demand group count does not match shape");
+  for (std::size_t g = 0; g < group_items.size(); ++g) {
+    const auto& items = group_items[g];
+    PRVM_REQUIRE(static_cast<int>(items.size()) <= shape.groups()[g].count,
+                 "more anti-collocated items than dimensions in group");
+    PRVM_REQUIRE(std::is_sorted(items.begin(), items.end(), std::greater<int>()),
+                 "demand items must be sorted descending");
+    for (int item : items) {
+      PRVM_REQUIRE(item >= 1, "demand items must be positive");
+      PRVM_REQUIRE(item <= shape.groups()[g].capacity, "demand item exceeds dimension capacity");
+    }
+  }
+}
+
+std::string QuantizedDemand::describe() const {
+  std::ostringstream os;
+  for (std::size_t g = 0; g < group_items.size(); ++g) {
+    if (g) os << " ";
+    os << '{';
+    for (std::size_t i = 0; i < group_items[g].size(); ++i) {
+      if (i) os << ',';
+      os << group_items[g][i];
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+namespace {
+
+// Depth-first enumeration of injections items -> dims with two symmetry
+// prunings: (a) equal consecutive items only take dimensions in increasing
+// index order; (b) among the dimensions available for one item, only the
+// first of each equal-current-usage run is tried (swapping two equally-used
+// dimensions, including everything assigned to them later, yields the same
+// canonical outcome). A final map keyed by the canonical outcome guarantees
+// distinctness regardless.
+void enumerate_group_rec(std::span<const int> items, int capacity, std::vector<int>& usage,
+                         std::vector<bool>& used, std::vector<std::pair<int, int>>& picks,
+                         std::size_t t,
+                         std::map<std::vector<int>, GroupPlacement>& out) {
+  if (t == items.size()) {
+    std::vector<int> canon = usage;
+    std::sort(canon.begin(), canon.end(), std::greater<int>());
+    if (!out.contains(canon)) {
+      out.emplace(std::move(canon), GroupPlacement{picks, usage});
+    }
+    return;
+  }
+  const int item = items[t];
+  int start = 0;
+  if (t > 0 && items[t - 1] == item) start = picks.back().first + 1;
+
+  // Usage values already tried for this item (dedup (b)). Bounded by the
+  // number of dimensions, so a flat vector beats a hash set.
+  std::vector<int> tried;
+  for (int dim = start; dim < static_cast<int>(usage.size()); ++dim) {
+    const auto d = static_cast<std::size_t>(dim);
+    if (used[d]) continue;
+    if (usage[d] + item > capacity) continue;
+    if (std::find(tried.begin(), tried.end(), usage[d]) != tried.end()) continue;
+    tried.push_back(usage[d]);
+
+    used[d] = true;
+    usage[d] += item;
+    picks.emplace_back(dim, item);
+    enumerate_group_rec(items, capacity, usage, used, picks, t + 1, out);
+    picks.pop_back();
+    usage[d] -= item;
+    used[d] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<GroupPlacement> enumerate_group_placements(std::span<const int> usage, int capacity,
+                                                       std::span<const int> items) {
+  PRVM_REQUIRE(std::is_sorted(items.begin(), items.end(), std::greater<int>()),
+               "items must be sorted descending");
+  std::vector<int> u(usage.begin(), usage.end());
+  if (items.empty()) {
+    return {GroupPlacement{{}, std::move(u)}};
+  }
+  if (items.size() > u.size()) return {};
+  std::vector<bool> used(u.size(), false);
+  std::vector<std::pair<int, int>> picks;
+  picks.reserve(items.size());
+  std::map<std::vector<int>, GroupPlacement> out;
+  enumerate_group_rec(items, capacity, u, used, picks, 0, out);
+
+  std::vector<GroupPlacement> result;
+  result.reserve(out.size());
+  for (auto& [key, placement] : out) result.push_back(std::move(placement));
+  return result;
+}
+
+std::vector<DemandPlacement> enumerate_placements(const ProfileShape& shape,
+                                                  const Profile& current,
+                                                  const QuantizedDemand& demand) {
+  demand.validate(shape);
+  // Per-group options.
+  std::vector<std::vector<GroupPlacement>> options;
+  options.reserve(shape.group_count());
+  for (std::size_t g = 0; g < shape.group_count(); ++g) {
+    const int off = shape.group_offset(g);
+    const int n = shape.groups()[g].count;
+    std::span<const int> usage = current.levels().subspan(static_cast<std::size_t>(off),
+                                                          static_cast<std::size_t>(n));
+    auto opts =
+        enumerate_group_placements(usage, shape.groups()[g].capacity, demand.group_items[g]);
+    if (opts.empty()) return {};
+    options.push_back(std::move(opts));
+  }
+
+  // Cartesian combination across groups.
+  std::vector<DemandPlacement> result;
+  std::vector<std::size_t> index(options.size(), 0);
+  for (;;) {
+    DemandPlacement p{{}, Profile::zero(shape)};
+    std::vector<int> levels(current.levels().begin(), current.levels().end());
+    for (std::size_t g = 0; g < options.size(); ++g) {
+      const GroupPlacement& gp = options[g][index[g]];
+      const int off = shape.group_offset(g);
+      for (auto [dim, amount] : gp.assignments) {
+        p.assignments.emplace_back(off + dim, amount);
+        levels[static_cast<std::size_t>(off + dim)] += amount;
+      }
+    }
+    p.result = Profile::from_levels(shape, std::move(levels));
+    result.push_back(std::move(p));
+
+    // Advance the mixed-radix index.
+    std::size_t g = 0;
+    while (g < options.size() && ++index[g] == options[g].size()) {
+      index[g] = 0;
+      ++g;
+    }
+    if (g == options.size()) break;
+  }
+  return result;
+}
+
+std::vector<ProfileKey> enumerate_successor_keys(const ProfileShape& shape,
+                                                 const Profile& canonical_current,
+                                                 const QuantizedDemand& demand) {
+  auto placements = enumerate_placements(shape, canonical_current, demand);
+  std::unordered_set<ProfileKey> seen;
+  std::vector<ProfileKey> keys;
+  keys.reserve(placements.size());
+  for (const DemandPlacement& p : placements) {
+    const ProfileKey key = p.result.canonical(shape).pack(shape);
+    if (seen.insert(key).second) keys.push_back(key);
+  }
+  return keys;
+}
+
+bool demand_fits(const ProfileShape& shape, const Profile& current,
+                 const QuantizedDemand& demand) {
+  demand.validate(shape);
+  // Groups are independent, and within one group the greedy matching
+  // "largest item onto the freest dimension" is feasibility-optimal (simple
+  // exchange argument), so no enumeration is needed here.
+  for (std::size_t g = 0; g < shape.group_count(); ++g) {
+    const auto& items = demand.group_items[g];
+    if (items.empty()) continue;
+    const int off = shape.group_offset(g);
+    const int n = shape.groups()[g].count;
+    if (static_cast<int>(items.size()) > n) return false;
+    std::vector<int> free;
+    free.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      free.push_back(shape.groups()[g].capacity - current.level(off + i));
+    }
+    std::sort(free.begin(), free.end(), std::greater<int>());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i] > free[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace prvm

@@ -1,0 +1,79 @@
+// Anti-collocation permutation enumeration (paper §IV, §V-C line 6).
+//
+// A VM's demand within a dimension group (its vCPUs over cores, its virtual
+// disks over disks) must land on *distinct* dimensions, but any permutation
+// is allowed: {a,a,0,0} and {0,a,0,a} are the same request. Placing a VM on
+// a PM therefore means choosing, per group, an injection of demand items
+// into dimensions with enough headroom. This module enumerates those
+// choices, deduplicated by the canonical profile they produce — exactly the
+// "set of possible PM profiles after accommodating every permutation of the
+// VM's profile" of Algorithm 2.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace prvm {
+
+/// A VM's resource demand quantized against one ProfileShape: for each group
+/// of the shape, the list of per-dimension demand items (sorted descending).
+/// Each item must be placed on a distinct dimension of its group.
+struct QuantizedDemand {
+  std::vector<std::vector<int>> group_items;
+
+  /// Total demanded levels across all groups.
+  int total() const;
+
+  /// Validates against a shape: right number of groups, items positive,
+  /// sorted descending, no more items than dimensions, items within
+  /// per-dimension capacity.
+  void validate(const ProfileShape& shape) const;
+
+  std::string describe() const;
+};
+
+/// One way to add demand items to the dimensions of a single group.
+struct GroupPlacement {
+  /// (dimension index within the group, amount added) pairs.
+  std::vector<std::pair<int, int>> assignments;
+  /// Group usage after the placement, in the group's original dim order.
+  std::vector<int> result_usage;
+};
+
+/// Enumerates placements of `items` (sorted descending) onto the group's
+/// dimensions, one representative per distinct *canonical* outcome.
+/// `usage` is the group's current usage (any order); `capacity` is the
+/// per-dimension capacity. Returns an empty vector when nothing fits.
+std::vector<GroupPlacement> enumerate_group_placements(std::span<const int> usage, int capacity,
+                                                       std::span<const int> items);
+
+/// One way to place a whole demand on a profile.
+struct DemandPlacement {
+  /// (global dimension index, amount added) pairs, across all groups.
+  std::vector<std::pair<int, int>> assignments;
+  /// The resulting profile in the original dimension order (not canonical).
+  Profile result;
+};
+
+/// Enumerates placements of a full demand onto `current`, one representative
+/// per distinct canonical resulting profile. `current` need not be
+/// canonical (the concrete per-core/per-disk state of a live PM is not).
+std::vector<DemandPlacement> enumerate_placements(const ProfileShape& shape,
+                                                  const Profile& current,
+                                                  const QuantizedDemand& demand);
+
+/// Distinct canonical successor keys of a *canonical* profile under a
+/// demand; the edge set of the profile graph. Faster than
+/// enumerate_placements (no assignment bookkeeping).
+std::vector<ProfileKey> enumerate_successor_keys(const ProfileShape& shape,
+                                                 const Profile& canonical_current,
+                                                 const QuantizedDemand& demand);
+
+/// True if at least one placement of the demand exists on `current`.
+bool demand_fits(const ProfileShape& shape, const Profile& current, const QuantizedDemand& demand);
+
+}  // namespace prvm

@@ -1,0 +1,37 @@
+#include "profile/quantization.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+int QuantizationConfig::levels_for(ResourceKind kind) const {
+  switch (kind) {
+    case ResourceKind::kCpu: return cpu_levels;
+    case ResourceKind::kMemory: return mem_levels;
+    case ResourceKind::kDisk: return disk_levels;
+  }
+  return cpu_levels;
+}
+
+int quantize_demand(double demand, double capacity, int levels) {
+  PRVM_REQUIRE(demand >= 0.0, "demand must be non-negative");
+  PRVM_REQUIRE(capacity > 0.0, "capacity must be positive");
+  PRVM_REQUIRE(levels >= 1, "need at least one quantization level");
+  if (demand == 0.0) return 0;
+  const double unit = capacity / static_cast<double>(levels);
+  // Guard against 3 * (c/3) rounding to ceil(...) == 4 style FP noise.
+  const int units = static_cast<int>(std::ceil(demand / unit - 1e-9));
+  PRVM_REQUIRE(units <= levels, "demand exceeds dimension capacity");
+  return units < 1 ? 1 : units;
+}
+
+int quantize_usage_floor(double usage, double capacity, int levels) {
+  PRVM_REQUIRE(usage >= 0.0 && capacity > 0.0 && levels >= 1, "bad quantize_usage_floor args");
+  const double unit = capacity / static_cast<double>(levels);
+  const int units = static_cast<int>(std::floor(usage / unit + 1e-9));
+  return units > levels ? levels : units;
+}
+
+}  // namespace prvm

@@ -1,0 +1,36 @@
+// Quantization of continuous resource amounts into profile levels.
+//
+// The profile graph is defined over a discrete grid (the paper's own
+// examples use capacity [4,4,4,4] and unit demands). Real catalog values
+// (GHz, GiB, GB — Tables I/II) are mapped onto that grid per PM type:
+// each dimension of capacity C_real is split into Q levels of size C_real/Q
+// and demands are rounded *up* to whole levels, so a quantized fit never
+// overcommits the real hardware.
+#pragma once
+
+#include "profile/profile.hpp"
+
+namespace prvm {
+
+/// Levels per dimension, by resource kind. Defaults match the granularity
+/// the evaluation needs: per-core CPU and per-disk storage at the paper's
+/// example granularity (4), memory finer (16) because all six EC2 VM types
+/// must stay distinguishable in the single memory dimension.
+struct QuantizationConfig {
+  int cpu_levels = 4;
+  int mem_levels = 16;
+  int disk_levels = 4;
+
+  int levels_for(ResourceKind kind) const;
+};
+
+/// Rounds a real demand up to whole levels of a dimension with real capacity
+/// `capacity` quantized into `levels` levels. A positive demand always costs
+/// at least one level. Throws if the demand cannot fit the dimension at all.
+int quantize_demand(double demand, double capacity, int levels);
+
+/// Rounds a real *usage* (e.g. a trace-driven utilization) down to the level
+/// grid; used only for reporting, never for admission control.
+int quantize_usage_floor(double usage, double capacity, int levels);
+
+}  // namespace prvm

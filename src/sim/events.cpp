@@ -1,0 +1,31 @@
+#include "sim/events.hpp"
+
+#include <sstream>
+
+namespace prvm {
+
+const char* to_string(SimEventType type) {
+  switch (type) {
+    case SimEventType::kVmPlaced: return "vm-placed";
+    case SimEventType::kVmRejected: return "vm-rejected";
+    case SimEventType::kPmOverloaded: return "pm-overloaded";
+    case SimEventType::kVmMigrated: return "vm-migrated";
+    case SimEventType::kMigrationFailed: return "migration-failed";
+    case SimEventType::kCount: break;
+  }
+  return "?";
+}
+
+std::string SimEvent::describe() const {
+  std::ostringstream os;
+  os << "epoch " << epoch << ": " << to_string(type) << " vm=" << vm << " pm=" << source;
+  if (type == SimEventType::kVmMigrated) os << " -> " << dest;
+  return os.str();
+}
+
+void EventLog::record(SimEvent event) {
+  ++counts_[static_cast<std::size_t>(event.type)];
+  if (enabled_) events_.push_back(event);
+}
+
+}  // namespace prvm

@@ -1,0 +1,60 @@
+// Structured event log of a simulation run.
+//
+// Disabled by default (the metric counters cover the figures); tests and
+// examples enable it to observe and assert on the exact sequence of
+// overloads, migrations and PM activations.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/datacenter.hpp"
+
+namespace prvm {
+
+enum class SimEventType : std::uint8_t {
+  kVmPlaced = 0,
+  kVmRejected,
+  kPmOverloaded,
+  kVmMigrated,
+  kMigrationFailed,
+  kCount  // sentinel
+};
+
+const char* to_string(SimEventType type);
+
+struct SimEvent {
+  std::size_t epoch = 0;
+  SimEventType type = SimEventType::kVmPlaced;
+  VmId vm = 0;
+  PmIndex source = 0;  ///< PM involved (overloaded / migration source / host)
+  PmIndex dest = 0;    ///< migration destination (kVmMigrated only)
+
+  std::string describe() const;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  void record(SimEvent event);
+
+  /// Per-type counters are maintained even when detailed recording is off.
+  std::size_t count(SimEventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+
+  std::span<const SimEvent> events() const { return events_; }
+
+ private:
+  bool enabled_;
+  std::vector<SimEvent> events_;
+  std::array<std::size_t, static_cast<std::size_t>(SimEventType::kCount)> counts_{};
+};
+
+}  // namespace prvm

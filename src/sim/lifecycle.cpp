@@ -1,0 +1,99 @@
+#include "sim/lifecycle.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace prvm {
+
+std::string LifecycleMetrics::describe() const {
+  std::ostringstream os;
+  os << "arrivals: " << arrivals << ", departures: " << departures
+     << ", rejected: " << rejected << ", peak VMs: " << peak_vms
+     << ", peak/mean used PMs: " << peak_used_pms << "/" << mean_used_pms
+     << ", fragmentation: " << mean_fragmentation << ", PMs/VM: " << mean_pms_per_vm;
+  return os.str();
+}
+
+LifecycleSimulation::LifecycleSimulation(Datacenter dc, LifecycleOptions options)
+    : dc_(std::move(dc)), options_(options) {
+  PRVM_REQUIRE(options_.epochs > 0, "lifecycle needs at least one epoch");
+  PRVM_REQUIRE(options_.arrivals_per_epoch >= 0.0, "arrival rate must be non-negative");
+  PRVM_REQUIRE(options_.mean_lifetime_epochs >= 1.0, "mean lifetime must be >= 1 epoch");
+  PRVM_REQUIRE(options_.vm_mix.empty() ||
+                   options_.vm_mix.size() == dc_.catalog().vm_types().size(),
+               "vm_mix must match the catalog");
+}
+
+LifecycleMetrics LifecycleSimulation::run(PlacementAlgorithm& algorithm) {
+  PRVM_REQUIRE(!ran_, "LifecycleSimulation is single-use");
+  ran_ = true;
+
+  Rng rng(options_.seed);
+  std::poisson_distribution<int> arrivals_dist(options_.arrivals_per_epoch);
+  const double departure_probability = 1.0 / options_.mean_lifetime_epochs;
+  const std::vector<double> mix =
+      options_.vm_mix.empty()
+          ? std::vector<double>(dc_.catalog().vm_types().size(), 1.0)
+          : options_.vm_mix;
+
+  LifecycleMetrics metrics;
+  std::vector<VmId> active;
+  VmId next_id = 0;
+  double used_pm_sum = 0.0;
+  double fragmentation_sum = 0.0;
+  double pms_per_vm_sum = 0.0;
+  std::size_t pms_per_vm_samples = 0;
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Departures: each active VM leaves with probability 1/mean_lifetime.
+    for (std::size_t i = active.size(); i-- > 0;) {
+      if (!rng.chance(departure_probability)) continue;
+      dc_.remove(active[i]);
+      active[i] = active.back();
+      active.pop_back();
+      ++metrics.departures;
+    }
+
+    // Arrivals.
+    const int n_arrivals = arrivals_dist(rng.engine());
+    for (int k = 0; k < n_arrivals; ++k) {
+      const Vm vm{next_id++, rng.weighted_index(mix)};
+      ++metrics.arrivals;
+      if (algorithm.place(dc_, vm).has_value()) {
+        active.push_back(vm.id);
+      } else {
+        ++metrics.rejected;
+      }
+    }
+
+    // Accounting.
+    metrics.peak_vms = std::max(metrics.peak_vms, active.size());
+    metrics.peak_used_pms = std::max(metrics.peak_used_pms, dc_.used_count());
+    used_pm_sum += static_cast<double>(dc_.used_count());
+    if (!active.empty()) {
+      pms_per_vm_sum += static_cast<double>(dc_.used_count()) / active.size();
+      ++pms_per_vm_samples;
+    }
+    long long free_levels = 0;
+    long long total_levels = 0;
+    for (PmIndex i : dc_.used_pms()) {
+      const ProfileShape& shape = dc_.shape_of(i);
+      total_levels += shape.total_capacity();
+      free_levels += shape.total_capacity() - dc_.pm(i).usage.total_usage();
+    }
+    if (total_levels > 0) {
+      fragmentation_sum += static_cast<double>(free_levels) / total_levels;
+    }
+  }
+
+  metrics.mean_used_pms = used_pm_sum / static_cast<double>(options_.epochs);
+  metrics.mean_fragmentation = fragmentation_sum / static_cast<double>(options_.epochs);
+  metrics.mean_pms_per_vm =
+      pms_per_vm_samples == 0 ? 0.0 : pms_per_vm_sum / pms_per_vm_samples;
+  return metrics;
+}
+
+}  // namespace prvm

@@ -1,0 +1,60 @@
+// Open-system VM lifecycle simulation: arrivals and departures.
+//
+// The paper's evaluation places a fixed request list; real datacenters are
+// open systems where VMs arrive (Poisson) and depart (geometric lifetimes),
+// and placement quality shows up as how few PMs stay powered and how little
+// capacity fragments as the population churns. This extension measures
+// exactly that for any placement algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+struct LifecycleOptions {
+  std::size_t epochs = 288;
+  double arrivals_per_epoch = 4.0;      ///< Poisson mean per epoch
+  double mean_lifetime_epochs = 60.0;   ///< geometric departure
+  std::uint64_t seed = 1;
+  /// VM-type mix weights (empty = uniform over the catalog).
+  std::vector<double> vm_mix;
+};
+
+struct LifecycleMetrics {
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t rejected = 0;
+  std::size_t peak_vms = 0;
+  std::size_t peak_used_pms = 0;
+  double mean_used_pms = 0.0;
+  /// Mean over epochs of (free levels on used PMs) / (levels on used PMs):
+  /// stranded capacity the fleet pays for. Lower is better packing.
+  double mean_fragmentation = 0.0;
+  /// Mean over epochs of used PMs per active VM (a size-normalized PM
+  /// count; lower is better).
+  double mean_pms_per_vm = 0.0;
+
+  std::string describe() const;
+};
+
+class LifecycleSimulation {
+ public:
+  LifecycleSimulation(Datacenter dc, LifecycleOptions options);
+
+  /// Runs the arrival/departure process, placing every arrival with
+  /// `algorithm`. Single-use. Deterministic in (datacenter, options).
+  LifecycleMetrics run(PlacementAlgorithm& algorithm);
+
+  const Datacenter& datacenter() const { return dc_; }
+
+ private:
+  Datacenter dc_;
+  LifecycleOptions options_;
+  bool ran_ = false;
+};
+
+}  // namespace prvm

@@ -1,0 +1,17 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+namespace prvm {
+
+std::string SimMetrics::describe() const {
+  std::ostringstream os;
+  os << "PMs used (initial/max): " << pms_used_initial << '/' << pms_used_max
+     << ", migrations: " << vm_migrations << " (+" << failed_migrations << " failed)"
+     << ", overload events: " << overload_events << ", rejected VMs: " << rejected_vms
+     << ", energy: " << energy_kwh << " kWh"
+     << ", SLO violations: " << slo_violation_percent << " %";
+  return os.str();
+}
+
+}  // namespace prvm

@@ -1,0 +1,38 @@
+// Metrics the paper's evaluation reports (§VI-A "Comparison Metrics").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace prvm {
+
+struct SimMetrics {
+  /// PMs hosting VMs right after initial allocation.
+  std::size_t pms_used_initial = 0;
+  /// Maximum concurrently used PMs over the run.
+  std::size_t pms_used_max = 0;
+  /// PMs that hosted at least one VM at any point — "the total number of
+  /// PMs used to provide service" (a PM once powered on was paid for).
+  std::size_t pms_used_ever = 0;
+  /// VM migrations triggered by PM overload.
+  std::size_t vm_migrations = 0;
+  /// Migrations with no feasible destination (VM stayed on the source).
+  std::size_t failed_migrations = 0;
+  /// Occurrences of an overloaded PM at a utilization scan.
+  std::size_t overload_events = 0;
+  /// VMs that could not be placed at initial allocation.
+  std::size_t rejected_vms = 0;
+  /// Cumulated energy of all active PMs (kWh), Table III model.
+  double energy_kwh = 0.0;
+  /// SLO violations: mean over ever-active PMs of the percentage of their
+  /// active time spent at 100 % CPU utilization.
+  double slo_violation_percent = 0.0;
+  /// Wall-clock the placement algorithm spent placing/migrating (seconds).
+  double placement_seconds = 0.0;
+  /// Simulated duration (seconds).
+  double simulated_seconds = 0.0;
+
+  std::string describe() const;
+};
+
+}  // namespace prvm

@@ -1,0 +1,89 @@
+// Overload-driven VM eviction policies (paper §VI-A "Comparison
+// Algorithms").
+//
+// When a PM exceeds the overload threshold the simulator repeatedly asks a
+// MigrationPolicy which VM to evict until the PM is healthy again.
+// PageRankVM uses the PageRank-based rule ("select the VM [whose removal]
+// can result in the highest PageRank value [of the residual profile]");
+// the baselines use CloudSim's default Minimum Migration Time selection
+// (smallest memory footprint migrates fastest).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "core/catalog_graphs.hpp"
+#include "placement/algorithm.hpp"
+
+namespace prvm {
+
+/// Read-only view of the running simulation handed to policies: the ledger
+/// plus the trace-driven actual CPU usage at the current epoch.
+class SimView {
+ public:
+  virtual ~SimView() = default;
+  virtual const Datacenter& datacenter() const = 0;
+  /// Actual CPU draw of a placed VM this epoch, in GHz.
+  virtual double vm_cpu_ghz(VmId vm) const = 0;
+  /// Actual CPU utilization of a PM against its *physical* capacity.
+  virtual double pm_cpu_utilization(PmIndex pm) const = 0;
+};
+
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+  virtual std::string_view name() const = 0;
+  /// The next VM to evict from an overloaded PM; nullopt when the policy
+  /// has no candidate (the simulator then gives up on this PM this epoch).
+  virtual std::optional<VmId> select_victim(const SimView& view, PmIndex pm) = 0;
+};
+
+/// CloudSim's default: evict the VM with the smallest memory footprint
+/// (minimum migration time over a fixed-bandwidth link); ties broken by
+/// lowest VM id for determinism.
+class MinimumMigrationTimePolicy final : public MigrationPolicy {
+ public:
+  std::string_view name() const override { return "min-migration-time"; }
+  std::optional<VmId> select_victim(const SimView& view, PmIndex pm) override;
+};
+
+/// PageRankVM's rule: evict the VM whose removal leaves the PM profile with
+/// the highest PageRank score.
+class PageRankMigrationPolicy final : public MigrationPolicy {
+ public:
+  explicit PageRankMigrationPolicy(std::shared_ptr<const ScoreTableSet> tables);
+
+  std::string_view name() const override { return "pagerank-residual"; }
+  std::optional<VmId> select_victim(const SimView& view, PmIndex pm) override;
+
+ private:
+  std::shared_ptr<const ScoreTableSet> tables_;
+};
+
+/// Evict the VM drawing the most CPU right now — relieves the overload
+/// with the fewest evictions (an upper-bound reference for victim
+/// selection; compared in bench_ablation_migration).
+class MaxCpuVictimPolicy final : public MigrationPolicy {
+ public:
+  std::string_view name() const override { return "max-cpu-victim"; }
+  std::optional<VmId> select_victim(const SimView& view, PmIndex pm) override;
+};
+
+/// Evict a uniformly random VM — the noise floor for victim selection.
+class RandomVictimPolicy final : public MigrationPolicy {
+ public:
+  explicit RandomVictimPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::string_view name() const override { return "random-victim"; }
+  std::optional<VmId> select_victim(const SimView& view, PmIndex pm) override;
+
+ private:
+  Rng rng_;
+};
+
+/// The eviction policy the paper pairs with each placement algorithm.
+std::unique_ptr<MigrationPolicy> default_policy_for(
+    AlgorithmKind kind, std::shared_ptr<const ScoreTableSet> tables = nullptr);
+
+}  // namespace prvm

@@ -1,0 +1,79 @@
+// The centralized controller of the GENI testbed experiment (paper §VI-A).
+//
+// A dedicated instance runs the placement algorithm; every 10 s it polls
+// each PM instance for utilization over the 1 Gbps star network, flags
+// overloads, and relocates jobs by killing them on the source instance and
+// restarting them on the destination — GENI offers no live migration, so a
+// "migration" costs the job one scan interval of downtime.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/datacenter.hpp"
+#include "placement/algorithm.hpp"
+#include "sim/migration_policy.hpp"
+#include "testbed/network.hpp"
+#include "trace/trace.hpp"
+
+namespace prvm {
+
+struct TestbedOptions {
+  std::size_t scans = 1440;       ///< 4 h of 10 s scans
+  double scan_seconds = 10.0;
+  double overload_threshold = 0.9;
+  std::uint64_t status_request_bytes = 64;
+  std::uint64_t status_response_bytes = 256;
+  std::uint64_t command_bytes = 128;
+  std::size_t restart_scans = 1;  ///< downtime scans after a kill/restart
+};
+
+struct TestbedMetrics {
+  std::size_t pms_used = 0;          ///< max instances concurrently hosting jobs
+  std::size_t migrations = 0;        ///< kill/restart relocations
+  std::size_t failed_migrations = 0;
+  std::size_t overload_events = 0;
+  std::size_t rejected_jobs = 0;
+  double slo_violation_percent = 0.0;
+  double job_downtime_seconds = 0.0;    ///< total downtime from restarts
+  double controller_traffic_mb = 0.0;
+  double control_latency_seconds = 0.0; ///< cumulated network time of control
+};
+
+/// Runs one testbed experiment: jobs (VMs) placed on instances (PMs) of a
+/// geni_catalog() datacenter, job CPU driven by traces.
+class GeniController final : public SimView {
+ public:
+  GeniController(Datacenter dc, std::vector<Vm> jobs, std::vector<std::size_t> trace_of_job,
+                 TraceSet traces, TestbedOptions options = {});
+
+  TestbedMetrics run(PlacementAlgorithm& algorithm, MigrationPolicy& policy);
+
+  // SimView — lets the same MigrationPolicy implementations drive eviction.
+  const Datacenter& datacenter() const override { return dc_; }
+  double vm_cpu_ghz(VmId job) const override;
+  double pm_cpu_utilization(PmIndex instance) const override;
+
+  /// Hottest monitored dimension of an instance: max of the aggregate and
+  /// every single core (the per-dimension overload rule of §VI-D, same as
+  /// the cloud simulator's OverloadRule::kAnyDimension).
+  double pm_hottest_utilization(PmIndex instance) const;
+
+ private:
+  const Vm& job_of(VmId id) const;
+
+  Datacenter dc_;
+  std::vector<Vm> jobs_;
+  std::vector<std::size_t> trace_of_job_;
+  TraceSet traces_;
+  TestbedOptions options_;
+  StarNetwork network_;
+  std::unordered_map<VmId, std::size_t> job_slot_;
+  /// Scan index until which a job is still restarting (contributes no CPU).
+  std::unordered_map<VmId, std::size_t> restarting_until_;
+  std::size_t scan_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace prvm

@@ -1,0 +1,33 @@
+#include "testbed/network.hpp"
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+double Link::transfer_seconds(std::uint64_t bytes) const {
+  PRVM_REQUIRE(bandwidth_gbps > 0.0, "link bandwidth must be positive");
+  const double serialization =
+      static_cast<double>(bytes) * 8.0 / (bandwidth_gbps * 1e9);
+  return latency_ms / 1e3 + serialization;
+}
+
+StarNetwork::StarNetwork(std::size_t nodes, Link link) : nodes_(nodes), link_(link) {
+  PRVM_REQUIRE(nodes >= 2, "a network needs at least two nodes");
+}
+
+double StarNetwork::send(NodeId from, NodeId to, std::uint64_t bytes) {
+  PRVM_REQUIRE(from < nodes_ && to < nodes_ && from != to, "bad endpoints");
+  // Two hops: sender -> switch -> receiver.
+  const double seconds = 2.0 * link_.transfer_seconds(bytes);
+  total_bytes_ += bytes;
+  ++total_messages_;
+  busy_seconds_ += seconds;
+  return seconds;
+}
+
+double StarNetwork::round_trip(NodeId from, NodeId to, std::uint64_t request_bytes,
+                               std::uint64_t response_bytes) {
+  return send(from, to, request_bytes) + send(to, from, response_bytes);
+}
+
+}  // namespace prvm

@@ -1,0 +1,53 @@
+// Star-topology network model of the GENI testbed (paper §VI-A: instances
+// "connected to a switch via 1Gbps links", plus a controller instance).
+//
+// Every node reaches every other node through the switch (two link hops).
+// The model charges latency plus serialization delay per message and keeps
+// aggregate traffic statistics — the controller's per-scan status poll and
+// kill/restart commands flow through it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prvm {
+
+struct Link {
+  double bandwidth_gbps = 1.0;
+  double latency_ms = 0.5;
+
+  /// Serialization + propagation time of one message over this link.
+  double transfer_seconds(std::uint64_t bytes) const;
+};
+
+class StarNetwork {
+ public:
+  using NodeId = std::size_t;
+
+  /// `nodes` endpoints (instances + controller), all on identical links.
+  StarNetwork(std::size_t nodes, Link link);
+
+  std::size_t node_count() const { return nodes_; }
+  const Link& link() const { return link_; }
+
+  /// One-way message time from a to b through the switch (two hops), and
+  /// records the traffic.
+  double send(NodeId from, NodeId to, std::uint64_t bytes);
+
+  /// Request/response round trip (status poll), records both messages.
+  double round_trip(NodeId from, NodeId to, std::uint64_t request_bytes,
+                    std::uint64_t response_bytes);
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  std::size_t nodes_;
+  Link link_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace prvm

@@ -1,0 +1,54 @@
+#include "testbed/testbed.hpp"
+
+#include "common/check.hpp"
+#include "placement/algorithm_factory.hpp"
+#include "trace/google_cluster.hpp"
+
+namespace prvm {
+
+std::shared_ptr<const ScoreTableSet> geni_score_tables(const ScoreTableOptions& options) {
+  return std::make_shared<ScoreTableSet>(build_score_tables(geni_catalog(), options));
+}
+
+TestbedMetrics run_geni_experiment(AlgorithmKind kind, const GeniExperimentConfig& config,
+                                   std::shared_ptr<const ScoreTableSet> tables) {
+  PRVM_REQUIRE(config.instances > 0 && config.jobs > 0, "empty testbed experiment");
+  const Catalog catalog = geni_catalog();
+  Rng rng(config.seed);
+
+  // Jobs are compute-bound batch processes: they run close to flat-out
+  // whenever scheduled (a core saturates only when all four of its vCPU
+  // slots are busy, so cool jobs would make the testbed overload-free,
+  // unlike the paper's runs).
+  GoogleClusterTraceOptions trace_options;
+  trace_options.mean_beta_a = 6.0;
+  trace_options.mean_beta_b = 2.0;
+  trace_options.diurnal_amplitude = 0.10;
+  trace_options.epochs_per_day = config.options.scans;  // one cycle over the run
+  const GoogleClusterTraceGenerator generator(trace_options);
+
+  Rng trace_rng = rng.fork(0x7e57);
+  const std::size_t trace_pool = std::max<std::size_t>(config.jobs / 2, 16);
+  TraceSet traces =
+      TraceSet::from_generator(generator, trace_rng, trace_pool, config.options.scans);
+
+  std::vector<Vm> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    jobs.push_back(Vm{static_cast<VmId>(i), rng.uniform_index(catalog.vm_types().size())});
+  }
+  std::vector<std::size_t> binding;
+  binding.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) binding.push_back(rng.uniform_index(traces.size()));
+
+  Datacenter dc(catalog, std::vector<std::size_t>(config.instances, 0));
+  if (kind == AlgorithmKind::kPageRankVm && tables == nullptr) tables = geni_score_tables();
+  auto algorithm = make_algorithm(kind, tables);
+  auto policy = default_policy_for(kind, tables);
+
+  GeniController controller(std::move(dc), std::move(jobs), std::move(binding),
+                            std::move(traces), config.options);
+  return controller.run(*algorithm, *policy);
+}
+
+}  // namespace prvm

@@ -1,0 +1,73 @@
+#include "trace/csv_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+TraceSet load_traces_csv(std::istream& is) {
+  std::vector<UtilizationTrace> traces;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> samples;
+    std::stringstream row(line);
+    std::string cell;
+    while (std::getline(row, cell, ',')) {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(cell, &consumed);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                    ": non-numeric cell '" + cell + "'");
+      }
+      // Allow trailing whitespace only.
+      for (std::size_t i = consumed; i < cell.size(); ++i) {
+        PRVM_REQUIRE(std::isspace(static_cast<unsigned char>(cell[i])),
+                     "trace CSV line " + std::to_string(line_no) + ": trailing junk");
+      }
+      PRVM_REQUIRE(value >= 0.0 && value <= 1.0,
+                   "trace CSV line " + std::to_string(line_no) + ": value outside [0,1]");
+      samples.push_back(value);
+    }
+    PRVM_REQUIRE(!samples.empty(),
+                 "trace CSV line " + std::to_string(line_no) + ": empty row");
+    traces.emplace_back(std::move(samples));
+  }
+  PRVM_REQUIRE(!traces.empty(), "trace CSV contains no traces");
+  return TraceSet(std::move(traces));
+}
+
+TraceSet load_traces_csv(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  PRVM_REQUIRE(is.is_open(), "cannot open trace file: " + path.string());
+  return load_traces_csv(is);
+}
+
+void save_traces_csv(std::ostream& os, const TraceSet& traces, int precision) {
+  os << "# prvm utilization traces: one trace per line, fractions in [0,1]\n";
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto& samples = traces.at(i).samples();
+    for (std::size_t t = 0; t < samples.size(); ++t) {
+      os << (t == 0 ? "" : ",") << samples[t];
+    }
+    os << '\n';
+  }
+}
+
+void save_traces_csv(const std::filesystem::path& path, const TraceSet& traces, int precision) {
+  std::ofstream os(path, std::ios::trunc);
+  PRVM_REQUIRE(os.is_open(), "cannot open trace file for writing: " + path.string());
+  save_traces_csv(os, traces, precision);
+  PRVM_REQUIRE(os.good(), "error writing trace file: " + path.string());
+}
+
+}  // namespace prvm

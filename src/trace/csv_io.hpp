@@ -1,0 +1,27 @@
+// CSV persistence for utilization traces.
+//
+// Format: one trace per line, comma-separated utilization fractions in
+// [0,1]; '#'-prefixed lines are comments. This is the drop-in point for the
+// real PlanetLab / Google datasets: convert them to this format and load.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace prvm {
+
+/// Parses traces from a stream. Throws std::invalid_argument on malformed
+/// input (non-numeric cells, values outside [0,1], empty rows).
+TraceSet load_traces_csv(std::istream& is);
+
+/// Loads traces from a file.
+TraceSet load_traces_csv(const std::filesystem::path& path);
+
+/// Writes traces, one per line, with the given precision.
+void save_traces_csv(std::ostream& os, const TraceSet& traces, int precision = 4);
+void save_traces_csv(const std::filesystem::path& path, const TraceSet& traces,
+                     int precision = 4);
+
+}  // namespace prvm

@@ -1,0 +1,34 @@
+#include "trace/google_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+UtilizationTrace GoogleClusterTraceGenerator::generate(Rng& rng, std::size_t epochs) const {
+  PRVM_REQUIRE(epochs > 0, "trace needs at least one epoch");
+  const double mean = rng.beta(options_.mean_beta_a, options_.mean_beta_b);
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  std::vector<double> samples;
+  samples.reserve(epochs);
+  double deviation = 0.0;
+  for (std::size_t t = 0; t < epochs; ++t) {
+    deviation = options_.ar_phi * deviation + rng.normal(0.0, options_.ar_sigma);
+    const double daily =
+        1.0 + options_.diurnal_amplitude *
+                  std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                               static_cast<double>(options_.epochs_per_day) +
+                           phase);
+    double u = mean * daily + deviation;
+    if (rng.chance(options_.burst_probability)) {
+      u = std::max(u, rng.pareto(options_.burst_pareto_xm, options_.burst_pareto_alpha));
+    }
+    samples.push_back(std::clamp(u, 0.0, 1.0));
+  }
+  return UtilizationTrace(std::move(samples));
+}
+
+}  // namespace prvm

@@ -1,0 +1,38 @@
+// Synthetic Google-cluster-like CPU traces.
+//
+// Substitute for the 2011 Google cluster usage trace (29 days, ~11k
+// machines). Published analyses of that dataset report moderate mean CPU
+// usage, a pronounced diurnal cycle, and heavy-tailed bursts. The generator
+// reproduces that: a per-VM mean from a Beta, a sinusoidal diurnal
+// modulation with random phase, AR(1) noise, and Pareto-tailed bursts.
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace prvm {
+
+struct GoogleClusterTraceOptions {
+  double mean_beta_a = 2.5;    ///< per-VM mean ~ Beta(2.5, 4.0) -> 0.38
+  double mean_beta_b = 4.0;
+  double diurnal_amplitude = 0.35;  ///< relative amplitude of the daily cycle
+  std::size_t epochs_per_day = 288; ///< 5-minute epochs in 24 h
+  double ar_phi = 0.7;
+  double ar_sigma = 0.06;
+  double burst_probability = 0.01;
+  double burst_pareto_xm = 0.5;     ///< burst size floor
+  double burst_pareto_alpha = 2.5;  ///< tail index
+};
+
+class GoogleClusterTraceGenerator final : public TraceGenerator {
+ public:
+  explicit GoogleClusterTraceGenerator(GoogleClusterTraceOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "google-cluster-synth"; }
+  UtilizationTrace generate(Rng& rng, std::size_t epochs) const override;
+
+ private:
+  GoogleClusterTraceOptions options_;
+};
+
+}  // namespace prvm

@@ -1,0 +1,26 @@
+#include "trace/planetlab.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+UtilizationTrace PlanetLabTraceGenerator::generate(Rng& rng, std::size_t epochs) const {
+  PRVM_REQUIRE(epochs > 0, "trace needs at least one epoch");
+  const double mean = rng.beta(options_.mean_beta_a, options_.mean_beta_b);
+  std::vector<double> samples;
+  samples.reserve(epochs);
+  double deviation = 0.0;  // AR(1) state around the long-run mean
+  for (std::size_t t = 0; t < epochs; ++t) {
+    deviation = options_.ar_phi * deviation + rng.normal(0.0, options_.ar_sigma);
+    double u = mean + deviation;
+    if (rng.chance(options_.spike_probability)) {
+      u = rng.uniform(options_.spike_low, options_.spike_high);
+    }
+    samples.push_back(std::clamp(u, 0.0, 1.0));
+  }
+  return UtilizationTrace(std::move(samples));
+}
+
+}  // namespace prvm

@@ -1,0 +1,40 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace prvm {
+
+UtilizationTrace::UtilizationTrace(std::vector<double> samples) : samples_(std::move(samples)) {
+  PRVM_REQUIRE(!samples_.empty(), "trace needs at least one sample");
+  for (double s : samples_) {
+    PRVM_REQUIRE(s >= 0.0 && s <= 1.0, "trace samples must be in [0,1]");
+  }
+}
+
+double UtilizationTrace::mean() const { return prvm::mean(samples_); }
+
+double UtilizationTrace::peak() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+TraceSet::TraceSet(std::vector<UtilizationTrace> traces) : traces_(std::move(traces)) {
+  PRVM_REQUIRE(!traces_.empty(), "trace set needs at least one trace");
+}
+
+TraceSet TraceSet::from_generator(const TraceGenerator& generator, Rng& rng, std::size_t count,
+                                  std::size_t epochs) {
+  PRVM_REQUIRE(count > 0, "trace set needs at least one trace");
+  std::vector<UtilizationTrace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) traces.push_back(generator.generate(rng, epochs));
+  return TraceSet(std::move(traces));
+}
+
+const UtilizationTrace& TraceSet::pick(Rng& rng) const {
+  return traces_[rng.uniform_index(traces_.size())];
+}
+
+}  // namespace prvm

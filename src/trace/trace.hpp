@@ -1,0 +1,64 @@
+// CPU-utilization traces.
+//
+// The paper drives VM CPU usage from the PlanetLab trace shipped with
+// CloudSim (5-minute samples over 24 h) and from the 2011 Google cluster
+// trace. A trace here is the per-epoch fraction of a VM's *requested* CPU it
+// actually uses, in [0,1]. Real trace files can be loaded via csv_io; the
+// synthetic generators in planetlab.hpp / google_cluster.hpp reproduce the
+// datasets' summary statistics when the originals are unavailable.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace prvm {
+
+class UtilizationTrace {
+ public:
+  /// Samples must each lie in [0,1]; at least one sample required.
+  explicit UtilizationTrace(std::vector<double> samples);
+
+  /// Utilization at an epoch; indexes wrap (a 24 h trace repeats).
+  double at(std::size_t epoch) const { return samples_[epoch % samples_.size()]; }
+
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double mean() const;
+  double peak() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Interface of trace sources (synthetic generators and loaded datasets).
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+  virtual std::string_view name() const = 0;
+  /// Generates one VM's trace of `epochs` samples.
+  virtual UtilizationTrace generate(Rng& rng, std::size_t epochs) const = 0;
+};
+
+/// A fixed collection of traces from which VMs draw uniformly at random —
+/// the paper "randomly chose traces of the VMs in our experiments".
+class TraceSet {
+ public:
+  explicit TraceSet(std::vector<UtilizationTrace> traces);
+
+  /// Builds a set of `count` traces from a generator.
+  static TraceSet from_generator(const TraceGenerator& generator, Rng& rng, std::size_t count,
+                                 std::size_t epochs);
+
+  const UtilizationTrace& pick(Rng& rng) const;
+  const UtilizationTrace& at(std::size_t i) const { return traces_.at(i); }
+  std::size_t size() const { return traces_.size(); }
+
+ private:
+  std::vector<UtilizationTrace> traces_;
+};
+
+}  // namespace prvm

@@ -1,0 +1,156 @@
+#include "placement/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace prvm {
+namespace {
+
+Catalog random_friendly_catalog() {
+  // 4 cores x 4 levels + 8 memory levels; VM types with varied vCPU counts.
+  std::vector<VmType> vms = {
+      {"v1", 1, 1.0, 1.0, 0, 0.0},
+      {"v2", 2, 1.0, 2.0, 0, 0.0},
+      {"v3", 3, 2.0, 1.0, 0, 0.0},
+      {"v4", 4, 1.0, 3.0, 0, 0.0},
+  };
+  std::vector<PmType> pms = {{"node", 4, 4.0, 8.0, 0, 0.0, "E5-2670"}};
+  QuantizationConfig q;
+  q.cpu_levels = 4;
+  q.mem_levels = 8;
+  return Catalog(std::move(vms), std::move(pms), q);
+}
+
+// Randomly fills a PM with VMs to create a varied usage state.
+void random_fill(Datacenter& dc, Rng& rng, PmIndex pm, int attempts) {
+  VmId next = 1000;
+  for (int i = 0; i < attempts; ++i) {
+    const std::size_t type = rng.uniform_index(dc.catalog().vm_types().size());
+    auto options = dc.placements(pm, type);
+    if (options.empty()) continue;
+    dc.place(pm, Vm{next++, type}, options[rng.uniform_index(options.size())]);
+  }
+}
+
+TEST(TightPlacement, FeasibilityCompleteOnRandomStates) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Datacenter dc(random_friendly_catalog(), {0});
+    random_fill(dc, rng, 0, rng.uniform_int(0, 5));
+    for (std::size_t type = 0; type < dc.catalog().vm_types().size(); ++type) {
+      const bool enumerable = !dc.placements(0, type).empty();
+      const auto tight = tight_placement(dc, 0, type);
+      EXPECT_EQ(tight.has_value(), enumerable) << "trial " << trial << " type " << type;
+      if (tight.has_value()) {
+        // The returned placement must be applicable.
+        EXPECT_NO_THROW(dc.place(0, Vm{9999, type}, *tight));
+        dc.remove(9999);
+      }
+    }
+  }
+}
+
+TEST(TightPlacement, PicksTightestDimension) {
+  Datacenter dc(random_friendly_catalog(), {0});
+  // Occupy core 0 with 3 levels via an explicit placement of type v3.
+  const ProfileShape& shape = dc.shape_of(0);
+  std::vector<int> levels(static_cast<std::size_t>(shape.total_dims()), 0);
+  levels[0] = 2;
+  levels[1] = 2;
+  levels[2] = 2;
+  levels[4] = 1;
+  dc.place(0, Vm{1, 2}, DemandPlacement{{{0, 2}, {1, 2}, {2, 2}, {4, 1}},
+                                        Profile::from_levels(shape, levels)});
+  // A single-vCPU VM (1 level) must land on a used-but-fitting core (free 2)
+  // rather than the empty core 3 (free 4).
+  const auto tight = tight_placement(dc, 0, 0);
+  ASSERT_TRUE(tight.has_value());
+  int cpu_dim = -1;
+  for (auto [dim, amount] : tight->assignments) {
+    if (dim < 4) cpu_dim = dim;
+  }
+  EXPECT_GE(cpu_dim, 0);
+  EXPECT_LT(cpu_dim, 3);  // one of the 2-used cores, not core 3
+}
+
+TEST(BalancedPlacement, PicksEmptiestDimension) {
+  Datacenter dc(random_friendly_catalog(), {0});
+  const ProfileShape& shape = dc.shape_of(0);
+  std::vector<int> levels(static_cast<std::size_t>(shape.total_dims()), 0);
+  levels[0] = 2;
+  levels[1] = 1;
+  levels[4] = 1;
+  dc.place(0, Vm{1, 1},
+           DemandPlacement{{{0, 2}, {1, 1}, {4, 1}}, Profile::from_levels(shape, levels)});
+  const auto balanced = balanced_placement(dc, 0, 0);
+  ASSERT_TRUE(balanced.has_value());
+  int cpu_dim = -1;
+  for (auto [dim, amount] : balanced->assignments) {
+    if (dim < 4) cpu_dim = dim;
+  }
+  EXPECT_GE(cpu_dim, 2);  // an empty core
+}
+
+TEST(BalancedPlacement, FeasibilityCompleteOnRandomStates) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    Datacenter dc(random_friendly_catalog(), {0});
+    random_fill(dc, rng, 0, rng.uniform_int(0, 6));
+    for (std::size_t type = 0; type < dc.catalog().vm_types().size(); ++type) {
+      const bool enumerable = !dc.placements(0, type).empty();
+      EXPECT_EQ(balanced_placement(dc, 0, type).has_value(), enumerable)
+          << "trial " << trial << " type " << type;
+    }
+  }
+}
+
+TEST(MinVariancePlacement, MatchesExhaustiveMinimum) {
+  Rng rng(103);
+  for (int trial = 0; trial < 100; ++trial) {
+    Datacenter dc(random_friendly_catalog(), {0});
+    random_fill(dc, rng, 0, rng.uniform_int(0, 5));
+    for (std::size_t type = 0; type < dc.catalog().vm_types().size(); ++type) {
+      const auto options = dc.placements(0, type);
+      const auto chosen = min_variance_placement(dc, 0, type);
+      EXPECT_EQ(chosen.has_value(), !options.empty());
+      if (!chosen.has_value()) continue;
+      double min_var = std::numeric_limits<double>::infinity();
+      for (const auto& o : options) {
+        min_var = std::min(min_var, o.result.variance(dc.shape_of(0)));
+      }
+      EXPECT_NEAR(chosen->result.variance(dc.shape_of(0)), min_var, 1e-12);
+    }
+  }
+}
+
+TEST(BalancedPlacement, MatchesExhaustiveMinVarianceWhenUnconstrained) {
+  // With plenty of headroom (empty PM), greedy balance = exhaustive
+  // min-variance (rearrangement-inequality argument in the header).
+  Datacenter dc(random_friendly_catalog(), {0});
+  for (std::size_t type = 0; type < dc.catalog().vm_types().size(); ++type) {
+    const auto greedy = balanced_placement(dc, 0, type);
+    const auto exact = min_variance_placement(dc, 0, type);
+    ASSERT_TRUE(greedy.has_value());
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_NEAR(greedy->result.variance(dc.shape_of(0)),
+                exact->result.variance(dc.shape_of(0)), 1e-12);
+  }
+}
+
+TEST(Placements, NeverFitVmTypeYieldsEmpty) {
+  std::vector<VmType> vms = {{"small", 1, 1.0, 1.0, 0, 0.0},
+                             {"monster", 1, 1.0, 100.0, 0, 0.0}};
+  std::vector<PmType> pms = {{"node", 4, 4.0, 8.0, 0, 0.0, "E5-2670"},
+                             {"big", 4, 4.0, 200.0, 0, 0.0, "E5-2670"}};
+  Datacenter dc(Catalog(std::move(vms), std::move(pms)), {0});
+  EXPECT_FALSE(tight_placement(dc, 0, 1).has_value());
+  EXPECT_FALSE(balanced_placement(dc, 0, 1).has_value());
+  EXPECT_FALSE(min_variance_placement(dc, 0, 1).has_value());
+}
+
+}  // namespace
+}  // namespace prvm

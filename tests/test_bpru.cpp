@@ -1,0 +1,82 @@
+#include "core/bpru.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prvm {
+namespace {
+
+ProfileGraph paper_graph() {
+  ProfileShape shape({DimensionGroup{ResourceKind::kCpu, 4, 4}});
+  std::vector<QuantizedDemand> demands = {QuantizedDemand{{{1, 1}}},
+                                          QuantizedDemand{{{1, 1, 1, 1}}}};
+  return ProfileGraph(std::move(shape), std::move(demands));
+}
+
+TEST(Bpru, InUnitIntervalAndAboveOwnUtilization) {
+  const ProfileGraph g = paper_graph();
+  const auto bpru = compute_bpru(g);
+  ASSERT_EQ(bpru.size(), g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_GE(bpru[u], g.utilization(u) - 1e-12) << g.profile_of(u).describe();
+    EXPECT_LE(bpru[u], 1.0 + 1e-12);
+  }
+}
+
+TEST(Bpru, SinkBpruIsOwnUtilization) {
+  const ProfileGraph g = paper_graph();
+  const auto bpru = compute_bpru(g);
+  for (NodeId s : g.sink_nodes()) {
+    EXPECT_DOUBLE_EQ(bpru[s], g.utilization(s)) << g.profile_of(s).describe();
+  }
+}
+
+TEST(Bpru, NodesOnAPathToBestHaveBpruOne) {
+  const ProfileGraph g = paper_graph();
+  const auto bpru = compute_bpru(g);
+  const ProfileShape& shape = g.shape();
+  // [4,4,2,2] -> [4,4,3,3] -> best: both discount-free.
+  for (auto levels : {std::vector<int>{4, 4, 2, 2}, {4, 4, 3, 3}, {0, 0, 0, 0}}) {
+    const auto node = g.find_node(Profile::from_levels(shape, levels).pack(shape));
+    ASSERT_TRUE(node.has_value());
+    EXPECT_DOUBLE_EQ(bpru[*node], 1.0);
+  }
+}
+
+TEST(Bpru, DeadEndProfilesAreDiscounted) {
+  const ProfileGraph g = paper_graph();
+  const auto bpru = compute_bpru(g);
+  const ProfileShape& shape = g.shape();
+  // [4,4,4,0] cannot accept any VM (the [1,1] needs two non-full dims; only
+  // one dim is free): a sink at utilization 12/16.
+  const auto node = g.find_node(Profile::from_levels(shape, {4, 4, 4, 0}).pack(shape));
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(g.graph().out_degree(*node), 0u);
+  EXPECT_DOUBLE_EQ(bpru[*node], 0.75);
+}
+
+TEST(Bpru, PropagatesMaxOverSuccessors) {
+  const ProfileGraph g = paper_graph();
+  const auto bpru = compute_bpru(g);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto succ = g.graph().successors(u);
+    if (succ.empty()) continue;
+    double expected = 0.0;
+    for (NodeId v : succ) expected = std::max(expected, bpru[v]);
+    EXPECT_DOUBLE_EQ(bpru[u], expected);
+  }
+}
+
+TEST(Bpru, HandcraftedDeadEndGraph) {
+  // 1 dim, capacity 4, only a 3-unit VM: 0 -> 3 (sink, util 0.75); best
+  // never reachable, every BPRU is 0.75.
+  ProfileShape shape({DimensionGroup{ResourceKind::kCpu, 1, 4}});
+  std::vector<QuantizedDemand> demands = {QuantizedDemand{{{3}}}};
+  const ProfileGraph g(shape, demands);
+  EXPECT_EQ(g.node_count(), 2u);
+  const auto bpru = compute_bpru(g);
+  EXPECT_DOUBLE_EQ(bpru[0], 0.75);
+  EXPECT_DOUBLE_EQ(bpru[1], 0.75);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/run.hpp"
+
+namespace prvm {
+namespace {
+
+CliOptions parse(std::initializer_list<std::string_view> args) {
+  std::vector<std::string_view> v(args);
+  return parse_cli(v);
+}
+
+TEST(CliParse, Defaults) {
+  const CliOptions options = parse({});
+  EXPECT_EQ(options.mode, CliMode::kSimulate);
+  EXPECT_FALSE(options.algorithm.has_value());
+  EXPECT_EQ(options.vms, 500u);
+  EXPECT_EQ(options.repetitions, 3u);
+  EXPECT_EQ(options.seed, 42u);
+  EXPECT_EQ(options.epochs, 288u);
+  EXPECT_EQ(options.trace, TraceKind::kPlanetLab);
+  EXPECT_FALSE(options.csv);
+  EXPECT_FALSE(options.help);
+}
+
+TEST(CliParse, AllFlags) {
+  const CliOptions options =
+      parse({"--mode", "lifecycle", "--algorithm", "BestFit", "--vms", "123", "--reps",
+             "7", "--seed", "99", "--epochs", "10", "--trace", "google", "--csv"});
+  EXPECT_EQ(options.mode, CliMode::kLifecycle);
+  EXPECT_EQ(options.algorithm, AlgorithmKind::kBestFit);
+  EXPECT_EQ(options.vms, 123u);
+  EXPECT_EQ(options.repetitions, 7u);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(options.epochs, 10u);
+  EXPECT_EQ(options.trace, TraceKind::kGoogleCluster);
+  EXPECT_TRUE(options.csv);
+}
+
+TEST(CliParse, AllModesAndAlgorithms) {
+  EXPECT_EQ(parse({"--mode", "place"}).mode, CliMode::kPlace);
+  EXPECT_EQ(parse({"--mode", "geni"}).mode, CliMode::kGeni);
+  EXPECT_EQ(parse({"--algorithm", "PageRankVM"}).algorithm, AlgorithmKind::kPageRankVm);
+  EXPECT_EQ(parse({"--algorithm", "RoundRobin"}).algorithm, AlgorithmKind::kRoundRobin);
+}
+
+TEST(CliParse, HelpFlag) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"-h"}).help);
+  EXPECT_NE(cli_help().find("--algorithm"), std::string::npos);
+}
+
+TEST(CliParse, RejectsBadInput) {
+  EXPECT_THROW(parse({"--mode", "teleport"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--algorithm", "SkyNet"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--vms", "many"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--vms", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--vms"}), std::invalid_argument);  // missing value
+  EXPECT_THROW(parse({"--trace", "netflix"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--frobnicate"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--reps", "-3"}), std::invalid_argument);
+}
+
+TEST(CliRun, HelpWritesUsage) {
+  CliOptions options;
+  options.help = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  EXPECT_NE(out.str().find("usage: prvm"), std::string::npos);
+}
+
+TEST(CliRun, PlaceModeProducesTable) {
+  CliOptions options = parse({"--mode", "place", "--vms", "60", "--seed", "7"});
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("PageRankVM"), std::string::npos);
+  EXPECT_NE(text.find("PMs used"), std::string::npos);
+}
+
+TEST(CliRun, SingleAlgorithmCsv) {
+  CliOptions options =
+      parse({"--mode", "place", "--vms", "40", "--algorithm", "FF", "--csv"});
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("algorithm,PMs used,rejected"), std::string::npos);
+  EXPECT_NE(text.find("FF,"), std::string::npos);
+  EXPECT_EQ(text.find("PageRankVM"), std::string::npos);
+  EXPECT_EQ(text.find('|'), std::string::npos);  // CSV, not a box table
+}
+
+TEST(CliRun, GeniModeRuns) {
+  CliOptions options = parse({"--mode", "geni", "--vms", "20", "--reps", "1",
+                              "--algorithm", "CompVM"});
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  EXPECT_NE(out.str().find("CompVM"), std::string::npos);
+}
+
+TEST(CliRun, LifecycleModeRuns) {
+  CliOptions options = parse({"--mode", "lifecycle", "--vms", "50", "--reps", "1",
+                              "--epochs", "30", "--algorithm", "BestFit"});
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(options, out), 0);
+  EXPECT_NE(out.str().find("BestFit"), std::string::npos);
+  EXPECT_NE(out.str().find("fragmentation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prvm

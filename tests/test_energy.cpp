@@ -1,0 +1,82 @@
+#include "energy/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace prvm {
+namespace {
+
+TEST(PowerModel, TableThreeAnchorsE52670) {
+  const PowerModel& m = power_model_for("E5-2670");
+  EXPECT_DOUBLE_EQ(m.power_watts(0.0), 337.3);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.2), 349.2);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.4), 363.6);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.6), 378.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.8), 396.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(1.0), 417.6);
+  EXPECT_DOUBLE_EQ(m.idle_watts(), 337.3);
+  EXPECT_DOUBLE_EQ(m.peak_watts(), 417.6);
+}
+
+TEST(PowerModel, TableThreeAnchorsE52680) {
+  const PowerModel& m = power_model_for("E5-2680");
+  EXPECT_DOUBLE_EQ(m.power_watts(0.0), 394.4);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.2), 408.3);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.4), 425.2);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.6), 442.0);
+  EXPECT_DOUBLE_EQ(m.power_watts(0.8), 463.1);
+  EXPECT_DOUBLE_EQ(m.power_watts(1.0), 488.3);
+}
+
+TEST(PowerModel, LinearInterpolationBetweenAnchors) {
+  const PowerModel& m = power_model_for("E5-2670");
+  EXPECT_NEAR(m.power_watts(0.1), (337.3 + 349.2) / 2.0, 1e-9);
+  EXPECT_NEAR(m.power_watts(0.5), (363.6 + 378.0) / 2.0, 1e-9);
+  EXPECT_NEAR(m.power_watts(0.9), (396.0 + 417.6) / 2.0, 1e-9);
+  EXPECT_NEAR(m.power_watts(0.25), 349.2 + 0.25 * (363.6 - 349.2), 1e-9);
+}
+
+TEST(PowerModel, ClampsOutOfRangeUtilization) {
+  const PowerModel& m = power_model_for("E5-2670");
+  EXPECT_DOUBLE_EQ(m.power_watts(-0.5), m.idle_watts());
+  EXPECT_DOUBLE_EQ(m.power_watts(1.7), m.peak_watts());
+}
+
+TEST(PowerModel, MonotoneInUtilization) {
+  const PowerModel& m = power_model_for("E5-2680");
+  double previous = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double w = m.power_watts(i / 100.0);
+    EXPECT_GE(w, previous);
+    previous = w;
+  }
+}
+
+TEST(PowerModel, UnknownCpuModelThrows) {
+  EXPECT_THROW(power_model_for("i486"), std::invalid_argument);
+}
+
+TEST(PowerModel, RejectsDecreasingAnchors) {
+  EXPECT_THROW(PowerModel({100.0, 90.0, 110.0, 120.0, 130.0, 140.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PowerModel({-1.0, 0.0, 1.0, 2.0, 3.0, 4.0}), std::invalid_argument);
+}
+
+TEST(PowerModel, CustomModelInterpolates) {
+  const PowerModel m({0.0, 20.0, 40.0, 60.0, 80.0, 100.0});
+  for (int i = 0; i <= 10; ++i) {
+    EXPECT_NEAR(m.power_watts(i / 10.0), i * 10.0, 1e-9);
+  }
+}
+
+TEST(Energy, WattsToKwh) {
+  EXPECT_DOUBLE_EQ(watts_to_kwh(1000.0, 3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(watts_to_kwh(500.0, 7200.0), 1.0);
+  EXPECT_DOUBLE_EQ(watts_to_kwh(0.0, 3600.0), 0.0);
+  // One epoch of an idle M3: 337.3 W for 300 s.
+  EXPECT_NEAR(watts_to_kwh(337.3, 300.0), 0.0281, 1e-4);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,175 @@
+#include "exact/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_graphs.hpp"
+#include "placement/algorithm_factory.hpp"
+
+namespace prvm {
+namespace {
+
+Catalog tiny_catalog() {
+  // 2 cores x 2 levels + 4 memory levels: a PM holds at most two "pair" VMs
+  // (cpu-bound) or four "mem1" VMs (memory-bound).
+  std::vector<VmType> vms = {
+      {"pair", 2, 1.0, 1.0, 0, 0.0},   // 1 level on each of 2 cores + 1 mem
+      {"mem1", 1, 1.0, 1.0, 0, 0.0},   // 1 level on 1 core + 1 mem
+  };
+  std::vector<PmType> pms = {{"node", 2, 2.0, 4.0, 0, 0.0, "E5-2670"}};
+  QuantizationConfig q;
+  q.cpu_levels = 2;
+  q.mem_levels = 4;
+  return Catalog(std::move(vms), std::move(pms), q);
+}
+
+TEST(Exact, EmptyInstanceIsTriviallyOptimal) {
+  ExactInstance instance{tiny_catalog(), {0, 0}, {}, {}};
+  const auto result = solve_exact(instance);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+  EXPECT_EQ(result.pms_used, 0u);
+}
+
+TEST(Exact, SingleVmUsesOnePm) {
+  ExactInstance instance{tiny_catalog(), {0, 0, 0}, {{1, 0}}, {}};
+  const auto result = solve_exact(instance);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+  EXPECT_TRUE(verify_assignment(instance, result.assignment));
+}
+
+TEST(Exact, PacksTwoPairVmsOntoOnePm) {
+  // Each "pair" VM uses 1 level on both cores; two of them saturate the CPU.
+  ExactInstance instance{tiny_catalog(), {0, 0}, {{1, 0}, {2, 0}}, {}};
+  const auto result = solve_exact(instance);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+  EXPECT_TRUE(verify_assignment(instance, result.assignment));
+}
+
+TEST(Exact, ThirdPairVmForcesSecondPm) {
+  ExactInstance instance{tiny_catalog(), {0, 0}, {{1, 0}, {2, 0}, {3, 0}}, {}};
+  const auto result = solve_exact(instance);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+}
+
+TEST(Exact, InfeasibleWhenFleetTooSmall) {
+  // 5 pair VMs need 3 PMs but only 2 exist.
+  ExactInstance instance{
+      tiny_catalog(), {0, 0}, {{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}}, {}};
+  const auto result = solve_exact(instance);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Exact, MixedTypesFindTightPacking) {
+  // 1 pair (cpu 1+1, mem 1) + 2 mem1 (cpu 1, mem 1): cpu total per core
+  // would be 2/2 levels, mem 3/4 -> all fit one PM.
+  ExactInstance instance{tiny_catalog(), {0, 0, 0}, {{1, 0}, {2, 1}, {3, 1}}, {}};
+  const auto result = solve_exact(instance);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+  EXPECT_TRUE(verify_assignment(instance, result.assignment));
+}
+
+TEST(Exact, RespectsHeterogeneousCosts) {
+  // Two PMs; the second is much cheaper: optimum uses PM 1.
+  ExactInstance instance{tiny_catalog(), {0, 0}, {{1, 1}}, {10.0, 1.0}};
+  const auto result = solve_exact(instance);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+  ASSERT_EQ(result.assignment.size(), 1u);
+  EXPECT_EQ(result.assignment[0].pm, 1u);
+}
+
+TEST(Exact, CostVectorValidation) {
+  ExactInstance instance{tiny_catalog(), {0, 0}, {{1, 0}}, {1.0}};
+  EXPECT_THROW(solve_exact(instance), std::invalid_argument);
+}
+
+TEST(Exact, NodeBudgetMarksUnproven) {
+  ExactInstance instance{tiny_catalog(),
+                         {0, 0, 0, 0},
+                         {{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 0}, {6, 1}},
+                         {}};
+  BranchAndBoundOptions options;
+  options.max_nodes = 2;
+  const auto result = solve_exact(instance, options);
+  EXPECT_FALSE(result.proven_optimal);
+}
+
+TEST(Exact, HeuristicsNeverBeatTheOptimum) {
+  const Catalog catalog = geni_catalog();
+  auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(catalog, {}, std::nullopt));
+  Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vm> vms;
+    const std::size_t n = 2 + rng.uniform_index(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      vms.push_back(Vm{static_cast<VmId>(i), rng.uniform_index(2)});
+    }
+    ExactInstance instance{catalog, {0, 0, 0, 0}, vms, {}};
+    const auto exact = solve_exact(instance);
+    ASSERT_TRUE(exact.feasible);
+    ASSERT_TRUE(exact.proven_optimal);
+    for (AlgorithmKind kind : all_algorithm_kinds()) {
+      Datacenter dc(catalog, instance.pm_types_of);
+      auto algorithm = make_algorithm(kind, tables);
+      const auto rejected = algorithm->place_all(dc, vms);
+      EXPECT_TRUE(rejected.empty());
+      EXPECT_GE(dc.used_count(), exact.pms_used)
+          << to_string(kind) << " beat the proven optimum, trial " << trial;
+    }
+  }
+}
+
+TEST(VerifyAssignment, RejectsBrokenAssignments) {
+  const Catalog catalog = tiny_catalog();
+  ExactInstance instance{catalog, {0, 0}, {{1, 0}}, {}};
+  const ProfileShape& shape = catalog.shape(0);
+
+  // Wrong size.
+  EXPECT_FALSE(verify_assignment(instance, {}));
+
+  // Anti-collocation violation: both vCPU levels on core 0.
+  ExactAssignment collocated = {
+      {0, DemandPlacement{{{0, 1}, {0, 1}, {2, 1}}, Profile::zero(shape)}}};
+  EXPECT_FALSE(verify_assignment(instance, collocated));
+
+  // Wrong amounts (does not match the catalog demand multiset).
+  ExactAssignment wrong_amounts = {
+      {0, DemandPlacement{{{0, 2}, {2, 1}}, Profile::zero(shape)}}};
+  EXPECT_FALSE(verify_assignment(instance, wrong_amounts));
+
+  // A correct assignment passes.
+  ExactAssignment good = {
+      {0, DemandPlacement{{{0, 1}, {1, 1}, {2, 1}}, Profile::zero(shape)}}};
+  EXPECT_TRUE(verify_assignment(instance, good));
+  EXPECT_DOUBLE_EQ(assignment_cost(instance, good), 1.0);
+}
+
+TEST(Exact, NodeCounterGrowsWithInstanceSize) {
+  // The §IV complexity story: search nodes blow up as VMs are added.
+  const Catalog catalog = tiny_catalog();
+  std::uint64_t previous = 0;
+  for (std::size_t n : {2u, 4u, 6u}) {
+    std::vector<Vm> vms;
+    for (std::size_t i = 0; i < n; ++i) {
+      vms.push_back(Vm{static_cast<VmId>(i), i % 2});
+    }
+    ExactInstance instance{catalog, {0, 0, 0, 0}, vms, {}};
+    const auto result = solve_exact(instance);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_GT(result.nodes_explored, previous);
+    previous = result.nodes_explored;
+  }
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "placement/algorithm_factory.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+TEST(RoundRobin, CyclesThroughPms) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(3, 0));
+  RoundRobin rr;
+  EXPECT_EQ(rr.place(dc, Vm{0, 0}), std::optional<PmIndex>{0});
+  EXPECT_EQ(rr.place(dc, Vm{1, 0}), std::optional<PmIndex>{1});
+  EXPECT_EQ(rr.place(dc, Vm{2, 0}), std::optional<PmIndex>{2});
+  EXPECT_EQ(rr.place(dc, Vm{3, 0}), std::optional<PmIndex>{0});  // wraps
+}
+
+TEST(RoundRobin, SkipsFullPms) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(2, 0));
+  RoundRobin rr;
+  // Fill PM 0 completely with 4-core jobs out of band.
+  FirstFit ff;
+  for (VmId id = 100; id < 104; ++id) {
+    ASSERT_EQ(ff.place(dc, Vm{id, 1}), std::optional<PmIndex>{0});
+  }
+  EXPECT_EQ(rr.place(dc, Vm{0, 1}), std::optional<PmIndex>{1});
+  EXPECT_EQ(rr.place(dc, Vm{1, 1}), std::optional<PmIndex>{1});
+}
+
+TEST(RoundRobin, RespectsConstraints) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(3, 0));
+  RoundRobin rr;
+  PlacementConstraints constraints;
+  constraints.exclude = 0;
+  EXPECT_EQ(rr.place(dc, Vm{0, 0}, constraints), std::optional<PmIndex>{1});
+}
+
+TEST(RoundRobin, ReturnsNulloptWhenEverythingFull) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  RoundRobin rr;
+  for (VmId id = 0; id < 4; ++id) ASSERT_TRUE(rr.place(dc, Vm{id, 1}).has_value());
+  EXPECT_FALSE(rr.place(dc, Vm{9, 0}).has_value());
+}
+
+TEST(BestFit, PrefersTightestUsedPm) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(3, 0));
+  FirstFit ff;
+  // PM 0 lightly used, PM 1 heavily used (12 of 16 slots).
+  ASSERT_EQ(ff.place(dc, Vm{0, 0}), std::optional<PmIndex>{0});
+  Datacenter::PlacedVm dummy;
+  for (VmId id = 10; id < 13; ++id) {
+    auto placement = dc.placements(1, 1);
+    ASSERT_FALSE(placement.empty());
+    dc.place(1, Vm{id, 1}, placement.front());
+  }
+  BestFit bf;
+  // A 2-core job fits both; BestFit must choose the fuller PM 1.
+  EXPECT_EQ(bf.place(dc, Vm{1, 0}), std::optional<PmIndex>{1});
+}
+
+TEST(BestFit, RemainingAfterIsNormalized) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  const ProfileShape& shape = dc.shape_of(0);
+  EXPECT_DOUBLE_EQ(BestFit::remaining_after(dc, 0, Profile::zero(shape)), 1.0);
+  EXPECT_DOUBLE_EQ(BestFit::remaining_after(dc, 0, best_profile(shape)), 0.0);
+}
+
+TEST(BestFit, OpensUnusedOnlyWhenNeeded) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(2, 0));
+  BestFit bf;
+  ASSERT_EQ(bf.place(dc, Vm{0, 0}), std::optional<PmIndex>{0});
+  EXPECT_EQ(bf.place(dc, Vm{1, 0}), std::optional<PmIndex>{0});
+  EXPECT_EQ(dc.used_count(), 1u);
+}
+
+TEST(ExtendedFactory, BuildsAllSixKinds) {
+  EXPECT_EQ(extended_algorithm_kinds().size(), 6u);
+  for (AlgorithmKind kind : extended_algorithm_kinds()) {
+    if (kind == AlgorithmKind::kPageRankVm) continue;  // needs tables
+    auto algorithm = make_algorithm(kind);
+    EXPECT_EQ(algorithm->kind(), kind);
+  }
+  EXPECT_STREQ(to_string(AlgorithmKind::kRoundRobin), "RoundRobin");
+  EXPECT_STREQ(to_string(AlgorithmKind::kBestFit), "BestFit");
+}
+
+TEST(ExtendedBaselines, ConsolidationOrderingOnSpreadVsPack) {
+  // Round-robin must use (weakly) more PMs than BestFit on the same batch.
+  const Catalog catalog = geni_catalog();
+  Rng rng(21);
+  const auto vms = random_vm_requests(rng, catalog, 40);
+  std::size_t rr_pms = 0;
+  std::size_t bf_pms = 0;
+  {
+    Datacenter dc(catalog, std::vector<std::size_t>(40, 0));
+    RoundRobin rr;
+    rr.place_all(dc, vms);
+    rr_pms = dc.used_count();
+  }
+  {
+    Datacenter dc(catalog, std::vector<std::size_t>(40, 0));
+    BestFit bf;
+    bf.place_all(dc, vms);
+    bf_pms = dc.used_count();
+  }
+  EXPECT_GE(rr_pms, bf_pms);
+  EXPECT_GT(rr_pms, 30u);  // spread touches nearly the whole fleet
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,135 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+
+namespace prvm {
+namespace {
+
+Ec2ExperimentConfig tiny_config() {
+  Ec2ExperimentConfig config;
+  config.vm_count = 40;
+  config.repetitions = 2;
+  config.seed = 77;
+  config.sim.epochs = 12;
+  config.fleet_size = 100;
+  return config;
+}
+
+TEST(Ec2Experiment, RunsAndSummarizes) {
+  const Ec2Experiment experiment(tiny_config());
+  const auto result = experiment.run(AlgorithmKind::kFirstFit);
+  EXPECT_EQ(result.algorithm, AlgorithmKind::kFirstFit);
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (const SimMetrics& m : result.runs) {
+    EXPECT_GT(m.pms_used_initial, 0u);
+    EXPECT_EQ(m.rejected_vms, 0u);
+    EXPECT_GT(m.energy_kwh, 0.0);
+  }
+  const Summary pms = result.pms_used();
+  EXPECT_EQ(pms.n, 2u);
+  EXPECT_GE(pms.max, pms.min);
+  EXPECT_GT(result.energy_kwh().median, 0.0);
+  EXPECT_GE(result.migrations().median, 0.0);
+  EXPECT_GE(result.slo_percent().median, 0.0);
+}
+
+TEST(Ec2Experiment, DeterministicAcrossInstances) {
+  const Ec2Experiment a(tiny_config());
+  const Ec2Experiment b(tiny_config());
+  const auto ra = a.run(AlgorithmKind::kCompVm);
+  const auto rb = b.run(AlgorithmKind::kCompVm);
+  ASSERT_EQ(ra.runs.size(), rb.runs.size());
+  for (std::size_t i = 0; i < ra.runs.size(); ++i) {
+    EXPECT_EQ(ra.runs[i].pms_used_max, rb.runs[i].pms_used_max);
+    EXPECT_EQ(ra.runs[i].vm_migrations, rb.runs[i].vm_migrations);
+    EXPECT_DOUBLE_EQ(ra.runs[i].energy_kwh, rb.runs[i].energy_kwh);
+  }
+}
+
+TEST(Ec2Experiment, RepetitionsDiffer) {
+  Ec2ExperimentConfig config = tiny_config();
+  config.repetitions = 4;
+  const Ec2Experiment experiment(config);
+  const auto result = experiment.run(AlgorithmKind::kFirstFit);
+  // Different seeds -> (almost surely) at least one differing run.
+  bool any_difference = false;
+  for (std::size_t i = 1; i < result.runs.size(); ++i) {
+    if (result.runs[i].energy_kwh != result.runs[0].energy_kwh) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Ec2Experiment, GoogleTraceKind) {
+  Ec2ExperimentConfig config = tiny_config();
+  config.trace = TraceKind::kGoogleCluster;
+  const Ec2Experiment experiment(config);
+  const auto result = experiment.run(AlgorithmKind::kFirstFit);
+  EXPECT_EQ(result.runs.size(), 2u);
+  EXPECT_STREQ(to_string(TraceKind::kGoogleCluster), "Google");
+  EXPECT_STREQ(to_string(TraceKind::kPlanetLab), "PlanetLab");
+}
+
+TEST(Ec2Experiment, ValidatesConfig) {
+  Ec2ExperimentConfig config = tiny_config();
+  config.vm_count = 0;
+  EXPECT_THROW(Ec2Experiment{config}, std::invalid_argument);
+  config = tiny_config();
+  config.repetitions = 0;
+  EXPECT_THROW(Ec2Experiment{config}, std::invalid_argument);
+}
+
+TEST(Report, SummaryCellFormat) {
+  Summary s;
+  s.median = 12.0;
+  s.p1 = 10.5;
+  s.p99 = 13.25;
+  EXPECT_EQ(summary_cell(s, 1), "12.0 [10.5; 13.2]");  // iostream half-even
+  EXPECT_EQ(summary_cell(s, 0), "12 [10; 13]");
+}
+
+TEST(Report, FigureTableLaysOutSeries) {
+  Summary s;
+  s.median = 5.0;
+  std::vector<FigurePoint> points;
+  for (double x : {1000.0, 2000.0}) {
+    for (AlgorithmKind k : all_algorithm_kinds()) {
+      Summary v = s;
+      v.median = x / 100.0 + static_cast<double>(k);
+      v.p1 = v.median;
+      v.p99 = v.median;
+      points.push_back({x, k, v});
+    }
+  }
+  const TextTable table = figure_table("VMs", points, 1);
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string text = table.str();
+  EXPECT_NE(text.find("PageRankVM"), std::string::npos);
+  EXPECT_NE(text.find("1000"), std::string::npos);
+  // A missing series renders "-".
+  const TextTable sparse = figure_table("VMs", {points[0]}, 1);
+  EXPECT_NE(sparse.str().find("-"), std::string::npos);
+}
+
+TEST(Report, OrderingVerdictDetectsViolations) {
+  auto point = [](double x, AlgorithmKind k, double median) {
+    Summary s;
+    s.median = median;
+    return FigurePoint{x, k, s};
+  };
+  // Correct paper ordering.
+  std::vector<FigurePoint> good = {
+      point(1, AlgorithmKind::kPageRankVm, 1.0), point(1, AlgorithmKind::kCompVm, 2.0),
+      point(1, AlgorithmKind::kFfdSum, 3.0), point(1, AlgorithmKind::kFirstFit, 4.0)};
+  EXPECT_NE(ordering_verdict(good).find("holds"), std::string::npos);
+  // Violated ordering.
+  std::vector<FigurePoint> bad = good;
+  bad[0].summary.median = 10.0;
+  const std::string verdict = ordering_verdict(bad);
+  EXPECT_NE(verdict.find("violations"), std::string::npos);
+  EXPECT_NE(verdict.find("PageRankVM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prvm

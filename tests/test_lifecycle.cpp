@@ -1,0 +1,134 @@
+#include "sim/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_graphs.hpp"
+#include "placement/algorithm_factory.hpp"
+
+namespace prvm {
+namespace {
+
+LifecycleOptions small_options() {
+  LifecycleOptions options;
+  options.epochs = 60;
+  options.arrivals_per_epoch = 2.0;
+  options.mean_lifetime_epochs = 15.0;
+  options.seed = 42;
+  return options;
+}
+
+TEST(Lifecycle, RunsAndBalancesArrivalsDepartures) {
+  const Catalog catalog = geni_catalog();
+  LifecycleSimulation sim(Datacenter(catalog, std::vector<std::size_t>(40, 0)),
+                          small_options());
+  FirstFit ff;
+  const LifecycleMetrics metrics = sim.run(ff);
+  EXPECT_GT(metrics.arrivals, 60u);  // ~2/epoch
+  EXPECT_GT(metrics.departures, 0u);
+  EXPECT_LE(metrics.departures + metrics.rejected, metrics.arrivals);
+  // Population conservation: still-active VMs = arrivals - departures - rejected.
+  EXPECT_EQ(sim.datacenter().vm_count(),
+            metrics.arrivals - metrics.departures - metrics.rejected);
+  EXPECT_GT(metrics.peak_vms, 0u);
+  EXPECT_GE(metrics.peak_used_pms, 1u);
+  EXPECT_GT(metrics.mean_used_pms, 0.0);
+  EXPECT_GE(metrics.mean_fragmentation, 0.0);
+  EXPECT_LE(metrics.mean_fragmentation, 1.0);
+  EXPECT_FALSE(metrics.describe().empty());
+}
+
+TEST(Lifecycle, DeterministicForSameSeed) {
+  const Catalog catalog = geni_catalog();
+  LifecycleMetrics first;
+  for (int run = 0; run < 2; ++run) {
+    LifecycleSimulation sim(Datacenter(catalog, std::vector<std::size_t>(40, 0)),
+                            small_options());
+    BestFit bf;
+    const LifecycleMetrics metrics = sim.run(bf);
+    if (run == 0) {
+      first = metrics;
+    } else {
+      EXPECT_EQ(metrics.arrivals, first.arrivals);
+      EXPECT_EQ(metrics.departures, first.departures);
+      EXPECT_DOUBLE_EQ(metrics.mean_used_pms, first.mean_used_pms);
+      EXPECT_DOUBLE_EQ(metrics.mean_fragmentation, first.mean_fragmentation);
+    }
+  }
+}
+
+TEST(Lifecycle, RejectsWhenFleetSaturates) {
+  const Catalog catalog = geni_catalog();
+  LifecycleOptions options = small_options();
+  options.arrivals_per_epoch = 10.0;
+  options.mean_lifetime_epochs = 1000.0;  // essentially nobody leaves
+  LifecycleSimulation sim(Datacenter(catalog, std::vector<std::size_t>(2, 0)), options);
+  FirstFit ff;
+  const LifecycleMetrics metrics = sim.run(ff);
+  EXPECT_GT(metrics.rejected, 0u);
+}
+
+TEST(Lifecycle, SingleUseAndValidation) {
+  const Catalog catalog = geni_catalog();
+  LifecycleSimulation sim(Datacenter(catalog, std::vector<std::size_t>(4, 0)),
+                          small_options());
+  FirstFit ff;
+  sim.run(ff);
+  EXPECT_THROW(sim.run(ff), std::invalid_argument);
+
+  LifecycleOptions bad = small_options();
+  bad.epochs = 0;
+  EXPECT_THROW(LifecycleSimulation(Datacenter(catalog, {0}), bad), std::invalid_argument);
+  bad = small_options();
+  bad.mean_lifetime_epochs = 0.5;
+  EXPECT_THROW(LifecycleSimulation(Datacenter(catalog, {0}), bad), std::invalid_argument);
+  bad = small_options();
+  bad.vm_mix = {1.0};  // wrong size for 2 VM types
+  EXPECT_THROW(LifecycleSimulation(Datacenter(catalog, {0}), bad), std::invalid_argument);
+}
+
+TEST(Lifecycle, PackersBeatSpreadersOnMeanPms) {
+  const Catalog catalog = geni_catalog();
+  LifecycleOptions options = small_options();
+  options.epochs = 150;
+  options.arrivals_per_epoch = 3.0;
+  options.mean_lifetime_epochs = 30.0;
+
+  auto run_with = [&](AlgorithmKind kind) {
+    auto tables = std::make_shared<const ScoreTableSet>(
+        build_score_tables(catalog, {}, std::nullopt));
+    LifecycleSimulation sim(Datacenter(catalog, std::vector<std::size_t>(60, 0)), options);
+    auto algorithm = make_algorithm(kind, tables);
+    return sim.run(*algorithm);
+  };
+  const LifecycleMetrics spread = run_with(AlgorithmKind::kRoundRobin);
+  const LifecycleMetrics packed = run_with(AlgorithmKind::kPageRankVm);
+  EXPECT_LT(packed.mean_used_pms, spread.mean_used_pms);
+  EXPECT_LT(packed.mean_fragmentation, spread.mean_fragmentation);
+}
+
+TEST(Lifecycle, ConstraintsStillHoldAfterChurn) {
+  const Catalog catalog = geni_catalog();
+  LifecycleOptions options = small_options();
+  options.epochs = 120;
+  LifecycleSimulation sim(Datacenter(catalog, std::vector<std::size_t>(30, 0)), options);
+  CompVm comp;
+  sim.run(comp);
+  const Datacenter& dc = sim.datacenter();
+  for (PmIndex i = 0; i < dc.pm_count(); ++i) {
+    const auto& pm = dc.pm(i);
+    const ProfileShape& shape = dc.shape_of(i);
+    std::vector<int> replay(static_cast<std::size_t>(shape.total_dims()), 0);
+    for (const auto& placed : pm.vms) {
+      for (auto [dim, amount] : placed.assignments) {
+        replay[static_cast<std::size_t>(dim)] += amount;
+      }
+    }
+    for (int d = 0; d < shape.total_dims(); ++d) {
+      EXPECT_EQ(replay[static_cast<std::size_t>(d)], pm.usage.level(d));
+      EXPECT_LE(pm.usage.level(d), shape.dim_capacity(d));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,162 @@
+#include "sim/migration_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_graphs.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+std::shared_ptr<const ScoreTableSet> geni_tables() {
+  static const auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(geni_catalog(), {}, std::nullopt));
+  return tables;
+}
+
+// Minimal SimView over a bare datacenter (no traces needed by these
+// policies' selection logic).
+class StaticView final : public SimView {
+ public:
+  explicit StaticView(const Datacenter& dc) : dc_(dc) {}
+  const Datacenter& datacenter() const override { return dc_; }
+  double vm_cpu_ghz(VmId) const override { return 0.0; }
+  double pm_cpu_utilization(PmIndex) const override { return 0.0; }
+
+ private:
+  const Datacenter& dc_;
+};
+
+TEST(MinimumMigrationTime, PicksSmallestMemoryFootprint) {
+  // EC2 catalog: m3.2xlarge (30 GiB) vs m3.medium (3.75 GiB).
+  Datacenter dc(ec2_catalog(), {0});
+  dc.place_first_fit(0, Vm{10, 3});  // 2xlarge
+  dc.place_first_fit(0, Vm{11, 0});  // medium
+  StaticView view(dc);
+  MinimumMigrationTimePolicy policy;
+  EXPECT_EQ(policy.select_victim(view, 0), std::optional<VmId>{11});
+}
+
+TEST(MinimumMigrationTime, TieBreaksByLowestId) {
+  Datacenter dc(ec2_catalog(), {0});
+  dc.place_first_fit(0, Vm{7, 0});
+  dc.place_first_fit(0, Vm{3, 0});
+  StaticView view(dc);
+  MinimumMigrationTimePolicy policy;
+  EXPECT_EQ(policy.select_victim(view, 0), std::optional<VmId>{3});
+}
+
+TEST(MinimumMigrationTime, EmptyPmHasNoVictim) {
+  Datacenter dc(ec2_catalog(), {0});
+  StaticView view(dc);
+  MinimumMigrationTimePolicy policy;
+  EXPECT_FALSE(policy.select_victim(view, 0).has_value());
+}
+
+TEST(PageRankPolicy, PicksVictimLeavingBestResidual) {
+  const Catalog catalog = geni_catalog();
+  auto tables = geni_tables();
+  Datacenter dc(catalog, {0});
+  const ProfileShape& shape = catalog.shape(0);
+  // Job A: 2 vCPUs stacked with B on cores 0/1; Job B likewise; removing
+  // either leaves [1,1,0,0]. Job C: 4 vCPUs spread -> removing C leaves
+  // [2,2,0,0]. Scores decide; verify the policy agrees with a manual argmax.
+  dc.place(0, Vm{1, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {1, 1, 0, 0})});
+  dc.place(0, Vm{2, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {2, 2, 0, 0})});
+  dc.place(0, Vm{3, 1},
+           DemandPlacement{{{0, 1}, {1, 1}, {2, 1}, {3, 1}},
+                           Profile::from_levels(shape, {3, 3, 1, 1})});
+  StaticView view(dc);
+  PageRankMigrationPolicy policy(tables);
+  const auto victim = policy.select_victim(view, 0);
+  ASSERT_TRUE(victim.has_value());
+
+  const ScoreTable& table = tables->table(0);
+  double best_score = -1.0;
+  VmId best_vm = 0;
+  for (const auto& placed : dc.pm(0).vms) {
+    std::vector<int> levels(dc.pm(0).usage.levels().begin(), dc.pm(0).usage.levels().end());
+    for (auto [dim, amount] : placed.assignments) levels[static_cast<std::size_t>(dim)] -= amount;
+    const double s =
+        table.score(Profile::from_levels(shape, levels).canonical(shape).pack(shape));
+    if (s > best_score || (s == best_score && placed.vm.id < best_vm)) {
+      best_score = s;
+      best_vm = placed.vm.id;
+    }
+  }
+  EXPECT_EQ(*victim, best_vm);
+}
+
+TEST(PageRankPolicy, RequiresTables) {
+  EXPECT_THROW(PageRankMigrationPolicy(nullptr), std::invalid_argument);
+}
+
+
+// A view that reports per-VM CPU from a fixed map (for the CPU-aware
+// victim policies).
+class CpuView final : public SimView {
+ public:
+  CpuView(const Datacenter& dc, std::unordered_map<VmId, double> cpu)
+      : dc_(dc), cpu_(std::move(cpu)) {}
+  const Datacenter& datacenter() const override { return dc_; }
+  double vm_cpu_ghz(VmId vm) const override {
+    const auto it = cpu_.find(vm);
+    return it == cpu_.end() ? 0.0 : it->second;
+  }
+  double pm_cpu_utilization(PmIndex) const override { return 0.0; }
+
+ private:
+  const Datacenter& dc_;
+  std::unordered_map<VmId, double> cpu_;
+};
+
+TEST(MaxCpuVictim, PicksHottestVm) {
+  Datacenter dc(ec2_catalog(), {0});
+  dc.place_first_fit(0, Vm{1, 0});
+  dc.place_first_fit(0, Vm{2, 0});
+  dc.place_first_fit(0, Vm{3, 0});
+  CpuView view(dc, {{1, 0.4}, {2, 1.9}, {3, 0.7}});
+  MaxCpuVictimPolicy policy;
+  EXPECT_EQ(policy.select_victim(view, 0), std::optional<VmId>{2});
+}
+
+TEST(MaxCpuVictim, TieBreaksByLowestId) {
+  Datacenter dc(ec2_catalog(), {0});
+  dc.place_first_fit(0, Vm{5, 0});
+  dc.place_first_fit(0, Vm{4, 0});
+  CpuView view(dc, {{4, 1.0}, {5, 1.0}});
+  MaxCpuVictimPolicy policy;
+  EXPECT_EQ(policy.select_victim(view, 0), std::optional<VmId>{4});
+}
+
+TEST(RandomVictim, PicksOnlyResidents) {
+  Datacenter dc(ec2_catalog(), {0});
+  dc.place_first_fit(0, Vm{7, 0});
+  dc.place_first_fit(0, Vm{8, 0});
+  StaticView view(dc);
+  RandomVictimPolicy policy(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto victim = policy.select_victim(view, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(*victim == 7 || *victim == 8);
+  }
+}
+
+TEST(RandomVictim, EmptyPmHasNoVictim) {
+  Datacenter dc(ec2_catalog(), {0});
+  StaticView view(dc);
+  RandomVictimPolicy policy(3);
+  EXPECT_FALSE(policy.select_victim(view, 0).has_value());
+}
+
+TEST(DefaultPolicyFor, MapsKindsToPolicies) {
+  auto pagerank = default_policy_for(AlgorithmKind::kPageRankVm, geni_tables());
+  EXPECT_EQ(pagerank->name(), "pagerank-residual");
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kFirstFit, AlgorithmKind::kFfdSum, AlgorithmKind::kCompVm}) {
+    EXPECT_EQ(default_policy_for(kind)->name(), "min-migration-time");
+  }
+}
+
+}  // namespace
+}  // namespace prvm

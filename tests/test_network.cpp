@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "core/catalog_graphs.hpp"
+#include "network/network_aware.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+TEST(LeafSpineTopology, RackAssignmentAndHops) {
+  LeafSpineTopology topo(10, TopologyConfig{4, 1.0, 10.0});
+  EXPECT_EQ(topo.rack_count(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(topo.rack_of(0), 0u);
+  EXPECT_EQ(topo.rack_of(3), 0u);
+  EXPECT_EQ(topo.rack_of(4), 1u);
+  EXPECT_EQ(topo.rack_of(9), 2u);
+  EXPECT_EQ(topo.hop_distance(1, 1), 0);
+  EXPECT_EQ(topo.hop_distance(0, 3), 2);
+  EXPECT_EQ(topo.hop_distance(0, 4), 4);
+  EXPECT_DOUBLE_EQ(topo.locality_weight(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(topo.locality_weight(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(topo.locality_weight(0, 9), 0.25);
+}
+
+TEST(LeafSpineTopology, Validation) {
+  EXPECT_THROW(LeafSpineTopology(0), std::invalid_argument);
+  EXPECT_THROW(LeafSpineTopology(4, TopologyConfig{0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(LeafSpineTopology(4, TopologyConfig{2, 0.0, 1.0}), std::invalid_argument);
+  LeafSpineTopology topo(4, TopologyConfig{2, 1.0, 1.0});
+  EXPECT_THROW(topo.rack_of(4), std::invalid_argument);
+}
+
+TEST(TrafficModel, GroupsAndPeers) {
+  TrafficModel model;
+  model.add_group({{1, 2, 3}, 10.0});
+  model.add_group({{7, 8}, 5.0});
+  EXPECT_EQ(model.groups().size(), 2u);
+  EXPECT_EQ(model.peers_of(2), (std::vector<VmId>{1, 3}));
+  EXPECT_TRUE(model.peers_of(99).empty());
+  EXPECT_DOUBLE_EQ(model.rate_of(7), 5.0);
+  EXPECT_DOUBLE_EQ(model.rate_of(99), 0.0);
+}
+
+TEST(TrafficModel, Validation) {
+  TrafficModel model;
+  EXPECT_THROW(model.add_group({{1}, 1.0}), std::invalid_argument);
+  EXPECT_THROW(model.add_group({{1, 2}, -1.0}), std::invalid_argument);
+  model.add_group({{1, 2}, 1.0});
+  EXPECT_THROW(model.add_group({{2, 3}, 1.0}), std::invalid_argument);  // 2 reused
+}
+
+TEST(TrafficModel, EvaluateBreaksDownByLocality) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(4, 0));
+  LeafSpineTopology topo(4, TopologyConfig{2, 1.0, 10.0});  // racks {0,1}, {2,3}
+  TrafficModel model;
+  model.add_group({{0, 1, 2}, 10.0});
+
+  dc.place_first_fit(0, Vm{0, 0});  // vm0 -> pm0
+  dc.place_first_fit(0, Vm{1, 0});  // vm1 -> pm0 (same PM)
+  dc.place_first_fit(2, Vm{2, 0});  // vm2 -> pm2 (other rack)
+
+  const auto cost = model.evaluate(dc, topo);
+  EXPECT_DOUBLE_EQ(cost.total_mbps, 30.0);        // 3 pairs x 10
+  EXPECT_DOUBLE_EQ(cost.intra_pm_mbps, 10.0);     // (0,1)
+  EXPECT_DOUBLE_EQ(cost.intra_rack_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(cost.inter_rack_mbps, 20.0);   // (0,2), (1,2)
+  EXPECT_DOUBLE_EQ(cost.weighted_hop_mbps, 10.0 * 0 + 20.0 * 4);
+  EXPECT_NEAR(cost.inter_rack_share(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TrafficModel, EvaluateSkipsUnplacedEndpoints) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(2, 0));
+  LeafSpineTopology topo(2);
+  TrafficModel model;
+  model.add_group({{0, 1}, 10.0});
+  dc.place_first_fit(0, Vm{0, 0});  // vm1 never placed
+  const auto cost = model.evaluate(dc, topo);
+  EXPECT_DOUBLE_EQ(cost.total_mbps, 0.0);
+}
+
+TEST(RandomTrafficGroups, PartitionsWithoutOverlap) {
+  Rng rng(5);
+  std::vector<Vm> vms;
+  for (VmId id = 0; id < 50; ++id) vms.push_back(Vm{id, 0});
+  const TrafficModel model = random_traffic_groups(rng, vms, 2, 5, 8.0);
+  std::size_t covered = 0;
+  for (const TrafficGroup& g : model.groups()) {
+    EXPECT_GE(g.members.size(), 2u);
+    EXPECT_LE(g.members.size(), 5u);
+    EXPECT_DOUBLE_EQ(g.pairwise_mbps, 8.0);
+    covered += g.members.size();
+  }
+  EXPECT_GE(covered, 48u);  // at most one trailing singleton left out
+  EXPECT_THROW(random_traffic_groups(rng, vms, 1, 3, 1.0), std::invalid_argument);
+}
+
+class NetworkAwareTest : public ::testing::Test {
+ protected:
+  NetworkAwareTest()
+      : catalog_(geni_catalog()),
+        tables_(std::make_shared<const ScoreTableSet>(
+            build_score_tables(catalog_, {}, std::nullopt))),
+        topology_(std::make_shared<const LeafSpineTopology>(8, TopologyConfig{4, 1.0, 10.0})) {}
+
+  Catalog catalog_;
+  std::shared_ptr<const ScoreTableSet> tables_;
+  std::shared_ptr<const LeafSpineTopology> topology_;
+};
+
+TEST_F(NetworkAwareTest, ValidatesArguments) {
+  auto traffic = std::make_shared<const TrafficModel>();
+  EXPECT_THROW(NetworkAwarePageRankVm(tables_, nullptr, traffic), std::invalid_argument);
+  EXPECT_THROW(NetworkAwarePageRankVm(tables_, topology_, nullptr), std::invalid_argument);
+  NetworkAwareOptions bad;
+  bad.locality_weight_factor = 1.5;
+  EXPECT_THROW(NetworkAwarePageRankVm(tables_, topology_, traffic, bad),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkAwareTest, UngroupedVmsBehaveLikePlainPageRankVm) {
+  auto traffic = std::make_shared<const TrafficModel>();
+  Datacenter dc_a(catalog_, std::vector<std::size_t>(8, 0));
+  Datacenter dc_b(catalog_, std::vector<std::size_t>(8, 0));
+  NetworkAwarePageRankVm aware(tables_, topology_, traffic);
+  PageRankVm plain(tables_);
+  Rng rng(3);
+  const auto vms = random_vm_requests(rng, catalog_, 20);
+  for (const Vm& vm : vms) {
+    EXPECT_EQ(aware.place(dc_a, vm), plain.place(dc_b, vm));
+  }
+}
+
+TEST_F(NetworkAwareTest, HighLocalityWeightKeepsGroupsTogether) {
+  auto traffic = std::make_shared<TrafficModel>();
+  traffic->add_group({{0, 1, 2, 3}, 10.0});
+  NetworkAwareOptions options;
+  options.locality_weight_factor = 0.9;
+  NetworkAwarePageRankVm aware(tables_, topology_,
+                               std::shared_ptr<const TrafficModel>(traffic), options);
+  Datacenter dc(catalog_, std::vector<std::size_t>(8, 0));
+  // Pre-fill PM 0 (rack 0) a bit so scores differ across PMs, then place
+  // the group: all members must end up in rack 0 with the first one.
+  for (const Vm vm : {Vm{0, 1}, Vm{1, 1}, Vm{2, 1}, Vm{3, 1}}) {
+    ASSERT_TRUE(aware.place(dc, vm).has_value());
+  }
+  const auto first = dc.pm_of(0);
+  ASSERT_TRUE(first.has_value());
+  for (VmId id : {1u, 2u, 3u}) {
+    const auto pm = dc.pm_of(id);
+    ASSERT_TRUE(pm.has_value());
+    EXPECT_EQ(topology_->rack_of(*pm), topology_->rack_of(*first)) << "vm " << id;
+  }
+}
+
+TEST_F(NetworkAwareTest, AffinityMatchesTopology) {
+  auto traffic = std::make_shared<TrafficModel>();
+  traffic->add_group({{0, 1}, 10.0});
+  NetworkAwarePageRankVm aware(tables_, topology_,
+                               std::shared_ptr<const TrafficModel>(traffic));
+  Datacenter dc(catalog_, std::vector<std::size_t>(8, 0));
+  EXPECT_FALSE(aware.affinity(dc, 0, 1).has_value());  // peer not placed yet
+  dc.place_first_fit(2, Vm{0, 0});                     // vm0 on pm2 (rack 0)
+  EXPECT_DOUBLE_EQ(aware.affinity(dc, 2, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(aware.affinity(dc, 0, 1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(aware.affinity(dc, 7, 1).value(), 0.25);
+}
+
+TEST_F(NetworkAwareTest, ReducesInterRackTrafficVersusPlain) {
+  Rng rng(11);
+  std::vector<Vm> vms;
+  for (VmId id = 0; id < 48; ++id) vms.push_back(Vm{id, id % 2});
+  Rng group_rng(12);
+  auto traffic = std::make_shared<const TrafficModel>(
+      random_traffic_groups(group_rng, vms, 3, 6, 10.0));
+  auto topo = std::make_shared<const LeafSpineTopology>(24, TopologyConfig{4, 1.0, 10.0});
+
+  TrafficModel::CostBreakdown plain_cost, aware_cost;
+  {
+    Datacenter dc(catalog_, std::vector<std::size_t>(24, 0));
+    PageRankVm plain(tables_);
+    plain.place_all(dc, vms);
+    plain_cost = traffic->evaluate(dc, *topo);
+  }
+  {
+    Datacenter dc(catalog_, std::vector<std::size_t>(24, 0));
+    NetworkAwareOptions options;
+    options.locality_weight_factor = 0.7;
+    NetworkAwarePageRankVm aware(tables_, topo, traffic, options);
+    aware.place_all(dc, vms);
+    aware_cost = traffic->evaluate(dc, *topo);
+  }
+  EXPECT_LT(aware_cost.weighted_hop_mbps, plain_cost.weighted_hop_mbps);
+}
+
+}  // namespace
+}  // namespace prvm

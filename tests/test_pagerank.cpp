@@ -1,0 +1,242 @@
+#include "pagerank/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "pagerank/graph.hpp"
+
+namespace prvm {
+namespace {
+
+TEST(Digraph, BuildAndQuery) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+  const NodeId n = g.add_node();
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(Digraph, FinalizePreservesAdjacency) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);
+  g.add_edge(2, 0);
+  std::vector<std::vector<NodeId>> before;
+  for (NodeId u = 0; u < 4; ++u) {
+    auto s = g.successors(u);
+    before.emplace_back(s.begin(), s.end());
+  }
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+  for (NodeId u = 0; u < 4; ++u) {
+    auto s = g.successors(u);
+    EXPECT_EQ(std::vector<NodeId>(s.begin(), s.end()), before[u]);
+  }
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_node(), std::invalid_argument);
+}
+
+TEST(Digraph, EdgeValidation) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW(g.successors(5), std::invalid_argument);
+}
+
+TEST(TopologicalOrder, LinearChain) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(topological_order(g), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(TopologicalOrder, RespectsAllEdges) {
+  Digraph g(6);
+  g.add_edge(5, 2);
+  g.add_edge(5, 0);
+  g.add_edge(4, 0);
+  g.add_edge(4, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  const auto order = topological_order(g);
+  std::vector<std::size_t> pos(6);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v : g.successors(u)) EXPECT_LT(pos[u], pos[v]);
+  }
+}
+
+TEST(TopologicalOrder, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_THROW(topological_order(g), std::invalid_argument);
+}
+
+TEST(CountPaths, DiamondGraph) {
+  // 0 -> {1,2} -> 3: two paths from 0 to 3.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto counts = count_paths_to(g, 3);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);  // empty path
+}
+
+TEST(CountPaths, UnreachableNodesAreZero) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto counts = count_paths_to(g, 1);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(PageRank, UniformOnSymmetricCycleFreeGraph) {
+  // Two disconnected nodes: rank must stay uniform.
+  Digraph g(2);
+  const auto result = compute_pagerank(g);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.scores[0], 0.5);
+  EXPECT_DOUBLE_EQ(result.scores[1], 0.5);
+}
+
+TEST(PageRank, SinkReceivesMoreThanSource) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const auto result = compute_pagerank(g);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.scores[1], result.scores[0]);
+}
+
+TEST(PageRank, ScoresSumToOneAndNonNegative) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto result = compute_pagerank(g);
+  double sum = 0.0;
+  for (double s : result.scores) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, StarCenterAnalyticValue) {
+  // n-1 leaves all pointing at node 0; no out-edges from 0 (dangling).
+  // Algorithm 1 normalizes every iteration, so the fixed point satisfies
+  // c = (b + (n-1) d l) / lambda, l = b / lambda with
+  // lambda = n b + (n-1) d l, b = (1-d)/n. Eliminating l gives
+  // lambda^2 - n b lambda - (n-1) d b = 0 and c/l = 1 + (n-1) d / lambda.
+  const std::size_t n = 5;
+  const double d = 0.85;
+  Digraph g(n);
+  for (NodeId u = 1; u < n; ++u) g.add_edge(u, 0);
+  PageRankOptions options;
+  options.damping = d;
+  const auto result = compute_pagerank(g, options);
+  ASSERT_TRUE(result.converged);
+  const double b = (1.0 - d) / static_cast<double>(n);
+  const double nb = static_cast<double>(n) * b;
+  const double lambda =
+      (nb + std::sqrt(nb * nb + 4.0 * (n - 1) * d * b)) / 2.0;
+  const double expected_ratio = 1.0 + (n - 1) * d / lambda;
+  EXPECT_NEAR(result.scores[0] / result.scores[1], expected_ratio, 1e-6);
+}
+
+TEST(PageRank, DampingZeroGivesTeleportOnly) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  PageRankOptions options;
+  options.damping = 0.0;
+  const auto result = compute_pagerank(g, options);
+  for (double s : result.scores) EXPECT_NEAR(s, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PageRank, RespectsIterationBudget) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  PageRankOptions options;
+  options.max_iterations = 1;
+  options.epsilon = 1e-300;  // unreachable
+  const auto result = compute_pagerank(g, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 1);
+}
+
+TEST(PageRank, PersonalizedTeleportConcentratesRank) {
+  // Cycle 2 -> 1 -> 0 -> 2 (no dangling leak, so normalization is a no-op)
+  // with teleport pinned at node 2: rank decays with distance from the
+  // teleport node.
+  Digraph g(3);
+  g.add_edge(2, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 2);
+  std::vector<double> teleport{0.0, 0.0, 1.0};
+  const auto result = compute_pagerank(g, {}, teleport);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.scores[2], result.scores[1]);
+  EXPECT_GT(result.scores[1], result.scores[0]);
+  // Exact geometric fixed point: PR1 = d PR2, PR0 = d PR1.
+  EXPECT_NEAR(result.scores[1], 0.85 * result.scores[2], 1e-9);
+  EXPECT_NEAR(result.scores[0], 0.85 * result.scores[1], 1e-9);
+}
+
+TEST(PageRank, DanglingLeakAmplifiesDownstreamUnderTeleport) {
+  // The same chain WITHOUT the closing edge: node 0 dangles, every
+  // iteration loses mass and the normalization rescales by lambda < 1,
+  // which inverts the gradient (d/lambda > 1). This is a deliberate
+  // property of running Algorithm 1's normalized loop with a personalized
+  // teleport; the score-table build relies on the profile DAG's structure
+  // (branching division) rather than on monotone decay.
+  Digraph g(3);
+  g.add_edge(2, 1);
+  g.add_edge(1, 0);
+  std::vector<double> teleport{0.0, 0.0, 1.0};
+  const auto result = compute_pagerank(g, {}, teleport);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.scores[0], result.scores[1]);
+  EXPECT_GT(result.scores[1], result.scores[2]);
+}
+
+TEST(PageRank, TeleportValidation) {
+  Digraph g(2);
+  std::vector<double> wrong_size{1.0};
+  EXPECT_THROW(compute_pagerank(g, {}, wrong_size), std::invalid_argument);
+  std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(compute_pagerank(g, {}, negative), std::invalid_argument);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(compute_pagerank(g, {}, zero), std::invalid_argument);
+}
+
+TEST(PageRank, OptionValidation) {
+  Digraph g(1);
+  PageRankOptions bad;
+  bad.damping = 1.0;
+  EXPECT_THROW(compute_pagerank(g, bad), std::invalid_argument);
+  bad = {};
+  bad.epsilon = 0.0;
+  EXPECT_THROW(compute_pagerank(g, bad), std::invalid_argument);
+  bad = {};
+  bad.max_iterations = 0;
+  EXPECT_THROW(compute_pagerank(g, bad), std::invalid_argument);
+  EXPECT_THROW(compute_pagerank(Digraph(0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/catalog_graphs.hpp"
+#include "placement/algorithm_factory.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+std::shared_ptr<const ScoreTableSet> geni_tables() {
+  static const auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(geni_catalog(), {}, std::nullopt));
+  return tables;
+}
+
+// Verifies the core §IV invariants on a datacenter after placement.
+void expect_valid_state(const Datacenter& dc) {
+  for (PmIndex i = 0; i < dc.pm_count(); ++i) {
+    const auto& pm = dc.pm(i);
+    const ProfileShape& shape = dc.shape_of(i);
+    std::vector<int> replay(static_cast<std::size_t>(shape.total_dims()), 0);
+    for (const auto& placed : pm.vms) {
+      std::set<int> dims;
+      for (auto [dim, amount] : placed.assignments) {
+        EXPECT_TRUE(dims.insert(dim).second) << "anti-collocation violated";
+        replay[static_cast<std::size_t>(dim)] += amount;
+      }
+    }
+    for (int d = 0; d < shape.total_dims(); ++d) {
+      EXPECT_EQ(replay[static_cast<std::size_t>(d)], pm.usage.level(d));
+      EXPECT_LE(pm.usage.level(d), shape.dim_capacity(d));
+    }
+  }
+}
+
+class PlacementAlgorithmTest : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(PlacementAlgorithmTest, PlacesAllJobsOnAmpleFleet) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(40, 0));
+  auto algorithm = make_algorithm(GetParam(), geni_tables());
+  Rng rng(5);
+  const auto vms = random_vm_requests(rng, catalog, 60);
+  const auto rejected = algorithm->place_all(dc, vms);
+  EXPECT_TRUE(rejected.empty());
+  EXPECT_EQ(dc.vm_count(), 60u);
+  expect_valid_state(dc);
+  // Consolidation sanity: 60 jobs of <= 4 slots on 16-slot instances need
+  // at most ~20 PMs for any sane algorithm.
+  EXPECT_LE(dc.used_count(), 25u);
+}
+
+TEST_P(PlacementAlgorithmTest, DeterministicAcrossRuns) {
+  const Catalog catalog = geni_catalog();
+  Rng rng(17);
+  const auto vms = random_vm_requests(rng, catalog, 40);
+  std::vector<std::optional<PmIndex>> first;
+  for (int run = 0; run < 2; ++run) {
+    Datacenter dc(catalog, std::vector<std::size_t>(30, 0));
+    auto algorithm = make_algorithm(GetParam(), geni_tables());
+    std::vector<std::optional<PmIndex>> got;
+    for (const Vm& vm : vms) got.push_back(algorithm->place(dc, vm));
+    if (run == 0) {
+      first = got;
+    } else {
+      EXPECT_EQ(first, got);
+    }
+  }
+}
+
+TEST_P(PlacementAlgorithmTest, RespectsExcludeConstraint) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(3, 0));
+  auto algorithm = make_algorithm(GetParam(), geni_tables());
+  PlacementConstraints constraints;
+  constraints.exclude = 0;
+  for (VmId id = 0; id < 6; ++id) {
+    const auto pm = algorithm->place(dc, Vm{id, 0}, constraints);
+    ASSERT_TRUE(pm.has_value());
+    EXPECT_NE(*pm, 0u);
+  }
+}
+
+TEST_P(PlacementAlgorithmTest, RespectsAllowVeto) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(4, 0));
+  auto algorithm = make_algorithm(GetParam(), geni_tables());
+  PlacementConstraints constraints;
+  constraints.allow = [](const Datacenter&, PmIndex pm) { return pm >= 2; };
+  for (VmId id = 0; id < 8; ++id) {
+    const auto pm = algorithm->place(dc, Vm{id, 1}, constraints);
+    ASSERT_TRUE(pm.has_value());
+    EXPECT_GE(*pm, 2u);
+  }
+}
+
+TEST_P(PlacementAlgorithmTest, ReturnsNulloptWhenNothingFits) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  auto algorithm = make_algorithm(GetParam(), geni_tables());
+  // Fill the single instance: 4 four-core jobs = 16 slots.
+  for (VmId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(algorithm->place(dc, Vm{id, 1}).has_value());
+  }
+  EXPECT_FALSE(algorithm->place(dc, Vm{99, 0}).has_value());
+  expect_valid_state(dc);
+}
+
+TEST_P(PlacementAlgorithmTest, PrefersUsedPmsOverUnused) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(5, 0));
+  auto algorithm = make_algorithm(GetParam(), geni_tables());
+  ASSERT_TRUE(algorithm->place(dc, Vm{0, 0}).has_value());
+  // A second small job must join the used PM, not open a new one.
+  const auto pm = algorithm->place(dc, Vm{1, 0});
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_EQ(dc.used_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PlacementAlgorithmTest,
+                         ::testing::Values(AlgorithmKind::kPageRankVm,
+                                           AlgorithmKind::kCompVm,
+                                           AlgorithmKind::kFfdSum,
+                                           AlgorithmKind::kFirstFit),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(FirstFit, FillsInActivationOrder) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(3, 0));
+  FirstFit ff;
+  // 5 small jobs: the first PM holds up to 8 two-slot jobs, so all land on 0.
+  for (VmId id = 0; id < 5; ++id) {
+    EXPECT_EQ(ff.place(dc, Vm{id, 0}), std::optional<PmIndex>{0});
+  }
+}
+
+TEST(FfdSum, SizeIsMonotoneInDemand) {
+  const Catalog catalog = ec2_catalog();
+  // m3.2xlarge dominates m3.medium in every dimension.
+  EXPECT_GT(FfdSum::vm_size(catalog, 3), FfdSum::vm_size(catalog, 0));
+  // All sizes positive.
+  for (std::size_t t = 0; t < catalog.vm_types().size(); ++t) {
+    EXPECT_GT(FfdSum::vm_size(catalog, t), 0.0);
+  }
+}
+
+TEST(FfdSum, PlacesLargestFirst) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(4, 0));
+  FfdSum ffd;
+  // Mixed batch: the 4-core jobs must be placed before 2-core jobs, so
+  // PM 0 accumulates 4-core jobs first.
+  std::vector<Vm> vms = {{0, 0}, {1, 1}, {2, 0}, {3, 1}};
+  const auto rejected = ffd.place_all(dc, vms);
+  EXPECT_TRUE(rejected.empty());
+  // The first VM on PM 0 must be one of the 4-core jobs (type 1).
+  ASSERT_FALSE(dc.pm(0).vms.empty());
+  EXPECT_EQ(dc.pm(0).vms.front().vm.type_index, 1u);
+}
+
+TEST(CompVm, PrefersComplementaryPm) {
+  // Two used PMs: one with a hot core, one balanced. CompVM must choose the
+  // placement minimizing resulting variance.
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(2, 0));
+  const ProfileShape& shape = dc.shape_of(0);
+  // PM0: concentrated [4,2,0,0]; PM1: balanced [2,2,1,1].
+  dc.place(0, Vm{1, 1},
+           DemandPlacement{{{0, 2}, {0 + 1, 2}, {2, 1}, {3, 1}},
+                           Profile::from_levels(shape, {2, 2, 1, 1})});
+  dc.place(1, Vm{2, 1},
+           DemandPlacement{{{0, 4}, {1, 2}},
+                           Profile::from_levels(shape, {4, 2, 0, 0})});
+  CompVm comp;
+  const auto pm = comp.place(dc, Vm{3, 0});
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_EQ(*pm, 0u);  // the balanced PM yields lower post-placement variance
+  expect_valid_state(dc);
+}
+
+TEST(PageRankVm, RequiresTables) {
+  EXPECT_THROW(PageRankVm(nullptr), std::invalid_argument);
+  EXPECT_THROW(make_algorithm(AlgorithmKind::kPageRankVm, nullptr), std::invalid_argument);
+}
+
+TEST(PageRankVm, PlacementScoreMatchesTable) {
+  const Catalog catalog = geni_catalog();
+  auto tables = geni_tables();
+  Datacenter dc(catalog, std::vector<std::size_t>(2, 0));
+  PageRankVm algorithm(tables);
+  const auto score_empty = algorithm.placement_score(dc, 0, 0);
+  ASSERT_TRUE(score_empty.has_value());
+  const auto best = tables->table(0).best_after(dc.pm(0).canonical_key, 0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(*score_empty, best->score);
+}
+
+TEST(PageRankVm, MaterializesTheWinningPermutation) {
+  const Catalog catalog = geni_catalog();
+  auto tables = geni_tables();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  PageRankVm algorithm(tables);
+  ASSERT_TRUE(algorithm.place(dc, Vm{0, 0}).has_value());
+  const ProfileShape& shape = dc.shape_of(0);
+  const auto best_before = tables->table(0).best_after(
+      Profile::zero(shape).pack(shape), *tables->demand_slot(0, 0));
+  ASSERT_TRUE(best_before.has_value());
+  EXPECT_EQ(dc.pm(0).canonical_key, best_before->successor);
+}
+
+TEST(PageRankVm, TwoChoiceStillPlaces) {
+  const Catalog catalog = geni_catalog();
+  PageRankVmOptions options;
+  options.two_choice = true;
+  options.seed = 3;
+  PageRankVm algorithm(geni_tables(), options);
+  Datacenter dc(catalog, std::vector<std::size_t>(20, 0));
+  Rng rng(8);
+  const auto vms = random_vm_requests(rng, catalog, 40);
+  EXPECT_TRUE(algorithm.place_all(dc, vms).empty());
+  expect_valid_state(dc);
+}
+
+TEST(AlgorithmFactory, KindsAndNames) {
+  EXPECT_STREQ(to_string(AlgorithmKind::kPageRankVm), "PageRankVM");
+  EXPECT_STREQ(to_string(AlgorithmKind::kFirstFit), "FF");
+  EXPECT_STREQ(to_string(AlgorithmKind::kFfdSum), "FFDSum");
+  EXPECT_STREQ(to_string(AlgorithmKind::kCompVm), "CompVM");
+  EXPECT_EQ(all_algorithm_kinds().size(), 4u);
+  for (AlgorithmKind kind : all_algorithm_kinds()) {
+    auto algorithm = make_algorithm(kind, geni_tables());
+    EXPECT_EQ(algorithm->kind(), kind);
+    EXPECT_EQ(algorithm->name(), to_string(kind));
+  }
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,157 @@
+#include "profile/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace prvm {
+namespace {
+
+ProfileShape paper_shape() {
+  // The paper's running example: capacity [4,4,4,4], one CPU group.
+  return ProfileShape({DimensionGroup{ResourceKind::kCpu, 4, 4}});
+}
+
+ProfileShape ec2_like_shape() {
+  // 8 cores / 1 memory / 4 disks.
+  return ProfileShape({DimensionGroup{ResourceKind::kCpu, 8, 4},
+                       DimensionGroup{ResourceKind::kMemory, 1, 16},
+                       DimensionGroup{ResourceKind::kDisk, 4, 4}});
+}
+
+TEST(ProfileShape, BasicAccounting) {
+  const ProfileShape s = ec2_like_shape();
+  EXPECT_EQ(s.total_dims(), 13);
+  EXPECT_EQ(s.total_capacity(), 8 * 4 + 16 + 4 * 4);
+  EXPECT_EQ(s.group_offset(0), 0);
+  EXPECT_EQ(s.group_offset(1), 8);
+  EXPECT_EQ(s.group_offset(2), 9);
+  EXPECT_EQ(s.dim_capacity(0), 4);
+  EXPECT_EQ(s.dim_capacity(8), 16);
+  EXPECT_EQ(s.dim_capacity(12), 4);
+}
+
+TEST(ProfileShape, KeyBitsComputed) {
+  const ProfileShape s = ec2_like_shape();
+  // 8 dims * 3 bits + 1 dim * 5 bits + 4 dims * 3 bits = 41.
+  EXPECT_EQ(s.key_bits(), 41);
+  EXPECT_EQ(s.group_bits(0), 3);
+  EXPECT_EQ(s.group_bits(1), 5);
+  EXPECT_EQ(s.group_bits(2), 3);
+}
+
+TEST(ProfileShape, RejectsOversizedKey) {
+  // 22 dims * 3 bits = 66 bits > 64.
+  EXPECT_THROW(ProfileShape({DimensionGroup{ResourceKind::kCpu, 22, 4}}),
+               std::invalid_argument);
+}
+
+TEST(ProfileShape, RejectsDegenerateGroups) {
+  EXPECT_THROW(ProfileShape({}), std::invalid_argument);
+  EXPECT_THROW(ProfileShape({DimensionGroup{ResourceKind::kCpu, 0, 4}}),
+               std::invalid_argument);
+  EXPECT_THROW(ProfileShape({DimensionGroup{ResourceKind::kCpu, 4, 0}}),
+               std::invalid_argument);
+}
+
+TEST(ProfileShape, EqualityComparesGroups) {
+  EXPECT_TRUE(paper_shape() == paper_shape());
+  EXPECT_FALSE(paper_shape() == ec2_like_shape());
+}
+
+TEST(Profile, ZeroProfile) {
+  const ProfileShape s = paper_shape();
+  const Profile z = Profile::zero(s);
+  EXPECT_EQ(z.total_usage(), 0);
+  EXPECT_DOUBLE_EQ(z.utilization(s), 0.0);
+  EXPECT_TRUE(z.is_canonical(s));
+  EXPECT_EQ(z.pack(s), 0u);
+}
+
+TEST(Profile, FromLevelsValidates) {
+  const ProfileShape s = paper_shape();
+  EXPECT_THROW(Profile::from_levels(s, {1, 2, 3}), std::invalid_argument);       // size
+  EXPECT_THROW(Profile::from_levels(s, {5, 0, 0, 0}), std::invalid_argument);    // > cap
+  EXPECT_THROW(Profile::from_levels(s, {-1, 0, 0, 0}), std::invalid_argument);   // < 0
+  EXPECT_NO_THROW(Profile::from_levels(s, {4, 4, 4, 4}));
+}
+
+TEST(Profile, CanonicalSortsEachGroupDescending) {
+  const ProfileShape s = ec2_like_shape();
+  std::vector<int> levels = {0, 1, 2, 3, 4, 0, 1, 2, /*mem*/ 7, /*disks*/ 1, 3, 0, 2};
+  const Profile p = Profile::from_levels(s, levels);
+  EXPECT_FALSE(p.is_canonical(s));
+  const Profile c = p.canonical(s);
+  EXPECT_TRUE(c.is_canonical(s));
+  const std::vector<int> expected = {4, 3, 2, 2, 1, 1, 0, 0, 7, 3, 2, 1, 0};
+  EXPECT_EQ(std::vector<int>(c.levels().begin(), c.levels().end()), expected);
+  // Canonicalization preserves total usage.
+  EXPECT_EQ(c.total_usage(), p.total_usage());
+}
+
+TEST(Profile, CanonicalIsIdempotent) {
+  const ProfileShape s = ec2_like_shape();
+  const Profile p =
+      Profile::from_levels(s, {3, 1, 4, 0, 2, 2, 0, 1, 9, 2, 0, 4, 1}).canonical(s);
+  EXPECT_EQ(p.canonical(s), p);
+}
+
+TEST(Profile, PackUnpackRoundTrip) {
+  const ProfileShape s = ec2_like_shape();
+  const Profile p =
+      Profile::from_levels(s, {4, 4, 3, 2, 1, 1, 0, 0, 13, 4, 3, 1, 0});
+  ASSERT_TRUE(p.is_canonical(s));
+  const ProfileKey key = p.pack(s);
+  EXPECT_EQ(Profile::unpack(s, key), p);
+}
+
+TEST(Profile, PackRejectsNonCanonical) {
+  const ProfileShape s = paper_shape();
+  const Profile p = Profile::from_levels(s, {1, 2, 0, 0});
+  EXPECT_THROW(p.pack(s), std::invalid_argument);
+}
+
+TEST(Profile, PackIsInjectiveOnDistinctProfiles) {
+  const ProfileShape s = paper_shape();
+  // Exhaustively pack all canonical profiles of the small shape and verify
+  // key uniqueness.
+  std::vector<ProfileKey> keys;
+  for (int a = 0; a <= 4; ++a)
+    for (int b = 0; b <= a; ++b)
+      for (int c = 0; c <= b; ++c)
+        for (int d = 0; d <= c; ++d)
+          keys.push_back(Profile::from_levels(s, {a, b, c, d}).pack(s));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+  EXPECT_EQ(keys.size(), 70u);  // multichoose(5,4) = C(8,4)
+}
+
+TEST(Profile, UnpackRejectsStrayBits) {
+  const ProfileShape s = paper_shape();
+  EXPECT_THROW(Profile::unpack(s, ~ProfileKey{0}), std::invalid_argument);
+}
+
+TEST(Profile, UtilizationAndVariance) {
+  const ProfileShape s = paper_shape();
+  const Profile p = Profile::from_levels(s, {4, 3, 3, 3});
+  EXPECT_DOUBLE_EQ(p.utilization(s), 13.0 / 16.0);
+  // Normalized levels 1, .75, .75, .75 -> variance of those.
+  EXPECT_NEAR(p.variance(s), 0.01171875, 1e-12);
+}
+
+TEST(Profile, BestProfile) {
+  const ProfileShape s = ec2_like_shape();
+  const Profile best = best_profile(s);
+  EXPECT_TRUE(best.is_best(s));
+  EXPECT_DOUBLE_EQ(best.utilization(s), 1.0);
+  EXPECT_FALSE(Profile::zero(s).is_best(s));
+}
+
+TEST(Profile, DescribeIsReadable) {
+  const ProfileShape s = paper_shape();
+  EXPECT_EQ(Profile::from_levels(s, {4, 4, 2, 2}).describe(), "[4,4,2,2]");
+  EXPECT_NE(s.describe().find("4xcpu/4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,82 @@
+#include "profile/quantization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace prvm {
+namespace {
+
+TEST(Quantization, ZeroDemandIsFree) {
+  EXPECT_EQ(quantize_demand(0.0, 10.0, 4), 0);
+}
+
+TEST(Quantization, PositiveDemandCostsAtLeastOneLevel) {
+  EXPECT_EQ(quantize_demand(0.001, 100.0, 4), 1);
+}
+
+TEST(Quantization, RoundsUp) {
+  // unit = 2.5; 3.0 -> 2 levels, 5.0 -> exactly 2, 5.1 -> 3.
+  EXPECT_EQ(quantize_demand(3.0, 10.0, 4), 2);
+  EXPECT_EQ(quantize_demand(5.0, 10.0, 4), 2);
+  EXPECT_EQ(quantize_demand(5.1, 10.0, 4), 3);
+}
+
+TEST(Quantization, ExactMultiplesDoNotOvershoot) {
+  // FP noise guard: k * (c/k) must quantize to exactly k levels.
+  for (int levels : {3, 6, 7, 16}) {
+    const double capacity = 2.6;
+    EXPECT_EQ(quantize_demand(capacity, capacity, levels), levels);
+    const double unit = capacity / levels;
+    for (int k = 1; k <= levels; ++k) {
+      EXPECT_EQ(quantize_demand(k * unit, capacity, levels), k)
+          << "levels=" << levels << " k=" << k;
+    }
+  }
+}
+
+TEST(Quantization, Ec2ValuesFromThePaper) {
+  // M3 core 2.6 GHz at 4 levels (0.65 GHz/level): a 0.6 GHz vCPU costs 1.
+  EXPECT_EQ(quantize_demand(0.6, 2.6, 4), 1);
+  // A 0.7 GHz c3 vCPU costs 2 levels on M3 (0.7 > 0.65)...
+  EXPECT_EQ(quantize_demand(0.7, 2.6, 4), 2);
+  // ...and exactly 1 level on C3 (2.8/4 = 0.7).
+  EXPECT_EQ(quantize_demand(0.7, 2.8, 4), 1);
+  // M3 memory 64 GiB at 16 levels (4 GiB/level): Table I memory sizes.
+  EXPECT_EQ(quantize_demand(3.75, 64.0, 16), 1);
+  EXPECT_EQ(quantize_demand(7.5, 64.0, 16), 2);
+  EXPECT_EQ(quantize_demand(15.0, 64.0, 16), 4);
+  EXPECT_EQ(quantize_demand(30.0, 64.0, 16), 8);
+}
+
+TEST(Quantization, OverflowThrows) {
+  EXPECT_THROW(quantize_demand(11.0, 10.0, 4), std::invalid_argument);
+}
+
+TEST(Quantization, RejectsBadArguments) {
+  EXPECT_THROW(quantize_demand(-1.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(quantize_demand(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(quantize_demand(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Quantization, FloorVariant) {
+  EXPECT_EQ(quantize_usage_floor(0.0, 10.0, 4), 0);
+  EXPECT_EQ(quantize_usage_floor(2.4, 10.0, 4), 0);
+  EXPECT_EQ(quantize_usage_floor(2.5, 10.0, 4), 1);  // exact boundary
+  EXPECT_EQ(quantize_usage_floor(9.9, 10.0, 4), 3);
+  EXPECT_EQ(quantize_usage_floor(10.0, 10.0, 4), 4);
+  EXPECT_EQ(quantize_usage_floor(12.0, 10.0, 4), 4);  // clamped
+}
+
+TEST(Quantization, ConfigLevelsByKind) {
+  QuantizationConfig q;
+  q.cpu_levels = 4;
+  q.mem_levels = 16;
+  q.disk_levels = 2;
+  EXPECT_EQ(q.levels_for(ResourceKind::kCpu), 4);
+  EXPECT_EQ(q.levels_for(ResourceKind::kMemory), 16);
+  EXPECT_EQ(q.levels_for(ResourceKind::kDisk), 2);
+}
+
+}  // namespace
+}  // namespace prvm

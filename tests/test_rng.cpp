@@ -1,0 +1,141 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace prvm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);  // adjacent seeds must not correlate (SplitMix)
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.uniform_index(5)];
+  for (int count : seen) EXPECT_GT(count, 100);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(mean(samples), 5.0, 0.1);
+  EXPECT_NEAR(stddev(samples), 2.0, 0.1);
+}
+
+TEST(Rng, BetaStaysInUnitIntervalWithRightMean) {
+  Rng rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.beta(2.0, 6.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    samples.push_back(v);
+  }
+  EXPECT_NEAR(mean(samples), 0.25, 0.02);  // a/(a+b)
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+  // Out-of-range probabilities are clamped, not errors.
+  EXPECT_TRUE(rng.chance(2.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+}
+
+TEST(Rng, ParetoFloorAndTail) {
+  Rng rng(29);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.pareto(0.5, 2.5);
+    EXPECT_GE(v, 0.5);
+    samples.push_back(v);
+  }
+  // E[X] = alpha*xm/(alpha-1) = 2.5*0.5/1.5.
+  EXPECT_NEAR(mean(samples), 2.5 * 0.5 / 1.5, 0.05);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(37);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng a(41);
+  Rng b(41);
+  Rng fa = a.fork(9);
+  Rng fb = b.fork(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fa.uniform_int(0, 1 << 30), fb.uniform_int(0, 1 << 30));
+  }
+  // Different labels give different streams.
+  Rng c(41);
+  Rng d(41);
+  Rng fc = c.fork(1);
+  Rng fd = d.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fc.uniform_int(0, 1 << 30) == fd.uniform_int(0, 1 << 30)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace prvm

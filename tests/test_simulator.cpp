@@ -1,0 +1,248 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "energy/power_model.hpp"
+#include "placement/algorithm_factory.hpp"
+
+namespace prvm {
+namespace {
+
+TraceSet constant_traces(double value, std::size_t epochs) {
+  return TraceSet({UtilizationTrace(std::vector<double>(epochs, value))});
+}
+
+SimulationOptions short_options(std::size_t epochs) {
+  SimulationOptions options;
+  options.epochs = epochs;
+  options.record_events = true;
+  return options;
+}
+
+TEST(Simulator, QuietTracesProduceNoMigrations) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(10, 0));
+  std::vector<Vm> vms;
+  for (VmId id = 0; id < 12; ++id) vms.push_back(Vm{id, id % 2});
+  std::vector<std::size_t> binding(vms.size(), 0);
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(0.2, 12),
+                      short_options(12));
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  const SimMetrics metrics = sim.run(algorithm, policy);
+  EXPECT_EQ(metrics.vm_migrations, 0u);
+  EXPECT_EQ(metrics.overload_events, 0u);
+  EXPECT_EQ(metrics.rejected_vms, 0u);
+  EXPECT_DOUBLE_EQ(metrics.slo_violation_percent, 0.0);
+  EXPECT_GT(metrics.energy_kwh, 0.0);
+  EXPECT_EQ(metrics.pms_used_initial, metrics.pms_used_max);
+  EXPECT_DOUBLE_EQ(metrics.simulated_seconds, 12 * 300.0);
+}
+
+TEST(Simulator, HotTracesTriggerOverloadAndMigration) {
+  const Catalog catalog = geni_catalog();
+  // One instance fully packed (4x 4-core jobs at trace 1.0 saturates it);
+  // spare instances exist to migrate to.
+  Datacenter dc(catalog, std::vector<std::size_t>(6, 0));
+  std::vector<Vm> vms;
+  for (VmId id = 0; id < 8; ++id) vms.push_back(Vm{id, 1});
+  std::vector<std::size_t> binding(vms.size(), 0);
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(1.0, 6),
+                      short_options(6));
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  const SimMetrics metrics = sim.run(algorithm, policy);
+  EXPECT_GT(metrics.overload_events, 0u);
+  EXPECT_GT(metrics.vm_migrations, 0u);
+  EXPECT_GT(metrics.slo_violation_percent, 0.0);
+  EXPECT_GT(sim.events().count(SimEventType::kVmMigrated), 0u);
+}
+
+TEST(Simulator, FailedMigrationRestoresVmOnSource) {
+  const Catalog catalog = geni_catalog();
+  // A single instance: nowhere to migrate.
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  std::vector<Vm> vms;
+  for (VmId id = 0; id < 4; ++id) vms.push_back(Vm{id, 1});
+  std::vector<std::size_t> binding(vms.size(), 0);
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(1.0, 3),
+                      short_options(3));
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  const SimMetrics metrics = sim.run(algorithm, policy);
+  EXPECT_EQ(metrics.vm_migrations, 0u);
+  EXPECT_GT(metrics.failed_migrations, 0u);
+  // All four jobs still placed.
+  EXPECT_EQ(sim.datacenter().vm_count(), 4u);
+}
+
+TEST(Simulator, RejectsVmsWhenFleetFull) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  std::vector<Vm> vms;
+  for (VmId id = 0; id < 6; ++id) vms.push_back(Vm{id, 1});  // 6x4 > 16 slots
+  std::vector<std::size_t> binding(vms.size(), 0);
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(0.1, 2),
+                      short_options(2));
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  const SimMetrics metrics = sim.run(algorithm, policy);
+  EXPECT_EQ(metrics.rejected_vms, 2u);
+  EXPECT_EQ(sim.events().count(SimEventType::kVmRejected), 2u);
+}
+
+TEST(Simulator, EnergyMatchesHandComputationForOnePm) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  // One 4-core job at a constant 50 % trace: PM utilization = 4*0.5/16.
+  std::vector<Vm> vms = {{0, 1}};
+  std::vector<std::size_t> binding = {0};
+  SimulationOptions options = short_options(10);
+  options.cpu_model = CpuDemandModel::kBurst;
+  options.burst_factor = 1.0;  // burst cap = reservation = 1 slot
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(0.5, 10), options);
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  const SimMetrics metrics = sim.run(algorithm, policy);
+  const double util = 4.0 * 0.5 * 1.0 / 16.0;
+  const double expected =
+      10 * watts_to_kwh(power_model_for("E5-2670").power_watts(util), 300.0);
+  EXPECT_NEAR(metrics.energy_kwh, expected, 1e-9);
+}
+
+TEST(Simulator, ReservedModelUsesVcpuReservation) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  std::vector<Vm> vms = {{0, 1}};
+  std::vector<std::size_t> binding = {0};
+  SimulationOptions options = short_options(2);
+  options.cpu_model = CpuDemandModel::kReserved;
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(1.0, 2), options);
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  sim.run(algorithm, policy);
+  // 4 vCPUs x 1.0 GHz reservation on a 16 GHz instance.
+  EXPECT_NEAR(sim.pm_cpu_utilization(0), 4.0 / 16.0, 1e-12);
+}
+
+TEST(Simulator, BurstModelCapsAtPhysicalCore) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  std::vector<Vm> vms = {{0, 1}};
+  std::vector<std::size_t> binding = {0};
+  SimulationOptions options = short_options(2);
+  options.cpu_model = CpuDemandModel::kBurst;
+  options.burst_factor = 100.0;  // capped by core_ghz
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(1.0, 2), options);
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  sim.run(algorithm, policy);
+  EXPECT_NEAR(sim.pm_cpu_utilization(0), 4.0 * 4.0 / 16.0, 1e-12);
+}
+
+TEST(Simulator, PerDimensionRuleCatchesHotCore) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(2, 0));
+  const ProfileShape& shape = dc.catalog().shape(0);
+  // Three 2-core jobs stacked pairwise on cores 0/1: core 0 gets 3 vCPUs.
+  dc.place(0, Vm{0, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {1, 1, 0, 0})});
+  dc.place(0, Vm{1, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {2, 2, 0, 0})});
+  dc.place(0, Vm{2, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {3, 3, 0, 0})});
+  std::vector<Vm> vms = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<std::size_t> binding(3, 0);
+  SimulationOptions options = short_options(1);
+  options.burst_factor = 2.0;
+  // Jobs at trace 0.7: per-core utilization = 3 * 0.7 * 2 / 4 = 1.05 > 0.9,
+  // while whole-PM utilization = 6 * 0.7 * 2 / 16 = 0.525 < 0.9.
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(0.7, 1), options);
+  EXPECT_LT(sim.pm_cpu_utilization(0), 0.9);
+  EXPECT_GT(sim.pm_hottest_utilization(0), 0.9);
+  const auto cores = sim.pm_core_utilizations(0);
+  ASSERT_EQ(cores.size(), 4u);
+  EXPECT_NEAR(cores[0], 1.05, 1e-9);
+  EXPECT_NEAR(cores[2], 0.0, 1e-9);
+}
+
+TEST(Simulator, TotalRuleIgnoresHotCore) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  const ProfileShape& shape = dc.catalog().shape(0);
+  dc.place(0, Vm{0, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {1, 1, 0, 0})});
+  dc.place(0, Vm{1, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {2, 2, 0, 0})});
+  dc.place(0, Vm{2, 0}, DemandPlacement{{{0, 1}, {1, 1}}, Profile::from_levels(shape, {3, 3, 0, 0})});
+  std::vector<Vm> vms = {{0, 0}, {1, 0}, {2, 0}};
+  std::vector<std::size_t> binding(3, 0);
+  SimulationOptions options = short_options(1);
+  options.overload_rule = OverloadRule::kPmTotal;
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(0.7, 1), options);
+  EXPECT_LT(sim.pm_hottest_utilization(0), 0.9);
+}
+
+TEST(Simulator, SingleUseGuard) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(1, 0));
+  std::vector<Vm> vms = {{0, 0}};
+  std::vector<std::size_t> binding = {0};
+  CloudSimulation sim(std::move(dc), vms, binding, constant_traces(0.1, 1),
+                      short_options(1));
+  FirstFit algorithm;
+  MinimumMigrationTimePolicy policy;
+  sim.run(algorithm, policy);
+  EXPECT_THROW(sim.run(algorithm, policy), std::invalid_argument);
+}
+
+TEST(Simulator, ConstructorValidation) {
+  const Catalog catalog = geni_catalog();
+  std::vector<Vm> vms = {{0, 0}};
+  EXPECT_THROW(CloudSimulation(Datacenter(catalog, {0}), vms, {},  // missing binding
+                               constant_traces(0.1, 1), short_options(1)),
+               std::invalid_argument);
+  EXPECT_THROW(CloudSimulation(Datacenter(catalog, {0}), vms, {5},  // bad index
+                               constant_traces(0.1, 1), short_options(1)),
+               std::invalid_argument);
+  std::vector<Vm> duplicate = {{0, 0}, {0, 1}};
+  EXPECT_THROW(CloudSimulation(Datacenter(catalog, {0}), duplicate, {0, 0},
+                               constant_traces(0.1, 1), short_options(1)),
+               std::invalid_argument);
+}
+
+TEST(Simulator, WorkloadHelpers) {
+  const Catalog catalog = ec2_catalog();
+  Rng rng(9);
+  const auto vms = random_vm_requests(rng, catalog, 100);
+  EXPECT_EQ(vms.size(), 100u);
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    EXPECT_EQ(vms[i].id, i);
+    EXPECT_LT(vms[i].type_index, catalog.vm_types().size());
+  }
+  const auto mix = default_vm_mix(catalog);
+  ASSERT_EQ(mix.size(), 6u);
+  EXPECT_DOUBLE_EQ(mix[4], 0.35);  // c3.large weighted up
+  const auto weighted = weighted_vm_requests(rng, catalog, 1000, mix);
+  std::size_t c3 = 0;
+  for (const Vm& vm : weighted) {
+    if (vm.type_index >= 4) ++c3;
+  }
+  EXPECT_GT(c3, 550u);  // ~70 % expected
+  const auto fleet = mixed_pm_fleet(catalog, 5);
+  EXPECT_EQ(fleet, (std::vector<std::size_t>{0, 1, 0, 1, 0}));
+  const auto binding = random_trace_binding(rng, 10, 3);
+  EXPECT_EQ(binding.size(), 10u);
+  for (auto b : binding) EXPECT_LT(b, 3u);
+}
+
+TEST(SimEvents, CountersWorkWithoutRecording) {
+  EventLog log(false);
+  log.record({0, SimEventType::kVmMigrated, 1, 2, 3});
+  log.record({0, SimEventType::kVmMigrated, 1, 2, 3});
+  EXPECT_EQ(log.count(SimEventType::kVmMigrated), 2u);
+  EXPECT_TRUE(log.events().empty());
+  EventLog recording(true);
+  recording.record({5, SimEventType::kPmOverloaded, 0, 7, 0});
+  ASSERT_EQ(recording.events().size(), 1u);
+  EXPECT_EQ(recording.events()[0].epoch, 5u);
+  EXPECT_NE(recording.events()[0].describe().find("pm-overloaded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace prvm {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.row().add("a").add(1);
+  t.row().add("long-name").add(12345LL);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| a         | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, NumericFormatting) {
+  TextTable t({"x"});
+  t.row().add(3.14159, 2);
+  EXPECT_NE(t.str().find("3.14"), std::string::npos);
+  TextTable u({"x"});
+  u.row().add(3.14159, 4);
+  EXPECT_NE(u.str().find("3.1416"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.row().add("x").add("y");
+  t.row().add(std::size_t{7}).add(2.5, 1);
+  EXPECT_EQ(t.csv(), "a,b\nx,y\n7,2.5\n");
+}
+
+TEST(TextTable, CsvRejectsCommas) {
+  TextTable t({"a"});
+  t.row().add("has,comma");
+  EXPECT_THROW(t.csv(), std::invalid_argument);
+}
+
+TEST(TextTable, AddWithoutRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add("x"), std::invalid_argument);
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable t({"a"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), std::invalid_argument);
+}
+
+TEST(TextTable, IncompleteRowDetectedOnNextRow) {
+  TextTable t({"a", "b"});
+  t.row().add("only-one");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, PrintWritesToStream) {
+  TextTable t({"h"});
+  t.row().add("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(FormatFixed, Rounds) {
+  EXPECT_EQ(format_fixed(1.005, 1), "1.0");
+  EXPECT_EQ(format_fixed(2.55, 1), "2.5");  // bankers-ish via iostream
+  EXPECT_EQ(format_fixed(-3.14159, 3), "-3.142");
+  EXPECT_EQ(format_fixed(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,134 @@
+#include "testbed/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "placement/algorithm_factory.hpp"
+
+namespace prvm {
+namespace {
+
+TEST(Link, TransferTimeIsLatencyPlusSerialization) {
+  Link link{1.0, 0.5};  // 1 Gbps, 0.5 ms
+  // 125000 bytes = 1 Mbit -> 1 ms serialization + 0.5 ms latency.
+  EXPECT_NEAR(link.transfer_seconds(125000), 0.0015, 1e-12);
+  EXPECT_NEAR(link.transfer_seconds(0), 0.0005, 1e-12);
+}
+
+TEST(StarNetwork, SendAccountsTwoHops) {
+  StarNetwork net(3, Link{1.0, 0.5});
+  const double t = net.send(0, 2, 125000);
+  EXPECT_NEAR(t, 0.003, 1e-12);  // two hops
+  EXPECT_EQ(net.total_bytes(), 125000u);
+  EXPECT_EQ(net.total_messages(), 1u);
+  EXPECT_NEAR(net.busy_seconds(), t, 1e-12);
+}
+
+TEST(StarNetwork, RoundTripAddsBothDirections) {
+  StarNetwork net(2, Link{1.0, 0.5});
+  const double t = net.round_trip(0, 1, 64, 256);
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(net.total_bytes(), 320u);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(StarNetwork, Validation) {
+  EXPECT_THROW(StarNetwork(1, Link{}), std::invalid_argument);
+  StarNetwork net(2, Link{});
+  EXPECT_THROW(net.send(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(net.send(0, 5, 10), std::invalid_argument);
+  Link bad{0.0, 1.0};
+  EXPECT_THROW(bad.transfer_seconds(1), std::invalid_argument);
+}
+
+TestbedOptions short_testbed(std::size_t scans) {
+  TestbedOptions options;
+  options.scans = scans;
+  return options;
+}
+
+TEST(GeniController, RunsAndAccountsControlTraffic) {
+  GeniExperimentConfig config;
+  config.instances = 10;
+  config.jobs = 20;
+  config.seed = 3;
+  config.options = short_testbed(30);
+  const TestbedMetrics metrics = run_geni_experiment(AlgorithmKind::kFirstFit, config);
+  EXPECT_GT(metrics.pms_used, 0u);
+  EXPECT_LE(metrics.pms_used, 10u);
+  EXPECT_EQ(metrics.rejected_jobs, 0u);
+  // 30 scans x 10 instances polled, plus initial placement commands.
+  EXPECT_GT(metrics.controller_traffic_mb, 0.0);
+  EXPECT_GT(metrics.control_latency_seconds, 0.0);
+}
+
+TEST(GeniController, DeterministicForSameSeed) {
+  GeniExperimentConfig config;
+  config.instances = 8;
+  config.jobs = 16;
+  config.seed = 11;
+  config.options = short_testbed(50);
+  const TestbedMetrics a = run_geni_experiment(AlgorithmKind::kCompVm, config);
+  const TestbedMetrics b = run_geni_experiment(AlgorithmKind::kCompVm, config);
+  EXPECT_EQ(a.pms_used, b.pms_used);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_DOUBLE_EQ(a.slo_violation_percent, b.slo_violation_percent);
+}
+
+TEST(GeniController, BusyJobsCauseMigrationsWithDowntime) {
+  GeniExperimentConfig config;
+  config.instances = 20;
+  config.jobs = 60;
+  config.seed = 5;
+  config.options = short_testbed(400);
+  const TestbedMetrics metrics = run_geni_experiment(AlgorithmKind::kFirstFit, config);
+  // The busy Google-like job traces overload packed instances (cores with
+  // all four vCPU slots taken run above the threshold when jobs spike).
+  EXPECT_GT(metrics.overload_events, 0u);
+  if (metrics.migrations > 0) {
+    // Each kill/restart costs one scan interval of downtime.
+    EXPECT_NEAR(metrics.job_downtime_seconds,
+                metrics.migrations * config.options.scan_seconds, 1e-9);
+  }
+}
+
+TEST(GeniController, OverCapacityJobsAreRejected) {
+  GeniExperimentConfig config;
+  config.instances = 2;   // 32 slots
+  config.jobs = 40;       // far more than fits
+  config.seed = 7;
+  config.options = short_testbed(10);
+  const TestbedMetrics metrics = run_geni_experiment(AlgorithmKind::kFfdSum, config);
+  EXPECT_GT(metrics.rejected_jobs, 0u);
+}
+
+TEST(GeniController, PageRankVmRunsWithImplicitTables) {
+  GeniExperimentConfig config;
+  config.instances = 6;
+  config.jobs = 10;
+  config.seed = 13;
+  config.options = short_testbed(20);
+  // tables == nullptr: run_geni_experiment builds them.
+  const TestbedMetrics metrics = run_geni_experiment(AlgorithmKind::kPageRankVm, config);
+  EXPECT_GT(metrics.pms_used, 0u);
+  EXPECT_EQ(metrics.rejected_jobs, 0u);
+}
+
+TEST(GeniController, SingleUseGuardAndValidation) {
+  const Catalog catalog = geni_catalog();
+  std::vector<Vm> jobs = {{0, 0}};
+  TraceSet traces({UtilizationTrace(std::vector<double>(5, 0.5))});
+  GeniController controller(Datacenter(catalog, {0, 0}), jobs, {0}, traces,
+                            short_testbed(5));
+  auto algorithm = make_algorithm(AlgorithmKind::kFirstFit);
+  auto policy = default_policy_for(AlgorithmKind::kFirstFit);
+  controller.run(*algorithm, *policy);
+  EXPECT_THROW(controller.run(*algorithm, *policy), std::invalid_argument);
+
+  EXPECT_THROW(GeniController(Datacenter(catalog, {0}), jobs, {}, traces, short_testbed(5)),
+               std::invalid_argument);
+  EXPECT_THROW(GeniController(Datacenter(catalog, {0}), jobs, {3}, traces, short_testbed(5)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/csv_io.hpp"
+#include "trace/google_cluster.hpp"
+#include "trace/planetlab.hpp"
+
+namespace prvm {
+namespace {
+
+TEST(UtilizationTrace, ValidatesSamples) {
+  EXPECT_THROW(UtilizationTrace({}), std::invalid_argument);
+  EXPECT_THROW(UtilizationTrace({0.5, 1.5}), std::invalid_argument);
+  EXPECT_THROW(UtilizationTrace({-0.1}), std::invalid_argument);
+  EXPECT_NO_THROW(UtilizationTrace({0.0, 1.0}));
+}
+
+TEST(UtilizationTrace, WrapsAround) {
+  const UtilizationTrace t({0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(t.at(0), 0.1);
+  EXPECT_DOUBLE_EQ(t.at(3), 0.1);
+  EXPECT_DOUBLE_EQ(t.at(7), 0.2);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.2);
+  EXPECT_DOUBLE_EQ(t.peak(), 0.3);
+}
+
+TEST(PlanetLabGenerator, BoundsAndLength) {
+  PlanetLabTraceGenerator generator;
+  Rng rng(1);
+  const auto trace = generator.generate(rng, 288);
+  EXPECT_EQ(trace.size(), 288u);
+  for (double s : trace.samples()) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_THROW(generator.generate(rng, 0), std::invalid_argument);
+}
+
+TEST(PlanetLabGenerator, PopulationMeanMatchesPlanetLabProfile) {
+  // The dataset's low mean utilization (~25 % with the default Beta(2,6)).
+  PlanetLabTraceGenerator generator;
+  Rng rng(2);
+  double total = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) total += generator.generate(rng, 288).mean();
+  EXPECT_NEAR(total / n, 0.25, 0.05);
+}
+
+TEST(PlanetLabGenerator, DeterministicPerSeed) {
+  PlanetLabTraceGenerator generator;
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(generator.generate(a, 100).samples(), generator.generate(b, 100).samples());
+}
+
+TEST(PlanetLabGenerator, SpikesOccur) {
+  PlanetLabTraceOptions options;
+  options.spike_probability = 0.2;
+  PlanetLabTraceGenerator generator(options);
+  Rng rng(3);
+  const auto trace = generator.generate(rng, 500);
+  int high = 0;
+  for (double s : trace.samples()) {
+    if (s >= 0.7) ++high;
+  }
+  EXPECT_GT(high, 20);
+}
+
+TEST(GoogleGenerator, BoundsAndDiurnalCycle) {
+  GoogleClusterTraceGenerator generator;
+  Rng rng(4);
+  const auto trace = generator.generate(rng, 576);  // two days
+  for (double s : trace.samples()) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  // Autocorrelation with a one-day lag should be clearly positive thanks to
+  // the diurnal component (same phase one day later).
+  const auto& x = trace.samples();
+  double mean = trace.mean(), num = 0.0, den = 0.0;
+  for (std::size_t t = 0; t < 288; ++t) {
+    num += (x[t] - mean) * (x[t + 288] - mean);
+  }
+  for (double s : x) den += (s - mean) * (s - mean);
+  EXPECT_GT(num / den, 0.1);
+}
+
+TEST(TraceSet, FromGeneratorAndPick) {
+  PlanetLabTraceGenerator generator;
+  Rng rng(5);
+  const TraceSet set = TraceSet::from_generator(generator, rng, 10, 50);
+  EXPECT_EQ(set.size(), 10u);
+  Rng pick_rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const auto& t = set.pick(pick_rng);
+    EXPECT_EQ(t.size(), 50u);
+  }
+  EXPECT_THROW(TraceSet::from_generator(generator, rng, 0, 50), std::invalid_argument);
+  EXPECT_THROW(TraceSet({}), std::invalid_argument);
+}
+
+TEST(TraceCsv, RoundTrip) {
+  PlanetLabTraceGenerator generator;
+  Rng rng(8);
+  const TraceSet original = TraceSet::from_generator(generator, rng, 5, 20);
+  std::stringstream buffer;
+  save_traces_csv(buffer, original, 6);
+  const TraceSet loaded = load_traces_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded.at(i).size(), original.at(i).size());
+    for (std::size_t t = 0; t < original.at(i).size(); ++t) {
+      EXPECT_NEAR(loaded.at(i).samples()[t], original.at(i).samples()[t], 1e-6);
+    }
+  }
+}
+
+TEST(TraceCsv, SkipsCommentsAndBlankLines) {
+  std::stringstream in("# header\n\n0.1,0.2\n# more\n0.3,0.4\n");
+  const TraceSet set = load_traces_csv(in);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.at(1).at(0), 0.3);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  {
+    std::stringstream in("0.1,abc\n");
+    EXPECT_THROW(load_traces_csv(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("0.1,1.5\n");
+    EXPECT_THROW(load_traces_csv(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("0.1junk,0.2\n");
+    EXPECT_THROW(load_traces_csv(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("# only comments\n");
+    EXPECT_THROW(load_traces_csv(in), std::invalid_argument);
+  }
+  EXPECT_THROW(load_traces_csv(std::filesystem::path("/nonexistent/file.csv")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,22 @@
+// The `prvm` command-line tool: runs the library's experiment modes from
+// the shell. All logic lives in src/cli (unit-tested); this is the thin,
+// exception-to-exit-code wrapper.
+#include <exception>
+#include <iostream>
+#include <vector>
+
+#include "cli/run.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  try {
+    const prvm::CliOptions options = prvm::parse_cli(args);
+    return prvm::run_cli(options, std::cout);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "prvm: " << e.what() << "\n\n" << prvm::cli_help();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "prvm: internal error: " << e.what() << "\n";
+    return 1;
+  }
+}
