@@ -3,8 +3,13 @@
 // and single-VM placement for every algorithm.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+#include <vector>
+
 #include "core/catalog_graphs.hpp"
 #include "placement/algorithm_factory.hpp"
+#include "placement/pagerank_vm.hpp"
 #include "sim/simulator.hpp"
 
 namespace prvm {
@@ -84,29 +89,81 @@ void BM_ScoreLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreLookup);
 
+// Single-VM placement latency at a steady operating point. The loop places a
+// batch of VMs under manual timing and removes them untimed afterwards:
+// per-iteration Pause/ResumeTiming would add its own overhead (comparable to
+// a placement at small fleet sizes) to every sample and distort the numbers.
 void BM_PlaceOneVm(benchmark::State& state) {
   const AlgorithmKind kind = static_cast<AlgorithmKind>(state.range(0));
+  const std::size_t fleet = static_cast<std::size_t>(state.range(1));
   const Catalog catalog = ec2_sim_catalog();
   static const auto tables =
       std::make_shared<const ScoreTableSet>(build_score_tables(ec2_sim_catalog()));
-  // A datacenter mid-experiment: 400 VMs already placed.
+  // A datacenter mid-experiment: ~40% of the fleet's VM capacity placed.
   Rng rng(5);
-  Datacenter dc(catalog, mixed_pm_fleet(catalog, 1000));
+  Datacenter dc(catalog, mixed_pm_fleet(catalog, fleet));
   auto algorithm = make_algorithm(kind, tables);
-  const auto warmup = weighted_vm_requests(rng, catalog, 400, default_vm_mix(catalog));
+  const auto warmup = weighted_vm_requests(rng, catalog, 2 * fleet / 5, default_vm_mix(catalog));
   algorithm->place_all(dc, warmup);
   VmId next = 100000;
+  constexpr std::size_t kBatch = 64;
+  std::vector<VmId> placed;
+  placed.reserve(kBatch);
   for (auto _ : state) {
-    const Vm vm{next++, 0};
-    const auto pm = algorithm->place(dc, vm);
-    benchmark::DoNotOptimize(pm);
-    state.PauseTiming();
-    if (pm.has_value()) dc.remove(vm.id);
-    state.ResumeTiming();
+    placed.clear();
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      const Vm vm{next++, 0};
+      const auto pm = algorithm->place(dc, vm);
+      benchmark::DoNotOptimize(pm);
+      if (pm.has_value()) placed.push_back(vm.id);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(stop - start).count());
+    for (VmId id : placed) dc.remove(id);  // untimed reset to the operating point
   }
-  state.SetLabel(to_string(kind));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+  state.SetLabel(std::string(to_string(kind)) + "/pms:" + std::to_string(fleet));
 }
-BENCHMARK(BM_PlaceOneVm)->DenseRange(0, 3);
+BENCHMARK(BM_PlaceOneVm)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 3, 1), {1000, 5000}})
+    ->UseManualTime();
+
+// The same loop pinned to PageRankVM with the bucketed index disabled — the
+// paper's Algorithm 2 as printed — to expose the index speedup side by side.
+void BM_PlaceOneVmLinearScan(benchmark::State& state) {
+  const std::size_t fleet = static_cast<std::size_t>(state.range(0));
+  const Catalog catalog = ec2_sim_catalog();
+  static const auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(ec2_sim_catalog()));
+  Rng rng(5);
+  Datacenter dc(catalog, mixed_pm_fleet(catalog, fleet));
+  PageRankVmOptions options;
+  options.use_index = false;
+  PageRankVm algorithm(tables, options);
+  const auto warmup = weighted_vm_requests(rng, catalog, 2 * fleet / 5, default_vm_mix(catalog));
+  algorithm.place_all(dc, warmup);
+  VmId next = 100000;
+  constexpr std::size_t kBatch = 64;
+  std::vector<VmId> placed;
+  placed.reserve(kBatch);
+  for (auto _ : state) {
+    placed.clear();
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      const Vm vm{next++, 0};
+      const auto pm = algorithm.place(dc, vm);
+      benchmark::DoNotOptimize(pm);
+      if (pm.has_value()) placed.push_back(vm.id);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(stop - start).count());
+    for (VmId id : placed) dc.remove(id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+  state.SetLabel("PageRankVM-linear/pms:" + std::to_string(fleet));
+}
+BENCHMARK(BM_PlaceOneVmLinearScan)->Arg(1000)->Arg(5000)->UseManualTime();
 
 }  // namespace
 }  // namespace prvm

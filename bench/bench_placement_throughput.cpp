@@ -1,0 +1,194 @@
+// Placement-index throughput benchmark (the PR's acceptance gauge).
+//
+// Drives EC2-catalog fleets of 1k / 5k / 10k PMs through a fill phase (place
+// VMs until the fleet saturates) and a sustained place/remove churn phase,
+// for both PageRankVM engines: the bucketed placement index (default) and
+// the legacy linear scan (use_index = false, Algorithm 2 as printed).
+// Reports placements/sec plus p50/p99 single-placement latency and the
+// index-over-linear speedup at each fleet size.
+//
+// Usage: bench_placement_throughput [--json PATH]
+//   --json PATH   additionally write machine-readable results to PATH
+//   PRVM_FAST=1   shrink fleets and op counts for a smoke run
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/catalog.hpp"
+#include "cluster/datacenter.hpp"
+#include "common/rng.hpp"
+#include "core/catalog_graphs.hpp"
+#include "placement/pagerank_vm.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct EngineStats {
+  std::size_t used_pms = 0;       ///< used PMs at the churn operating point
+  std::size_t fill_placements = 0;
+  double fill_pps = 0.0;          ///< placements/sec during the fill phase
+  std::size_t churn_ops = 0;
+  double churn_pps = 0.0;         ///< placements/sec during sustained churn
+  double p50_us = 0.0;            ///< median single-placement latency
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t i = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[i];
+}
+
+EngineStats run_engine(const Catalog& catalog,
+                       const std::shared_ptr<const ScoreTableSet>& tables, std::size_t fleet,
+                       std::size_t churn_ops, bool use_index) {
+  Datacenter dc(catalog, mixed_pm_fleet(catalog, fleet));
+  PageRankVmOptions options;
+  options.use_index = use_index;
+  PageRankVm engine(tables, options);
+
+  // Fill: place VMs until the fleet saturates (every PM used and the stream
+  // starts bouncing) so churn below runs with used PMs ~= the fleet size.
+  Rng rng(7);
+  const std::vector<double> mix = default_vm_mix(catalog);
+  EngineStats stats;
+  std::vector<VmId> live;
+  VmId next_id = 1;
+  std::size_t rejected_streak = 0;
+  const auto fill_start = Clock::now();
+  while (rejected_streak < 32) {
+    const std::vector<Vm> wave = weighted_vm_requests(rng, catalog, 256, mix);
+    for (const Vm& vm : wave) {
+      Vm request{next_id++, vm.type_index};
+      if (engine.place(dc, request).has_value()) {
+        live.push_back(request.id);
+        ++stats.fill_placements;
+        rejected_streak = 0;
+      } else {
+        ++rejected_streak;
+      }
+    }
+  }
+  const double fill_seconds = std::chrono::duration<double>(Clock::now() - fill_start).count();
+  stats.fill_pps = static_cast<double>(stats.fill_placements) / fill_seconds;
+  stats.used_pms = dc.used_count();
+
+  // Sustained churn at the operating point: remove one random VM, place one
+  // fresh request. Only the place() call is timed.
+  std::vector<double> latencies_us;
+  latencies_us.reserve(churn_ops);
+  const std::vector<Vm> stream = weighted_vm_requests(rng, catalog, churn_ops, mix);
+  double churn_seconds = 0.0;
+  for (std::size_t op = 0; op < churn_ops; ++op) {
+    const std::size_t pick = rng.uniform_index(live.size());
+    dc.remove(live[pick]);
+    live[pick] = live.back();
+    live.pop_back();
+
+    Vm request{next_id++, stream[op].type_index};
+    const auto start = Clock::now();
+    const auto pm = engine.place(dc, request);
+    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    churn_seconds += seconds;
+    latencies_us.push_back(seconds * 1e6);
+    if (pm.has_value()) live.push_back(request.id);
+  }
+  stats.churn_ops = churn_ops;
+  stats.churn_pps = static_cast<double>(churn_ops) / churn_seconds;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  stats.p50_us = percentile(latencies_us, 0.50);
+  stats.p99_us = percentile(latencies_us, 0.99);
+  return stats;
+}
+
+void print_engine(const char* name, const EngineStats& s) {
+  std::printf("  %-8s fill %8.0f pl/s (%zu VMs)   churn %9.0f pl/s   p50 %8.2f us   p99 %8.2f us\n",
+              name, s.fill_pps, s.fill_placements, s.churn_pps, s.p50_us, s.p99_us);
+}
+
+void json_engine(std::ostream& os, const char* name, const EngineStats& s) {
+  os << "      \"" << name << "\": {\"fill_placements_per_sec\": " << s.fill_pps
+     << ", \"fill_placements\": " << s.fill_placements
+     << ", \"churn_placements_per_sec\": " << s.churn_pps
+     << ", \"churn_ops\": " << s.churn_ops << ", \"p50_us\": " << s.p50_us
+     << ", \"p99_us\": " << s.p99_us << "}";
+}
+
+}  // namespace
+}  // namespace prvm
+
+int main(int argc, char** argv) {
+  using namespace prvm;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const bool fast = bench::fast_mode();
+  const std::vector<std::size_t> fleets =
+      fast ? std::vector<std::size_t>{200, 500} : std::vector<std::size_t>{1000, 5000, 10000};
+  const std::size_t churn_ops = fast ? 200 : 2000;
+
+  std::cout << "==== PageRankVM placement throughput: bucketed index vs linear scan ====\n"
+            << "(EC2 catalog, mixed fleet; fill to saturation, then " << churn_ops
+            << " remove+place churn ops; PRVM_FAST=1 shrinks)\n\n";
+
+  const Catalog catalog = ec2_sim_catalog();
+  const auto tables = std::make_shared<const ScoreTableSet>(build_score_tables(catalog));
+
+  struct Row {
+    std::size_t fleet;
+    std::size_t used;
+    EngineStats indexed;
+    EngineStats linear;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  for (const std::size_t fleet : fleets) {
+    std::cout << "fleet: " << fleet << " PMs\n";
+    const EngineStats indexed = run_engine(catalog, tables, fleet, churn_ops, true);
+    const EngineStats linear = run_engine(catalog, tables, fleet, churn_ops, false);
+    print_engine("indexed", indexed);
+    print_engine("linear", linear);
+    const double speedup = indexed.churn_pps / linear.churn_pps;
+    std::printf("  -> %zu used PMs, churn speedup %.1fx\n\n", indexed.used_pms, speedup);
+    rows.push_back(Row{fleet, indexed.used_pms, indexed, linear, speedup});
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::trunc);
+    if (!os.is_open()) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    os << "{\n  \"benchmark\": \"placement_throughput\",\n  \"catalog\": \"ec2_sim\",\n"
+       << "  \"churn_ops\": " << churn_ops << ",\n  \"fleets\": [\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const Row& row = rows[r];
+      os << "    {\"pms\": " << row.fleet << ", \"used_pms\": " << row.used << ",\n";
+      json_engine(os, "indexed", row.indexed);
+      os << ",\n";
+      json_engine(os, "linear", row.linear);
+      os << ",\n      \"churn_speedup\": " << row.speedup << "}"
+         << (r + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "cluster/datacenter.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.hpp"
 
@@ -16,14 +17,38 @@ Datacenter::Datacenter(Catalog catalog, std::vector<std::size_t> pm_types_of)
     const Profile zero = Profile::zero(shape);
     pms_.push_back(PmState{type, zero, zero.pack(shape), {}});
   }
+  index_.resize(catalog_.pm_types().size());
+  bucket_pos_.assign(pms_.size(), 0);
+  activation_seq_.assign(pms_.size(), 0);
+  unused_bits_.assign((pms_.size() + 63) / 64, ~std::uint64_t{0});
 }
 
 std::vector<PmIndex> Datacenter::unused_pms() const {
   std::vector<PmIndex> result;
-  for (PmIndex i = 0; i < pms_.size(); ++i) {
-    if (!pms_[i].used()) result.push_back(i);
+  result.reserve(pms_.size() - used_order_.size());
+  for (auto i = next_unused(0); i.has_value(); i = next_unused(*i + 1)) {
+    result.push_back(*i);
   }
   return result;
+}
+
+std::optional<PmIndex> Datacenter::next_unused(PmIndex from) const {
+  for (std::size_t w = from / 64; w < unused_bits_.size(); ++w) {
+    std::uint64_t word = unused_bits_[w];
+    if (w == from / 64) word &= ~std::uint64_t{0} << (from % 64);
+    if (word == 0) continue;
+    const PmIndex i = w * 64 + static_cast<PmIndex>(std::countr_zero(word));
+    if (i >= pms_.size()) break;  // padding bits of the last word
+    return i;
+  }
+  return std::nullopt;
+}
+
+const std::vector<PmIndex>* Datacenter::used_bucket(std::size_t pm_type, ProfileKey key) const {
+  const TypeIndex& ti = index_.at(pm_type);
+  const std::uint32_t* slot = ti.slot_of.find(key);
+  if (slot == nullptr || *slot == kNoBucket) return nullptr;
+  return &ti.buckets[*slot].pms;
 }
 
 bool Datacenter::fits(PmIndex i, std::size_t vm_type) const {
@@ -38,6 +63,64 @@ std::vector<DemandPlacement> Datacenter::placements(PmIndex i, std::size_t vm_ty
   const auto& demand = catalog_.demand(pm.type_index, vm_type);
   if (!demand.has_value()) return {};
   return enumerate_placements(catalog_.shape(pm.type_index), pm.usage, *demand);
+}
+
+void Datacenter::add_to_bucket(PmIndex i) {
+  TypeIndex& ti = index_[pms_[i].type_index];
+  auto [slot, inserted] = ti.slot_of.try_emplace(pms_[i].canonical_key, kNoBucket);
+  if (slot == kNoBucket) {
+    slot = static_cast<std::uint32_t>(ti.buckets.size());
+    ti.buckets.push_back(Bucket{pms_[i].canonical_key, {}});
+  }
+  Bucket& bucket = ti.buckets[slot];
+  bucket_pos_[i] = static_cast<std::uint32_t>(bucket.pms.size());
+  bucket.pms.push_back(i);
+}
+
+void Datacenter::remove_from_bucket(PmIndex i) {
+  // Must run before canonical_key is updated: the key locates the bucket.
+  TypeIndex& ti = index_[pms_[i].type_index];
+  std::uint32_t* slot = ti.slot_of.find(pms_[i].canonical_key);
+  PRVM_CHECK(slot != nullptr && *slot != kNoBucket, "bucket index out of sync");
+  Bucket& bucket = ti.buckets[*slot];
+  const std::uint32_t pos = bucket_pos_[i];
+  PRVM_CHECK(pos < bucket.pms.size() && bucket.pms[pos] == i, "bucket position out of sync");
+  bucket.pms[pos] = bucket.pms.back();
+  bucket_pos_[bucket.pms[pos]] = pos;
+  bucket.pms.pop_back();
+  if (!bucket.pms.empty()) return;
+
+  // Swap-erase the dead bucket out of the dense array, keeping the key map
+  // pointed at the moved bucket's new slot.
+  const std::uint32_t last = static_cast<std::uint32_t>(ti.buckets.size() - 1);
+  const ProfileKey dead_key = bucket.key;
+  if (*slot != last) {
+    ti.buckets[*slot] = std::move(ti.buckets[last]);
+    std::uint32_t* moved = ti.slot_of.find(ti.buckets[*slot].key);
+    PRVM_CHECK(moved != nullptr, "bucket index out of sync");
+    *moved = *slot;
+  }
+  ti.buckets.pop_back();
+  *ti.slot_of.find(dead_key) = kNoBucket;
+}
+
+void Datacenter::mark_used(PmIndex i) {
+  activation_seq_[i] = next_activation_++;
+  used_order_.push_back(i);
+  unused_bits_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  ++index_[pms_[i].type_index].used_count;
+  add_to_bucket(i);
+}
+
+void Datacenter::mark_unused(PmIndex i) {
+  // used_order_ is sorted by activation sequence, so binary-search it.
+  const auto uit = std::lower_bound(
+      used_order_.begin(), used_order_.end(), activation_seq_[i],
+      [&](PmIndex pm, std::uint64_t seq) { return activation_seq_[pm] < seq; });
+  PRVM_CHECK(uit != used_order_.end() && *uit == i, "used list out of sync");
+  used_order_.erase(uit);
+  unused_bits_[i / 64] |= std::uint64_t{1} << (i % 64);
+  --index_[pms_[i].type_index].used_count;
 }
 
 void Datacenter::place(PmIndex i, const Vm& vm, const DemandPlacement& placement) {
@@ -62,11 +145,16 @@ void Datacenter::place(PmIndex i, const Vm& vm, const DemandPlacement& placement
   }
 
   const bool was_used = pm.used();
+  if (was_used) remove_from_bucket(i);
   pm.usage = Profile::from_levels(shape, std::move(levels));
   pm.vms.push_back(PlacedVm{vm, placement.assignments});
   recompute_key(i);
   vm_index_.emplace(vm.id, i);
-  if (!was_used) used_order_.push_back(i);
+  if (was_used) {
+    add_to_bucket(i);
+  } else {
+    mark_used(i);
+  }
 }
 
 void Datacenter::place_first_fit(PmIndex i, const Vm& vm) {
@@ -88,6 +176,7 @@ Datacenter::PlacedVm Datacenter::remove(VmId vm) {
   PlacedVm record = std::move(*vit);
   pm.vms.erase(vit);
 
+  remove_from_bucket(i);
   std::vector<int> levels(pm.usage.levels().begin(), pm.usage.levels().end());
   for (auto [dim, amount] : record.assignments) {
     levels[static_cast<std::size_t>(dim)] -= amount;
@@ -97,10 +186,10 @@ Datacenter::PlacedVm Datacenter::remove(VmId vm) {
   recompute_key(i);
   vm_index_.erase(it);
 
-  if (!pm.used()) {
-    const auto uit = std::find(used_order_.begin(), used_order_.end(), i);
-    PRVM_CHECK(uit != used_order_.end(), "used list out of sync");
-    used_order_.erase(uit);
+  if (pm.used()) {
+    add_to_bucket(i);
+  } else {
+    mark_unused(i);
   }
   return record;
 }
@@ -121,12 +210,53 @@ void Datacenter::clear() {
   }
   used_order_.clear();
   vm_index_.clear();
+  for (TypeIndex& ti : index_) {
+    ti.buckets.clear();
+    ti.slot_of.clear();
+    ti.used_count = 0;
+  }
+  unused_bits_.assign((pms_.size() + 63) / 64, ~std::uint64_t{0});
+  next_activation_ = 0;
 }
 
 void Datacenter::recompute_key(PmIndex i) {
   PmState& pm = pms_[i];
   const ProfileShape& shape = catalog_.shape(pm.type_index);
   pm.canonical_key = pm.usage.canonical(shape).pack(shape);
+}
+
+void Datacenter::check_index_invariants() const {
+  std::vector<std::size_t> used_by_type(index_.size(), 0);
+  std::vector<bool> in_bucket(pms_.size(), false);
+  for (std::size_t t = 0; t < index_.size(); ++t) {
+    const TypeIndex& ti = index_[t];
+    for (std::uint32_t s = 0; s < ti.buckets.size(); ++s) {
+      const Bucket& b = ti.buckets[s];
+      PRVM_CHECK(!b.pms.empty(), "index holds an empty bucket");
+      const std::uint32_t* slot = ti.slot_of.find(b.key);
+      PRVM_CHECK(slot != nullptr && *slot == s, "bucket key maps to the wrong slot");
+      for (std::uint32_t p = 0; p < b.pms.size(); ++p) {
+        const PmIndex i = b.pms[p];
+        PRVM_CHECK(!in_bucket[i], "PM appears in two buckets");
+        in_bucket[i] = true;
+        PRVM_CHECK(pms_[i].used(), "bucket holds an unused PM");
+        PRVM_CHECK(pms_[i].type_index == t, "bucket holds a PM of the wrong type");
+        PRVM_CHECK(pms_[i].canonical_key == b.key, "bucket key does not match PM profile");
+        PRVM_CHECK(bucket_pos_[i] == p, "bucket position out of sync");
+      }
+      used_by_type[t] += b.pms.size();
+    }
+    PRVM_CHECK(ti.used_count == used_by_type[t], "per-type used count out of sync");
+  }
+  for (PmIndex i = 0; i < pms_.size(); ++i) {
+    PRVM_CHECK(in_bucket[i] == pms_[i].used(), "used PM missing from its bucket");
+    const bool bit = (unused_bits_[i / 64] >> (i % 64)) & 1;
+    PRVM_CHECK(bit == !pms_[i].used(), "free-list bitmap out of sync");
+  }
+  for (std::size_t k = 0; k + 1 < used_order_.size(); ++k) {
+    PRVM_CHECK(activation_seq_[used_order_[k]] < activation_seq_[used_order_[k + 1]],
+               "used order not sorted by activation sequence");
+  }
 }
 
 }  // namespace prvm

@@ -5,13 +5,22 @@
 // assignment variables of the paper's §IV formulation in executable form.
 // All placement algorithms mutate a Datacenter through place()/remove(),
 // which enforce capacity and anti-collocation invariants on every call.
+//
+// Alongside the per-PM ledger the datacenter incrementally maintains a
+// placement index: per PM type, buckets of used PMs grouped by canonical
+// profile key, plus an activation sequence number per used PM (Algorithm 2's
+// used_PM_list order) and a bitmap free-list of unused PMs. PageRankVM's
+// indexed scan uses these to evaluate each *distinct* live profile once
+// instead of each PM once; all maintenance is O(1) amortized per mutation.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/catalog.hpp"
+#include "common/flat_map.hpp"
 #include "profile/permutation.hpp"
 
 namespace prvm {
@@ -53,7 +62,39 @@ class Datacenter {
   /// PMs hosting no VM, in index order — the unused_PM_list.
   std::vector<PmIndex> unused_pms() const;
 
+  /// First unused PM with index >= `from`, or nullopt. Together with the
+  /// maintained free-list bitmap this replaces scanning unused_pms().
+  std::optional<PmIndex> next_unused(PmIndex from = 0) const;
+
   std::size_t used_count() const { return used_order_.size(); }
+
+  /// Used PMs of PM type `pm_type`.
+  std::size_t used_count_of_type(std::size_t pm_type) const {
+    return index_.at(pm_type).used_count;
+  }
+
+  /// Number of distinct canonical profiles among used PMs of `pm_type`.
+  std::size_t used_bucket_count(std::size_t pm_type) const {
+    return index_.at(pm_type).buckets.size();
+  }
+
+  /// The used PMs of type `pm_type` whose canonical profile is `key`;
+  /// nullptr when there are none. Membership order is arbitrary (use
+  /// activation_seq() to recover used-list order). The pointer is
+  /// invalidated by the next place()/remove().
+  const std::vector<PmIndex>* used_bucket(std::size_t pm_type, ProfileKey key) const;
+
+  /// Calls f(ProfileKey, const std::vector<PmIndex>&) for every non-empty
+  /// bucket of `pm_type`, in unspecified order.
+  template <typename F>
+  void for_each_used_bucket(std::size_t pm_type, F&& f) const {
+    for (const Bucket& b : index_.at(pm_type).buckets) f(b.key, b.pms);
+  }
+
+  /// Strictly increasing number assigned each time a PM turns used; PMs
+  /// earlier in used_pms() have smaller numbers. Only meaningful for used
+  /// PMs (the tie-break key of the indexed Algorithm 2 scan).
+  std::uint64_t activation_seq(PmIndex i) const { return activation_seq_.at(i); }
 
   /// True when VM type `vm_type` has at least one feasible anti-collocation
   /// placement on PM `i` right now.
@@ -82,13 +123,43 @@ class Datacenter {
   /// Resets every PM to empty (keeps the catalog and PM fleet).
   void clear();
 
+  /// Verifies every placement-index invariant against the ledger (buckets
+  /// partition the used PMs by canonical key, free-list matches, activation
+  /// order matches used_pms()). Test hook; throws on violation.
+  void check_index_invariants() const;
+
  private:
+  struct Bucket {
+    ProfileKey key = 0;
+    std::vector<PmIndex> pms;
+  };
+  /// Placement index of one PM type. `slot_of` maps a canonical key to its
+  /// bucket's position in the dense `buckets` array; emptied buckets leave a
+  /// kNoBucket tombstone *value* behind (the flat map never erases).
+  struct TypeIndex {
+    std::vector<Bucket> buckets;
+    FlatMap64<std::uint32_t> slot_of;
+    std::size_t used_count = 0;
+  };
+  static constexpr std::uint32_t kNoBucket = 0xFFFFFFFFu;
+
   void recompute_key(PmIndex i);
+  void add_to_bucket(PmIndex i);
+  void remove_from_bucket(PmIndex i);
+  void mark_used(PmIndex i);
+  void mark_unused(PmIndex i);
 
   Catalog catalog_;
   std::vector<PmState> pms_;
   std::vector<PmIndex> used_order_;
   std::unordered_map<VmId, PmIndex> vm_index_;
+
+  // Placement index (see class comment).
+  std::vector<TypeIndex> index_;               // per PM type
+  std::vector<std::uint32_t> bucket_pos_;      // per PM: position inside its bucket
+  std::vector<std::uint64_t> activation_seq_;  // per PM: valid while used
+  std::vector<std::uint64_t> unused_bits_;     // bitmap, 1 = unused
+  std::uint64_t next_activation_ = 0;
 };
 
 }  // namespace prvm

@@ -1,0 +1,126 @@
+// A small open-addressing hash map for 64-bit keys.
+//
+// The profile machinery keys everything by packed 64-bit ProfileKeys and sits
+// on the placement hot path: the score table resolves a key per candidate
+// profile, the graph build probes the node index once per discovered edge,
+// and the datacenter's bucket index probes once per place/remove. A
+// power-of-two flat table with linear probing turns each of those into one
+// or two cache lines instead of std::unordered_map's pointer chase. Keys are
+// arbitrary (0 is a valid ProfileKey), so occupancy is tracked in a separate
+// byte array rather than with a sentinel key. No erase: every current user
+// only ever grows (the bucket index tombstones by value instead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+template <typename Value>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+  explicit FlatMap64(std::size_t expected) { reserve(expected); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return keys_.size(); }
+
+  void clear() {
+    keys_.clear();
+    values_.clear();
+    full_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `expected` entries without rehashing later.
+  void reserve(std::size_t expected) {
+    std::size_t cap = 16;
+    // Grow past 7/8 load at the target size.
+    while (cap * 7 < expected * 8) cap *= 2;
+    if (cap > keys_.size()) rehash(cap);
+  }
+
+  Value* find(std::uint64_t key) {
+    if (keys_.empty()) return nullptr;
+    std::size_t i = probe_start(key);
+    while (full_[i]) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  const Value* find(std::uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+
+  /// Inserts `(key, value)` if the key is absent. Returns the stored value
+  /// (existing or new) and whether an insert happened. The reference stays
+  /// valid until the next insert.
+  std::pair<Value&, bool> try_emplace(std::uint64_t key, Value value = Value{}) {
+    if (keys_.empty() || (size_ + 1) * 8 > keys_.size() * 7) {
+      rehash(keys_.empty() ? 16 : keys_.size() * 2);
+    }
+    std::size_t i = probe_start(key);
+    while (full_[i]) {
+      if (keys_[i] == key) return {values_[i], false};
+      i = (i + 1) & mask_;
+    }
+    place_at(i, key, std::move(value));
+    return {values_[i], true};
+  }
+
+  Value& operator[](std::uint64_t key) { return try_emplace(key).first; }
+
+ private:
+  std::size_t probe_start(std::uint64_t key) const {
+    // SplitMix64 finalizer: full-avalanche, so low bits are usable directly.
+    std::uint64_t h = key;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  void place_at(std::size_t i, std::uint64_t key, Value value) {
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    full_[i] = 1;
+    ++size_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    PRVM_CHECK((new_capacity & (new_capacity - 1)) == 0, "capacity must be a power of two");
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    std::vector<std::uint8_t> old_full = std::move(full_);
+    keys_.assign(new_capacity, 0);
+    values_.assign(new_capacity, Value{});
+    full_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (!old_full[i]) continue;
+      // Keys are distinct, so a plain probe-to-empty insert suffices (and
+      // cannot re-trigger a rehash mid-loop).
+      std::size_t j = probe_start(old_keys[i]);
+      while (full_[j]) j = (j + 1) & mask_;
+      place_at(j, old_keys[i], std::move(old_values[i]));
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> full_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace prvm

@@ -1,9 +1,9 @@
 #include "core/profile_graph.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/check.hpp"
+#include "common/worker_pool.hpp"
 
 namespace prvm {
 
@@ -34,37 +34,26 @@ ProfileGraph::ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> dema
     PRVM_REQUIRE(d.total() > 0, "VM demand must consume at least one level");
   }
 
-  unsigned threads = options.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads = options.threads;
 
   const Profile zero = Profile::zero(shape_);
   keys_.push_back(zero.pack(shape_));
   usage_.push_back(0);
-  index_.emplace(keys_[0], NodeId{0});
+  index_.try_emplace(keys_[0], NodeId{0});
   graph_.add_node();
 
   std::vector<NodeId> frontier{0};
   while (!frontier.empty()) {
-    // Parallel phase: enumerate successor keys for the whole frontier.
+    // Parallel phase: enumerate successor keys for the whole frontier on the
+    // shared worker pool (capped at options.threads when set).
     std::vector<std::vector<ProfileKey>> expanded(frontier.size());
-    if (threads <= 1 || frontier.size() < 64) {
-      for (std::size_t i = 0; i < frontier.size(); ++i) {
-        expanded[i] = expand_node(shape_, keys_[frontier[i]], demands_);
-      }
+    auto expand = [&](std::size_t i) {
+      expanded[i] = expand_node(shape_, keys_[frontier[i]], demands_);
+    };
+    if (threads == 1 || frontier.size() < 64) {
+      for (std::size_t i = 0; i < frontier.size(); ++i) expand(i);
     } else {
-      std::vector<std::thread> pool;
-      std::size_t chunk = (frontier.size() + threads - 1) / threads;
-      for (unsigned t = 0; t < threads; ++t) {
-        const std::size_t begin = t * chunk;
-        const std::size_t end = std::min(begin + chunk, frontier.size());
-        if (begin >= end) break;
-        pool.emplace_back([&, begin, end] {
-          for (std::size_t i = begin; i < end; ++i) {
-            expanded[i] = expand_node(shape_, keys_[frontier[i]], demands_);
-          }
-        });
-      }
-      for (std::thread& th : pool) th.join();
+      WorkerPool::shared().parallel_for(0, frontier.size(), expand, 0, threads);
     }
 
     // Serial phase: register new nodes and edges.
@@ -72,7 +61,7 @@ ProfileGraph::ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> dema
     for (std::size_t i = 0; i < frontier.size(); ++i) {
       const NodeId from = frontier[i];
       for (ProfileKey key : expanded[i]) {
-        auto [it, inserted] = index_.try_emplace(key, static_cast<NodeId>(keys_.size()));
+        auto [node, inserted] = index_.try_emplace(key, static_cast<NodeId>(keys_.size()));
         if (inserted) {
           PRVM_REQUIRE(keys_.size() < options.max_nodes,
                        "profile graph exceeds max_nodes; coarsen quantization");
@@ -80,9 +69,9 @@ ProfileGraph::ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> dema
           usage_.push_back(
               static_cast<std::uint16_t>(Profile::unpack(shape_, key).total_usage()));
           graph_.add_node();
-          next.push_back(it->second);
+          next.push_back(node);
         }
-        graph_.add_edge(from, it->second);
+        graph_.add_edge(from, node);
       }
     }
     frontier = std::move(next);
@@ -95,9 +84,9 @@ std::optional<NodeId> ProfileGraph::best_node() const {
 }
 
 std::optional<NodeId> ProfileGraph::find_node(ProfileKey key) const {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  const NodeId* node = index_.find(key);
+  if (node == nullptr) return std::nullopt;
+  return *node;
 }
 
 double ProfileGraph::utilization(NodeId node) const {
@@ -120,9 +109,9 @@ std::vector<NodeId> ProfileGraph::successors_for_demand(NodeId node,
   const Profile profile = profile_of(node);
   std::vector<NodeId> result;
   for (ProfileKey key : enumerate_successor_keys(shape_, profile, demands_[demand_index])) {
-    const auto it = index_.find(key);
-    PRVM_CHECK(it != index_.end(), "successor missing from graph");
-    result.push_back(it->second);
+    const NodeId* succ = index_.find(key);
+    PRVM_CHECK(succ != nullptr, "successor missing from graph");
+    result.push_back(*succ);
   }
   return result;
 }

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "pagerank/graph.hpp"
 #include "profile/permutation.hpp"
 #include "profile/profile.hpp"
@@ -68,7 +68,7 @@ class ProfileGraph {
   Digraph graph_;
   std::vector<ProfileKey> keys_;
   std::vector<std::uint16_t> usage_;  ///< total usage per node
-  std::unordered_map<ProfileKey, NodeId> index_;
+  FlatMap64<NodeId> index_;
 };
 
 }  // namespace prvm

@@ -4,9 +4,9 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 #include "common/check.hpp"
+#include "common/worker_pool.hpp"
 #include "core/bpru.hpp"
 
 namespace prvm {
@@ -127,49 +127,70 @@ ScoreTable ScoreTable::build(const ProfileGraph& graph, const ScoreTableOptions&
   for (NodeId u = 0; u < n; ++u) {
     table.keys_[u] = graph.key_of(u);
     table.scores_[u] = static_cast<float>(scores[u]);
-    table.index_.emplace(table.keys_[u], u);
+    table.index_.try_emplace(table.keys_[u], u);
   }
 
   // Best-successor pass: for every (profile, VM type), the highest-scoring
   // canonical outcome across anti-collocation permutations. Embarrassingly
   // parallel over nodes.
   table.best_.assign(n * table.demand_count_, BestEntry{});
-  const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
-  auto work = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t u = begin; u < end; ++u) {
-      for (std::size_t t = 0; t < table.demand_count_; ++t) {
-        BestEntry entry;
-        for (NodeId v : graph.successors_for_demand(static_cast<NodeId>(u), t)) {
-          const auto s = static_cast<float>(scores[v]);
-          if (entry.successor == kNoFit || s > entry.score) {
-            entry.score = s;
-            entry.successor = v;
-          }
+  auto work = [&](std::size_t u) {
+    for (std::size_t t = 0; t < table.demand_count_; ++t) {
+      BestEntry entry;
+      for (NodeId v : graph.successors_for_demand(static_cast<NodeId>(u), t)) {
+        const auto s = static_cast<float>(scores[v]);
+        if (entry.successor == kNoFit || s > entry.score) {
+          entry.score = s;
+          entry.successor = v;
         }
-        table.best_[u * table.demand_count_ + t] = entry;
       }
+      table.best_[u * table.demand_count_ + t] = entry;
     }
   };
-  if (threads <= 1 || n < 256) {
-    work(0, n);
+  if (n < 256) {
+    for (std::size_t u = 0; u < n; ++u) work(u);
   } else {
-    std::vector<std::thread> pool;
-    const std::size_t chunk = (n + threads - 1) / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-      const std::size_t begin = t * chunk;
-      const std::size_t end = std::min(begin + chunk, n);
-      if (begin >= end) break;
-      pool.emplace_back(work, begin, end);
-    }
-    for (std::thread& th : pool) th.join();
+    WorkerPool::shared().parallel_for(0, n, work);
   }
+  table.build_ranked();
   return table;
 }
 
+void ScoreTable::build_ranked() {
+  ranked_.assign(demand_count_, {});
+  for (std::size_t t = 0; t < demand_count_; ++t) {
+    std::vector<RankedKey>& ranked = ranked_[t];
+    for (std::size_t u = 0; u < keys_.size(); ++u) {
+      const BestEntry& entry = best_[u * demand_count_ + t];
+      if (entry.successor == kNoFit) continue;
+      ranked.push_back(RankedKey{entry.score, keys_[u]});
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const RankedKey& a, const RankedKey& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.key < b.key;
+    });
+  }
+}
+
 std::optional<double> ScoreTable::find(ProfileKey key) const {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  return static_cast<double>(scores_[it->second]);
+  const NodeId* node = index_.find(key);
+  if (node == nullptr) return std::nullopt;
+  return static_cast<double>(scores_[*node]);
+}
+
+std::optional<NodeId> ScoreTable::node_of(ProfileKey key) const {
+  const NodeId* node = index_.find(key);
+  if (node == nullptr) return std::nullopt;
+  return *node;
+}
+
+std::optional<ScoreTable::Best> ScoreTable::best_after_node(NodeId node,
+                                                            std::size_t demand_index) const {
+  PRVM_REQUIRE(demand_index < demand_count_, "demand index out of range");
+  PRVM_REQUIRE(node < keys_.size(), "node out of range");
+  const BestEntry& entry = best_[node * demand_count_ + demand_index];
+  if (entry.successor == kNoFit) return std::nullopt;
+  return Best{static_cast<double>(entry.score), keys_[entry.successor]};
 }
 
 double ScoreTable::score(ProfileKey key) const {
@@ -181,9 +202,9 @@ double ScoreTable::score(ProfileKey key) const {
 std::optional<ScoreTable::Best> ScoreTable::best_after(ProfileKey current,
                                                        std::size_t demand_index) const {
   PRVM_REQUIRE(demand_index < demand_count_, "demand index out of range");
-  const auto it = index_.find(current);
-  PRVM_REQUIRE(it != index_.end(), "profile not present in score table");
-  const BestEntry& entry = best_[it->second * demand_count_ + demand_index];
+  const NodeId* node = index_.find(current);
+  PRVM_REQUIRE(node != nullptr, "profile not present in score table");
+  const BestEntry& entry = best_[*node * demand_count_ + demand_index];
   if (entry.successor == kNoFit) return std::nullopt;
   return Best{static_cast<double>(entry.score), keys_[entry.successor]};
 }
@@ -270,7 +291,8 @@ ScoreTable ScoreTable::load(const std::filesystem::path& path) {
   table.converged_ = converged != 0;
 
   table.index_.reserve(node_count);
-  for (NodeId u = 0; u < node_count; ++u) table.index_.emplace(table.keys_[u], u);
+  for (NodeId u = 0; u < node_count; ++u) table.index_.try_emplace(table.keys_[u], u);
+  table.build_ranked();
   return table;
 }
 

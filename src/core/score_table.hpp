@@ -16,9 +16,9 @@
 #include <filesystem>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "core/profile_graph.hpp"
 #include "pagerank/pagerank.hpp"
 
@@ -78,6 +78,26 @@ class ScoreTable {
   /// nullopt if the VM does not fit.
   std::optional<Best> best_after(ProfileKey current, std::size_t demand_index) const;
 
+  /// Node id of a canonical profile, if present. Node-keyed accessors below
+  /// let hot paths resolve the hash once and reuse the id.
+  std::optional<NodeId> node_of(ProfileKey key) const;
+  ProfileKey key_of(NodeId node) const { return keys_.at(node); }
+  std::optional<Best> best_after_node(NodeId node, std::size_t demand_index) const;
+
+  /// One entry of the per-VM-type score ranking (see ranked_keys()).
+  struct RankedKey {
+    float score = 0.0F;  ///< best_after score of placing the VM type here
+    ProfileKey key = 0;  ///< the current (pre-placement) profile
+  };
+
+  /// Every profile that can accommodate VM type `demand_index`, sorted by
+  /// best_after score descending (ties by key, for determinism). The indexed
+  /// Algorithm 2 walks this ranking and takes the first entry with a live
+  /// PM bucket, instead of scoring every used PM.
+  const std::vector<RankedKey>& ranked_keys(std::size_t demand_index) const {
+    return ranked_.at(demand_index);
+  }
+
   /// Diagnostics from the build.
   int pagerank_iterations() const { return iterations_; }
   bool pagerank_converged() const { return converged_; }
@@ -99,6 +119,8 @@ class ScoreTable {
  private:
   ScoreTable() = default;
 
+  void build_ranked();
+
   ProfileShape shape_{std::vector<DimensionGroup>{DimensionGroup{}}};
   std::vector<ProfileKey> keys_;
   std::vector<float> scores_;
@@ -110,8 +132,9 @@ class ScoreTable {
   };
   static constexpr NodeId kNoFit = static_cast<NodeId>(-1);
   std::vector<BestEntry> best_;
+  std::vector<std::vector<RankedKey>> ranked_;  // [demand], derived from best_
   std::size_t demand_count_ = 0;
-  std::unordered_map<ProfileKey, NodeId> index_;
+  FlatMap64<NodeId> index_;
   std::string digest_;
   int iterations_ = 0;
   bool converged_ = false;

@@ -1,12 +1,11 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 #include "common/check.hpp"
+#include "common/worker_pool.hpp"
 #include "sim/migration_policy.hpp"
 #include "trace/google_cluster.hpp"
 #include "trace/planetlab.hpp"
@@ -152,26 +151,12 @@ Ec2ExperimentResult Ec2Experiment::run(AlgorithmKind kind) const {
   }
   result.runs.resize(config_.repetitions);
 
-  unsigned threads = config_.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(config_.repetitions));
-
-  if (threads <= 1) {
-    for (std::size_t r = 0; r < config_.repetitions; ++r) result.runs[r] = run_once(kind, r);
-  } else {
-    std::vector<std::thread> pool;
-    std::atomic<std::size_t> next{0};
-    for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t r = next.fetch_add(1);
-          if (r >= config_.repetitions) return;
-          result.runs[r] = run_once(kind, r);
-        }
-      });
-    }
-    for (std::thread& th : pool) th.join();
-  }
+  // Repetitions fan out on the shared worker pool (grain 1: whole runs
+  // self-balance off the pool's atomic cursor, as the ad-hoc thread team
+  // here used to). config_.threads caps participation; 1 forces serial.
+  WorkerPool::shared().parallel_for(
+      0, config_.repetitions, [&](std::size_t r) { result.runs[r] = run_once(kind, r); },
+      /*grain=*/1, /*max_threads=*/config_.threads);
   if (config_.cache_results) save_cached_runs(cache_file, result.runs);
   return result;
 }

@@ -101,10 +101,12 @@ std::optional<PmIndex> NetworkAwarePageRankVm::place(Datacenter& dc, const Vm& v
     return placed;
   }
   // Nothing used fits: open an unused PM in the rack with the most placed
-  // peers (bandwidth-efficient activation), else first unused.
+  // peers (bandwidth-efficient activation), else first unused. Walks the
+  // datacenter's free-list bitmap instead of materializing unused_pms().
   std::optional<PmIndex> fallback;
   double fallback_affinity = -1.0;
-  for (PmIndex i : dc.unused_pms()) {
+  for (auto u = dc.next_unused(0); u.has_value(); u = dc.next_unused(*u + 1)) {
+    const PmIndex i = *u;
     if (!constraints.allowed(dc, i)) continue;
     if (!dc.fits(i, vm.type_index)) continue;
     const double a = affinity(dc, i, vm.id).value_or(0.0);

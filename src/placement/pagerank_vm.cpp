@@ -1,10 +1,15 @@
 #include "placement/pagerank_vm.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/check.hpp"
 
 namespace prvm {
+
+namespace {
+constexpr std::uint32_t kNoRep = 0xFFFFFFFFu;
+}  // namespace
 
 PageRankVm::PageRankVm(std::shared_ptr<const ScoreTableSet> tables, PageRankVmOptions options)
     : tables_(std::move(tables)), options_(options), rng_(options.seed) {
@@ -21,7 +26,77 @@ std::optional<double> PageRankVm::placement_score(const Datacenter& dc, PmIndex 
   return best->score;
 }
 
-void PageRankVm::place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm) const {
+DemandPlacement PageRankVm::cached_placement(const Datacenter& dc, PmIndex i, const Vm& vm) {
+  const Datacenter::PmState& pm = dc.pm(i);
+  const ProfileShape& shape = dc.shape_of(i);
+  const ScoreTable& table = tables_->table(pm.type_index);
+  const auto slot = tables_->demand_slot(pm.type_index, vm.type_index);
+  PRVM_CHECK(slot.has_value(), "placing a VM type that never fits this PM type");
+  const auto node = table.node_of(pm.canonical_key);
+  PRVM_REQUIRE(node.has_value(), "profile not present in score table");
+  const auto best = table.best_after_node(*node, *slot);
+  PRVM_CHECK(best.has_value(), "placing a VM that does not fit");
+
+  // One representative per (PM type, canonical profile, VM type): the first
+  // enumerated canonical-space placement whose outcome is the best
+  // successor. Computed on demand, then reused for every PM that passes
+  // through this profile.
+  const std::uint64_t cache_key = (static_cast<std::uint64_t>(pm.type_index) << 48) |
+                                  (static_cast<std::uint64_t>(*node) << 12) |
+                                  static_cast<std::uint64_t>(*slot);
+  auto [rep, inserted] = rep_index_.try_emplace(cache_key, kNoRep);
+  if (rep == kNoRep) {
+    const Profile canonical = Profile::unpack(shape, pm.canonical_key);
+    const auto& demand = dc.catalog().demand(pm.type_index, vm.type_index);
+    PRVM_CHECK(demand.has_value(), "demand slot without a catalog demand");
+    auto options = enumerate_placements(shape, canonical, *demand);
+    const auto it = std::find_if(options.begin(), options.end(), [&](const DemandPlacement& p) {
+      return p.result.canonical(shape).pack(shape) == best->successor;
+    });
+    PRVM_CHECK(it != options.end(), "winning permutation not found among placements");
+    rep = static_cast<std::uint32_t>(rep_assignments_.size());
+    rep_assignments_.push_back(std::move(it->assignments));
+  }
+  const std::vector<std::pair<int, int>>& canonical_assignments = rep_assignments_[rep];
+
+  // The representative speaks canonical coordinates (levels sorted descending
+  // per group); this PM's concrete dims are some permutation of that. Map the
+  // p-th canonical dim of each group to the concrete dim holding the p-th
+  // largest level — same level, same capacity, so the mapped assignment is
+  // valid and its canonical outcome is exactly best->successor.
+  std::vector<int> order(static_cast<std::size_t>(shape.total_dims()));
+  for (std::size_t g = 0; g < shape.group_count(); ++g) {
+    const int off = shape.group_offset(g);
+    const int count = shape.groups()[g].count;
+    const auto begin = order.begin() + off;
+    std::iota(begin, begin + count, 0);
+    std::sort(begin, begin + count, [&](int a, int b) {
+      const int la = pm.usage.level(off + a);
+      const int lb = pm.usage.level(off + b);
+      if (la != lb) return la > lb;
+      return a < b;
+    });
+  }
+  DemandPlacement placement;
+  placement.assignments.reserve(canonical_assignments.size());
+  std::vector<int> levels(pm.usage.levels().begin(), pm.usage.levels().end());
+  for (auto [dim, amount] : canonical_assignments) {
+    std::size_t g = 0;
+    while (g + 1 < shape.group_count() && shape.group_offset(g + 1) <= dim) ++g;
+    const int off = shape.group_offset(g);
+    const int mapped = off + order[static_cast<std::size_t>(dim)];
+    placement.assignments.emplace_back(mapped, amount);
+    levels[static_cast<std::size_t>(mapped)] += amount;
+  }
+  placement.result = Profile::from_levels(shape, std::move(levels));
+  return placement;
+}
+
+void PageRankVm::place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm) {
+  if (options_.use_index) {
+    dc.place(i, vm, cached_placement(dc, i, vm));
+    return;
+  }
   const Datacenter::PmState& pm = dc.pm(i);
   const ProfileShape& shape = dc.shape_of(i);
   const auto slot = tables_->demand_slot(pm.type_index, vm.type_index);
@@ -40,8 +115,8 @@ void PageRankVm::place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm)
   dc.place(i, vm, *it);
 }
 
-std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
-                                         const PlacementConstraints& constraints) {
+std::optional<PmIndex> PageRankVm::pick_linear(Datacenter& dc, const Vm& vm,
+                                               const PlacementConstraints& constraints) {
   // Candidate used PMs: all of them, or two sampled ones in 2-choice mode.
   std::vector<PmIndex> candidates;
   for (PmIndex i : dc.used_pms()) {
@@ -76,17 +151,154 @@ std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
       best_pm = i;
     }
   }
+  return best_pm;
+}
+
+std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_type,
+                                           const ScoreTable& table, std::size_t slot,
+                                           std::vector<BucketRef>& out) const {
+  out.clear();
+
+  // Phase A: walk the score-ranked profile keys and take the first (tie
+  // band of) live bucket(s). Cheap when a highly-ranked profile is live;
+  // give up after ~#live-profiles misses and fall back to phase B, so the
+  // walk never costs more than scanning the live profiles directly.
+  const auto& ranked = table.ranked_keys(slot);
+  std::size_t budget = dc.used_bucket_count(pm_type) + 8;
+  float top = 0.0F;
+  bool bailed = false;
+  for (const ScoreTable::RankedKey& rk : ranked) {
+    if (!out.empty() && rk.score != top) break;  // past the winning tie band
+    if (budget == 0) {
+      bailed = true;
+      break;
+    }
+    --budget;
+    const BucketRef bucket = dc.used_bucket(pm_type, rk.key);
+    if (bucket == nullptr) continue;
+    if (out.empty()) top = rk.score;
+    out.push_back(bucket);
+  }
+  if (!bailed) {
+    if (out.empty()) return std::nullopt;
+    return static_cast<double>(top);
+  }
+
+  // Phase B: score each distinct live profile once.
+  out.clear();
+  std::optional<double> best;
+  dc.for_each_used_bucket(pm_type, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+    const auto entry = table.best_after(key, slot);
+    if (!entry.has_value()) return;
+    if (!best.has_value() || entry->score > *best) {
+      best = entry->score;
+      out.clear();
+      out.push_back(&pms);
+    } else if (entry->score == *best) {
+      out.push_back(&pms);
+    }
+  });
+  return best;
+}
+
+std::optional<PmIndex> PageRankVm::pick_indexed(const Datacenter& dc, std::size_t vm_type) {
+  tied_.clear();
+  bool found = false;
+  double best_score = 0.0;
+  for (std::size_t t = 0; t < dc.catalog().pm_types().size(); ++t) {
+    if (dc.used_count_of_type(t) == 0) continue;
+    const auto slot = tables_->demand_slot(t, vm_type);
+    if (!slot.has_value()) continue;
+    const auto score = type_top(dc, t, tables_->table(t), *slot, type_tied_);
+    if (!score.has_value()) continue;
+    if (!found || *score > best_score) {
+      found = true;
+      best_score = *score;
+      tied_.assign(type_tied_.begin(), type_tied_.end());
+    } else if (*score == best_score) {
+      tied_.insert(tied_.end(), type_tied_.begin(), type_tied_.end());
+    }
+  }
+  if (!found) return std::nullopt;
+
+  // The linear scan keeps the first maximal candidate in used order, which
+  // is exactly the minimum activation sequence among the tied buckets.
+  std::optional<PmIndex> winner;
+  std::uint64_t winner_seq = 0;
+  for (const BucketRef bucket : tied_) {
+    for (const PmIndex i : *bucket) {
+      const std::uint64_t seq = dc.activation_seq(i);
+      if (!winner.has_value() || seq < winner_seq) {
+        winner = i;
+        winner_seq = seq;
+      }
+    }
+  }
+  return winner;
+}
+
+std::optional<PmIndex> PageRankVm::pick_indexed_constrained(
+    const Datacenter& dc, std::size_t vm_type, const PlacementConstraints& constraints) {
+  // Migration-time path: score every distinct live profile, then walk the
+  // score groups downward until one holds an allowed PM.
+  scored_.clear();
+  for (std::size_t t = 0; t < dc.catalog().pm_types().size(); ++t) {
+    if (dc.used_count_of_type(t) == 0) continue;
+    const auto slot = tables_->demand_slot(t, vm_type);
+    if (!slot.has_value()) continue;
+    const ScoreTable& table = tables_->table(t);
+    dc.for_each_used_bucket(t, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+      const auto entry = table.best_after(key, *slot);
+      if (entry.has_value()) scored_.emplace_back(entry->score, &pms);
+    });
+  }
+  std::sort(scored_.begin(), scored_.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = 0; i < scored_.size();) {
+    std::size_t j = i;
+    while (j < scored_.size() && scored_[j].first == scored_[i].first) ++j;
+    std::optional<PmIndex> winner;
+    std::uint64_t winner_seq = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      for (const PmIndex pm : *scored_[k].second) {
+        if (!constraints.allowed(dc, pm)) continue;
+        const std::uint64_t seq = dc.activation_seq(pm);
+        if (!winner.has_value() || seq < winner_seq) {
+          winner = pm;
+          winner_seq = seq;
+        }
+      }
+    }
+    if (winner.has_value()) return winner;
+    i = j;
+  }
+  return std::nullopt;
+}
+
+std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
+                                         const PlacementConstraints& constraints) {
+  std::optional<PmIndex> best_pm;
+  if (!options_.use_index || options_.two_choice) {
+    // 2-choice must sample with the exact RNG stream of the linear engine,
+    // so it shares the linear candidate path even when indexing is on.
+    best_pm = pick_linear(dc, vm, constraints);
+  } else if (!constraints.exclude.has_value() && !constraints.allow) {
+    best_pm = pick_indexed(dc, vm.type_index);
+  } else {
+    best_pm = pick_indexed_constrained(dc, vm.type_index, constraints);
+  }
   if (best_pm.has_value()) {
     place_best_permutation(dc, *best_pm, vm);
     return best_pm;
   }
 
-  // Lines 17-24: first unused PM with sufficient resources.
-  for (PmIndex i : dc.unused_pms()) {
-    if (!constraints.allowed(dc, i)) continue;
-    if (!dc.fits(i, vm.type_index)) continue;
-    place_best_permutation(dc, i, vm);
-    return i;
+  // Lines 17-24: first unused PM with sufficient resources, off the
+  // incrementally-maintained free list.
+  for (auto i = dc.next_unused(0); i.has_value(); i = dc.next_unused(*i + 1)) {
+    if (!constraints.allowed(dc, *i)) continue;
+    if (!dc.fits(*i, vm.type_index)) continue;
+    place_best_permutation(dc, *i, vm);
+    return *i;
   }
   return std::nullopt;
 }

@@ -8,10 +8,22 @@
 // first unused PM with sufficient resources is activated. The optional
 // 2-choice mode (§V-C closing remark) scores two randomly sampled used PMs
 // instead of scanning the whole used list.
+//
+// Two engines implement the scan. The legacy linear engine scores every
+// used PM (O(fleet) per VM, the paper's Algorithm 2 as printed). The
+// indexed engine (default) exploits that the score depends only on
+// (PM type, canonical profile, VM type): it consults the datacenter's
+// per-type profile buckets and the score table's ranked key lists, so each
+// *distinct* live profile is evaluated once. Tie-breaking is pinned to
+// activation order, making the chosen PM identical to the linear scan for
+// every VM (asserted by the differential test).
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "core/catalog_graphs.hpp"
 #include "placement/algorithm.hpp"
@@ -21,6 +33,9 @@ namespace prvm {
 struct PageRankVmOptions {
   bool two_choice = false;  ///< sample 2 used PMs instead of scanning all
   std::uint64_t seed = 1;   ///< RNG seed for 2-choice sampling
+  /// Use the bucketed placement index (same placements, near-O(1) per VM).
+  /// Off = the literal linear scan, kept for differential tests/ablation.
+  bool use_index = true;
 };
 
 class PageRankVm final : public PlacementAlgorithm {
@@ -43,13 +58,45 @@ class PageRankVm final : public PlacementAlgorithm {
   const ScoreTableSet& tables() const { return *tables_; }
 
  private:
+  using BucketRef = const std::vector<PmIndex>*;
+
   /// Places `vm` on PM `i` using the permutation whose canonical outcome has
-  /// the highest score.
-  void place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm) const;
+  /// the highest score (via the representative cache when indexing is on).
+  void place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm);
+
+  /// Linear engine: Algorithm 2 as printed (plus 2-choice sampling).
+  std::optional<PmIndex> pick_linear(Datacenter& dc, const Vm& vm,
+                                     const PlacementConstraints& constraints);
+
+  /// Indexed engine, no constraints: best PM via the profile buckets.
+  std::optional<PmIndex> pick_indexed(const Datacenter& dc, std::size_t vm_type);
+
+  /// Indexed engine with exclude/allow constraints (migration re-placement).
+  std::optional<PmIndex> pick_indexed_constrained(const Datacenter& dc, std::size_t vm_type,
+                                                  const PlacementConstraints& constraints);
+
+  /// Top score of `pm_type`'s live profiles for demand `slot` and the
+  /// bucket(s) attaining it; nullopt when no live profile fits the VM.
+  std::optional<double> type_top(const Datacenter& dc, std::size_t pm_type,
+                                 const ScoreTable& table, std::size_t slot,
+                                 std::vector<BucketRef>& out) const;
+
+  /// A placement of `vm` on PM `i` realizing the best successor, computed in
+  /// canonical-profile space once per (PM type, profile, VM type) and mapped
+  /// onto the PM's concrete dimension permutation.
+  DemandPlacement cached_placement(const Datacenter& dc, PmIndex i, const Vm& vm);
 
   std::shared_ptr<const ScoreTableSet> tables_;
   PageRankVmOptions options_;
   Rng rng_;
+
+  // Scratch and caches for the indexed engine (one engine per thread; these
+  // make place() non-reentrant but allocation-free at steady state).
+  std::vector<BucketRef> tied_;
+  std::vector<BucketRef> type_tied_;
+  std::vector<std::pair<double, BucketRef>> scored_;
+  FlatMap64<std::uint32_t> rep_index_;  // (pm_type, node, slot) -> rep slot
+  std::vector<std::vector<std::pair<int, int>>> rep_assignments_;
 };
 
 }  // namespace prvm

@@ -1,0 +1,97 @@
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace prvm {
+namespace {
+
+TEST(FlatMap, EmptyFindsNothing) {
+  FlatMap64<int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatMap, ZeroIsAValidKey) {
+  // ProfileKey 0 is the empty profile, so 0 must behave like any other key.
+  FlatMap64<int> map;
+  EXPECT_EQ(map.find(0), nullptr);
+  map.try_emplace(0, 7);
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), 7);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, InsertFindUpdate) {
+  FlatMap64<int> map;
+  auto [first, inserted] = map.try_emplace(10, 1);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(first, 1);
+  auto [again, reinserted] = map.try_emplace(10, 2);
+  EXPECT_FALSE(reinserted);
+  EXPECT_EQ(again, 1);  // try_emplace keeps the existing value
+  again = 5;
+  EXPECT_EQ(*map.find(10), 5);  // the returned reference writes through
+  map[11] = 9;
+  EXPECT_EQ(*map.find(11), 9);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, GrowsPastManyInsertsAndMatchesReference) {
+  FlatMap64<std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    // Mix of random and dense sequential keys exercises probe chains.
+    const std::uint64_t key =
+        (i % 3 == 0) ? static_cast<std::uint64_t>(i / 3) : rng.engine()();
+    map.try_emplace(key, key * 2 + 1);
+    reference.try_emplace(key, key * 2 + 1);
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const auto* found = map.find(key);
+    ASSERT_NE(found, nullptr) << key;
+    EXPECT_EQ(*found, value);
+  }
+  // Absent keys stay absent after all the rehashing.
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = 0x8000000000000000ULL + static_cast<std::uint64_t>(i);
+    if (!reference.contains(key)) EXPECT_EQ(map.find(key), nullptr);
+  }
+}
+
+TEST(FlatMap, CollidingProbeChains) {
+  // Adjacent keys whose hashes land wherever they land: force a tiny table
+  // so chains must wrap around.
+  FlatMap64<int> map;
+  for (int i = 0; i < 100; ++i) map.try_emplace(static_cast<std::uint64_t>(i), i);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(map.find(static_cast<std::uint64_t>(i)), nullptr);
+    EXPECT_EQ(*map.find(static_cast<std::uint64_t>(i)), i);
+  }
+  EXPECT_EQ(map.size(), 100u);
+  EXPECT_EQ((map.capacity() & (map.capacity() - 1)), 0u) << "capacity must stay a power of two";
+}
+
+TEST(FlatMap, ReserveAvoidsGrowthAndClearResets) {
+  FlatMap64<int> map;
+  map.reserve(1000);
+  const std::size_t cap = map.capacity();
+  for (int i = 0; i < 1000; ++i) map.try_emplace(static_cast<std::uint64_t>(i * 7919), i);
+  EXPECT_EQ(map.capacity(), cap) << "reserve(1000) must absorb 1000 inserts without rehash";
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(0), nullptr);
+  map.try_emplace(3, 4);
+  EXPECT_EQ(*map.find(3), 4);
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,277 @@
+// Differential and invariant tests for the placement index.
+//
+// The indexed PageRankVM engine must be observationally identical to the
+// legacy linear scan (PageRankVmOptions::use_index = false): same chosen PM
+// for every VM, same rejections, same canonical profile trajectory — across
+// catalogs, seeds, 2-choice mode and migration re-placement. Separately, the
+// datacenter's incrementally-maintained bucket index must satisfy its
+// structural invariants under arbitrary place/remove churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "cluster/datacenter.hpp"
+#include "common/rng.hpp"
+#include "core/catalog_graphs.hpp"
+#include "placement/pagerank_vm.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+std::shared_ptr<const ScoreTableSet> tables_for(const Catalog& catalog) {
+  // The default on-disk cache keeps repeated test runs fast (EC2-scale
+  // graphs take a moment to build the first time).
+  return std::make_shared<const ScoreTableSet>(build_score_tables(catalog));
+}
+
+/// Two datacenters driven in lockstep: one by the indexed engine, one by the
+/// legacy linear scan. Every operation asserts both made the same decision.
+class TwinRun {
+ public:
+  TwinRun(const Catalog& catalog, std::size_t fleet, std::uint64_t engine_seed,
+          bool two_choice)
+      : indexed_dc_(catalog, mixed_pm_fleet(catalog, fleet)),
+        linear_dc_(catalog, mixed_pm_fleet(catalog, fleet)),
+        tables_(tables_for(catalog)),
+        indexed_(tables_, {two_choice, engine_seed, /*use_index=*/true}),
+        linear_(tables_, {two_choice, engine_seed, /*use_index=*/false}) {}
+
+  /// Places `vm` through both engines; returns whether it was placed.
+  bool place(const Vm& vm, const PlacementConstraints& constraints = {}) {
+    const auto a = indexed_.place(indexed_dc_, vm, constraints);
+    const auto b = linear_.place(linear_dc_, vm, constraints);
+    EXPECT_EQ(a, b) << "engines disagree on the PM for VM " << vm.id;
+    if (a.has_value() && b.has_value()) {
+      // Concrete dimension assignments may be permuted differently, but the
+      // canonical profile of the chosen PM must be identical — otherwise the
+      // trajectories would drift apart on later VMs.
+      EXPECT_EQ(indexed_dc_.pm(*a).canonical_key, linear_dc_.pm(*b).canonical_key)
+          << "canonical profiles diverged on PM " << *a << " after VM " << vm.id;
+    }
+    return a.has_value();
+  }
+
+  void remove(VmId id) {
+    const auto a = indexed_dc_.pm_of(id);
+    const auto b = linear_dc_.pm_of(id);
+    ASSERT_EQ(a, b);
+    indexed_dc_.remove(id);
+    linear_dc_.remove(id);
+  }
+
+  void check() const {
+    indexed_dc_.check_index_invariants();
+    ASSERT_EQ(indexed_dc_.used_pms(), linear_dc_.used_pms());
+    ASSERT_EQ(indexed_dc_.vm_count(), linear_dc_.vm_count());
+  }
+
+  Datacenter& indexed_dc() { return indexed_dc_; }
+
+ private:
+  Datacenter indexed_dc_;
+  Datacenter linear_dc_;
+  std::shared_ptr<const ScoreTableSet> tables_;
+  PageRankVm indexed_;
+  PageRankVm linear_;
+};
+
+/// Streams `total` placements with steady removal churn through both
+/// engines, asserting identical decisions throughout.
+void run_churn_differential(const Catalog& catalog, std::size_t fleet, std::size_t total,
+                            std::uint64_t seed, bool two_choice) {
+  TwinRun twin(catalog, fleet, /*engine_seed=*/seed, two_choice);
+  Rng rng(seed);
+  const std::vector<double> mix = default_vm_mix(catalog);
+  const std::vector<Vm> vms = weighted_vm_requests(rng, catalog, total, mix);
+
+  // Keep roughly this many VMs live so buckets both grow and shrink.
+  const std::size_t live_cap = 3 * fleet / 2;
+  std::vector<VmId> live;
+  for (std::size_t step = 0; step < vms.size(); ++step) {
+    while (live.size() >= live_cap || (!live.empty() && rng.uniform_index(4) == 0)) {
+      const std::size_t pick = rng.uniform_index(live.size());
+      twin.remove(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+      if (live.size() < live_cap) break;
+    }
+    if (twin.place(vms[step])) live.push_back(vms[step].id);
+    if (step % 500 == 0) twin.check();
+    if (::testing::Test::HasFailure()) return;  // stop at the first divergence
+  }
+  twin.check();
+}
+
+TEST(PlacementIndexDifferential, Ec2ChurnMatchesLinearScan) {
+  run_churn_differential(ec2_sim_catalog(), /*fleet=*/400, /*total=*/4000, /*seed=*/17,
+                         /*two_choice=*/false);
+}
+
+TEST(PlacementIndexDifferential, Ec2SecondSeedMatchesLinearScan) {
+  run_churn_differential(ec2_sim_catalog(), /*fleet=*/300, /*total=*/2500, /*seed=*/4242,
+                         /*two_choice=*/false);
+}
+
+TEST(PlacementIndexDifferential, GeniChurnMatchesLinearScan) {
+  run_churn_differential(geni_catalog(), /*fleet=*/80, /*total=*/2500, /*seed=*/7,
+                         /*two_choice=*/false);
+}
+
+TEST(PlacementIndexDifferential, TwoChoiceModeMatchesLinearScan) {
+  // 2-choice shares the linear candidate sampler (same RNG stream) so the
+  // sampled pair — and hence the decision — must be identical.
+  run_churn_differential(ec2_sim_catalog(), /*fleet=*/200, /*total=*/2000, /*seed=*/91,
+                         /*two_choice=*/true);
+}
+
+TEST(PlacementIndexDifferential, MigrationReplacementMatchesLinearScan) {
+  const Catalog catalog = ec2_sim_catalog();
+  TwinRun twin(catalog, /*fleet=*/250, /*engine_seed=*/5, /*two_choice=*/false);
+  Rng rng(2026);
+  const std::vector<Vm> vms =
+      weighted_vm_requests(rng, catalog, 600, default_vm_mix(catalog));
+  std::vector<VmId> live;
+  for (const Vm& vm : vms) {
+    if (twin.place(vm)) live.push_back(vm.id);
+  }
+  ASSERT_FALSE(live.empty());
+  twin.check();
+
+  // Simulated migrations: evict a random VM and re-place it with its source
+  // PM excluded — the constrained indexed path must match the linear scan.
+  // Every third migration additionally vetoes moderately loaded PMs, the way
+  // the simulator's overload veto does.
+  for (int round = 0; round < 600; ++round) {
+    const VmId id = live[rng.uniform_index(live.size())];
+    const auto source = twin.indexed_dc().pm_of(id);
+    ASSERT_TRUE(source.has_value());
+    const Vm vm = Vm{id, twin.indexed_dc().pm(*source).vms.front().vm.type_index};
+    twin.remove(id);
+    PlacementConstraints constraints;
+    constraints.exclude = *source;
+    if (round % 3 == 0) {
+      constraints.allow = [](const Datacenter& dc, PmIndex pm) {
+        return dc.pm(pm).vms.size() < 6;
+      };
+    }
+    if (!twin.place(vm, constraints)) {
+      live.erase(std::find(live.begin(), live.end(), id));
+      if (live.empty()) break;
+    }
+    if (round % 100 == 0) twin.check();
+    if (::testing::Test::HasFailure()) return;
+  }
+  twin.check();
+}
+
+TEST(PlacementIndex, InvariantsHoldUnderRandomChurn) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, mixed_pm_fleet(catalog, 60));
+  Rng rng(123);
+  std::vector<VmId> live;
+  VmId next_id = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const bool do_remove = !live.empty() && (live.size() > 150 || rng.uniform_index(3) == 0);
+    if (do_remove) {
+      const std::size_t pick = rng.uniform_index(live.size());
+      dc.remove(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const Vm vm{next_id++, rng.uniform_index(catalog.vm_types().size())};
+      // Random feasible PM, biased towards used ones to pile VMs up.
+      std::vector<PmIndex> candidates;
+      for (PmIndex i = 0; i < dc.pm_count(); ++i) {
+        if (dc.fits(i, vm.type_index)) candidates.push_back(i);
+      }
+      if (candidates.empty()) continue;
+      dc.place_first_fit(candidates[rng.uniform_index(candidates.size())], vm);
+      live.push_back(vm.id);
+    }
+    if (op % 50 == 0) {
+      ASSERT_NO_THROW(dc.check_index_invariants());
+    }
+  }
+  ASSERT_NO_THROW(dc.check_index_invariants());
+
+  // Drain completely: the index must collapse back to the empty state.
+  while (!live.empty()) {
+    dc.remove(live.back());
+    live.pop_back();
+  }
+  ASSERT_NO_THROW(dc.check_index_invariants());
+  ASSERT_EQ(dc.used_count(), 0u);
+  for (std::size_t t = 0; t < catalog.pm_types().size(); ++t) {
+    EXPECT_EQ(dc.used_bucket_count(t), 0u);
+    EXPECT_EQ(dc.used_count_of_type(t), 0u);
+  }
+}
+
+TEST(PlacementIndex, NextUnusedTracksTheFreeList) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, std::vector<std::size_t>(70, 0));
+  Rng rng(5);
+  std::vector<VmId> live;
+  VmId next_id = 0;
+  for (int op = 0; op < 500; ++op) {
+    if (!live.empty() && rng.uniform_index(2) == 0) {
+      const std::size_t pick = rng.uniform_index(live.size());
+      dc.remove(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const Vm vm{next_id++, 0};
+      const auto target = dc.next_unused(rng.uniform_index(dc.pm_count()));
+      if (!target.has_value() || !dc.fits(*target, 0)) continue;
+      dc.place_first_fit(*target, vm);
+      live.push_back(vm.id);
+    }
+    // next_unused must enumerate exactly the complement of the used set,
+    // in index order — the contract unused_pms() is built on.
+    std::vector<PmIndex> via_next;
+    for (auto i = dc.next_unused(0); i.has_value(); i = dc.next_unused(*i + 1)) {
+      via_next.push_back(*i);
+    }
+    ASSERT_EQ(via_next, dc.unused_pms());
+    ASSERT_EQ(via_next.size() + dc.used_count(), dc.pm_count());
+    for (PmIndex i : via_next) ASSERT_FALSE(dc.pm(i).used());
+  }
+}
+
+TEST(PlacementIndex, BucketLookupMatchesLedger) {
+  const Catalog catalog = geni_catalog();
+  Datacenter dc(catalog, mixed_pm_fleet(catalog, 40));
+  Rng rng(9);
+  VmId next_id = 0;
+  for (int op = 0; op < 300; ++op) {
+    const Vm vm{next_id++, rng.uniform_index(catalog.vm_types().size())};
+    std::vector<PmIndex> candidates;
+    for (PmIndex i = 0; i < dc.pm_count(); ++i) {
+      if (dc.fits(i, vm.type_index)) candidates.push_back(i);
+    }
+    if (candidates.empty()) break;
+    dc.place_first_fit(candidates[rng.uniform_index(candidates.size())], vm);
+  }
+  // Every used PM must be findable through used_bucket() by its own key,
+  // and for_each_used_bucket must enumerate the used set exactly.
+  std::size_t enumerated = 0;
+  for (std::size_t t = 0; t < catalog.pm_types().size(); ++t) {
+    dc.for_each_used_bucket(t, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+      EXPECT_EQ(dc.used_bucket(t, key), &pms);
+      for (PmIndex i : pms) {
+        EXPECT_EQ(dc.pm(i).canonical_key, key);
+        EXPECT_EQ(dc.pm(i).type_index, t);
+      }
+      enumerated += pms.size();
+    });
+  }
+  EXPECT_EQ(enumerated, dc.used_count());
+  EXPECT_EQ(dc.used_bucket(0, ~ProfileKey{0}), nullptr);
+}
+
+}  // namespace
+}  // namespace prvm

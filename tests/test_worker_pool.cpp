@@ -1,0 +1,79 @@
+#include "common/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace prvm {
+namespace {
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, RespectsRangeOffsetAndGrain) {
+  WorkerPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(40, 60, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/3);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 40 && i < 60) ? 1 : 0) << i;
+  }
+}
+
+TEST(WorkerPool, EmptyRangeIsANoOp) {
+  WorkerPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, MaxThreadsOneRunsSerially) {
+  WorkerPool pool(8);
+  // With participation capped at 1 thread the caller runs everything, so a
+  // non-atomic counter must still end up exact.
+  int count = 0;
+  pool.parallel_for(0, 1000, [&](std::size_t) { ++count; }, 0, /*max_threads=*/1);
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(WorkerPool, PropagatesExceptions) {
+  WorkerPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [&](std::size_t i) {
+                                   if (i == 617) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool is reusable after a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkerPool, NestedCallsRunInline) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 8);
+  pool.parallel_for(0, 64, [&](std::size_t outer) {
+    // A nested parallel_for on a pool thread must not deadlock waiting for
+    // the (busy) pool; it runs inline on the calling thread.
+    pool.parallel_for(0, 8, [&](std::size_t inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, BackToBackJobsStayConsistent) {
+  WorkerPool& pool = WorkerPool::shared();
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 1000, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+    EXPECT_EQ(sum.load(), 1000L * 999 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace prvm
