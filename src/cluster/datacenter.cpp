@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
 #include "common/check.hpp"
 
@@ -223,6 +226,115 @@ void Datacenter::recompute_key(PmIndex i) {
   PmState& pm = pms_[i];
   const ProfileShape& shape = catalog_.shape(pm.type_index);
   pm.canonical_key = pm.usage.canonical(shape).pack(shape);
+}
+
+namespace {
+
+// Little-endian fixed-width I/O for the snapshot format. The format is
+// consumed on the machine that wrote it (crash recovery), but pinning the
+// byte order keeps snapshots portable anyway.
+constexpr char kSnapshotMagic[8] = {'P', 'R', 'V', 'M', 'D', 'C', '0', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  PRVM_REQUIRE(is.good(), "snapshot truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  }
+  return v;
+}
+
+void write_i64(std::ostream& os, std::int64_t v) {
+  write_u64(os, static_cast<std::uint64_t>(v));
+}
+
+std::int64_t read_i64(std::istream& is) { return static_cast<std::int64_t>(read_u64(is)); }
+
+}  // namespace
+
+void Datacenter::serialize(std::ostream& os) const {
+  os.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  write_u64(os, pms_.size());
+  for (const PmState& pm : pms_) write_u64(os, pm.type_index);
+  write_u64(os, next_activation_);
+  write_u64(os, used_order_.size());
+  for (const PmIndex i : used_order_) {
+    const PmState& pm = pms_[i];
+    write_u64(os, i);
+    write_u64(os, activation_seq_[i]);
+    write_u64(os, pm.vms.size());
+    for (const PlacedVm& placed : pm.vms) {
+      write_u64(os, placed.vm.id);
+      write_u64(os, placed.vm.type_index);
+      write_u64(os, placed.assignments.size());
+      for (auto [dim, amount] : placed.assignments) {
+        write_i64(os, dim);
+        write_i64(os, amount);
+      }
+    }
+  }
+  PRVM_REQUIRE(os.good(), "snapshot write failed");
+}
+
+Datacenter Datacenter::deserialize(Catalog catalog, std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  PRVM_REQUIRE(is.good() && std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0,
+               "not a datacenter snapshot");
+  const std::uint64_t pm_count = read_u64(is);
+  PRVM_REQUIRE(pm_count > 0 && pm_count < (std::uint64_t{1} << 32), "snapshot PM count corrupt");
+  std::vector<std::size_t> types(pm_count);
+  for (auto& t : types) t = static_cast<std::size_t>(read_u64(is));
+  Datacenter dc(std::move(catalog), std::move(types));
+
+  const std::uint64_t next_activation = read_u64(is);
+  const std::uint64_t used_count = read_u64(is);
+  PRVM_REQUIRE(used_count <= pm_count, "snapshot used count corrupt");
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  for (std::uint64_t u = 0; u < used_count; ++u) {
+    const PmIndex pm = static_cast<PmIndex>(read_u64(is));
+    PRVM_REQUIRE(pm < dc.pm_count(), "snapshot PM index out of range");
+    const std::uint64_t seq = read_u64(is);
+    PRVM_REQUIRE(first || seq > prev_seq, "snapshot activation order corrupt");
+    PRVM_REQUIRE(seq < next_activation, "snapshot activation counter corrupt");
+    first = false;
+    prev_seq = seq;
+    const std::uint64_t vm_count = read_u64(is);
+    PRVM_REQUIRE(vm_count > 0, "snapshot used PM holds no VM");
+    for (std::uint64_t v = 0; v < vm_count; ++v) {
+      Vm vm;
+      vm.id = static_cast<VmId>(read_u64(is));
+      vm.type_index = static_cast<std::size_t>(read_u64(is));
+      PRVM_REQUIRE(vm.type_index < dc.catalog().vm_types().size(),
+                   "snapshot VM type out of range");
+      DemandPlacement placement;
+      const std::uint64_t assignments = read_u64(is);
+      placement.assignments.reserve(assignments);
+      for (std::uint64_t a = 0; a < assignments; ++a) {
+        const int dim = static_cast<int>(read_i64(is));
+        const int amount = static_cast<int>(read_i64(is));
+        placement.assignments.emplace_back(dim, amount);
+      }
+      // Re-applying through place() rebuilds the buckets, free-list and
+      // used order while validating capacity / anti-collocation, so a
+      // corrupt snapshot throws instead of producing a broken ledger.
+      dc.place(pm, vm, placement);
+    }
+    // place() assigned a fresh sequence number; pin the serialized one
+    // (relative order is identical, so used_order_ stays sorted).
+    dc.activation_seq_[pm] = seq;
+  }
+  dc.next_activation_ = next_activation;
+  return dc;
 }
 
 void Datacenter::check_index_invariants() const {

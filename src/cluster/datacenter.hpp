@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -96,6 +97,11 @@ class Datacenter {
   /// PMs (the tie-break key of the indexed Algorithm 2 scan).
   std::uint64_t activation_seq(PmIndex i) const { return activation_seq_.at(i); }
 
+  /// The next activation sequence number that will be handed out. Restored
+  /// by deserialize() so recovered ledgers keep numbering where they left
+  /// off (bit-identical continuation after crash recovery).
+  std::uint64_t activation_counter() const { return next_activation_; }
+
   /// True when VM type `vm_type` has at least one feasible anti-collocation
   /// placement on PM `i` right now.
   bool fits(PmIndex i, std::size_t vm_type) const;
@@ -122,6 +128,20 @@ class Datacenter {
 
   /// Resets every PM to empty (keeps the catalog and PM fleet).
   void clear();
+
+  /// Binary snapshot of the full ledger state: PM fleet, every placed VM
+  /// with its dimension assignments, activation sequence numbers and the
+  /// activation counter. The placement index (buckets, free-list bitmap) is
+  /// derived state and is rebuilt exactly on deserialize(); the catalog is
+  /// NOT serialized — the caller supplies an identical one to deserialize().
+  void serialize(std::ostream& os) const;
+
+  /// Rebuilds a datacenter from a serialize() stream. Placements are
+  /// re-applied in activation order through the normal place() path, so
+  /// every index invariant holds on the restored ledger and the activation
+  /// sequence numbers / counter match the serialized original exactly.
+  /// Throws on malformed input or a catalog mismatch.
+  static Datacenter deserialize(Catalog catalog, std::istream& is);
 
   /// Verifies every placement-index invariant against the ledger (buckets
   /// partition the used PMs by canonical key, free-list matches, activation

@@ -42,10 +42,14 @@ Summary Ec2ExperimentResult::slo_percent() const {
 }
 
 Ec2Experiment::Ec2Experiment(Ec2ExperimentConfig config)
-    : config_(config), catalog_(ec2_sim_catalog(config.cpu_alloc_factor)) {
+    : config_(std::move(config)), catalog_(ec2_sim_catalog(config_.cpu_alloc_factor)) {
   PRVM_REQUIRE(config_.vm_count > 0, "experiment needs VMs");
   PRVM_REQUIRE(config_.repetitions > 0, "experiment needs at least one repetition");
-  tables_ = std::make_shared<ScoreTableSet>(build_score_tables(catalog_));
+  // One explicit cache directory for score tables AND result caching (see
+  // Ec2ExperimentConfig::cache_dir) — resolving it once here keeps a
+  // mid-run PRVM_CACHE_DIR change from splitting the two caches.
+  if (!config_.cache_dir.has_value()) config_.cache_dir = default_cache_dir();
+  tables_ = std::make_shared<ScoreTableSet>(build_score_tables(catalog_, {}, config_.cache_dir));
 }
 
 SimMetrics Ec2Experiment::run_once(AlgorithmKind kind, std::size_t repetition) const {
@@ -88,7 +92,8 @@ namespace {
 constexpr int kResultsVersion = 3;
 
 std::filesystem::path results_cache_file(const Ec2ExperimentConfig& config,
-                                         AlgorithmKind kind) {
+                                         AlgorithmKind kind,
+                                         const std::filesystem::path& cache_dir) {
   std::ostringstream key;
   key << kResultsVersion << '|' << config.vm_count << '|' << config.repetitions << '|'
       << config.seed << '|' << static_cast<int>(config.trace) << '|' << config.sim.epochs
@@ -105,7 +110,7 @@ std::filesystem::path results_cache_file(const Ec2ExperimentConfig& config,
   }
   std::ostringstream name;
   name << "simresult-" << std::hex << h << ".txt";
-  return default_cache_dir() / name.str();
+  return cache_dir / name.str();
 }
 
 bool load_cached_runs(const std::filesystem::path& file, std::size_t expected,
@@ -145,7 +150,8 @@ Ec2ExperimentResult Ec2Experiment::run(AlgorithmKind kind) const {
   Ec2ExperimentResult result;
   result.algorithm = kind;
 
-  const std::filesystem::path cache_file = results_cache_file(config_, kind);
+  const std::filesystem::path cache_file =
+      results_cache_file(config_, kind, config_.cache_dir.value_or(default_cache_dir()));
   if (config_.cache_results && load_cached_runs(cache_file, config_.repetitions, result.runs)) {
     return result;
   }

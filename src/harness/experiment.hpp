@@ -8,8 +8,10 @@
 // returns the per-run metrics plus order statistics.
 #pragma once
 
+#include <filesystem>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -40,6 +42,13 @@ struct Ec2ExperimentConfig {
   /// the score-table cache directory. Results are deterministic in the
   /// config, so this is safe; delete the cache directory to force reruns.
   bool cache_results = true;
+  /// Directory for the score-table and result caches. nullopt resolves to
+  /// default_cache_dir(): $PRVM_CACHE_DIR when set, else ".prvm-cache"
+  /// under the current directory. Point every consumer (benches, the
+  /// placement daemon, CI) at one directory via PRVM_CACHE_DIR so the
+  /// expensive EC2 score tables are built exactly once and reused —
+  /// daemon startup then skips straight to serving.
+  std::optional<std::filesystem::path> cache_dir;
 };
 
 struct Ec2ExperimentResult {

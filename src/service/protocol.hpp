@@ -1,0 +1,125 @@
+// JSON-lines wire protocol of the placement daemon.
+//
+// One request per line, one response per line, always in request order per
+// connection. Requests are flat JSON objects with an "op" discriminator:
+//
+//   {"op":"place","vm":7,"type":"m3.xlarge"}          -> {"ok":true,"op":"place","vm":7,"pm":12}
+//   {"op":"place","vm":8,"type":2,"group":"web"}      type by catalog index also accepted
+//   {"op":"release","vm":7}                           -> {"ok":true,...}
+//   {"op":"migrate","vm":8}                           re-place off the current PM
+//   {"op":"stats"}                                    -> counters + state digest
+//   {"op":"drain"}                                    snapshot + stop accepting
+//
+// Failures are structured, never a dropped connection:
+//   {"ok":false,"op":"place","vm":9,"error":"no_capacity","message":"..."}
+//   {"ok":false,"error":"queue_full","retry_after_ms":5}
+//
+// The codec is deliberately self-contained (no external JSON dependency)
+// and hardened: malformed frames, oversized frames, unknown ops and
+// type-confused fields all parse to a ProtocolError that the server turns
+// into an {"ok":false,...} reply.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace prvm {
+
+/// Hard cap on one request line (protocol frames are tiny; anything larger
+/// is hostile or corrupt).
+inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
+
+/// A parsed JSON value (enough of JSON for this protocol: no nested
+/// containers are produced by well-formed requests, but the parser accepts
+/// arbitrary nesting so garbage input still yields a clean error).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  /// First member with the given key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document. Returns nullopt and fills `error` on malformed
+/// input (trailing garbage after the document is also an error).
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error);
+
+/// Serializes a string with JSON escaping (quotes included).
+std::string json_quote(std::string_view s);
+
+enum class RequestOp { kPlace, kRelease, kMigrate, kStats, kDrain };
+
+const char* to_string(RequestOp op);
+
+struct Request {
+  RequestOp op = RequestOp::kStats;
+  std::uint64_t vm_id = 0;
+  /// VM type: either a catalog index or a type name, as sent on the wire.
+  std::optional<std::uint64_t> vm_type_index;
+  std::string vm_type_name;
+  /// Anti-collocation group; empty = unconstrained.
+  std::string group;
+};
+
+/// A request that could not be decoded; `code` is machine-readable and goes
+/// out verbatim in the error response.
+struct ProtocolError {
+  std::string code;     ///< bad_json | oversized_frame | unknown_op | missing_field | bad_field
+  std::string message;  ///< human-readable detail
+};
+
+/// Decodes one request line (newline already stripped).
+std::variant<Request, ProtocolError> parse_request(std::string_view line);
+
+/// One response line. `extra` carries pre-encoded JSON members (stats
+/// counters) appended verbatim.
+struct Response {
+  bool ok = false;
+  std::string op;
+  std::optional<std::uint64_t> vm;
+  std::optional<std::uint64_t> pm;
+  std::string error;    ///< machine-readable code when !ok
+  std::string message;  ///< optional human-readable detail
+  std::optional<double> retry_after_ms;
+  /// (key, already-encoded JSON value) pairs, e.g. {"used_pms", "17"}.
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// Encodes a response as one JSON line, including the trailing '\n'.
+std::string encode_response(const Response& response);
+
+/// Reassembles newline-delimited frames from arbitrary read chunks.
+/// Oversized frames are reported once and the stream resynchronizes at the
+/// next newline instead of dying.
+class LineBuffer {
+ public:
+  explicit LineBuffer(std::size_t max_frame = kMaxFrameBytes) : max_frame_(max_frame) {}
+
+  /// Appends raw bytes from a read().
+  void feed(std::string_view bytes);
+
+  struct Frame {
+    bool oversized = false;  ///< frame exceeded the cap and was discarded
+    std::string line;        ///< complete line (without '\n'), empty if oversized
+  };
+
+  /// Pops the next complete frame, or nullopt when more bytes are needed.
+  std::optional<Frame> next();
+
+ private:
+  std::size_t max_frame_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  ///< prefix of buffer_ known to hold no '\n'
+  bool discarding_ = false;  ///< inside an already-reported oversized frame
+};
+
+}  // namespace prvm

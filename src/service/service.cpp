@@ -1,0 +1,473 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "service/snapshot.hpp"
+
+namespace prvm {
+
+namespace {
+
+const char* kWalFile = "wal.log";
+const char* kSnapshotFile = "snapshot.bin";
+
+}  // namespace
+
+PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fleet,
+                                   std::shared_ptr<const ScoreTableSet> tables,
+                                   ServiceConfig config)
+    : config_(std::move(config)),
+      catalog_(std::move(catalog)),
+      dc_(catalog_, fleet),
+      engine_(std::make_unique<PageRankVm>(std::move(tables), config_.engine)) {
+  PRVM_REQUIRE(config_.batch_size > 0, "batch size must be positive");
+  PRVM_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+  for (std::size_t v = 0; v < catalog_.vm_types().size(); ++v) {
+    vm_type_by_name_.emplace(catalog_.vm_type(v).name, v);
+  }
+  if (!config_.data_dir.empty()) {
+    recover(fleet);
+    wal_ = std::make_unique<WalWriter>(config_.data_dir / kWalFile, config_.fsync_wal);
+  }
+}
+
+PlacementService::~PlacementService() { stop_now(); }
+
+void PlacementService::recover(const std::vector<std::size_t>& fleet) {
+  const std::filesystem::path snapshot_path = config_.data_dir / kSnapshotFile;
+  std::optional<ServiceSnapshot> snapshot = load_snapshot(snapshot_path, catalog_);
+  if (snapshot.has_value()) {
+    PRVM_REQUIRE(snapshot->datacenter->pm_count() == fleet.size() || fleet.empty(),
+                 "snapshot fleet size does not match the configured fleet");
+    dc_ = std::move(*snapshot->datacenter);
+    admission_ = std::move(snapshot->admission);
+    snapshot_op_seq_ = snapshot->last_op_seq;
+    op_seq_ = snapshot->last_op_seq;
+    stats_.recovered = true;
+  }
+  bool torn = false;
+  const std::vector<WalRecord> records = read_wal(config_.data_dir / kWalFile, &torn);
+  stats_.wal_torn_tail = torn;
+  for (const WalRecord& record : records) {
+    if (record.op_seq <= snapshot_op_seq_) continue;  // already in the snapshot
+    apply_wal_record(record);
+    op_seq_ = record.op_seq;
+    ++stats_.replayed_records;
+    stats_.recovered = true;
+  }
+}
+
+void PlacementService::apply_wal_record(const WalRecord& record) {
+  const VmId vm = static_cast<VmId>(record.vm);
+  switch (record.type) {
+    case WalRecord::Type::kPlace: {
+      DemandPlacement placement;
+      placement.assignments = record.assignments;
+      dc_.place(static_cast<PmIndex>(record.pm),
+                Vm{vm, static_cast<std::size_t>(record.vm_type)}, placement);
+      admission_.record_placement(vm, record.group, static_cast<PmIndex>(record.pm));
+      ++stats_.placed;
+      break;
+    }
+    case WalRecord::Type::kRelease: {
+      dc_.remove(vm);
+      admission_.record_release(vm, static_cast<PmIndex>(record.pm));
+      ++stats_.released;
+      break;
+    }
+    case WalRecord::Type::kMigrate: {
+      // Replay re-executes the exact remove+place sequence the live path
+      // ran, including the degenerate pm == from_pm form a failed migrate
+      // logs, so activation sequence numbers evolve identically.
+      const Datacenter::PlacedVm removed = dc_.remove(vm);
+      admission_.record_release(vm, static_cast<PmIndex>(record.from_pm));
+      DemandPlacement placement;
+      placement.assignments = record.assignments;
+      dc_.place(static_cast<PmIndex>(record.pm), removed.vm, placement);
+      admission_.record_placement(vm, record.group, static_cast<PmIndex>(record.pm));
+      ++stats_.migrated;
+      break;
+    }
+  }
+}
+
+void PlacementService::log_record(WalRecord record) {
+  if (wal_ == nullptr) return;
+  wal_->append(record);
+  wal_dirty_ = true;
+}
+
+void PlacementService::take_snapshot() {
+  if (config_.data_dir.empty()) return;
+  if (wal_ != nullptr && wal_dirty_) {
+    wal_->flush();
+    wal_dirty_ = false;
+  }
+  save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_);
+  snapshot_op_seq_ = op_seq_;
+  if (wal_ != nullptr) wal_->reset();
+  ++stats_.snapshots;
+}
+
+Response PlacementService::reject(const Request& request, RejectReason reason,
+                                  std::string message) {
+  Response response;
+  response.ok = false;
+  response.op = to_string(request.op);
+  if (request.op != RequestOp::kStats && request.op != RequestOp::kDrain) {
+    response.vm = request.vm_id;
+  }
+  response.error = to_string(reason);
+  response.message = std::move(message);
+  return response;
+}
+
+std::optional<std::size_t> PlacementService::resolve_vm_type(const Request& request) const {
+  if (request.vm_type_index.has_value()) {
+    if (*request.vm_type_index >= catalog_.vm_types().size()) return std::nullopt;
+    return static_cast<std::size_t>(*request.vm_type_index);
+  }
+  const auto it = vm_type_by_name_.find(request.vm_type_name);
+  if (it == vm_type_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool PlacementService::feasible_anywhere(std::size_t vm_type,
+                                         const PlacementConstraints& constraints) const {
+  for (PmIndex i = 0; i < dc_.pm_count(); ++i) {
+    if (constraints.allowed(dc_, i) && dc_.fits(i, vm_type)) return true;
+  }
+  return false;
+}
+
+Response PlacementService::place(const Request& request) {
+  const std::optional<std::size_t> vm_type = resolve_vm_type(request);
+  if (!vm_type.has_value()) {
+    return reject(request, RejectReason::kUnknownVmType,
+                  request.vm_type_index.has_value()
+                      ? "VM type index out of range"
+                      : "unknown VM type \"" + request.vm_type_name + "\"");
+  }
+  const VmId vm = static_cast<VmId>(request.vm_id);
+  if (dc_.pm_of(vm).has_value()) {
+    return reject(request, RejectReason::kDuplicateVm, "VM id is already placed");
+  }
+
+  const PlacementConstraints constraints = admission_.constraints_for(request.group);
+  const std::optional<PmIndex> pm = engine_->place(dc_, Vm{vm, *vm_type}, constraints);
+  if (!pm.has_value()) {
+    ++stats_.rejected;
+    // Distinguish "the datacenter is full" from "your anti-collocation
+    // group vetoed every feasible PM" — clients react differently (scale
+    // the fleet vs. relax the group). The scan only runs on this rare
+    // rejection path, and only for grouped requests.
+    if (!request.group.empty() && feasible_anywhere(*vm_type, PlacementConstraints{})) {
+      return reject(request, RejectReason::kGroupConflict,
+                    "anti-collocation group \"" + request.group +
+                        "\" excludes every PM that could host this VM");
+    }
+    return reject(request, RejectReason::kNoCapacity, "no PM can host this VM");
+  }
+
+  admission_.record_placement(vm, request.group, *pm);
+  WalRecord record;
+  record.type = WalRecord::Type::kPlace;
+  record.op_seq = ++op_seq_;
+  record.vm = vm;
+  record.vm_type = *vm_type;
+  record.pm = *pm;
+  record.group = request.group;
+  record.assignments = dc_.pm(*pm).vms.back().assignments;
+  log_record(std::move(record));
+  ++stats_.placed;
+
+  Response response;
+  response.ok = true;
+  response.op = "place";
+  response.vm = request.vm_id;
+  response.pm = *pm;
+  return response;
+}
+
+Response PlacementService::release(const Request& request) {
+  const VmId vm = static_cast<VmId>(request.vm_id);
+  const std::optional<PmIndex> pm = dc_.pm_of(vm);
+  if (!pm.has_value()) {
+    return reject(request, RejectReason::kUnknownVm, "VM id is not placed");
+  }
+  dc_.remove(vm);
+  admission_.record_release(vm, *pm);
+  WalRecord record;
+  record.type = WalRecord::Type::kRelease;
+  record.op_seq = ++op_seq_;
+  record.vm = vm;
+  record.pm = *pm;
+  log_record(std::move(record));
+  ++stats_.released;
+
+  Response response;
+  response.ok = true;
+  response.op = "release";
+  response.vm = request.vm_id;
+  response.pm = *pm;
+  return response;
+}
+
+Response PlacementService::migrate(const Request& request) {
+  const VmId vm = static_cast<VmId>(request.vm_id);
+  const std::optional<PmIndex> old_pm = dc_.pm_of(vm);
+  if (!old_pm.has_value()) {
+    return reject(request, RejectReason::kUnknownVm, "VM id is not placed");
+  }
+  const std::string group = admission_.group_of(vm);
+
+  const Datacenter::PlacedVm removed = dc_.remove(vm);
+  PlacementConstraints constraints = admission_.constraints_for(group);
+  constraints.exclude = *old_pm;
+  const std::optional<PmIndex> new_pm = engine_->place(dc_, removed.vm, constraints);
+
+  WalRecord record;
+  record.type = WalRecord::Type::kMigrate;
+  record.op_seq = ++op_seq_;
+  record.vm = vm;
+  record.vm_type = removed.vm.type_index;
+  record.from_pm = *old_pm;
+  record.group = group;
+
+  if (!new_pm.has_value()) {
+    // Put the VM back exactly where it was. The remove+place round trip IS
+    // a state change (activation sequencing), so it is logged as a
+    // degenerate migrate (pm == from_pm) to keep WAL replay bit-exact.
+    DemandPlacement placement;
+    placement.assignments = removed.assignments;
+    dc_.place(*old_pm, removed.vm, placement);
+    record.pm = *old_pm;
+    record.assignments = removed.assignments;
+    log_record(std::move(record));
+    ++stats_.rejected;
+    return reject(request, RejectReason::kNoCapacity,
+                  "no other PM can host this VM right now");
+  }
+
+  admission_.record_release(vm, *old_pm);
+  admission_.record_placement(vm, group, *new_pm);
+  record.pm = *new_pm;
+  record.assignments = dc_.pm(*new_pm).vms.back().assignments;
+  log_record(std::move(record));
+  ++stats_.migrated;
+
+  Response response;
+  response.ok = true;
+  response.op = "migrate";
+  response.vm = request.vm_id;
+  response.pm = *new_pm;
+  response.extra.emplace_back("from_pm", std::to_string(*old_pm));
+  return response;
+}
+
+Response PlacementService::stats_response() {
+  Response response;
+  response.ok = true;
+  response.op = "stats";
+  const auto add = [&response](const char* key, std::uint64_t value) {
+    response.extra.emplace_back(key, std::to_string(value));
+  };
+  add("used_pms", dc_.used_count());
+  add("pm_count", dc_.pm_count());
+  add("vm_count", dc_.vm_count());
+  add("placed", stats_.placed);
+  add("released", stats_.released);
+  add("migrated", stats_.migrated);
+  add("rejected", stats_.rejected);
+  add("queue_rejected", stats_.queue_rejected);
+  add("batches", stats_.batches);
+  add("max_batch", stats_.max_batch);
+  add("snapshots", stats_.snapshots);
+  add("replayed_records", stats_.replayed_records);
+  add("op_seq", op_seq_);
+  // 64-bit digest goes out as a string: JSON numbers lose precision > 2^53.
+  response.extra.emplace_back("state_digest",
+                              json_quote(std::to_string(datacenter_state_digest(dc_))));
+  response.extra.emplace_back("recovered", stats_.recovered ? "true" : "false");
+  response.extra.emplace_back("wal_torn_tail", stats_.wal_torn_tail ? "true" : "false");
+  response.extra.emplace_back("draining", draining() ? "true" : "false");
+  return response;
+}
+
+Response PlacementService::drain_response() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  take_snapshot();
+  Response response;
+  response.ok = true;
+  response.op = "drain";
+  response.extra.emplace_back("op_seq", std::to_string(op_seq_));
+  return response;
+}
+
+Response PlacementService::execute_locked(const Request& request) {
+  switch (request.op) {
+    case RequestOp::kStats: return stats_response();
+    case RequestOp::kDrain: return drain_response();
+    default: break;
+  }
+  if (draining()) {
+    return reject(request, RejectReason::kDraining, "daemon is draining");
+  }
+  switch (request.op) {
+    case RequestOp::kPlace: return place(request);
+    case RequestOp::kRelease: return release(request);
+    case RequestOp::kMigrate: return migrate(request);
+    default: break;
+  }
+  return reject(request, RejectReason::kNone, "unreachable");
+}
+
+Response PlacementService::execute(const Request& request) {
+  Response response = execute_locked(request);
+  if (wal_ != nullptr && wal_dirty_) {
+    wal_->flush();
+    wal_dirty_ = false;
+  }
+  return response;
+}
+
+std::future<Response> PlacementService::submit(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!draining_ && !stop_ && queue_.size() < config_.queue_capacity) {
+      queue_.push_back(Pending{std::move(request), std::move(promise)});
+      cv_.notify_one();
+      return future;
+    }
+    if (draining_ || stop_) {
+      promise.set_value(reject(request, RejectReason::kDraining, "daemon is draining"));
+      return future;
+    }
+    ++stats_.queue_rejected;
+  }
+  Response response = reject(request, RejectReason::kQueueFull, "request queue is full");
+  response.retry_after_ms = config_.retry_after_ms;
+  promise.set_value(std::move(response));
+  return future;
+}
+
+void PlacementService::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker_running_) return;
+  stop_ = false;
+  worker_running_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void PlacementService::worker_loop() {
+  std::vector<Pending> batch;
+  batch.reserve(config_.batch_size);
+  std::vector<Response> responses;
+  responses.reserve(config_.batch_size);
+
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) break;
+      const std::size_t take = std::min(config_.batch_size, queue_.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    responses.clear();
+    for (const Pending& pending : batch) {
+      responses.push_back(execute_locked(pending.request));
+    }
+    // Durability barrier: every decision of this batch hits the log in one
+    // write (+ optional fsync) BEFORE any acknowledgement leaves.
+    if (wal_ != nullptr && wal_dirty_) {
+      wal_->flush();
+      wal_dirty_ = false;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(responses[i]));
+    }
+    ++stats_.batches;
+    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
+    batch.clear();
+
+    if (config_.snapshot_every_ops > 0 &&
+        op_seq_ - snapshot_op_seq_ >= config_.snapshot_every_ops) {
+      take_snapshot();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) drained_cv_.notify_all();
+    }
+  }
+
+  // Fail whatever is still queued (hard stop path).
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    drained_cv_.notify_all();
+  }
+  for (Pending& pending : leftover) {
+    pending.promise.set_value(
+        reject(pending.request, RejectReason::kDraining, "daemon stopped"));
+  }
+}
+
+void PlacementService::drain() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    if (worker_running_) {
+      drained_cv_.wait(lock, [this] { return queue_.empty(); });
+      stop_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_running_ = false;
+  }
+  take_snapshot();
+}
+
+void PlacementService::stop_now() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!worker_running_ && !worker_.joinable()) return;
+    stop_ = true;
+    draining_ = true;
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_running_ = false;
+}
+
+ServiceStats PlacementService::stats() const {
+  // Counters are worker-owned; this copy is only guaranteed consistent
+  // when the worker is stopped (tests) or via the in-band stats op.
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats copy = stats_;
+  copy.op_seq = op_seq_;
+  return copy;
+}
+
+bool PlacementService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+}  // namespace prvm

@@ -1,0 +1,174 @@
+// The placement daemon's engine-side core: a bounded, batched MPSC request
+// pipeline around one Datacenter + PageRankVM engine, with write-ahead
+// logging and snapshot-based crash recovery.
+//
+// Threading model: any number of producer threads call submit(); one worker
+// thread owns every piece of mutable placement state (ledger, engine,
+// admission controller, WAL) and drains the queue in batches of up to
+// `batch_size`. Batching amortizes the queue lock, the engine's warm
+// caches, and — critically — WAL durability: one write()/fsync() per batch,
+// not per request. Requests are acknowledged only AFTER their WAL batch is
+// flushed, so every acknowledged decision survives kill -9.
+//
+// Backpressure: a full queue rejects immediately with `queue_full` and a
+// client retry hint instead of blocking the socket threads (tail latency
+// stays bounded; clients own their retry policy).
+//
+// Recovery: on construction with a data directory, the service loads the
+// newest snapshot (if any) and re-applies WAL records with op_seq beyond
+// it. Replay re-applies logged *outcomes* (PM + concrete assignments), not
+// requests, so the recovered ledger is bit-identical to the pre-crash one
+// (see datacenter_state_equal) — including activation sequence numbers,
+// bucket membership and the free-list.
+//
+// Graceful drain (SIGTERM): stop admitting, flush the queue, write a final
+// snapshot and truncate the WAL, so the next start recovers instantly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/datacenter.hpp"
+#include "core/catalog_graphs.hpp"
+#include "placement/pagerank_vm.hpp"
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+#include "service/wal.hpp"
+
+namespace prvm {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 4096;
+  /// Max requests drained per engine pass (K). Also the WAL flush batch.
+  std::size_t batch_size = 64;
+  /// Snapshot after this many mutating ops; 0 = only the final drain
+  /// snapshot. Snapshotting truncates the WAL (op_seq gating makes the
+  /// crash window between rename and truncate safe).
+  std::uint64_t snapshot_every_ops = 0;
+  /// Durability root (wal.log + snapshot.bin live here). Empty = ephemeral
+  /// service with no WAL and no snapshots (unit tests, dry runs).
+  std::filesystem::path data_dir;
+  /// fsync the WAL on every batch flush. Off by default: kill -9 safety
+  /// only needs the write() (the page cache survives the process); power-
+  /// loss safety needs fsync and costs ~ms per batch.
+  bool fsync_wal = false;
+  /// Retry hint attached to queue_full rejections.
+  double retry_after_ms = 5.0;
+  PageRankVmOptions engine;
+};
+
+struct ServiceStats {
+  std::uint64_t placed = 0;
+  std::uint64_t released = 0;
+  std::uint64_t migrated = 0;
+  std::uint64_t rejected = 0;         ///< admission rejections (not queue_full)
+  std::uint64_t queue_rejected = 0;   ///< backpressure rejections
+  std::uint64_t batches = 0;          ///< worker drain passes
+  std::uint64_t max_batch = 0;        ///< largest single drain
+  std::uint64_t snapshots = 0;
+  std::uint64_t replayed_records = 0; ///< WAL records applied at startup
+  std::uint64_t op_seq = 0;           ///< last assigned operation sequence
+  bool recovered = false;             ///< state restored from disk at startup
+  bool wal_torn_tail = false;         ///< recovery skipped a torn WAL tail
+};
+
+class PlacementService {
+ public:
+  /// Builds the service. When `config.data_dir` holds a snapshot/WAL from a
+  /// previous run, the persisted state wins over a fresh `fleet` (recovery);
+  /// otherwise a fresh ledger over `fleet` is created.
+  PlacementService(Catalog catalog, std::vector<std::size_t> fleet,
+                   std::shared_ptr<const ScoreTableSet> tables, ServiceConfig config);
+
+  /// Stops the worker (hard, like stop_now) if still running.
+  ~PlacementService();
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  /// Starts the worker thread. Idempotent.
+  void start();
+
+  /// Graceful shutdown: stop admitting (queue_full -> draining), process
+  /// everything already queued, write a final snapshot, truncate the WAL,
+  /// join the worker. Idempotent.
+  void drain();
+
+  /// Hard stop: worker finishes its current batch and exits; queued
+  /// requests are failed with `draining`; NO final snapshot is written.
+  /// This is the in-process stand-in for kill -9 in recovery tests (the
+  /// WAL alone must reconstruct acknowledged state).
+  void stop_now();
+
+  /// Enqueues a request. The future is satisfied by the worker after the
+  /// batch's WAL flush; backpressure and draining rejections resolve
+  /// immediately.
+  std::future<Response> submit(Request request);
+
+  /// Synchronous execution, bypassing the queue. Only safe when the worker
+  /// is not running (replay, single-threaded tests, benchmarks).
+  Response execute(const Request& request);
+
+  /// Read-side accessors. Only consistent while the worker is stopped.
+  const Datacenter& datacenter() const { return dc_; }
+  const AdmissionController& admission() const { return admission_; }
+  const Catalog& catalog() const { return dc_.catalog(); }
+  ServiceStats stats() const;
+  bool draining() const;
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+  };
+
+  void worker_loop();
+  Response execute_locked(const Request& request);
+  Response place(const Request& request);
+  Response release(const Request& request);
+  Response migrate(const Request& request);
+  Response stats_response();
+  Response drain_response();
+  std::optional<std::size_t> resolve_vm_type(const Request& request) const;
+  bool feasible_anywhere(std::size_t vm_type, const PlacementConstraints& constraints) const;
+  void apply_wal_record(const WalRecord& record);
+  void log_record(WalRecord record);
+  void take_snapshot();
+  void recover(const std::vector<std::size_t>& fleet);
+  static Response reject(const Request& request, RejectReason reason, std::string message);
+
+  ServiceConfig config_;
+  Catalog catalog_;
+  Datacenter dc_;
+  std::unique_ptr<PageRankVm> engine_;
+  AdmissionController admission_;
+  std::unordered_map<std::string, std::size_t> vm_type_by_name_;
+
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t snapshot_op_seq_ = 0;  ///< op_seq covered by the last snapshot
+  std::uint64_t op_seq_ = 0;
+  bool wal_dirty_ = false;  ///< appended since last flush
+
+  ServiceStats stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  bool stop_ = false;
+  bool worker_running_ = false;
+  std::thread worker_;
+};
+
+}  // namespace prvm

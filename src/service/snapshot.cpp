@@ -1,0 +1,135 @@
+#include "service/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+namespace {
+
+constexpr char kHeaderMagic[] = "PRVMSNAP1";
+
+}  // namespace
+
+void save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
+                   const AdmissionController& admission, std::uint64_t last_op_seq) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    PRVM_REQUIRE(os.is_open(), "cannot write snapshot " + tmp.string());
+    os << kHeaderMagic << " " << last_op_seq << "\n";
+    admission.serialize(os);
+    datacenter.serialize(os);
+    PRVM_REQUIRE(os.good(), "snapshot write failed");
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,
+                                             const Catalog& catalog) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return std::nullopt;
+  ServiceSnapshot snapshot;
+  std::string magic;
+  PRVM_REQUIRE(static_cast<bool>(is >> magic >> snapshot.last_op_seq) && magic == kHeaderMagic,
+               "not a service snapshot: " + path.string());
+  is.get();  // the newline after the header
+  snapshot.admission = AdmissionController::deserialize(is);
+  // Admission block ends with a newline; the datacenter blob starts at the
+  // next byte. operator>> left the stream right after the last token, so
+  // skip the single separator.
+  while (is.peek() == '\n') is.get();
+  snapshot.datacenter = Datacenter::deserialize(catalog, is);
+  return snapshot;
+}
+
+bool datacenter_state_equal(const Datacenter& a, const Datacenter& b) {
+  if (a.pm_count() != b.pm_count() || a.vm_count() != b.vm_count() ||
+      a.used_pms() != b.used_pms() || a.activation_counter() != b.activation_counter()) {
+    return false;
+  }
+  for (PmIndex i = 0; i < a.pm_count(); ++i) {
+    const Datacenter::PmState& pa = a.pm(i);
+    const Datacenter::PmState& pb = b.pm(i);
+    if (pa.type_index != pb.type_index || pa.canonical_key != pb.canonical_key) return false;
+    const auto la = pa.usage.levels();
+    const auto lb = pb.usage.levels();
+    if (!std::equal(la.begin(), la.end(), lb.begin(), lb.end())) return false;
+    if (pa.vms.size() != pb.vms.size()) return false;
+    for (std::size_t v = 0; v < pa.vms.size(); ++v) {
+      if (pa.vms[v].vm.id != pb.vms[v].vm.id ||
+          pa.vms[v].vm.type_index != pb.vms[v].vm.type_index ||
+          pa.vms[v].assignments != pb.vms[v].assignments) {
+        return false;
+      }
+    }
+    if (pa.used() && a.activation_seq(i) != b.activation_seq(i)) return false;
+  }
+  // Bucket membership per (PM type, canonical key). Dense-array order is a
+  // non-observable artifact of insertion history, so compare as sets.
+  for (std::size_t t = 0; t < a.catalog().pm_types().size(); ++t) {
+    if (a.used_count_of_type(t) != b.used_count_of_type(t) ||
+        a.used_bucket_count(t) != b.used_bucket_count(t)) {
+      return false;
+    }
+    bool equal = true;
+    a.for_each_used_bucket(t, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+      const std::vector<PmIndex>* other = b.used_bucket(t, key);
+      if (other == nullptr || other->size() != pms.size()) {
+        equal = false;
+        return;
+      }
+      std::vector<PmIndex> lhs = pms;
+      std::vector<PmIndex> rhs = *other;
+      std::sort(lhs.begin(), lhs.end());
+      std::sort(rhs.begin(), rhs.end());
+      if (lhs != rhs) equal = false;
+    });
+    if (!equal) return false;
+  }
+  // Free-list bitmap: same next_unused chain.
+  auto ua = a.next_unused(0);
+  auto ub = b.next_unused(0);
+  while (ua.has_value() && ub.has_value()) {
+    if (*ua != *ub) return false;
+    ua = a.next_unused(*ua + 1);
+    ub = b.next_unused(*ub + 1);
+  }
+  return !ua.has_value() && !ub.has_value();
+}
+
+std::uint64_t datacenter_state_digest(const Datacenter& dc) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(dc.pm_count());
+  mix(dc.vm_count());
+  mix(dc.activation_counter());
+  for (const PmIndex i : dc.used_pms()) {
+    mix(i);
+    mix(dc.activation_seq(i));
+    const Datacenter::PmState& pm = dc.pm(i);
+    mix(pm.vms.size());
+    for (const Datacenter::PlacedVm& placed : pm.vms) {
+      mix(placed.vm.id);
+      mix(placed.vm.type_index);
+      for (auto [dim, amount] : placed.assignments) {
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(dim)));
+        mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(amount)));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace prvm

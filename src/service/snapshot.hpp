@@ -1,0 +1,50 @@
+// Durable service snapshots and recovery-state comparison.
+//
+// A snapshot bundles everything the daemon needs to resume: the op
+// sequence number it covers, the admission controller (anti-collocation
+// group membership) and the full Datacenter ledger. Snapshots are written
+// to a temp file and renamed into place, so a crash mid-write leaves the
+// previous snapshot intact. Double-apply after a crash between
+// snapshot-rename and WAL-truncate is prevented by `last_op_seq`: replay
+// skips WAL records the snapshot already covers.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+
+#include "cluster/datacenter.hpp"
+#include "service/admission.hpp"
+
+namespace prvm {
+
+struct ServiceSnapshot {
+  std::uint64_t last_op_seq = 0;  ///< highest op_seq folded into the state
+  AdmissionController admission;
+  std::optional<Datacenter> datacenter;  ///< engaged after load
+};
+
+/// Atomically writes a snapshot (temp file + rename).
+void save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
+                   const AdmissionController& admission, std::uint64_t last_op_seq);
+
+/// Loads a snapshot; nullopt when `path` does not exist. Throws on a
+/// corrupt file or a catalog mismatch.
+std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,
+                                             const Catalog& catalog);
+
+/// Deep state equality across every recovery-relevant invariant: per-PM
+/// usage + canonical keys + hosted VMs with assignments, used order,
+/// activation sequence numbers and counter, per-type bucket membership and
+/// the free-list. This is the differential oracle of the crash-recovery
+/// tests: replaying snapshot + WAL must reproduce the pre-crash ledger
+/// bit-identically under this predicate.
+bool datacenter_state_equal(const Datacenter& a, const Datacenter& b);
+
+/// FNV-1a digest over (pm, vm, assignments) of every placement plus the
+/// activation sequence numbers — a compact fingerprint the daemon exposes
+/// through the stats op so external tooling (crash-recovery smoke test)
+/// can compare pre-kill and post-recovery state.
+std::uint64_t datacenter_state_digest(const Datacenter& dc);
+
+}  // namespace prvm

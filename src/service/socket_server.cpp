@@ -1,0 +1,197 @@
+#include "service/socket_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+struct SocketServer::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::thread writer;
+
+  // Bounded in-order pipeline of response futures, reader -> writer.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::future<Response>> pipeline;
+  bool closed = false;  ///< reader finished; writer drains and exits
+};
+
+namespace {
+
+void write_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n = ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; reader will notice EOF too
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::future<Response> ready_response(Response response) {
+  std::promise<Response> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+Response protocol_error_response(const ProtocolError& error) {
+  Response response;
+  response.ok = false;
+  response.error = error.code;
+  response.message = error.message;
+  return response;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(PlacementService& service, SocketServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  PRVM_REQUIRE(listen_fd_ < 0, "server already started");
+  if (!config_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PRVM_REQUIRE(listen_fd_ >= 0, "cannot create unix socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PRVM_REQUIRE(config_.unix_path.size() < sizeof(addr.sun_path),
+                 "unix socket path too long");
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unix_path.c_str());  // stale socket from a previous run
+    PRVM_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                 "cannot bind " + config_.unix_path);
+  } else {
+    PRVM_REQUIRE(config_.tcp_port >= 0, "no unix path and no TCP port configured");
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    PRVM_REQUIRE(listen_fd_ >= 0, "cannot create TCP socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    PRVM_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                 "cannot bind TCP port " + std::to_string(config_.tcp_port));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  PRVM_REQUIRE(::listen(listen_fd_, config_.backlog) == 0, "listen failed");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed during stop()
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // no-op on UDS
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    connections_.push_back(std::move(connection));
+    raw->reader = std::thread([this, raw] { serve_connection(raw); });
+  }
+}
+
+void SocketServer::serve_connection(Connection* connection) {
+  connection->writer = std::thread([connection] {
+    while (true) {
+      std::future<Response> next;
+      {
+        std::unique_lock<std::mutex> lock(connection->mu);
+        connection->cv.wait(lock, [connection] {
+          return !connection->pipeline.empty() || connection->closed;
+        });
+        if (connection->pipeline.empty()) return;  // closed and drained
+        next = std::move(connection->pipeline.front());
+        connection->pipeline.pop_front();
+      }
+      connection->cv.notify_all();  // reader may be blocked on the cap
+      write_all(connection->fd, encode_response(next.get()));
+    }
+  });
+
+  LineBuffer frames;
+  char buf[64 * 1024];
+  const std::size_t max_pipeline = std::max<std::size_t>(1, config_.max_pipeline);
+  while (true) {
+    const ::ssize_t n = ::recv(connection->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    frames.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    while (const auto frame = frames.next()) {
+      if (!frame->oversized && frame->line.empty()) continue;  // ignore blank lines
+      std::future<Response> response;
+      if (frame->oversized) {
+        response = ready_response(protocol_error_response(
+            ProtocolError{"oversized_frame", "request exceeds frame size limit"}));
+      } else {
+        auto parsed = parse_request(frame->line);
+        if (auto* error = std::get_if<ProtocolError>(&parsed)) {
+          response = ready_response(protocol_error_response(*error));
+        } else {
+          response = service_.submit(std::get<Request>(std::move(parsed)));
+        }
+      }
+      std::unique_lock<std::mutex> lock(connection->mu);
+      connection->cv.wait(
+          lock, [&] { return connection->pipeline.size() < max_pipeline; });
+      connection->pipeline.push_back(std::move(response));
+      connection->cv.notify_all();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    connection->closed = true;
+  }
+  connection->cv.notify_all();
+  connection->writer.join();
+  ::shutdown(connection->fd, SHUT_RDWR);
+}
+
+void SocketServer::stop() {
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    connections.swap(connections_);
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& connection : connections) {
+    ::shutdown(connection->fd, SHUT_RDWR);  // unblocks the reader's recv
+  }
+  for (auto& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+    ::close(connection->fd);
+  }
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+}
+
+}  // namespace prvm

@@ -1,0 +1,74 @@
+// Socket front-end of the placement daemon: accepts TCP or Unix-domain
+// connections speaking the JSON-lines protocol and feeds the
+// PlacementService queue.
+//
+// Per connection, a reader thread reassembles frames (LineBuffer handles
+// partial reads and oversized-frame resync), decodes them, and submits to
+// the service; a writer thread emits responses strictly in request order.
+// The pair is coupled by a bounded pipeline of response futures, so a
+// client may stream many requests ahead of its reads (pipelining is what
+// lets one connection keep the batching engine busy) while memory per
+// connection stays bounded — the reader blocks once `max_pipeline`
+// responses are outstanding.
+//
+// Decode failures never kill the connection: they resolve to structured
+// {"ok":false,...} replies in the same order slot the request occupied.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace prvm {
+
+struct SocketServerConfig {
+  /// Unix-domain socket path; takes precedence over TCP when non-empty.
+  std::string unix_path;
+  /// TCP port to bind on loopback; 0 picks an ephemeral port (see port()).
+  /// Negative = TCP disabled.
+  int tcp_port = -1;
+  int backlog = 64;
+  /// Max responses in flight per connection before the reader blocks.
+  std::size_t max_pipeline = 256;
+};
+
+class SocketServer {
+ public:
+  SocketServer(PlacementService& service, SocketServerConfig config);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Throws on bind failure.
+  void start();
+
+  /// Stops accepting, shuts down every live connection, joins all threads.
+  /// Idempotent; does NOT touch the PlacementService (drain separately).
+  void stop();
+
+  /// The bound TCP port (resolved when tcp_port was 0); -1 for UDS.
+  int port() const { return port_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(Connection* connection);
+
+  PlacementService& service_;
+  SocketServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace prvm

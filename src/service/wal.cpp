@@ -1,0 +1,204 @@
+#include "service/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace prvm {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool u64(std::uint64_t& out) {
+    if (pos_ + 8 > size_) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool bytes(std::string& out, std::size_t n) {
+    if (pos_ + n > size_) return false;
+    out.assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string encode_wal_record(const WalRecord& record) {
+  std::string payload;
+  payload.reserve(64 + record.group.size() + 16 * record.assignments.size());
+  payload.push_back(static_cast<char>(record.type));
+  put_u64(payload, record.op_seq);
+  put_u64(payload, record.vm);
+  put_u64(payload, record.vm_type);
+  put_u64(payload, record.pm);
+  put_u64(payload, record.from_pm);
+  put_u64(payload, record.group.size());
+  payload += record.group;
+  put_u64(payload, record.assignments.size());
+  for (auto [dim, amount] : record.assignments) {
+    put_u64(payload, static_cast<std::uint64_t>(static_cast<std::int64_t>(dim)));
+    put_u64(payload, static_cast<std::uint64_t>(static_cast<std::int64_t>(amount)));
+  }
+  return payload;
+}
+
+namespace {
+
+bool decode_wal_record(const std::string& payload, WalRecord& record) {
+  if (payload.empty()) return false;
+  const auto type = static_cast<std::uint8_t>(payload[0]);
+  if (type < 1 || type > 3) return false;
+  record.type = static_cast<WalRecord::Type>(type);
+  Cursor cursor(payload.data() + 1, payload.size() - 1);
+  std::uint64_t group_len = 0;
+  std::uint64_t assignment_count = 0;
+  if (!cursor.u64(record.op_seq) || !cursor.u64(record.vm) || !cursor.u64(record.vm_type) ||
+      !cursor.u64(record.pm) || !cursor.u64(record.from_pm) || !cursor.u64(group_len) ||
+      group_len > payload.size() || !cursor.bytes(record.group, group_len) ||
+      !cursor.u64(assignment_count) || assignment_count > payload.size()) {
+    return false;
+  }
+  record.assignments.clear();
+  record.assignments.reserve(assignment_count);
+  for (std::uint64_t i = 0; i < assignment_count; ++i) {
+    std::uint64_t dim = 0;
+    std::uint64_t amount = 0;
+    if (!cursor.u64(dim) || !cursor.u64(amount)) return false;
+    record.assignments.emplace_back(static_cast<int>(static_cast<std::int64_t>(dim)),
+                                    static_cast<int>(static_cast<std::int64_t>(amount)));
+  }
+  return cursor.done();
+}
+
+}  // namespace
+
+WalWriter::WalWriter(std::filesystem::path path, bool fsync_on_flush)
+    : path_(std::move(path)), fsync_on_flush_(fsync_on_flush) {
+  if (path_.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path_.parent_path(), ec);
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  PRVM_REQUIRE(fd_ >= 0, "cannot open WAL file " + path_.string());
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    flush();
+    ::close(fd_);
+  }
+}
+
+void WalWriter::append(const WalRecord& record) {
+  const std::string payload = encode_wal_record(record);
+  put_u32(buffer_, static_cast<std::uint32_t>(payload.size()));
+  put_u32(buffer_, crc32(payload.data(), payload.size()));
+  buffer_ += payload;
+  ++appended_;
+}
+
+void WalWriter::flush() {
+  std::size_t written = 0;
+  while (written < buffer_.size()) {
+    const ::ssize_t n = ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    PRVM_REQUIRE(n >= 0, "WAL write failed");
+    written += static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+  if (fsync_on_flush_) ::fsync(fd_);
+}
+
+void WalWriter::reset() {
+  buffer_.clear();
+  PRVM_REQUIRE(::ftruncate(fd_, 0) == 0, "WAL truncate failed");
+  if (fsync_on_flush_) ::fsync(fd_);
+}
+
+std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_tail) {
+  if (torn_tail != nullptr) *torn_tail = false;
+  std::vector<WalRecord> records;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return records;
+  std::string contents((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+
+  std::size_t pos = 0;
+  const auto read_u32 = [&](std::uint32_t& out) {
+    if (pos + 4 > contents.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(static_cast<unsigned char>(contents[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  };
+
+  while (pos < contents.size()) {
+    const std::size_t frame_start = pos;
+    std::uint32_t length = 0;
+    std::uint32_t expected_crc = 0;
+    if (!read_u32(length) || !read_u32(expected_crc) || pos + length > contents.size()) {
+      pos = frame_start;  // torn tail: a record was cut mid-write
+      break;
+    }
+    const std::string payload = contents.substr(pos, length);
+    pos += length;
+    WalRecord record;
+    if (crc32(payload.data(), payload.size()) != expected_crc ||
+        !decode_wal_record(payload, record)) {
+      pos = frame_start;  // corrupt frame: treat as tail, stop replay here
+      break;
+    }
+    records.push_back(std::move(record));
+  }
+  if (torn_tail != nullptr) *torn_tail = pos < contents.size();
+  return records;
+}
+
+}  // namespace prvm

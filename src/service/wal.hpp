@@ -1,0 +1,89 @@
+// Write-ahead log of accepted placement decisions.
+//
+// Every state-mutating decision the daemon acknowledges is first appended
+// here: the record stores the *outcome* (chosen PM + concrete dimension
+// assignments), not the request, so replay is an exact re-application that
+// does not depend on the placement engine, score tables or request
+// ordering heuristics. Recovery = load the latest snapshot, then re-apply
+// every record with op_seq greater than the snapshot's last_op_seq.
+//
+// On-disk framing per record: u32 payload length, u32 CRC-32 of the
+// payload, payload bytes (little-endian). A kill -9 can leave a torn final
+// record; the reader stops cleanly at the first short/corrupt frame and
+// discards the tail, which is safe because the daemon only acknowledges a
+// request after its record hit the log.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prvm {
+
+struct WalRecord {
+  enum class Type : std::uint8_t {
+    kPlace = 1,    ///< vm placed on `pm` with `assignments`
+    kRelease = 2,  ///< vm removed (pm recorded for group bookkeeping)
+    kMigrate = 3,  ///< vm moved: remove from `from_pm`, place on `pm`
+  };
+
+  Type type = Type::kPlace;
+  std::uint64_t op_seq = 0;  ///< strictly increasing across the log
+  std::uint64_t vm = 0;
+  std::uint64_t vm_type = 0;
+  std::uint64_t pm = 0;       ///< destination (place/migrate) or source (release)
+  std::uint64_t from_pm = 0;  ///< migrate only: source PM
+  std::string group;          ///< anti-collocation group (place only)
+  std::vector<std::pair<int, int>> assignments;  ///< (dimension, amount)
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+/// CRC-32 (IEEE, reflected) of a byte buffer — also used by tests to craft
+/// deliberately-corrupt records.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Append-only writer. Records are buffered in memory; flush() makes the
+/// batch crash-durable (single write + optional fsync per batch — this is
+/// where request batching amortizes durability cost).
+class WalWriter {
+ public:
+  /// Opens (creating or appending) the log at `path`.
+  WalWriter(std::filesystem::path path, bool fsync_on_flush = false);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  void append(const WalRecord& record);
+
+  /// Writes buffered records to the file and (optionally) fsyncs. Must be
+  /// called before acknowledging the batched requests.
+  void flush();
+
+  /// Truncates the log after a snapshot made its contents redundant.
+  /// Buffered-but-unflushed records are discarded too (the caller snapshots
+  /// only between batches, when none exist).
+  void reset();
+
+  std::uint64_t appended_records() const { return appended_; }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  int fd_ = -1;
+  bool fsync_on_flush_ = false;
+  std::string buffer_;
+  std::uint64_t appended_ = 0;
+};
+
+/// Reads every intact record, stopping silently at a torn/corrupt tail.
+/// `torn_tail` (optional) reports whether trailing garbage was skipped.
+std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_tail = nullptr);
+
+/// Serializes one record payload (exposed for tests).
+std::string encode_wal_record(const WalRecord& record);
+
+}  // namespace prvm

@@ -1,0 +1,187 @@
+// Hostile-input tests for the daemon's JSON-lines codec: malformed frames,
+// oversized requests, partial reads and unknown commands must all decode to
+// structured errors — never a crash, never a dropped byte of a later frame.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "service/protocol.hpp"
+
+namespace prvm {
+namespace {
+
+const ProtocolError* error_of(const std::variant<Request, ProtocolError>& result) {
+  return std::get_if<ProtocolError>(&result);
+}
+
+const Request* request_of(const std::variant<Request, ProtocolError>& result) {
+  return std::get_if<Request>(&result);
+}
+
+TEST(ServiceProtocol, ParsesPlaceWithTypeName) {
+  const auto result = parse_request(R"({"op":"place","vm":7,"type":"m3.xlarge"})");
+  const Request* request = request_of(result);
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(request->op, RequestOp::kPlace);
+  EXPECT_EQ(request->vm_id, 7u);
+  EXPECT_EQ(request->vm_type_name, "m3.xlarge");
+  EXPECT_FALSE(request->vm_type_index.has_value());
+  EXPECT_TRUE(request->group.empty());
+}
+
+TEST(ServiceProtocol, ParsesPlaceWithTypeIndexAndGroup) {
+  const auto result = parse_request(R"({"op":"place","vm":8,"type":2,"group":"web"})");
+  const Request* request = request_of(result);
+  ASSERT_NE(request, nullptr);
+  ASSERT_TRUE(request->vm_type_index.has_value());
+  EXPECT_EQ(*request->vm_type_index, 2u);
+  EXPECT_EQ(request->group, "web");
+}
+
+TEST(ServiceProtocol, ParsesReleaseMigrateStatsDrain) {
+  EXPECT_EQ(request_of(parse_request(R"({"op":"release","vm":1})"))->op, RequestOp::kRelease);
+  EXPECT_EQ(request_of(parse_request(R"({"op":"migrate","vm":1})"))->op, RequestOp::kMigrate);
+  EXPECT_EQ(request_of(parse_request(R"({"op":"stats"})"))->op, RequestOp::kStats);
+  EXPECT_EQ(request_of(parse_request(R"({"op":"drain"})"))->op, RequestOp::kDrain);
+}
+
+TEST(ServiceProtocol, MalformedJsonIsStructuredError) {
+  for (const char* line : {
+           "",                         // empty frame
+           "not json at all",          // free text
+           "{",                        // truncated object
+           R"({"op":"place",})",       // trailing comma
+           R"({"op":"place" "vm":1})", // missing comma
+           R"({"op":)",                // truncated value
+           "\x00\x01\x02",             // binary garbage
+           R"({"op":"stats"} trailing)", // trailing garbage after document
+           R"([1,2,3])",               // not an object
+       }) {
+    const auto result = parse_request(line);
+    const ProtocolError* error = error_of(result);
+    ASSERT_NE(error, nullptr) << "input: " << line;
+    EXPECT_EQ(error->code, "bad_json") << "input: " << line;
+  }
+}
+
+TEST(ServiceProtocol, DeeplyNestedJsonIsRejectedNotStackOverflowed) {
+  std::string bomb;
+  for (int i = 0; i < 4000; ++i) bomb += '[';
+  const auto result = parse_request(bomb);
+  const ProtocolError* error = error_of(result);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, "bad_json");
+}
+
+TEST(ServiceProtocol, UnknownOpIsStructuredError) {
+  const auto result = parse_request(R"({"op":"explode","vm":1})");
+  const ProtocolError* error = error_of(result);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, "unknown_op");
+}
+
+TEST(ServiceProtocol, MissingAndTypeConfusedFieldsAreStructuredErrors) {
+  EXPECT_EQ(error_of(parse_request(R"({"vm":1})"))->code, "missing_field");  // no op
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","type":"m3.xlarge"})"))->code,
+            "missing_field");  // no vm
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","vm":1})"))->code,
+            "missing_field");  // no type
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","vm":"seven","type":1})"))->code,
+            "bad_field");  // vm not a number
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","vm":-3,"type":1})"))->code,
+            "bad_field");  // negative vm
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","vm":1.5,"type":1})"))->code,
+            "bad_field");  // fractional vm
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","vm":4294967296,"type":1})"))->code,
+            "bad_field");  // vm over 32 bits
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","vm":1,"type":true})"))->code,
+            "bad_field");  // type neither name nor index
+  EXPECT_EQ(error_of(parse_request(R"({"op":"place","vm":1,"type":1,"group":7})"))->code,
+            "bad_field");  // group not a string
+  EXPECT_EQ(error_of(parse_request(R"({"op":7})"))->code, "bad_field");  // op not a string
+}
+
+TEST(ServiceProtocol, EncodeResponseRoundTripsThroughParser) {
+  Response response;
+  response.ok = false;
+  response.op = "place";
+  response.vm = 9;
+  response.error = "no_capacity";
+  response.message = "weird \"quotes\" and \n control \x01 bytes";
+  response.retry_after_ms = 5.0;
+  response.extra.emplace_back("used_pms", "17");
+
+  const std::string line = encode_response(response);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+
+  std::string error;
+  const auto doc = parse_json(std::string_view(line.data(), line.size() - 1), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("ok")->kind, JsonValue::Kind::kBool);
+  EXPECT_FALSE(doc->find("ok")->boolean);
+  EXPECT_EQ(doc->find("vm")->number, 9.0);
+  EXPECT_EQ(doc->find("error")->string, "no_capacity");
+  EXPECT_EQ(doc->find("message")->string, response.message);
+  EXPECT_EQ(doc->find("used_pms")->number, 17.0);
+}
+
+TEST(ServiceProtocol, LineBufferReassemblesArbitraryChunks) {
+  const std::string stream = "{\"op\":\"stats\"}\n{\"op\":\"drain\"}\n{\"op\":\"place\"}\n";
+  // Feed byte-by-byte: worst-case partial reads.
+  LineBuffer buffer;
+  std::vector<std::string> lines;
+  for (char c : stream) {
+    buffer.feed(std::string_view(&c, 1));
+    while (const auto frame = buffer.next()) {
+      EXPECT_FALSE(frame->oversized);
+      lines.push_back(frame->line);
+    }
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"op\":\"stats\"}");
+  EXPECT_EQ(lines[2], "{\"op\":\"place\"}");
+
+  // And in one gulp.
+  LineBuffer gulp;
+  gulp.feed(stream);
+  std::size_t count = 0;
+  while (gulp.next()) ++count;
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(ServiceProtocol, OversizedFrameIsDiscardedAndStreamResyncs) {
+  LineBuffer buffer(/*max_frame=*/64);
+  const std::string huge(1000, 'x');
+  buffer.feed(huge);
+  // Mid-frame over the cap: reported once, even before the newline arrives.
+  auto frame = buffer.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->oversized);
+  EXPECT_FALSE(buffer.next().has_value());
+
+  // More of the same oversized frame: silently swallowed.
+  buffer.feed(huge);
+  EXPECT_FALSE(buffer.next().has_value());
+
+  // Frame ends, next frame is intact.
+  buffer.feed("tail-of-garbage\n{\"op\":\"stats\"}\n");
+  frame = buffer.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(frame->oversized);
+  EXPECT_EQ(frame->line, "{\"op\":\"stats\"}");
+  EXPECT_FALSE(buffer.next().has_value());
+}
+
+TEST(ServiceProtocol, UnicodeEscapesAndEscapedStringsParse) {
+  std::string error;
+  const auto doc = parse_json(R"({"s":"aA\t\"b\\"})", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("s")->string, "aA\t\"b\\");
+  EXPECT_FALSE(parse_json(R"({"s":"\u12"})", &error).has_value());  // short escape
+  EXPECT_FALSE(parse_json("{\"s\":\"unterminated", &error).has_value());
+}
+
+}  // namespace
+}  // namespace prvm

@@ -1,0 +1,421 @@
+// prvm_loadgen — load generator / measurement client for prvm_serve.
+//
+// Replays an EC2-mix placement workload against a running daemon over the
+// JSON-lines protocol and reports end-to-end placements/sec and p50/p99
+// request latency (send -> response received, i.e. including queueing,
+// batching, WAL flush and the socket round trip) in the same --json schema
+// as bench_placement_throughput.
+//
+// Modes:
+//   --fill-pms N --ops M   fill the fleet to N used PMs, then run M
+//                          release+place churn ops at that operating point
+//                          (the BENCH_service.json scenario)
+//   --place N              place exactly N VMs and print the daemon's stats
+//                          line (crash-recovery smoke test hook)
+//   --stats                print the daemon's stats line and exit
+#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cluster/catalog.hpp"
+#include "common/rng.hpp"
+#include "service/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string socket_path = "/tmp/prvm.sock";
+  std::string host = "127.0.0.1";
+  int port = -1;  ///< >= 0 selects TCP
+  std::size_t connections = 4;
+  std::size_t pipeline = 64;
+  std::size_t fill_pms = 0;
+  std::size_t churn_ops = 2000;
+  std::size_t place_exact = 0;
+  bool stats_only = false;
+  std::string json_path;
+};
+
+/// A blocking JSON-lines client connection with FIFO pipelining.
+class Client {
+ public:
+  Client(const Options& options) {
+    if (options.port >= 0) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        throw std::runtime_error("cannot connect to 127.0.0.1:" + std::to_string(options.port));
+      }
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    } else {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, options.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+      if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        throw std::runtime_error("cannot connect to " + options.socket_path);
+      }
+    }
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send_line(const std::string& line) {
+    std::size_t written = 0;
+    while (written < line.size()) {
+      const ::ssize_t n = ::send(fd_, line.data() + written, line.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) throw std::runtime_error("connection lost while sending");
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Next response line (blocking).
+  std::string recv_line() {
+    while (true) {
+      if (const auto frame = frames_.next()) {
+        if (frame->oversized) continue;
+        return frame->line;
+      }
+      char buf[16 * 1024];
+      const ::ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) throw std::runtime_error("connection closed by daemon");
+      frames_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+  JsonValue recv_json() {
+    std::string error;
+    auto doc = parse_json(recv_line(), &error);
+    if (!doc.has_value()) throw std::runtime_error("bad response from daemon: " + error);
+    return std::move(*doc);
+  }
+
+ private:
+  int fd_ = -1;
+  LineBuffer frames_;
+};
+
+std::string place_line(std::uint64_t vm, std::size_t type) {
+  return "{\"op\":\"place\",\"vm\":" + std::to_string(vm) + ",\"type\":" + std::to_string(type) +
+         "}\n";
+}
+
+std::string release_line(std::uint64_t vm) {
+  return "{\"op\":\"release\",\"vm\":" + std::to_string(vm) + "}\n";
+}
+
+double field_number(const JsonValue& doc, const char* key) {
+  const JsonValue* value = doc.find(key);
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber ? value->number : 0.0;
+}
+
+JsonValue query_stats(const Options& options) {
+  Client client(options);
+  client.send_line("{\"op\":\"stats\"}\n");
+  return client.recv_json();
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t i = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[i];
+}
+
+struct WorkerResult {
+  std::size_t fill_placed = 0;
+  std::size_t fill_rejected = 0;
+  std::size_t churn_places = 0;
+  std::vector<double> churn_latencies_us;  ///< place requests only
+};
+
+struct Inflight {
+  Clock::time_point sent;
+  bool is_place = false;
+  bool timed = false;
+  std::uint64_t vm = 0;
+  std::size_t type = 0;
+};
+
+// One connection's workload: pipelined fill until the coordinator calls the
+// fleet full, then `churn_ops` release+place pairs.
+void run_worker(const Options& options, const std::vector<double>& mix, std::size_t index,
+                std::size_t churn_ops, std::atomic<bool>& fill_done, WorkerResult& result) {
+  Client client(options);
+  Rng rng(0x10adull * (index + 1));
+  // Per-connection id space: the protocol caps VM ids at 32 bits, so each
+  // connection gets a 16M-id band.
+  std::uint64_t next_vm = (static_cast<std::uint64_t>(index) + 1) << 24;
+  std::vector<std::uint64_t> live;
+  std::deque<Inflight> inflight;
+
+  const auto draw_type = [&] { return rng.weighted_index(mix); };
+
+  const auto settle_one = [&](bool timing) {
+    const Inflight front = inflight.front();
+    inflight.pop_front();
+    const JsonValue doc = client.recv_json();
+    const JsonValue* ok = doc.find("ok");
+    const bool accepted = ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean;
+    if (front.is_place) {
+      if (accepted) {
+        live.push_back(front.vm);
+        if (timing) ++result.churn_places;
+        else ++result.fill_placed;
+      } else if (!timing) {
+        ++result.fill_rejected;
+      }
+      if (timing && front.timed) {
+        result.churn_latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - front.sent).count());
+      }
+    }
+    return accepted;
+  };
+
+  // Fill phase: stream placements until the coordinator says the fleet hit
+  // the target (or the daemon has been rejecting for a while).
+  std::size_t rejected_streak = 0;
+  while (!fill_done.load(std::memory_order_relaxed) && rejected_streak < 512) {
+    while (inflight.size() < options.pipeline) {
+      Inflight request;
+      request.is_place = true;
+      request.vm = next_vm++;
+      request.type = draw_type();
+      client.send_line(place_line(request.vm, request.type));
+      inflight.push_back(request);
+    }
+    while (inflight.size() > options.pipeline / 2) {
+      if (settle_one(false)) {
+        rejected_streak = 0;
+      } else {
+        ++rejected_streak;
+      }
+    }
+  }
+  while (!inflight.empty()) settle_one(false);
+
+  // Churn phase: release one, place one; only place latencies are timed.
+  std::size_t sent_pairs = 0;
+  std::size_t settled = 0;
+  while (settled < 2 * churn_ops) {
+    while (sent_pairs < churn_ops && inflight.size() + 2 <= options.pipeline && !live.empty()) {
+      const std::size_t pick = rng.uniform_index(live.size());
+      const std::uint64_t victim = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      client.send_line(release_line(victim));
+      inflight.push_back(Inflight{Clock::now(), false, false, victim, 0});
+
+      Inflight request;
+      request.is_place = true;
+      request.timed = true;
+      request.vm = next_vm++;
+      request.type = draw_type();
+      request.sent = Clock::now();
+      client.send_line(place_line(request.vm, request.type));
+      inflight.push_back(request);
+      ++sent_pairs;
+    }
+    if (inflight.empty()) break;  // ran out of live VMs (tiny fleet)
+    settle_one(true);
+    ++settled;
+  }
+}
+
+void print_stats_line(const JsonValue& doc) {
+  // Re-encode the interesting fields verbatim for shell tooling.
+  std::cout << "used_pms=" << static_cast<std::uint64_t>(field_number(doc, "used_pms"))
+            << " vm_count=" << static_cast<std::uint64_t>(field_number(doc, "vm_count"))
+            << " placed=" << static_cast<std::uint64_t>(field_number(doc, "placed"))
+            << " op_seq=" << static_cast<std::uint64_t>(field_number(doc, "op_seq"));
+  const JsonValue* digest = doc.find("state_digest");
+  if (digest != nullptr && digest->kind == JsonValue::Kind::kString) {
+    std::cout << " state_digest=" << digest->string;
+  }
+  const JsonValue* recovered = doc.find("recovered");
+  if (recovered != nullptr && recovered->kind == JsonValue::Kind::kBool) {
+    std::cout << " recovered=" << (recovered->boolean ? "true" : "false");
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace prvm
+
+int main(int argc, char** argv) {
+  using namespace prvm;
+
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      options.socket_path = value();
+    } else if (arg == "--port") {
+      options.port = std::stoi(value());
+    } else if (arg == "--connections") {
+      options.connections = std::stoull(value());
+    } else if (arg == "--pipeline") {
+      options.pipeline = std::max<std::size_t>(4, std::stoull(value()));
+    } else if (arg == "--fill-pms") {
+      options.fill_pms = std::stoull(value());
+    } else if (arg == "--ops") {
+      options.churn_ops = std::stoull(value());
+    } else if (arg == "--place") {
+      options.place_exact = std::stoull(value());
+    } else if (arg == "--stats") {
+      options.stats_only = true;
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--socket PATH | --port N] [--connections C] [--pipeline W]\n"
+                << "       [--fill-pms N --ops M [--json PATH]] | [--place N] | [--stats]\n";
+      return 2;
+    }
+  }
+
+  try {
+    if (options.stats_only) {
+      print_stats_line(query_stats(options));
+      return 0;
+    }
+
+    const Catalog catalog = ec2_sim_catalog();
+    const std::vector<double> mix = default_vm_mix(catalog);
+
+    if (options.place_exact > 0) {
+      // Exact-count placement for the crash-recovery smoke test: every
+      // acknowledged placement is crash-durable by the daemon's contract.
+      Client client(options);
+      Rng rng(0x91aceull);  // fixed seed: the smoke test replays this exact stream
+      std::size_t placed = 0;
+      std::uint64_t next_vm = 1;
+      while (placed < options.place_exact) {
+        client.send_line(place_line(next_vm++, rng.weighted_index(mix)));
+        const JsonValue doc = client.recv_json();
+        const JsonValue* ok = doc.find("ok");
+        if (ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean) ++placed;
+      }
+      print_stats_line(query_stats(options));
+      return 0;
+    }
+
+    // Throughput scenario: fill to --fill-pms used PMs, churn --ops pairs.
+    std::atomic<bool> fill_done{options.fill_pms == 0};
+    std::vector<WorkerResult> results(options.connections);
+    std::vector<std::thread> workers;
+    const std::size_t ops_per_conn =
+        (options.churn_ops + options.connections - 1) / options.connections;
+
+    const auto fill_start = Clock::now();
+    for (std::size_t c = 0; c < options.connections; ++c) {
+      workers.emplace_back(
+          [&, c] { run_worker(options, mix, c, ops_per_conn, fill_done, results[c]); });
+    }
+
+    // Coordinator: poll daemon stats until the fill target is reached.
+    double fill_seconds = 0.0;
+    std::size_t used_pms = 0;
+    if (options.fill_pms > 0) {
+      while (!fill_done.load()) {
+        const JsonValue stats = query_stats(options);
+        used_pms = static_cast<std::size_t>(field_number(stats, "used_pms"));
+        if (used_pms >= options.fill_pms) {
+          fill_done.store(true);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      fill_seconds = std::chrono::duration<double>(Clock::now() - fill_start).count();
+    }
+    const auto churn_start = Clock::now();
+    for (auto& worker : workers) worker.join();
+    const double churn_seconds =
+        std::chrono::duration<double>(Clock::now() - churn_start).count();
+
+    // Aggregate.
+    std::size_t fill_placed = 0;
+    std::size_t churn_places = 0;
+    std::vector<double> latencies_us;
+    for (const WorkerResult& r : results) {
+      fill_placed += r.fill_placed;
+      churn_places += r.churn_places;
+      latencies_us.insert(latencies_us.end(), r.churn_latencies_us.begin(),
+                          r.churn_latencies_us.end());
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const JsonValue final_stats = query_stats(options);
+    used_pms = static_cast<std::size_t>(field_number(final_stats, "used_pms"));
+
+    const double fill_pps = fill_seconds > 0 ? fill_placed / fill_seconds : 0.0;
+    const double churn_pps = churn_seconds > 0 ? churn_places / churn_seconds : 0.0;
+    const double p50 = percentile(latencies_us, 0.50);
+    const double p99 = percentile(latencies_us, 0.99);
+
+    std::printf("fill:  %zu placements in %.2fs (%.0f pl/s)\n", fill_placed, fill_seconds,
+                fill_pps);
+    std::printf("churn: %zu placements in %.2fs   %8.0f pl/s   p50 %8.2f us   p99 %8.2f us\n",
+                churn_places, churn_seconds, churn_pps, p50, p99);
+    std::printf("operating point: %zu used PMs, %zu connections, pipeline %zu\n", used_pms,
+                options.connections, options.pipeline);
+
+    if (!options.json_path.empty()) {
+      std::ofstream os(options.json_path, std::ios::trunc);
+      if (!os.is_open()) {
+        std::cerr << "cannot write " << options.json_path << "\n";
+        return 1;
+      }
+      os << "{\n  \"benchmark\": \"service_throughput\",\n  \"catalog\": \"ec2_sim\",\n"
+         << "  \"churn_ops\": " << churn_places << ",\n  \"connections\": "
+         << options.connections << ",\n  \"pipeline\": " << options.pipeline << ",\n"
+         << "  \"fleets\": [\n    {\"pms\": " << options.fill_pms
+         << ", \"used_pms\": " << used_pms << ",\n      \"service\": {"
+         << "\"fill_placements_per_sec\": " << fill_pps
+         << ", \"fill_placements\": " << fill_placed
+         << ", \"churn_placements_per_sec\": " << churn_pps
+         << ", \"churn_ops\": " << churn_places << ", \"p50_us\": " << p50
+         << ", \"p99_us\": " << p99 << "}}\n  ]\n}\n";
+      std::cout << "wrote " << options.json_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "prvm_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

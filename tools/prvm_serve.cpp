@@ -1,0 +1,147 @@
+// prvm_serve — the online placement daemon.
+//
+// Owns one Datacenter + score-table set and serves place/release/migrate
+// requests over a JSON-lines socket protocol (Unix-domain or loopback
+// TCP), with write-ahead logging and snapshots for crash recovery. See
+// src/service/ for the moving parts and DESIGN.md §4 for the architecture.
+//
+//   prvm_serve --socket /tmp/prvm.sock --fleet 10000 --data-dir /var/lib/prvm
+//
+// Signals: SIGTERM/SIGINT trigger a graceful drain (stop accepting, flush
+// the queue, final snapshot, exit 0). kill -9 is recovered on next start
+// from snapshot + WAL replay.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/catalog_graphs.hpp"
+#include "service/service.hpp"
+#include "service/socket_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void handle_signal(int) { g_shutdown = 1; }
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --socket PATH        listen on a Unix-domain socket (default /tmp/prvm.sock)\n"
+      << "  --port N             listen on loopback TCP instead (0 = ephemeral)\n"
+      << "  --fleet N            PM fleet size, alternating EC2 M3/C3 (default 10000)\n"
+      << "  --data-dir PATH      WAL + snapshot directory; omit for an ephemeral daemon\n"
+      << "  --batch K            max requests per engine pass (default 64)\n"
+      << "  --queue N            request queue capacity (default 4096)\n"
+      << "  --snapshot-every N   snapshot after N mutating ops (default 100000; 0 = drain only)\n"
+      << "  --fsync              fsync the WAL every batch (power-loss durability)\n"
+      << "  --cache-dir PATH     score-table cache (default $PRVM_CACHE_DIR or .prvm-cache);\n"
+      << "                       shared with the bench/experiment harness, so a warm cache\n"
+      << "                       makes startup skip the expensive table build\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prvm;
+
+  std::string socket_path = "/tmp/prvm.sock";
+  bool use_tcp = false;
+  int tcp_port = 0;
+  std::size_t fleet = 10000;
+  ServiceConfig config;
+  config.snapshot_every_ops = 100000;
+  std::optional<std::filesystem::path> cache_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+      use_tcp = false;
+    } else if (arg == "--port") {
+      tcp_port = std::stoi(value());
+      use_tcp = true;
+    } else if (arg == "--fleet") {
+      fleet = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--data-dir") {
+      config.data_dir = value();
+    } else if (arg == "--batch") {
+      config.batch_size = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--queue") {
+      config.queue_capacity = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--snapshot-every") {
+      config.snapshot_every_ops = std::stoull(value());
+    } else if (arg == "--fsync") {
+      config.fsync_wal = true;
+    } else if (arg == "--cache-dir") {
+      cache_dir = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    const Catalog catalog = ec2_sim_catalog();
+    // The daemon shares the experiment harness's score-table cache (see
+    // Ec2ExperimentConfig::cache_dir): a warm cache turns the seconds-long
+    // table build into a file load.
+    const auto tables = std::make_shared<const ScoreTableSet>(
+        build_score_tables(catalog, {}, cache_dir.value_or(default_cache_dir())));
+
+    PlacementService service(catalog, mixed_pm_fleet(catalog, fleet), tables, config);
+    const ServiceStats boot = service.stats();
+    if (boot.recovered) {
+      std::cout << "prvm_serve: recovered " << service.datacenter().vm_count()
+                << " VMs on " << service.datacenter().used_count() << " used PMs ("
+                << boot.replayed_records << " WAL records replayed"
+                << (boot.wal_torn_tail ? ", torn tail discarded" : "") << ")\n";
+    }
+    service.start();
+
+    SocketServerConfig socket_config;
+    if (use_tcp) {
+      socket_config.tcp_port = tcp_port;
+    } else {
+      socket_config.unix_path = socket_path;
+    }
+    SocketServer server(service, socket_config);
+    server.start();
+    if (use_tcp) {
+      std::cout << "prvm_serve: listening on 127.0.0.1:" << server.port() << std::endl;
+    } else {
+      std::cout << "prvm_serve: listening on " << socket_path << std::endl;
+    }
+
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    while (g_shutdown == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::cout << "prvm_serve: draining..." << std::endl;
+    server.stop();      // no new requests
+    service.drain();    // flush the queue, final snapshot, truncate WAL
+    const ServiceStats stats = service.stats();
+    std::cout << "prvm_serve: drained at op_seq " << stats.op_seq << " ("
+              << stats.placed << " placed, " << stats.released << " released, "
+              << stats.migrated << " migrated)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "prvm_serve: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
