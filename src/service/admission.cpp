@@ -18,6 +18,7 @@ const char* to_string(RejectReason reason) {
     case RejectReason::kNoCapacity: return "no_capacity";
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kDraining: return "draining";
+    case RejectReason::kDegradedStorage: return "degraded_storage";
   }
   return "?";
 }

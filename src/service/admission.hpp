@@ -37,8 +37,9 @@ enum class RejectReason {
   kUnknownVm,      ///< release/migrate of a vm id that is not placed
   kGroupConflict,  ///< anti-collocation group vetoes every feasible PM
   kNoCapacity,     ///< no PM can host the VM at all
-  kQueueFull,      ///< request queue at capacity (backpressure)
-  kDraining,       ///< daemon is shutting down / drained
+  kQueueFull,        ///< request queue at capacity (backpressure)
+  kDraining,         ///< daemon is shutting down / drained
+  kDegradedStorage,  ///< WAL/snapshot storage failing; writes are suspended
 };
 
 /// Machine-readable wire code ("no_capacity", "group_conflict", ...).

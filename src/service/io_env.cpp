@@ -1,0 +1,375 @@
+#include "service/io_env.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace prvm {
+
+std::string IoStatus::message() const {
+  if (err == 0) return context.empty() ? "ok" : context + ": ok";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: %s (errno %d)",
+                context.empty() ? "io" : context.c_str(), std::strerror(err), err);
+  return buf;
+}
+
+int IoEnv::open(const char* path, int flags, unsigned mode) noexcept {
+  const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+  return fd >= 0 ? fd : -errno;
+}
+
+std::int64_t IoEnv::write(int fd, const void* data, std::size_t size) noexcept {
+  const ::ssize_t n = ::write(fd, data, size);
+  return n >= 0 ? static_cast<std::int64_t>(n) : -static_cast<std::int64_t>(errno);
+}
+
+int IoEnv::fsync(int fd) noexcept { return ::fsync(fd) == 0 ? 0 : -errno; }
+
+int IoEnv::rename(const char* from, const char* to) noexcept {
+  return ::rename(from, to) == 0 ? 0 : -errno;
+}
+
+int IoEnv::ftruncate(int fd, std::int64_t length) noexcept {
+  return ::ftruncate(fd, static_cast<off_t>(length)) == 0 ? 0 : -errno;
+}
+
+int IoEnv::close(int fd) noexcept { return ::close(fd) == 0 ? 0 : -errno; }
+
+std::uint64_t IoEnv::now_ms() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+IoEnv& IoEnv::real() {
+  static IoEnv env;
+  return env;
+}
+
+const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen: return "open";
+    case IoOp::kWrite: return "write";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kRename: return "rename";
+    case IoOp::kFtruncate: return "ftruncate";
+    case IoOp::kClose: return "close";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+
+// The errno values realistic storage faults produce; anything else can be
+// given numerically.
+constexpr ErrnoName kErrnoNames[] = {
+    {"ENOSPC", ENOSPC}, {"EIO", EIO},         {"EINTR", EINTR}, {"EDQUOT", EDQUOT},
+    {"EROFS", EROFS},   {"EAGAIN", EAGAIN},   {"EBADF", EBADF}, {"EACCES", EACCES},
+    {"ENOENT", ENOENT}, {"EMFILE", EMFILE},   {"ENFILE", ENFILE},
+};
+
+int parse_errno(const std::string& text) {
+  for (const ErrnoName& e : kErrnoNames) {
+    if (text == e.name) return e.value;
+  }
+  try {
+    const int value = std::stoi(text);
+    if (value > 0) return value;
+  } catch (...) {
+  }
+  throw std::invalid_argument("fault schedule: unknown errno \"" + text + "\"");
+}
+
+std::optional<IoOp> parse_op(const std::string& text) {
+  if (text == "open") return IoOp::kOpen;
+  if (text == "write") return IoOp::kWrite;
+  if (text == "fsync") return IoOp::kFsync;
+  if (text == "rename") return IoOp::kRename;
+  if (text == "ftruncate") return IoOp::kFtruncate;
+  if (text == "close") return IoOp::kClose;
+  return std::nullopt;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& text) {
+  try {
+    return std::stoull(text);
+  } catch (...) {
+    throw std::invalid_argument("fault schedule: bad value for " + key + ": \"" + text + "\"");
+  }
+}
+
+double parse_fraction(const std::string& key, const std::string& text) {
+  double value = 0.0;
+  try {
+    value = std::stod(text);
+  } catch (...) {
+    throw std::invalid_argument("fault schedule: bad value for " + key + ": \"" + text + "\"");
+  }
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument("fault schedule: " + key + " must be in [0,1]");
+  }
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::parse(const std::string& spec) {
+  FaultSchedule schedule;
+  for (const std::string& rule_text : split(spec, ';')) {
+    if (rule_text.empty()) continue;
+    const std::vector<std::string> tokens = split(rule_text, ':');
+    if (tokens[0].rfind("seed=", 0) == 0) {
+      if (tokens.size() != 1) {
+        throw std::invalid_argument("fault schedule: seed takes no modifiers");
+      }
+      schedule.seed = parse_u64("seed", tokens[0].substr(5));
+      continue;
+    }
+    const std::optional<IoOp> op = parse_op(tokens[0]);
+    if (!op.has_value()) {
+      throw std::invalid_argument("fault schedule: unknown op \"" + tokens[0] + "\"");
+    }
+    FaultRule rule;
+    rule.op = *op;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("fault schedule: expected key=value, got \"" + tokens[i] +
+                                    "\"");
+      }
+      const std::string key = tokens[i].substr(0, eq);
+      const std::string value = tokens[i].substr(eq + 1);
+      if (key == "errno") {
+        rule.err = parse_errno(value);
+      } else if (key == "nth") {
+        rule.nth = parse_u64(key, value);
+      } else if (key == "after") {
+        rule.after = parse_u64(key, value);
+      } else if (key == "every") {
+        rule.every = parse_u64(key, value);
+      } else if (key == "prob") {
+        rule.probability = parse_fraction(key, value);
+      } else if (key == "short") {
+        rule.short_fraction = parse_fraction(key, value);
+      } else if (key == "delay_ms") {
+        rule.delay_ms = parse_u64(key, value);
+      } else if (key == "count") {
+        rule.max_fires = parse_u64(key, value);
+      } else {
+        throw std::invalid_argument("fault schedule: unknown key \"" + key + "\"");
+      }
+    }
+    if (rule.err == 0 && rule.short_fraction == 0.0 && rule.delay_ms == 0) {
+      throw std::invalid_argument("fault schedule: rule \"" + rule_text +
+                                  "\" has no effect (errno, short or delay_ms required)");
+    }
+    if (rule.nth == 0 && rule.after == 0 && rule.every == 0 && rule.probability == 0.0) {
+      // No explicit trigger = fire on every call.
+      rule.every = 1;
+    }
+    schedule.rules.push_back(rule);
+  }
+  return schedule;
+}
+
+FaultInjectingIoEnv::FaultInjectingIoEnv(FaultSchedule schedule, IoEnv* inner)
+    : schedule_(std::move(schedule)),
+      rng_state_(schedule_.seed),
+      inner_(inner != nullptr ? inner : &IoEnv::real()) {}
+
+void FaultInjectingIoEnv::set_schedule(FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_ = std::move(schedule);
+  rng_state_ = schedule_.seed;
+  calls_.fill(0);
+  injected_ = 0;
+}
+
+void FaultInjectingIoEnv::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_.rules.clear();
+}
+
+std::uint64_t FaultInjectingIoEnv::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+std::uint64_t FaultInjectingIoEnv::calls(IoOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_[static_cast<std::size_t>(op)];
+}
+
+FaultInjectingIoEnv::Injection FaultInjectingIoEnv::consult(IoOp op,
+                                                            std::size_t write_size) noexcept {
+  Injection outcome;
+  outcome.write_size = write_size;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t call = ++calls_[static_cast<std::size_t>(op)];
+  for (FaultRule& rule : schedule_.rules) {
+    if (rule.op != op) continue;
+    if (rule.max_fires > 0 && rule.fired >= rule.max_fires) continue;
+    const bool triggered =
+        (rule.nth > 0 && call == rule.nth) || (rule.after > 0 && call > rule.after) ||
+        (rule.every > 0 && call % rule.every == 0) ||
+        (rule.probability > 0.0 &&
+         static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53 < rule.probability);
+    if (!triggered) continue;
+    ++rule.fired;
+    ++injected_;
+    outcome.delay_ms += rule.delay_ms;
+    if (rule.err != 0) {
+      outcome.err = rule.err;
+      break;  // the call fails; later rules are moot
+    }
+    if (rule.short_fraction > 0.0 && op == IoOp::kWrite && write_size > 1) {
+      const auto shortened =
+          static_cast<std::size_t>(rule.short_fraction * static_cast<double>(write_size));
+      outcome.write_size = std::max<std::size_t>(1, std::min(shortened, write_size));
+    }
+  }
+  return outcome;
+}
+
+int FaultInjectingIoEnv::open(const char* path, int flags, unsigned mode) noexcept {
+  const Injection inject = consult(IoOp::kOpen, 0);
+  if (inject.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(inject.delay_ms));
+  }
+  if (inject.err != 0) return -inject.err;
+  return inner_->open(path, flags, mode);
+}
+
+std::int64_t FaultInjectingIoEnv::write(int fd, const void* data, std::size_t size) noexcept {
+  const Injection inject = consult(IoOp::kWrite, size);
+  if (inject.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(inject.delay_ms));
+  }
+  if (inject.err != 0) return -static_cast<std::int64_t>(inject.err);
+  return inner_->write(fd, data, inject.write_size);
+}
+
+int FaultInjectingIoEnv::fsync(int fd) noexcept {
+  const Injection inject = consult(IoOp::kFsync, 0);
+  if (inject.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(inject.delay_ms));
+  }
+  if (inject.err != 0) return -inject.err;
+  return inner_->fsync(fd);
+}
+
+int FaultInjectingIoEnv::rename(const char* from, const char* to) noexcept {
+  const Injection inject = consult(IoOp::kRename, 0);
+  if (inject.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(inject.delay_ms));
+  }
+  if (inject.err != 0) return -inject.err;
+  return inner_->rename(from, to);
+}
+
+int FaultInjectingIoEnv::ftruncate(int fd, std::int64_t length) noexcept {
+  const Injection inject = consult(IoOp::kFtruncate, 0);
+  if (inject.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(inject.delay_ms));
+  }
+  if (inject.err != 0) return -inject.err;
+  return inner_->ftruncate(fd, length);
+}
+
+int FaultInjectingIoEnv::close(int fd) noexcept {
+  const Injection inject = consult(IoOp::kClose, 0);
+  if (inject.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(inject.delay_ms));
+  }
+  if (inject.err != 0) {
+    // Even a failing close() consumes the descriptor on Linux; release it
+    // for real so injected close faults cannot leak fds.
+    inner_->close(fd);
+    return -inject.err;
+  }
+  return inner_->close(fd);
+}
+
+namespace {
+
+/// A sustained EINTR storm must surface as an error, not an infinite loop.
+constexpr int kMaxEintrRetries = 64;
+
+}  // namespace
+
+IoStatus io_write_all(IoEnv& env, int fd, const void* data, std::size_t size,
+                      const std::string& what, std::size_t* written) {
+  const auto* bytes = static_cast<const char*>(data);
+  std::size_t done = 0;
+  int eintr_streak = 0;
+  while (done < size) {
+    const std::int64_t n = env.write(fd, bytes + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      eintr_streak = 0;
+      continue;
+    }
+    if (n == -EINTR && ++eintr_streak <= kMaxEintrRetries) continue;
+    if (written != nullptr) *written = done;
+    return IoStatus::failure(n == 0 ? EIO : static_cast<int>(-n), what);
+  }
+  if (written != nullptr) *written = done;
+  return IoStatus::success();
+}
+
+IoStatus io_fsync(IoEnv& env, int fd, const std::string& what) {
+  int eintr_streak = 0;
+  while (true) {
+    const int rc = env.fsync(fd);
+    if (rc == 0) return IoStatus::success();
+    if (rc == -EINTR && ++eintr_streak <= kMaxEintrRetries) continue;
+    return IoStatus::failure(-rc, what);
+  }
+}
+
+IoStatus io_close(IoEnv& env, int fd, const std::string& what) {
+  const int rc = env.close(fd);
+  return rc == 0 ? IoStatus::success() : IoStatus::failure(-rc, what);
+}
+
+std::shared_ptr<IoEnv> io_env_from_spec(const std::string& spec) {
+  if (spec.empty()) return nullptr;
+  return std::make_shared<FaultInjectingIoEnv>(FaultSchedule::parse(spec));
+}
+
+}  // namespace prvm

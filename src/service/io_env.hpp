@@ -1,0 +1,177 @@
+// IO environment seam for the durability layer, with deterministic fault
+// injection.
+//
+// Every syscall the WAL / snapshot / probe paths make goes through an
+// `IoEnv` so tests (and a chaos harness driving the real daemon) can
+// inject disk-full, torn writes, fsync failures, EINTR storms and slow
+// storage without root, FUSE or LD_PRELOAD tricks. The base class IS the
+// real implementation; `FaultInjectingIoEnv` wraps any env and applies a
+// programmable `FaultSchedule` (parseable from the `PRVM_FAULT_SCHEDULE`
+// environment variable, so the stock daemon binary can run under faults).
+//
+// Error convention: all env calls return >= 0 on success and -errno on
+// failure (never the -1/global-errno pair — the injector must be able to
+// fabricate failures without touching thread-local errno). The io_*
+// helpers layered on top add the policies hardened callers want: EINTR
+// retry with a storm cap, short-write continuation, and errno-rich
+// IoStatus results instead of process aborts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prvm {
+
+/// Result of an IO operation: errno value (0 = success) plus enough
+/// context to produce an actionable message ("write(wal.log): No space
+/// left on device (errno 28)").
+struct IoStatus {
+  int err = 0;          ///< errno value; 0 = ok
+  std::string context;  ///< operation + target, e.g. "fsync(snapshot.bin.tmp)"
+
+  bool ok() const { return err == 0; }
+  std::string message() const;
+
+  static IoStatus success() { return IoStatus{}; }
+  static IoStatus failure(int err, std::string context) {
+    return IoStatus{err, std::move(context)};
+  }
+};
+
+/// The syscall seam. Virtual methods default to the real syscalls; every
+/// call returns >= 0 on success or -errno on failure.
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  virtual int open(const char* path, int flags, unsigned mode) noexcept;
+  virtual std::int64_t write(int fd, const void* data, std::size_t size) noexcept;
+  virtual int fsync(int fd) noexcept;
+  virtual int rename(const char* from, const char* to) noexcept;
+  virtual int ftruncate(int fd, std::int64_t length) noexcept;
+  virtual int close(int fd) noexcept;
+  /// Monotonic clock in milliseconds (degraded-mode probe backoff timing).
+  virtual std::uint64_t now_ms() noexcept;
+
+  /// Shared pass-through instance (the default when no env is configured).
+  static IoEnv& real();
+};
+
+/// Operations a fault rule can target.
+enum class IoOp : std::uint8_t { kOpen, kWrite, kFsync, kRename, kFtruncate, kClose };
+inline constexpr std::size_t kIoOpCount = 6;
+
+const char* to_string(IoOp op);
+
+/// One injection rule. Triggers combine per-op call counters with an
+/// optional probability; an injected outcome is an errno, a short write
+/// (write only), and/or an added latency.
+struct FaultRule {
+  IoOp op = IoOp::kWrite;
+
+  // Triggers (any satisfied trigger fires the rule):
+  std::uint64_t nth = 0;    ///< fire on exactly the Nth call to `op` (1-based)
+  std::uint64_t after = 0;  ///< fire on every call once more than `after` calls happened
+  std::uint64_t every = 0;  ///< fire on every `every`-th call
+  double probability = 0.0; ///< fire with this probability (seeded, deterministic)
+
+  // Effects:
+  int err = 0;                  ///< errno to return; 0 = call proceeds (short/delay only)
+  double short_fraction = 0.0;  ///< write only: complete only this fraction of the buffer
+  std::uint64_t delay_ms = 0;   ///< sleep before the call proceeds (slow-storage injection)
+
+  std::uint64_t max_fires = 0;  ///< rule expires after firing this often; 0 = unlimited
+  std::uint64_t fired = 0;      ///< runtime counter
+};
+
+/// A programmable schedule: a rule list plus the seed for probabilistic
+/// triggers. Parseable from a compact spec string (the PRVM_FAULT_SCHEDULE
+/// format):
+///
+///   rule (';' rule)*
+///   rule := "seed=N" | op (':' key '=' value)*
+///   op   := open | write | fsync | rename | ftruncate | close
+///   key  := errno (name like ENOSPC or a number) | nth | after | every
+///           | prob | short | delay_ms | count
+///
+/// Example — fail every write with ENOSPC after the first 100, 20 times,
+/// and make every 4th fsync take 50ms:
+///   "write:after=100:errno=ENOSPC:count=20;fsync:every=4:delay_ms=50"
+struct FaultSchedule {
+  std::vector<FaultRule> rules;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Parses a spec; throws std::invalid_argument with a pointed message on
+  /// a malformed rule (bad op, unknown key, unparseable value).
+  static FaultSchedule parse(const std::string& spec);
+};
+
+/// An IoEnv that forwards to `inner` (the real env by default) unless the
+/// schedule says otherwise. Thread-safe: the daemon's worker thread and
+/// test threads may share one instance.
+class FaultInjectingIoEnv : public IoEnv {
+ public:
+  explicit FaultInjectingIoEnv(FaultSchedule schedule = {}, IoEnv* inner = nullptr);
+
+  /// Replaces the schedule and resets all counters.
+  void set_schedule(FaultSchedule schedule);
+  /// Drops every rule (calls pass through untouched from now on).
+  void clear();
+
+  std::uint64_t injected_faults() const;
+  std::uint64_t calls(IoOp op) const;
+
+  int open(const char* path, int flags, unsigned mode) noexcept override;
+  std::int64_t write(int fd, const void* data, std::size_t size) noexcept override;
+  int fsync(int fd) noexcept override;
+  int rename(const char* from, const char* to) noexcept override;
+  int ftruncate(int fd, std::int64_t length) noexcept override;
+  int close(int fd) noexcept override;
+
+ private:
+  struct Injection {
+    int err = 0;                 ///< 0 = proceed
+    std::size_t write_size = 0;  ///< possibly shortened write length
+    std::uint64_t delay_ms = 0;
+  };
+
+  /// Consults the schedule for one call; returns the (possibly modified)
+  /// outcome and applies delays outside the lock.
+  Injection consult(IoOp op, std::size_t write_size) noexcept;
+
+  mutable std::mutex mu_;
+  FaultSchedule schedule_;
+  std::array<std::uint64_t, kIoOpCount> calls_{};
+  std::uint64_t injected_ = 0;
+  std::uint64_t rng_state_ = 1;
+  IoEnv* inner_;
+};
+
+/// Writes the whole buffer: retries EINTR (capped — a persistent EINTR
+/// storm eventually surfaces as an error instead of spinning forever) and
+/// continues after short writes. On failure, `*written` (optional) reports
+/// how many bytes made it out, so callers can preserve exactly the
+/// unwritten suffix for a later retry.
+IoStatus io_write_all(IoEnv& env, int fd, const void* data, std::size_t size,
+                      const std::string& what, std::size_t* written = nullptr);
+
+/// Checked fsync with EINTR retry.
+IoStatus io_fsync(IoEnv& env, int fd, const std::string& what);
+
+/// Checked close. EINTR after close() leaves the fd state unspecified on
+/// Linux (the fd is gone); it is NOT retried, matching kernel semantics.
+IoStatus io_close(IoEnv& env, int fd, const std::string& what);
+
+/// Builds an env from a schedule spec: nullptr for an empty spec, a
+/// FaultInjectingIoEnv otherwise. Throws std::invalid_argument on a
+/// malformed spec. The daemon feeds this the PRVM_FAULT_SCHEDULE variable.
+std::shared_ptr<IoEnv> io_env_from_spec(const std::string& spec);
+
+}  // namespace prvm

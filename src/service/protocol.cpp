@@ -271,7 +271,9 @@ const char* to_string(RequestOp op) {
     case RequestOp::kPlace: return "place";
     case RequestOp::kRelease: return "release";
     case RequestOp::kMigrate: return "migrate";
+    case RequestOp::kLookup: return "lookup";
     case RequestOp::kStats: return "stats";
+    case RequestOp::kHealth: return "health";
     case RequestOp::kDrain: return "drain";
   }
   return "?";
@@ -311,8 +313,12 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
     request.op = RequestOp::kRelease;
   } else if (op->string == "migrate") {
     request.op = RequestOp::kMigrate;
+  } else if (op->string == "lookup") {
+    request.op = RequestOp::kLookup;
   } else if (op->string == "stats") {
     request.op = RequestOp::kStats;
+  } else if (op->string == "health") {
+    request.op = RequestOp::kHealth;
   } else if (op->string == "drain") {
     request.op = RequestOp::kDrain;
   } else {
@@ -320,7 +326,7 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
   }
 
   const bool needs_vm = request.op == RequestOp::kPlace || request.op == RequestOp::kRelease ||
-                        request.op == RequestOp::kMigrate;
+                        request.op == RequestOp::kMigrate || request.op == RequestOp::kLookup;
   if (needs_vm) {
     const JsonValue* vm = doc->find("vm");
     if (vm == nullptr) return ProtocolError{"missing_field", "missing \"vm\""};

@@ -7,7 +7,9 @@
 //   {"op":"place","vm":8,"type":2,"group":"web"}      type by catalog index also accepted
 //   {"op":"release","vm":7}                           -> {"ok":true,...}
 //   {"op":"migrate","vm":8}                           re-place off the current PM
+//   {"op":"lookup","vm":7}                            -> current PM, or unknown_vm
 //   {"op":"stats"}                                    -> counters + state digest
+//   {"op":"health"}                                   -> mode, queue depth, WAL lag, last error
 //   {"op":"drain"}                                    snapshot + stop accepting
 //
 // Failures are structured, never a dropped connection:
@@ -56,7 +58,7 @@ std::optional<JsonValue> parse_json(std::string_view text, std::string* error);
 /// Serializes a string with JSON escaping (quotes included).
 std::string json_quote(std::string_view s);
 
-enum class RequestOp { kPlace, kRelease, kMigrate, kStats, kDrain };
+enum class RequestOp { kPlace, kRelease, kMigrate, kLookup, kStats, kHealth, kDrain };
 
 const char* to_string(RequestOp op);
 

@@ -1,6 +1,9 @@
 #include "service/service.hpp"
 
+#include <fcntl.h>
+
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.hpp"
@@ -12,6 +15,7 @@ namespace {
 
 const char* kWalFile = "wal.log";
 const char* kSnapshotFile = "snapshot.bin";
+const char* kProbeFile = ".storage-probe";
 
 }  // namespace
 
@@ -24,12 +28,15 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
       engine_(std::make_unique<PageRankVm>(std::move(tables), config_.engine)) {
   PRVM_REQUIRE(config_.batch_size > 0, "batch size must be positive");
   PRVM_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+  io_ = config_.io_env != nullptr ? config_.io_env.get() : &IoEnv::real();
   for (std::size_t v = 0; v < catalog_.vm_types().size(); ++v) {
     vm_type_by_name_.emplace(catalog_.vm_type(v).name, v);
   }
   if (!config_.data_dir.empty()) {
     recover(fleet);
-    wal_ = std::make_unique<WalWriter>(config_.data_dir / kWalFile, config_.fsync_wal);
+    wal_ = std::make_unique<WalWriter>(config_.data_dir / kWalFile, config_.fsync_wal, io_);
+    // A broken disk at boot is survivable: serve reads, probe for storage.
+    if (!wal_->healthy()) enter_degraded(wal_->open_status());
   }
 }
 
@@ -99,16 +106,98 @@ void PlacementService::log_record(WalRecord record) {
   wal_dirty_ = true;
 }
 
-void PlacementService::take_snapshot() {
-  if (config_.data_dir.empty()) return;
+IoStatus PlacementService::take_snapshot() {
+  if (config_.data_dir.empty()) return IoStatus::success();
   if (wal_ != nullptr && wal_dirty_) {
-    wal_->flush();
+    const IoStatus status = wal_->flush();
     wal_dirty_ = false;
+    if (!status.ok()) return status;
   }
-  save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_);
+  const IoStatus status =
+      save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+  if (!status.ok()) return status;
   snapshot_op_seq_ = op_seq_;
-  if (wal_ != nullptr) wal_->reset();
   ++stats_.snapshots;
+  // A failed truncate after a successful snapshot is safe for correctness
+  // (op_seq gating skips the stale records on replay) but still signals a
+  // failing disk — report it so the caller degrades.
+  if (wal_ != nullptr) return wal_->reset();
+  return IoStatus::success();
+}
+
+void PlacementService::enter_degraded(const IoStatus& status) {
+  ++stats_.io_errors;
+  stats_.last_io_error = status.message();
+  if (degraded_.load(std::memory_order_relaxed)) return;
+  degraded_.store(true, std::memory_order_relaxed);
+  ++stats_.degraded_entries;
+  probe_backoff_ms_ = std::max<std::uint64_t>(1, config_.probe_initial_ms);
+  next_probe_at_ms_ = io_->now_ms() + probe_backoff_ms_;
+}
+
+Response PlacementService::degraded_reject(const Request& request) const {
+  Response response = reject(request, RejectReason::kDegradedStorage,
+                             "storage degraded: " + stats_.last_io_error);
+  response.retry_after_ms = config_.degraded_retry_after_ms;
+  return response;
+}
+
+void PlacementService::demote_unlogged(Response& response) {
+  if (!response.ok) return;
+  if (response.op != "place" && response.op != "release" && response.op != "migrate") return;
+  Response demoted;
+  demoted.ok = false;
+  demoted.op = response.op;
+  demoted.vm = response.vm;
+  demoted.error = to_string(RejectReason::kDegradedStorage);
+  demoted.message = "decision not durable (" + stats_.last_io_error +
+                    "); retry once storage recovers";
+  demoted.retry_after_ms = config_.degraded_retry_after_ms;
+  response = std::move(demoted);
+}
+
+IoStatus PlacementService::probe_storage() {
+  const std::filesystem::path probe = config_.data_dir / kProbeFile;
+  const int fd = io_->open(probe.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoStatus::failure(-fd, "open(" + probe.string() + ")");
+  static const char payload[] = "prvm storage probe\n";
+  IoStatus status =
+      io_write_all(*io_, fd, payload, sizeof(payload) - 1, "write(" + probe.string() + ")");
+  if (status.ok()) status = io_fsync(*io_, fd, "fsync(" + probe.string() + ")");
+  const IoStatus close_status = io_close(*io_, fd, "close(" + probe.string() + ")");
+  if (status.ok()) status = close_status;
+  std::error_code ec;
+  std::filesystem::remove(probe, ec);  // best effort; a stale probe file is harmless
+  return status;
+}
+
+void PlacementService::maybe_probe_storage() {
+  if (!degraded_.load(std::memory_order_relaxed)) return;
+  if (config_.data_dir.empty()) return;
+  if (io_->now_ms() < next_probe_at_ms_) return;
+  ++stats_.storage_probes;
+  // Recovery is probe -> snapshot -> WAL truncate/reopen, in that order:
+  // the fresh snapshot covers every in-memory decision (including any whose
+  // flush failed and were answered degraded_storage), and only once it is
+  // durable may the possibly-torn WAL be discarded.
+  IoStatus status = probe_storage();
+  if (status.ok()) {
+    status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+    if (status.ok()) {
+      snapshot_op_seq_ = op_seq_;
+      ++stats_.snapshots;
+      if (wal_ != nullptr) status = wal_->reopen_truncate();
+    }
+  }
+  if (status.ok()) {
+    degraded_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  ++stats_.io_errors;
+  stats_.last_io_error = status.message();
+  probe_backoff_ms_ = std::min<std::uint64_t>(probe_backoff_ms_ * 2,
+                                              std::max<std::uint64_t>(1, config_.probe_max_ms));
+  next_probe_at_ms_ = io_->now_ms() + probe_backoff_ms_;
 }
 
 Response PlacementService::reject(const Request& request, RejectReason reason,
@@ -116,7 +205,8 @@ Response PlacementService::reject(const Request& request, RejectReason reason,
   Response response;
   response.ok = false;
   response.op = to_string(request.op);
-  if (request.op != RequestOp::kStats && request.op != RequestOp::kDrain) {
+  if (request.op != RequestOp::kStats && request.op != RequestOp::kDrain &&
+      request.op != RequestOp::kHealth) {
     response.vm = request.vm_id;
   }
   response.error = to_string(reason);
@@ -267,6 +357,49 @@ Response PlacementService::migrate(const Request& request) {
   return response;
 }
 
+Response PlacementService::lookup(const Request& request) {
+  const VmId vm = static_cast<VmId>(request.vm_id);
+  const std::optional<PmIndex> pm = dc_.pm_of(vm);
+  if (!pm.has_value()) {
+    return reject(request, RejectReason::kUnknownVm, "VM id is not placed");
+  }
+  Response response;
+  response.ok = true;
+  response.op = "lookup";
+  response.vm = request.vm_id;
+  response.pm = *pm;
+  const std::string& group = admission_.group_of(vm);
+  if (!group.empty()) response.extra.emplace_back("group", json_quote(group));
+  return response;
+}
+
+Response PlacementService::health_response() {
+  Response response;
+  response.ok = true;
+  response.op = "health";
+  std::size_t queue_depth = 0;
+  bool draining_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth = queue_.size();
+    draining_now = draining_;
+  }
+  const bool degraded_now = degraded_.load(std::memory_order_relaxed);
+  const char* mode = degraded_now ? "degraded" : (draining_now ? "draining" : "ok");
+  response.extra.emplace_back("mode", json_quote(mode));
+  response.extra.emplace_back("queue_depth", std::to_string(queue_depth));
+  // Ops acknowledged since the last durable snapshot = replay work a crash
+  // right now would need (and the WAL bytes a degraded disk is holding up).
+  response.extra.emplace_back("wal_lag", std::to_string(op_seq_ - snapshot_op_seq_));
+  response.extra.emplace_back("op_seq", std::to_string(op_seq_));
+  response.extra.emplace_back("degraded_entries", std::to_string(stats_.degraded_entries));
+  response.extra.emplace_back("storage_probes", std::to_string(stats_.storage_probes));
+  response.extra.emplace_back("io_errors", std::to_string(stats_.io_errors));
+  response.extra.emplace_back("last_error", json_quote(stats_.last_io_error));
+  if (degraded_now) response.retry_after_ms = config_.degraded_retry_after_ms;
+  return response;
+}
+
 Response PlacementService::stats_response() {
   Response response;
   response.ok = true;
@@ -293,6 +426,9 @@ Response PlacementService::stats_response() {
   response.extra.emplace_back("recovered", stats_.recovered ? "true" : "false");
   response.extra.emplace_back("wal_torn_tail", stats_.wal_torn_tail ? "true" : "false");
   response.extra.emplace_back("draining", draining() ? "true" : "false");
+  response.extra.emplace_back(
+      "mode", json_quote(degraded_.load(std::memory_order_relaxed) ? "degraded" : "ok"));
+  add("io_errors", stats_.io_errors);
   return response;
 }
 
@@ -301,10 +437,20 @@ Response PlacementService::drain_response() {
     std::lock_guard<std::mutex> lock(mu_);
     draining_ = true;
   }
-  take_snapshot();
+  const IoStatus status = take_snapshot();
   Response response;
-  response.ok = true;
   response.op = "drain";
+  if (status.ok()) {
+    response.ok = true;
+  } else {
+    // Still draining — but tell the client the final snapshot is not down.
+    // The per-batch WAL flushes already made every acknowledged op durable,
+    // so recovery falls back to snapshot + WAL replay.
+    enter_degraded(status);
+    response.ok = false;
+    response.error = to_string(RejectReason::kDegradedStorage);
+    response.message = status.message();
+  }
   response.extra.emplace_back("op_seq", std::to_string(op_seq_));
   return response;
 }
@@ -312,11 +458,19 @@ Response PlacementService::drain_response() {
 Response PlacementService::execute_locked(const Request& request) {
   switch (request.op) {
     case RequestOp::kStats: return stats_response();
+    case RequestOp::kHealth: return health_response();
+    case RequestOp::kLookup: return lookup(request);
     case RequestOp::kDrain: return drain_response();
     default: break;
   }
   if (draining()) {
     return reject(request, RejectReason::kDraining, "daemon is draining");
+  }
+  // Read-only degraded mode: no mutation may happen while its WAL record
+  // could not be made durable. Rejecting BEFORE the engine runs keeps the
+  // in-memory ledger aligned with what clients were told.
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return degraded_reject(request);
   }
   switch (request.op) {
     case RequestOp::kPlace: return place(request);
@@ -328,10 +482,15 @@ Response PlacementService::execute_locked(const Request& request) {
 }
 
 Response PlacementService::execute(const Request& request) {
+  maybe_probe_storage();
   Response response = execute_locked(request);
   if (wal_ != nullptr && wal_dirty_) {
-    wal_->flush();
+    const IoStatus status = wal_->flush();
     wal_dirty_ = false;
+    if (!status.ok()) {
+      enter_degraded(status);
+      demote_unlogged(response);
+    }
   }
   return response;
 }
@@ -375,7 +534,16 @@ void PlacementService::worker_loop() {
   while (true) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (!degraded_.load(std::memory_order_relaxed)) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      } else {
+        // While degraded the worker must wake up without traffic to probe
+        // storage — sleep only until the next backoff deadline.
+        const std::uint64_t now = io_->now_ms();
+        const std::uint64_t wait_ms = next_probe_at_ms_ > now ? next_probe_at_ms_ - now : 1;
+        cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                     [this] { return stop_ || !queue_.empty(); });
+      }
       if (stop_) break;
       const std::size_t take = std::min(config_.batch_size, queue_.size());
       for (std::size_t i = 0; i < take; ++i) {
@@ -384,15 +552,29 @@ void PlacementService::worker_loop() {
       }
     }
 
+    maybe_probe_storage();
+
+    if (batch.empty()) {  // degraded-mode probe wakeup with no traffic
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) drained_cv_.notify_all();
+      continue;
+    }
+
     responses.clear();
     for (const Pending& pending : batch) {
       responses.push_back(execute_locked(pending.request));
     }
     // Durability barrier: every decision of this batch hits the log in one
-    // write (+ optional fsync) BEFORE any acknowledgement leaves.
+    // write (+ optional fsync) BEFORE any acknowledgement leaves. If the
+    // flush fails, nothing of this batch was acknowledged yet — demote the
+    // would-be acks to degraded_storage rejections and suspend writes.
     if (wal_ != nullptr && wal_dirty_) {
-      wal_->flush();
+      const IoStatus status = wal_->flush();
       wal_dirty_ = false;
+      if (!status.ok()) {
+        enter_degraded(status);
+        for (Response& response : responses) demote_unlogged(response);
+      }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(responses[i]));
@@ -401,9 +583,10 @@ void PlacementService::worker_loop() {
     stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
     batch.clear();
 
-    if (config_.snapshot_every_ops > 0 &&
+    if (config_.snapshot_every_ops > 0 && !degraded_.load(std::memory_order_relaxed) &&
         op_seq_ - snapshot_op_seq_ >= config_.snapshot_every_ops) {
-      take_snapshot();
+      const IoStatus status = take_snapshot();
+      if (!status.ok()) enter_degraded(status);
     }
 
     {
@@ -440,7 +623,11 @@ void PlacementService::drain() {
     std::lock_guard<std::mutex> lock(mu_);
     worker_running_ = false;
   }
-  take_snapshot();
+  // Best effort: if the final snapshot fails, the per-batch WAL flushes
+  // already cover every acknowledged op, so the next boot replays instead
+  // of starting from the snapshot alone.
+  const IoStatus status = take_snapshot();
+  if (!status.ok()) enter_degraded(status);
 }
 
 void PlacementService::stop_now() {
@@ -462,6 +649,7 @@ ServiceStats PlacementService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats copy = stats_;
   copy.op_seq = op_seq_;
+  copy.degraded = degraded_.load(std::memory_order_relaxed);
   return copy;
 }
 
@@ -469,5 +657,7 @@ bool PlacementService::draining() const {
   std::lock_guard<std::mutex> lock(mu_);
   return draining_;
 }
+
+bool PlacementService::degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
 }  // namespace prvm

@@ -23,8 +23,20 @@
 //
 // Graceful drain (SIGTERM): stop admitting, flush the queue, write a final
 // snapshot and truncate the WAL, so the next start recovers instantly.
+//
+// Failure model (DESIGN.md §4d): storage faults degrade, they do not kill.
+// All durability IO goes through an IoEnv (injectable for tests/chaos).
+// When a WAL flush, snapshot or WAL truncate fails persistently, the
+// service enters a read-only degraded mode: mutating requests are rejected
+// with `degraded_storage` + retry_after_ms while lookups/stats/health keep
+// serving; the worker probes storage with exponential backoff and, once a
+// probe succeeds, writes a fresh snapshot covering the in-memory state,
+// truncates/reopens the WAL and resumes writes. Requests whose batch's WAL
+// flush failed are answered `degraded_storage` instead of being
+// acknowledged — acknowledged always implies durable.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -64,6 +76,16 @@ struct ServiceConfig {
   bool fsync_wal = false;
   /// Retry hint attached to queue_full rejections.
   double retry_after_ms = 5.0;
+  /// Retry hint attached to degraded_storage rejections (longer: storage
+  /// recovery is paced by the probe backoff, not the queue).
+  double degraded_retry_after_ms = 50.0;
+  /// Storage-probe backoff while degraded: starts at `probe_initial_ms`,
+  /// doubles per failed probe up to `probe_max_ms`.
+  std::uint64_t probe_initial_ms = 100;
+  std::uint64_t probe_max_ms = 5000;
+  /// IO environment for WAL/snapshot/probe IO. Null = the real syscalls;
+  /// tests and the chaos harness install a FaultInjectingIoEnv.
+  std::shared_ptr<IoEnv> io_env;
   PageRankVmOptions engine;
 };
 
@@ -80,6 +102,11 @@ struct ServiceStats {
   std::uint64_t op_seq = 0;           ///< last assigned operation sequence
   bool recovered = false;             ///< state restored from disk at startup
   bool wal_torn_tail = false;         ///< recovery skipped a torn WAL tail
+  bool degraded = false;              ///< storage failing; writes suspended
+  std::uint64_t degraded_entries = 0; ///< ok -> degraded transitions
+  std::uint64_t storage_probes = 0;   ///< recovery probes attempted while degraded
+  std::uint64_t io_errors = 0;        ///< WAL/snapshot/probe IO failures observed
+  std::string last_io_error;          ///< most recent IO failure (errno-rich)
 };
 
 class PlacementService {
@@ -125,6 +152,8 @@ class PlacementService {
   const Catalog& catalog() const { return dc_.catalog(); }
   ServiceStats stats() const;
   bool draining() const;
+  /// True while storage is failing and mutating requests are rejected.
+  bool degraded() const;
 
  private:
   struct Pending {
@@ -137,15 +166,30 @@ class PlacementService {
   Response place(const Request& request);
   Response release(const Request& request);
   Response migrate(const Request& request);
+  Response lookup(const Request& request);
   Response stats_response();
+  Response health_response();
   Response drain_response();
   std::optional<std::size_t> resolve_vm_type(const Request& request) const;
   bool feasible_anywhere(std::size_t vm_type, const PlacementConstraints& constraints) const;
   void apply_wal_record(const WalRecord& record);
   void log_record(WalRecord record);
-  void take_snapshot();
+  IoStatus take_snapshot();
   void recover(const std::vector<std::size_t>& fleet);
   static Response reject(const Request& request, RejectReason reason, std::string message);
+
+  // --- degraded-mode state machine (worker thread only) ---
+  /// Records the failure, suspends writes and schedules the first probe.
+  void enter_degraded(const IoStatus& status);
+  /// Rewrites an acknowledged mutating response whose WAL flush failed into
+  /// a degraded_storage rejection (ack implies durable; this one is not).
+  void demote_unlogged(Response& response);
+  /// When degraded and the backoff deadline passed: probe storage and, on
+  /// success, snapshot + truncate the WAL and resume writes.
+  void maybe_probe_storage();
+  /// Writes and fsyncs a scratch file in the data dir (the storage probe).
+  IoStatus probe_storage();
+  Response degraded_reject(const Request& request) const;
 
   ServiceConfig config_;
   Catalog catalog_;
@@ -154,10 +198,17 @@ class PlacementService {
   AdmissionController admission_;
   std::unordered_map<std::string, std::size_t> vm_type_by_name_;
 
+  IoEnv* io_ = nullptr;  ///< config_.io_env or the real env
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t snapshot_op_seq_ = 0;  ///< op_seq covered by the last snapshot
   std::uint64_t op_seq_ = 0;
   bool wal_dirty_ = false;  ///< appended since last flush
+
+  // Degraded-mode bookkeeping (worker-owned like stats_; the atomic mirror
+  // lets submit() and external readers observe the mode without the lock).
+  std::atomic<bool> degraded_{false};
+  std::uint64_t probe_backoff_ms_ = 0;
+  std::uint64_t next_probe_at_ms_ = 0;
 
   ServiceStats stats_;
 

@@ -1,5 +1,7 @@
 #include "service/snapshot.hpp"
 
+#include <fcntl.h>
+
 #include <fstream>
 #include <sstream>
 
@@ -13,22 +15,48 @@ constexpr char kHeaderMagic[] = "PRVMSNAP1";
 
 }  // namespace
 
-void save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
-                   const AdmissionController& admission, std::uint64_t last_op_seq) {
+IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
+                       const AdmissionController& admission, std::uint64_t last_op_seq,
+                       IoEnv* env) {
+  IoEnv& io = env != nullptr ? *env : IoEnv::real();
   if (path.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
   }
+
+  // Serialize fully in memory first: a mid-serialization failure must not
+  // be able to leave a half-written temp file that a later rename promotes.
+  std::ostringstream blob;
+  blob << kHeaderMagic << " " << last_op_seq << "\n";
+  admission.serialize(blob);
+  datacenter.serialize(blob);
+  const std::string contents = blob.str();
+
   const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    PRVM_REQUIRE(os.is_open(), "cannot write snapshot " + tmp.string());
-    os << kHeaderMagic << " " << last_op_seq << "\n";
-    admission.serialize(os);
-    datacenter.serialize(os);
-    PRVM_REQUIRE(os.good(), "snapshot write failed");
+  const int fd = io.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoStatus::failure(-fd, "open(" + tmp.string() + ")");
+
+  IoStatus status =
+      io_write_all(io, fd, contents.data(), contents.size(), "write(" + tmp.string() + ")");
+  if (status.ok()) status = io_fsync(io, fd, "fsync(" + tmp.string() + ")");
+  const IoStatus close_status = io_close(io, fd, "close(" + tmp.string() + ")");
+  if (status.ok()) status = close_status;
+  if (!status.ok()) return status;
+
+  const int rc = io.rename(tmp.c_str(), path.c_str());
+  if (rc != 0) {
+    return IoStatus::failure(-rc, "rename(" + tmp.string() + " -> " + path.string() + ")");
   }
-  std::filesystem::rename(tmp, path);
+
+  // fsync the parent directory: the rename itself is metadata, and until
+  // the directory hits the platter a power loss can make the *renamed*
+  // snapshot vanish — fatal once the WAL it covers has been truncated.
+  const std::filesystem::path parent = path.has_parent_path() ? path.parent_path() : ".";
+  const int dirfd = io.open(parent.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  if (dirfd < 0) return IoStatus::failure(-dirfd, "open(" + parent.string() + ")");
+  status = io_fsync(io, dirfd, "fsync(" + parent.string() + ")");
+  const IoStatus dir_close = io_close(io, dirfd, "close(" + parent.string() + ")");
+  return status.ok() ? dir_close : status;
 }
 
 std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,

@@ -15,6 +15,7 @@
 
 #include "cluster/datacenter.hpp"
 #include "service/admission.hpp"
+#include "service/io_env.hpp"
 
 namespace prvm {
 
@@ -24,9 +25,15 @@ struct ServiceSnapshot {
   std::optional<Datacenter> datacenter;  ///< engaged after load
 };
 
-/// Atomically writes a snapshot (temp file + rename).
-void save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
-                   const AdmissionController& admission, std::uint64_t last_op_seq);
+/// Atomically writes a snapshot: temp file, fsync, rename, then fsync of
+/// the parent directory — a snapshot that gates WAL truncation must not be
+/// able to vanish on power loss after the rename. Returns an errno-rich
+/// status instead of throwing, so the caller (the degraded-mode state
+/// machine) can keep the service alive on snapshot failure. A failure
+/// leaves the previous snapshot intact.
+IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
+                       const AdmissionController& admission, std::uint64_t last_op_seq,
+                       IoEnv* env = nullptr);
 
 /// Loads a snapshot; nullopt when `path` does not exist. Throws on a
 /// corrupt file or a catalog mismatch.

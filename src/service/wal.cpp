@@ -1,13 +1,11 @@
 #include "service/wal.hpp"
 
 #include <fcntl.h>
-#include <unistd.h>
 
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
-
-#include "common/check.hpp"
 
 namespace prvm {
 
@@ -119,20 +117,26 @@ bool decode_wal_record(const std::string& payload, WalRecord& record) {
 
 }  // namespace
 
-WalWriter::WalWriter(std::filesystem::path path, bool fsync_on_flush)
-    : path_(std::move(path)), fsync_on_flush_(fsync_on_flush) {
+WalWriter::WalWriter(std::filesystem::path path, bool fsync_on_flush, IoEnv* env)
+    : path_(std::move(path)),
+      env_(env != nullptr ? env : &IoEnv::real()),
+      fsync_on_flush_(fsync_on_flush) {
   if (path_.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(path_.parent_path(), ec);
   }
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  PRVM_REQUIRE(fd_ >= 0, "cannot open WAL file " + path_.string());
+  const int fd = env_->open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    open_status_ = IoStatus::failure(-fd, "open(" + path_.string() + ")");
+    return;
+  }
+  fd_ = fd;
 }
 
 WalWriter::~WalWriter() {
   if (fd_ >= 0) {
-    flush();
-    ::close(fd_);
+    flush();  // best effort; a failure here only loses unacknowledged bytes
+    env_->close(fd_);
   }
 }
 
@@ -144,21 +148,53 @@ void WalWriter::append(const WalRecord& record) {
   ++appended_;
 }
 
-void WalWriter::flush() {
-  std::size_t written = 0;
-  while (written < buffer_.size()) {
-    const ::ssize_t n = ::write(fd_, buffer_.data() + written, buffer_.size() - written);
-    PRVM_REQUIRE(n >= 0, "WAL write failed");
-    written += static_cast<std::size_t>(n);
+IoStatus WalWriter::flush() {
+  if (fd_ < 0) {
+    return open_status_.ok() ? IoStatus::failure(EBADF, "WAL " + path_.string() + " is closed")
+                             : open_status_;
   }
-  buffer_.clear();
-  if (fsync_on_flush_) ::fsync(fd_);
+  if (buffer_.empty()) return IoStatus::success();
+  std::size_t written = 0;
+  const IoStatus status =
+      io_write_all(*env_, fd_, buffer_.data(), buffer_.size(), "write(" + path_.string() + ")",
+                   &written);
+  // Keep exactly the unwritten suffix: a retry after a transient error
+  // (ENOSPC cleared, EINTR storm over) resumes mid-frame and leaves a
+  // perfectly framed log; a crash instead leaves a torn frame the reader
+  // discards, which only ever holds unacknowledged records.
+  buffer_.erase(0, written);
+  if (!status.ok()) return status;
+  if (fsync_on_flush_) return io_fsync(*env_, fd_, "fsync(" + path_.string() + ")");
+  return IoStatus::success();
 }
 
-void WalWriter::reset() {
+IoStatus WalWriter::reset() {
   buffer_.clear();
-  PRVM_REQUIRE(::ftruncate(fd_, 0) == 0, "WAL truncate failed");
-  if (fsync_on_flush_) ::fsync(fd_);
+  if (fd_ < 0) {
+    return open_status_.ok() ? IoStatus::failure(EBADF, "WAL " + path_.string() + " is closed")
+                             : open_status_;
+  }
+  const int rc = env_->ftruncate(fd_, 0);
+  if (rc != 0) return IoStatus::failure(-rc, "ftruncate(" + path_.string() + ")");
+  if (fsync_on_flush_) return io_fsync(*env_, fd_, "fsync(" + path_.string() + ")");
+  return IoStatus::success();
+}
+
+IoStatus WalWriter::reopen_truncate() {
+  buffer_.clear();
+  if (fd_ >= 0) {
+    env_->close(fd_);  // the old descriptor may be wedged; nothing to save
+    fd_ = -1;
+  }
+  const int fd = env_->open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd < 0) {
+    open_status_ = IoStatus::failure(-fd, "open(" + path_.string() + ")");
+    return open_status_;
+  }
+  fd_ = fd;
+  open_status_ = IoStatus::success();
+  if (fsync_on_flush_) return io_fsync(*env_, fd_, "fsync(" + path_.string() + ")");
+  return IoStatus::success();
 }
 
 std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_tail) {

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "service/io_env.hpp"
+
 namespace prvm {
 
 struct WalRecord {
@@ -48,10 +50,20 @@ std::uint32_t crc32(const void* data, std::size_t size);
 /// Append-only writer. Records are buffered in memory; flush() makes the
 /// batch crash-durable (single write + optional fsync per batch — this is
 /// where request batching amortizes durability cost).
+///
+/// Fault tolerance: all IO goes through an IoEnv and reports errno-rich
+/// IoStatus instead of aborting. flush() retries EINTR and continues short
+/// writes; on failure it drops exactly the bytes that made it out, so a
+/// later flush() resumes mid-frame and completes the log cleanly (a crash
+/// in between leaves a torn frame the reader discards). After a failure
+/// the caller may instead snapshot its state and call reopen_truncate() —
+/// the degraded-mode recovery path.
 class WalWriter {
  public:
-  /// Opens (creating or appending) the log at `path`.
-  WalWriter(std::filesystem::path path, bool fsync_on_flush = false);
+  /// Opens (creating or appending) the log at `path`. An open failure does
+  /// NOT throw — it is recorded and reported by healthy()/open_status(),
+  /// so a daemon with a broken disk can boot into degraded mode.
+  WalWriter(std::filesystem::path path, bool fsync_on_flush = false, IoEnv* env = nullptr);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -60,23 +72,37 @@ class WalWriter {
   void append(const WalRecord& record);
 
   /// Writes buffered records to the file and (optionally) fsyncs. Must be
-  /// called before acknowledging the batched requests.
-  void flush();
+  /// called before acknowledging the batched requests. On failure the
+  /// unwritten suffix stays buffered; retrying later continues exactly
+  /// where the disk stopped accepting bytes.
+  IoStatus flush();
 
   /// Truncates the log after a snapshot made its contents redundant.
   /// Buffered-but-unflushed records are discarded too (the caller snapshots
   /// only between batches, when none exist).
-  void reset();
+  IoStatus reset();
+
+  /// Degraded-mode recovery: discards any buffered bytes (the state they
+  /// logged must already be covered by a fresh snapshot), closes the
+  /// possibly-wedged descriptor and reopens the file truncated.
+  IoStatus reopen_truncate();
+
+  /// False when the file could not be opened (construction or a failed
+  /// reopen); flush()/reset() then fail with open_status().
+  bool healthy() const { return fd_ >= 0; }
+  const IoStatus& open_status() const { return open_status_; }
 
   std::uint64_t appended_records() const { return appended_; }
   const std::filesystem::path& path() const { return path_; }
 
  private:
   std::filesystem::path path_;
+  IoEnv* env_;
   int fd_ = -1;
   bool fsync_on_flush_ = false;
   std::string buffer_;
   std::uint64_t appended_ = 0;
+  IoStatus open_status_;
 };
 
 /// Reads every intact record, stopping silently at a torn/corrupt tail.

@@ -46,6 +46,20 @@ TEST(ServiceProtocol, ParsesReleaseMigrateStatsDrain) {
   EXPECT_EQ(request_of(parse_request(R"({"op":"drain"})"))->op, RequestOp::kDrain);
 }
 
+TEST(ServiceProtocol, ParsesLookupAndHealth) {
+  const auto result = parse_request(R"({"op":"lookup","vm":9})");
+  const Request* lookup = request_of(result);
+  ASSERT_NE(lookup, nullptr);
+  EXPECT_EQ(lookup->op, RequestOp::kLookup);
+  EXPECT_EQ(lookup->vm_id, 9u);
+  EXPECT_EQ(request_of(parse_request(R"({"op":"health"})"))->op, RequestOp::kHealth);
+
+  // lookup is per-VM: a missing id is a structured error, not a crash.
+  const auto missing = parse_request(R"({"op":"lookup"})");
+  ASSERT_NE(error_of(missing), nullptr);
+  EXPECT_EQ(error_of(missing)->code, "missing_field");
+}
+
 TEST(ServiceProtocol, MalformedJsonIsStructuredError) {
   for (const char* line : {
            "",                         // empty frame

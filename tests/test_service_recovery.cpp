@@ -5,10 +5,13 @@
 // membership, free-list, anti-collocation groups and all).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include <unistd.h>
@@ -16,6 +19,7 @@
 #include "cluster/catalog.hpp"
 #include "common/rng.hpp"
 #include "core/catalog_graphs.hpp"
+#include "service/io_env.hpp"
 #include "service/service.hpp"
 #include "service/snapshot.hpp"
 #include "service/wal.hpp"
@@ -294,6 +298,74 @@ TEST_F(ServiceRecoveryTest, DrainTruncatesWalAndRecoversFromSnapshotAlone) {
   EXPECT_EQ(stats.replayed_records, 0u) << "drain leaves nothing to replay";
   EXPECT_EQ(datacenter_state_digest(recovered->datacenter()), digest);
   EXPECT_TRUE(datacenter_state_equal(service->datacenter(), recovered->datacenter()));
+}
+
+TEST_F(ServiceRecoveryTest, AckedOpsSurviveCrashUnderStorageFaults) {
+  // Differential oracle under fault injection: churn through a service whose
+  // storage intermittently fails (degrade -> probe -> recover cycles), hard
+  // stop it, and rebuild from disk with a clean environment. Every
+  // acknowledged mutation must be reflected; ops answered degraded_storage
+  // were never acknowledged, so either final state is allowed for them.
+  TempDir dir("faulty-crash");
+  ServiceConfig config;
+  config.data_dir = dir.path();
+  config.snapshot_every_ops = 13;
+  config.probe_initial_ms = 5;
+  config.probe_max_ms = 40;
+  config.io_env = std::make_shared<FaultInjectingIoEnv>(FaultSchedule::parse(
+      "write:every=9:errno=EIO:count=4;rename:nth=2:errno=ENOSPC;seed=11"));
+  auto service = std::make_unique<PlacementService>(catalog_, mixed_pm_fleet(catalog_, 8),
+                                                    tables_, config);
+  service->start();
+
+  Rng rng(0xfa17);
+  std::vector<VmId> acked_live;       // place acked, no acked release since
+  std::vector<VmId> acked_released;   // release acked
+  std::unordered_set<VmId> limbo;     // some op on this vm went unacknowledged
+  VmId next_vm = 1;
+  for (int op = 0; op < 200; ++op) {
+    Request request;
+    const bool do_place = acked_live.empty() || rng.chance(0.6);
+    if (do_place) {
+      request.op = RequestOp::kPlace;
+      request.vm_id = next_vm++;
+      request.vm_type_index = rng.uniform_index(catalog_.vm_types().size());
+    } else {
+      const std::size_t pick = rng.uniform_index(acked_live.size());
+      request.op = RequestOp::kRelease;
+      request.vm_id = acked_live[pick];
+      acked_live[pick] = acked_live.back();
+      acked_live.pop_back();
+    }
+    const Response response = service->submit(request).get();
+    if (response.ok) {
+      if (do_place) acked_live.push_back(request.vm_id);
+      else acked_released.push_back(request.vm_id);
+    } else if (response.error == "degraded_storage") {
+      limbo.insert(request.vm_id);
+      // Pace the traffic so the probe loop gets a chance to recover.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    } else if (!do_place) {
+      acked_live.push_back(request.vm_id);  // release refused; still placed
+    }
+  }
+  service->stop_now();  // crash: no drain, no final snapshot
+
+  config.io_env = nullptr;  // the disk is healthy again at next boot
+  auto recovered = std::make_unique<PlacementService>(catalog_, mixed_pm_fleet(catalog_, 8),
+                                                      tables_, config);
+  EXPECT_TRUE(recovered->stats().recovered);
+  for (const VmId vm : acked_live) {
+    if (limbo.contains(vm)) continue;
+    EXPECT_TRUE(recovered->datacenter().pm_of(vm).has_value())
+        << "acked placement of vm " << vm << " lost";
+  }
+  for (const VmId vm : acked_released) {
+    if (limbo.contains(vm)) continue;
+    EXPECT_FALSE(recovered->datacenter().pm_of(vm).has_value())
+        << "acked release of vm " << vm << " lost";
+  }
+  recovered->datacenter().check_index_invariants();
 }
 
 TEST_F(ServiceRecoveryTest, TornWalTailIsSurvived) {

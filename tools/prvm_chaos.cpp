@@ -1,0 +1,558 @@
+// prvm_chaos — randomized storage-fault and crash harness for prvm_serve.
+//
+// Drives a live daemon through seeded rounds of place/release traffic while
+// injecting storage faults (--fault-schedule), killing it mid-flight
+// (SIGKILL) or draining it (SIGTERM), restarting it against the same data
+// dir, and differentially verifying at the end — against a fault-free
+// boot — that every acknowledged mutation survived. Fully reproducible:
+// one --seed fixes the fault schedules, the workload and the kill timing.
+//
+//   prvm_chaos --serve build/tools/prvm_serve --seed 42 --rounds 3 --ops 250
+//
+// Correctness model (DESIGN.md §4d): an acknowledged mutation must be
+// durable across kill -9. A request answered queue_full/degraded_storage is
+// retried until the outcome is definitive — a *retried* place answered
+// duplicate_vm was applied by an earlier attempt, a retried release
+// answered unknown_vm likewise. Requests whose connection died mid-flight
+// or that exhausted retries while degraded are "limbo": the daemon may or
+// may not have applied them, so verification accepts either state for them.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/rng.hpp"
+#include "service/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace prvm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string serve_binary;
+  std::uint64_t seed = 42;
+  std::size_t rounds = 3;
+  std::size_t ops_per_round = 250;
+  std::size_t fleet = 400;
+  std::string data_dir;  ///< defaults to a fresh directory under /tmp
+};
+
+// ---------------------------------------------------------------------------
+// Synchronous JSON-lines client. Connection loss throws; the caller decides
+// whether that was an expected kill or a daemon crash.
+
+class Client {
+ public:
+  ~Client() { disconnect(); }
+
+  bool connect_to(const std::string& path) {
+    disconnect();
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      disconnect();
+      return false;
+    }
+    return true;
+  }
+
+  void disconnect() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    frames_ = LineBuffer();
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  JsonValue request(const std::string& line) {
+    std::size_t written = 0;
+    while (written < line.size()) {
+      const ::ssize_t n = ::send(fd_, line.data() + written, line.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) throw std::runtime_error("connection lost while sending");
+      written += static_cast<std::size_t>(n);
+    }
+    while (true) {
+      if (const auto frame = frames_.next()) {
+        if (frame->oversized) continue;
+        std::string error;
+        auto doc = parse_json(frame->line, &error);
+        if (!doc.has_value()) throw std::runtime_error("bad response: " + error);
+        return std::move(*doc);
+      }
+      char buf[16 * 1024];
+      const ::ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) throw std::runtime_error("connection closed by daemon");
+      frames_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  LineBuffer frames_;
+};
+
+double field_number(const JsonValue& doc, const char* key) {
+  const JsonValue* value = doc.find(key);
+  return value != nullptr && value->kind == JsonValue::Kind::kNumber ? value->number : 0.0;
+}
+
+std::string field_string(const JsonValue& doc, const char* key) {
+  const JsonValue* value = doc.find(key);
+  return value != nullptr && value->kind == JsonValue::Kind::kString ? value->string : "";
+}
+
+bool field_ok(const JsonValue& doc) {
+  const JsonValue* ok = doc.find("ok");
+  return ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon process control.
+
+pid_t spawn(const std::vector<std::string>& args, const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      ::close(fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Non-blocking-poll wait with a deadline; nullopt = still running.
+std::optional<int> wait_exit(pid_t pid, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (r < 0) return std::nullopt;  // already reaped / no such child
+    if (Clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+bool still_running(pid_t pid) {
+  int status = 0;
+  return ::waitpid(pid, &status, WNOHANG) == 0;
+}
+
+/// Waits until the daemon accepts connections (score-table build on a cold
+/// cache can take a while on first boot) or the process exits early.
+bool wait_ready(Client& client, const std::string& socket_path, pid_t pid, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    if (client.connect_to(socket_path)) return true;
+    if (!still_running(pid)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-schedule themes. All error rules are count-limited so every round's
+// fault eventually clears and the daemon can recover while traffic retries.
+
+std::string schedule_for_round(std::size_t round, Rng& rng) {
+  const std::uint64_t seed = rng.uniform_int(1, 1 << 30);
+  const std::string tail = ";seed=" + std::to_string(seed);
+  switch (round % 6) {
+    case 0:
+      return "";  // baseline: crash/drain behaviour without storage faults
+    case 1:  // disk fills up mid-run, then frees
+      return "write:after=" + std::to_string(rng.uniform_int(5, 40)) +
+             ":errno=ENOSPC:count=" + std::to_string(rng.uniform_int(4, 10)) + tail;
+    case 2:  // flaky fsync
+      return "fsync:every=" + std::to_string(rng.uniform_int(2, 5)) +
+             ":errno=EIO:count=" + std::to_string(rng.uniform_int(3, 8)) + tail;
+    case 3:  // torn/short writes plus an EINTR storm
+      return "write:every=3:short=0.5:count=25;write:every=2:errno=EINTR:count=40" + tail;
+    case 4:  // snapshot rename fails a few times
+      return "rename:nth=1:errno=EACCES:count=" + std::to_string(rng.uniform_int(1, 3)) + tail;
+    default:  // slow storage: fsync latency, no errors
+      return "fsync:every=2:delay_ms=" + std::to_string(rng.uniform_int(5, 20)) +
+             ":count=30" + tail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Harness state: what the daemon acknowledged, and what is in limbo.
+
+struct Ledger {
+  std::unordered_set<std::uint64_t> present;   ///< acked placed, not released
+  std::unordered_set<std::uint64_t> released;  ///< acked released
+  std::unordered_set<std::uint64_t> limbo;     ///< outcome unknown (either state ok)
+  std::size_t retries = 0;
+  std::size_t rejected = 0;
+
+  void mark_limbo(std::uint64_t vm) {
+    present.erase(vm);
+    released.erase(vm);
+    limbo.insert(vm);
+  }
+};
+
+enum class OpResult { kApplied, kRejected, kLimbo };
+
+/// One mutating request, retried until definitive. Throws on connection
+/// loss (the caller marks the vm limbo).
+OpResult run_op(Client& client, const std::string& line, bool is_place, Rng& rng,
+                Ledger& ledger) {
+  for (std::uint32_t attempt = 0; attempt < 15; ++attempt) {
+    const JsonValue doc = client.request(line);
+    if (field_ok(doc)) return OpResult::kApplied;
+    const std::string reason = field_string(doc, "error");
+    if (attempt > 0 && ((is_place && reason == "duplicate_vm") ||
+                        (!is_place && reason == "unknown_vm"))) {
+      return OpResult::kApplied;  // an earlier attempt was actually applied
+    }
+    if (reason == "queue_full" || reason == "degraded_storage") {
+      ++ledger.retries;
+      double delay = std::max(field_number(doc, "retry_after_ms"), 1.0) *
+                     static_cast<double>(1u << std::min(attempt, 6u));
+      delay = std::min(delay, 500.0) * rng.uniform(0.75, 1.25);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+      continue;
+    }
+    return OpResult::kRejected;
+  }
+  return OpResult::kLimbo;  // still degraded after all retries: unknowable
+}
+
+std::string place_line(std::uint64_t vm, std::size_t type) {
+  return "{\"op\":\"place\",\"vm\":" + std::to_string(vm) + ",\"type\":" + std::to_string(type) +
+         "}\n";
+}
+
+std::string release_line(std::uint64_t vm) {
+  return "{\"op\":\"release\",\"vm\":" + std::to_string(vm) + "}\n";
+}
+
+std::string lookup_line(std::uint64_t vm) {
+  return "{\"op\":\"lookup\",\"vm\":" + std::to_string(vm) + "}\n";
+}
+
+/// Differential check against a (fault-free) daemon: every acked placement
+/// resolves, every acked release does not, limbo VMs may be either.
+std::size_t verify_ledger(Client& client, const Ledger& ledger) {
+  std::size_t mismatches = 0;
+  for (const std::uint64_t vm : ledger.present) {
+    const JsonValue doc = client.request(lookup_line(vm));
+    if (!field_ok(doc)) {
+      std::cerr << "prvm_chaos: VERIFY FAIL: acked placement of vm " << vm
+                << " missing after recovery\n";
+      ++mismatches;
+    }
+  }
+  for (const std::uint64_t vm : ledger.released) {
+    const JsonValue doc = client.request(lookup_line(vm));
+    if (field_ok(doc)) {
+      std::cerr << "prvm_chaos: VERIFY FAIL: acked release of vm " << vm
+                << " resurfaced after recovery\n";
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+void dump_log_tail(const std::string& log_path) {
+  std::cerr << "--- daemon log tail (" << log_path << ") ---\n";
+  // Best effort: print the last ~2KB.
+  const int fd = ::open(log_path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  const off_t start = size > 2048 ? size - 2048 : 0;
+  ::lseek(fd, start, SEEK_SET);
+  char buf[2049];
+  const ::ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::cerr << buf << "\n";
+  }
+}
+
+int run(const Options& options) {
+  namespace fs = std::filesystem;
+  Rng rng(options.seed);
+
+  fs::path dir = options.data_dir.empty()
+                     ? fs::temp_directory_path() / ("prvm-chaos-" + std::to_string(options.seed) +
+                                                    "-" + std::to_string(::getpid()))
+                     : fs::path(options.data_dir);
+  fs::create_directories(dir);
+  const std::string socket_path = (dir / "chaos.sock").string();
+  const std::string log_path = (dir / "daemon.log").string();
+
+  const Catalog catalog = ec2_sim_catalog();
+  const std::vector<double> mix = default_vm_mix(catalog);
+
+  Ledger ledger;
+  std::uint64_t next_vm = 1;
+  bool saw_degraded = false;
+  bool saw_recovery = false;
+  std::size_t crashes_injected = 0;
+
+  const auto daemon_args = [&](const std::string& schedule) {
+    std::vector<std::string> args = {
+        options.serve_binary, "--socket", socket_path, "--data-dir", dir.string(),
+        "--fleet", std::to_string(options.fleet), "--fsync", "--snapshot-every", "200",
+        "--batch", "16", "--probe-initial-ms", "50", "--probe-max-ms", "400"};
+    if (!schedule.empty()) {
+      args.push_back("--fault-schedule");
+      args.push_back(schedule);
+    }
+    return args;
+  };
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    const std::string schedule = schedule_for_round(round, rng);
+    const bool hard_kill = (round % 2) == 1;
+    std::cout << "prvm_chaos: round " << (round + 1) << "/" << options.rounds
+              << (hard_kill ? " [SIGKILL]" : " [SIGTERM]")
+              << (schedule.empty() ? "" : " faults=" + schedule) << "\n";
+
+    const pid_t pid = spawn(daemon_args(schedule), log_path);
+    Client client;
+    if (!wait_ready(client, socket_path, pid, 300'000)) {
+      std::cerr << "prvm_chaos: daemon did not come up (round " << round + 1 << ")\n";
+      dump_log_tail(log_path);
+      ::kill(pid, SIGKILL);
+      wait_exit(pid, 5'000);
+      return 1;
+    }
+
+    // Spot-check recovery of earlier rounds' state before adding load.
+    {
+      std::size_t sampled = 0;
+      for (const std::uint64_t vm : ledger.present) {
+        if (++sampled > 50) break;
+        if (!field_ok(client.request(lookup_line(vm)))) {
+          std::cerr << "prvm_chaos: VERIFY FAIL: vm " << vm << " lost across restart (round "
+                    << round + 1 << ")\n";
+          dump_log_tail(log_path);
+          ::kill(pid, SIGKILL);
+          wait_exit(pid, 5'000);
+          return 1;
+        }
+      }
+    }
+
+    // Mid-round killer: fires while requests are in flight.
+    std::atomic<bool> kill_sent{false};
+    std::thread killer;
+    if (hard_kill) {
+      const int delay_ms = rng.uniform_int(50, 400);
+      killer = std::thread([pid, delay_ms, &kill_sent] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        kill_sent.store(true);
+        ::kill(pid, SIGKILL);
+      });
+      ++crashes_injected;
+    }
+
+    // Traffic. Any connection loss here is only acceptable if WE killed it.
+    bool connection_lost = false;
+    std::vector<std::uint64_t> live(ledger.present.begin(), ledger.present.end());
+    for (std::size_t op = 0; op < options.ops_per_round; ++op) {
+      const bool do_place = live.empty() || rng.chance(0.6);
+      const std::uint64_t vm = do_place ? next_vm++ : [&] {
+        const std::size_t pick = rng.uniform_index(live.size());
+        const std::uint64_t victim = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        return victim;
+      }();
+      const std::string line =
+          do_place ? place_line(vm, rng.weighted_index(mix)) : release_line(vm);
+      try {
+        switch (run_op(client, line, do_place, rng, ledger)) {
+          case OpResult::kApplied:
+            if (do_place) {
+              ledger.present.insert(vm);
+              live.push_back(vm);
+            } else {
+              ledger.present.erase(vm);
+              ledger.released.insert(vm);
+            }
+            break;
+          case OpResult::kRejected:
+            ++ledger.rejected;
+            if (!do_place) live.push_back(vm);  // release refused; still placed
+            break;
+          case OpResult::kLimbo:
+            ledger.mark_limbo(vm);
+            break;
+        }
+        if (op % 25 == 24) {
+          const JsonValue health = client.request("{\"op\":\"health\"}\n");
+          const std::string mode = field_string(health, "mode");
+          if (mode == "degraded") saw_degraded = true;
+          else if (saw_degraded && mode == "ok") saw_recovery = true;
+        }
+      } catch (const std::exception&) {
+        ledger.mark_limbo(vm);
+        connection_lost = true;
+        break;
+      }
+    }
+    client.disconnect();
+
+    if (hard_kill) {
+      killer.join();
+      const auto status = wait_exit(pid, 30'000);
+      if (!status.has_value()) {
+        std::cerr << "prvm_chaos: daemon survived SIGKILL?!\n";
+        return 1;
+      }
+    } else {
+      if (connection_lost && !kill_sent.load()) {
+        std::cerr << "prvm_chaos: daemon dropped the connection un-killed (round "
+                  << round + 1 << ")\n";
+        dump_log_tail(log_path);
+        wait_exit(pid, 5'000);
+        return 1;
+      }
+      ::kill(pid, SIGTERM);
+      auto status = wait_exit(pid, 120'000);
+      if (!status.has_value()) {
+        std::cerr << "prvm_chaos: drain timed out; killing\n";
+        ::kill(pid, SIGKILL);
+        wait_exit(pid, 5'000);
+        ++crashes_injected;
+      } else if (!WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+        // Storage faults must degrade the daemon, never make the drain fail.
+        std::cerr << "prvm_chaos: daemon exited " << *status << " on SIGTERM drain\n";
+        dump_log_tail(log_path);
+        return 1;
+      }
+    }
+  }
+
+  // Final differential verification against a fault-free boot.
+  std::cout << "prvm_chaos: verifying " << ledger.present.size() << " placements, "
+            << ledger.released.size() << " releases (" << ledger.limbo.size()
+            << " limbo ignored)\n";
+  const pid_t pid = spawn(daemon_args(""), log_path);
+  Client client;
+  if (!wait_ready(client, socket_path, pid, 300'000)) {
+    std::cerr << "prvm_chaos: verification daemon did not come up\n";
+    dump_log_tail(log_path);
+    ::kill(pid, SIGKILL);
+    wait_exit(pid, 5'000);
+    return 1;
+  }
+  std::size_t mismatches = 0;
+  try {
+    const JsonValue health = client.request("{\"op\":\"health\"}\n");
+    if (field_string(health, "mode") != "ok") {
+      std::cerr << "prvm_chaos: VERIFY FAIL: fault-free boot reports mode="
+                << field_string(health, "mode") << "\n";
+      ++mismatches;
+    }
+    mismatches += verify_ledger(client, ledger);
+  } catch (const std::exception& e) {
+    std::cerr << "prvm_chaos: verification connection failed: " << e.what() << "\n";
+    ++mismatches;
+  }
+  client.disconnect();
+  ::kill(pid, SIGTERM);
+  const auto status = wait_exit(pid, 120'000);
+  if (!status.has_value() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+    std::cerr << "prvm_chaos: verification daemon failed to drain cleanly\n";
+    if (!status.has_value()) ::kill(pid, SIGKILL);
+    ++mismatches;
+  }
+
+  std::cout << "prvm_chaos: " << (mismatches == 0 ? "PASS" : "FAIL") << " seed="
+            << options.seed << " rounds=" << options.rounds << " placed="
+            << ledger.present.size() << " released=" << ledger.released.size()
+            << " limbo=" << ledger.limbo.size() << " retries=" << ledger.retries
+            << " rejected=" << ledger.rejected << " crashes=" << crashes_injected
+            << " degraded_seen=" << (saw_degraded ? "yes" : "no")
+            << " recovered_seen=" << (saw_recovery ? "yes" : "no") << "\n";
+  if (mismatches == 0 && options.data_dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  } else if (mismatches != 0) {
+    std::cerr << "prvm_chaos: state kept in " << dir << "\n";
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace prvm
+
+int main(int argc, char** argv) {
+  using namespace prvm;
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--serve") {
+      options.serve_binary = value();
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(value());
+    } else if (arg == "--rounds") {
+      options.rounds = std::stoull(value());
+    } else if (arg == "--ops") {
+      options.ops_per_round = std::stoull(value());
+    } else if (arg == "--fleet") {
+      options.fleet = std::stoull(value());
+    } else if (arg == "--data-dir") {
+      options.data_dir = value();
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " --serve PATH [--seed N] [--rounds R] [--ops N] [--fleet N]"
+                << " [--data-dir PATH]\n";
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (options.serve_binary.empty()) {
+    std::cerr << "prvm_chaos: --serve PATH is required\n";
+    return 2;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  try {
+    return run(options);
+  } catch (const std::exception& e) {
+    std::cerr << "prvm_chaos: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -154,6 +154,7 @@ struct WorkerResult {
   std::size_t fill_placed = 0;
   std::size_t fill_rejected = 0;
   std::size_t churn_places = 0;
+  std::size_t retries = 0;  ///< resends after queue_full / degraded_storage
   std::vector<double> churn_latencies_us;  ///< place requests only
 };
 
@@ -163,7 +164,22 @@ struct Inflight {
   bool timed = false;
   std::uint64_t vm = 0;
   std::size_t type = 0;
+  std::uint32_t attempt = 0;  ///< retries already spent on this request
 };
+
+/// Give up retrying a single request after this many attempts; the daemon is
+/// either persistently degraded or persistently overloaded, and the loadgen
+/// should finish rather than spin.
+constexpr std::uint32_t kMaxAttempts = 8;
+
+/// Backoff before attempt `attempt+1`: the server's retry_after_ms hint,
+/// doubled per attempt, capped, with +/-25% jitter so retries from many
+/// connections do not re-arrive as one thundering herd.
+double retry_delay_ms(double hint_ms, std::uint32_t attempt, Rng& rng) {
+  double delay = std::max(hint_ms, 1.0) * static_cast<double>(1u << std::min(attempt, 9u));
+  delay = std::min(delay, 500.0);
+  return delay * rng.uniform(0.75, 1.25);
+}
 
 // One connection's workload: pipelined fill until the coordinator calls the
 // fleet full, then `churn_ops` release+place pairs.
@@ -177,14 +193,75 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
   std::vector<std::uint64_t> live;
   std::deque<Inflight> inflight;
 
-  const auto draw_type = [&] { return rng.weighted_index(mix); };
+  // Requests bounced with a retry hint (queue_full / degraded_storage) wait
+  // here until their backoff deadline, then go back on the wire.
+  struct Resend {
+    Clock::time_point due;
+    Inflight request;
+  };
+  std::deque<Resend> resend;
 
-  const auto settle_one = [&](bool timing) {
-    const Inflight front = inflight.front();
+  const auto draw_type = [&] { return rng.weighted_index(mix); };
+  const auto line_for = [](const Inflight& r) {
+    return r.is_place ? place_line(r.vm, r.type) : release_line(r.vm);
+  };
+
+  // Puts every due resend back on the wire. When `wait` and nothing is in
+  // flight, sleeps until the earliest deadline first (otherwise the worker
+  // would busy-spin or deadlock waiting for a response that was never sent).
+  const auto flush_resends = [&](bool wait) {
+    if (resend.empty()) return;
+    if (wait && inflight.empty()) {
+      auto earliest = resend.front().due;
+      for (const Resend& r : resend) earliest = std::min(earliest, r.due);
+      std::this_thread::sleep_until(earliest);
+    }
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < resend.size();) {
+      if (resend[i].due <= now) {
+        client.send_line(line_for(resend[i].request));
+        inflight.push_back(resend[i].request);
+        resend[i] = resend.back();
+        resend.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  // Settles the oldest in-flight request. Returns: 1 = accepted, 0 = final
+  // rejection, 2 = requeued for retry (not yet resolved).
+  const auto settle_one = [&](bool timing) -> int {
+    Inflight front = inflight.front();
     inflight.pop_front();
     const JsonValue doc = client.recv_json();
     const JsonValue* ok = doc.find("ok");
-    const bool accepted = ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean;
+    bool accepted = ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean;
+    if (!accepted) {
+      const JsonValue* err = doc.find("error");
+      const std::string reason =
+          err != nullptr && err->kind == JsonValue::Kind::kString ? err->string : "";
+      if ((reason == "queue_full" || reason == "degraded_storage") &&
+          front.attempt < kMaxAttempts) {
+        const double delay = retry_delay_ms(field_number(doc, "retry_after_ms"),
+                                            front.attempt, rng);
+        ++front.attempt;
+        ++result.retries;
+        resend.push_back(Resend{
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(delay)),
+            front});
+        return 2;
+      }
+      // Retry idempotency: a *retried* place answered duplicate_vm means an
+      // earlier attempt was actually applied (degraded demotion); likewise a
+      // retried release answered unknown_vm already released the VM.
+      if (front.attempt > 0 &&
+          ((front.is_place && reason == "duplicate_vm") ||
+           (!front.is_place && reason == "unknown_vm"))) {
+        accepted = true;
+      }
+    }
     if (front.is_place) {
       if (accepted) {
         live.push_back(front.vm);
@@ -194,46 +271,57 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
         ++result.fill_rejected;
       }
       if (timing && front.timed) {
+        // Latency is measured from the FIRST send, so retried requests
+        // report the true end-to-end cost including backoff.
         result.churn_latencies_us.push_back(
             std::chrono::duration<double, std::micro>(Clock::now() - front.sent).count());
       }
     }
-    return accepted;
+    return accepted ? 1 : 0;
   };
 
   // Fill phase: stream placements until the coordinator says the fleet hit
-  // the target (or the daemon has been rejecting for a while).
+  // the target (or the daemon has been rejecting for a while). Retry
+  // requeues do not count toward the rejection streak.
   std::size_t rejected_streak = 0;
   while (!fill_done.load(std::memory_order_relaxed) && rejected_streak < 512) {
+    flush_resends(false);
     while (inflight.size() < options.pipeline) {
       Inflight request;
       request.is_place = true;
       request.vm = next_vm++;
       request.type = draw_type();
+      request.sent = Clock::now();
       client.send_line(place_line(request.vm, request.type));
       inflight.push_back(request);
     }
     while (inflight.size() > options.pipeline / 2) {
-      if (settle_one(false)) {
-        rejected_streak = 0;
-      } else {
-        ++rejected_streak;
+      switch (settle_one(false)) {
+        case 1: rejected_streak = 0; break;
+        case 0: ++rejected_streak; break;
+        default: break;
       }
     }
   }
-  while (!inflight.empty()) settle_one(false);
+  while (!inflight.empty() || !resend.empty()) {
+    flush_resends(true);
+    if (!inflight.empty()) settle_one(false);
+  }
 
   // Churn phase: release one, place one; only place latencies are timed.
+  // `settled` counts final resolutions only, so every request is eventually
+  // accepted, finally rejected, or dropped after kMaxAttempts.
   std::size_t sent_pairs = 0;
   std::size_t settled = 0;
   while (settled < 2 * churn_ops) {
+    flush_resends(false);
     while (sent_pairs < churn_ops && inflight.size() + 2 <= options.pipeline && !live.empty()) {
       const std::size_t pick = rng.uniform_index(live.size());
       const std::uint64_t victim = live[pick];
       live[pick] = live.back();
       live.pop_back();
       client.send_line(release_line(victim));
-      inflight.push_back(Inflight{Clock::now(), false, false, victim, 0});
+      inflight.push_back(Inflight{Clock::now(), false, false, victim, 0, 0});
 
       Inflight request;
       request.is_place = true;
@@ -245,9 +333,16 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
       inflight.push_back(request);
       ++sent_pairs;
     }
-    if (inflight.empty()) break;  // ran out of live VMs (tiny fleet)
-    settle_one(true);
-    ++settled;
+    if (inflight.empty()) {
+      if (resend.empty()) break;  // ran out of live VMs (tiny fleet)
+      flush_resends(true);
+      continue;
+    }
+    if (settle_one(true) != 2) ++settled;
+  }
+  while (!inflight.empty() || !resend.empty()) {
+    flush_resends(true);
+    if (!inflight.empty()) settle_one(true);
   }
 }
 
@@ -322,16 +417,44 @@ int main(int argc, char** argv) {
     if (options.place_exact > 0) {
       // Exact-count placement for the crash-recovery smoke test: every
       // acknowledged placement is crash-durable by the daemon's contract.
+      // Transient rejections (queue_full, degraded_storage) are retried with
+      // the server's backoff hint; a retried place answered duplicate_vm was
+      // actually applied by an earlier attempt and counts as placed.
       Client client(options);
       Rng rng(0x91aceull);  // fixed seed: the smoke test replays this exact stream
       std::size_t placed = 0;
+      std::size_t retries = 0;
       std::uint64_t next_vm = 1;
       while (placed < options.place_exact) {
-        client.send_line(place_line(next_vm++, rng.weighted_index(mix)));
-        const JsonValue doc = client.recv_json();
-        const JsonValue* ok = doc.find("ok");
-        if (ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean) ++placed;
+        const std::uint64_t vm = next_vm++;
+        const std::size_t type = rng.weighted_index(mix);
+        for (std::uint32_t attempt = 0;; ++attempt) {
+          client.send_line(place_line(vm, type));
+          const JsonValue doc = client.recv_json();
+          const JsonValue* ok = doc.find("ok");
+          if (ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean) {
+            ++placed;
+            break;
+          }
+          const JsonValue* err = doc.find("error");
+          const std::string reason =
+              err != nullptr && err->kind == JsonValue::Kind::kString ? err->string : "";
+          if (attempt > 0 && reason == "duplicate_vm") {
+            ++placed;
+            break;
+          }
+          if ((reason == "queue_full" || reason == "degraded_storage") &&
+              attempt < 2 * kMaxAttempts) {
+            ++retries;
+            const double delay =
+                retry_delay_ms(field_number(doc, "retry_after_ms"), attempt, rng);
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+            continue;
+          }
+          break;  // hard rejection (no_capacity, ...): move on to the next VM
+        }
       }
+      if (retries > 0) std::printf("retries: %zu\n", retries);
       print_stats_line(query_stats(options));
       return 0;
     }
@@ -372,10 +495,12 @@ int main(int argc, char** argv) {
     // Aggregate.
     std::size_t fill_placed = 0;
     std::size_t churn_places = 0;
+    std::size_t retries = 0;
     std::vector<double> latencies_us;
     for (const WorkerResult& r : results) {
       fill_placed += r.fill_placed;
       churn_places += r.churn_places;
+      retries += r.retries;
       latencies_us.insert(latencies_us.end(), r.churn_latencies_us.begin(),
                           r.churn_latencies_us.end());
     }
@@ -392,8 +517,8 @@ int main(int argc, char** argv) {
                 fill_pps);
     std::printf("churn: %zu placements in %.2fs   %8.0f pl/s   p50 %8.2f us   p99 %8.2f us\n",
                 churn_places, churn_seconds, churn_pps, p50, p99);
-    std::printf("operating point: %zu used PMs, %zu connections, pipeline %zu\n", used_pms,
-                options.connections, options.pipeline);
+    std::printf("operating point: %zu used PMs, %zu connections, pipeline %zu, %zu retries\n",
+                used_pms, options.connections, options.pipeline, retries);
 
     if (!options.json_path.empty()) {
       std::ofstream os(options.json_path, std::ios::trunc);
@@ -409,7 +534,8 @@ int main(int argc, char** argv) {
          << "\"fill_placements_per_sec\": " << fill_pps
          << ", \"fill_placements\": " << fill_placed
          << ", \"churn_placements_per_sec\": " << churn_pps
-         << ", \"churn_ops\": " << churn_places << ", \"p50_us\": " << p50
+         << ", \"churn_ops\": " << churn_places << ", \"retries\": " << retries
+         << ", \"p50_us\": " << p50
          << ", \"p99_us\": " << p99 << "}}\n  ]\n}\n";
       std::cout << "wrote " << options.json_path << "\n";
     }

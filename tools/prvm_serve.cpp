@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "core/catalog_graphs.hpp"
+#include "service/io_env.hpp"
 #include "service/service.hpp"
 #include "service/socket_server.hpp"
 #include "sim/simulator.hpp"
@@ -38,6 +39,10 @@ void usage(const char* argv0) {
       << "  --queue N            request queue capacity (default 4096)\n"
       << "  --snapshot-every N   snapshot after N mutating ops (default 100000; 0 = drain only)\n"
       << "  --fsync              fsync the WAL every batch (power-loss durability)\n"
+      << "  --fault-schedule S   inject IO faults per the schedule spec (see io_env.hpp);\n"
+      << "                       defaults to $PRVM_FAULT_SCHEDULE when set\n"
+      << "  --probe-initial-ms N initial storage-probe backoff while degraded (default 100)\n"
+      << "  --probe-max-ms N     max storage-probe backoff while degraded (default 5000)\n"
       << "  --cache-dir PATH     score-table cache (default $PRVM_CACHE_DIR or .prvm-cache);\n"
       << "                       shared with the bench/experiment harness, so a warm cache\n"
       << "                       makes startup skip the expensive table build\n";
@@ -55,6 +60,8 @@ int main(int argc, char** argv) {
   ServiceConfig config;
   config.snapshot_every_ops = 100000;
   std::optional<std::filesystem::path> cache_dir;
+  const char* env_schedule = std::getenv("PRVM_FAULT_SCHEDULE");
+  std::string fault_schedule = env_schedule != nullptr ? env_schedule : "";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +90,12 @@ int main(int argc, char** argv) {
       config.snapshot_every_ops = std::stoull(value());
     } else if (arg == "--fsync") {
       config.fsync_wal = true;
+    } else if (arg == "--fault-schedule") {
+      fault_schedule = value();
+    } else if (arg == "--probe-initial-ms") {
+      config.probe_initial_ms = std::stoull(value());
+    } else if (arg == "--probe-max-ms") {
+      config.probe_max_ms = std::stoull(value());
     } else if (arg == "--cache-dir") {
       cache_dir = value();
     } else if (arg == "--help" || arg == "-h") {
@@ -95,6 +108,10 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!fault_schedule.empty()) {
+      config.io_env = io_env_from_spec(fault_schedule);
+      std::cout << "prvm_serve: FAULT INJECTION ACTIVE: " << fault_schedule << std::endl;
+    }
     const Catalog catalog = ec2_sim_catalog();
     // The daemon shares the experiment harness's score-table cache (see
     // Ec2ExperimentConfig::cache_dir): a warm cache turns the seconds-long
