@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace prvm {
 
@@ -37,9 +38,14 @@ ScoreTableSet build_score_tables(const Catalog& catalog, const ScoreTableOptions
       cache_file = *cache_dir / ("scoretable-" + digest + ".bin");
     }
 
+    // Load-vs-build time and hit/miss rate go to the global registry: score
+    // tables are built before any service (and its registry) exists, and the
+    // daemon exposes the global registry anyway.
+    obs::Registry& reg = obs::Registry::global();
     bool loaded = false;
     if (cache_file.has_value() && std::filesystem::exists(*cache_file)) {
       try {
+        const obs::ScopedTimerNs timer(reg.histogram("prvm_score_table_load_ns"));
         ScoreTable table = ScoreTable::load(*cache_file);
         if (table.digest_string() == digest) {
           set.tables_.push_back(std::move(table));
@@ -49,7 +55,11 @@ ScoreTableSet build_score_tables(const Catalog& catalog, const ScoreTableOptions
         // Corrupt or stale cache entry: fall through and rebuild.
       }
     }
+    reg.counter(loaded ? "prvm_score_table_cache_hits_total"
+                       : "prvm_score_table_cache_misses_total")
+        .inc();
     if (!loaded) {
+      const obs::ScopedTimerNs timer(reg.histogram("prvm_score_table_build_ns"));
       const ProfileGraph graph(shape, fitting.demands);
       set.tables_.push_back(ScoreTable::build(graph, options));
       if (cache_file.has_value()) {

@@ -1,0 +1,87 @@
+#include "obs/exposition.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace prvm::obs {
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::start() {
+  PRVM_REQUIRE(listen_fd_ < 0, "exposition server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PRVM_REQUIRE(listen_fd_ >= 0, "cannot create exposition socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_port_));
+  PRVM_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+               "cannot bind exposition port " + std::to_string(config_port_));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  PRVM_REQUIRE(::listen(listen_fd_, 16) == 0, "exposition listen failed");
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void ExpositionServer::serve_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed during stop()
+    // Bound the read so a stalled scraper cannot wedge the loop.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // Read the request until the header terminator (or timeout/EOF/4KB) —
+    // the contents are irrelevant, every request scrapes.
+    char buf[4096];
+    std::size_t have = 0;
+    while (have < sizeof(buf)) {
+      const ::ssize_t n = ::recv(fd, buf + have, sizeof(buf) - have, 0);
+      if (n <= 0) break;
+      have += static_cast<std::size_t>(n);
+      if (std::string_view(buf, have).find("\r\n\r\n") != std::string_view::npos) break;
+    }
+
+    const std::string body = body_();
+    std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    std::size_t written = 0;
+    while (written < response.size()) {
+      const ::ssize_t n =
+          ::send(fd, response.data() + written, response.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      written += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+}
+
+void ExpositionServer::stop() {
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace prvm::obs

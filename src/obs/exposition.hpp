@@ -1,0 +1,51 @@
+// Minimal HTTP/1.0-ish exposition listener for Prometheus scrapes.
+//
+// Binds loopback TCP, and for every connection reads one request (the
+// contents are ignored — any path scrapes) and answers a single
+// `text/plain; version=0.0.4` response produced by the body callback, then
+// closes. That is the entire protocol a Prometheus scraper needs; keeping
+// it self-contained avoids dragging an HTTP library into the daemon.
+//
+// One connection is served at a time (scrapes are rare and the body render
+// is microseconds); a slow or stuck scraper cannot wedge the daemon —
+// reads are bounded by a socket timeout.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace prvm::obs {
+
+class ExpositionServer {
+ public:
+  using BodyFn = std::function<std::string()>;
+
+  /// Does not bind; call start().
+  ExpositionServer(BodyFn body, int port) : body_(std::move(body)), config_port_(port) {}
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds 127.0.0.1:port (0 = ephemeral, see port()) and starts serving.
+  /// Throws on bind failure.
+  void start();
+
+  /// Stops accepting and joins the serving thread. Idempotent.
+  void stop();
+
+  /// The bound port (resolved when constructed with 0); -1 before start().
+  int port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  BodyFn body_;
+  int config_port_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace prvm::obs

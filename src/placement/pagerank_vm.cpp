@@ -14,13 +14,33 @@ constexpr std::uint32_t kNoRep = 0xFFFFFFFFu;
 PageRankVm::PageRankVm(std::shared_ptr<const ScoreTableSet> tables, PageRankVmOptions options)
     : tables_(std::move(tables)), options_(options), rng_(options.seed) {
   PRVM_REQUIRE(tables_ != nullptr, "PageRankVM needs score tables");
+  obs::Registry& reg =
+      options_.metrics != nullptr ? *options_.metrics : obs::Registry::global();
+  m_.place_calls = &reg.counter("prvm_engine_place_total");
+  m_.linear_scored = &reg.counter("prvm_engine_linear_scored_total");
+  m_.score_lookups = &reg.counter("prvm_engine_score_lookups_total");
+  m_.index_probes = &reg.counter("prvm_engine_index_probes_total");
+  m_.rep_cache_hits = &reg.counter("prvm_engine_rep_cache_hits_total");
+  m_.rep_cache_misses = &reg.counter("prvm_engine_rep_cache_misses_total");
 }
 
 std::optional<double> PageRankVm::placement_score(const Datacenter& dc, PmIndex i,
                                                   std::size_t vm_type) const {
+  std::uint64_t lookups = 0;
+  const auto score = placement_score(dc, i, vm_type, lookups);
+  m_.score_lookups->add(lookups);
+  return score;
+}
+
+std::optional<double> PageRankVm::placement_score(const Datacenter& dc, PmIndex i,
+                                                  std::size_t vm_type,
+                                                  std::uint64_t& lookups) const {
   const Datacenter::PmState& pm = dc.pm(i);
   const auto slot = tables_->demand_slot(pm.type_index, vm_type);
   if (!slot.has_value()) return std::nullopt;
+  // Counted locally and flushed to the metric once per scan: an atomic add
+  // per candidate would be measurable at 10k-PM linear-scan sizes.
+  ++lookups;
   const auto best = tables_->table(pm.type_index).best_after(pm.canonical_key, *slot);
   if (!best.has_value()) return std::nullopt;
   return best->score;
@@ -45,6 +65,7 @@ DemandPlacement PageRankVm::cached_placement(const Datacenter& dc, PmIndex i, co
                                   (static_cast<std::uint64_t>(*node) << 12) |
                                   static_cast<std::uint64_t>(*slot);
   auto [rep, inserted] = rep_index_.try_emplace(cache_key, kNoRep);
+  (rep == kNoRep ? m_.rep_cache_misses : m_.rep_cache_hits)->inc();
   if (rep == kNoRep) {
     const Profile canonical = Profile::unpack(shape, pm.canonical_key);
     const auto& demand = dc.catalog().demand(pm.type_index, vm.type_index);
@@ -143,14 +164,17 @@ std::optional<PmIndex> PageRankVm::pick_linear(Datacenter& dc, const Vm& vm,
   // Algorithm 2 lines 2-13: the used PM giving the highest-scoring profile.
   std::optional<PmIndex> best_pm;
   double max_score = 0.0;
+  std::uint64_t lookups = 0;
+  m_.linear_scored->add(candidates.size());
   for (PmIndex i : candidates) {
-    const auto score = placement_score(dc, i, vm.type_index);
+    const auto score = placement_score(dc, i, vm.type_index, lookups);
     if (!score.has_value()) continue;
     if (!best_pm.has_value() || *score > max_score) {
       max_score = *score;
       best_pm = i;
     }
   }
+  m_.score_lookups->add(lookups);
   return best_pm;
 }
 
@@ -164,7 +188,8 @@ std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_
   // give up after ~#live-profiles misses and fall back to phase B, so the
   // walk never costs more than scanning the live profiles directly.
   const auto& ranked = table.ranked_keys(slot);
-  std::size_t budget = dc.used_bucket_count(pm_type) + 8;
+  const std::size_t initial_budget = dc.used_bucket_count(pm_type) + 8;
+  std::size_t budget = initial_budget;
   float top = 0.0F;
   bool bailed = false;
   for (const ScoreTable::RankedKey& rk : ranked) {
@@ -179,6 +204,7 @@ std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_
     if (out.empty()) top = rk.score;
     out.push_back(bucket);
   }
+  m_.index_probes->add(initial_budget - budget);
   if (!bailed) {
     if (out.empty()) return std::nullopt;
     return static_cast<double>(top);
@@ -187,7 +213,9 @@ std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_
   // Phase B: score each distinct live profile once.
   out.clear();
   std::optional<double> best;
+  std::uint64_t lookups = 0;
   dc.for_each_used_bucket(pm_type, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+    ++lookups;
     const auto entry = table.best_after(key, slot);
     if (!entry.has_value()) return;
     if (!best.has_value() || entry->score > *best) {
@@ -198,6 +226,7 @@ std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_
       out.push_back(&pms);
     }
   });
+  m_.score_lookups->add(lookups);
   return best;
 }
 
@@ -242,16 +271,19 @@ std::optional<PmIndex> PageRankVm::pick_indexed_constrained(
   // Migration-time path: score every distinct live profile, then walk the
   // score groups downward until one holds an allowed PM.
   scored_.clear();
+  std::uint64_t lookups = 0;
   for (std::size_t t = 0; t < dc.catalog().pm_types().size(); ++t) {
     if (dc.used_count_of_type(t) == 0) continue;
     const auto slot = tables_->demand_slot(t, vm_type);
     if (!slot.has_value()) continue;
     const ScoreTable& table = tables_->table(t);
     dc.for_each_used_bucket(t, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+      ++lookups;
       const auto entry = table.best_after(key, *slot);
       if (entry.has_value()) scored_.emplace_back(entry->score, &pms);
     });
   }
+  m_.score_lookups->add(lookups);
   std::sort(scored_.begin(), scored_.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   for (std::size_t i = 0; i < scored_.size();) {
@@ -277,6 +309,7 @@ std::optional<PmIndex> PageRankVm::pick_indexed_constrained(
 
 std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
                                          const PlacementConstraints& constraints) {
+  m_.place_calls->inc();
   std::optional<PmIndex> best_pm;
   if (!options_.use_index || options_.two_choice) {
     // 2-choice must sample with the exact RNG stream of the linear engine,

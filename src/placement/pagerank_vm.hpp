@@ -19,6 +19,7 @@
 // every VM (asserted by the differential test).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "core/catalog_graphs.hpp"
+#include "obs/metrics.hpp"
 #include "placement/algorithm.hpp"
 
 namespace prvm {
@@ -36,6 +38,9 @@ struct PageRankVmOptions {
   /// Use the bucketed placement index (same placements, near-O(1) per VM).
   /// Off = the literal linear scan, kept for differential tests/ablation.
   bool use_index = true;
+  /// Registry for the engine's prvm_engine_* counters (score lookups, index
+  /// probes, rep-cache hits). Null = obs::Registry::global().
+  obs::Registry* metrics = nullptr;
 };
 
 class PageRankVm final : public PlacementAlgorithm {
@@ -54,6 +59,12 @@ class PageRankVm final : public PlacementAlgorithm {
   /// for tests and for the migration policy.
   std::optional<double> placement_score(const Datacenter& dc, PmIndex i,
                                         std::size_t vm_type) const;
+
+  /// As above, but accumulates table lookups into `lookups` instead of
+  /// bumping the score-lookup counter itself; the linear-scan hot loop uses
+  /// this to flush one batched metric update per scan.
+  std::optional<double> placement_score(const Datacenter& dc, PmIndex i, std::size_t vm_type,
+                                        std::uint64_t& lookups) const;
 
   const ScoreTableSet& tables() const { return *tables_; }
 
@@ -89,6 +100,19 @@ class PageRankVm final : public PlacementAlgorithm {
   std::shared_ptr<const ScoreTableSet> tables_;
   PageRankVmOptions options_;
   Rng rng_;
+
+  /// Counters resolved once at construction (options_.metrics or the global
+  /// registry). Incrementing through the pointers is lock-free and valid
+  /// from const scoring paths — the engine itself is not mutated.
+  struct Metrics {
+    obs::Counter* place_calls = nullptr;     ///< place() invocations
+    obs::Counter* linear_scored = nullptr;   ///< PMs scored by the legacy scan
+    obs::Counter* score_lookups = nullptr;   ///< best-successor table lookups
+    obs::Counter* index_probes = nullptr;    ///< ranked-key bucket probes (phase A)
+    obs::Counter* rep_cache_hits = nullptr;  ///< best-permutation cache hits
+    obs::Counter* rep_cache_misses = nullptr;
+  };
+  Metrics m_;
 
   // Scratch and caches for the indexed engine (one engine per thread; these
   // make place() non-reentrant but allocation-free at steady state).

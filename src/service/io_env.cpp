@@ -225,6 +225,15 @@ void FaultInjectingIoEnv::clear() {
   schedule_.rules.clear();
 }
 
+void FaultInjectingIoEnv::bind_metrics(obs::Registry& registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injected_total_ = &registry.counter("prvm_io_injected_faults_total");
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    injected_by_op_[i] = &registry.counter(std::string("prvm_io_injected_") +
+                                           to_string(static_cast<IoOp>(i)) + "_total");
+  }
+}
+
 std::uint64_t FaultInjectingIoEnv::injected_faults() const {
   std::lock_guard<std::mutex> lock(mu_);
   return injected_;
@@ -252,6 +261,10 @@ FaultInjectingIoEnv::Injection FaultInjectingIoEnv::consult(IoOp op,
     if (!triggered) continue;
     ++rule.fired;
     ++injected_;
+    if (injected_total_ != nullptr) {
+      injected_total_->inc();
+      injected_by_op_[static_cast<std::size_t>(op)]->inc();
+    }
     outcome.delay_ms += rule.delay_ms;
     if (rule.err != 0) {
       outcome.err = rule.err;
@@ -323,6 +336,49 @@ int FaultInjectingIoEnv::close(int fd) noexcept {
     return -inject.err;
   }
   return inner_->close(fd);
+}
+
+InstrumentedIoEnv::InstrumentedIoEnv(IoEnv* inner, obs::Registry& registry)
+    : inner_(inner != nullptr ? inner : &IoEnv::real()) {
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    const std::string op = to_string(static_cast<IoOp>(i));
+    latency_[i] = &registry.histogram("prvm_io_" + op + "_ns");
+    errors_[i] = &registry.counter("prvm_io_" + op + "_errors_total");
+  }
+}
+
+template <typename Call>
+auto InstrumentedIoEnv::timed(IoOp op, Call&& call) noexcept {
+  const std::size_t i = static_cast<std::size_t>(op);
+  const std::uint64_t start = obs::now_ns();
+  const auto rc = call();
+  latency_[i]->record(obs::now_ns() - start);
+  if (rc < 0) errors_[i]->inc();
+  return rc;
+}
+
+int InstrumentedIoEnv::open(const char* path, int flags, unsigned mode) noexcept {
+  return timed(IoOp::kOpen, [&] { return inner_->open(path, flags, mode); });
+}
+
+std::int64_t InstrumentedIoEnv::write(int fd, const void* data, std::size_t size) noexcept {
+  return timed(IoOp::kWrite, [&] { return inner_->write(fd, data, size); });
+}
+
+int InstrumentedIoEnv::fsync(int fd) noexcept {
+  return timed(IoOp::kFsync, [&] { return inner_->fsync(fd); });
+}
+
+int InstrumentedIoEnv::rename(const char* from, const char* to) noexcept {
+  return timed(IoOp::kRename, [&] { return inner_->rename(from, to); });
+}
+
+int InstrumentedIoEnv::ftruncate(int fd, std::int64_t length) noexcept {
+  return timed(IoOp::kFtruncate, [&] { return inner_->ftruncate(fd, length); });
+}
+
+int InstrumentedIoEnv::close(int fd) noexcept {
+  return timed(IoOp::kClose, [&] { return inner_->close(fd); });
 }
 
 namespace {

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace prvm {
 
 /// Result of an IO operation: errno value (0 = success) plus enough
@@ -125,6 +127,12 @@ class FaultInjectingIoEnv : public IoEnv {
   /// Drops every rule (calls pass through untouched from now on).
   void clear();
 
+  /// Mirrors every injected fault into `prvm_io_injected_faults_total` (and
+  /// per-op `prvm_io_injected_<op>_total`) in `registry`, so a live daemon's
+  /// `metrics` op reports exactly what the schedule did (the chaos harness
+  /// cross-checks this against the schedule it applied).
+  void bind_metrics(obs::Registry& registry);
+
   std::uint64_t injected_faults() const;
   std::uint64_t calls(IoOp op) const;
 
@@ -152,6 +160,35 @@ class FaultInjectingIoEnv : public IoEnv {
   std::uint64_t injected_ = 0;
   std::uint64_t rng_state_ = 1;
   IoEnv* inner_;
+  obs::Counter* injected_total_ = nullptr;  ///< bound by bind_metrics()
+  std::array<obs::Counter*, kIoOpCount> injected_by_op_{};
+};
+
+/// An IoEnv that forwards to `inner` and records, per syscall, a latency
+/// histogram (`prvm_io_<op>_ns`) and an error counter
+/// (`prvm_io_<op>_errors_total`) into a registry. The daemon wraps its
+/// (possibly fault-injecting) env with this, so every WAL/snapshot/probe
+/// syscall — real or injected — shows up in the exposition. now_ms() is
+/// passed through untimed (it is a clock read, not IO).
+class InstrumentedIoEnv : public IoEnv {
+ public:
+  InstrumentedIoEnv(IoEnv* inner, obs::Registry& registry);
+
+  int open(const char* path, int flags, unsigned mode) noexcept override;
+  std::int64_t write(int fd, const void* data, std::size_t size) noexcept override;
+  int fsync(int fd) noexcept override;
+  int rename(const char* from, const char* to) noexcept override;
+  int ftruncate(int fd, std::int64_t length) noexcept override;
+  int close(int fd) noexcept override;
+  std::uint64_t now_ms() noexcept override { return inner_->now_ms(); }
+
+ private:
+  template <typename Call>
+  auto timed(IoOp op, Call&& call) noexcept;
+
+  IoEnv* inner_;
+  std::array<obs::Histogram*, kIoOpCount> latency_{};
+  std::array<obs::Counter*, kIoOpCount> errors_{};
 };
 
 /// Writes the whole buffer: retries EINTR (capped — a persistent EINTR

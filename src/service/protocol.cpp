@@ -274,6 +274,7 @@ const char* to_string(RequestOp op) {
     case RequestOp::kLookup: return "lookup";
     case RequestOp::kStats: return "stats";
     case RequestOp::kHealth: return "health";
+    case RequestOp::kMetrics: return "metrics";
     case RequestOp::kDrain: return "drain";
   }
   return "?";
@@ -319,6 +320,8 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
     request.op = RequestOp::kStats;
   } else if (op->string == "health") {
     request.op = RequestOp::kHealth;
+  } else if (op->string == "metrics") {
+    request.op = RequestOp::kMetrics;
   } else if (op->string == "drain") {
     request.op = RequestOp::kDrain;
   } else {

@@ -10,6 +10,7 @@
 //   {"op":"lookup","vm":7}                            -> current PM, or unknown_vm
 //   {"op":"stats"}                                    -> counters + state digest
 //   {"op":"health"}                                   -> mode, queue depth, WAL lag, last error
+//   {"op":"metrics"}                                  -> full metrics registry as JSON
 //   {"op":"drain"}                                    snapshot + stop accepting
 //
 // Failures are structured, never a dropped connection:
@@ -58,7 +59,7 @@ std::optional<JsonValue> parse_json(std::string_view text, std::string* error);
 /// Serializes a string with JSON escaping (quotes included).
 std::string json_quote(std::string_view s);
 
-enum class RequestOp { kPlace, kRelease, kMigrate, kLookup, kStats, kHealth, kDrain };
+enum class RequestOp { kPlace, kRelease, kMigrate, kLookup, kStats, kHealth, kMetrics, kDrain };
 
 const char* to_string(RequestOp op);
 

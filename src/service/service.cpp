@@ -25,10 +25,21 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
     : config_(std::move(config)),
       catalog_(std::move(catalog)),
       dc_(catalog_, fleet),
-      engine_(std::make_unique<PageRankVm>(std::move(tables), config_.engine)) {
+      metrics_(config_.metrics != nullptr ? config_.metrics
+                                          : std::make_shared<obs::Registry>()) {
   PRVM_REQUIRE(config_.batch_size > 0, "batch size must be positive");
   PRVM_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
-  io_ = config_.io_env != nullptr ? config_.io_env.get() : &IoEnv::real();
+  init_metrics();
+  // The engine reports into this service's registry unless the caller wired
+  // it elsewhere explicitly.
+  if (config_.engine.metrics == nullptr) config_.engine.metrics = metrics_.get();
+  engine_ = std::make_unique<PageRankVm>(std::move(tables), config_.engine);
+  IoEnv* base = config_.io_env != nullptr ? config_.io_env.get() : &IoEnv::real();
+  if (auto* injector = dynamic_cast<FaultInjectingIoEnv*>(base)) {
+    injector->bind_metrics(*metrics_);
+  }
+  instrumented_io_ = std::make_unique<InstrumentedIoEnv>(base, *metrics_);
+  io_ = instrumented_io_.get();
   for (std::size_t v = 0; v < catalog_.vm_types().size(); ++v) {
     vm_type_by_name_.emplace(catalog_.vm_type(v).name, v);
   }
@@ -38,6 +49,37 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
     // A broken disk at boot is survivable: serve reads, probe for storage.
     if (!wal_->healthy()) enter_degraded(wal_->open_status());
   }
+}
+
+void PlacementService::init_metrics() {
+  obs::Registry& r = *metrics_;
+  m_.placed = &r.counter("prvm_ops_placed_total");
+  m_.released = &r.counter("prvm_ops_released_total");
+  m_.migrated = &r.counter("prvm_ops_migrated_total");
+  m_.rejected = &r.counter("prvm_ops_rejected_total");
+  m_.queue_rejected = &r.counter("prvm_queue_rejected_total");
+  m_.batches = &r.counter("prvm_batches_total");
+  m_.snapshots = &r.counter("prvm_snapshots_total");
+  m_.wal_appends = &r.counter("prvm_wal_appends_total");
+  m_.replayed_records = &r.counter("prvm_replayed_records_total");
+  m_.io_errors = &r.counter("prvm_io_errors_total");
+  m_.degraded_transitions = &r.counter("prvm_degraded_transitions_total");
+  m_.probes = &r.counter("prvm_storage_probes_total");
+  m_.probe_failures = &r.counter("prvm_storage_probe_failures_total");
+  m_.probe_successes = &r.counter("prvm_storage_probe_successes_total");
+  for (std::size_t reason = 1; reason < m_.reject_by_reason.size(); ++reason) {
+    m_.reject_by_reason[reason] = &r.counter(
+        std::string("prvm_reject_") + to_string(static_cast<RejectReason>(reason)) + "_total");
+  }
+  m_.mode = &r.gauge("prvm_mode");
+  m_.queue_depth = &r.gauge("prvm_queue_depth");
+  m_.wal_lag = &r.gauge("prvm_wal_lag");
+  m_.max_batch = &r.gauge("prvm_max_batch");
+  m_.queue_wait_ns = &r.histogram("prvm_queue_wait_ns");
+  m_.batch_size = &r.histogram("prvm_batch_size");
+  m_.place_compute_ns = &r.histogram("prvm_place_compute_ns");
+  m_.wal_flush_ns = &r.histogram("prvm_wal_flush_ns");
+  m_.snapshot_ns = &r.histogram("prvm_snapshot_ns");
 }
 
 PlacementService::~PlacementService() { stop_now(); }
@@ -52,17 +94,17 @@ void PlacementService::recover(const std::vector<std::size_t>& fleet) {
     admission_ = std::move(snapshot->admission);
     snapshot_op_seq_ = snapshot->last_op_seq;
     op_seq_ = snapshot->last_op_seq;
-    stats_.recovered = true;
+    recovered_ = true;
   }
   bool torn = false;
   const std::vector<WalRecord> records = read_wal(config_.data_dir / kWalFile, &torn);
-  stats_.wal_torn_tail = torn;
+  wal_torn_tail_ = torn;
   for (const WalRecord& record : records) {
     if (record.op_seq <= snapshot_op_seq_) continue;  // already in the snapshot
     apply_wal_record(record);
     op_seq_ = record.op_seq;
-    ++stats_.replayed_records;
-    stats_.recovered = true;
+    m_.replayed_records->inc();
+    recovered_ = true;
   }
 }
 
@@ -75,13 +117,13 @@ void PlacementService::apply_wal_record(const WalRecord& record) {
       dc_.place(static_cast<PmIndex>(record.pm),
                 Vm{vm, static_cast<std::size_t>(record.vm_type)}, placement);
       admission_.record_placement(vm, record.group, static_cast<PmIndex>(record.pm));
-      ++stats_.placed;
+      m_.placed->inc();
       break;
     }
     case WalRecord::Type::kRelease: {
       dc_.remove(vm);
       admission_.record_release(vm, static_cast<PmIndex>(record.pm));
-      ++stats_.released;
+      m_.released->inc();
       break;
     }
     case WalRecord::Type::kMigrate: {
@@ -94,7 +136,7 @@ void PlacementService::apply_wal_record(const WalRecord& record) {
       placement.assignments = record.assignments;
       dc_.place(static_cast<PmIndex>(record.pm), removed.vm, placement);
       admission_.record_placement(vm, record.group, static_cast<PmIndex>(record.pm));
-      ++stats_.migrated;
+      m_.migrated->inc();
       break;
     }
   }
@@ -103,21 +145,31 @@ void PlacementService::apply_wal_record(const WalRecord& record) {
 void PlacementService::log_record(WalRecord record) {
   if (wal_ == nullptr) return;
   wal_->append(record);
+  m_.wal_appends->inc();
   wal_dirty_ = true;
+}
+
+IoStatus PlacementService::flush_wal() {
+  const obs::ScopedTimerNs timer(*m_.wal_flush_ns);
+  const IoStatus status = wal_->flush();
+  wal_dirty_ = false;
+  return status;
 }
 
 IoStatus PlacementService::take_snapshot() {
   if (config_.data_dir.empty()) return IoStatus::success();
   if (wal_ != nullptr && wal_dirty_) {
-    const IoStatus status = wal_->flush();
-    wal_dirty_ = false;
+    const IoStatus status = flush_wal();
     if (!status.ok()) return status;
   }
-  const IoStatus status =
-      save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+  IoStatus status;
+  {
+    const obs::ScopedTimerNs timer(*m_.snapshot_ns);
+    status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+  }
   if (!status.ok()) return status;
   snapshot_op_seq_ = op_seq_;
-  ++stats_.snapshots;
+  m_.snapshots->inc();
   // A failed truncate after a successful snapshot is safe for correctness
   // (op_seq gating skips the stale records on replay) but still signals a
   // failing disk — report it so the caller degrades.
@@ -126,18 +178,19 @@ IoStatus PlacementService::take_snapshot() {
 }
 
 void PlacementService::enter_degraded(const IoStatus& status) {
-  ++stats_.io_errors;
-  stats_.last_io_error = status.message();
+  m_.io_errors->inc();
+  last_io_error_ = status.message();
   if (degraded_.load(std::memory_order_relaxed)) return;
   degraded_.store(true, std::memory_order_relaxed);
-  ++stats_.degraded_entries;
+  m_.degraded_transitions->inc();
+  m_.mode->set(2);
   probe_backoff_ms_ = std::max<std::uint64_t>(1, config_.probe_initial_ms);
   next_probe_at_ms_ = io_->now_ms() + probe_backoff_ms_;
 }
 
 Response PlacementService::degraded_reject(const Request& request) const {
   Response response = reject(request, RejectReason::kDegradedStorage,
-                             "storage degraded: " + stats_.last_io_error);
+                             "storage degraded: " + last_io_error_);
   response.retry_after_ms = config_.degraded_retry_after_ms;
   return response;
 }
@@ -150,7 +203,7 @@ void PlacementService::demote_unlogged(Response& response) {
   demoted.op = response.op;
   demoted.vm = response.vm;
   demoted.error = to_string(RejectReason::kDegradedStorage);
-  demoted.message = "decision not durable (" + stats_.last_io_error +
+  demoted.message = "decision not durable (" + last_io_error_ +
                     "); retry once storage recovers";
   demoted.retry_after_ms = config_.degraded_retry_after_ms;
   response = std::move(demoted);
@@ -175,38 +228,46 @@ void PlacementService::maybe_probe_storage() {
   if (!degraded_.load(std::memory_order_relaxed)) return;
   if (config_.data_dir.empty()) return;
   if (io_->now_ms() < next_probe_at_ms_) return;
-  ++stats_.storage_probes;
+  m_.probes->inc();
   // Recovery is probe -> snapshot -> WAL truncate/reopen, in that order:
   // the fresh snapshot covers every in-memory decision (including any whose
   // flush failed and were answered degraded_storage), and only once it is
   // durable may the possibly-torn WAL be discarded.
   IoStatus status = probe_storage();
   if (status.ok()) {
-    status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+    {
+      const obs::ScopedTimerNs timer(*m_.snapshot_ns);
+      status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+    }
     if (status.ok()) {
       snapshot_op_seq_ = op_seq_;
-      ++stats_.snapshots;
+      m_.snapshots->inc();
       if (wal_ != nullptr) status = wal_->reopen_truncate();
     }
   }
   if (status.ok()) {
+    m_.probe_successes->inc();
     degraded_.store(false, std::memory_order_relaxed);
+    m_.mode->set(0);
     return;
   }
-  ++stats_.io_errors;
-  stats_.last_io_error = status.message();
+  m_.probe_failures->inc();
+  m_.io_errors->inc();
+  last_io_error_ = status.message();
   probe_backoff_ms_ = std::min<std::uint64_t>(probe_backoff_ms_ * 2,
                                               std::max<std::uint64_t>(1, config_.probe_max_ms));
   next_probe_at_ms_ = io_->now_ms() + probe_backoff_ms_;
 }
 
 Response PlacementService::reject(const Request& request, RejectReason reason,
-                                  std::string message) {
+                                  std::string message) const {
+  const auto index = static_cast<std::size_t>(reason);
+  if (index > 0 && index < m_.reject_by_reason.size()) m_.reject_by_reason[index]->inc();
   Response response;
   response.ok = false;
   response.op = to_string(request.op);
   if (request.op != RequestOp::kStats && request.op != RequestOp::kDrain &&
-      request.op != RequestOp::kHealth) {
+      request.op != RequestOp::kHealth && request.op != RequestOp::kMetrics) {
     response.vm = request.vm_id;
   }
   response.error = to_string(reason);
@@ -246,9 +307,13 @@ Response PlacementService::place(const Request& request) {
   }
 
   const PlacementConstraints constraints = admission_.constraints_for(request.group);
-  const std::optional<PmIndex> pm = engine_->place(dc_, Vm{vm, *vm_type}, constraints);
+  std::optional<PmIndex> pm;
+  {
+    const obs::ScopedTimerNs timer(*m_.place_compute_ns);
+    pm = engine_->place(dc_, Vm{vm, *vm_type}, constraints);
+  }
   if (!pm.has_value()) {
-    ++stats_.rejected;
+    m_.rejected->inc();
     // Distinguish "the datacenter is full" from "your anti-collocation
     // group vetoed every feasible PM" — clients react differently (scale
     // the fleet vs. relax the group). The scan only runs on this rare
@@ -271,7 +336,7 @@ Response PlacementService::place(const Request& request) {
   record.group = request.group;
   record.assignments = dc_.pm(*pm).vms.back().assignments;
   log_record(std::move(record));
-  ++stats_.placed;
+  m_.placed->inc();
 
   Response response;
   response.ok = true;
@@ -295,7 +360,7 @@ Response PlacementService::release(const Request& request) {
   record.vm = vm;
   record.pm = *pm;
   log_record(std::move(record));
-  ++stats_.released;
+  m_.released->inc();
 
   Response response;
   response.ok = true;
@@ -316,7 +381,11 @@ Response PlacementService::migrate(const Request& request) {
   const Datacenter::PlacedVm removed = dc_.remove(vm);
   PlacementConstraints constraints = admission_.constraints_for(group);
   constraints.exclude = *old_pm;
-  const std::optional<PmIndex> new_pm = engine_->place(dc_, removed.vm, constraints);
+  std::optional<PmIndex> new_pm;
+  {
+    const obs::ScopedTimerNs timer(*m_.place_compute_ns);
+    new_pm = engine_->place(dc_, removed.vm, constraints);
+  }
 
   WalRecord record;
   record.type = WalRecord::Type::kMigrate;
@@ -336,7 +405,7 @@ Response PlacementService::migrate(const Request& request) {
     record.pm = *old_pm;
     record.assignments = removed.assignments;
     log_record(std::move(record));
-    ++stats_.rejected;
+    m_.rejected->inc();
     return reject(request, RejectReason::kNoCapacity,
                   "no other PM can host this VM right now");
   }
@@ -346,7 +415,7 @@ Response PlacementService::migrate(const Request& request) {
   record.pm = *new_pm;
   record.assignments = dc_.pm(*new_pm).vms.back().assignments;
   log_record(std::move(record));
-  ++stats_.migrated;
+  m_.migrated->inc();
 
   Response response;
   response.ok = true;
@@ -386,16 +455,21 @@ Response PlacementService::health_response() {
   }
   const bool degraded_now = degraded_.load(std::memory_order_relaxed);
   const char* mode = degraded_now ? "degraded" : (draining_now ? "draining" : "ok");
+  // Keep the gauges honest even when nobody scrapes between batches.
+  m_.mode->set(degraded_now ? 2 : (draining_now ? 1 : 0));
+  m_.queue_depth->set(static_cast<std::int64_t>(queue_depth));
+  m_.wal_lag->set(static_cast<std::int64_t>(op_seq_ - snapshot_op_seq_));
   response.extra.emplace_back("mode", json_quote(mode));
   response.extra.emplace_back("queue_depth", std::to_string(queue_depth));
   // Ops acknowledged since the last durable snapshot = replay work a crash
   // right now would need (and the WAL bytes a degraded disk is holding up).
   response.extra.emplace_back("wal_lag", std::to_string(op_seq_ - snapshot_op_seq_));
   response.extra.emplace_back("op_seq", std::to_string(op_seq_));
-  response.extra.emplace_back("degraded_entries", std::to_string(stats_.degraded_entries));
-  response.extra.emplace_back("storage_probes", std::to_string(stats_.storage_probes));
-  response.extra.emplace_back("io_errors", std::to_string(stats_.io_errors));
-  response.extra.emplace_back("last_error", json_quote(stats_.last_io_error));
+  response.extra.emplace_back("degraded_entries",
+                              std::to_string(m_.degraded_transitions->value()));
+  response.extra.emplace_back("storage_probes", std::to_string(m_.probes->value()));
+  response.extra.emplace_back("io_errors", std::to_string(m_.io_errors->value()));
+  response.extra.emplace_back("last_error", json_quote(last_io_error_));
   if (degraded_now) response.retry_after_ms = config_.degraded_retry_after_ms;
   return response;
 }
@@ -410,25 +484,33 @@ Response PlacementService::stats_response() {
   add("used_pms", dc_.used_count());
   add("pm_count", dc_.pm_count());
   add("vm_count", dc_.vm_count());
-  add("placed", stats_.placed);
-  add("released", stats_.released);
-  add("migrated", stats_.migrated);
-  add("rejected", stats_.rejected);
-  add("queue_rejected", stats_.queue_rejected);
-  add("batches", stats_.batches);
-  add("max_batch", stats_.max_batch);
-  add("snapshots", stats_.snapshots);
-  add("replayed_records", stats_.replayed_records);
+  add("placed", m_.placed->value());
+  add("released", m_.released->value());
+  add("migrated", m_.migrated->value());
+  add("rejected", m_.rejected->value());
+  add("queue_rejected", m_.queue_rejected->value());
+  add("batches", m_.batches->value());
+  add("max_batch", max_batch_seen_);
+  add("snapshots", m_.snapshots->value());
+  add("replayed_records", m_.replayed_records->value());
   add("op_seq", op_seq_);
   // 64-bit digest goes out as a string: JSON numbers lose precision > 2^53.
   response.extra.emplace_back("state_digest",
                               json_quote(std::to_string(datacenter_state_digest(dc_))));
-  response.extra.emplace_back("recovered", stats_.recovered ? "true" : "false");
-  response.extra.emplace_back("wal_torn_tail", stats_.wal_torn_tail ? "true" : "false");
+  response.extra.emplace_back("recovered", recovered_ ? "true" : "false");
+  response.extra.emplace_back("wal_torn_tail", wal_torn_tail_ ? "true" : "false");
   response.extra.emplace_back("draining", draining() ? "true" : "false");
   response.extra.emplace_back(
       "mode", json_quote(degraded_.load(std::memory_order_relaxed) ? "degraded" : "ok"));
-  add("io_errors", stats_.io_errors);
+  add("io_errors", m_.io_errors->value());
+  return response;
+}
+
+Response PlacementService::metrics_response() {
+  Response response;
+  response.ok = true;
+  response.op = "metrics";
+  response.extra.emplace_back("metrics", metrics_->render_json());
   return response;
 }
 
@@ -459,6 +541,7 @@ Response PlacementService::execute_locked(const Request& request) {
   switch (request.op) {
     case RequestOp::kStats: return stats_response();
     case RequestOp::kHealth: return health_response();
+    case RequestOp::kMetrics: return metrics_response();
     case RequestOp::kLookup: return lookup(request);
     case RequestOp::kDrain: return drain_response();
     default: break;
@@ -485,8 +568,7 @@ Response PlacementService::execute(const Request& request) {
   maybe_probe_storage();
   Response response = execute_locked(request);
   if (wal_ != nullptr && wal_dirty_) {
-    const IoStatus status = wal_->flush();
-    wal_dirty_ = false;
+    const IoStatus status = flush_wal();
     if (!status.ok()) {
       enter_degraded(status);
       demote_unlogged(response);
@@ -501,7 +583,7 @@ std::future<Response> PlacementService::submit(Request request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!draining_ && !stop_ && queue_.size() < config_.queue_capacity) {
-      queue_.push_back(Pending{std::move(request), std::move(promise)});
+      queue_.push_back(Pending{std::move(request), std::move(promise), obs::now_ns()});
       cv_.notify_one();
       return future;
     }
@@ -509,7 +591,7 @@ std::future<Response> PlacementService::submit(Request request) {
       promise.set_value(reject(request, RejectReason::kDraining, "daemon is draining"));
       return future;
     }
-    ++stats_.queue_rejected;
+    m_.queue_rejected->inc();
   }
   Response response = reject(request, RejectReason::kQueueFull, "request queue is full");
   response.retry_after_ms = config_.retry_after_ms;
@@ -550,6 +632,16 @@ void PlacementService::worker_loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      m_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+    }
+
+    // One clock read covers the whole batch (queue wait is dominated by the
+    // time spent queued, not the pop loop above).
+    if (!batch.empty()) {
+      const std::uint64_t now = obs::now_ns();
+      for (const Pending& pending : batch) {
+        m_.queue_wait_ns->record(now > pending.enqueued_ns ? now - pending.enqueued_ns : 0);
+      }
     }
 
     maybe_probe_storage();
@@ -569,8 +661,7 @@ void PlacementService::worker_loop() {
     // flush fails, nothing of this batch was acknowledged yet — demote the
     // would-be acks to degraded_storage rejections and suspend writes.
     if (wal_ != nullptr && wal_dirty_) {
-      const IoStatus status = wal_->flush();
-      wal_dirty_ = false;
+      const IoStatus status = flush_wal();
       if (!status.ok()) {
         enter_degraded(status);
         for (Response& response : responses) demote_unlogged(response);
@@ -579,8 +670,11 @@ void PlacementService::worker_loop() {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(responses[i]));
     }
-    ++stats_.batches;
-    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, batch.size());
+    m_.batches->inc();
+    m_.batch_size->record(batch.size());
+    m_.max_batch->set_max(static_cast<std::int64_t>(batch.size()));
+    max_batch_seen_ = std::max<std::uint64_t>(max_batch_seen_, batch.size());
+    m_.wal_lag->set(static_cast<std::int64_t>(op_seq_ - snapshot_op_seq_));
     batch.clear();
 
     if (config_.snapshot_every_ops > 0 && !degraded_.load(std::memory_order_relaxed) &&
@@ -644,12 +738,28 @@ void PlacementService::stop_now() {
 }
 
 ServiceStats PlacementService::stats() const {
-  // Counters are worker-owned; this copy is only guaranteed consistent
+  // Counters live in the registry (atomic, readable any time); the plain
+  // members are worker-owned, so this copy is only guaranteed consistent
   // when the worker is stopped (tests) or via the in-band stats op.
   std::lock_guard<std::mutex> lock(mu_);
-  ServiceStats copy = stats_;
+  ServiceStats copy;
+  copy.placed = m_.placed->value();
+  copy.released = m_.released->value();
+  copy.migrated = m_.migrated->value();
+  copy.rejected = m_.rejected->value();
+  copy.queue_rejected = m_.queue_rejected->value();
+  copy.batches = m_.batches->value();
+  copy.max_batch = max_batch_seen_;
+  copy.snapshots = m_.snapshots->value();
+  copy.replayed_records = m_.replayed_records->value();
   copy.op_seq = op_seq_;
+  copy.recovered = recovered_;
+  copy.wal_torn_tail = wal_torn_tail_;
   copy.degraded = degraded_.load(std::memory_order_relaxed);
+  copy.degraded_entries = m_.degraded_transitions->value();
+  copy.storage_probes = m_.probes->value();
+  copy.io_errors = m_.io_errors->value();
+  copy.last_io_error = last_io_error_;
   return copy;
 }
 

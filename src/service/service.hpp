@@ -36,6 +36,7 @@
 // acknowledged — acknowledged always implies durable.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -52,6 +53,7 @@
 
 #include "cluster/datacenter.hpp"
 #include "core/catalog_graphs.hpp"
+#include "obs/metrics.hpp"
 #include "placement/pagerank_vm.hpp"
 #include "service/admission.hpp"
 #include "service/protocol.hpp"
@@ -86,6 +88,11 @@ struct ServiceConfig {
   /// IO environment for WAL/snapshot/probe IO. Null = the real syscalls;
   /// tests and the chaos harness install a FaultInjectingIoEnv.
   std::shared_ptr<IoEnv> io_env;
+  /// Metrics registry for every service/engine/IO counter and histogram.
+  /// Null = the service creates a private registry (test isolation); the
+  /// daemon passes obs::global_registry_ptr() so one exposition covers the
+  /// whole process. See DESIGN.md §5.
+  std::shared_ptr<obs::Registry> metrics;
   PageRankVmOptions engine;
 };
 
@@ -154,13 +161,18 @@ class PlacementService {
   bool draining() const;
   /// True while storage is failing and mutating requests are rejected.
   bool degraded() const;
+  /// The registry every service/engine/IO metric of this instance lives in
+  /// (config.metrics, or the private one created when that was null).
+  obs::Registry& metrics_registry() const { return *metrics_; }
 
  private:
   struct Pending {
     Request request;
     std::promise<Response> promise;
+    std::uint64_t enqueued_ns = 0;  ///< submit() timestamp (queue-wait metric)
   };
 
+  void init_metrics();
   void worker_loop();
   Response execute_locked(const Request& request);
   Response place(const Request& request);
@@ -169,14 +181,19 @@ class PlacementService {
   Response lookup(const Request& request);
   Response stats_response();
   Response health_response();
+  Response metrics_response();
   Response drain_response();
   std::optional<std::size_t> resolve_vm_type(const Request& request) const;
   bool feasible_anywhere(std::size_t vm_type, const PlacementConstraints& constraints) const;
   void apply_wal_record(const WalRecord& record);
   void log_record(WalRecord record);
+  /// Timed, counted wal_->flush(); clears wal_dirty_.
+  IoStatus flush_wal();
   IoStatus take_snapshot();
   void recover(const std::vector<std::size_t>& fleet);
-  static Response reject(const Request& request, RejectReason reason, std::string message);
+  /// Builds a structured rejection and bumps its per-reason verdict counter
+  /// (const: counter updates are atomic, no service state changes).
+  Response reject(const Request& request, RejectReason reason, std::string message) const;
 
   // --- degraded-mode state machine (worker thread only) ---
   /// Records the failure, suspends writes and schedules the first probe.
@@ -194,23 +211,61 @@ class PlacementService {
   ServiceConfig config_;
   Catalog catalog_;
   Datacenter dc_;
+  std::shared_ptr<obs::Registry> metrics_;  ///< before engine_: the engine points into it
   std::unique_ptr<PageRankVm> engine_;
   AdmissionController admission_;
   std::unordered_map<std::string, std::size_t> vm_type_by_name_;
 
-  IoEnv* io_ = nullptr;  ///< config_.io_env or the real env
+  IoEnv* io_ = nullptr;  ///< instrumented_io_ (wrapping config_.io_env or the real env)
+  std::unique_ptr<InstrumentedIoEnv> instrumented_io_;
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t snapshot_op_seq_ = 0;  ///< op_seq covered by the last snapshot
   std::uint64_t op_seq_ = 0;
   bool wal_dirty_ = false;  ///< appended since last flush
 
-  // Degraded-mode bookkeeping (worker-owned like stats_; the atomic mirror
-  // lets submit() and external readers observe the mode without the lock).
+  // Degraded-mode bookkeeping (worker-owned; the atomic mirror lets
+  // submit() and external readers observe the mode without the lock).
   std::atomic<bool> degraded_{false};
   std::uint64_t probe_backoff_ms_ = 0;
   std::uint64_t next_probe_at_ms_ = 0;
 
-  ServiceStats stats_;
+  /// References into metrics_, resolved once by init_metrics(). These ARE
+  /// the service counters — ServiceStats and the stats/health responses are
+  /// materialized from them, so the wire shapes never see the registry.
+  struct Metrics {
+    obs::Counter* placed = nullptr;
+    obs::Counter* released = nullptr;
+    obs::Counter* migrated = nullptr;
+    obs::Counter* rejected = nullptr;       ///< admission rejections
+    obs::Counter* queue_rejected = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* snapshots = nullptr;
+    obs::Counter* wal_appends = nullptr;
+    obs::Counter* replayed_records = nullptr;
+    obs::Counter* io_errors = nullptr;
+    obs::Counter* degraded_transitions = nullptr;
+    obs::Counter* probes = nullptr;
+    obs::Counter* probe_failures = nullptr;
+    obs::Counter* probe_successes = nullptr;
+    /// Per-RejectReason verdict counters (kNone unused).
+    std::array<obs::Counter*, 9> reject_by_reason{};
+    obs::Gauge* mode = nullptr;        ///< 0 ok, 1 draining, 2 degraded
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* wal_lag = nullptr;
+    obs::Gauge* max_batch = nullptr;
+    obs::Histogram* queue_wait_ns = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* place_compute_ns = nullptr;
+    obs::Histogram* wal_flush_ns = nullptr;
+    obs::Histogram* snapshot_ns = nullptr;
+  };
+  Metrics m_;
+
+  // Non-counter bits of ServiceStats (worker-owned).
+  bool recovered_ = false;
+  bool wal_torn_tail_ = false;
+  std::string last_io_error_;
+  std::uint64_t max_batch_seen_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

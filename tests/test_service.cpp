@@ -17,6 +17,7 @@
 
 #include "cluster/catalog.hpp"
 #include "core/catalog_graphs.hpp"
+#include "obs/metrics.hpp"
 #include "service/service.hpp"
 #include "service/socket_server.hpp"
 #include "sim/simulator.hpp"
@@ -362,6 +363,111 @@ TEST_F(ServiceTest, SocketPipelinedRequestsKeepOrder) {
   }
   server.stop();
   service->drain();
+}
+
+// --- Observability ----------------------------------------------------------
+
+/// Executes a no-argument op and returns the wire-encoded response, parsed —
+/// the same bytes a socket client would see.
+JsonValue exec_parsed(PlacementService& service, RequestOp op) {
+  Request request;
+  request.op = op;
+  std::string error;
+  auto doc = parse_json(encode_response(service.execute(request)), &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  return doc.has_value() ? std::move(*doc) : JsonValue{};
+}
+
+TEST_F(ServiceTest, HealthResponseKeepsBackwardCompatibleShape) {
+  auto service = make_service(4);
+  ASSERT_TRUE(service->execute(place_request(1, 0)).ok);
+  ASSERT_TRUE(service->execute(place_request(2, 0)).ok);
+
+  // The health shape predates the metrics registry; monitoring keys on these
+  // exact names and semantics, so migrating the counters onto the registry
+  // must not move or rename them.
+  const JsonValue health = exec_parsed(*service, RequestOp::kHealth);
+  EXPECT_TRUE(response_ok(health));
+  ASSERT_NE(health.find("mode"), nullptr);
+  EXPECT_EQ(health.find("mode")->string, "ok");
+  for (const char* key : {"queue_depth", "wal_lag", "op_seq", "degraded_entries",
+                          "storage_probes", "io_errors"}) {
+    ASSERT_NE(health.find(key), nullptr) << key;
+    EXPECT_EQ(health.find(key)->kind, JsonValue::Kind::kNumber) << key;
+  }
+  ASSERT_NE(health.find("last_error"), nullptr);
+  EXPECT_EQ(health.find("op_seq")->number, 2.0);
+  EXPECT_EQ(health.find("queue_depth")->number, 0.0);
+  EXPECT_EQ(health.find("degraded_entries")->number, 0.0);
+  EXPECT_EQ(health.find("io_errors")->number, 0.0);
+  EXPECT_EQ(health.find("last_error")->string, "");
+}
+
+TEST_F(ServiceTest, MetricsOpReportsRegistryState) {
+  auto service = make_service(4);
+  for (std::uint64_t vm = 1; vm <= 3; ++vm) {
+    ASSERT_TRUE(service->execute(place_request(vm, 0)).ok);
+  }
+  ASSERT_TRUE(service->execute(release_request(3)).ok);
+  EXPECT_EQ(service->execute(place_request(1, 0)).error, "duplicate_vm");
+
+  const JsonValue doc = exec_parsed(*service, RequestOp::kMetrics);
+  EXPECT_TRUE(response_ok(doc));
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->kind, JsonValue::Kind::kObject);
+
+  const JsonValue* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("prvm_ops_placed_total"), nullptr);
+  EXPECT_EQ(counters->find("prvm_ops_placed_total")->number, 3.0);
+  EXPECT_EQ(counters->find("prvm_ops_released_total")->number, 1.0);
+  // prvm_ops_rejected_total keeps the stats-op semantics (engine-level
+  // rejections only); admission rejects show up per reason instead.
+  EXPECT_EQ(counters->find("prvm_ops_rejected_total")->number, 0.0);
+  ASSERT_NE(counters->find("prvm_reject_duplicate_vm_total"), nullptr);
+  EXPECT_EQ(counters->find("prvm_reject_duplicate_vm_total")->number, 1.0);
+  // The engine reports into the same registry as its owning service.
+  ASSERT_NE(counters->find("prvm_engine_place_total"), nullptr);
+  EXPECT_GE(counters->find("prvm_engine_place_total")->number, 3.0);
+
+  const JsonValue* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("prvm_mode"), nullptr);
+  EXPECT_NE(gauges->find("prvm_queue_depth"), nullptr);
+
+  const JsonValue* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* compute = histograms->find("prvm_place_compute_ns");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_GE(compute->find("count")->number, 3.0);
+  const double p50 = compute->find("p50")->number;
+  const double p99 = compute->find("p99")->number;
+  const double p999 = compute->find("p999")->number;
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+}
+
+TEST_F(ServiceTest, MetricsRegistriesIsolateServicesAndAcceptInjection) {
+  // Default: each service gets a private registry, so parallel services in
+  // one process (tests!) never bleed counters into each other. An injected
+  // registry (the daemon passes the global one) is used as-is.
+  auto shared = std::make_shared<obs::Registry>();
+  ServiceConfig injected;
+  injected.metrics = shared;
+  auto a = make_service(4, injected);
+  auto b = make_service(4);
+  ASSERT_TRUE(a->execute(place_request(1, 0)).ok);
+  ASSERT_TRUE(a->execute(place_request(2, 0)).ok);
+  ASSERT_TRUE(b->execute(place_request(1, 0)).ok);
+
+  EXPECT_EQ(&a->metrics_registry(), shared.get());
+  EXPECT_NE(&a->metrics_registry(), &b->metrics_registry());
+  ASSERT_NE(shared->find_counter("prvm_ops_placed_total"), nullptr);
+  EXPECT_EQ(shared->find_counter("prvm_ops_placed_total")->value(), 2u);
+  ASSERT_NE(b->metrics_registry().find_counter("prvm_ops_placed_total"), nullptr);
+  EXPECT_EQ(b->metrics_registry().find_counter("prvm_ops_placed_total")->value(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Validators for the prvm observability surfaces (no third-party deps).
+
+Modes:
+
+  check_metrics.py prom SCRAPE [SCRAPE2]
+      Validate Prometheus text exposition (v0.0.4, as prvm_serve emits it):
+      every line parses, every sample belongs to a declared # TYPE family,
+      counters end in _total, histogram bucket counts are cumulative and
+      nondecreasing, the +Inf bucket equals _count, and _sum is present.
+      With a second scrape of the same process, counters and histogram
+      count/sum must be monotonic (scrape2 >= scrape1).
+
+  check_metrics.py opjson FILE [--require NAME ...]
+      Validate a `metrics` protocol-op response (one JSON line, as printed
+      by `prvm_loadgen --metrics`): histogram summaries carry
+      count/sum/mean/p50/p90/p99/p999 with p50 <= p90 <= p99 <= p999, and
+      each --require'd histogram has a nonzero count. Defaults require the
+      three pipeline histograms the acceptance bar names: queue wait, WAL
+      flush and placement compute.
+"""
+import json
+import re
+import sys
+
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) "
+                     r"(counter|gauge|histogram|summary|untyped)$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)(?:\{([^{}]*)\})? "
+                       r"(-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$")
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def to_float(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_exposition(path):
+    """Returns (types, samples): declared families and ordered samples."""
+    types = {}
+    samples = []  # (name, labels, value) in file order
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                m = TYPE_RE.match(line)
+                if m is None:
+                    # HELP and free comments are legal; TYPE must parse.
+                    if line.startswith("# TYPE"):
+                        fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+                    continue
+                types[m.group(1)] = m.group(2)
+                continue
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+                continue
+            samples.append((m.group(1), m.group(2) or "", to_float(m.group(3))))
+    return types, samples
+
+
+def family_of(name, types):
+    """The declared family a sample belongs to, or None."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check_scrape(path):
+    types, samples = parse_exposition(path)
+    seen_families = set()
+    histograms = {}  # family -> {"buckets": [(le, v)...], "sum": v, "count": v}
+    flat = {}  # (name, labels) -> value, for cross-scrape monotonicity
+
+    for name, labels, value in samples:
+        family = family_of(name, types)
+        if family is None:
+            fail(f"{path}: sample {name!r} has no # TYPE declaration")
+            continue
+        seen_families.add(family)
+        flat[(name, labels)] = value
+        kind = types[family]
+        if kind == "counter":
+            if not family.endswith("_total"):
+                fail(f"{path}: counter {family!r} does not end in _total")
+            if value < 0:
+                fail(f"{path}: counter {name} is negative: {value}")
+        elif kind == "histogram":
+            h = histograms.setdefault(family, {"buckets": [], "sum": None, "count": None})
+            if name == family + "_bucket":
+                le = dict(pair.split("=", 1) for pair in labels.split(",")).get("le")
+                if le is None:
+                    fail(f"{path}: {name} sample without an le label")
+                    continue
+                h["buckets"].append((to_float(le.strip('"')), value))
+            elif name == family + "_sum":
+                h["sum"] = value
+            elif name == family + "_count":
+                h["count"] = value
+
+    for family, h in histograms.items():
+        if not h["buckets"]:
+            fail(f"{path}: histogram {family} has no buckets")
+            continue
+        if h["sum"] is None:
+            fail(f"{path}: histogram {family} is missing _sum")
+        if h["count"] is None:
+            fail(f"{path}: histogram {family} is missing _count")
+            continue
+        les = [le for le, _ in h["buckets"]]
+        values = [v for _, v in h["buckets"]]
+        if les != sorted(les):
+            fail(f"{path}: histogram {family} bucket le values not sorted")
+        if values != sorted(values):
+            fail(f"{path}: histogram {family} bucket counts not cumulative")
+        if les[-1] != float("inf"):
+            fail(f"{path}: histogram {family} is missing the +Inf bucket")
+        elif values[-1] != h["count"]:
+            fail(f"{path}: histogram {family} +Inf bucket {values[-1]} != "
+                 f"_count {h['count']}")
+
+    for family in types:
+        if family not in seen_families:
+            fail(f"{path}: # TYPE {family} declared but no samples follow")
+    return types, flat
+
+
+def check_monotonic(types, first, second, path1, path2):
+    for (name, labels), before in first.items():
+        family = family_of(name, types)
+        kind = types.get(family)
+        monotonic = kind == "counter" or (
+            kind == "histogram" and (name.endswith("_count") or name.endswith("_sum")))
+        if not monotonic:
+            continue
+        after = second.get((name, labels))
+        if after is None:
+            fail(f"{path2}: {name}{{{labels}}} present in {path1} but missing here")
+        elif after < before:
+            fail(f"{name}{{{labels}}} went backwards across scrapes: "
+                 f"{before} -> {after}")
+
+
+def run_prom(argv):
+    if not argv:
+        print("usage: check_metrics.py prom SCRAPE [SCRAPE2]", file=sys.stderr)
+        return 2
+    types1, flat1 = check_scrape(argv[0])
+    n_scrapes = 1
+    if len(argv) > 1:
+        types2, flat2 = check_scrape(argv[1])
+        if types1 != types2:
+            fail(f"TYPE declarations differ between {argv[0]} and {argv[1]}")
+        check_monotonic(types1, flat1, flat2, argv[0], argv[1])
+        n_scrapes = 2
+    if errors:
+        return 1
+    print(f"OK: {len(types1)} metric families, {len(flat1)} samples, "
+          f"{n_scrapes} scrape(s) validated")
+    return 0
+
+
+DEFAULT_REQUIRED = ["prvm_queue_wait_ns", "prvm_wal_flush_ns", "prvm_place_compute_ns"]
+
+
+def run_opjson(argv):
+    if not argv:
+        print("usage: check_metrics.py opjson FILE [--require NAME ...]",
+              file=sys.stderr)
+        return 2
+    required = DEFAULT_REQUIRED
+    if "--require" in argv:
+        i = argv.index("--require")
+        required = argv[i + 1:]
+        argv = argv[:i]
+    with open(argv[0], "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics", doc)  # accept the raw registry object too
+    for group in ("counters", "gauges", "histograms"):
+        if group not in metrics:
+            fail(f"metrics object is missing {group!r}")
+    if errors:
+        report()
+        return 1
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(f"counter {name} has a bad value: {value!r}")
+    for name, h in metrics["histograms"].items():
+        for key in ("count", "sum", "mean", "p50", "p90", "p99", "p999"):
+            if key not in h:
+                fail(f"histogram {name} is missing {key!r}")
+        if all(k in h for k in ("p50", "p90", "p99", "p999")):
+            if not h["p50"] <= h["p90"] <= h["p99"] <= h["p999"]:
+                fail(f"histogram {name} quantiles are not ordered: "
+                     f"p50={h['p50']} p90={h['p90']} p99={h['p99']} "
+                     f"p999={h['p999']}")
+    for name in required:
+        h = metrics["histograms"].get(name)
+        if h is None:
+            fail(f"required histogram {name} is absent")
+        elif h.get("count", 0) <= 0:
+            fail(f"required histogram {name} has zero samples")
+    if errors:
+        return 1
+    print(f"OK: {len(metrics['counters'])} counters, "
+          f"{len(metrics['histograms'])} histograms, "
+          f"{len(required)} required histograms nonzero")
+    return 0
+
+
+def report():
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+
+
+def main():
+    if len(sys.argv) < 2 or sys.argv[1] not in ("prom", "opjson"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = run_prom(sys.argv[2:]) if sys.argv[1] == "prom" else run_opjson(sys.argv[2:])
+    report()
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -183,26 +183,112 @@ bool wait_ready(Client& client, const std::string& socket_path, pid_t pid, int t
 // Fault-schedule themes. All error rules are count-limited so every round's
 // fault eventually clears and the daemon can recover while traffic retries.
 
-std::string schedule_for_round(std::size_t round, Rng& rng) {
+/// A round's fault schedule plus what it predicts: once the daemon has made
+/// `fire_threshold` calls to `op_name`, the injector MUST have fired at
+/// least once. Observed call counts come from the prvm_io_<op>_ns
+/// histograms, which sit outside the injector, so they never overcount its
+/// per-op call sequence.
+struct FaultPlan {
+  std::string spec;              ///< --fault-schedule value; empty = fault-free
+  std::string op_name;           ///< instrumented op the trigger watches
+  std::uint64_t fire_threshold;  ///< calls after which injected >= 1 must hold
+};
+
+FaultPlan schedule_for_round(std::size_t round, Rng& rng) {
   const std::uint64_t seed = rng.uniform_int(1, 1 << 30);
   const std::string tail = ";seed=" + std::to_string(seed);
   switch (round % 6) {
     case 0:
-      return "";  // baseline: crash/drain behaviour without storage faults
-    case 1:  // disk fills up mid-run, then frees
-      return "write:after=" + std::to_string(rng.uniform_int(5, 40)) +
-             ":errno=ENOSPC:count=" + std::to_string(rng.uniform_int(4, 10)) + tail;
-    case 2:  // flaky fsync
-      return "fsync:every=" + std::to_string(rng.uniform_int(2, 5)) +
-             ":errno=EIO:count=" + std::to_string(rng.uniform_int(3, 8)) + tail;
+      return {"", "", 0};  // baseline: crash/drain behaviour without storage faults
+    case 1: {  // disk fills up mid-run, then frees
+      const std::uint64_t after = rng.uniform_int(5, 12);
+      return {"write:after=" + std::to_string(after) +
+                  ":errno=ENOSPC:count=" + std::to_string(rng.uniform_int(4, 10)) + tail,
+              "write", after + 1};
+    }
+    case 2: {  // flaky fsync
+      const std::uint64_t every = rng.uniform_int(2, 5);
+      return {"fsync:every=" + std::to_string(every) +
+                  ":errno=EIO:count=" + std::to_string(rng.uniform_int(3, 8)) + tail,
+              "fsync", every};
+    }
     case 3:  // torn/short writes plus an EINTR storm
-      return "write:every=3:short=0.5:count=25;write:every=2:errno=EINTR:count=40" + tail;
+      return {"write:every=3:short=0.5:count=25;write:every=2:errno=EINTR:count=40" + tail,
+              "write", 2};
     case 4:  // snapshot rename fails a few times
-      return "rename:nth=1:errno=EACCES:count=" + std::to_string(rng.uniform_int(1, 3)) + tail;
-    default:  // slow storage: fsync latency, no errors
-      return "fsync:every=2:delay_ms=" + std::to_string(rng.uniform_int(5, 20)) +
-             ":count=30" + tail;
+      return {"rename:nth=1:errno=EACCES:count=" + std::to_string(rng.uniform_int(1, 3)) + tail,
+              "rename", 1};
+    default: {  // slow storage: fsync latency, no errors
+      const std::uint64_t every = 2;
+      return {"fsync:every=" + std::to_string(every) +
+                  ":delay_ms=" + std::to_string(rng.uniform_int(5, 20)) + ":count=30" + tail,
+              "fsync", every};
+    }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics cross-check: after each surviving round, scrape the in-band
+// `metrics` op and assert the observability counters are consistent with
+// the fault schedule the round actually applied.
+
+double metric_number(const JsonValue& metrics, const char* group, const std::string& name,
+                     const char* field = nullptr) {
+  const JsonValue* g = metrics.find(group);
+  const JsonValue* m = g != nullptr ? g->find(name) : nullptr;
+  if (m == nullptr) return 0.0;
+  if (field != nullptr) m = m->find(field);
+  return m != nullptr && m->kind == JsonValue::Kind::kNumber ? m->number : 0.0;
+}
+
+std::size_t check_round_metrics(Client& client, const FaultPlan& plan, std::size_t round) {
+  std::size_t mismatches = 0;
+  const JsonValue doc = client.request("{\"op\":\"metrics\"}\n");
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kObject) {
+    std::cerr << "prvm_chaos: METRICS FAIL: metrics op returned no metrics object (round "
+              << round + 1 << ")\n";
+    return 1;
+  }
+  const double injected = metric_number(*metrics, "counters", "prvm_io_injected_faults_total");
+  const double transitions =
+      metric_number(*metrics, "counters", "prvm_degraded_transitions_total");
+
+  // The health response predates the registry; its degraded_entries counter
+  // was migrated onto prvm_degraded_transitions_total and must stay equal.
+  const JsonValue health = client.request("{\"op\":\"health\"}\n");
+  const double entries = field_number(health, "degraded_entries");
+  if (entries != transitions) {
+    std::cerr << "prvm_chaos: METRICS FAIL: health degraded_entries=" << entries
+              << " != prvm_degraded_transitions_total=" << transitions << " (round "
+              << round + 1 << ")\n";
+    ++mismatches;
+  }
+
+  if (plan.spec.empty()) {
+    if (injected != 0) {
+      std::cerr << "prvm_chaos: METRICS FAIL: " << injected
+                << " injected faults reported in a fault-free round " << round + 1 << "\n";
+      ++mismatches;
+    }
+  } else {
+    const double calls =
+        metric_number(*metrics, "histograms", "prvm_io_" + plan.op_name + "_ns", "count");
+    if (calls >= static_cast<double>(plan.fire_threshold) && injected < 1) {
+      std::cerr << "prvm_chaos: METRICS FAIL: " << calls << " " << plan.op_name
+                << " calls observed (trigger at " << plan.fire_threshold
+                << ") but prvm_io_injected_faults_total=0 (round " << round + 1 << ")\n";
+      ++mismatches;
+    }
+    const double by_op =
+        metric_number(*metrics, "counters", "prvm_io_injected_" + plan.op_name + "_total");
+    if (by_op > injected) {
+      std::cerr << "prvm_chaos: METRICS FAIL: per-op injected count " << by_op
+                << " exceeds total " << injected << " (round " << round + 1 << ")\n";
+      ++mismatches;
+    }
+  }
+  return mismatches;
 }
 
 // ---------------------------------------------------------------------------
@@ -322,6 +408,8 @@ int run(const Options& options) {
   bool saw_degraded = false;
   bool saw_recovery = false;
   std::size_t crashes_injected = 0;
+  std::size_t metric_mismatches = 0;
+  std::size_t metric_rounds_checked = 0;
 
   const auto daemon_args = [&](const std::string& schedule) {
     std::vector<std::string> args = {
@@ -336,7 +424,8 @@ int run(const Options& options) {
   };
 
   for (std::size_t round = 0; round < options.rounds; ++round) {
-    const std::string schedule = schedule_for_round(round, rng);
+    const FaultPlan plan = schedule_for_round(round, rng);
+    const std::string& schedule = plan.spec;
     const bool hard_kill = (round % 2) == 1;
     std::cout << "prvm_chaos: round " << (round + 1) << "/" << options.rounds
               << (hard_kill ? " [SIGKILL]" : " [SIGTERM]")
@@ -426,6 +515,19 @@ int run(const Options& options) {
         break;
       }
     }
+
+    // Metrics cross-check while the round's daemon is still up. In a
+    // hard-kill round the SIGKILL can race the scrape, so connection loss
+    // there is expected; un-killed it is the same protocol violation the
+    // drain path reports below.
+    if (!connection_lost && client.connected()) {
+      try {
+        metric_mismatches += check_round_metrics(client, plan, round);
+        ++metric_rounds_checked;
+      } catch (const std::exception&) {
+        if (!hard_kill) connection_lost = true;
+      }
+    }
     client.disconnect();
 
     if (hard_kill) {
@@ -481,6 +583,8 @@ int run(const Options& options) {
       ++mismatches;
     }
     mismatches += verify_ledger(client, ledger);
+    // The fault-free boot must report a clean registry: no injected faults.
+    mismatches += check_round_metrics(client, FaultPlan{"", "", 0}, options.rounds);
   } catch (const std::exception& e) {
     std::cerr << "prvm_chaos: verification connection failed: " << e.what() << "\n";
     ++mismatches;
@@ -494,13 +598,16 @@ int run(const Options& options) {
     ++mismatches;
   }
 
+  mismatches += metric_mismatches;
   std::cout << "prvm_chaos: " << (mismatches == 0 ? "PASS" : "FAIL") << " seed="
             << options.seed << " rounds=" << options.rounds << " placed="
             << ledger.present.size() << " released=" << ledger.released.size()
             << " limbo=" << ledger.limbo.size() << " retries=" << ledger.retries
             << " rejected=" << ledger.rejected << " crashes=" << crashes_injected
             << " degraded_seen=" << (saw_degraded ? "yes" : "no")
-            << " recovered_seen=" << (saw_recovery ? "yes" : "no") << "\n";
+            << " recovered_seen=" << (saw_recovery ? "yes" : "no")
+            << " metric_checks=" << metric_rounds_checked
+            << " metric_mismatches=" << metric_mismatches << "\n";
   if (mismatches == 0 && options.data_dir.empty()) {
     std::error_code ec;
     fs::remove_all(dir, ec);

@@ -1,10 +1,12 @@
 // prvm_loadgen — load generator / measurement client for prvm_serve.
 //
 // Replays an EC2-mix placement workload against a running daemon over the
-// JSON-lines protocol and reports end-to-end placements/sec and p50/p99
-// request latency (send -> response received, i.e. including queueing,
-// batching, WAL flush and the socket round trip) in the same --json schema
-// as bench_placement_throughput.
+// JSON-lines protocol and reports end-to-end placements/sec and
+// p50/p99/p999 request latency (send -> response received, i.e. including
+// queueing, batching, WAL flush and the socket round trip) in the same
+// --json schema as bench_placement_throughput. Latencies are accumulated in
+// one shared obs::Histogram (the daemon's own histogram type — lock-free
+// across connections, quantiles within 12.5%), not a per-sample vector.
 //
 // Modes:
 //   --fill-pms N --ops M   fill the fleet to N used PMs, then run M
@@ -13,6 +15,7 @@
 //   --place N              place exactly N VMs and print the daemon's stats
 //                          line (crash-recovery smoke test hook)
 //   --stats                print the daemon's stats line and exit
+//   --metrics              print the daemon's metrics-op JSON and exit
 #include <atomic>
 #include <algorithm>
 #include <chrono>
@@ -35,6 +38,7 @@
 
 #include "cluster/catalog.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,6 +57,7 @@ struct Options {
   std::size_t churn_ops = 2000;
   std::size_t place_exact = 0;
   bool stats_only = false;
+  bool metrics_only = false;
   std::string json_path;
 };
 
@@ -144,19 +149,16 @@ JsonValue query_stats(const Options& options) {
   return client.recv_json();
 }
 
-double percentile(std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
-  const std::size_t i = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
-  return sorted_us[i];
-}
-
 struct WorkerResult {
   std::size_t fill_placed = 0;
   std::size_t fill_rejected = 0;
   std::size_t churn_places = 0;
   std::size_t retries = 0;  ///< resends after queue_full / degraded_storage
-  std::vector<double> churn_latencies_us;  ///< place requests only
 };
+
+/// Churn place latencies, all connections; obs::Histogram is lock-free
+/// across the worker threads by construction.
+obs::Histogram g_churn_latency_ns;
 
 struct Inflight {
   Clock::time_point sent;
@@ -273,8 +275,9 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
       if (timing && front.timed) {
         // Latency is measured from the FIRST send, so retried requests
         // report the true end-to-end cost including backoff.
-        result.churn_latencies_us.push_back(
-            std::chrono::duration<double, std::micro>(Clock::now() - front.sent).count());
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - front.sent);
+        g_churn_latency_ns.record(static_cast<std::uint64_t>(ns.count()));
       }
     }
     return accepted ? 1 : 0;
@@ -395,12 +398,15 @@ int main(int argc, char** argv) {
       options.place_exact = std::stoull(value());
     } else if (arg == "--stats") {
       options.stats_only = true;
+    } else if (arg == "--metrics") {
+      options.metrics_only = true;
     } else if (arg == "--json") {
       options.json_path = value();
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--socket PATH | --port N] [--connections C] [--pipeline W]\n"
-                << "       [--fill-pms N --ops M [--json PATH]] | [--place N] | [--stats]\n";
+                << "       [--fill-pms N --ops M [--json PATH]] | [--place N] | [--stats]\n"
+                << "       | [--metrics]\n";
       return 2;
     }
   }
@@ -408,6 +414,14 @@ int main(int argc, char** argv) {
   try {
     if (options.stats_only) {
       print_stats_line(query_stats(options));
+      return 0;
+    }
+    if (options.metrics_only) {
+      // Raw scrape of the daemon's in-band metrics op: one JSON line with
+      // every counter, gauge and histogram summary in the registry.
+      Client client(options);
+      client.send_line("{\"op\":\"metrics\"}\n");
+      std::cout << client.recv_line() << "\n";
       return 0;
     }
 
@@ -496,27 +510,27 @@ int main(int argc, char** argv) {
     std::size_t fill_placed = 0;
     std::size_t churn_places = 0;
     std::size_t retries = 0;
-    std::vector<double> latencies_us;
     for (const WorkerResult& r : results) {
       fill_placed += r.fill_placed;
       churn_places += r.churn_places;
       retries += r.retries;
-      latencies_us.insert(latencies_us.end(), r.churn_latencies_us.begin(),
-                          r.churn_latencies_us.end());
     }
-    std::sort(latencies_us.begin(), latencies_us.end());
+    const obs::HistogramSnapshot latency = g_churn_latency_ns.snapshot();
     const JsonValue final_stats = query_stats(options);
     used_pms = static_cast<std::size_t>(field_number(final_stats, "used_pms"));
 
     const double fill_pps = fill_seconds > 0 ? fill_placed / fill_seconds : 0.0;
     const double churn_pps = churn_seconds > 0 ? churn_places / churn_seconds : 0.0;
-    const double p50 = percentile(latencies_us, 0.50);
-    const double p99 = percentile(latencies_us, 0.99);
+    const double p50 = latency.quantile(0.50) / 1000.0;
+    const double p99 = latency.quantile(0.99) / 1000.0;
+    const double p999 = latency.quantile(0.999) / 1000.0;
 
     std::printf("fill:  %zu placements in %.2fs (%.0f pl/s)\n", fill_placed, fill_seconds,
                 fill_pps);
-    std::printf("churn: %zu placements in %.2fs   %8.0f pl/s   p50 %8.2f us   p99 %8.2f us\n",
-                churn_places, churn_seconds, churn_pps, p50, p99);
+    std::printf(
+        "churn: %zu placements in %.2fs   %8.0f pl/s   p50 %8.2f us   p99 %8.2f us   "
+        "p999 %8.2f us\n",
+        churn_places, churn_seconds, churn_pps, p50, p99, p999);
     std::printf("operating point: %zu used PMs, %zu connections, pipeline %zu, %zu retries\n",
                 used_pms, options.connections, options.pipeline, retries);
 
@@ -536,7 +550,18 @@ int main(int argc, char** argv) {
          << ", \"churn_placements_per_sec\": " << churn_pps
          << ", \"churn_ops\": " << churn_places << ", \"retries\": " << retries
          << ", \"p50_us\": " << p50
-         << ", \"p99_us\": " << p99 << "}}\n  ]\n}\n";
+         << ", \"p99_us\": " << p99
+         << ", \"p999_us\": " << p999 << ",\n      \"latency_histogram_us\": [";
+      // Nonzero buckets as [upper_bound_us, count] pairs, the same log2
+      // bucketing the daemon's own histograms use.
+      bool first = true;
+      for (std::size_t i = 0; i < latency.counts.size(); ++i) {
+        if (latency.counts[i] == 0) continue;
+        os << (first ? "" : ", ") << "[" << obs::Histogram::bucket_hi(i) / 1000.0 << ", "
+           << latency.counts[i] << "]";
+        first = false;
+      }
+      os << "]}}\n  ]\n}\n";
       std::cout << "wrote " << options.json_path << "\n";
     }
     return 0;

@@ -9,14 +9,26 @@
 //
 // Signals: SIGTERM/SIGINT trigger a graceful drain (stop accepting, flush
 // the queue, final snapshot, exit 0). kill -9 is recovered on next start
-// from snapshot + WAL replay.
+// from snapshot + WAL replay. SIGUSR1 dumps the Prometheus exposition to
+// stdout (poor-man's scrape without the HTTP listener).
+//
+// Observability (DESIGN.md §5): every service/engine/IO metric lives in the
+// process-global registry. Scrape it three ways: the in-band `metrics`
+// protocol op, the `--metrics-port` Prometheus HTTP listener, or the
+// periodic `--stats-interval-s` human-readable line on stdout.
+#include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "core/catalog_graphs.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "service/io_env.hpp"
 #include "service/service.hpp"
 #include "service/socket_server.hpp"
@@ -25,8 +37,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_shutdown = 0;
+volatile std::sig_atomic_t g_dump_metrics = 0;
 
 void handle_signal(int) { g_shutdown = 1; }
+
+void handle_usr1(int) { g_dump_metrics = 1; }
 
 void usage(const char* argv0) {
   std::cerr
@@ -43,6 +58,9 @@ void usage(const char* argv0) {
       << "                       defaults to $PRVM_FAULT_SCHEDULE when set\n"
       << "  --probe-initial-ms N initial storage-probe backoff while degraded (default 100)\n"
       << "  --probe-max-ms N     max storage-probe backoff while degraded (default 5000)\n"
+      << "  --metrics-port N     serve Prometheus text exposition on 127.0.0.1:N\n"
+      << "                       (0 = ephemeral; the bound port is printed at startup)\n"
+      << "  --stats-interval-s N print a human-readable stats line every N seconds\n"
       << "  --cache-dir PATH     score-table cache (default $PRVM_CACHE_DIR or .prvm-cache);\n"
       << "                       shared with the bench/experiment harness, so a warm cache\n"
       << "                       makes startup skip the expensive table build\n";
@@ -57,6 +75,8 @@ int main(int argc, char** argv) {
   bool use_tcp = false;
   int tcp_port = 0;
   std::size_t fleet = 10000;
+  std::optional<int> metrics_port;
+  unsigned stats_interval_s = 0;
   ServiceConfig config;
   config.snapshot_every_ops = 100000;
   std::optional<std::filesystem::path> cache_dir;
@@ -98,6 +118,10 @@ int main(int argc, char** argv) {
       config.probe_max_ms = std::stoull(value());
     } else if (arg == "--cache-dir") {
       cache_dir = value();
+    } else if (arg == "--metrics-port") {
+      metrics_port = std::stoi(value());
+    } else if (arg == "--stats-interval-s") {
+      stats_interval_s = static_cast<unsigned>(std::stoul(value()));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -108,6 +132,10 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // One registry for the whole process: service pipeline, engine,
+    // instrumented IO and the score-table cache all report here, and both
+    // exposition paths (metrics op, Prometheus listener) render it.
+    config.metrics = obs::global_registry_ptr();
     if (!fault_schedule.empty()) {
       config.io_env = io_env_from_spec(fault_schedule);
       std::cout << "prvm_serve: FAULT INJECTION ACTIVE: " << fault_schedule << std::endl;
@@ -143,10 +171,48 @@ int main(int argc, char** argv) {
       std::cout << "prvm_serve: listening on " << socket_path << std::endl;
     }
 
+    std::unique_ptr<obs::ExpositionServer> exposition;
+    if (metrics_port.has_value()) {
+      exposition = std::make_unique<obs::ExpositionServer>(
+          [] { return obs::Registry::global().render_prometheus(); }, *metrics_port);
+      exposition->start();
+      std::cout << "prvm_serve: metrics on 127.0.0.1:" << exposition->port() << std::endl;
+    }
+
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGINT, handle_signal);
+    std::signal(SIGUSR1, handle_usr1);
+    auto next_stats = std::chrono::steady_clock::now() + std::chrono::seconds(stats_interval_s);
     while (g_shutdown == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (g_dump_metrics != 0) {
+        g_dump_metrics = 0;
+        std::cout << obs::Registry::global().render_prometheus() << std::flush;
+      }
+      if (stats_interval_s > 0 && std::chrono::steady_clock::now() >= next_stats) {
+        next_stats += std::chrono::seconds(stats_interval_s);
+        const ServiceStats s = service.stats();
+        obs::Registry& reg = obs::Registry::global();
+        const auto p99_us = [&reg](const char* name) {
+          const obs::Histogram* h = reg.find_histogram(name);
+          return h != nullptr ? h->snapshot().quantile(0.99) / 1000.0 : 0.0;
+        };
+        const obs::Gauge* lag = reg.find_gauge("prvm_wal_lag");
+        std::printf(
+            "prvm_serve: op_seq=%llu placed=%llu released=%llu migrated=%llu rejected=%llu "
+            "mode=%s wal_lag=%lld queue_wait_p99_us=%.1f place_p99_us=%.1f "
+            "wal_flush_p99_us=%.1f\n",
+            static_cast<unsigned long long>(s.op_seq),
+            static_cast<unsigned long long>(s.placed),
+            static_cast<unsigned long long>(s.released),
+            static_cast<unsigned long long>(s.migrated),
+            static_cast<unsigned long long>(s.rejected),
+            s.degraded ? "degraded" : "ok",
+            static_cast<long long>(lag != nullptr ? lag->value() : 0),
+            p99_us("prvm_queue_wait_ns"), p99_us("prvm_place_compute_ns"),
+            p99_us("prvm_wal_flush_ns"));
+        std::fflush(stdout);
+      }
     }
 
     std::cout << "prvm_serve: draining..." << std::endl;
