@@ -43,13 +43,16 @@ PageRankResult compute_pagerank(const Digraph& graph, const PageRankOptions& opt
   std::vector<double> previous(n);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    previous = result.scores;
+    // The outgoing scores become "previous" by pointer swap, not by copying
+    // the vector; the push loop below reads `previous` and the new scores
+    // overwrite whatever the buffer held.
+    std::swap(previous, result.scores);
 
     std::fill(aux.begin(), aux.end(), 0.0);
     for (NodeId u = 0; u < n; ++u) {
       const std::span<const NodeId> succ = graph.successors(u);
       if (succ.empty()) continue;
-      const double share = result.scores[u] / static_cast<double>(succ.size());
+      const double share = previous[u] / static_cast<double>(succ.size());
       for (NodeId v : succ) aux[v] += share;
     }
 
@@ -59,11 +62,14 @@ PageRankResult compute_pagerank(const Digraph& graph, const PageRankOptions& opt
       sum += result.scores[u];
     }
     PRVM_CHECK(sum > 0.0, "PageRank mass vanished");
-    for (double& s : result.scores) s /= sum;
-
+    // One fused pass: L1-renormalize and track the convergence delta. The
+    // arithmetic (divide, then subtract) matches the former two-pass form
+    // exactly, so scores stay bit-identical.
     double max_delta = 0.0;
     for (NodeId u = 0; u < n; ++u) {
-      max_delta = std::max(max_delta, std::abs(result.scores[u] - previous[u]));
+      const double s = result.scores[u] / sum;
+      result.scores[u] = s;
+      max_delta = std::max(max_delta, std::abs(s - previous[u]));
     }
     result.iterations = iter + 1;
     if (max_delta < options.epsilon) {

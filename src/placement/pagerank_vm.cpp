@@ -336,4 +336,39 @@ std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
   return std::nullopt;
 }
 
+std::optional<PageRankVm::Speculation> PageRankVm::speculate(
+    const Datacenter& dc, const Vm& vm, const PlacementConstraints& constraints) {
+  // The linear scan and 2-choice sampling depend on the scan/RNG stream of
+  // the committing engine, which speculation cannot reproduce.
+  if (!options_.use_index || options_.two_choice) return std::nullopt;
+  m_.place_calls->inc();
+  std::optional<PmIndex> best_pm;
+  if (!constraints.exclude.has_value() && !constraints.allow) {
+    best_pm = pick_indexed(dc, vm.type_index);
+  } else {
+    best_pm = pick_indexed_constrained(dc, vm.type_index, constraints);
+  }
+  Speculation spec;
+  if (best_pm.has_value()) {
+    const std::optional<double> score = placement_score(dc, *best_pm, vm.type_index);
+    PRVM_CHECK(score.has_value(), "picked PM lost its score");
+    spec.pm = *best_pm;
+    spec.score = *score;
+    spec.act_seq = dc.activation_seq(*best_pm);
+    spec.profile = dc.pm(*best_pm).canonical_key;
+    spec.placement = cached_placement(dc, *best_pm, vm);
+    return spec;
+  }
+  for (auto i = dc.next_unused(0); i.has_value(); i = dc.next_unused(*i + 1)) {
+    if (!constraints.allowed(dc, *i)) continue;
+    if (!dc.fits(*i, vm.type_index)) continue;
+    spec.pm = *i;
+    spec.activated = true;
+    spec.profile = dc.pm(*i).canonical_key;
+    spec.placement = cached_placement(dc, *i, vm);
+    return spec;
+  }
+  return std::nullopt;
+}
+
 }  // namespace prvm

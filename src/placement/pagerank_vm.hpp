@@ -54,6 +54,28 @@ class PageRankVm final : public PlacementAlgorithm {
   std::optional<PmIndex> place(Datacenter& dc, const Vm& vm,
                                const PlacementConstraints& constraints = {}) override;
 
+  /// A provisional placement decision computed against a frozen `dc` without
+  /// mutating it: the winning PM plus everything a caller needs to validate
+  /// the decision against a later datacenter state and commit it verbatim —
+  /// the score and activation-sequence tie-break witness, the PM's profile
+  /// at decision time, and the concrete dimension assignments realizing the
+  /// best successor. The service's parallel batch pipeline runs speculate()
+  /// concurrently on per-partition engine clones (the datacenter read path
+  /// is const and cache-free; the engine's own scratch makes each *clone*
+  /// single-threaded). Returns nullopt when no PM fits or when the engine
+  /// options (linear scan, 2-choice sampling) make speculation unsupported —
+  /// either way the caller must fall back to the serial place() path.
+  struct Speculation {
+    PmIndex pm = 0;
+    double score = 0.0;         ///< placement_score at decision time (unused when activated)
+    std::uint64_t act_seq = 0;  ///< activation_seq(pm) (tie-break witness)
+    ProfileKey profile = 0;     ///< pm's canonical profile at decision time
+    bool activated = false;     ///< chosen off the free list (no used PM fit)
+    DemandPlacement placement;  ///< concrete assignments realizing the best successor
+  };
+  std::optional<Speculation> speculate(const Datacenter& dc, const Vm& vm,
+                                       const PlacementConstraints& constraints = {});
+
   /// Score of placing `vm_type` on PM `i` right now: the PageRank value of
   /// the best resulting profile; nullopt when the VM does not fit. Exposed
   /// for tests and for the migration policy.

@@ -363,6 +363,11 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
 std::string encode_response(const Response& response) {
   std::string out;
   out.reserve(96);
+  encode_response_into(response, out);
+  return out;
+}
+
+void encode_response_into(const Response& response, std::string& out) {
   out += response.ok ? "{\"ok\":true" : "{\"ok\":false";
   if (!response.op.empty()) {
     out += ",\"op\":";
@@ -397,7 +402,6 @@ std::string encode_response(const Response& response) {
     out += encoded;
   }
   out += "}\n";
-  return out;
 }
 
 void LineBuffer::feed(std::string_view bytes) { buffer_.append(bytes); }

@@ -100,6 +100,11 @@ struct Response {
 /// Encodes a response as one JSON line, including the trailing '\n'.
 std::string encode_response(const Response& response);
 
+/// As above, appending to `out` instead of allocating a fresh string. The
+/// socket writer reuses one buffer across a whole burst of responses and
+/// ships them in a single send().
+void encode_response_into(const Response& response, std::string& out);
+
 /// Reassembles newline-delimited frames from arbitrary read chunks.
 /// Oversized frames are reported once and the stream resynchronizes at the
 /// next newline instead of dying.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/worker_pool.hpp"
 #include "service/snapshot.hpp"
 
 namespace prvm {
@@ -29,11 +30,26 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
                                           : std::make_shared<obs::Registry>()) {
   PRVM_REQUIRE(config_.batch_size > 0, "batch size must be positive");
   PRVM_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+  if (config_.flush_group_max > 0 && config_.flush_group_max < config_.batch_size) {
+    throw ServiceConfigError(
+        "flush_group_max",
+        "must be >= batch_size (" + std::to_string(config_.batch_size) +
+            ") when group commit is enabled — a full batch must fit one flush group");
+  }
   init_metrics();
   // The engine reports into this service's registry unless the caller wired
   // it elsewhere explicitly.
   if (config_.engine.metrics == nullptr) config_.engine.metrics = metrics_.get();
-  engine_ = std::make_unique<PageRankVm>(std::move(tables), config_.engine);
+  engine_ = std::make_unique<PageRankVm>(tables, config_.engine);
+  // Engine clones for speculative parallel compute. Linear-scan and 2-choice
+  // engines cannot speculate (scan order / RNG stream live in the committing
+  // engine), so the clones would only burn memory.
+  if (config_.parallel_workers > 0 && config_.engine.use_index && !config_.engine.two_choice) {
+    for (std::size_t i = 0; i < config_.parallel_workers; ++i) {
+      spec_engines_.push_back(std::make_unique<PageRankVm>(tables, config_.engine));
+    }
+  }
+  tables.reset();
   IoEnv* base = config_.io_env != nullptr ? config_.io_env.get() : &IoEnv::real();
   if (auto* injector = dynamic_cast<FaultInjectingIoEnv*>(base)) {
     injector->bind_metrics(*metrics_);
@@ -71,15 +87,23 @@ void PlacementService::init_metrics() {
     m_.reject_by_reason[reason] = &r.counter(
         std::string("prvm_reject_") + to_string(static_cast<RejectReason>(reason)) + "_total");
   }
+  m_.spec_attempts = &r.counter("prvm_spec_attempts_total");
+  m_.spec_commits = &r.counter("prvm_spec_commits_total");
+  m_.spec_conflicts = &r.counter("prvm_spec_conflicts_total");
+  m_.flush_groups = &r.counter("prvm_flush_groups_total");
   m_.mode = &r.gauge("prvm_mode");
   m_.queue_depth = &r.gauge("prvm_queue_depth");
   m_.wal_lag = &r.gauge("prvm_wal_lag");
   m_.max_batch = &r.gauge("prvm_max_batch");
+  m_.flush_queue_depth = &r.gauge("prvm_flush_queue_depth");
   m_.queue_wait_ns = &r.histogram("prvm_queue_wait_ns");
   m_.batch_size = &r.histogram("prvm_batch_size");
   m_.place_compute_ns = &r.histogram("prvm_place_compute_ns");
   m_.wal_flush_ns = &r.histogram("prvm_wal_flush_ns");
   m_.snapshot_ns = &r.histogram("prvm_snapshot_ns");
+  m_.partition_size = &r.histogram("prvm_partition_size");
+  m_.flush_group_ops = &r.histogram("prvm_flush_group_ops");
+  m_.flush_lag_ns = &r.histogram("prvm_flush_lag_ns");
 }
 
 PlacementService::~PlacementService() { stop_now(); }
@@ -144,7 +168,7 @@ void PlacementService::apply_wal_record(const WalRecord& record) {
 
 void PlacementService::log_record(WalRecord record) {
   if (wal_ == nullptr) return;
-  wal_->append(record);
+  batch_wal_bytes_ += wal_->append(record);
   m_.wal_appends->inc();
   wal_dirty_ = true;
 }
@@ -158,6 +182,12 @@ IoStatus PlacementService::flush_wal() {
 
 IoStatus PlacementService::take_snapshot() {
   if (config_.data_dir.empty()) return IoStatus::success();
+  // Quiesce the group-commit pipeline: every queued group must be flushed
+  // (and acked) before the snapshot covers its ops and reset() discards the
+  // buffer. After the barrier the WAL buffer holds at most the current
+  // batch's not-yet-grouped frames, which the inline flush below covers.
+  flusher_barrier();
+  batch_wal_bytes_ = 0;
   if (wal_ != nullptr && wal_dirty_) {
     const IoStatus status = flush_wal();
     if (!status.ok()) return status;
@@ -195,7 +225,8 @@ Response PlacementService::degraded_reject(const Request& request) const {
   return response;
 }
 
-void PlacementService::demote_unlogged(Response& response) {
+void PlacementService::demote_unlogged(Response& response,
+                                       const std::string& error_message) const {
   if (!response.ok) return;
   if (response.op != "place" && response.op != "release" && response.op != "migrate") return;
   Response demoted;
@@ -203,8 +234,7 @@ void PlacementService::demote_unlogged(Response& response) {
   demoted.op = response.op;
   demoted.vm = response.vm;
   demoted.error = to_string(RejectReason::kDegradedStorage);
-  demoted.message = "decision not durable (" + last_io_error_ +
-                    "); retry once storage recovers";
+  demoted.message = "decision not durable (" + error_message + "); retry once storage recovers";
   demoted.retry_after_ms = config_.degraded_retry_after_ms;
   response = std::move(demoted);
 }
@@ -228,6 +258,9 @@ void PlacementService::maybe_probe_storage() {
   if (!degraded_.load(std::memory_order_relaxed)) return;
   if (config_.data_dir.empty()) return;
   if (io_->now_ms() < next_probe_at_ms_) return;
+  // The flusher must be idle before the snapshot and WAL truncate below —
+  // while degraded it only demotes queued groups, so the barrier is short.
+  flusher_barrier();
   m_.probes->inc();
   // Recovery is probe -> snapshot -> WAL truncate/reopen, in that order:
   // the fresh snapshot covers every in-memory decision (including any whose
@@ -247,6 +280,12 @@ void PlacementService::maybe_probe_storage() {
   }
   if (status.ok()) {
     m_.probe_successes->inc();
+    batch_wal_bytes_ = 0;  // reopen_truncate discarded any buffered frames
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      flusher_status_ = IoStatus::success();
+    }
+    flush_failed_.store(false, std::memory_order_release);
     degraded_.store(false, std::memory_order_relaxed);
     m_.mode->set(0);
     return;
@@ -564,6 +603,198 @@ Response PlacementService::execute_locked(const Request& request) {
   return reject(request, RejectReason::kNone, "unreachable");
 }
 
+void PlacementService::note_dirty_pm(PmIndex pm) {
+  if (dirty_pm_set_.insert(pm).second) dirty_pms_.push_back(pm);
+}
+
+Response PlacementService::execute_noted(const Request& request) {
+  // Capture what the op is about to touch BEFORE executing it: a release or
+  // migrate erases the VM's group/PM mapping on the way through.
+  const VmId vm = static_cast<VmId>(request.vm_id);
+  std::optional<PmIndex> pre_pm;
+  std::string pre_group;
+  if (request.op == RequestOp::kRelease || request.op == RequestOp::kMigrate) {
+    pre_pm = dc_.pm_of(vm);
+    if (pre_pm.has_value()) pre_group = admission_.group_of(vm);
+  }
+  const std::size_t used_before = dc_.used_count();
+
+  Response response = execute_locked(request);
+
+  switch (request.op) {
+    case RequestOp::kPlace:
+      if (response.ok && response.pm.has_value()) {
+        note_dirty_pm(static_cast<PmIndex>(*response.pm));
+        if (!request.group.empty()) dirty_groups_.insert(request.group);
+      }
+      break;
+    case RequestOp::kRelease:
+      if (response.ok && response.pm.has_value()) {
+        note_dirty_pm(static_cast<PmIndex>(*response.pm));
+        if (!pre_group.empty()) dirty_groups_.insert(pre_group);
+      }
+      break;
+    case RequestOp::kMigrate:
+      // Even a FAILED migrate of a placed VM mutates state: the remove +
+      // put-back round trip advances the PM's activation sequence. Treat
+      // every migrate that found its VM as touching both PMs and (to stay
+      // conservative about transient deactivation) the free list.
+      if (pre_pm.has_value()) {
+        note_dirty_pm(*pre_pm);
+        if (response.pm.has_value()) note_dirty_pm(static_cast<PmIndex>(*response.pm));
+        if (response.ok && !pre_group.empty()) dirty_groups_.insert(pre_group);
+        freelist_changed_ = true;
+      }
+      break;
+    default:
+      break;
+  }
+  if (dc_.used_count() != used_before) freelist_changed_ = true;
+  return response;
+}
+
+bool PlacementService::validate_speculation(const Request& request, std::size_t vm_type,
+                                            const PageRankVm::Speculation& spec) {
+  // Anything that changes the serial path's pre-engine verdict first.
+  if (degraded_.load(std::memory_order_relaxed) || draining()) return false;
+  if (dc_.pm_of(static_cast<VmId>(request.vm_id)).has_value()) return false;
+  // A touched group means a changed veto set; recompute rather than reason
+  // about it (grouped requests are the rare case).
+  if (!request.group.empty() && dirty_groups_.count(request.group) > 0) return false;
+
+  if (spec.activated) {
+    // Free-list speculation is exact only while the set of unused PMs is
+    // untouched (the serial walk is first-fit in PM index order) and no
+    // dirtied used PM gained room for this VM type.
+    if (freelist_changed_) return false;
+    if (dirty_pm_set_.count(spec.pm) > 0) return false;
+    for (const PmIndex q : dirty_pms_) {
+      if (!dc_.pm(q).used()) continue;
+      if (!request.group.empty() && admission_.group_blocks(request.group, q)) continue;
+      if (engine_->placement_score(dc_, q, vm_type).has_value()) return false;
+    }
+    return true;
+  }
+
+  // The winner itself must be untouched: its profile, score and activation
+  // sequence are then exactly what the speculation saw. Every PM an earlier
+  // commit touched is re-scored live; the speculation stands unless one of
+  // them would now beat the winner under the engine's exact ordering
+  // (higher score, or equal score with a lower activation sequence —
+  // float-for-float the same comparison pick_indexed performs).
+  if (dirty_pm_set_.count(spec.pm) > 0) return false;
+  for (const PmIndex q : dirty_pms_) {
+    if (!dc_.pm(q).used()) continue;
+    if (!request.group.empty() && admission_.group_blocks(request.group, q)) continue;
+    const std::optional<double> score = engine_->placement_score(dc_, q, vm_type);
+    if (!score.has_value()) continue;
+    if (*score > spec.score) return false;
+    if (*score == spec.score && dc_.activation_seq(q) < spec.act_seq) return false;
+  }
+  return true;
+}
+
+Response PlacementService::commit_speculation(const Request& request, std::size_t vm_type,
+                                              const PageRankVm::Speculation& spec) {
+  // Mirrors place() beyond the engine call: ledger, admission, WAL record
+  // and response are built the same way, so the committed bytes are
+  // indistinguishable from the serial path's.
+  const VmId vm = static_cast<VmId>(request.vm_id);
+  dc_.place(spec.pm, Vm{vm, vm_type}, spec.placement);
+  admission_.record_placement(vm, request.group, spec.pm);
+  WalRecord record;
+  record.type = WalRecord::Type::kPlace;
+  record.op_seq = ++op_seq_;
+  record.vm = vm;
+  record.vm_type = vm_type;
+  record.pm = spec.pm;
+  record.group = request.group;
+  record.assignments = dc_.pm(spec.pm).vms.back().assignments;
+  log_record(std::move(record));
+  m_.placed->inc();
+
+  note_dirty_pm(spec.pm);
+  if (!request.group.empty()) dirty_groups_.insert(request.group);
+  if (spec.activated) freelist_changed_ = true;
+
+  Response response;
+  response.ok = true;
+  response.op = "place";
+  response.vm = request.vm_id;
+  response.pm = spec.pm;
+  return response;
+}
+
+void PlacementService::compute_batch(std::vector<Pending>& batch,
+                                     std::vector<Response>& responses) {
+  dirty_pm_set_.clear();
+  dirty_pms_.clear();
+  dirty_groups_.clear();
+  freelist_changed_ = false;
+
+  // Stage 1: speculate place decisions in parallel against the batch-start
+  // ledger. Only plain places of currently-unplaced VMs are worth it — the
+  // serial commit below re-checks everything anyway, this filter just
+  // avoids speculating ops that are certain to be recomputed.
+  spec_indices_.clear();
+  const bool parallel = !spec_engines_.empty() &&
+                        !degraded_.load(std::memory_order_relaxed) && !draining();
+  if (parallel) {
+    proposals_.assign(batch.size(), Proposal{});
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Request& request = batch[i].request;
+      if (request.op != RequestOp::kPlace) continue;
+      const std::optional<std::size_t> vm_type = resolve_vm_type(request);
+      if (!vm_type.has_value()) continue;
+      if (dc_.pm_of(static_cast<VmId>(request.vm_id)).has_value()) continue;
+      proposals_[i].vm_type = *vm_type;
+      spec_indices_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (spec_indices_.size() > 1) {
+    m_.spec_attempts->add(spec_indices_.size());
+    const std::size_t parts = std::min(spec_engines_.size(), spec_indices_.size());
+    WorkerPool::shared().parallel_for(
+        0, parts,
+        [&](std::size_t p) {
+          const std::size_t lo = spec_indices_.size() * p / parts;
+          const std::size_t hi = spec_indices_.size() * (p + 1) / parts;
+          PageRankVm& engine = *spec_engines_[p];
+          for (std::size_t k = lo; k < hi; ++k) {
+            Proposal& proposal = proposals_[spec_indices_[k]];
+            const Request& request = batch[spec_indices_[k]].request;
+            const obs::ScopedTimerNs timer(*m_.place_compute_ns);
+            auto spec = engine.speculate(dc_, Vm{static_cast<VmId>(request.vm_id),
+                                                 proposal.vm_type},
+                                         admission_.constraints_for(request.group));
+            if (spec.has_value()) {
+              proposal.kind = spec->activated ? Proposal::Kind::kActivate
+                                              : Proposal::Kind::kPick;
+              proposal.spec = std::move(*spec);
+            }
+          }
+          m_.partition_size->record(hi - lo);
+        },
+        1, static_cast<unsigned>(parts));
+  }
+
+  // Stage 2: serial commit in arrival order. Valid speculations are applied
+  // verbatim; everything else goes through the serial engine, with its
+  // writes recorded in the conflict sets for later validations.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i].request;
+    const bool speculated =
+        spec_indices_.size() > 1 && proposals_[i].kind != Proposal::Kind::kNone;
+    if (speculated && validate_speculation(request, proposals_[i].vm_type, proposals_[i].spec)) {
+      m_.spec_commits->inc();
+      responses.push_back(commit_speculation(request, proposals_[i].vm_type, proposals_[i].spec));
+    } else {
+      if (speculated) m_.spec_conflicts->inc();
+      responses.push_back(execute_noted(request));
+    }
+  }
+}
+
 Response PlacementService::execute(const Request& request) {
   maybe_probe_storage();
   Response response = execute_locked(request);
@@ -571,13 +802,22 @@ Response PlacementService::execute(const Request& request) {
     const IoStatus status = flush_wal();
     if (!status.ok()) {
       enter_degraded(status);
-      demote_unlogged(response);
+      demote_unlogged(response, last_io_error_);
     }
   }
   return response;
 }
 
 std::future<Response> PlacementService::submit(Request request) {
+  // Pre-decode on the submitting (connection) thread: resolve a textual VM
+  // type to its catalog index here so the worker's hot loop never touches
+  // the name map. The map is immutable after construction, so concurrent
+  // lookups are safe; unknown names stay unresolved and are rejected by the
+  // worker with the exact same error as before.
+  if (request.op == RequestOp::kPlace && !request.vm_type_index.has_value()) {
+    const auto it = vm_type_by_name_.find(request.vm_type_name);
+    if (it != vm_type_by_name_.end()) request.vm_type_index = it->second;
+  }
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
   {
@@ -599,7 +839,101 @@ std::future<Response> PlacementService::submit(Request request) {
   return future;
 }
 
+void PlacementService::start_flusher() {
+  if (config_.flush_group_max == 0 || wal_ == nullptr) return;
+  if (flusher_running_) return;
+  flusher_stop_ = false;
+  flusher_running_ = true;
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+void PlacementService::stop_flusher() {
+  if (!flusher_running_) return;
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flusher_stop_ = true;
+  }
+  flush_cv_.notify_one();
+  flusher_.join();
+  flusher_running_ = false;
+  flusher_stop_ = false;
+}
+
+void PlacementService::flusher_barrier() {
+  if (!flusher_running_) return;
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_idle_cv_.wait(lock, [this] { return flush_queue_.empty() && !flusher_busy_; });
+}
+
+void PlacementService::flusher_loop() {
+  std::vector<FlushGroup> covered;
+  while (true) {
+    covered.clear();
+    std::size_t ops = 0;
+    std::size_t bytes = 0;
+    {
+      std::unique_lock<std::mutex> lock(flush_mu_);
+      flush_cv_.wait(lock, [this] { return flusher_stop_ || !flush_queue_.empty(); });
+      if (flush_queue_.empty() && flusher_stop_) return;
+      // Coalesce adjacent groups up to the cap; the first group is always
+      // taken whole (the constructor guarantees a full batch fits).
+      while (!flush_queue_.empty() &&
+             (covered.empty() || ops + flush_queue_.front().batch.size() <=
+                                     config_.flush_group_max)) {
+        ops += flush_queue_.front().batch.size();
+        bytes += flush_queue_.front().wal_bytes;
+        covered.push_back(std::move(flush_queue_.front()));
+        flush_queue_.pop_front();
+      }
+      flusher_busy_ = true;
+    }
+
+    // One fsync covers every op of every coalesced group. After a failure
+    // the flusher stops touching the device — the worker drives probes and
+    // recovery — and every group still in flight is demoted truthfully.
+    std::string failure;
+    if (!flush_failed_.load(std::memory_order_acquire)) {
+      if (bytes > 0) {
+        const obs::ScopedTimerNs timer(*m_.wal_flush_ns);
+        const IoStatus status = wal_->flush(bytes);
+        if (!status.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(flush_mu_);
+            flusher_status_ = status;
+          }
+          failure = status.message();
+          flush_failed_.store(true, std::memory_order_release);
+        }
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      failure = flusher_status_.message();
+    }
+    m_.flush_groups->inc();
+    m_.flush_group_ops->record(ops);
+
+    const std::uint64_t acked_ns = obs::now_ns();
+    for (FlushGroup& group : covered) {
+      m_.flush_lag_ns->record(acked_ns > group.computed_ns ? acked_ns - group.computed_ns : 0);
+      for (std::size_t i = 0; i < group.batch.size(); ++i) {
+        if (!failure.empty()) demote_unlogged(group.responses[i], failure);
+        group.batch[i].promise.set_value(std::move(group.responses[i]));
+      }
+    }
+
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      flusher_busy_ = false;
+      depth = flush_queue_.size();
+      if (flush_queue_.empty()) flush_idle_cv_.notify_all();
+    }
+    m_.flush_queue_depth->set(static_cast<std::int64_t>(depth));
+  }
+}
+
 void PlacementService::start() {
+  start_flusher();  // before the worker exists: worker reads flusher_running_ locklessly
   std::lock_guard<std::mutex> lock(mu_);
   if (worker_running_) return;
   stop_ = false;
@@ -644,6 +978,20 @@ void PlacementService::worker_loop() {
       }
     }
 
+    // A group flush failed since the last pass: let the flusher finish
+    // demoting what it still holds, then take its status as the
+    // degraded-mode trigger (same transition an inline flush failure makes).
+    if (flush_failed_.load(std::memory_order_acquire) &&
+        !degraded_.load(std::memory_order_relaxed)) {
+      flusher_barrier();
+      IoStatus status;
+      {
+        std::lock_guard<std::mutex> lock(flush_mu_);
+        status = flusher_status_;
+      }
+      enter_degraded(status);
+    }
+
     maybe_probe_storage();
 
     if (batch.empty()) {  // degraded-mode probe wakeup with no traffic
@@ -653,29 +1001,50 @@ void PlacementService::worker_loop() {
     }
 
     responses.clear();
-    for (const Pending& pending : batch) {
-      responses.push_back(execute_locked(pending.request));
-    }
-    // Durability barrier: every decision of this batch hits the log in one
-    // write (+ optional fsync) BEFORE any acknowledgement leaves. If the
-    // flush fails, nothing of this batch was acknowledged yet — demote the
-    // would-be acks to degraded_storage rejections and suspend writes.
-    if (wal_ != nullptr && wal_dirty_) {
-      const IoStatus status = flush_wal();
-      if (!status.ok()) {
-        enter_degraded(status);
-        for (Response& response : responses) demote_unlogged(response);
+    compute_batch(batch, responses);
+    const std::size_t batch_count = batch.size();
+    // Durability barrier: every decision of this batch hits the log BEFORE
+    // any acknowledgement leaves. Pipelined, the flusher owns that barrier:
+    // it flushes the group's frames (coalescing neighbors) and only then
+    // resolves the promises, while this thread already computes the next
+    // batch. Inline (no flusher, or degraded), flush-then-ack happens right
+    // here; a failed flush demotes the would-be acks and suspends writes.
+    const bool pipelined = flusher_running_ && !degraded_.load(std::memory_order_relaxed);
+    if (pipelined) {
+      FlushGroup group;
+      group.batch = std::move(batch);
+      group.responses = std::move(responses);
+      group.wal_bytes = batch_wal_bytes_;
+      group.computed_ns = obs::now_ns();
+      batch_wal_bytes_ = 0;
+      std::size_t depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(flush_mu_);
+        flush_queue_.push_back(std::move(group));
+        depth = flush_queue_.size();
+      }
+      m_.flush_queue_depth->set(static_cast<std::int64_t>(depth));
+      flush_cv_.notify_one();
+    } else {
+      if (wal_ != nullptr && wal_dirty_) {
+        const IoStatus status = flush_wal();
+        if (!status.ok()) {
+          enter_degraded(status);
+          for (Response& response : responses) demote_unlogged(response, last_io_error_);
+        }
+      }
+      batch_wal_bytes_ = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(std::move(responses[i]));
       }
     }
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move(responses[i]));
-    }
     m_.batches->inc();
-    m_.batch_size->record(batch.size());
-    m_.max_batch->set_max(static_cast<std::int64_t>(batch.size()));
-    max_batch_seen_ = std::max<std::uint64_t>(max_batch_seen_, batch.size());
+    m_.batch_size->record(batch_count);
+    m_.max_batch->set_max(static_cast<std::int64_t>(batch_count));
+    max_batch_seen_ = std::max<std::uint64_t>(max_batch_seen_, batch_count);
     m_.wal_lag->set(static_cast<std::int64_t>(op_seq_ - snapshot_op_seq_));
     batch.clear();
+    responses.clear();
 
     if (config_.snapshot_every_ops > 0 && !degraded_.load(std::memory_order_relaxed) &&
         op_seq_ - snapshot_op_seq_ >= config_.snapshot_every_ops) {
@@ -717,6 +1086,10 @@ void PlacementService::drain() {
     std::lock_guard<std::mutex> lock(mu_);
     worker_running_ = false;
   }
+  // The flusher still holds the tail of the pipeline: flush and ack those
+  // groups (the acks are truthful — stop_flusher only returns once every
+  // queued group hit the device or was demoted) before the final snapshot.
+  stop_flusher();
   // Best effort: if the final snapshot fails, the per-batch WAL flushes
   // already cover every acknowledged op, so the next boot replays instead
   // of starting from the snapshot alone.
@@ -733,6 +1106,7 @@ void PlacementService::stop_now() {
     cv_.notify_all();
   }
   if (worker_.joinable()) worker_.join();
+  stop_flusher();  // drains + acks (or demotes) whatever the worker handed off
   std::lock_guard<std::mutex> lock(mu_);
   worker_running_ = false;
 }

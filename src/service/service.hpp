@@ -10,6 +10,23 @@
 // not per request. Requests are acknowledged only AFTER their WAL batch is
 // flushed, so every acknowledged decision survives kill -9.
 //
+// Pipeline (DESIGN.md §6): two optional stages overlap compute with
+// durability without changing any result or guarantee.
+//  - Parallel intra-batch compute (`parallel_workers > 0`): place requests
+//    are partitioned and speculated concurrently on the shared WorkerPool
+//    against the batch-start ledger by per-partition engine clones; the
+//    worker then commits serially in arrival order, validating each
+//    speculation against the ops committed before it and recomputing
+//    serially on conflict. Commits are bit-identical to the serial worker
+//    (differential-tested), because validation re-derives exactly the
+//    argmax/tie-break the serial engine would compute.
+//  - WAL group commit (`flush_group_max > 0`): a dedicated flusher thread
+//    makes batches durable (one write/fsync covering up to flush_group_max
+//    ops) while the worker computes the next batch; promises resolve only
+//    after the covering flush, so ack-after-flush durability is unchanged.
+//    A failed group flush demotes every covered (and queued) mutating
+//    response and degrades the service, exactly like the inline path.
+//
 // Backpressure: a full queue rejects immediately with `queue_full` and a
 // client retry hint instead of blocking the socket threads (tail latency
 // stays bounded; clients own their retry policy).
@@ -46,9 +63,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/datacenter.hpp"
@@ -93,7 +112,36 @@ struct ServiceConfig {
   /// daemon passes obs::global_registry_ptr() so one exposition covers the
   /// whole process. See DESIGN.md §5.
   std::shared_ptr<obs::Registry> metrics;
+  /// Parallel intra-batch compute: number of engine clones that speculate
+  /// place decisions concurrently on the shared WorkerPool before the worker
+  /// validates and commits them serially in arrival order. 0 = the fully
+  /// serial worker. Results are bit-identical either way (the speculative
+  /// path falls back to serial recomputation on any conflict); engines
+  /// running the linear scan or 2-choice sampling cannot speculate and the
+  /// setting is ignored for them.
+  std::size_t parallel_workers = 0;
+  /// WAL group commit: when > 0, a dedicated flusher thread makes batches
+  /// durable — one write (+ optional fsync) covering up to this many ops —
+  /// while the worker computes the next batch; acknowledgements release only
+  /// after their covering flush. 0 = the worker flushes inline after every
+  /// batch (the legacy path). When enabled the value must be >= batch_size
+  /// so one full batch always fits a group (ServiceConfigError otherwise —
+  /// silently clamping would hide a misconfigured durability pipeline).
+  std::size_t flush_group_max = 0;
   PageRankVmOptions engine;
+};
+
+/// Structured rejection of an invalid ServiceConfig: names the offending
+/// field so callers (the daemon's flag parser, tests) can report precisely
+/// instead of pattern-matching prose.
+class ServiceConfigError : public std::invalid_argument {
+ public:
+  ServiceConfigError(std::string field, const std::string& reason)
+      : std::invalid_argument(field + ": " + reason), field_(std::move(field)) {}
+  const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
 };
 
 struct ServiceStats {
@@ -174,6 +222,21 @@ class PlacementService {
 
   void init_metrics();
   void worker_loop();
+  /// Executes one batch: speculative-parallel when configured (and eligible),
+  /// serial otherwise. Appends one response per pending, in arrival order.
+  void compute_batch(std::vector<Pending>& batch, std::vector<Response>& responses);
+  /// Serial execution plus conflict-set bookkeeping (dirty PMs/groups and
+  /// free-list changes) used to validate later speculations in the batch.
+  Response execute_noted(const Request& request);
+  /// True when `spec` would be exactly the serial engine's decision given
+  /// the ops committed so far this batch.
+  bool validate_speculation(const Request& request, std::size_t vm_type,
+                            const PageRankVm::Speculation& spec);
+  /// Applies a validated speculation: ledger + admission + WAL + response,
+  /// byte-identical to the serial place() path.
+  Response commit_speculation(const Request& request, std::size_t vm_type,
+                              const PageRankVm::Speculation& spec);
+  void note_dirty_pm(PmIndex pm);
   Response execute_locked(const Request& request);
   Response place(const Request& request);
   Response release(const Request& request);
@@ -191,6 +254,25 @@ class PlacementService {
   IoStatus flush_wal();
   IoStatus take_snapshot();
   void recover(const std::vector<std::size_t>& fleet);
+
+  // --- WAL group commit (flusher thread) ---
+  /// A computed batch awaiting durability: the flusher flushes its WAL bytes
+  /// (coalesced with neighbors up to flush_group_max ops) and only then
+  /// resolves the promises.
+  struct FlushGroup {
+    std::vector<Pending> batch;
+    std::vector<Response> responses;
+    std::size_t wal_bytes = 0;        ///< frame bytes this batch appended
+    std::uint64_t computed_ns = 0;    ///< compute-done timestamp (flush-lag metric)
+  };
+  void start_flusher();
+  /// Flushes and acks everything still queued, then joins the flusher.
+  void stop_flusher();
+  void flusher_loop();
+  /// Blocks until the flusher queue is empty and the flusher is idle. The
+  /// worker quiesces the pipeline this way before any snapshot, WAL
+  /// truncate or storage-probe recovery.
+  void flusher_barrier();
   /// Builds a structured rejection and bumps its per-reason verdict counter
   /// (const: counter updates are atomic, no service state changes).
   Response reject(const Request& request, RejectReason reason, std::string message) const;
@@ -200,7 +282,9 @@ class PlacementService {
   void enter_degraded(const IoStatus& status);
   /// Rewrites an acknowledged mutating response whose WAL flush failed into
   /// a degraded_storage rejection (ack implies durable; this one is not).
-  void demote_unlogged(Response& response);
+  /// `error_message` is passed explicitly because the flusher thread demotes
+  /// too and must not race the worker-owned last_io_error_.
+  void demote_unlogged(Response& response, const std::string& error_message) const;
   /// When degraded and the backoff deadline passed: probe storage and, on
   /// success, snapshot + truncate the WAL and resume writes.
   void maybe_probe_storage();
@@ -222,6 +306,50 @@ class PlacementService {
   std::uint64_t snapshot_op_seq_ = 0;  ///< op_seq covered by the last snapshot
   std::uint64_t op_seq_ = 0;
   bool wal_dirty_ = false;  ///< appended since last flush
+  std::size_t batch_wal_bytes_ = 0;  ///< frame bytes the current batch appended
+
+  // --- speculative parallel compute (worker thread + WorkerPool) ---
+  /// Per-partition engine clones (empty when parallel_workers == 0 or the
+  /// engine options cannot speculate). Each clone owns its scratch and
+  /// representative cache; the shared datacenter read path is const.
+  std::vector<std::unique_ptr<PageRankVm>> spec_engines_;
+  struct Proposal {
+    enum class Kind : std::uint8_t {
+      kNone,     ///< not speculated; execute serially
+      kPick,     ///< winner among used PMs
+      kActivate  ///< free-list activation (no used PM fit)
+    };
+    Kind kind = Kind::kNone;
+    std::size_t vm_type = 0;
+    PageRankVm::Speculation spec;
+  };
+  std::vector<Proposal> proposals_;          // per-batch scratch
+  std::vector<std::uint32_t> spec_indices_;  // batch indices speculated
+  /// Conflict sets of the batch being committed: PMs whose state an earlier
+  /// commit touched, groups whose veto set changed, and whether the set of
+  /// unused PMs may have changed (invalidates free-list speculations).
+  std::unordered_set<PmIndex> dirty_pm_set_;
+  std::vector<PmIndex> dirty_pms_;
+  std::unordered_set<std::string> dirty_groups_;
+  bool freelist_changed_ = false;
+
+  // --- flusher state ---
+  std::thread flusher_;
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;       ///< worker -> flusher: work / stop
+  std::condition_variable flush_idle_cv_;  ///< flusher -> worker: drained
+  std::deque<FlushGroup> flush_queue_;     ///< guarded by flush_mu_
+  /// Only transitions while neither worker nor producers run (start_flusher
+  /// precedes the worker spawn; stop_flusher follows its join), so the
+  /// worker's lock-free reads observe a constant.
+  bool flusher_running_ = false;
+  bool flusher_stop_ = false;              ///< guarded by flush_mu_
+  bool flusher_busy_ = false;              ///< guarded by flush_mu_
+  /// Set by the flusher when a group flush fails; until the worker clears it
+  /// through storage recovery, the flusher demotes instead of flushing. The
+  /// worker observes it at the top of its loop and enters degraded mode.
+  std::atomic<bool> flush_failed_{false};
+  IoStatus flusher_status_;  ///< the failing status, guarded by flush_mu_
 
   // Degraded-mode bookkeeping (worker-owned; the atomic mirror lets
   // submit() and external readers observe the mode without the lock).
@@ -249,15 +377,24 @@ class PlacementService {
     obs::Counter* probe_successes = nullptr;
     /// Per-RejectReason verdict counters (kNone unused).
     std::array<obs::Counter*, 9> reject_by_reason{};
+    // Pipeline stages (DESIGN.md §6).
+    obs::Counter* spec_attempts = nullptr;   ///< place ops speculated in parallel
+    obs::Counter* spec_commits = nullptr;    ///< speculations validated + committed
+    obs::Counter* spec_conflicts = nullptr;  ///< speculations invalidated -> serial retry
+    obs::Counter* flush_groups = nullptr;    ///< group-commit flush calls
     obs::Gauge* mode = nullptr;        ///< 0 ok, 1 draining, 2 degraded
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* wal_lag = nullptr;
     obs::Gauge* max_batch = nullptr;
+    obs::Gauge* flush_queue_depth = nullptr;  ///< batches awaiting their flush
     obs::Histogram* queue_wait_ns = nullptr;
     obs::Histogram* batch_size = nullptr;
     obs::Histogram* place_compute_ns = nullptr;
     obs::Histogram* wal_flush_ns = nullptr;
     obs::Histogram* snapshot_ns = nullptr;
+    obs::Histogram* partition_size = nullptr;   ///< speculated ops per partition
+    obs::Histogram* flush_group_ops = nullptr;  ///< ops covered per group flush
+    obs::Histogram* flush_lag_ns = nullptr;     ///< batch compute-done -> ack release
   };
   Metrics m_;
 

@@ -140,36 +140,61 @@ WalWriter::~WalWriter() {
   }
 }
 
-void WalWriter::append(const WalRecord& record) {
+std::size_t WalWriter::append(const WalRecord& record) {
   const std::string payload = encode_wal_record(record);
+  const std::lock_guard<std::mutex> lock(mu_);
   put_u32(buffer_, static_cast<std::uint32_t>(payload.size()));
   put_u32(buffer_, crc32(payload.data(), payload.size()));
   buffer_ += payload;
   ++appended_;
+  return 8 + payload.size();
 }
 
-IoStatus WalWriter::flush() {
+std::size_t WalWriter::pending_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+IoStatus WalWriter::flush(std::size_t max_bytes) {
   if (fd_ < 0) {
     return open_status_.ok() ? IoStatus::failure(EBADF, "WAL " + path_.string() + " is closed")
                              : open_status_;
   }
-  if (buffer_.empty()) return IoStatus::success();
+  // Steal the covered prefix so concurrent appends never block on the disk;
+  // they land behind the stolen bytes and are covered by a later flush.
+  std::string chunk;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_.empty()) return IoStatus::success();
+    if (max_bytes >= buffer_.size()) {
+      chunk.swap(buffer_);
+    } else {
+      chunk.assign(buffer_, 0, max_bytes);
+      buffer_.erase(0, max_bytes);
+    }
+  }
   std::size_t written = 0;
-  const IoStatus status =
-      io_write_all(*env_, fd_, buffer_.data(), buffer_.size(), "write(" + path_.string() + ")",
-                   &written);
-  // Keep exactly the unwritten suffix: a retry after a transient error
-  // (ENOSPC cleared, EINTR storm over) resumes mid-frame and leaves a
-  // perfectly framed log; a crash instead leaves a torn frame the reader
-  // discards, which only ever holds unacknowledged records.
-  buffer_.erase(0, written);
-  if (!status.ok()) return status;
+  const IoStatus status = io_write_all(*env_, fd_, chunk.data(), chunk.size(),
+                                       "write(" + path_.string() + ")", &written);
+  if (!status.ok()) {
+    // Keep exactly the unwritten suffix, at the FRONT of the buffer (order
+    // must survive appends that raced in): a retry after a transient error
+    // (ENOSPC cleared, EINTR storm over) resumes mid-frame and leaves a
+    // perfectly framed log; a crash instead leaves a torn frame the reader
+    // discards, which only ever holds unacknowledged records.
+    const std::lock_guard<std::mutex> lock(mu_);
+    buffer_.insert(0, chunk, written, chunk.size() - written);
+    return status;
+  }
   if (fsync_on_flush_) return io_fsync(*env_, fd_, "fsync(" + path_.string() + ")");
   return IoStatus::success();
 }
 
 IoStatus WalWriter::reset() {
-  buffer_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    buffer_.clear();
+  }
   if (fd_ < 0) {
     return open_status_.ok() ? IoStatus::failure(EBADF, "WAL " + path_.string() + " is closed")
                              : open_status_;
@@ -181,7 +206,10 @@ IoStatus WalWriter::reset() {
 }
 
 IoStatus WalWriter::reopen_truncate() {
-  buffer_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    buffer_.clear();
+  }
   if (fd_ >= 0) {
     env_->close(fd_);  // the old descriptor may be wedged; nothing to save
     fd_ = -1;

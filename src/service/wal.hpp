@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <limits>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -69,13 +71,24 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  void append(const WalRecord& record);
+  /// Appends one framed record to the in-memory buffer and returns the
+  /// number of buffered bytes it occupies (frame header + payload). The
+  /// buffer is mutex-guarded, so one appender thread and one flusher thread
+  /// may run concurrently — the service's group-commit pipeline appends from
+  /// the worker while the flusher drains earlier groups.
+  std::size_t append(const WalRecord& record);
 
   /// Writes buffered records to the file and (optionally) fsyncs. Must be
   /// called before acknowledging the batched requests. On failure the
   /// unwritten suffix stays buffered; retrying later continues exactly
   /// where the disk stopped accepting bytes.
-  IoStatus flush();
+  ///
+  /// `max_bytes` bounds how much of the buffer this call covers (group
+  /// commit flushes exactly the frames of the groups it acknowledges, even
+  /// while later appends are landing behind them). Callers must pass a
+  /// frame-aligned count — the byte totals append() returned — or the
+  /// default "everything buffered so far".
+  IoStatus flush(std::size_t max_bytes = std::numeric_limits<std::size_t>::max());
 
   /// Truncates the log after a snapshot made its contents redundant.
   /// Buffered-but-unflushed records are discarded too (the caller snapshots
@@ -93,6 +106,9 @@ class WalWriter {
   const IoStatus& open_status() const { return open_status_; }
 
   std::uint64_t appended_records() const { return appended_; }
+  /// Bytes buffered but not yet written (racy when a flusher is running —
+  /// use only for observability or from a quiesced pipeline).
+  std::size_t pending_bytes() const;
   const std::filesystem::path& path() const { return path_; }
 
  private:
@@ -100,6 +116,10 @@ class WalWriter {
   IoEnv* env_;
   int fd_ = -1;
   bool fsync_on_flush_ = false;
+  /// Guards buffer_ (and appended_): append() and flush() may race in the
+  /// group-commit pipeline. fd_ and open_status_ stay single-threaded — only
+  /// the flushing side (or a quiesced caller) touches them.
+  mutable std::mutex mu_;
   std::string buffer_;
   std::uint64_t appended_ = 0;
   IoStatus open_status_;

@@ -8,10 +8,13 @@
 # companion of the in-process differential tests in
 # tests/test_service_recovery.cpp.
 #
-# Usage: tools/crash_recovery_smoke.sh [BUILD_DIR]
+# Usage: tools/crash_recovery_smoke.sh [BUILD_DIR] [extra prvm_serve flags...]
+# e.g.   tools/crash_recovery_smoke.sh build --parallel-workers 4 --flush-group 256
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
+SERVE_ARGS=("$@")
 SERVE="$BUILD_DIR/tools/prvm_serve"
 LOADGEN="$BUILD_DIR/tools/prvm_loadgen"
 [ -x "$SERVE" ] && [ -x "$LOADGEN" ] || { echo "build prvm_serve + prvm_loadgen first"; exit 1; }
@@ -26,7 +29,8 @@ cleanup() {
 trap cleanup EXIT
 
 start_daemon() {
-  "$SERVE" --socket "$SOCK" --fleet 2000 --data-dir "$WORK/data" >> "$WORK/serve.log" 2>&1 &
+  "$SERVE" --socket "$SOCK" --fleet 2000 --data-dir "$WORK/data" \
+    ${SERVE_ARGS[@]+"${SERVE_ARGS[@]}"} >> "$WORK/serve.log" 2>&1 &
   SERVE_PID=$!
   # First boot builds the score tables (later boots hit the cache); allow
   # plenty of time before declaring the daemon dead.

@@ -52,6 +52,10 @@ struct Options {
   std::size_t ops_per_round = 250;
   std::size_t fleet = 400;
   std::string data_dir;  ///< defaults to a fresh directory under /tmp
+  /// Extra flags appended verbatim to every prvm_serve invocation
+  /// (--serve-arg, repeatable) — e.g. --parallel-workers / --flush-group to
+  /// chaos-test the parallel pipeline under the same fault schedules.
+  std::vector<std::string> serve_args;
 };
 
 // ---------------------------------------------------------------------------
@@ -416,6 +420,7 @@ int run(const Options& options) {
         options.serve_binary, "--socket", socket_path, "--data-dir", dir.string(),
         "--fleet", std::to_string(options.fleet), "--fsync", "--snapshot-every", "200",
         "--batch", "16", "--probe-initial-ms", "50", "--probe-max-ms", "400"};
+    args.insert(args.end(), options.serve_args.begin(), options.serve_args.end());
     if (!schedule.empty()) {
       args.push_back("--fault-schedule");
       args.push_back(schedule);
@@ -644,10 +649,12 @@ int main(int argc, char** argv) {
       options.fleet = std::stoull(value());
     } else if (arg == "--data-dir") {
       options.data_dir = value();
+    } else if (arg == "--serve-arg") {
+      options.serve_args.push_back(value());
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --serve PATH [--seed N] [--rounds R] [--ops N] [--fleet N]"
-                << " [--data-dir PATH]\n";
+                << " [--data-dir PATH] [--serve-arg FLAG]...\n";
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }

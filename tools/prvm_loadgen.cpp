@@ -52,6 +52,10 @@ struct Options {
   std::string host = "127.0.0.1";
   int port = -1;  ///< >= 0 selects TCP
   std::size_t connections = 4;
+  /// --sweep: fill+churn rounds at each of these connection counts against
+  /// one warm daemon (workers release their VMs at round end, so every
+  /// round fills from an empty fleet and rounds are comparable).
+  std::vector<std::size_t> sweep;
   std::size_t pipeline = 64;
   std::size_t fill_pms = 0;
   std::size_t churn_ops = 2000;
@@ -153,7 +157,8 @@ struct WorkerResult {
   std::size_t fill_placed = 0;
   std::size_t fill_rejected = 0;
   std::size_t churn_places = 0;
-  std::size_t retries = 0;  ///< resends after queue_full / degraded_storage
+  std::size_t retries = 0;      ///< resends after queue_full / degraded_storage
+  double churn_seconds = 0.0;   ///< this connection's own churn wall clock
 };
 
 /// Churn place latencies, all connections; obs::Histogram is lock-free
@@ -314,6 +319,7 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
   // Churn phase: release one, place one; only place latencies are timed.
   // `settled` counts final resolutions only, so every request is eventually
   // accepted, finally rejected, or dropped after kMaxAttempts.
+  const auto churn_start = Clock::now();
   std::size_t sent_pairs = 0;
   std::size_t settled = 0;
   while (settled < 2 * churn_ops) {
@@ -347,6 +353,99 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
     flush_resends(true);
     if (!inflight.empty()) settle_one(true);
   }
+  result.churn_seconds = std::chrono::duration<double>(Clock::now() - churn_start).count();
+
+  // Drain: release this connection's surviving VMs (untimed) so the next
+  // sweep round fills from the same empty operating point — a worker can
+  // only churn VMs it placed itself, so inheriting a saturated fleet would
+  // starve every round after the first.
+  while (!live.empty() || !inflight.empty() || !resend.empty()) {
+    flush_resends(true);
+    while (!live.empty() && inflight.size() < options.pipeline) {
+      const std::uint64_t victim = live.back();
+      live.pop_back();
+      client.send_line(release_line(victim));
+      inflight.push_back(Inflight{Clock::now(), false, false, victim, 0, 0});
+    }
+    if (!inflight.empty()) settle_one(false);
+  }
+}
+
+/// Samples recorded between two snapshots of the same histogram (the global
+/// latency histogram accumulates across sweep rounds; quantiles per round
+/// need the delta).
+obs::HistogramSnapshot snapshot_delta(const obs::HistogramSnapshot& now,
+                                      const obs::HistogramSnapshot& prev) {
+  obs::HistogramSnapshot delta = now;
+  for (std::size_t i = 0; i < delta.counts.size() && i < prev.counts.size(); ++i) {
+    delta.counts[i] -= prev.counts[i];
+  }
+  delta.count -= prev.count;
+  delta.sum -= prev.sum;
+  return delta;
+}
+
+/// One fill+churn round at a given connection count. Each round fills from
+/// an empty fleet (workers release their VMs when a round ends), so rounds
+/// are directly comparable.
+struct RoundResult {
+  std::size_t connections = 0;
+  std::size_t fill_placed = 0;
+  std::size_t churn_places = 0;
+  std::size_t retries = 0;
+  double fill_seconds = 0.0;
+  double churn_seconds = 0.0;  ///< coordinator wall clock, first send -> last join
+  std::size_t used_pms = 0;
+  obs::HistogramSnapshot latency;     ///< this round's place latencies only
+  std::vector<double> per_conn_pps;   ///< per-connection churn placement rates
+};
+
+RoundResult run_round(const Options& options, const std::vector<double>& mix,
+                      std::size_t connections) {
+  RoundResult round;
+  round.connections = connections;
+  const obs::HistogramSnapshot before = g_churn_latency_ns.snapshot();
+
+  std::atomic<bool> fill_done{options.fill_pms == 0};
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  const std::size_t ops_per_conn = (options.churn_ops + connections - 1) / connections;
+
+  const auto fill_start = Clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    workers.emplace_back(
+        [&, c] { run_worker(options, mix, c, ops_per_conn, fill_done, results[c]); });
+  }
+
+  // Coordinator: poll daemon stats until the fill target is reached.
+  if (options.fill_pms > 0) {
+    while (!fill_done.load()) {
+      const JsonValue stats = query_stats(options);
+      if (static_cast<std::size_t>(field_number(stats, "used_pms")) >= options.fill_pms) {
+        fill_done.store(true);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    round.fill_seconds = std::chrono::duration<double>(Clock::now() - fill_start).count();
+  }
+  // The operating point, sampled while churn holds it (the workers release
+  // everything before joining, so querying after the join would read 0).
+  round.used_pms =
+      static_cast<std::size_t>(field_number(query_stats(options), "used_pms"));
+  for (auto& worker : workers) worker.join();
+
+  for (const WorkerResult& r : results) {
+    round.fill_placed += r.fill_placed;
+    round.churn_places += r.churn_places;
+    round.retries += r.retries;
+    round.per_conn_pps.push_back(r.churn_seconds > 0 ? r.churn_places / r.churn_seconds : 0.0);
+    // Slowest connection's own churn window: excludes the untimed drain,
+    // which the coordinator's join-to-join wall clock would fold in.
+    round.churn_seconds = std::max(round.churn_seconds, r.churn_seconds);
+  }
+  round.latency = snapshot_delta(g_churn_latency_ns.snapshot(), before);
+  return round;
 }
 
 void print_stats_line(const JsonValue& doc) {
@@ -388,6 +487,16 @@ int main(int argc, char** argv) {
       options.port = std::stoi(value());
     } else if (arg == "--connections") {
       options.connections = std::stoull(value());
+    } else if (arg == "--sweep") {
+      // Comma-separated connection counts, e.g. --sweep 1,2,4,8.
+      std::string list = value();
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(pos, comma - pos);
+        if (!item.empty()) options.sweep.push_back(std::stoull(item));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else if (arg == "--pipeline") {
       options.pipeline = std::max<std::size_t>(4, std::stoull(value()));
     } else if (arg == "--fill-pms") {
@@ -404,9 +513,9 @@ int main(int argc, char** argv) {
       options.json_path = value();
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--socket PATH | --port N] [--connections C] [--pipeline W]\n"
-                << "       [--fill-pms N --ops M [--json PATH]] | [--place N] | [--stats]\n"
-                << "       | [--metrics]\n";
+                << " [--socket PATH | --port N] [--connections C | --sweep C1,C2,..]\n"
+                << "       [--pipeline W] [--fill-pms N --ops M [--json PATH]] | [--place N]\n"
+                << "       | [--stats] | [--metrics]\n";
       return 2;
     }
   }
@@ -473,66 +582,34 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    // Throughput scenario: fill to --fill-pms used PMs, churn --ops pairs.
-    std::atomic<bool> fill_done{options.fill_pms == 0};
-    std::vector<WorkerResult> results(options.connections);
-    std::vector<std::thread> workers;
-    const std::size_t ops_per_conn =
-        (options.churn_ops + options.connections - 1) / options.connections;
-
-    const auto fill_start = Clock::now();
-    for (std::size_t c = 0; c < options.connections; ++c) {
-      workers.emplace_back(
-          [&, c] { run_worker(options, mix, c, ops_per_conn, fill_done, results[c]); });
-    }
-
-    // Coordinator: poll daemon stats until the fill target is reached.
-    double fill_seconds = 0.0;
-    std::size_t used_pms = 0;
-    if (options.fill_pms > 0) {
-      while (!fill_done.load()) {
-        const JsonValue stats = query_stats(options);
-        used_pms = static_cast<std::size_t>(field_number(stats, "used_pms"));
-        if (used_pms >= options.fill_pms) {
-          fill_done.store(true);
-          break;
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Throughput scenario: fill to --fill-pms used PMs, then churn --ops
+    // pairs — once at --connections, or once per point of the --sweep (the
+    // fleet is filled by the first round and stays at the operating point;
+    // later rounds measure pure churn at their connection count).
+    std::vector<std::size_t> counts =
+        options.sweep.empty() ? std::vector<std::size_t>{options.connections} : options.sweep;
+    std::vector<RoundResult> rounds;
+    for (const std::size_t connections : counts) {
+      rounds.push_back(run_round(options, mix, connections));
+      const RoundResult& round = rounds.back();
+      const double churn_pps =
+          round.churn_seconds > 0 ? round.churn_places / round.churn_seconds : 0.0;
+      if (round.fill_placed > 0) {
+        std::printf("fill:  %zu placements in %.2fs (%.0f pl/s)\n", round.fill_placed,
+                    round.fill_seconds,
+                    round.fill_seconds > 0 ? round.fill_placed / round.fill_seconds : 0.0);
       }
-      fill_seconds = std::chrono::duration<double>(Clock::now() - fill_start).count();
+      std::printf(
+          "churn[c=%zu]: %zu placements in %.2fs   %8.0f pl/s   p50 %8.2f us   "
+          "p99 %8.2f us   p999 %8.2f us\n",
+          round.connections, round.churn_places, round.churn_seconds, churn_pps,
+          round.latency.quantile(0.50) / 1000.0, round.latency.quantile(0.99) / 1000.0,
+          round.latency.quantile(0.999) / 1000.0);
+      std::printf("  per-connection pl/s:");
+      for (const double pps : round.per_conn_pps) std::printf(" %.0f", pps);
+      std::printf("   (%zu used PMs, pipeline %zu, %zu retries)\n", round.used_pms,
+                  options.pipeline, round.retries);
     }
-    const auto churn_start = Clock::now();
-    for (auto& worker : workers) worker.join();
-    const double churn_seconds =
-        std::chrono::duration<double>(Clock::now() - churn_start).count();
-
-    // Aggregate.
-    std::size_t fill_placed = 0;
-    std::size_t churn_places = 0;
-    std::size_t retries = 0;
-    for (const WorkerResult& r : results) {
-      fill_placed += r.fill_placed;
-      churn_places += r.churn_places;
-      retries += r.retries;
-    }
-    const obs::HistogramSnapshot latency = g_churn_latency_ns.snapshot();
-    const JsonValue final_stats = query_stats(options);
-    used_pms = static_cast<std::size_t>(field_number(final_stats, "used_pms"));
-
-    const double fill_pps = fill_seconds > 0 ? fill_placed / fill_seconds : 0.0;
-    const double churn_pps = churn_seconds > 0 ? churn_places / churn_seconds : 0.0;
-    const double p50 = latency.quantile(0.50) / 1000.0;
-    const double p99 = latency.quantile(0.99) / 1000.0;
-    const double p999 = latency.quantile(0.999) / 1000.0;
-
-    std::printf("fill:  %zu placements in %.2fs (%.0f pl/s)\n", fill_placed, fill_seconds,
-                fill_pps);
-    std::printf(
-        "churn: %zu placements in %.2fs   %8.0f pl/s   p50 %8.2f us   p99 %8.2f us   "
-        "p999 %8.2f us\n",
-        churn_places, churn_seconds, churn_pps, p50, p99, p999);
-    std::printf("operating point: %zu used PMs, %zu connections, pipeline %zu, %zu retries\n",
-                used_pms, options.connections, options.pipeline, retries);
 
     if (!options.json_path.empty()) {
       std::ofstream os(options.json_path, std::ios::trunc);
@@ -540,25 +617,55 @@ int main(int argc, char** argv) {
         std::cerr << "cannot write " << options.json_path << "\n";
         return 1;
       }
+      // Headline numbers come from the last round (the sweep's final — and
+      // typically largest — connection count); every round is in "sweep".
+      const RoundResult& last = rounds.back();
+      const double fill_pps =
+          last.fill_seconds > 0 ? last.fill_placed / last.fill_seconds : 0.0;
+      const auto round_json = [&os](const RoundResult& round) {
+        const double pps =
+            round.churn_seconds > 0 ? round.churn_places / round.churn_seconds : 0.0;
+        os << "{\"connections\": " << round.connections
+           << ", \"churn_placements_per_sec\": " << pps
+           << ", \"churn_ops\": " << round.churn_places
+           << ", \"retries\": " << round.retries
+           << ", \"p50_us\": " << round.latency.quantile(0.50) / 1000.0
+           << ", \"p99_us\": " << round.latency.quantile(0.99) / 1000.0
+           << ", \"p999_us\": " << round.latency.quantile(0.999) / 1000.0
+           << ", \"per_connection_placements_per_sec\": [";
+        for (std::size_t i = 0; i < round.per_conn_pps.size(); ++i) {
+          os << (i > 0 ? ", " : "") << round.per_conn_pps[i];
+        }
+        os << "]}";
+      };
       os << "{\n  \"benchmark\": \"service_throughput\",\n  \"catalog\": \"ec2_sim\",\n"
-         << "  \"churn_ops\": " << churn_places << ",\n  \"connections\": "
-         << options.connections << ",\n  \"pipeline\": " << options.pipeline << ",\n"
+         << "  \"churn_ops\": " << last.churn_places << ",\n  \"connections\": "
+         << last.connections << ",\n  \"pipeline\": " << options.pipeline << ",\n"
+         << "  \"sweep\": [\n";
+      for (std::size_t i = 0; i < rounds.size(); ++i) {
+        os << "    ";
+        round_json(rounds[i]);
+        os << (i + 1 < rounds.size() ? ",\n" : "\n");
+      }
+      os << "  ],\n"
          << "  \"fleets\": [\n    {\"pms\": " << options.fill_pms
-         << ", \"used_pms\": " << used_pms << ",\n      \"service\": {"
+         << ", \"used_pms\": " << last.used_pms << ",\n      \"service\": {"
          << "\"fill_placements_per_sec\": " << fill_pps
-         << ", \"fill_placements\": " << fill_placed
-         << ", \"churn_placements_per_sec\": " << churn_pps
-         << ", \"churn_ops\": " << churn_places << ", \"retries\": " << retries
-         << ", \"p50_us\": " << p50
-         << ", \"p99_us\": " << p99
-         << ", \"p999_us\": " << p999 << ",\n      \"latency_histogram_us\": [";
+         << ", \"fill_placements\": " << last.fill_placed
+         << ", \"churn_placements_per_sec\": "
+         << (last.churn_seconds > 0 ? last.churn_places / last.churn_seconds : 0.0)
+         << ", \"churn_ops\": " << last.churn_places << ", \"retries\": " << last.retries
+         << ", \"p50_us\": " << last.latency.quantile(0.50) / 1000.0
+         << ", \"p99_us\": " << last.latency.quantile(0.99) / 1000.0
+         << ", \"p999_us\": " << last.latency.quantile(0.999) / 1000.0
+         << ",\n      \"latency_histogram_us\": [";
       // Nonzero buckets as [upper_bound_us, count] pairs, the same log2
       // bucketing the daemon's own histograms use.
       bool first = true;
-      for (std::size_t i = 0; i < latency.counts.size(); ++i) {
-        if (latency.counts[i] == 0) continue;
+      for (std::size_t i = 0; i < last.latency.counts.size(); ++i) {
+        if (last.latency.counts[i] == 0) continue;
         os << (first ? "" : ", ") << "[" << obs::Histogram::bucket_hi(i) / 1000.0 << ", "
-           << latency.counts[i] << "]";
+           << last.latency.counts[i] << "]";
         first = false;
       }
       os << "]}}\n  ]\n}\n";
