@@ -4,13 +4,14 @@
 // VMs until the fleet saturates) and a sustained place/remove churn phase,
 // for both PageRankVM engines: the bucketed placement index (default) and
 // the legacy linear scan (use_index = false, Algorithm 2 as printed).
-// Reports placements/sec plus p50/p99 single-placement latency and the
-// index-over-linear speedup at each fleet size.
+// Reports placements/sec, p50/p99/p999 single-placement latency off the
+// shared obs::Histogram (same estimator as prvm_loadgen, <= 12.5% relative
+// error), and the engine's own counters (score lookups, ranked-key probes,
+// rep-cache hits) from a per-run private registry.
 //
 // Usage: bench_placement_throughput [--json PATH]
 //   --json PATH   additionally write machine-readable results to PATH
 //   PRVM_FAST=1   shrink fleets and op counts for a smoke run
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -23,6 +24,7 @@
 #include "cluster/datacenter.hpp"
 #include "common/rng.hpp"
 #include "core/catalog_graphs.hpp"
+#include "obs/metrics.hpp"
 #include "placement/pagerank_vm.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,20 +41,23 @@ struct EngineStats {
   double churn_pps = 0.0;         ///< placements/sec during sustained churn
   double p50_us = 0.0;            ///< median single-placement latency
   double p99_us = 0.0;
+  double p999_us = 0.0;
+  std::uint64_t score_lookups = 0;   ///< best-successor table lookups (churn)
+  std::uint64_t index_probes = 0;    ///< ranked-key bucket probes (churn)
+  std::uint64_t rep_cache_hits = 0;  ///< best-permutation cache hits (churn)
+  std::uint64_t linear_scored = 0;   ///< PMs scored by the legacy scan (churn)
 };
-
-double percentile(std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
-  const std::size_t i = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
-  return sorted_us[i];
-}
 
 EngineStats run_engine(const Catalog& catalog,
                        const std::shared_ptr<const ScoreTableSet>& tables, std::size_t fleet,
                        std::size_t churn_ops, bool use_index) {
   Datacenter dc(catalog, mixed_pm_fleet(catalog, fleet));
+  // A private registry per run: engine counters start at zero and are read
+  // back without fishing this run's deltas out of the global registry.
+  obs::Registry reg;
   PageRankVmOptions options;
   options.use_index = use_index;
+  options.metrics = &reg;
   PageRankVm engine(tables, options);
 
   // Fill: place VMs until the fleet saturates (every PM used and the stream
@@ -81,10 +86,15 @@ EngineStats run_engine(const Catalog& catalog,
   stats.fill_pps = static_cast<double>(stats.fill_placements) / fill_seconds;
   stats.used_pms = dc.used_count();
 
+  // Counter baselines: report churn-phase deltas, not fill noise.
+  const std::uint64_t base_lookups = reg.counter("prvm_engine_score_lookups_total").value();
+  const std::uint64_t base_probes = reg.counter("prvm_engine_index_probes_total").value();
+  const std::uint64_t base_hits = reg.counter("prvm_engine_rep_cache_hits_total").value();
+  const std::uint64_t base_linear = reg.counter("prvm_engine_linear_scored_total").value();
+
   // Sustained churn at the operating point: remove one random VM, place one
   // fresh request. Only the place() call is timed.
-  std::vector<double> latencies_us;
-  latencies_us.reserve(churn_ops);
+  obs::Histogram& latency = reg.histogram("bench_place_latency_ns");
   const std::vector<Vm> stream = weighted_vm_requests(rng, catalog, churn_ops, mix);
   double churn_seconds = 0.0;
   for (std::size_t op = 0; op < churn_ops; ++op) {
@@ -96,22 +106,36 @@ EngineStats run_engine(const Catalog& catalog,
     Vm request{next_id++, stream[op].type_index};
     const auto start = Clock::now();
     const auto pm = engine.place(dc, request);
-    const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
-    churn_seconds += seconds;
-    latencies_us.push_back(seconds * 1e6);
+    const auto elapsed = Clock::now() - start;
+    churn_seconds += std::chrono::duration<double>(elapsed).count();
+    latency.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
     if (pm.has_value()) live.push_back(request.id);
   }
   stats.churn_ops = churn_ops;
   stats.churn_pps = static_cast<double>(churn_ops) / churn_seconds;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  stats.p50_us = percentile(latencies_us, 0.50);
-  stats.p99_us = percentile(latencies_us, 0.99);
+  const obs::HistogramSnapshot snap = latency.snapshot();
+  stats.p50_us = snap.quantile(0.50) / 1e3;
+  stats.p99_us = snap.quantile(0.99) / 1e3;
+  stats.p999_us = snap.quantile(0.999) / 1e3;
+  stats.score_lookups = reg.counter("prvm_engine_score_lookups_total").value() - base_lookups;
+  stats.index_probes = reg.counter("prvm_engine_index_probes_total").value() - base_probes;
+  stats.rep_cache_hits = reg.counter("prvm_engine_rep_cache_hits_total").value() - base_hits;
+  stats.linear_scored = reg.counter("prvm_engine_linear_scored_total").value() - base_linear;
   return stats;
 }
 
 void print_engine(const char* name, const EngineStats& s) {
-  std::printf("  %-8s fill %8.0f pl/s (%zu VMs)   churn %9.0f pl/s   p50 %8.2f us   p99 %8.2f us\n",
-              name, s.fill_pps, s.fill_placements, s.churn_pps, s.p50_us, s.p99_us);
+  std::printf(
+      "  %-8s fill %8.0f pl/s (%zu VMs)   churn %9.0f pl/s   p50 %7.2f us   p99 %7.2f us   "
+      "p999 %7.2f us\n",
+      name, s.fill_pps, s.fill_placements, s.churn_pps, s.p50_us, s.p99_us, s.p999_us);
+  std::printf("           churn counters: %llu score lookups, %llu index probes, "
+              "%llu rep-cache hits, %llu linear-scored\n",
+              static_cast<unsigned long long>(s.score_lookups),
+              static_cast<unsigned long long>(s.index_probes),
+              static_cast<unsigned long long>(s.rep_cache_hits),
+              static_cast<unsigned long long>(s.linear_scored));
 }
 
 void json_engine(std::ostream& os, const char* name, const EngineStats& s) {
@@ -119,7 +143,11 @@ void json_engine(std::ostream& os, const char* name, const EngineStats& s) {
      << ", \"fill_placements\": " << s.fill_placements
      << ", \"churn_placements_per_sec\": " << s.churn_pps
      << ", \"churn_ops\": " << s.churn_ops << ", \"p50_us\": " << s.p50_us
-     << ", \"p99_us\": " << s.p99_us << "}";
+     << ", \"p99_us\": " << s.p99_us << ", \"p999_us\": " << s.p999_us
+     << ", \"score_lookups\": " << s.score_lookups
+     << ", \"index_probes\": " << s.index_probes
+     << ", \"rep_cache_hits\": " << s.rep_cache_hits
+     << ", \"linear_scored\": " << s.linear_scored << "}";
 }
 
 }  // namespace

@@ -10,6 +10,40 @@
 
 namespace prvm {
 
+namespace resmask {
+
+std::uint64_t pack_free(const ProfileShape& shape, const Profile& usage) {
+  std::uint64_t packed = 0;
+  const std::size_t groups = std::min<std::size_t>(shape.group_count(), 4);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const DimensionGroup& group = shape.groups()[g];
+    const int offset = shape.group_offset(g);
+    std::uint64_t free = 0;
+    for (int d = 0; d < group.count; ++d) {
+      free += static_cast<std::uint64_t>(group.capacity - usage.level(offset + d));
+    }
+    packed |= std::min(free, kFieldMax) << (kFieldBits * g);
+  }
+  return packed;
+}
+
+std::uint64_t pack_need(const ProfileShape& shape, const QuantizedDemand& demand) {
+  std::uint64_t packed = 0;
+  const std::size_t groups = std::min<std::size_t>(shape.group_count(), 4);
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::uint64_t need = 0;
+    if (g < demand.group_items.size()) {
+      for (int item : demand.group_items[g]) need += static_cast<std::uint64_t>(item);
+    }
+    // A demand a single PM of this shape could never absorb would make the
+    // packed field meaningless; such demands are rejected at catalog build.
+    packed |= std::min(need, kFieldMax) << (kFieldBits * g);
+  }
+  return packed;
+}
+
+}  // namespace resmask
+
 Datacenter::Datacenter(Catalog catalog, std::vector<std::size_t> pm_types_of)
     : catalog_(std::move(catalog)) {
   PRVM_REQUIRE(!pm_types_of.empty(), "datacenter needs at least one PM");
@@ -21,7 +55,8 @@ Datacenter::Datacenter(Catalog catalog, std::vector<std::size_t> pm_types_of)
     pms_.push_back(PmState{type, zero, zero.pack(shape), {}});
   }
   index_.resize(catalog_.pm_types().size());
-  bucket_pos_.assign(pms_.size(), 0);
+  next_in_bucket_.assign(pms_.size(), kNoPm);
+  prev_in_bucket_.assign(pms_.size(), kNoPm);
   activation_seq_.assign(pms_.size(), 0);
   unused_bits_.assign((pms_.size() + 63) / 64, ~std::uint64_t{0});
 }
@@ -47,11 +82,11 @@ std::optional<PmIndex> Datacenter::next_unused(PmIndex from) const {
   return std::nullopt;
 }
 
-const std::vector<PmIndex>* Datacenter::used_bucket(std::size_t pm_type, ProfileKey key) const {
+Datacenter::BucketView Datacenter::used_bucket(std::size_t pm_type, ProfileKey key) const {
   const TypeIndex& ti = index_.at(pm_type);
   const std::uint32_t* slot = ti.slot_of.find(key);
-  if (slot == nullptr || *slot == kNoBucket) return nullptr;
-  return &ti.buckets[*slot].pms;
+  if (slot == nullptr || *slot == kNoBucket) return BucketView{};
+  return BucketView{ti.heads[*slot], ti.counts[*slot], next_in_bucket_.data()};
 }
 
 bool Datacenter::fits(PmIndex i, std::size_t vm_type) const {
@@ -72,12 +107,22 @@ void Datacenter::add_to_bucket(PmIndex i) {
   TypeIndex& ti = index_[pms_[i].type_index];
   auto [slot, inserted] = ti.slot_of.try_emplace(pms_[i].canonical_key, kNoBucket);
   if (slot == kNoBucket) {
-    slot = static_cast<std::uint32_t>(ti.buckets.size());
-    ti.buckets.push_back(Bucket{pms_[i].canonical_key, {}});
+    slot = static_cast<std::uint32_t>(ti.keys.size());
+    ti.keys.push_back(pms_[i].canonical_key);
+    ti.heads.push_back(kNoPm);
+    ti.counts.push_back(0);
+    // All members of a bucket share the canonical key, hence the residual
+    // summary; raw usage works because group residuals are permutation-
+    // invariant.
+    ti.residuals.push_back(
+        resmask::pack_free(catalog_.shape(pms_[i].type_index), pms_[i].usage));
   }
-  Bucket& bucket = ti.buckets[slot];
-  bucket_pos_[i] = static_cast<std::uint32_t>(bucket.pms.size());
-  bucket.pms.push_back(i);
+  const PmIndex head = ti.heads[slot];
+  next_in_bucket_[i] = head;
+  prev_in_bucket_[i] = kNoPm;
+  if (head != kNoPm) prev_in_bucket_[head] = i;
+  ti.heads[slot] = i;
+  ++ti.counts[slot];
 }
 
 void Datacenter::remove_from_bucket(PmIndex i) {
@@ -85,25 +130,37 @@ void Datacenter::remove_from_bucket(PmIndex i) {
   TypeIndex& ti = index_[pms_[i].type_index];
   std::uint32_t* slot = ti.slot_of.find(pms_[i].canonical_key);
   PRVM_CHECK(slot != nullptr && *slot != kNoBucket, "bucket index out of sync");
-  Bucket& bucket = ti.buckets[*slot];
-  const std::uint32_t pos = bucket_pos_[i];
-  PRVM_CHECK(pos < bucket.pms.size() && bucket.pms[pos] == i, "bucket position out of sync");
-  bucket.pms[pos] = bucket.pms.back();
-  bucket_pos_[bucket.pms[pos]] = pos;
-  bucket.pms.pop_back();
-  if (!bucket.pms.empty()) return;
+  const PmIndex prev = prev_in_bucket_[i];
+  const PmIndex next = next_in_bucket_[i];
+  if (prev != kNoPm) {
+    next_in_bucket_[prev] = next;
+  } else {
+    PRVM_CHECK(ti.heads[*slot] == i, "bucket head out of sync");
+    ti.heads[*slot] = next;
+  }
+  if (next != kNoPm) prev_in_bucket_[next] = prev;
+  next_in_bucket_[i] = kNoPm;
+  prev_in_bucket_[i] = kNoPm;
+  PRVM_CHECK(ti.counts[*slot] > 0, "bucket count out of sync");
+  if (--ti.counts[*slot] > 0) return;
 
-  // Swap-erase the dead bucket out of the dense array, keeping the key map
+  // Swap-erase the dead bucket out of the dense arrays, keeping the key map
   // pointed at the moved bucket's new slot.
-  const std::uint32_t last = static_cast<std::uint32_t>(ti.buckets.size() - 1);
-  const ProfileKey dead_key = bucket.key;
+  const std::uint32_t last = static_cast<std::uint32_t>(ti.keys.size() - 1);
+  const ProfileKey dead_key = ti.keys[*slot];
   if (*slot != last) {
-    ti.buckets[*slot] = std::move(ti.buckets[last]);
-    std::uint32_t* moved = ti.slot_of.find(ti.buckets[*slot].key);
+    ti.keys[*slot] = ti.keys[last];
+    ti.heads[*slot] = ti.heads[last];
+    ti.counts[*slot] = ti.counts[last];
+    ti.residuals[*slot] = ti.residuals[last];
+    std::uint32_t* moved = ti.slot_of.find(ti.keys[*slot]);
     PRVM_CHECK(moved != nullptr, "bucket index out of sync");
     *moved = *slot;
   }
-  ti.buckets.pop_back();
+  ti.keys.pop_back();
+  ti.heads.pop_back();
+  ti.counts.pop_back();
+  ti.residuals.pop_back();
   *ti.slot_of.find(dead_key) = kNoBucket;
 }
 
@@ -214,10 +271,15 @@ void Datacenter::clear() {
   used_order_.clear();
   vm_index_.clear();
   for (TypeIndex& ti : index_) {
-    ti.buckets.clear();
+    ti.keys.clear();
+    ti.heads.clear();
+    ti.counts.clear();
+    ti.residuals.clear();
     ti.slot_of.clear();
     ti.used_count = 0;
   }
+  next_in_bucket_.assign(pms_.size(), kNoPm);
+  prev_in_bucket_.assign(pms_.size(), kNoPm);
   unused_bits_.assign((pms_.size() + 63) / 64, ~std::uint64_t{0});
   next_activation_ = 0;
 }
@@ -338,30 +400,43 @@ Datacenter Datacenter::deserialize(Catalog catalog, std::istream& is) {
 }
 
 void Datacenter::check_index_invariants() const {
-  std::vector<std::size_t> used_by_type(index_.size(), 0);
   std::vector<bool> in_bucket(pms_.size(), false);
   for (std::size_t t = 0; t < index_.size(); ++t) {
     const TypeIndex& ti = index_[t];
-    for (std::uint32_t s = 0; s < ti.buckets.size(); ++s) {
-      const Bucket& b = ti.buckets[s];
-      PRVM_CHECK(!b.pms.empty(), "index holds an empty bucket");
-      const std::uint32_t* slot = ti.slot_of.find(b.key);
+    PRVM_CHECK(ti.heads.size() == ti.keys.size() && ti.counts.size() == ti.keys.size() &&
+                   ti.residuals.size() == ti.keys.size(),
+               "SoA bucket arrays disagree on length");
+    std::size_t used_by_type = 0;
+    for (std::uint32_t s = 0; s < ti.keys.size(); ++s) {
+      PRVM_CHECK(ti.counts[s] > 0, "index holds an empty bucket");
+      const std::uint32_t* slot = ti.slot_of.find(ti.keys[s]);
       PRVM_CHECK(slot != nullptr && *slot == s, "bucket key maps to the wrong slot");
-      for (std::uint32_t p = 0; p < b.pms.size(); ++p) {
-        const PmIndex i = b.pms[p];
+      std::uint32_t walked = 0;
+      PmIndex prev = kNoPm;
+      for (PmIndex i = ti.heads[s]; i != kNoPm; i = next_in_bucket_[i]) {
+        PRVM_CHECK(walked < ti.counts[s], "bucket list longer than its count");
         PRVM_CHECK(!in_bucket[i], "PM appears in two buckets");
         in_bucket[i] = true;
+        PRVM_CHECK(prev_in_bucket_[i] == prev, "bucket back-link out of sync");
         PRVM_CHECK(pms_[i].used(), "bucket holds an unused PM");
         PRVM_CHECK(pms_[i].type_index == t, "bucket holds a PM of the wrong type");
-        PRVM_CHECK(pms_[i].canonical_key == b.key, "bucket key does not match PM profile");
-        PRVM_CHECK(bucket_pos_[i] == p, "bucket position out of sync");
+        PRVM_CHECK(pms_[i].canonical_key == ti.keys[s], "bucket key does not match PM profile");
+        PRVM_CHECK(ti.residuals[s] == resmask::pack_free(catalog_.shape(t), pms_[i].usage),
+                   "bucket residual summary stale");
+        prev = i;
+        ++walked;
       }
-      used_by_type[t] += b.pms.size();
+      PRVM_CHECK(walked == ti.counts[s], "bucket count does not match its list");
+      used_by_type += walked;
     }
-    PRVM_CHECK(ti.used_count == used_by_type[t], "per-type used count out of sync");
+    PRVM_CHECK(ti.used_count == used_by_type, "per-type used count out of sync");
   }
   for (PmIndex i = 0; i < pms_.size(); ++i) {
     PRVM_CHECK(in_bucket[i] == pms_[i].used(), "used PM missing from its bucket");
+    if (!pms_[i].used()) {
+      PRVM_CHECK(next_in_bucket_[i] == kNoPm && prev_in_bucket_[i] == kNoPm,
+                 "unused PM still linked into a bucket");
+    }
     const bool bit = (unused_bits_[i / 64] >> (i % 64)) & 1;
     PRVM_CHECK(bit == !pms_[i].used(), "free-list bitmap out of sync");
   }

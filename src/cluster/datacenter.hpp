@@ -7,16 +7,23 @@
 // which enforce capacity and anti-collocation invariants on every call.
 //
 // Alongside the per-PM ledger the datacenter incrementally maintains a
-// placement index: per PM type, buckets of used PMs grouped by canonical
-// profile key, plus an activation sequence number per used PM (Algorithm 2's
-// used_PM_list order) and a bitmap free-list of unused PMs. PageRankVM's
-// indexed scan uses these to evaluate each *distinct* live profile once
-// instead of each PM once; all maintenance is O(1) amortized per mutation.
+// placement index in struct-of-arrays form: per PM type, parallel arrays of
+// bucket canonical key, head PM, member count and a packed per-bucket
+// residual-capacity summary (one u64, see resmask below), plus an intrusive
+// doubly-linked membership list threaded through per-PM next/prev arrays.
+// PageRankVM's indexed scan sweeps the contiguous key/residual arrays —
+// evaluating each *distinct* live profile once, prefiltered by a branchless
+// feasibility mask — instead of pointer-chasing per-bucket vectors. An
+// activation sequence number per used PM (Algorithm 2's used_PM_list order)
+// and a bitmap free-list of unused PMs round out the index; all maintenance
+// is O(1) per mutation and allocation-free at steady state.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <iterator>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +35,33 @@ namespace prvm {
 
 /// Index of a PM within a Datacenter.
 using PmIndex = std::size_t;
+
+/// Packed per-group residual-capacity summaries: up to four dimension groups
+/// at 15 bits each (values clamp at 0x7FFF; groups past the fourth are
+/// ignored). `may_fit(free, need)` is a branchless SWAR comparison that is
+/// *conservative*: false only when some group's total residual certainly
+/// cannot absorb the demand's total for that group — anti-collocation can
+/// still reject a bucket that passes, but a bucket that fails can never host
+/// the VM, so filtering on it cannot change any placement decision.
+namespace resmask {
+
+inline constexpr std::uint64_t kHighBits = 0x8000'8000'8000'8000ULL;
+inline constexpr int kFieldBits = 16;
+inline constexpr std::uint64_t kFieldMax = 0x7FFF;
+
+/// Per-group free capacity of `usage` (raw or canonical — residuals are
+/// permutation-invariant within a group).
+std::uint64_t pack_free(const ProfileShape& shape, const Profile& usage);
+
+/// Per-group total demand of `demand`.
+std::uint64_t pack_need(const ProfileShape& shape, const QuantizedDemand& demand);
+
+/// True when every group's packed residual is >= the demand's packed total.
+inline bool may_fit(std::uint64_t free, std::uint64_t need) {
+  return (((free | kHighBits) - need) & kHighBits) == kHighBits;
+}
+
+}  // namespace resmask
 
 class Datacenter {
  public:
@@ -45,6 +79,57 @@ class Datacenter {
     std::vector<PlacedVm> vms;
 
     bool used() const { return !vms.empty(); }
+  };
+
+  /// Sentinel terminating the intrusive bucket-membership lists.
+  static constexpr PmIndex kNoPm = static_cast<PmIndex>(-1);
+
+  /// Borrowed, allocation-free view of one bucket's member PMs (a walk of
+  /// the intrusive list). Membership order is arbitrary (use
+  /// activation_seq() to recover used-list order). Invalidated by the next
+  /// place()/remove().
+  class BucketView {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = PmIndex;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const PmIndex*;
+      using reference = PmIndex;
+      PmIndex operator*() const { return cur_; }
+      iterator& operator++() {
+        cur_ = next_[cur_];
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator old = *this;
+        cur_ = next_[cur_];
+        return old;
+      }
+      bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+      bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+
+     private:
+      friend class BucketView;
+      iterator(PmIndex cur, const PmIndex* next) : cur_(cur), next_(next) {}
+      PmIndex cur_;
+      const PmIndex* next_;
+    };
+
+    BucketView() = default;
+    iterator begin() const { return {head_, next_}; }
+    iterator end() const { return {kNoPm, next_}; }
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+   private:
+    friend class Datacenter;
+    BucketView(PmIndex head, std::uint32_t size, const PmIndex* next)
+        : head_(head), size_(size), next_(next) {}
+    PmIndex head_ = kNoPm;
+    std::uint32_t size_ = 0;
+    const PmIndex* next_ = nullptr;
   };
 
   /// Builds a datacenter of pm_types_of[i] typed PMs over a catalog. The
@@ -76,20 +161,42 @@ class Datacenter {
 
   /// Number of distinct canonical profiles among used PMs of `pm_type`.
   std::size_t used_bucket_count(std::size_t pm_type) const {
-    return index_.at(pm_type).buckets.size();
+    return index_.at(pm_type).keys.size();
   }
 
-  /// The used PMs of type `pm_type` whose canonical profile is `key`;
-  /// nullptr when there are none. Membership order is arbitrary (use
-  /// activation_seq() to recover used-list order). The pointer is
-  /// invalidated by the next place()/remove().
-  const std::vector<PmIndex>* used_bucket(std::size_t pm_type, ProfileKey key) const;
+  /// The canonical keys of `pm_type`'s live buckets, one per bucket, in
+  /// dense slot order — the indexed engine's candidate scan sweeps this
+  /// contiguously. Parallel to bucket_residuals(). Invalidated by the next
+  /// place()/remove().
+  std::span<const ProfileKey> bucket_keys(std::size_t pm_type) const {
+    const TypeIndex& ti = index_.at(pm_type);
+    return {ti.keys.data(), ti.keys.size()};
+  }
 
-  /// Calls f(ProfileKey, const std::vector<PmIndex>&) for every non-empty
-  /// bucket of `pm_type`, in unspecified order.
+  /// Packed resmask::pack_free summaries parallel to bucket_keys().
+  std::span<const std::uint64_t> bucket_residuals(std::size_t pm_type) const {
+    const TypeIndex& ti = index_.at(pm_type);
+    return {ti.residuals.data(), ti.residuals.size()};
+  }
+
+  /// Member view of the bucket at dense `slot` (parallel to bucket_keys()).
+  BucketView bucket_at(std::size_t pm_type, std::size_t slot) const {
+    const TypeIndex& ti = index_.at(pm_type);
+    return BucketView{ti.heads.at(slot), ti.counts.at(slot), next_in_bucket_.data()};
+  }
+
+  /// The used PMs of type `pm_type` whose canonical profile is `key`; an
+  /// empty view when there are none.
+  BucketView used_bucket(std::size_t pm_type, ProfileKey key) const;
+
+  /// Calls f(ProfileKey, BucketView) for every non-empty bucket of
+  /// `pm_type`, in dense slot order.
   template <typename F>
   void for_each_used_bucket(std::size_t pm_type, F&& f) const {
-    for (const Bucket& b : index_.at(pm_type).buckets) f(b.key, b.pms);
+    const TypeIndex& ti = index_.at(pm_type);
+    for (std::size_t s = 0; s < ti.keys.size(); ++s) {
+      f(ti.keys[s], BucketView{ti.heads[s], ti.counts[s], next_in_bucket_.data()});
+    }
   }
 
   /// Strictly increasing number assigned each time a PM turns used; PMs
@@ -144,20 +251,22 @@ class Datacenter {
   static Datacenter deserialize(Catalog catalog, std::istream& is);
 
   /// Verifies every placement-index invariant against the ledger (buckets
-  /// partition the used PMs by canonical key, free-list matches, activation
+  /// partition the used PMs by canonical key, intrusive lists and counts
+  /// agree, residual summaries match the keys, free-list matches, activation
   /// order matches used_pms()). Test hook; throws on violation.
   void check_index_invariants() const;
 
  private:
-  struct Bucket {
-    ProfileKey key = 0;
-    std::vector<PmIndex> pms;
-  };
-  /// Placement index of one PM type. `slot_of` maps a canonical key to its
-  /// bucket's position in the dense `buckets` array; emptied buckets leave a
-  /// kNoBucket tombstone *value* behind (the flat map never erases).
+  /// Placement index of one PM type, struct-of-arrays: slot s of the dense
+  /// bucket array is (keys[s], heads[s], counts[s], residuals[s]); members
+  /// are threaded through next_in_bucket_/prev_in_bucket_. `slot_of` maps a
+  /// canonical key to its slot; emptied buckets leave a kNoBucket tombstone
+  /// *value* behind (the flat map never erases).
   struct TypeIndex {
-    std::vector<Bucket> buckets;
+    std::vector<ProfileKey> keys;
+    std::vector<PmIndex> heads;
+    std::vector<std::uint32_t> counts;
+    std::vector<std::uint64_t> residuals;
     FlatMap64<std::uint32_t> slot_of;
     std::size_t used_count = 0;
   };
@@ -174,9 +283,12 @@ class Datacenter {
   std::vector<PmIndex> used_order_;
   std::unordered_map<VmId, PmIndex> vm_index_;
 
-  // Placement index (see class comment).
+  // Placement index (see class comment). A PM's dense slot is found through
+  // slot_of by its canonical key (so swap-erasing a dead bucket only patches
+  // one map entry, never the members of the moved bucket).
   std::vector<TypeIndex> index_;               // per PM type
-  std::vector<std::uint32_t> bucket_pos_;      // per PM: position inside its bucket
+  std::vector<PmIndex> next_in_bucket_;        // per PM: intrusive list links
+  std::vector<PmIndex> prev_in_bucket_;
   std::vector<std::uint64_t> activation_seq_;  // per PM: valid while used
   std::vector<std::uint64_t> unused_bits_;     // bitmap, 1 = unused
   std::uint64_t next_activation_ = 0;

@@ -20,6 +20,54 @@
 
 namespace prvm {
 
+namespace flatmap_detail {
+
+/// SplitMix64 finalizer: full-avalanche, so low bits are usable directly.
+/// Shared by FlatMap64 and FlatMap64View so a serialized table probes
+/// identically when re-read through a view.
+inline std::size_t probe_start(std::uint64_t key, std::size_t mask) {
+  std::uint64_t h = key;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h) & mask;
+}
+
+}  // namespace flatmap_detail
+
+/// Read-only probe over a FlatMap64's raw arrays living elsewhere (e.g. an
+/// mmap-ed score-table image). The arrays must have been produced by
+/// FlatMap64 with the same capacity (a power of two); the view borrows them.
+template <typename Value>
+class FlatMap64View {
+ public:
+  FlatMap64View() = default;
+  FlatMap64View(const std::uint64_t* keys, const Value* values, const std::uint8_t* full,
+                std::size_t capacity)
+      : keys_(keys), values_(values), full_(full), mask_(capacity - 1) {
+    PRVM_CHECK(capacity != 0 && (capacity & (capacity - 1)) == 0,
+               "flat-map view capacity must be a power of two");
+  }
+
+  const Value* find(std::uint64_t key) const {
+    if (keys_ == nullptr) return nullptr;
+    std::size_t i = flatmap_detail::probe_start(key, mask_);
+    while (full_[i]) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+ private:
+  const std::uint64_t* keys_ = nullptr;
+  const Value* values_ = nullptr;
+  const std::uint8_t* full_ = nullptr;
+  std::size_t mask_ = 0;
+};
+
 template <typename Value>
 class FlatMap64 {
  public:
@@ -77,16 +125,15 @@ class FlatMap64 {
 
   Value& operator[](std::uint64_t key) { return try_emplace(key).first; }
 
+  /// Raw table arrays, for serializing the map verbatim (capacity() entries
+  /// each); a FlatMap64View over the copies probes identically.
+  const std::uint64_t* keys_data() const { return keys_.data(); }
+  const Value* values_data() const { return values_.data(); }
+  const std::uint8_t* full_data() const { return full_.data(); }
+
  private:
   std::size_t probe_start(std::uint64_t key) const {
-    // SplitMix64 finalizer: full-avalanche, so low bits are usable directly.
-    std::uint64_t h = key;
-    h ^= h >> 30;
-    h *= 0xbf58476d1ce4e5b9ULL;
-    h ^= h >> 27;
-    h *= 0x94d049bb133111ebULL;
-    h ^= h >> 31;
-    return static_cast<std::size_t>(h) & mask_;
+    return flatmap_detail::probe_start(key, mask_);
   }
 
   void place_at(std::size_t i, std::uint64_t key, Value value) {

@@ -85,4 +85,66 @@ ScoreTableSet build_score_tables(const Catalog& catalog, const ScoreTableOptions
   return set;
 }
 
+IncrementalScoreTables::IncrementalScoreTables(const Catalog& catalog,
+                                               const ScoreTableOptions& options)
+    : options_(options) {
+  graphs_.reserve(catalog.pm_types().size());
+  set_.tables_.reserve(catalog.pm_types().size());
+  for (std::size_t p = 0; p < catalog.pm_types().size(); ++p) {
+    const Catalog::FittingDemands& fitting = catalog.fitting_demands(p);
+    PRVM_REQUIRE(!fitting.demands.empty(),
+                 "no VM type fits PM type " + catalog.pm_type(p).name);
+    graphs_.emplace_back(catalog.shape(p), fitting.demands);
+    set_.tables_.push_back(ScoreTable::build(graphs_.back(), options_));
+  }
+  rebuild_slots(catalog);
+}
+
+IncrementalScoreTables::ExtendReport IncrementalScoreTables::extend_to(
+    const Catalog& catalog, const ProfileGraphOptions& graph_options) {
+  PRVM_REQUIRE(catalog.pm_types().size() == graphs_.size(),
+               "extend_to: PM type set changed");
+  ExtendReport report;
+  for (std::size_t p = 0; p < graphs_.size(); ++p) {
+    PRVM_REQUIRE(catalog.shape(p) == graphs_[p].shape(), "extend_to: PM shape changed");
+    const Catalog::FittingDemands& fitting = catalog.fitting_demands(p);
+    const std::vector<QuantizedDemand>& old_demands = graphs_[p].demands();
+    PRVM_REQUIRE(fitting.demands.size() >= old_demands.size(),
+                 "extend_to: fitting VM types shrank for PM type " + catalog.pm_type(p).name);
+    // Appending VM types preserves the fitting order, so the old demand list
+    // must be a literal prefix of the new one.
+    for (std::size_t i = 0; i < old_demands.size(); ++i) {
+      PRVM_REQUIRE(fitting.demands[i].group_items == old_demands[i].group_items,
+                   "extend_to: existing VM types changed (only appends are supported)");
+    }
+    if (fitting.demands.size() == old_demands.size()) {
+      ++report.unchanged;
+      continue;
+    }
+    std::vector<QuantizedDemand> new_demands(fitting.demands.begin() +
+                                                 static_cast<std::ptrdiff_t>(old_demands.size()),
+                                             fitting.demands.end());
+    const ProfileGraph::ExtendStats stats = graphs_[p].extend(std::move(new_demands),
+                                                              graph_options);
+    report.new_nodes += stats.new_nodes;
+    report.new_edges += stats.new_edges;
+    ++(stats.changed() ? report.graph_extends : report.fast_extends);
+    set_.tables_[p] = ScoreTable::extend(set_.tables_[p], graphs_[p], stats.changed(), options_);
+  }
+  rebuild_slots(catalog);
+  return report;
+}
+
+void IncrementalScoreTables::rebuild_slots(const Catalog& catalog) {
+  set_.slots_.resize(graphs_.size());
+  for (std::size_t p = 0; p < graphs_.size(); ++p) {
+    const Catalog::FittingDemands& fitting = catalog.fitting_demands(p);
+    auto& slots = set_.slots_[p];
+    slots.assign(catalog.vm_types().size(), std::nullopt);
+    for (std::size_t i = 0; i < fitting.vm_type_of.size(); ++i) {
+      slots[fitting.vm_type_of[i]] = i;
+    }
+  }
+}
+
 }  // namespace prvm

@@ -29,8 +29,46 @@ class ScoreTableSet {
  private:
   friend ScoreTableSet build_score_tables(const Catalog&, const ScoreTableOptions&,
                                           const std::optional<std::filesystem::path>&);
+  friend class IncrementalScoreTables;
   std::vector<ScoreTable> tables_;
   std::vector<std::vector<std::optional<std::size_t>>> slots_;  // [pm][vm]
+};
+
+/// Incremental score-table maintenance across catalog growth.
+///
+/// Holds each PM type's ProfileGraph alive alongside its ScoreTable so that
+/// appending VM types to the catalog extends both in place instead of
+/// rebuilding from scratch: the graph BFS runs only over the new frontier
+/// (ProfileGraph::extend), and when the new VM types reach no new profile,
+/// the table reuses its PageRank scores verbatim and computes just the new
+/// demand blocks (ScoreTable::extend's fast path, O(nodes x new demands)).
+/// Either way the resulting tables are byte-identical to a from-scratch
+/// build over the grown catalog — asserted by the differential suite.
+class IncrementalScoreTables {
+ public:
+  explicit IncrementalScoreTables(const Catalog& catalog, const ScoreTableOptions& options = {});
+
+  struct ExtendReport {
+    std::size_t fast_extends = 0;   ///< PM types whose graph did not change
+    std::size_t graph_extends = 0;  ///< PM types whose graph grew (scores rebuilt)
+    std::size_t unchanged = 0;      ///< PM types that gained no fitting VM type
+    std::size_t new_nodes = 0;      ///< profile-graph nodes added, all PM types
+    std::size_t new_edges = 0;
+  };
+
+  /// Extends to `catalog`, which must have the same PM types and a VM-type
+  /// list of which the current one is a prefix (new types appended).
+  ExtendReport extend_to(const Catalog& catalog, const ProfileGraphOptions& graph_options = {});
+
+  const ScoreTableSet& set() const { return set_; }
+  const ProfileGraph& graph(std::size_t pm_type) const { return graphs_.at(pm_type); }
+
+ private:
+  void rebuild_slots(const Catalog& catalog);
+
+  ScoreTableOptions options_;
+  std::vector<ProfileGraph> graphs_;  // one per PM type
+  ScoreTableSet set_;
 };
 
 /// Directory used for score-table caching: $PRVM_CACHE_DIR if set, else

@@ -1,6 +1,7 @@
 #include "core/profile_graph.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/check.hpp"
 #include "common/worker_pool.hpp"
@@ -9,7 +10,7 @@ namespace prvm {
 
 namespace {
 
-// Distinct successor keys of one canonical profile across all demands.
+// Distinct successor keys of one canonical profile across the given demands.
 std::vector<ProfileKey> expand_node(const ProfileShape& shape, ProfileKey key,
                                     const std::vector<QuantizedDemand>& demands) {
   const Profile profile = Profile::unpack(shape, key);
@@ -23,26 +24,88 @@ std::vector<ProfileKey> expand_node(const ProfileShape& shape, ProfileKey key,
   return succ;
 }
 
+void validate_demands(const ProfileShape& shape, const std::vector<QuantizedDemand>& demands) {
+  for (const QuantizedDemand& d : demands) {
+    d.validate(shape);
+    PRVM_REQUIRE(d.total() > 0, "VM demand must consume at least one level");
+  }
+}
+
 }  // namespace
 
 ProfileGraph::ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> demands,
                            const ProfileGraphOptions& options)
     : shape_(std::move(shape)), demands_(std::move(demands)) {
   PRVM_REQUIRE(!demands_.empty(), "profile graph needs at least one VM type");
-  for (const QuantizedDemand& d : demands_) {
-    d.validate(shape_);
-    PRVM_REQUIRE(d.total() > 0, "VM demand must consume at least one level");
-  }
-
-  const unsigned threads = options.threads;
+  validate_demands(shape_, demands_);
 
   const Profile zero = Profile::zero(shape_);
   keys_.push_back(zero.pack(shape_));
   usage_.push_back(0);
   index_.try_emplace(keys_[0], NodeId{0});
-  graph_.add_node();
 
-  std::vector<NodeId> frontier{0};
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  grow({NodeId{0}}, edges, options);
+  canonicalize(edges);
+}
+
+ProfileGraph::ExtendStats ProfileGraph::extend(std::vector<QuantizedDemand> new_demands,
+                                               const ProfileGraphOptions& options) {
+  validate_demands(shape_, new_demands);
+  ExtendStats stats;
+  if (new_demands.empty()) return stats;
+
+  const std::size_t old_node_count = keys_.size();
+  std::vector<std::pair<NodeId, NodeId>> pending;
+  std::vector<NodeId> frontier;
+
+  // Every existing node already has its successors under the old demands;
+  // only the new demands can add edges out of it. A successor that is itself
+  // new seeds the BFS frontier, which then expands under the *full* demand
+  // set (its old-demand successors were never enumerated).
+  for (NodeId from = 0; from < old_node_count; ++from) {
+    for (ProfileKey key : expand_node(shape_, keys_[from], new_demands)) {
+      auto [node, inserted] = index_.try_emplace(key, static_cast<NodeId>(keys_.size()));
+      if (inserted) {
+        PRVM_REQUIRE(keys_.size() < options.max_nodes,
+                     "profile graph exceeds max_nodes; coarsen quantization");
+        keys_.push_back(key);
+        usage_.push_back(
+            static_cast<std::uint16_t>(Profile::unpack(shape_, key).total_usage()));
+        frontier.push_back(node);
+      } else {
+        // Adjacency is sorted by id = sorted by key (canonical numbering),
+        // so membership is a binary search.
+        const auto succ = graph_.successors(from);
+        if (std::binary_search(succ.begin(), succ.end(), node)) continue;
+      }
+      pending.emplace_back(from, node);
+    }
+  }
+
+  demands_.insert(demands_.end(), std::make_move_iterator(new_demands.begin()),
+                  std::make_move_iterator(new_demands.end()));
+  if (pending.empty()) return stats;  // no new edge, no new node: graph unchanged
+
+  grow(std::move(frontier), pending, options);
+  stats.new_nodes = keys_.size() - old_node_count;
+  stats.new_edges = pending.size();
+
+  // Rebuild the edge list as old edges + everything new, then renumber.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(graph_.edge_count() + pending.size());
+  for (NodeId u = 0; u < old_node_count; ++u) {
+    for (NodeId v : graph_.successors(u)) edges.emplace_back(u, v);
+  }
+  edges.insert(edges.end(), pending.begin(), pending.end());
+  canonicalize(edges);
+  return stats;
+}
+
+void ProfileGraph::grow(std::vector<NodeId> frontier,
+                        std::vector<std::pair<NodeId, NodeId>>& edges,
+                        const ProfileGraphOptions& options) {
+  const unsigned threads = options.threads;
   while (!frontier.empty()) {
     // Parallel phase: enumerate successor keys for the whole frontier on the
     // shared worker pool (capped at options.threads when set).
@@ -68,15 +131,50 @@ ProfileGraph::ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> dema
           keys_.push_back(key);
           usage_.push_back(
               static_cast<std::uint16_t>(Profile::unpack(shape_, key).total_usage()));
-          graph_.add_node();
           next.push_back(node);
         }
-        graph_.add_edge(from, node);
+        edges.emplace_back(from, node);
       }
     }
     frontier = std::move(next);
   }
-  graph_.finalize();
+}
+
+void ProfileGraph::canonicalize(std::vector<std::pair<NodeId, NodeId>>& edges) {
+  const std::size_t n = keys_.size();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return keys_[a] < keys_[b]; });
+
+  std::vector<NodeId> new_id(n);
+  for (NodeId pos = 0; pos < n; ++pos) new_id[order[pos]] = pos;
+
+  std::vector<ProfileKey> keys(n);
+  std::vector<std::uint16_t> usage(n);
+  for (NodeId pos = 0; pos < n; ++pos) {
+    keys[pos] = keys_[order[pos]];
+    usage[pos] = usage_[order[pos]];
+  }
+  keys_ = std::move(keys);
+  usage_ = std::move(usage);
+  // The empty profile packs to key 0, the minimum, so it stays node 0.
+  PRVM_CHECK(keys_[0] == Profile::zero(shape_).pack(shape_),
+             "canonical numbering lost the zero node");
+
+  index_.clear();
+  index_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) index_.try_emplace(keys_[u], u);
+
+  for (auto& [from, to] : edges) {
+    from = new_id[from];
+    to = new_id[to];
+  }
+  std::sort(edges.begin(), edges.end());
+  Digraph graph(n);
+  for (const auto& [from, to] : edges) graph.add_edge(from, to);
+  graph.finalize();
+  graph_ = std::move(graph);
 }
 
 std::optional<NodeId> ProfileGraph::best_node() const {

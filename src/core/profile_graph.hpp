@@ -31,8 +31,33 @@ class ProfileGraph {
   /// Builds the reachable profile graph for one shape and VM-type set.
   /// Demands are validated against the shape. Every demand must be
   /// non-empty (a VM that consumes nothing would make the graph cyclic).
+  ///
+  /// Node numbering is *canonical*: after discovery, nodes are ordered by
+  /// ascending ProfileKey and every adjacency list is sorted by target id.
+  /// The numbering (and hence every downstream floating-point summation
+  /// order) is therefore a pure function of (shape, demand set) — a graph
+  /// grown via extend() is bit-identical to one built from scratch with the
+  /// final demand list, which is what lets incremental score-table
+  /// maintenance promise byte-equal results.
   ProfileGraph(ProfileShape shape, std::vector<QuantizedDemand> demands,
                const ProfileGraphOptions& options = {});
+
+  struct ExtendStats {
+    std::size_t new_nodes = 0;
+    std::size_t new_edges = 0;  ///< includes edges into and among new nodes
+    bool changed() const { return new_nodes > 0 || new_edges > 0; }
+  };
+
+  /// Appends VM types to the demand set and grows the graph in place:
+  /// existing nodes gain their new-demand successors, newly reachable
+  /// profiles are BFS-expanded under the full demand set, and the node
+  /// numbering is re-canonicalized. The result is exactly the graph a fresh
+  /// build over the concatenated demand list would produce; the work is
+  /// proportional to the affected frontier, not the whole graph, and
+  /// `changed()` on the returned stats is false when the new VM types reach
+  /// no new profile and add no edge (the score table's fast extend path).
+  ExtendStats extend(std::vector<QuantizedDemand> new_demands,
+                     const ProfileGraphOptions& options = {});
 
   const ProfileShape& shape() const { return shape_; }
   const std::vector<QuantizedDemand>& demands() const { return demands_; }
@@ -63,6 +88,15 @@ class ProfileGraph {
   std::vector<NodeId> successors_for_demand(NodeId node, std::size_t demand_index) const;
 
  private:
+  /// BFS-expands `frontier` under the full demand set, appending discovered
+  /// nodes and recording edges into `edges`.
+  void grow(std::vector<NodeId> frontier, std::vector<std::pair<NodeId, NodeId>>& edges,
+            const ProfileGraphOptions& options);
+
+  /// Renumbers nodes by ascending key and rebuilds the finalized graph from
+  /// `edges` with sorted adjacency (see the constructor comment).
+  void canonicalize(std::vector<std::pair<NodeId, NodeId>>& edges);
+
   ProfileShape shape_;
   std::vector<QuantizedDemand> demands_;
   Digraph graph_;

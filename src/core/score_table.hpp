@@ -6,15 +6,29 @@
 // sized graphs — M3 vs C3 PMs — are comparable) -> per-(profile, VM-type)
 // best successor.
 //
+// Storage is flat and demand-major: best_[slot * n + node] so one VM type's
+// entries are one contiguous block (the indexed engine's fallback sweep
+// walks a fixed slot across nodes, and extending the table with new VM
+// types appends whole blocks); the per-demand score rankings live in a
+// single arena addressed by offset spans. Both make every hot access a
+// plain array load and every entry 8 (BestEntry) or 16 (RankedKey) bytes.
+//
 // The table is self-contained after build (the graph can be discarded) and
-// can be saved to / loaded from a binary cache file, because building the
-// EC2-scale graphs takes seconds-to-minutes and the paper notes the table
-// "is relatively stable during a certain period of time".
+// has three persistence forms: save()/load() (owned binary cache, because
+// building the EC2-scale graphs takes seconds-to-minutes and the paper
+// notes the table "is relatively stable during a certain period of time"),
+// save_image()/map_image() (a page-aligned read-only image mapped with
+// mmap, so N cell processes of one host share one physical copy), and
+// extend() (grow an existing table in place when the catalog gains VM
+// types; byte-identical to a fresh build, sublinear when the profile graph
+// did not change).
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,11 +68,30 @@ struct ScoreTableOptions {
 
 class ScoreTable {
  public:
+  /// One best-successor entry: the score of the best profile reachable by
+  /// one placement, and that profile's node. 8 bytes, so a cache line holds
+  /// eight candidates of the fallback sweep.
+  struct BestEntry {
+    float score = 0.0F;
+    NodeId successor = kNoFit;
+  };
+  static constexpr NodeId kNoFit = static_cast<NodeId>(-1);
+
   /// Builds the table from a freshly constructed profile graph.
   static ScoreTable build(const ProfileGraph& graph, const ScoreTableOptions& options = {});
 
+  /// Extends `base` to cover `graph`'s (longer) demand list; `base` must
+  /// have been built over the same shape with a prefix of graph's demands.
+  /// When `graph_changed` is false (ProfileGraph::extend reported no new
+  /// node or edge) the node set and scores are reused verbatim and only the
+  /// new demand blocks are computed — O(nodes x new demands) instead of a
+  /// full PageRank rebuild. Either way the result is byte-identical to
+  /// build(graph, options), which the differential suite asserts.
+  static ScoreTable extend(const ScoreTable& base, const ProfileGraph& graph,
+                           bool graph_changed, const ScoreTableOptions& options = {});
+
   const ProfileShape& shape() const { return shape_; }
-  std::size_t size() const { return keys_.size(); }
+  std::size_t size() const { return node_count_; }
   std::size_t demand_count() const { return demand_count_; }
 
   /// Score of a canonical profile; nullopt if the profile is not in the
@@ -81,8 +114,13 @@ class ScoreTable {
   /// Node id of a canonical profile, if present. Node-keyed accessors below
   /// let hot paths resolve the hash once and reuse the id.
   std::optional<NodeId> node_of(ProfileKey key) const;
-  ProfileKey key_of(NodeId node) const { return keys_.at(node); }
+  ProfileKey key_of(NodeId node) const { return keys_data()[node]; }
   std::optional<Best> best_after_node(NodeId node, std::size_t demand_index) const;
+
+  /// The contiguous best-successor block of one VM type, indexed by node —
+  /// the raw form of best_after_node for hot loops (no optional, no key
+  /// resolution; check entry.successor != kNoFit).
+  std::span<const BestEntry> best_row(std::size_t demand_index) const;
 
   /// One entry of the per-VM-type score ranking (see ranked_keys()).
   struct RankedKey {
@@ -94,9 +132,7 @@ class ScoreTable {
   /// best_after score descending (ties by key, for determinism). The indexed
   /// Algorithm 2 walks this ranking and takes the first entry with a live
   /// PM bucket, instead of scoring every used PM.
-  const std::vector<RankedKey>& ranked_keys(std::size_t demand_index) const {
-    return ranked_.at(demand_index);
-  }
+  std::span<const RankedKey> ranked_keys(std::size_t demand_index) const;
 
   /// Diagnostics from the build.
   int pagerank_iterations() const { return iterations_; }
@@ -106,6 +142,18 @@ class ScoreTable {
   /// demand fingerprint); load() verifies it and throws on mismatch.
   void save(const std::filesystem::path& path) const;
   static ScoreTable load(const std::filesystem::path& path);
+
+  /// Read-only image persistence: save_image() writes every array (keys,
+  /// scores, best entries, ranked arena, hash index) into one page-aligned
+  /// file; map_image() mmaps it MAP_SHARED|PROT_READ and serves every
+  /// accessor straight from the mapping — multiple processes mapping the
+  /// same file share one physical copy of the table. The mapping is held by
+  /// the returned table (and any copies of it) until the last one dies.
+  void save_image(const std::filesystem::path& path) const;
+  static ScoreTable map_image(const std::filesystem::path& path);
+
+  /// True when the table is served from a map_image() mapping.
+  bool is_mapped() const { return image_ != nullptr; }
 
   /// Digest string identifying (shape, demands, options); doubles as the
   /// cache-file naming scheme. Computable without building the graph.
@@ -119,25 +167,52 @@ class ScoreTable {
  private:
   ScoreTable() = default;
 
-  void build_ranked();
+  /// Computes the best-successor block of demand `t` into best_ (which must
+  /// already span [t * n, (t+1) * n)), then its ranked span. `scores` are
+  /// the float scores the comparisons run on (identical between build and
+  /// extend, which is what makes extend byte-identical).
+  void fill_demand_block(const ProfileGraph& graph, std::size_t t);
+  void build_ranked_block(std::size_t t);
+
+  /// An open mmap; shared_ptr so copies of a mapped table stay cheap and
+  /// the mapping lives exactly as long as someone serves from it.
+  struct Image;
+
+  /// Accessors below serve from the owned vectors or the mapped image.
+  const ProfileKey* keys_data() const { return image_ ? img_keys_ : keys_.data(); }
+  const float* scores_data() const { return image_ ? img_scores_ : scores_.data(); }
+  const BestEntry* best_data() const { return image_ ? img_best_ : best_.data(); }
+  const std::uint64_t* ranked_offsets_data() const {
+    return image_ ? img_ranked_offsets_ : ranked_offsets_.data();
+  }
+  const RankedKey* ranked_arena_data() const {
+    return image_ ? img_ranked_arena_ : ranked_arena_.data();
+  }
+  const NodeId* index_find(ProfileKey key) const {
+    return image_ ? index_view_.find(key) : index_.find(key);
+  }
 
   ProfileShape shape_{std::vector<DimensionGroup>{DimensionGroup{}}};
+  std::size_t node_count_ = 0;
+  std::size_t demand_count_ = 0;
   std::vector<ProfileKey> keys_;
   std::vector<float> scores_;
-  // Flat [node * demand_count + demand] best-successor entries;
-  // kNoFit marks "VM type does not fit this profile".
-  struct BestEntry {
-    float score = 0.0F;
-    NodeId successor = kNoFit;
-  };
-  static constexpr NodeId kNoFit = static_cast<NodeId>(-1);
-  std::vector<BestEntry> best_;
-  std::vector<std::vector<RankedKey>> ranked_;  // [demand], derived from best_
-  std::size_t demand_count_ = 0;
+  std::vector<BestEntry> best_;  ///< demand-major: [demand * node_count_ + node]
+  std::vector<RankedKey> ranked_arena_;
+  std::vector<std::uint64_t> ranked_offsets_;  ///< [demand_count_ + 1] into the arena
   FlatMap64<NodeId> index_;
   std::string digest_;
   int iterations_ = 0;
   bool converged_ = false;
+
+  // Mapped-image state (null/empty for owned tables).
+  std::shared_ptr<const Image> image_;
+  const ProfileKey* img_keys_ = nullptr;
+  const float* img_scores_ = nullptr;
+  const BestEntry* img_best_ = nullptr;
+  const std::uint64_t* img_ranked_offsets_ = nullptr;
+  const RankedKey* img_ranked_arena_ = nullptr;
+  FlatMap64View<NodeId> index_view_;
 };
 
 }  // namespace prvm

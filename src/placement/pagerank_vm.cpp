@@ -46,7 +46,24 @@ std::optional<double> PageRankVm::placement_score(const Datacenter& dc, PmIndex 
   return best->score;
 }
 
-DemandPlacement PageRankVm::cached_placement(const Datacenter& dc, PmIndex i, const Vm& vm) {
+void PageRankVm::ensure_masks(const Datacenter& dc) {
+  if (masks_ready_) return;
+  const Catalog& cat = dc.catalog();
+  const std::size_t pm_types = cat.pm_types().size();
+  mask_vm_types_ = cat.vm_types().size();
+  need_masks_.assign(pm_types * mask_vm_types_, 0);
+  for (std::size_t t = 0; t < pm_types; ++t) {
+    for (std::size_t v = 0; v < mask_vm_types_; ++v) {
+      const auto& demand = cat.demand(t, v);
+      if (!demand.has_value()) continue;  // never consulted (no demand slot)
+      need_masks_[t * mask_vm_types_ + v] = resmask::pack_need(cat.shape(t), *demand);
+    }
+  }
+  masks_ready_ = true;
+}
+
+void PageRankVm::cached_placement_into(const Datacenter& dc, PmIndex i, const Vm& vm,
+                                       DemandPlacement& out) {
   const Datacenter::PmState& pm = dc.pm(i);
   const ProfileShape& shape = dc.shape_of(i);
   const ScoreTable& table = tables_->table(pm.type_index);
@@ -85,11 +102,11 @@ DemandPlacement PageRankVm::cached_placement(const Datacenter& dc, PmIndex i, co
   // p-th canonical dim of each group to the concrete dim holding the p-th
   // largest level — same level, same capacity, so the mapped assignment is
   // valid and its canonical outcome is exactly best->successor.
-  std::vector<int> order(static_cast<std::size_t>(shape.total_dims()));
+  order_scratch_.resize(static_cast<std::size_t>(shape.total_dims()));
   for (std::size_t g = 0; g < shape.group_count(); ++g) {
     const int off = shape.group_offset(g);
     const int count = shape.groups()[g].count;
-    const auto begin = order.begin() + off;
+    const auto begin = order_scratch_.begin() + off;
     std::iota(begin, begin + count, 0);
     std::sort(begin, begin + count, [&](int a, int b) {
       const int la = pm.usage.level(off + a);
@@ -98,24 +115,24 @@ DemandPlacement PageRankVm::cached_placement(const Datacenter& dc, PmIndex i, co
       return a < b;
     });
   }
-  DemandPlacement placement;
-  placement.assignments.reserve(canonical_assignments.size());
-  std::vector<int> levels(pm.usage.levels().begin(), pm.usage.levels().end());
+  out.assignments.clear();
+  out.assignments.reserve(canonical_assignments.size());
+  levels_scratch_.assign(pm.usage.levels().begin(), pm.usage.levels().end());
   for (auto [dim, amount] : canonical_assignments) {
     std::size_t g = 0;
     while (g + 1 < shape.group_count() && shape.group_offset(g + 1) <= dim) ++g;
     const int off = shape.group_offset(g);
-    const int mapped = off + order[static_cast<std::size_t>(dim)];
-    placement.assignments.emplace_back(mapped, amount);
-    levels[static_cast<std::size_t>(mapped)] += amount;
+    const int mapped = off + order_scratch_[static_cast<std::size_t>(dim)];
+    out.assignments.emplace_back(mapped, amount);
+    levels_scratch_[static_cast<std::size_t>(mapped)] += amount;
   }
-  placement.result = Profile::from_levels(shape, std::move(levels));
-  return placement;
+  out.result.assign_levels(shape, levels_scratch_);
 }
 
 void PageRankVm::place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm) {
   if (options_.use_index) {
-    dc.place(i, vm, cached_placement(dc, i, vm));
+    cached_placement_into(dc, i, vm, placement_scratch_);
+    dc.place(i, vm, placement_scratch_);
     return;
   }
   const Datacenter::PmState& pm = dc.pm(i);
@@ -180,15 +197,19 @@ std::optional<PmIndex> PageRankVm::pick_linear(Datacenter& dc, const Vm& vm,
 
 std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_type,
                                            const ScoreTable& table, std::size_t slot,
-                                           std::vector<BucketRef>& out) const {
+                                           std::uint64_t need,
+                                           std::vector<Datacenter::BucketView>& out) const {
   out.clear();
 
   // Phase A: walk the score-ranked profile keys and take the first (tie
-  // band of) live bucket(s). Cheap when a highly-ranked profile is live;
-  // give up after ~#live-profiles misses and fall back to phase B, so the
-  // walk never costs more than scanning the live profiles directly.
-  const auto& ranked = table.ranked_keys(slot);
-  const std::size_t initial_budget = dc.used_bucket_count(pm_type) + 8;
+  // band of) live bucket(s). A fleet under load usually keeps its
+  // highest-ranked profiles live, so a few probes settle it; past the
+  // budget, the contiguous phase-B sweep is cheaper than continued hash
+  // probing. Both phases compute the same top score and tie band, so the
+  // budget is decision-invariant.
+  const auto ranked = table.ranked_keys(slot);
+  const std::size_t initial_budget =
+      std::min<std::size_t>(dc.used_bucket_count(pm_type), options_.phase_a_budget);
   std::size_t budget = initial_budget;
   float top = 0.0F;
   bool bailed = false;
@@ -199,8 +220,8 @@ std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_
       break;
     }
     --budget;
-    const BucketRef bucket = dc.used_bucket(pm_type, rk.key);
-    if (bucket == nullptr) continue;
+    const Datacenter::BucketView bucket = dc.used_bucket(pm_type, rk.key);
+    if (bucket.empty()) continue;
     if (out.empty()) top = rk.score;
     out.push_back(bucket);
   }
@@ -210,27 +231,41 @@ std::optional<double> PageRankVm::type_top(const Datacenter& dc, std::size_t pm_
     return static_cast<double>(top);
   }
 
-  // Phase B: score each distinct live profile once.
+  // Phase B: one linear sweep over the dense bucket arrays. The residual
+  // mask rejects buckets whose free capacity certainly cannot absorb the
+  // demand without touching the hash index or the score table; survivors
+  // resolve their node once and read the demand-major best row directly.
   out.clear();
-  std::optional<double> best;
+  const std::span<const ProfileKey> keys = dc.bucket_keys(pm_type);
+  const std::span<const std::uint64_t> residuals = dc.bucket_residuals(pm_type);
+  const std::span<const ScoreTable::BestEntry> row = table.best_row(slot);
   std::uint64_t lookups = 0;
-  dc.for_each_used_bucket(pm_type, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+  float best = 0.0F;
+  bool found = false;
+  for (std::size_t s = 0; s < keys.size(); ++s) {
+    if (!resmask::may_fit(residuals[s], need)) continue;
     ++lookups;
-    const auto entry = table.best_after(key, slot);
-    if (!entry.has_value()) return;
-    if (!best.has_value() || entry->score > *best) {
-      best = entry->score;
+    const auto node = table.node_of(keys[s]);
+    PRVM_CHECK(node.has_value(), "live profile missing from score table");
+    const ScoreTable::BestEntry entry = row[*node];
+    if (entry.successor == ScoreTable::kNoFit) continue;
+    if (!found || entry.score > best) {
+      found = true;
+      best = entry.score;
       out.clear();
-      out.push_back(&pms);
-    } else if (entry->score == *best) {
-      out.push_back(&pms);
+      out.push_back(dc.bucket_at(pm_type, s));
+    } else if (entry.score == best) {
+      out.push_back(dc.bucket_at(pm_type, s));
     }
-  });
+  }
   m_.score_lookups->add(lookups);
-  return best;
+  if (!found) return std::nullopt;
+  return static_cast<double>(best);
 }
 
-std::optional<PmIndex> PageRankVm::pick_indexed(const Datacenter& dc, std::size_t vm_type) {
+bool PageRankVm::pick_indexed(const Datacenter& dc, std::size_t vm_type, PmIndex& out_pm,
+                              double& out_score) {
+  ensure_masks(dc);
   tied_.clear();
   bool found = false;
   double best_score = 0.0;
@@ -238,7 +273,8 @@ std::optional<PmIndex> PageRankVm::pick_indexed(const Datacenter& dc, std::size_
     if (dc.used_count_of_type(t) == 0) continue;
     const auto slot = tables_->demand_slot(t, vm_type);
     if (!slot.has_value()) continue;
-    const auto score = type_top(dc, t, tables_->table(t), *slot, type_tied_);
+    const auto score = type_top(dc, t, tables_->table(t), *slot,
+                                need_masks_[t * mask_vm_types_ + vm_type], type_tied_);
     if (!score.has_value()) continue;
     if (!found || *score > best_score) {
       found = true;
@@ -248,28 +284,33 @@ std::optional<PmIndex> PageRankVm::pick_indexed(const Datacenter& dc, std::size_
       tied_.insert(tied_.end(), type_tied_.begin(), type_tied_.end());
     }
   }
-  if (!found) return std::nullopt;
+  if (!found) return false;
 
   // The linear scan keeps the first maximal candidate in used order, which
   // is exactly the minimum activation sequence among the tied buckets.
-  std::optional<PmIndex> winner;
+  PmIndex winner = Datacenter::kNoPm;
   std::uint64_t winner_seq = 0;
-  for (const BucketRef bucket : tied_) {
-    for (const PmIndex i : *bucket) {
+  for (const Datacenter::BucketView& bucket : tied_) {
+    for (const PmIndex i : bucket) {
       const std::uint64_t seq = dc.activation_seq(i);
-      if (!winner.has_value() || seq < winner_seq) {
+      if (winner == Datacenter::kNoPm || seq < winner_seq) {
         winner = i;
         winner_seq = seq;
       }
     }
   }
-  return winner;
+  PRVM_CHECK(winner != Datacenter::kNoPm, "tied bucket set was empty");
+  out_pm = winner;
+  out_score = best_score;
+  return true;
 }
 
-std::optional<PmIndex> PageRankVm::pick_indexed_constrained(
-    const Datacenter& dc, std::size_t vm_type, const PlacementConstraints& constraints) {
+bool PageRankVm::pick_indexed_constrained(const Datacenter& dc, std::size_t vm_type,
+                                          const PlacementConstraints& constraints,
+                                          PmIndex& out_pm, double& out_score) {
   // Migration-time path: score every distinct live profile, then walk the
   // score groups downward until one holds an allowed PM.
+  ensure_masks(dc);
   scored_.clear();
   std::uint64_t lookups = 0;
   for (std::size_t t = 0; t < dc.catalog().pm_types().size(); ++t) {
@@ -277,34 +318,47 @@ std::optional<PmIndex> PageRankVm::pick_indexed_constrained(
     const auto slot = tables_->demand_slot(t, vm_type);
     if (!slot.has_value()) continue;
     const ScoreTable& table = tables_->table(t);
-    dc.for_each_used_bucket(t, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
+    const std::span<const ProfileKey> keys = dc.bucket_keys(t);
+    const std::span<const std::uint64_t> residuals = dc.bucket_residuals(t);
+    const std::span<const ScoreTable::BestEntry> row = table.best_row(*slot);
+    const std::uint64_t need = need_masks_[t * mask_vm_types_ + vm_type];
+    for (std::size_t s = 0; s < keys.size(); ++s) {
+      if (!resmask::may_fit(residuals[s], need)) continue;
       ++lookups;
-      const auto entry = table.best_after(key, *slot);
-      if (entry.has_value()) scored_.emplace_back(entry->score, &pms);
-    });
+      const auto node = table.node_of(keys[s]);
+      PRVM_CHECK(node.has_value(), "live profile missing from score table");
+      const ScoreTable::BestEntry entry = row[*node];
+      if (entry.successor == ScoreTable::kNoFit) continue;
+      scored_.push_back(ScoredBucket{entry.score, static_cast<std::uint32_t>(t),
+                                     static_cast<std::uint32_t>(s)});
+    }
   }
   m_.score_lookups->add(lookups);
   std::sort(scored_.begin(), scored_.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+            [](const ScoredBucket& a, const ScoredBucket& b) { return a.score > b.score; });
   for (std::size_t i = 0; i < scored_.size();) {
     std::size_t j = i;
-    while (j < scored_.size() && scored_[j].first == scored_[i].first) ++j;
-    std::optional<PmIndex> winner;
+    while (j < scored_.size() && scored_[j].score == scored_[i].score) ++j;
+    PmIndex winner = Datacenter::kNoPm;
     std::uint64_t winner_seq = 0;
     for (std::size_t k = i; k < j; ++k) {
-      for (const PmIndex pm : *scored_[k].second) {
+      for (const PmIndex pm : dc.bucket_at(scored_[k].pm_type, scored_[k].slot)) {
         if (!constraints.allowed(dc, pm)) continue;
         const std::uint64_t seq = dc.activation_seq(pm);
-        if (!winner.has_value() || seq < winner_seq) {
+        if (winner == Datacenter::kNoPm || seq < winner_seq) {
           winner = pm;
           winner_seq = seq;
         }
       }
     }
-    if (winner.has_value()) return winner;
+    if (winner != Datacenter::kNoPm) {
+      out_pm = winner;
+      out_score = static_cast<double>(scored_[i].score);
+      return true;
+    }
     i = j;
   }
-  return std::nullopt;
+  return false;
 }
 
 std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
@@ -315,10 +369,13 @@ std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
     // 2-choice must sample with the exact RNG stream of the linear engine,
     // so it shares the linear candidate path even when indexing is on.
     best_pm = pick_linear(dc, vm, constraints);
-  } else if (!constraints.exclude.has_value() && !constraints.allow) {
-    best_pm = pick_indexed(dc, vm.type_index);
   } else {
-    best_pm = pick_indexed_constrained(dc, vm.type_index, constraints);
+    PmIndex pm = 0;
+    double score = 0.0;
+    const bool picked = (!constraints.exclude.has_value() && !constraints.allow)
+                            ? pick_indexed(dc, vm.type_index, pm, score)
+                            : pick_indexed_constrained(dc, vm.type_index, constraints, pm, score);
+    if (picked) best_pm = pm;
   }
   if (best_pm.has_value()) {
     place_best_permutation(dc, *best_pm, vm);
@@ -336,39 +393,45 @@ std::optional<PmIndex> PageRankVm::place(Datacenter& dc, const Vm& vm,
   return std::nullopt;
 }
 
-std::optional<PageRankVm::Speculation> PageRankVm::speculate(
-    const Datacenter& dc, const Vm& vm, const PlacementConstraints& constraints) {
+bool PageRankVm::speculate(const Datacenter& dc, const Vm& vm,
+                           const PlacementConstraints& constraints, Speculation& out) {
   // The linear scan and 2-choice sampling depend on the scan/RNG stream of
   // the committing engine, which speculation cannot reproduce.
-  if (!options_.use_index || options_.two_choice) return std::nullopt;
+  if (!options_.use_index || options_.two_choice) return false;
   m_.place_calls->inc();
-  std::optional<PmIndex> best_pm;
-  if (!constraints.exclude.has_value() && !constraints.allow) {
-    best_pm = pick_indexed(dc, vm.type_index);
-  } else {
-    best_pm = pick_indexed_constrained(dc, vm.type_index, constraints);
-  }
-  Speculation spec;
-  if (best_pm.has_value()) {
-    const std::optional<double> score = placement_score(dc, *best_pm, vm.type_index);
-    PRVM_CHECK(score.has_value(), "picked PM lost its score");
-    spec.pm = *best_pm;
-    spec.score = *score;
-    spec.act_seq = dc.activation_seq(*best_pm);
-    spec.profile = dc.pm(*best_pm).canonical_key;
-    spec.placement = cached_placement(dc, *best_pm, vm);
-    return spec;
+  PmIndex pm = 0;
+  double score = 0.0;
+  const bool picked = (!constraints.exclude.has_value() && !constraints.allow)
+                          ? pick_indexed(dc, vm.type_index, pm, score)
+                          : pick_indexed_constrained(dc, vm.type_index, constraints, pm, score);
+  if (picked) {
+    out.pm = pm;
+    out.score = score;
+    out.act_seq = dc.activation_seq(pm);
+    out.profile = dc.pm(pm).canonical_key;
+    out.activated = false;
+    cached_placement_into(dc, pm, vm, out.placement);
+    return true;
   }
   for (auto i = dc.next_unused(0); i.has_value(); i = dc.next_unused(*i + 1)) {
     if (!constraints.allowed(dc, *i)) continue;
     if (!dc.fits(*i, vm.type_index)) continue;
-    spec.pm = *i;
-    spec.activated = true;
-    spec.profile = dc.pm(*i).canonical_key;
-    spec.placement = cached_placement(dc, *i, vm);
-    return spec;
+    out.pm = *i;
+    out.score = 0.0;
+    out.act_seq = 0;
+    out.activated = true;
+    out.profile = dc.pm(*i).canonical_key;
+    cached_placement_into(dc, *i, vm, out.placement);
+    return true;
   }
-  return std::nullopt;
+  return false;
+}
+
+std::optional<PageRankVm::Speculation> PageRankVm::speculate(
+    const Datacenter& dc, const Vm& vm, const PlacementConstraints& constraints) {
+  Speculation spec;
+  if (!speculate(dc, vm, constraints, spec)) return std::nullopt;
+  return spec;
 }
 
 }  // namespace prvm

@@ -12,11 +12,17 @@
 // Two engines implement the scan. The legacy linear engine scores every
 // used PM (O(fleet) per VM, the paper's Algorithm 2 as printed). The
 // indexed engine (default) exploits that the score depends only on
-// (PM type, canonical profile, VM type): it consults the datacenter's
-// per-type profile buckets and the score table's ranked key lists, so each
-// *distinct* live profile is evaluated once. Tie-breaking is pinned to
-// activation order, making the chosen PM identical to the linear scan for
-// every VM (asserted by the differential test).
+// (PM type, canonical profile, VM type): per PM type it first probes the
+// score table's ranked key list against the live buckets (phase A — a
+// handful of hash probes when a top-ranked profile is live), then falls
+// back to a contiguous sweep of the datacenter's struct-of-arrays bucket
+// index, prefiltered by the branchless residual mask, reading scores
+// straight out of the table's demand-major best row (phase B). Both phases
+// compute the same maximum; the budget only picks the cheaper path.
+// Tie-breaking is pinned to activation order, making the chosen PM
+// identical to the linear scan for every VM (asserted by the differential
+// test). All per-pick state lives in engine-owned scratch, so steady-state
+// picks are allocation-free (asserted by the counting-allocator test).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +44,10 @@ struct PageRankVmOptions {
   /// Use the bucketed placement index (same placements, near-O(1) per VM).
   /// Off = the literal linear scan, kept for differential tests/ablation.
   bool use_index = true;
+  /// Ranked-key probes per PM type before the indexed scan falls back to the
+  /// contiguous bucket sweep. Decision-invariant (both paths compute the
+  /// same answer); exposed for benchmarking only.
+  std::uint32_t phase_a_budget = 16;
   /// Registry for the engine's prvm_engine_* counters (score lookups, index
   /// probes, rep-cache hits). Null = obs::Registry::global().
   obs::Registry* metrics = nullptr;
@@ -62,9 +72,7 @@ class PageRankVm final : public PlacementAlgorithm {
   /// best successor. The service's parallel batch pipeline runs speculate()
   /// concurrently on per-partition engine clones (the datacenter read path
   /// is const and cache-free; the engine's own scratch makes each *clone*
-  /// single-threaded). Returns nullopt when no PM fits or when the engine
-  /// options (linear scan, 2-choice sampling) make speculation unsupported —
-  /// either way the caller must fall back to the serial place() path.
+  /// single-threaded).
   struct Speculation {
     PmIndex pm = 0;
     double score = 0.0;         ///< placement_score at decision time (unused when activated)
@@ -73,6 +81,15 @@ class PageRankVm final : public PlacementAlgorithm {
     bool activated = false;     ///< chosen off the free list (no used PM fit)
     DemandPlacement placement;  ///< concrete assignments realizing the best successor
   };
+
+  /// Allocation-free form: fills `out` (whose vectors are reused across
+  /// calls) and returns true on a decision. Returns false when no PM fits or
+  /// when the engine options (linear scan, 2-choice sampling) make
+  /// speculation unsupported — either way the caller must fall back to the
+  /// serial place() path.
+  bool speculate(const Datacenter& dc, const Vm& vm, const PlacementConstraints& constraints,
+                 Speculation& out);
+
   std::optional<Speculation> speculate(const Datacenter& dc, const Vm& vm,
                                        const PlacementConstraints& constraints = {});
 
@@ -91,8 +108,6 @@ class PageRankVm final : public PlacementAlgorithm {
   const ScoreTableSet& tables() const { return *tables_; }
 
  private:
-  using BucketRef = const std::vector<PmIndex>*;
-
   /// Places `vm` on PM `i` using the permutation whose canonical outcome has
   /// the highest score (via the representative cache when indexing is on).
   void place_best_permutation(Datacenter& dc, PmIndex i, const Vm& vm);
@@ -101,23 +116,33 @@ class PageRankVm final : public PlacementAlgorithm {
   std::optional<PmIndex> pick_linear(Datacenter& dc, const Vm& vm,
                                      const PlacementConstraints& constraints);
 
-  /// Indexed engine, no constraints: best PM via the profile buckets.
-  std::optional<PmIndex> pick_indexed(const Datacenter& dc, std::size_t vm_type);
+  /// Indexed engine, no constraints: best PM via the profile buckets. On
+  /// success also reports the winning score (saves the caller a lookup).
+  bool pick_indexed(const Datacenter& dc, std::size_t vm_type, PmIndex& out_pm,
+                    double& out_score);
 
   /// Indexed engine with exclude/allow constraints (migration re-placement).
-  std::optional<PmIndex> pick_indexed_constrained(const Datacenter& dc, std::size_t vm_type,
-                                                  const PlacementConstraints& constraints);
+  bool pick_indexed_constrained(const Datacenter& dc, std::size_t vm_type,
+                                const PlacementConstraints& constraints, PmIndex& out_pm,
+                                double& out_score);
 
   /// Top score of `pm_type`'s live profiles for demand `slot` and the
   /// bucket(s) attaining it; nullopt when no live profile fits the VM.
+  /// `need` is the VM's packed resmask demand on this PM type.
   std::optional<double> type_top(const Datacenter& dc, std::size_t pm_type,
-                                 const ScoreTable& table, std::size_t slot,
-                                 std::vector<BucketRef>& out) const;
+                                 const ScoreTable& table, std::size_t slot, std::uint64_t need,
+                                 std::vector<Datacenter::BucketView>& out) const;
+
+  /// Lazily builds need_masks_ from the first datacenter seen (an engine
+  /// serves one catalog — the score tables are already per-catalog).
+  void ensure_masks(const Datacenter& dc);
 
   /// A placement of `vm` on PM `i` realizing the best successor, computed in
   /// canonical-profile space once per (PM type, profile, VM type) and mapped
-  /// onto the PM's concrete dimension permutation.
-  DemandPlacement cached_placement(const Datacenter& dc, PmIndex i, const Vm& vm);
+  /// onto the PM's concrete dimension permutation. Writes into `out`
+  /// (reusing its storage); allocation-free on a rep-cache hit.
+  void cached_placement_into(const Datacenter& dc, PmIndex i, const Vm& vm,
+                             DemandPlacement& out);
 
   std::shared_ptr<const ScoreTableSet> tables_;
   PageRankVmOptions options_;
@@ -136,11 +161,25 @@ class PageRankVm final : public PlacementAlgorithm {
   };
   Metrics m_;
 
+  /// One scored live bucket of the constrained scan: the dense slot pins the
+  /// bucket without holding a pointer into the (stable during a pick) index.
+  struct ScoredBucket {
+    float score;
+    std::uint32_t pm_type;
+    std::uint32_t slot;
+  };
+
   // Scratch and caches for the indexed engine (one engine per thread; these
   // make place() non-reentrant but allocation-free at steady state).
-  std::vector<BucketRef> tied_;
-  std::vector<BucketRef> type_tied_;
-  std::vector<std::pair<double, BucketRef>> scored_;
+  std::vector<Datacenter::BucketView> tied_;
+  std::vector<Datacenter::BucketView> type_tied_;
+  std::vector<ScoredBucket> scored_;
+  std::vector<std::uint64_t> need_masks_;  ///< [pm_type * vm_types + vm_type]
+  std::size_t mask_vm_types_ = 0;
+  bool masks_ready_ = false;
+  std::vector<int> order_scratch_;
+  std::vector<int> levels_scratch_;
+  DemandPlacement placement_scratch_;
   FlatMap64<std::uint32_t> rep_index_;  // (pm_type, node, slot) -> rep slot
   std::vector<std::vector<std::pair<int, int>>> rep_assignments_;
 };

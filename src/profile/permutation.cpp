@@ -187,12 +187,15 @@ bool demand_fits(const ProfileShape& shape, const Profile& current,
     const int off = shape.group_offset(g);
     const int n = shape.groups()[g].count;
     if (static_cast<int>(items.size()) > n) return false;
-    std::vector<int> free;
-    free.reserve(static_cast<std::size_t>(n));
+    // Stack buffer: this predicate sits on the engine's activation fallback
+    // and must stay heap-free (see prvm_alloc_tests). A profile key packs at
+    // most 64 dimension levels, so 64 ints always suffice.
+    PRVM_CHECK(n <= 64, "dimension group wider than a profile key");
+    int free[64];
     for (int i = 0; i < n; ++i) {
-      free.push_back(shape.groups()[g].capacity - current.level(off + i));
+      free[i] = shape.groups()[g].capacity - current.level(off + i);
     }
-    std::sort(free.begin(), free.end(), std::greater<int>());
+    std::sort(free, free + n, std::greater<int>());
     for (std::size_t i = 0; i < items.size(); ++i) {
       if (items[i] > free[i]) return false;
     }

@@ -85,6 +85,17 @@ Profile Profile::from_levels(const ProfileShape& shape, std::vector<int> levels)
   return Profile(std::move(levels));
 }
 
+void Profile::assign_levels(const ProfileShape& shape, std::span<const int> levels) {
+  PRVM_REQUIRE(static_cast<int>(levels.size()) == shape.total_dims(),
+               "level count does not match shape");
+  for (int d = 0; d < shape.total_dims(); ++d) {
+    PRVM_REQUIRE(levels[static_cast<std::size_t>(d)] >= 0 &&
+                     levels[static_cast<std::size_t>(d)] <= shape.dim_capacity(d),
+                 "level out of [0, capacity]");
+  }
+  levels_.assign(levels.begin(), levels.end());
+}
+
 Profile Profile::unpack(const ProfileShape& shape, ProfileKey key) {
   std::vector<int> levels(static_cast<std::size_t>(shape.total_dims()), 0);
   // Dimensions are packed lowest-index-first in the low bits.

@@ -91,6 +91,11 @@ class Profile {
   /// level must be within its dimension's capacity).
   static Profile from_levels(const ProfileShape& shape, std::vector<int> levels);
 
+  /// Rebuilds this profile in place from explicit levels, with the same
+  /// validation as from_levels() but reusing the existing storage — the
+  /// allocation-free form for hot paths that mutate profiles per operation.
+  void assign_levels(const ProfileShape& shape, std::span<const int> levels);
+
   /// Unpacks a key produced by pack().
   static Profile unpack(const ProfileShape& shape, ProfileKey key);
 

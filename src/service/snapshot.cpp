@@ -107,14 +107,14 @@ bool datacenter_state_equal(const Datacenter& a, const Datacenter& b) {
       return false;
     }
     bool equal = true;
-    a.for_each_used_bucket(t, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
-      const std::vector<PmIndex>* other = b.used_bucket(t, key);
-      if (other == nullptr || other->size() != pms.size()) {
+    a.for_each_used_bucket(t, [&](ProfileKey key, Datacenter::BucketView pms) {
+      const Datacenter::BucketView other = b.used_bucket(t, key);
+      if (other.empty() || other.size() != pms.size()) {
         equal = false;
         return;
       }
-      std::vector<PmIndex> lhs = pms;
-      std::vector<PmIndex> rhs = *other;
+      std::vector<PmIndex> lhs(pms.begin(), pms.end());
+      std::vector<PmIndex> rhs(other.begin(), other.end());
       std::sort(lhs.begin(), lhs.end());
       std::sort(rhs.begin(), rhs.end());
       if (lhs != rhs) equal = false;

@@ -1,0 +1,102 @@
+// Steady-state allocation test for the indexed PageRankVM engine.
+//
+// Built as its own binary (prvm_alloc_tests): the global operator new/delete
+// overrides below count every heap allocation in the process, which would
+// perturb the main suite. The contract: once the engine is warm (scratch
+// vectors sized, rep cache populated, need masks built, hash maps past their
+// final rehash), a speculate() pick performs ZERO heap allocations — the
+// whole hot path runs on engine-owned scratch and borrowed views.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+static std::atomic<std::size_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#include "cluster/catalog.hpp"
+#include "cluster/datacenter.hpp"
+#include "common/rng.hpp"
+#include "core/catalog_graphs.hpp"
+#include "placement/pagerank_vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prvm {
+namespace {
+
+TEST(EngineAlloc, WarmSpeculateIsAllocationFree) {
+  const Catalog catalog = ec2_sim_catalog();
+  const auto tables =
+      std::make_shared<const ScoreTableSet>(build_score_tables(catalog, {}, std::nullopt));
+  Datacenter dc(catalog, std::vector<std::size_t>(64, 0));
+  PageRankVm engine(tables, {});
+
+  // Load the fleet part-way so every speculate below lands on a used PM
+  // (the activation fallback re-enumerates placements and may allocate).
+  Rng rng(11);
+  VmId next_id = 1;
+  const std::size_t vm_types = catalog.vm_types().size();
+  for (int i = 0; i < 160; ++i) {
+    const Vm vm{next_id++, rng.uniform_index(vm_types)};
+    if (!engine.place(dc, vm).has_value()) break;
+  }
+  ASSERT_GT(dc.used_count(), 0u);
+
+  const PlacementConstraints constraints;
+  PageRankVm::Speculation spec;
+  // Warm-up pass: sizes the scratch vectors, fills the rep cache for every
+  // (profile, VM type) the probe set touches, triggers the one spurious
+  // FlatMap64 rehash try_emplace may perform at its load threshold, and
+  // builds the need-mask matrix.
+  std::size_t decided = 0;
+  for (std::size_t v = 0; v < vm_types; ++v) {
+    const Vm vm{next_id++, v};
+    for (int rep = 0; rep < 2; ++rep) {
+      if (engine.speculate(dc, vm, constraints, spec)) ++decided;
+    }
+  }
+  ASSERT_GT(decided, 0u);
+
+  // Measured pass: the exact same picks must not touch the heap.
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t v = 0; v < vm_types; ++v) {
+      const Vm vm{next_id++, v};
+      const bool ok = engine.speculate(dc, vm, constraints, spec);
+      if (round == 0 && !ok) continue;
+    }
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "speculate() allocated " << (after - before)
+                           << " times across 50 warm rounds";
+}
+
+}  // namespace
+}  // namespace prvm

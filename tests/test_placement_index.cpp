@@ -257,20 +257,75 @@ TEST(PlacementIndex, BucketLookupMatchesLedger) {
     dc.place_first_fit(candidates[rng.uniform_index(candidates.size())], vm);
   }
   // Every used PM must be findable through used_bucket() by its own key,
-  // and for_each_used_bucket must enumerate the used set exactly.
+  // and for_each_used_bucket must enumerate the used set exactly. The SoA
+  // accessors (bucket_keys / bucket_residuals / bucket_at) must agree with
+  // the view-based enumeration slot for slot.
   std::size_t enumerated = 0;
   for (std::size_t t = 0; t < catalog.pm_types().size(); ++t) {
-    dc.for_each_used_bucket(t, [&](ProfileKey key, const std::vector<PmIndex>& pms) {
-      EXPECT_EQ(dc.used_bucket(t, key), &pms);
+    const auto keys = dc.bucket_keys(t);
+    const auto residuals = dc.bucket_residuals(t);
+    ASSERT_EQ(keys.size(), residuals.size());
+    ASSERT_EQ(keys.size(), dc.used_bucket_count(t));
+    std::size_t slot = 0;
+    dc.for_each_used_bucket(t, [&](ProfileKey key, Datacenter::BucketView pms) {
+      ASSERT_LT(slot, keys.size());
+      EXPECT_EQ(keys[slot], key);
+      const auto by_key = dc.used_bucket(t, key);
+      const auto by_slot = dc.bucket_at(t, slot);
+      EXPECT_EQ(std::vector<PmIndex>(by_key.begin(), by_key.end()),
+                std::vector<PmIndex>(pms.begin(), pms.end()));
+      EXPECT_EQ(std::vector<PmIndex>(by_slot.begin(), by_slot.end()),
+                std::vector<PmIndex>(pms.begin(), pms.end()));
+      std::uint32_t walked = 0;
       for (PmIndex i : pms) {
         EXPECT_EQ(dc.pm(i).canonical_key, key);
         EXPECT_EQ(dc.pm(i).type_index, t);
+        // The packed residual summary must never reject a VM that fits a
+        // member (conservative prefilter contract).
+        for (std::size_t v = 0; v < catalog.vm_types().size(); ++v) {
+          if (!dc.fits(i, v)) continue;
+          const auto& demand = catalog.demand(t, v);
+          ASSERT_TRUE(demand.has_value());
+          EXPECT_TRUE(resmask::may_fit(
+              residuals[slot], resmask::pack_need(catalog.shape(t), *demand)));
+        }
+        ++walked;
       }
+      EXPECT_EQ(walked, pms.size());
       enumerated += pms.size();
+      ++slot;
     });
+    EXPECT_EQ(slot, keys.size());
   }
   EXPECT_EQ(enumerated, dc.used_count());
-  EXPECT_EQ(dc.used_bucket(0, ~ProfileKey{0}), nullptr);
+  EXPECT_TRUE(dc.used_bucket(0, ~ProfileKey{0}).empty());
+}
+
+TEST(PlacementIndex, ResidualMaskIsExactOnGroupTotals) {
+  // may_fit compares per-group totals: it must accept exactly when every
+  // group's residual covers the demand total, across field boundaries.
+  const ProfileShape shape({DimensionGroup{ResourceKind::kCpu, 4, 8},
+                            DimensionGroup{ResourceKind::kMemory, 1, 16},
+                            DimensionGroup{ResourceKind::kDisk, 2, 8}});
+  const Profile usage = Profile::from_levels(shape, {8, 3, 0, 0, 5, 7, 0});
+  const std::uint64_t free = resmask::pack_free(shape, usage);
+  // Group residuals: cpu 32-11=21, mem 16-5=11, disk 16-7=9.
+  EXPECT_EQ(free & 0xFFFF, 21u);
+  EXPECT_EQ((free >> 16) & 0xFFFF, 11u);
+  EXPECT_EQ((free >> 32) & 0xFFFF, 9u);
+
+  const QuantizedDemand fits{{{8, 8, 5}, {11}, {9}}};
+  const QuantizedDemand cpu_over{{{8, 8, 6}, {11}, {9}}};
+  const QuantizedDemand mem_over{{{1}, {12}, {}}};
+  const QuantizedDemand disk_over{{{}, {}, {5, 5}}};
+  EXPECT_TRUE(resmask::may_fit(free, resmask::pack_need(shape, fits)));
+  EXPECT_FALSE(resmask::may_fit(free, resmask::pack_need(shape, cpu_over)));
+  EXPECT_FALSE(resmask::may_fit(free, resmask::pack_need(shape, mem_over)));
+  EXPECT_FALSE(resmask::may_fit(free, resmask::pack_need(shape, disk_over)));
+  // Zero demand always passes; zero residual only passes zero demand.
+  EXPECT_TRUE(resmask::may_fit(free, 0));
+  EXPECT_TRUE(resmask::may_fit(0, 0));
+  EXPECT_FALSE(resmask::may_fit(0, 1));
 }
 
 }  // namespace
