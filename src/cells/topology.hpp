@@ -1,0 +1,40 @@
+// Cell topology: how VMs, groups and PMs map onto placement cells.
+//
+// A cell is an independent PlacementService (engine + WAL + snapshot) over
+// a disjoint slice of the PM fleet. The router needs two pure, stable
+// functions — which cell first tries a VM, and which cell owns a group's
+// directory entry — plus a deterministic way to carve one fleet spec into
+// per-cell slices. All three live here so the router, the tools and the
+// sharded-vs-single differential tests agree byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prvm {
+
+/// SplitMix64 finalizer — a cheap, well-mixed integer hash. VM ids arrive
+/// as dense ranges (loadgen hands out sequential ids per connection), so
+/// the identity would pin whole bands to one cell; the finalizer spreads
+/// them uniformly.
+std::uint64_t mix64(std::uint64_t x);
+
+/// FNV-1a over the group name, for string-keyed routing.
+std::uint64_t hash_group_name(std::string_view group);
+
+/// The cell that first attempts placement of `vm` (spillover may move it).
+std::size_t cell_of_vm(std::uint64_t vm, std::size_t cells);
+
+/// The home cell owning `group`'s GroupDirectory entries.
+std::size_t cell_of_group(std::string_view group, std::size_t cells);
+
+/// Splits a fleet spec (per-PM type indices, the shape mixed_pm_fleet
+/// returns) into `cells` slices round-robin, so every cell keeps the same
+/// PM-type mix and capacity skew stays within one PM of even. The
+/// concatenation of the slices in cell order is a permutation of `fleet`.
+std::vector<std::vector<std::size_t>> split_fleet(const std::vector<std::size_t>& fleet,
+                                                  std::size_t cells);
+
+}  // namespace prvm

@@ -85,6 +85,77 @@ ScoreTableSet build_score_tables(const Catalog& catalog, const ScoreTableOptions
   return set;
 }
 
+ScoreTableSet mapped_score_tables(const Catalog& catalog,
+                                  const std::filesystem::path& image_dir,
+                                  const ScoreTableOptions& options,
+                                  ScoreImageReport* report) {
+  ScoreImageReport local;
+  ScoreTableSet set;
+  set.tables_.reserve(catalog.pm_types().size());
+  set.slots_.resize(catalog.pm_types().size());
+
+  std::error_code ec;
+  std::filesystem::create_directories(image_dir, ec);
+
+  for (std::size_t p = 0; p < catalog.pm_types().size(); ++p) {
+    const ProfileShape& shape = catalog.shape(p);
+    const Catalog::FittingDemands& fitting = catalog.fitting_demands(p);
+    PRVM_REQUIRE(!fitting.demands.empty(),
+                 "no VM type fits PM type " + catalog.pm_type(p).name);
+    const std::string digest = ScoreTable::digest(shape, fitting.demands, options);
+    const std::filesystem::path image = image_dir / ("scoretable-" + digest + ".img");
+
+    bool served = false;
+    if (std::filesystem::exists(image)) {
+      try {
+        ScoreTable table = ScoreTable::map_image(image);
+        if (table.digest_string() == digest) {
+          set.tables_.push_back(std::move(table));
+          ++local.mapped;
+          served = true;
+        }
+      } catch (const std::exception&) {
+        // Corrupt/stale image: rebuild and overwrite it below.
+      }
+    }
+    if (!served) {
+      // No usable image: obtain the table the normal way (binary cache or
+      // full build), write the image, then serve from the mapping so this
+      // process already shares pages with the next one.
+      const std::filesystem::path cache_file =
+          default_cache_dir() / ("scoretable-" + digest + ".bin");
+      std::optional<ScoreTable> built;
+      if (std::filesystem::exists(cache_file)) {
+        try {
+          ScoreTable table = ScoreTable::load(cache_file);
+          if (table.digest_string() == digest) built = std::move(table);
+        } catch (const std::exception&) {
+        }
+      }
+      if (!built.has_value()) {
+        const ProfileGraph graph(shape, fitting.demands);
+        built = ScoreTable::build(graph, options);
+      }
+      try {
+        built->save_image(image);
+        set.tables_.push_back(ScoreTable::map_image(image));
+        ++local.written;
+      } catch (const std::exception&) {
+        set.tables_.push_back(std::move(*built));
+        ++local.fallback;
+      }
+    }
+
+    auto& slots = set.slots_[p];
+    slots.assign(catalog.vm_types().size(), std::nullopt);
+    for (std::size_t i = 0; i < fitting.vm_type_of.size(); ++i) {
+      slots[fitting.vm_type_of[i]] = i;
+    }
+  }
+  if (report != nullptr) *report = local;
+  return set;
+}
+
 IncrementalScoreTables::IncrementalScoreTables(const Catalog& catalog,
                                                const ScoreTableOptions& options)
     : options_(options) {

@@ -15,6 +15,8 @@
 
 namespace prvm {
 
+struct ScoreImageReport;
+
 /// One ScoreTable per PM type plus the (PM type, VM type) -> table-demand-
 /// slot mapping (VM types that never fit a PM type have no slot there).
 class ScoreTableSet {
@@ -29,6 +31,8 @@ class ScoreTableSet {
  private:
   friend ScoreTableSet build_score_tables(const Catalog&, const ScoreTableOptions&,
                                           const std::optional<std::filesystem::path>&);
+  friend ScoreTableSet mapped_score_tables(const Catalog&, const std::filesystem::path&,
+                                           const ScoreTableOptions&, ScoreImageReport*);
   friend class IncrementalScoreTables;
   std::vector<ScoreTable> tables_;
   std::vector<std::vector<std::optional<std::size_t>>> slots_;  // [pm][vm]
@@ -80,5 +84,23 @@ std::filesystem::path default_cache_dir();
 ScoreTableSet build_score_tables(
     const Catalog& catalog, const ScoreTableOptions& options = {},
     const std::optional<std::filesystem::path>& cache_dir = default_cache_dir());
+
+/// What mapped_score_tables actually did, for the daemon's startup line.
+struct ScoreImageReport {
+  std::size_t mapped = 0;    ///< tables served from a pre-existing image
+  std::size_t written = 0;   ///< images written this run, then mapped
+  std::size_t fallback = 0;  ///< tables served from private memory (image IO failed)
+};
+
+/// Score tables served from read-only mmap images under `image_dir`
+/// (one `scoretable-<digest>.img` per PM type). Existing images are mapped
+/// MAP_SHARED, so N cell processes of one host share a single physical copy
+/// of each table; missing images are built (reusing the binary cache when
+/// possible), written, and mapped back. Image IO failure falls back to the
+/// in-memory table — the daemon keeps booting, just without page sharing.
+ScoreTableSet mapped_score_tables(const Catalog& catalog,
+                                  const std::filesystem::path& image_dir,
+                                  const ScoreTableOptions& options = {},
+                                  ScoreImageReport* report = nullptr);
 
 }  // namespace prvm

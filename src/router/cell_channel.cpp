@@ -1,0 +1,171 @@
+#include "router/cell_channel.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace prvm {
+
+namespace {
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (fd >= 0) ::close(fd);
+    throw std::runtime_error("cannot connect to cell at " + path);
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  // Loopback-only, like the daemon's own listener: the deployment story is
+  // cells and router on one box (or behind a private mesh), not the open
+  // internet.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  (void)host;
+  if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (fd >= 0) ::close(fd);
+    throw std::runtime_error("cannot connect to cell at " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+SocketCellChannel::SocketCellChannel(const std::string& unix_path)
+    : fd_(connect_unix(unix_path)), peer_(unix_path) {
+  start_reader();
+}
+
+SocketCellChannel::SocketCellChannel(const std::string& host, int port)
+    : fd_(connect_tcp(host, port)), peer_(host + ":" + std::to_string(port)) {
+  start_reader();
+}
+
+SocketCellChannel::~SocketCellChannel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!down_) {
+      down_ = true;
+      down_detail_ = "channel closed";
+    }
+  }
+  // shutdown() unblocks the reader's recv; close follows the join so the fd
+  // number cannot be reused under the reader.
+  ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+}
+
+bool SocketCellChannel::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !down_;
+}
+
+void SocketCellChannel::start_reader() {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+std::future<Response> SocketCellChannel::submit(Request request) {
+  const std::string line = encode_request(request);
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (down_) {
+    lock.unlock();
+    Response response;
+    response.ok = false;
+    response.op = to_string(request.op);
+    response.vm = request.vm_id;
+    response.error = kCellUnreachable;
+    response.message = "cell " + peer_ + " is unreachable: " + down_detail_;
+    promise.set_value(std::move(response));
+    return future;
+  }
+  // Promise enqueue and send happen under one lock so the byte stream and
+  // the promise FIFO agree on order across submitting threads.
+  pending_.push_back(std::move(promise));
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ::ssize_t n =
+        ::send(fd_, line.data() + written, line.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      fail_all_locked("send failed");
+      return future;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return future;
+}
+
+void SocketCellChannel::fail_all_locked(const std::string& detail) {
+  down_ = true;
+  down_detail_ = detail;
+  std::deque<std::promise<Response>> orphaned;
+  orphaned.swap(pending_);
+  for (std::promise<Response>& promise : orphaned) {
+    Response response;
+    response.ok = false;
+    response.error = kCellUnreachable;
+    response.message = "cell " + peer_ + " is unreachable: " + detail;
+    promise.set_value(std::move(response));
+  }
+}
+
+void SocketCellChannel::reader_loop() {
+  LineBuffer frames;
+  char buf[16 * 1024];
+  while (true) {
+    const ::ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!down_) fail_all_locked("connection closed by cell");
+      return;
+    }
+    frames.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    while (const auto frame = frames.next()) {
+      std::string error;
+      std::optional<Response> response;
+      if (!frame->oversized) response = parse_response(frame->line, &error);
+      std::promise<Response> promise;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (pending_.empty()) {
+          // A response with no matching request is a protocol violation;
+          // the stream can no longer be trusted to stay in order.
+          fail_all_locked("unsolicited response from cell");
+          return;
+        }
+        promise = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      if (response.has_value()) {
+        promise.set_value(std::move(*response));
+      } else {
+        Response bad;
+        bad.ok = false;
+        bad.error = kCellUnreachable;
+        bad.message = "malformed response from cell " + peer_ + ": " +
+                      (frame->oversized ? "oversized frame" : error);
+        promise.set_value(std::move(bad));
+      }
+    }
+  }
+}
+
+}  // namespace prvm

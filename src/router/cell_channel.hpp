@@ -1,0 +1,64 @@
+// Socket client channel to a remote placement cell.
+//
+// The router talks to cells through the RequestSink contract; an embedded
+// cell is just the PlacementService itself, a remote cell is this class: a
+// pipelined JSON-lines client over one TCP or Unix-domain connection.
+// submit() atomically enqueues a promise and sends the encoded request
+// under one lock, so the promise FIFO and the byte stream agree on order;
+// a reader thread reassembles response lines and resolves promises
+// first-in-first-out (the daemon answers strictly in request order).
+//
+// A dead connection never hangs callers: every pending and future submit
+// resolves to a structured {"ok":false,"error":"cell_unreachable"} reply.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/protocol.hpp"
+#include "service/request_sink.hpp"
+
+namespace prvm {
+
+/// Wire code used for transport-level failures (connection lost, encode
+/// round-trip failure) — deliberately distinct from every RejectReason so
+/// clients can tell "the cell said no" from "the cell is gone".
+inline constexpr char kCellUnreachable[] = "cell_unreachable";
+
+class SocketCellChannel : public RequestSink {
+ public:
+  /// Connects to a Unix-domain socket. Throws std::runtime_error on failure.
+  explicit SocketCellChannel(const std::string& unix_path);
+  /// Connects to a TCP endpoint on `host`:`port`.
+  SocketCellChannel(const std::string& host, int port);
+  ~SocketCellChannel() override;
+
+  SocketCellChannel(const SocketCellChannel&) = delete;
+  SocketCellChannel& operator=(const SocketCellChannel&) = delete;
+
+  std::future<Response> submit(Request request) override;
+
+  /// False once the connection dropped (submits fail fast afterwards).
+  bool connected() const;
+
+ private:
+  void start_reader();
+  void reader_loop();
+  /// Fails every queued promise with cell_unreachable (connection loss).
+  void fail_all_locked(const std::string& detail);
+
+  int fd_ = -1;
+  std::string peer_;  ///< human-readable endpoint for error messages
+  std::thread reader_;
+
+  mutable std::mutex mu_;
+  std::deque<std::promise<Response>> pending_;  ///< FIFO, matches sent order
+  bool down_ = false;
+  std::string down_detail_;
+};
+
+}  // namespace prvm

@@ -1,0 +1,481 @@
+#include "router/router.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "cells/topology.hpp"
+#include "common/check.hpp"
+#include "router/cell_channel.hpp"
+#include "service/admission.hpp"
+
+namespace prvm {
+
+namespace {
+
+/// Whole-string unsigned parse; stats merging sums only clean integers.
+bool parse_u64(const std::string& text, unsigned long long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+int mode_severity(const std::string& quoted_mode) {
+  if (quoted_mode == "\"degraded\"") return 2;
+  if (quoted_mode == "\"draining\"") return 1;
+  return 0;
+}
+
+const char* mode_name(int severity) {
+  switch (severity) {
+    case 2: return "degraded";
+    case 1: return "draining";
+    default: return "ok";
+  }
+}
+
+}  // namespace
+
+Router::Router(std::vector<RequestSink*> cells, RouterConfig config)
+    : cells_(std::move(cells)),
+      metrics_(config.metrics ? std::move(config.metrics)
+                              : std::make_shared<obs::Registry>()) {
+  PRVM_REQUIRE(!cells_.empty(), "router needs at least one cell");
+  for (RequestSink* cell : cells_) PRVM_REQUIRE(cell != nullptr, "null cell");
+  m_.requests = &metrics_->counter("prvm_router_requests_total");
+  m_.fanout_requests = &metrics_->counter("prvm_router_fanout_requests_total");
+  m_.fanout_ops = &metrics_->counter("prvm_router_fanout_ops_total");
+  m_.spillover = &metrics_->counter("prvm_router_spillover_total");
+  m_.group_reserves = &metrics_->counter("prvm_router_group_reserves_total");
+  m_.group_commits = &metrics_->counter("prvm_router_group_commits_total");
+  m_.group_aborts = &metrics_->counter("prvm_router_group_aborts_total");
+  m_.compensations = &metrics_->counter("prvm_router_compensations_total");
+  m_.cell_unreachable = &metrics_->counter("prvm_router_cell_unreachable_total");
+}
+
+std::optional<std::size_t> Router::cell_of(std::uint64_t vm) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = vm_map_.find(vm);
+  if (it == vm_map_.end()) return std::nullopt;
+  return it->second.cell;
+}
+
+Response Router::local_reject(const Request& request, const char* error,
+                              std::string message) const {
+  Response response;
+  response.ok = false;
+  response.op = to_string(request.op);
+  response.vm = request.vm_id;
+  response.error = error;
+  response.message = std::move(message);
+  return response;
+}
+
+std::future<Response> Router::submit(Request request) {
+  m_.requests->inc();
+  switch (request.op) {
+    case RequestOp::kPlace: {
+      if (!request.group.empty()) {
+        return std::async(std::launch::deferred,
+                          [this, request = std::move(request)] {
+                            return do_grouped_place(request);
+                          });
+      }
+      bool known = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        known = vm_map_.count(request.vm_id) > 0;
+      }
+      if (known) {
+        // Likely a duplicate — but an in-flight release ahead of us on some
+        // connection may clear it, so the verdict is deferred to resolve
+        // time (do_place re-checks and runs the whole placement inline).
+        return std::async(std::launch::deferred,
+                          [this, request = std::move(request)] {
+                            return do_place(request);
+                          });
+      }
+      // Hot path: fire at the hash cell NOW so pipelined connections keep
+      // the cell's batching engine fed; spillover/map bookkeeping runs in
+      // the deferred continuation at this response's FIFO slot.
+      const std::size_t primary = cell_of_vm(request.vm_id, cells_.size());
+      m_.fanout_requests->inc();
+      auto eager = cells_[primary]->submit(request);
+      return std::async(std::launch::deferred,
+                        [this, request = std::move(request), primary,
+                         eager = std::move(eager)]() mutable {
+                          return finish_place(std::move(request),
+                                              std::move(eager), primary);
+                        });
+    }
+    case RequestOp::kRelease:
+    case RequestOp::kMigrate:
+    case RequestOp::kLookup: {
+      std::optional<std::size_t> cell;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = vm_map_.find(request.vm_id);
+        if (it != vm_map_.end()) cell = it->second.cell;
+      }
+      if (cell.has_value()) {
+        m_.fanout_requests->inc();
+        auto eager = cells_[*cell]->submit(request);
+        return std::async(std::launch::deferred,
+                          [this, request = std::move(request), c = *cell,
+                           eager = std::move(eager)]() mutable {
+                            return finish_vm_op(std::move(request),
+                                                std::move(eager), c);
+                          });
+      }
+      // Unknown vm at submit time: the placement that makes it known may be
+      // in flight ahead of us, so route (or reject) at resolve time.
+      return std::async(std::launch::deferred,
+                        [this, request = std::move(request)] {
+                          return do_vm_op(request);
+                        });
+    }
+    case RequestOp::kGroupReserve:
+    case RequestOp::kGroupCommit:
+    case RequestOp::kGroupAbort:
+      return std::async(std::launch::deferred,
+                        [this, request = std::move(request)] {
+                          return do_group_op(request);
+                        });
+    case RequestOp::kStats:
+    case RequestOp::kHealth:
+    case RequestOp::kDrain: {
+      m_.fanout_ops->inc();
+      std::vector<std::future<Response>> futures;
+      futures.reserve(cells_.size());
+      for (RequestSink* cell : cells_) {
+        m_.fanout_requests->inc();
+        futures.push_back(cell->submit(request));
+      }
+      const RequestOp op = request.op;
+      return std::async(std::launch::deferred,
+                        [this, op, futures = std::move(futures)]() mutable {
+                          if (op == RequestOp::kStats)
+                            return merge_stats(std::move(futures));
+                          if (op == RequestOp::kHealth)
+                            return merge_health(std::move(futures));
+                          return merge_drain(std::move(futures));
+                        });
+    }
+    case RequestOp::kMetrics:
+      return std::async(std::launch::deferred,
+                        [this] { return metrics_response(); });
+  }
+  return std::async(std::launch::deferred, [this, request] {
+    return local_reject(request, "unknown_op", "unroutable op");
+  });
+}
+
+Response Router::place_on_cells(const Request& request, std::size_t first,
+                                std::size_t attempts, bool spill_from_start,
+                                std::size_t* accepted_cell) {
+  const std::size_t n = cells_.size();
+  // group_conflict dominates no_capacity in the merged verdict: "some cell
+  // had room but the group vetoed it" is more actionable than "full".
+  std::optional<Response> conflict;
+  std::optional<Response> full;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    const std::size_t cell = (first + i) % n;
+    if (spill_from_start || i > 0) m_.spillover->inc();
+    m_.fanout_requests->inc();
+    Response r = cells_[cell]->submit(request).get();
+    if (r.ok) {
+      *accepted_cell = cell;
+      return r;
+    }
+    if (r.error == to_string(RejectReason::kGroupConflict)) {
+      conflict = std::move(r);
+      continue;
+    }
+    if (r.error == to_string(RejectReason::kNoCapacity)) {
+      full = std::move(r);
+      continue;
+    }
+    // Backpressure, degraded storage, duplicates, transport failure: the
+    // verdict is not about THIS cell's capacity, so spilling over would
+    // mask it. Stop and forward.
+    if (r.error == kCellUnreachable) m_.cell_unreachable->inc();
+    return r;
+  }
+  if (conflict.has_value()) return std::move(*conflict);
+  return std::move(*full);
+}
+
+Response Router::record_or_compensate(const Request& request, Response placed,
+                                      std::size_t cell) {
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inserted =
+        vm_map_.try_emplace(request.vm_id, VmEntry{cell, request.group}).second;
+  }
+  if (inserted) {
+    placed.extra.emplace_back("cell", std::to_string(cell));
+    return placed;
+  }
+  // Another connection placed this vm between our map check and now. The
+  // cell accepted and WAL'd our placement, so undo it explicitly — the
+  // losing request must observe duplicate_vm, exactly like the single-cell
+  // daemon would have answered.
+  m_.compensations->inc();
+  Request undo;
+  undo.op = RequestOp::kRelease;
+  undo.vm_id = request.vm_id;
+  m_.fanout_requests->inc();
+  cells_[cell]->submit(undo).get();
+  if (!request.group.empty())
+    abort_group_membership(request.group, request.vm_id);
+  return local_reject(request, to_string(RejectReason::kDuplicateVm),
+                      "vm placed concurrently by another connection");
+}
+
+void Router::abort_group_membership(const std::string& group,
+                                    std::uint64_t vm) {
+  Request request;
+  request.op = RequestOp::kGroupAbort;
+  request.vm_id = vm;
+  request.group = group;
+  m_.group_aborts->inc();
+  m_.fanout_requests->inc();
+  // Best effort: if the home cell is unreachable the reservation simply
+  // expires on its own (lazy TTL), so failure here is counted, not fatal.
+  const Response r =
+      cells_[cell_of_group(group, cells_.size())]->submit(request).get();
+  if (!r.ok && r.error == kCellUnreachable) m_.cell_unreachable->inc();
+}
+
+Response Router::finish_place(Request request, std::future<Response> primary,
+                              std::size_t primary_cell) {
+  Response r = primary.get();
+  if (r.ok) return record_or_compensate(request, std::move(r), primary_cell);
+  if (r.error == kCellUnreachable) m_.cell_unreachable->inc();
+  if (r.error != to_string(RejectReason::kNoCapacity) || cells_.size() == 1)
+    return r;
+  std::size_t accepted = 0;
+  Response spilled =
+      place_on_cells(request, (primary_cell + 1) % cells_.size(),
+                     cells_.size() - 1, /*spill_from_start=*/true, &accepted);
+  if (!spilled.ok) return spilled;
+  return record_or_compensate(request, std::move(spilled), accepted);
+}
+
+Response Router::do_place(const Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (vm_map_.count(request.vm_id) > 0)
+      return local_reject(request, to_string(RejectReason::kDuplicateVm),
+                          "vm id is already placed");
+  }
+  std::size_t accepted = 0;
+  Response placed = place_on_cells(request, cell_of_vm(request.vm_id, cells_.size()),
+                                   cells_.size(), /*spill_from_start=*/false,
+                                   &accepted);
+  if (!placed.ok) return placed;
+  return record_or_compensate(request, std::move(placed), accepted);
+}
+
+Response Router::do_grouped_place(const Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (vm_map_.count(request.vm_id) > 0)
+      return local_reject(request, to_string(RejectReason::kDuplicateVm),
+                          "vm id is already placed");
+  }
+  const std::size_t home = cell_of_group(request.group, cells_.size());
+
+  // Phase 1: reserve membership at the home cell. Until this either commits
+  // or expires, no other router connection (or router instance) can place
+  // the same vm into the group.
+  Request reserve;
+  reserve.op = RequestOp::kGroupReserve;
+  reserve.vm_id = request.vm_id;
+  reserve.group = request.group;
+  m_.group_reserves->inc();
+  m_.fanout_requests->inc();
+  const Response reserved = cells_[home]->submit(reserve).get();
+  if (!reserved.ok) {
+    if (reserved.error == kCellUnreachable) m_.cell_unreachable->inc();
+    Response r = local_reject(request, reserved.error.c_str(),
+                              "group reservation failed: " + reserved.message);
+    r.retry_after_ms = reserved.retry_after_ms;
+    return r;
+  }
+
+  // Phase 2: place. Per-cell admission enforces anti-collocation within the
+  // cell; across cells PM sets are disjoint, so any accepting cell is safe.
+  std::size_t accepted = 0;
+  Response placed = place_on_cells(request, cell_of_vm(request.vm_id, cells_.size()),
+                                   cells_.size(), /*spill_from_start=*/false,
+                                   &accepted);
+  if (!placed.ok) {
+    abort_group_membership(request.group, request.vm_id);
+    return placed;
+  }
+  Response recorded = record_or_compensate(request, std::move(placed), accepted);
+  if (!recorded.ok) return recorded;  // compensation already aborted
+
+  // Phase 3: commit the membership to its owning cell. The placement is
+  // already durable at the cell, so a failed commit is non-fatal: the
+  // pending reservation keeps blocking duplicates until its TTL.
+  Request commit;
+  commit.op = RequestOp::kGroupCommit;
+  commit.vm_id = request.vm_id;
+  commit.group = request.group;
+  commit.cell = accepted;
+  m_.group_commits->inc();
+  m_.fanout_requests->inc();
+  const Response committed = cells_[home]->submit(commit).get();
+  if (!committed.ok && committed.error == kCellUnreachable)
+    m_.cell_unreachable->inc();
+  return recorded;
+}
+
+Response Router::finish_vm_op(Request request, std::future<Response> eager,
+                              std::size_t cell) {
+  Response r = eager.get();
+  if (!r.ok && r.error == kCellUnreachable) m_.cell_unreachable->inc();
+  if (r.ok && request.op == RequestOp::kRelease) {
+    std::string group;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = vm_map_.find(request.vm_id);
+      if (it != vm_map_.end()) {
+        group = std::move(it->second.group);
+        vm_map_.erase(it);
+      }
+    }
+    if (!group.empty()) abort_group_membership(group, request.vm_id);
+  }
+  r.extra.emplace_back("cell", std::to_string(cell));
+  return r;
+}
+
+Response Router::do_vm_op(const Request& request) {
+  std::optional<std::size_t> cell;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = vm_map_.find(request.vm_id);
+    if (it != vm_map_.end()) cell = it->second.cell;
+  }
+  if (!cell.has_value())
+    return local_reject(request, to_string(RejectReason::kUnknownVm),
+                        "vm is not placed");
+  m_.fanout_requests->inc();
+  auto f = cells_[*cell]->submit(request);
+  return finish_vm_op(request, std::move(f), *cell);
+}
+
+Response Router::do_group_op(const Request& request) {
+  if (request.op == RequestOp::kGroupReserve) m_.group_reserves->inc();
+  if (request.op == RequestOp::kGroupCommit) m_.group_commits->inc();
+  if (request.op == RequestOp::kGroupAbort) m_.group_aborts->inc();
+  m_.fanout_requests->inc();
+  Response r =
+      cells_[cell_of_group(request.group, cells_.size())]->submit(request).get();
+  if (!r.ok && r.error == kCellUnreachable) m_.cell_unreachable->inc();
+  return r;
+}
+
+Response Router::merge_stats(std::vector<std::future<Response>> futures) {
+  std::vector<std::pair<std::string, unsigned long long>> sums;
+  std::vector<Response> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok) {
+      if (responses[i].error == kCellUnreachable) m_.cell_unreachable->inc();
+      Response r = std::move(responses[i]);
+      r.message = "cell " + std::to_string(i) + ": " + r.message;
+      return r;
+    }
+  }
+  for (const Response& r : responses) {
+    for (const auto& [key, value] : r.extra) {
+      unsigned long long v = 0;
+      if (!parse_u64(value, &v)) continue;  // digests, flags, quoted strings
+      auto it = sums.begin();
+      for (; it != sums.end(); ++it)
+        if (it->first == key) break;
+      if (it == sums.end())
+        sums.emplace_back(key, v);
+      else
+        it->second += v;
+    }
+  }
+  Response merged;
+  merged.ok = true;
+  merged.op = "stats";
+  merged.extra.emplace_back("cells", std::to_string(cells_.size()));
+  for (const auto& [key, value] : sums)
+    merged.extra.emplace_back(key, std::to_string(value));
+  return merged;
+}
+
+Response Router::merge_health(std::vector<std::future<Response>> futures) {
+  int severity = 0;
+  std::size_t unreachable = 0;
+  unsigned long long queue_depth = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();
+    if (!r.ok) {
+      // A cell that cannot answer health is treated as degraded; the router
+      // itself keeps answering (monitoring wants a verdict, not a hangup).
+      if (r.error == kCellUnreachable) m_.cell_unreachable->inc();
+      ++unreachable;
+      severity = 2;
+      continue;
+    }
+    for (const auto& [key, value] : r.extra) {
+      if (key == "mode") severity = std::max(severity, mode_severity(value));
+      unsigned long long v = 0;
+      if (key == "queue_depth" && parse_u64(value, &v)) queue_depth += v;
+    }
+  }
+  Response merged;
+  merged.ok = true;
+  merged.op = "health";
+  merged.extra.emplace_back("mode", json_quote(mode_name(severity)));
+  merged.extra.emplace_back("role", json_quote("router"));
+  merged.extra.emplace_back("cells", std::to_string(cells_.size()));
+  merged.extra.emplace_back("cells_unreachable", std::to_string(unreachable));
+  merged.extra.emplace_back("queue_depth", std::to_string(queue_depth));
+  return merged;
+}
+
+Response Router::metrics_response() {
+  Response response;
+  response.ok = true;
+  response.op = "metrics";
+  response.extra.emplace_back("metrics", metrics_->render_json());
+  return response;
+}
+
+Response Router::merge_drain(std::vector<std::future<Response>> futures) {
+  Response merged;
+  merged.ok = true;
+  merged.op = "drain";
+  std::size_t drained = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response r = futures[i].get();
+    if (r.ok) {
+      ++drained;
+      continue;
+    }
+    if (r.error == kCellUnreachable) m_.cell_unreachable->inc();
+    merged.ok = false;
+    merged.error = r.error;
+    merged.message = "cell " + std::to_string(i) + ": " + r.message;
+  }
+  merged.extra.emplace_back("cells", std::to_string(cells_.size()));
+  merged.extra.emplace_back("cells_drained", std::to_string(drained));
+  return merged;
+}
+
+}  // namespace prvm

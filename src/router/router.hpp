@@ -1,0 +1,137 @@
+// Routing tier over N placement cells (DESIGN.md §7).
+//
+// The Router implements the same RequestSink contract the SocketServer
+// feeds, so a routing daemon is byte-compatible with a single-cell daemon:
+// clients speak the identical JSON-lines protocol and cannot tell how many
+// cells answer them. Cells are plain RequestSink pointers — an embedded
+// PlacementService in-process, or a SocketCellChannel to a remote daemon.
+//
+// Routing rules:
+//  - place (ungrouped): hash-routed to cell_of_vm, spilling over to the
+//    remaining cells in deterministic order when the primary rejects with
+//    no_capacity — the sharded fleet only rejects when EVERY cell is full.
+//  - place (grouped): a two-phase saga through the group's home cell —
+//    gres (reserve membership) -> place attempt(s) -> gcommit on success /
+//    gabort on total rejection — so a spanning group never double-places a
+//    VM even when requests race through different router connections.
+//  - release / migrate / lookup: routed by the router's vm -> cell map;
+//    a vm nobody placed answers unknown_vm without touching any cell.
+//  - stats: fanned out to every cell, numeric counters summed.
+//  - health: fanned out, worst cell mode wins, role "router".
+//  - metrics: the router's own registry (per-cell metrics are scraped from
+//    the cells directly).
+//  - drain: fanned out to every cell.
+//
+// Ordering: submit() returns std::async(deferred) futures whose
+// continuations run on the caller's response-ordering thread (the
+// SocketServer writer) at the response's FIFO slot. Hot-path ops with a
+// known target cell are ALSO submitted eagerly at submit() time, so a
+// pipelining connection keeps every cell's batching engine busy; the
+// deferred continuation only post-processes (map updates, spillover,
+// compensation). Ops whose target depends on earlier in-flight responses
+// (a release racing its own place down the same connection) defer the
+// routing decision itself to resolve time, where all earlier responses
+// have already resolved.
+//
+// The vm -> cell map is the router's only mutable state and is rebuilt by
+// walking the cells (lookup fan-out) — cells stay the single source of
+// durable truth.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/protocol.hpp"
+#include "service/request_sink.hpp"
+
+namespace prvm {
+
+struct RouterConfig {
+  /// Registry for the router-level counters (prvm_router_*). Null = the
+  /// router creates a private registry.
+  std::shared_ptr<obs::Registry> metrics;
+};
+
+class Router : public RequestSink {
+ public:
+  /// `cells` are non-owning and must outlive the router. At least one.
+  Router(std::vector<RequestSink*> cells, RouterConfig config = {});
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  std::future<Response> submit(Request request) override;
+
+  std::size_t cell_count() const { return cells_.size(); }
+  obs::Registry& metrics_registry() const { return *metrics_; }
+
+  /// The cell currently hosting `vm` according to the router map (test and
+  /// tooling hook; nullopt = not placed through this router).
+  std::optional<std::size_t> cell_of(std::uint64_t vm) const;
+
+ private:
+  struct VmEntry {
+    std::size_t cell = 0;
+    std::string group;  ///< empty = unconstrained
+  };
+
+  // Resolve-time executors (run on the response-ordering thread).
+  Response finish_place(Request request, std::future<Response> primary,
+                        std::size_t primary_cell);
+  Response do_place(const Request& request);
+  Response do_grouped_place(const Request& request);
+  Response finish_vm_op(Request request, std::future<Response> eager,
+                        std::size_t cell);
+  Response do_vm_op(const Request& request);
+  Response do_group_op(const Request& request);
+  Response merge_stats(std::vector<std::future<Response>> futures);
+  Response merge_health(std::vector<std::future<Response>> futures);
+  Response metrics_response();
+  Response merge_drain(std::vector<std::future<Response>> futures);
+
+  /// Spillover loop shared by grouped and ungrouped placement: tries
+  /// `attempts` cells starting at `first` until one accepts; capacity-style
+  /// rejections move on, anything else (backpressure, degraded, duplicate)
+  /// stops the scan. `spill_from_start` counts even the first attempt as
+  /// spillover (the primary cell already answered before this loop).
+  Response place_on_cells(const Request& request, std::size_t first,
+                          std::size_t attempts, bool spill_from_start,
+                          std::size_t* accepted_cell);
+  /// Post-placement map insert. On conflict (another connection placed the
+  /// vm first) issues a compensating release to `cell` and returns the
+  /// duplicate_vm rejection; otherwise annotates and returns `placed`.
+  Response record_or_compensate(const Request& request, Response placed,
+                                std::size_t cell);
+  /// Best-effort gabort at the group's home cell (release / compensation).
+  void abort_group_membership(const std::string& group, std::uint64_t vm);
+  Response local_reject(const Request& request, const char* error,
+                        std::string message) const;
+
+  std::vector<RequestSink*> cells_;
+  std::shared_ptr<obs::Registry> metrics_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, VmEntry> vm_map_;
+
+  struct Metrics {
+    obs::Counter* requests = nullptr;         ///< client requests routed
+    obs::Counter* fanout_requests = nullptr;  ///< per-cell sub-requests issued
+    obs::Counter* fanout_ops = nullptr;       ///< all-cell fan-outs (stats/health/drain)
+    obs::Counter* spillover = nullptr;        ///< placements moved off their hash cell
+    obs::Counter* group_reserves = nullptr;
+    obs::Counter* group_commits = nullptr;
+    obs::Counter* group_aborts = nullptr;
+    obs::Counter* compensations = nullptr;    ///< double-place races undone
+    obs::Counter* cell_unreachable = nullptr; ///< transport failures observed
+  };
+  Metrics m_;
+};
+
+}  // namespace prvm

@@ -276,6 +276,9 @@ const char* to_string(RequestOp op) {
     case RequestOp::kHealth: return "health";
     case RequestOp::kMetrics: return "metrics";
     case RequestOp::kDrain: return "drain";
+    case RequestOp::kGroupReserve: return "gres";
+    case RequestOp::kGroupCommit: return "gcommit";
+    case RequestOp::kGroupAbort: return "gabort";
   }
   return "?";
 }
@@ -324,12 +327,22 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
     request.op = RequestOp::kMetrics;
   } else if (op->string == "drain") {
     request.op = RequestOp::kDrain;
+  } else if (op->string == "gres") {
+    request.op = RequestOp::kGroupReserve;
+  } else if (op->string == "gcommit") {
+    request.op = RequestOp::kGroupCommit;
+  } else if (op->string == "gabort") {
+    request.op = RequestOp::kGroupAbort;
   } else {
     return ProtocolError{"unknown_op", "unknown op \"" + op->string + "\""};
   }
 
+  const bool is_group_op = request.op == RequestOp::kGroupReserve ||
+                           request.op == RequestOp::kGroupCommit ||
+                           request.op == RequestOp::kGroupAbort;
   const bool needs_vm = request.op == RequestOp::kPlace || request.op == RequestOp::kRelease ||
-                        request.op == RequestOp::kMigrate || request.op == RequestOp::kLookup;
+                        request.op == RequestOp::kMigrate || request.op == RequestOp::kLookup ||
+                        is_group_op;
   if (needs_vm) {
     const JsonValue* vm = doc->find("vm");
     if (vm == nullptr) return ProtocolError{"missing_field", "missing \"vm\""};
@@ -357,7 +370,61 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
       request.group = group->string;
     }
   }
+
+  if (is_group_op) {
+    const JsonValue* group = doc->find("group");
+    if (group == nullptr) return ProtocolError{"missing_field", "missing \"group\""};
+    if (group->kind != JsonValue::Kind::kString || group->string.empty()) {
+      return ProtocolError{"bad_field", "\"group\" must be a non-empty string"};
+    }
+    request.group = group->string;
+    if (request.op == RequestOp::kGroupCommit) {
+      const JsonValue* cell = doc->find("cell");
+      if (cell == nullptr) return ProtocolError{"missing_field", "missing \"cell\""};
+      const auto id = as_u64(*cell);
+      if (!id.has_value()) {
+        return ProtocolError{"bad_field", "\"cell\" must be an unsigned integer"};
+      }
+      request.cell = id;
+    }
+  }
   return request;
+}
+
+std::string encode_request(const Request& request) {
+  std::string out;
+  out.reserve(64);
+  out += "{\"op\":";
+  out += json_quote(to_string(request.op));
+  switch (request.op) {
+    case RequestOp::kStats:
+    case RequestOp::kHealth:
+    case RequestOp::kMetrics:
+    case RequestOp::kDrain:
+      break;
+    default:
+      out += ",\"vm\":";
+      out += std::to_string(request.vm_id);
+      break;
+  }
+  if (request.op == RequestOp::kPlace) {
+    out += ",\"type\":";
+    if (!request.vm_type_name.empty()) {
+      out += json_quote(request.vm_type_name);
+    } else {
+      out += std::to_string(request.vm_type_index.value_or(0));
+    }
+  }
+  if (!request.group.empty()) {
+    out += ",\"group\":";
+    out += json_quote(request.group);
+  }
+  if (request.cell.has_value()) {
+    out += ",\"cell\":";
+    out += std::to_string(*request.cell);
+  }
+  out += "}\n";
+  return out;
 }
 
 std::string encode_response(const Response& response) {
@@ -402,6 +469,96 @@ void encode_response_into(const Response& response, std::string& out) {
     out += encoded;
   }
   out += "}\n";
+}
+
+namespace {
+
+void encode_json_into(const JsonValue& value, std::string& out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += value.boolean ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: {
+      // Integers (the common case on this protocol) round-trip without an
+      // exponent; anything else takes the shortest %g form.
+      if (value.number == std::floor(value.number) && std::abs(value.number) < 1e15) {
+        out += std::to_string(static_cast<long long>(value.number));
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+        out += buf;
+      }
+      break;
+    }
+    case JsonValue::Kind::kString: out += json_quote(value.string); break;
+    case JsonValue::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : value.object) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += json_quote(k);
+        out.push_back(':');
+        encode_json_into(v, out);
+      }
+      out.push_back('}');
+      break;
+    }
+    case JsonValue::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& v : value.array) {
+        if (!first) out.push_back(',');
+        first = false;
+        encode_json_into(v, out);
+      }
+      out.push_back(']');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string encode_json(const JsonValue& value) {
+  std::string out;
+  encode_json_into(value, out);
+  return out;
+}
+
+std::optional<Response> parse_response(std::string_view line, std::string* error) {
+  const std::optional<JsonValue> doc = parse_json(line, error);
+  if (!doc.has_value()) return std::nullopt;
+  if (doc->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "response must be a JSON object";
+    return std::nullopt;
+  }
+  Response response;
+  bool saw_ok = false;
+  for (const auto& [key, value] : doc->object) {
+    if (key == "ok" && value.kind == JsonValue::Kind::kBool) {
+      response.ok = value.boolean;
+      saw_ok = true;
+    } else if (key == "op" && value.kind == JsonValue::Kind::kString) {
+      response.op = value.string;
+    } else if (key == "vm" && value.kind == JsonValue::Kind::kNumber) {
+      response.vm = static_cast<std::uint64_t>(value.number);
+    } else if (key == "pm" && value.kind == JsonValue::Kind::kNumber) {
+      response.pm = static_cast<std::uint64_t>(value.number);
+    } else if (key == "error" && value.kind == JsonValue::Kind::kString) {
+      response.error = value.string;
+    } else if (key == "message" && value.kind == JsonValue::Kind::kString) {
+      response.message = value.string;
+    } else if (key == "retry_after_ms" && value.kind == JsonValue::Kind::kNumber) {
+      response.retry_after_ms = value.number;
+    } else {
+      response.extra.emplace_back(key, encode_json(value));
+    }
+  }
+  if (!saw_ok) {
+    if (error != nullptr) *error = "response missing \"ok\"";
+    return std::nullopt;
+  }
+  return response;
 }
 
 void LineBuffer::feed(std::string_view bytes) { buffer_.append(bytes); }

@@ -13,6 +13,13 @@
 //   {"op":"metrics"}                                  -> full metrics registry as JSON
 //   {"op":"drain"}                                    snapshot + stop accepting
 //
+// Cross-cell anti-collocation (DESIGN.md §7): the router coordinates
+// spanning groups through three home-cell ops, WAL'd like any mutation:
+//
+//   {"op":"gres","group":"web","vm":7}                reserve membership -> token
+//   {"op":"gcommit","group":"web","vm":7,"cell":2}    reservation -> committed member
+//   {"op":"gabort","group":"web","vm":7}              drop reservation/membership
+//
 // Failures are structured, never a dropped connection:
 //   {"ok":false,"op":"place","vm":9,"error":"no_capacity","message":"..."}
 //   {"ok":false,"error":"queue_full","retry_after_ms":5}
@@ -59,7 +66,19 @@ std::optional<JsonValue> parse_json(std::string_view text, std::string* error);
 /// Serializes a string with JSON escaping (quotes included).
 std::string json_quote(std::string_view s);
 
-enum class RequestOp { kPlace, kRelease, kMigrate, kLookup, kStats, kHealth, kMetrics, kDrain };
+enum class RequestOp {
+  kPlace,
+  kRelease,
+  kMigrate,
+  kLookup,
+  kStats,
+  kHealth,
+  kMetrics,
+  kDrain,
+  kGroupReserve,  ///< "gres": reserve group membership at the home cell
+  kGroupCommit,   ///< "gcommit": promote a reservation to a committed member
+  kGroupAbort,    ///< "gabort": drop a reservation (or committed member)
+};
 
 const char* to_string(RequestOp op);
 
@@ -69,8 +88,10 @@ struct Request {
   /// VM type: either a catalog index or a type name, as sent on the wire.
   std::optional<std::uint64_t> vm_type_index;
   std::string vm_type_name;
-  /// Anti-collocation group; empty = unconstrained.
+  /// Anti-collocation group; empty = unconstrained. Required on group ops.
   std::string group;
+  /// Owning cell recorded by gcommit; absent elsewhere.
+  std::optional<std::uint64_t> cell;
 };
 
 /// A request that could not be decoded; `code` is machine-readable and goes
@@ -82,6 +103,11 @@ struct ProtocolError {
 
 /// Decodes one request line (newline already stripped).
 std::variant<Request, ProtocolError> parse_request(std::string_view line);
+
+/// Encodes a request as one JSON line, including the trailing '\n'. The
+/// router's socket channel uses this to forward requests to remote cells;
+/// round-trips through parse_request().
+std::string encode_request(const Request& request);
 
 /// One response line. `extra` carries pre-encoded JSON members (stats
 /// counters) appended verbatim.
@@ -104,6 +130,16 @@ std::string encode_response(const Response& response);
 /// socket writer reuses one buffer across a whole burst of responses and
 /// ships them in a single send().
 void encode_response_into(const Response& response, std::string& out);
+
+/// Re-encodes a parsed JSON value (used to preserve unknown response
+/// members verbatim when a response is parsed, annotated and re-sent).
+std::string encode_json(const JsonValue& value);
+
+/// Decodes one response line (newline already stripped), the inverse of
+/// encode_response. Members beyond the fixed Response fields land in
+/// `extra` re-encoded, so a router can forward cell responses losslessly.
+/// Returns nullopt on malformed input.
+std::optional<Response> parse_response(std::string_view line, std::string* error);
 
 /// Reassembles newline-delimited frames from arbitrary read chunks.
 /// Oversized frames are reported once and the stream resynchronizes at the

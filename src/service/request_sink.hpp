@@ -1,0 +1,29 @@
+// The request-submission seam between transports and request processors.
+//
+// SocketServer (and any future transport) only needs "hand me a Request,
+// get a future<Response> that resolves in submission order". Both the
+// single-engine PlacementService and the multi-cell Router satisfy that
+// contract, so one server implementation fronts either a standalone daemon
+// or a routing tier.
+#pragma once
+
+#include <future>
+
+#include "service/protocol.hpp"
+
+namespace prvm {
+
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+
+  /// Enqueues one request. The returned future resolves with the response;
+  /// implementations never block the caller on the actual processing
+  /// (rejections may resolve immediately). Futures obtained from one
+  /// connection's submissions resolve with responses for those requests in
+  /// submission order — callers serialize responses by draining futures in
+  /// FIFO order, and deferred futures are allowed (the drain runs them).
+  virtual std::future<Response> submit(Request request) = 0;
+};
+
+}  // namespace prvm

@@ -87,6 +87,9 @@ void PlacementService::init_metrics() {
     m_.reject_by_reason[reason] = &r.counter(
         std::string("prvm_reject_") + to_string(static_cast<RejectReason>(reason)) + "_total");
   }
+  m_.group_reserves = &r.counter("prvm_cell_group_reserves_total");
+  m_.group_commits = &r.counter("prvm_cell_group_commits_total");
+  m_.group_aborts = &r.counter("prvm_cell_group_aborts_total");
   m_.spec_attempts = &r.counter("prvm_spec_attempts_total");
   m_.spec_commits = &r.counter("prvm_spec_commits_total");
   m_.spec_conflicts = &r.counter("prvm_spec_conflicts_total");
@@ -116,6 +119,7 @@ void PlacementService::recover(const std::vector<std::size_t>& fleet) {
                  "snapshot fleet size does not match the configured fleet");
     dc_ = std::move(*snapshot->datacenter);
     admission_ = std::move(snapshot->admission);
+    group_dir_ = std::move(snapshot->groups);
     snapshot_op_seq_ = snapshot->last_op_seq;
     op_seq_ = snapshot->last_op_seq;
     recovered_ = true;
@@ -163,6 +167,20 @@ void PlacementService::apply_wal_record(const WalRecord& record) {
       m_.migrated->inc();
       break;
     }
+    case WalRecord::Type::kGroupReserve:
+      // The reserve's token is its op_seq; the deadline rode in from_pm, so
+      // replay rebuilds the exact pending entry regardless of wall time.
+      group_dir_.apply_reserve(record.group, record.vm, record.op_seq, record.from_pm);
+      m_.group_reserves->inc();
+      break;
+    case WalRecord::Type::kGroupCommit:
+      group_dir_.apply_commit(record.group, record.vm, record.pm);
+      m_.group_commits->inc();
+      break;
+    case WalRecord::Type::kGroupAbort:
+      group_dir_.apply_abort(record.group, record.vm);
+      m_.group_aborts->inc();
+      break;
   }
 }
 
@@ -195,7 +213,8 @@ IoStatus PlacementService::take_snapshot() {
   IoStatus status;
   {
     const obs::ScopedTimerNs timer(*m_.snapshot_ns);
-    status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+    status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, group_dir_,
+                           op_seq_, io_);
   }
   if (!status.ok()) return status;
   snapshot_op_seq_ = op_seq_;
@@ -228,7 +247,10 @@ Response PlacementService::degraded_reject(const Request& request) const {
 void PlacementService::demote_unlogged(Response& response,
                                        const std::string& error_message) const {
   if (!response.ok) return;
-  if (response.op != "place" && response.op != "release" && response.op != "migrate") return;
+  if (response.op != "place" && response.op != "release" && response.op != "migrate" &&
+      response.op != "gres" && response.op != "gcommit" && response.op != "gabort") {
+    return;
+  }
   Response demoted;
   demoted.ok = false;
   demoted.op = response.op;
@@ -270,7 +292,8 @@ void PlacementService::maybe_probe_storage() {
   if (status.ok()) {
     {
       const obs::ScopedTimerNs timer(*m_.snapshot_ns);
-      status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, op_seq_, io_);
+      status = save_snapshot(config_.data_dir / kSnapshotFile, dc_, admission_, group_dir_,
+                             op_seq_, io_);
     }
     if (status.ok()) {
       snapshot_op_seq_ = op_seq_;
@@ -481,6 +504,80 @@ Response PlacementService::lookup(const Request& request) {
   return response;
 }
 
+Response PlacementService::group_reserve(const Request& request) {
+  const std::uint64_t now_ms = io_->now_ms();
+  const RejectReason verdict = group_dir_.try_reserve(request.group, request.vm_id, now_ms);
+  if (verdict != RejectReason::kNone) {
+    m_.rejected->inc();
+    return reject(request, verdict,
+                  "VM is already reserved or committed in group \"" + request.group + "\"");
+  }
+  // Deadline travels in the record (from_pm) so replay rebuilds the exact
+  // pending entry; the token is the record's own op_seq.
+  const std::uint64_t deadline_ms = now_ms + config_.reserve_ttl_ms;
+  WalRecord record;
+  record.type = WalRecord::Type::kGroupReserve;
+  record.op_seq = ++op_seq_;
+  record.vm = request.vm_id;
+  record.group = request.group;
+  record.from_pm = deadline_ms;
+  log_record(std::move(record));
+  group_dir_.apply_reserve(request.group, request.vm_id, op_seq_, deadline_ms);
+  m_.group_reserves->inc();
+
+  Response response;
+  response.ok = true;
+  response.op = "gres";
+  response.vm = request.vm_id;
+  response.extra.emplace_back("token", std::to_string(op_seq_));
+  return response;
+}
+
+Response PlacementService::group_commit(const Request& request) {
+  const std::uint64_t cell = request.cell.value_or(0);
+  const RejectReason verdict = group_dir_.try_commit(request.group, request.vm_id, cell);
+  if (verdict != RejectReason::kNone) {
+    m_.rejected->inc();
+    return reject(request, verdict,
+                  "VM is committed to a different cell in group \"" + request.group + "\"");
+  }
+  WalRecord record;
+  record.type = WalRecord::Type::kGroupCommit;
+  record.op_seq = ++op_seq_;
+  record.vm = request.vm_id;
+  record.pm = cell;
+  record.group = request.group;
+  log_record(std::move(record));
+  group_dir_.apply_commit(request.group, request.vm_id, cell);
+  m_.group_commits->inc();
+
+  Response response;
+  response.ok = true;
+  response.op = "gcommit";
+  response.vm = request.vm_id;
+  return response;
+}
+
+Response PlacementService::group_abort(const Request& request) {
+  // Idempotent: aborting an absent member succeeds without touching the WAL
+  // (nothing changed, so replay needs no record).
+  if (group_dir_.member(request.group, request.vm_id) != nullptr) {
+    WalRecord record;
+    record.type = WalRecord::Type::kGroupAbort;
+    record.op_seq = ++op_seq_;
+    record.vm = request.vm_id;
+    record.group = request.group;
+    log_record(std::move(record));
+    group_dir_.apply_abort(request.group, request.vm_id);
+    m_.group_aborts->inc();
+  }
+  Response response;
+  response.ok = true;
+  response.op = "gabort";
+  response.vm = request.vm_id;
+  return response;
+}
+
 Response PlacementService::health_response() {
   Response response;
   response.ok = true;
@@ -499,6 +596,11 @@ Response PlacementService::health_response() {
   m_.queue_depth->set(static_cast<std::int64_t>(queue_depth));
   m_.wal_lag->set(static_cast<std::int64_t>(op_seq_ - snapshot_op_seq_));
   response.extra.emplace_back("mode", json_quote(mode));
+  // Deployment identity: multi-cell members report their cell id; a
+  // standalone daemon reports the default (cell 0, role "single").
+  response.extra.emplace_back("cell_id", std::to_string(config_.cell_id.value_or(0)));
+  response.extra.emplace_back("role",
+                              json_quote(config_.cell_id.has_value() ? "cell" : "single"));
   response.extra.emplace_back("queue_depth", std::to_string(queue_depth));
   // Ops acknowledged since the last durable snapshot = replay work a crash
   // right now would need (and the WAL bytes a degraded disk is holding up).
@@ -533,6 +635,8 @@ Response PlacementService::stats_response() {
   add("snapshots", m_.snapshots->value());
   add("replayed_records", m_.replayed_records->value());
   add("op_seq", op_seq_);
+  add("group_members", group_dir_.member_count());
+  add("group_pending", group_dir_.pending_count());
   // 64-bit digest goes out as a string: JSON numbers lose precision > 2^53.
   response.extra.emplace_back("state_digest",
                               json_quote(std::to_string(datacenter_state_digest(dc_))));
@@ -598,6 +702,9 @@ Response PlacementService::execute_locked(const Request& request) {
     case RequestOp::kPlace: return place(request);
     case RequestOp::kRelease: return release(request);
     case RequestOp::kMigrate: return migrate(request);
+    case RequestOp::kGroupReserve: return group_reserve(request);
+    case RequestOp::kGroupCommit: return group_commit(request);
+    case RequestOp::kGroupAbort: return group_abort(request);
     default: break;
   }
   return reject(request, RejectReason::kNone, "unreachable");

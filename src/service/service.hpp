@@ -70,12 +70,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cells/group_directory.hpp"
 #include "cluster/datacenter.hpp"
 #include "core/catalog_graphs.hpp"
 #include "obs/metrics.hpp"
 #include "placement/pagerank_vm.hpp"
 #include "service/admission.hpp"
 #include "service/protocol.hpp"
+#include "service/request_sink.hpp"
 #include "service/wal.hpp"
 
 namespace prvm {
@@ -128,6 +130,14 @@ struct ServiceConfig {
   /// so one full batch always fits a group (ServiceConfigError otherwise —
   /// silently clamping would hide a misconfigured durability pipeline).
   std::size_t flush_group_max = 0;
+  /// Identity within a multi-cell deployment (DESIGN.md §7). Unset = a
+  /// standalone single-cell daemon; health then reports cell_id 0 with role
+  /// "single" instead of "cell".
+  std::optional<std::uint64_t> cell_id;
+  /// Lifetime of a group reservation (gres) before it becomes reclaimable.
+  /// Expiry is lazy: an expired pending entry is simply overwritable by the
+  /// next reserve, it is never dropped outside a WAL'd transition.
+  std::uint64_t reserve_ttl_ms = 5000;
   PageRankVmOptions engine;
 };
 
@@ -164,7 +174,7 @@ struct ServiceStats {
   std::string last_io_error;          ///< most recent IO failure (errno-rich)
 };
 
-class PlacementService {
+class PlacementService : public RequestSink {
  public:
   /// Builds the service. When `config.data_dir` holds a snapshot/WAL from a
   /// previous run, the persisted state wins over a fresh `fleet` (recovery);
@@ -173,7 +183,7 @@ class PlacementService {
                    std::shared_ptr<const ScoreTableSet> tables, ServiceConfig config);
 
   /// Stops the worker (hard, like stop_now) if still running.
-  ~PlacementService();
+  ~PlacementService() override;
 
   PlacementService(const PlacementService&) = delete;
   PlacementService& operator=(const PlacementService&) = delete;
@@ -195,7 +205,7 @@ class PlacementService {
   /// Enqueues a request. The future is satisfied by the worker after the
   /// batch's WAL flush; backpressure and draining rejections resolve
   /// immediately.
-  std::future<Response> submit(Request request);
+  std::future<Response> submit(Request request) override;
 
   /// Synchronous execution, bypassing the queue. Only safe when the worker
   /// is not running (replay, single-threaded tests, benchmarks).
@@ -204,6 +214,7 @@ class PlacementService {
   /// Read-side accessors. Only consistent while the worker is stopped.
   const Datacenter& datacenter() const { return dc_; }
   const AdmissionController& admission() const { return admission_; }
+  const GroupDirectory& group_directory() const { return group_dir_; }
   const Catalog& catalog() const { return dc_.catalog(); }
   ServiceStats stats() const;
   bool draining() const;
@@ -242,6 +253,11 @@ class PlacementService {
   Response release(const Request& request);
   Response migrate(const Request& request);
   Response lookup(const Request& request);
+  /// Cross-cell group directory ops (gres/gcommit/gabort), WAL'd like any
+  /// other mutation; only the home cell of a group ever receives them.
+  Response group_reserve(const Request& request);
+  Response group_commit(const Request& request);
+  Response group_abort(const Request& request);
   Response stats_response();
   Response health_response();
   Response metrics_response();
@@ -298,6 +314,7 @@ class PlacementService {
   std::shared_ptr<obs::Registry> metrics_;  ///< before engine_: the engine points into it
   std::unique_ptr<PageRankVm> engine_;
   AdmissionController admission_;
+  GroupDirectory group_dir_;  ///< cross-cell reservations (home-cell role)
   std::unordered_map<std::string, std::size_t> vm_type_by_name_;
 
   IoEnv* io_ = nullptr;  ///< instrumented_io_ (wrapping config_.io_env or the real env)
@@ -378,6 +395,10 @@ class PlacementService {
     /// Per-RejectReason verdict counters (kNone unused).
     std::array<obs::Counter*, 9> reject_by_reason{};
     // Pipeline stages (DESIGN.md §6).
+    // Cross-cell group directory transitions (DESIGN.md §7).
+    obs::Counter* group_reserves = nullptr;
+    obs::Counter* group_commits = nullptr;
+    obs::Counter* group_aborts = nullptr;
     obs::Counter* spec_attempts = nullptr;   ///< place ops speculated in parallel
     obs::Counter* spec_commits = nullptr;    ///< speculations validated + committed
     obs::Counter* spec_conflicts = nullptr;  ///< speculations invalidated -> serial retry

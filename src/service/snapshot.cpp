@@ -11,13 +11,14 @@ namespace prvm {
 
 namespace {
 
-constexpr char kHeaderMagic[] = "PRVMSNAP1";
+constexpr char kHeaderMagicV1[] = "PRVMSNAP1";
+constexpr char kHeaderMagicV2[] = "PRVMSNAP2";
 
 }  // namespace
 
 IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
-                       const AdmissionController& admission, std::uint64_t last_op_seq,
-                       IoEnv* env) {
+                       const AdmissionController& admission, const GroupDirectory& groups,
+                       std::uint64_t last_op_seq, IoEnv* env) {
   IoEnv& io = env != nullptr ? *env : IoEnv::real();
   if (path.has_parent_path()) {
     std::error_code ec;
@@ -27,8 +28,9 @@ IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& data
   // Serialize fully in memory first: a mid-serialization failure must not
   // be able to leave a half-written temp file that a later rename promotes.
   std::ostringstream blob;
-  blob << kHeaderMagic << " " << last_op_seq << "\n";
+  blob << kHeaderMagicV2 << " " << last_op_seq << "\n";
   admission.serialize(blob);
+  groups.serialize(blob);
   datacenter.serialize(blob);
   const std::string contents = blob.str();
 
@@ -65,11 +67,18 @@ std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,
   if (!is.is_open()) return std::nullopt;
   ServiceSnapshot snapshot;
   std::string magic;
-  PRVM_REQUIRE(static_cast<bool>(is >> magic >> snapshot.last_op_seq) && magic == kHeaderMagic,
+  PRVM_REQUIRE(static_cast<bool>(is >> magic >> snapshot.last_op_seq) &&
+                   (magic == kHeaderMagicV1 || magic == kHeaderMagicV2),
                "not a service snapshot: " + path.string());
   is.get();  // the newline after the header
   snapshot.admission = AdmissionController::deserialize(is);
-  // Admission block ends with a newline; the datacenter blob starts at the
+  // Pre-sharding snapshots (v1) have no group-directory section; they load
+  // with an empty directory, which is exactly the state they were taken in.
+  if (magic == kHeaderMagicV2) {
+    while (is.peek() == '\n') is.get();
+    snapshot.groups = GroupDirectory::deserialize(is);
+  }
+  // Each text block ends with a newline; the datacenter blob starts at the
   // next byte. operator>> left the stream right after the last token, so
   // skip the single separator.
   while (is.peek() == '\n') is.get();

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <optional>
 
+#include "cells/group_directory.hpp"
 #include "cluster/datacenter.hpp"
 #include "service/admission.hpp"
 #include "service/io_env.hpp"
@@ -22,6 +23,7 @@ namespace prvm {
 struct ServiceSnapshot {
   std::uint64_t last_op_seq = 0;  ///< highest op_seq folded into the state
   AdmissionController admission;
+  GroupDirectory groups;  ///< cross-cell reservation state (empty in v1 files)
   std::optional<Datacenter> datacenter;  ///< engaged after load
 };
 
@@ -31,9 +33,13 @@ struct ServiceSnapshot {
 /// status instead of throwing, so the caller (the degraded-mode state
 /// machine) can keep the service alive on snapshot failure. A failure
 /// leaves the previous snapshot intact.
+///
+/// Writes the v2 format (PRVMSNAP2), which adds the GroupDirectory section
+/// between the admission block and the datacenter blob; v1 files are still
+/// loaded (with an empty directory).
 IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& datacenter,
-                       const AdmissionController& admission, std::uint64_t last_op_seq,
-                       IoEnv* env = nullptr);
+                       const AdmissionController& admission, const GroupDirectory& groups,
+                       std::uint64_t last_op_seq, IoEnv* env = nullptr);
 
 /// Loads a snapshot; nullopt when `path` does not exist. Throws on a
 /// corrupt file or a catalog mismatch.

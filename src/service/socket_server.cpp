@@ -56,7 +56,7 @@ Response protocol_error_response(const ProtocolError& error) {
 
 }  // namespace
 
-SocketServer::SocketServer(PlacementService& service, SocketServerConfig config)
+SocketServer::SocketServer(RequestSink& service, SocketServerConfig config)
     : service_(service), config_(std::move(config)) {}
 
 SocketServer::~SocketServer() { stop(); }

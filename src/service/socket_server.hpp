@@ -1,6 +1,8 @@
 // Socket front-end of the placement daemon: accepts TCP or Unix-domain
-// connections speaking the JSON-lines protocol and feeds the
-// PlacementService queue.
+// connections speaking the JSON-lines protocol and feeds a RequestSink —
+// the PlacementService queue in a standalone daemon, the multi-cell Router
+// in a routing tier (they share the submit() contract, see
+// request_sink.hpp).
 //
 // Per connection, a reader thread reassembles frames (LineBuffer handles
 // partial reads and oversized-frame resync), decodes them, and submits to
@@ -22,7 +24,7 @@
 #include <thread>
 #include <vector>
 
-#include "service/service.hpp"
+#include "service/request_sink.hpp"
 
 namespace prvm {
 
@@ -39,7 +41,7 @@ struct SocketServerConfig {
 
 class SocketServer {
  public:
-  SocketServer(PlacementService& service, SocketServerConfig config);
+  SocketServer(RequestSink& service, SocketServerConfig config);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -61,7 +63,7 @@ class SocketServer {
   void accept_loop();
   void serve_connection(Connection* connection);
 
-  PlacementService& service_;
+  RequestSink& service_;
   SocketServerConfig config_;
   int listen_fd_ = -1;
   int port_ = -1;

@@ -92,7 +92,7 @@ namespace {
 bool decode_wal_record(const std::string& payload, WalRecord& record) {
   if (payload.empty()) return false;
   const auto type = static_cast<std::uint8_t>(payload[0]);
-  if (type < 1 || type > 3) return false;
+  if (type < 1 || type > 6) return false;
   record.type = static_cast<WalRecord::Type>(type);
   Cursor cursor(payload.data() + 1, payload.size() - 1);
   std::uint64_t group_len = 0;

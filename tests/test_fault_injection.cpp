@@ -233,6 +233,7 @@ struct SnapshotFixture {
   Catalog catalog = ec2_catalog();
   Datacenter dc{catalog, mixed_pm_fleet(catalog, 4)};
   AdmissionController admission;
+  GroupDirectory groups;
 
   SnapshotFixture() {
     Rng rng(0xfa);
@@ -253,16 +254,16 @@ TEST(ServiceSnapshotFaults, RenameFailureKeepsTheOldSnapshot) {
   TempDir dir("snap-rename");
   const auto path = dir.path() / "snapshot.bin";
   SnapshotFixture fx;
-  ASSERT_TRUE(save_snapshot(path, fx.dc, fx.admission, 10).ok());
+  ASSERT_TRUE(save_snapshot(path, fx.dc, fx.admission, fx.groups, 10).ok());
 
   FaultInjectingIoEnv env(FaultSchedule::parse("rename:nth=1:errno=EACCES"));
-  const IoStatus failed = save_snapshot(path, fx.dc, fx.admission, 20, &env);
+  const IoStatus failed = save_snapshot(path, fx.dc, fx.admission, fx.groups, 20, &env);
   EXPECT_EQ(failed.err, EACCES);
   auto loaded = load_snapshot(path, fx.catalog);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->last_op_seq, 10u) << "a failed rename must not promote the temp file";
 
-  ASSERT_TRUE(save_snapshot(path, fx.dc, fx.admission, 20, &env).ok());
+  ASSERT_TRUE(save_snapshot(path, fx.dc, fx.admission, fx.groups, 20, &env).ok());
   EXPECT_EQ(load_snapshot(path, fx.catalog)->last_op_seq, 20u);
 }
 
@@ -271,7 +272,7 @@ TEST(ServiceSnapshotFaults, FsyncFailurePreventsPromotion) {
   const auto path = dir.path() / "snapshot.bin";
   SnapshotFixture fx;
   FaultInjectingIoEnv env(FaultSchedule::parse("fsync:nth=1:errno=EIO"));
-  const IoStatus failed = save_snapshot(path, fx.dc, fx.admission, 5, &env);
+  const IoStatus failed = save_snapshot(path, fx.dc, fx.admission, fx.groups, 5, &env);
   EXPECT_EQ(failed.err, EIO);
   EXPECT_FALSE(load_snapshot(path, fx.catalog).has_value())
       << "an unsynced snapshot must never become the recovery source";

@@ -401,6 +401,13 @@ TEST_F(ServiceTest, HealthResponseKeepsBackwardCompatibleShape) {
   EXPECT_EQ(health.find("degraded_entries")->number, 0.0);
   EXPECT_EQ(health.find("io_errors")->number, 0.0);
   EXPECT_EQ(health.find("last_error")->string, "");
+
+  // The multi-cell additions extend the shape without moving anything: a
+  // daemon with no cell_id reports cell 0 with role "single".
+  ASSERT_NE(health.find("cell_id"), nullptr);
+  EXPECT_EQ(health.find("cell_id")->number, 0.0);
+  ASSERT_NE(health.find("role"), nullptr);
+  EXPECT_EQ(health.find("role")->string, "single");
 }
 
 TEST_F(ServiceTest, MetricsOpReportsRegistryState) {

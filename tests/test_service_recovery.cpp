@@ -173,7 +173,7 @@ TEST(ServiceSnapshot, RoundTripsDatacenterAndAdmissionState) {
 
   TempDir dir("snapshot");
   const auto path = dir.path() / "snapshot.bin";
-  save_snapshot(path, dc, admission, /*last_op_seq=*/123);
+  save_snapshot(path, dc, admission, GroupDirectory{}, /*last_op_seq=*/123);
 
   const auto loaded = load_snapshot(path, catalog);
   ASSERT_TRUE(loaded.has_value());

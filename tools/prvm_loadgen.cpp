@@ -47,10 +47,21 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// One daemon (or router) to aim at. Multiple --endpoint flags drive several
+/// targets from one loadgen run: connections are dealt round-robin across
+/// them and the report breaks placements/sec out per target.
+struct Endpoint {
+  std::string spec;         ///< as given on the command line (report label)
+  std::string socket_path;  ///< Unix-domain path; empty selects TCP
+  int port = -1;
+};
+
 struct Options {
   std::string socket_path = "/tmp/prvm.sock";
   std::string host = "127.0.0.1";
   int port = -1;  ///< >= 0 selects TCP
+  /// Resolved targets (from --endpoint flags, else one from --socket/--port).
+  std::vector<Endpoint> endpoints;
   std::size_t connections = 4;
   /// --sweep: fill+churn rounds at each of these connection counts against
   /// one warm daemon (workers release their VMs at round end, so every
@@ -68,15 +79,15 @@ struct Options {
 /// A blocking JSON-lines client connection with FIFO pipelining.
 class Client {
  public:
-  Client(const Options& options) {
-    if (options.port >= 0) {
+  Client(const Endpoint& endpoint) {
+    if (endpoint.port >= 0) {
       fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
       sockaddr_in addr{};
       addr.sin_family = AF_INET;
-      addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+      addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
       addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
       if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-        throw std::runtime_error("cannot connect to 127.0.0.1:" + std::to_string(options.port));
+        throw std::runtime_error("cannot connect to 127.0.0.1:" + std::to_string(endpoint.port));
       }
       const int one = 1;
       ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -84,9 +95,9 @@ class Client {
       fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
       sockaddr_un addr{};
       addr.sun_family = AF_UNIX;
-      std::strncpy(addr.sun_path, options.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+      std::strncpy(addr.sun_path, endpoint.socket_path.c_str(), sizeof(addr.sun_path) - 1);
       if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-        throw std::runtime_error("cannot connect to " + options.socket_path);
+        throw std::runtime_error("cannot connect to " + endpoint.socket_path);
       }
     }
   }
@@ -147,10 +158,19 @@ double field_number(const JsonValue& doc, const char* key) {
   return value != nullptr && value->kind == JsonValue::Kind::kNumber ? value->number : 0.0;
 }
 
-JsonValue query_stats(const Options& options) {
-  Client client(options);
+JsonValue query_stats(const Endpoint& endpoint) {
+  Client client(endpoint);
   client.send_line("{\"op\":\"stats\"}\n");
   return client.recv_json();
+}
+
+/// used_pms summed across every target (the fill-phase progress signal).
+std::size_t total_used_pms(const Options& options) {
+  std::size_t used = 0;
+  for (const Endpoint& endpoint : options.endpoints) {
+    used += static_cast<std::size_t>(field_number(query_stats(endpoint), "used_pms"));
+  }
+  return used;
 }
 
 struct WorkerResult {
@@ -192,7 +212,8 @@ double retry_delay_ms(double hint_ms, std::uint32_t attempt, Rng& rng) {
 // fleet full, then `churn_ops` release+place pairs.
 void run_worker(const Options& options, const std::vector<double>& mix, std::size_t index,
                 std::size_t churn_ops, std::atomic<bool>& fill_done, WorkerResult& result) {
-  Client client(options);
+  // Connections are dealt round-robin across the targets.
+  Client client(options.endpoints[index % options.endpoints.size()]);
   Rng rng(0x10adull * (index + 1));
   // Per-connection id space: the protocol caps VM ids at 32 bits, so each
   // connection gets a 16M-id band.
@@ -398,6 +419,9 @@ struct RoundResult {
   std::size_t used_pms = 0;
   obs::HistogramSnapshot latency;     ///< this round's place latencies only
   std::vector<double> per_conn_pps;   ///< per-connection churn placement rates
+  /// Per-target sums of the per-connection rates (index = endpoint index);
+  /// their sum is the aggregate rate the multi-cell bench gates on.
+  std::vector<double> per_endpoint_pps;
 };
 
 RoundResult run_round(const Options& options, const std::vector<double>& mix,
@@ -420,8 +444,7 @@ RoundResult run_round(const Options& options, const std::vector<double>& mix,
   // Coordinator: poll daemon stats until the fill target is reached.
   if (options.fill_pms > 0) {
     while (!fill_done.load()) {
-      const JsonValue stats = query_stats(options);
-      if (static_cast<std::size_t>(field_number(stats, "used_pms")) >= options.fill_pms) {
+      if (total_used_pms(options) >= options.fill_pms) {
         fill_done.store(true);
         break;
       }
@@ -431,15 +454,18 @@ RoundResult run_round(const Options& options, const std::vector<double>& mix,
   }
   // The operating point, sampled while churn holds it (the workers release
   // everything before joining, so querying after the join would read 0).
-  round.used_pms =
-      static_cast<std::size_t>(field_number(query_stats(options), "used_pms"));
+  round.used_pms = total_used_pms(options);
   for (auto& worker : workers) worker.join();
 
-  for (const WorkerResult& r : results) {
+  round.per_endpoint_pps.assign(options.endpoints.size(), 0.0);
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const WorkerResult& r = results[c];
     round.fill_placed += r.fill_placed;
     round.churn_places += r.churn_places;
     round.retries += r.retries;
-    round.per_conn_pps.push_back(r.churn_seconds > 0 ? r.churn_places / r.churn_seconds : 0.0);
+    const double pps = r.churn_seconds > 0 ? r.churn_places / r.churn_seconds : 0.0;
+    round.per_conn_pps.push_back(pps);
+    round.per_endpoint_pps[c % options.endpoints.size()] += pps;
     // Slowest connection's own churn window: excludes the untimed drain,
     // which the coordinator's join-to-join wall clock would fold in.
     round.churn_seconds = std::max(round.churn_seconds, r.churn_seconds);
@@ -461,6 +487,12 @@ void print_stats_line(const JsonValue& doc) {
   const JsonValue* recovered = doc.find("recovered");
   if (recovered != nullptr && recovered->kind == JsonValue::Kind::kBool) {
     std::cout << " recovered=" << (recovered->boolean ? "true" : "false");
+  }
+  // A router's merged stats lead with the cell count; single-cell daemons
+  // have no such member and keep the historical line shape.
+  const JsonValue* cells = doc.find("cells");
+  if (cells != nullptr && cells->kind == JsonValue::Kind::kNumber) {
+    std::cout << " cells=" << static_cast<std::uint64_t>(cells->number);
   }
   std::cout << "\n";
 }
@@ -485,6 +517,21 @@ int main(int argc, char** argv) {
       options.socket_path = value();
     } else if (arg == "--port") {
       options.port = std::stoi(value());
+    } else if (arg == "--endpoint") {
+      // unix:PATH or tcp:PORT; repeat to drive several daemons (or routers)
+      // from one run, connections dealt round-robin across them.
+      const std::string spec = value();
+      Endpoint endpoint;
+      endpoint.spec = spec;
+      if (spec.rfind("unix:", 0) == 0) {
+        endpoint.socket_path = spec.substr(5);
+      } else if (spec.rfind("tcp:", 0) == 0) {
+        endpoint.port = std::stoi(spec.substr(4));
+      } else {
+        std::cerr << "bad --endpoint '" << spec << "' (want unix:PATH or tcp:PORT)\n";
+        return 2;
+      }
+      options.endpoints.push_back(std::move(endpoint));
     } else if (arg == "--connections") {
       options.connections = std::stoull(value());
     } else if (arg == "--sweep") {
@@ -513,24 +560,40 @@ int main(int argc, char** argv) {
       options.json_path = value();
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--socket PATH | --port N] [--connections C | --sweep C1,C2,..]\n"
+                << " [--socket PATH | --port N | --endpoint SPEC ...]\n"
+                << "       [--connections C | --sweep C1,C2,..]\n"
                 << "       [--pipeline W] [--fill-pms N --ops M [--json PATH]] | [--place N]\n"
                 << "       | [--stats] | [--metrics]\n";
       return 2;
     }
   }
+  if (options.endpoints.empty()) {
+    Endpoint endpoint;
+    if (options.port >= 0) {
+      endpoint.port = options.port;
+      endpoint.spec = "tcp:" + std::to_string(options.port);
+    } else {
+      endpoint.socket_path = options.socket_path;
+      endpoint.spec = "unix:" + options.socket_path;
+    }
+    options.endpoints.push_back(std::move(endpoint));
+  }
 
   try {
     if (options.stats_only) {
-      print_stats_line(query_stats(options));
+      for (const Endpoint& endpoint : options.endpoints) {
+        print_stats_line(query_stats(endpoint));
+      }
       return 0;
     }
     if (options.metrics_only) {
       // Raw scrape of the daemon's in-band metrics op: one JSON line with
       // every counter, gauge and histogram summary in the registry.
-      Client client(options);
-      client.send_line("{\"op\":\"metrics\"}\n");
-      std::cout << client.recv_line() << "\n";
+      for (const Endpoint& endpoint : options.endpoints) {
+        Client client(endpoint);
+        client.send_line("{\"op\":\"metrics\"}\n");
+        std::cout << client.recv_line() << "\n";
+      }
       return 0;
     }
 
@@ -543,7 +606,7 @@ int main(int argc, char** argv) {
       // Transient rejections (queue_full, degraded_storage) are retried with
       // the server's backoff hint; a retried place answered duplicate_vm was
       // actually applied by an earlier attempt and counts as placed.
-      Client client(options);
+      Client client(options.endpoints.front());
       Rng rng(0x91aceull);  // fixed seed: the smoke test replays this exact stream
       std::size_t placed = 0;
       std::size_t retries = 0;
@@ -578,7 +641,7 @@ int main(int argc, char** argv) {
         }
       }
       if (retries > 0) std::printf("retries: %zu\n", retries);
-      print_stats_line(query_stats(options));
+      print_stats_line(query_stats(options.endpoints.front()));
       return 0;
     }
 
@@ -609,6 +672,16 @@ int main(int argc, char** argv) {
       for (const double pps : round.per_conn_pps) std::printf(" %.0f", pps);
       std::printf("   (%zu used PMs, pipeline %zu, %zu retries)\n", round.used_pms,
                   options.pipeline, round.retries);
+      if (options.endpoints.size() > 1) {
+        double aggregate = 0.0;
+        for (std::size_t e = 0; e < options.endpoints.size(); ++e) {
+          std::printf("  target %-24s %8.0f pl/s\n", options.endpoints[e].spec.c_str(),
+                      round.per_endpoint_pps[e]);
+          aggregate += round.per_endpoint_pps[e];
+        }
+        std::printf("  aggregate across %zu targets: %8.0f pl/s\n",
+                    options.endpoints.size(), aggregate);
+      }
     }
 
     if (!options.json_path.empty()) {
@@ -622,11 +695,14 @@ int main(int argc, char** argv) {
       const RoundResult& last = rounds.back();
       const double fill_pps =
           last.fill_seconds > 0 ? last.fill_placed / last.fill_seconds : 0.0;
-      const auto round_json = [&os](const RoundResult& round) {
+      const auto round_json = [&os, &options](const RoundResult& round) {
         const double pps =
             round.churn_seconds > 0 ? round.churn_places / round.churn_seconds : 0.0;
+        double aggregate = 0.0;
+        for (const double target_pps : round.per_endpoint_pps) aggregate += target_pps;
         os << "{\"connections\": " << round.connections
            << ", \"churn_placements_per_sec\": " << pps
+           << ", \"aggregate_placements_per_sec\": " << aggregate
            << ", \"churn_ops\": " << round.churn_places
            << ", \"retries\": " << round.retries
            << ", \"p50_us\": " << round.latency.quantile(0.50) / 1000.0
@@ -635,6 +711,12 @@ int main(int argc, char** argv) {
            << ", \"per_connection_placements_per_sec\": [";
         for (std::size_t i = 0; i < round.per_conn_pps.size(); ++i) {
           os << (i > 0 ? ", " : "") << round.per_conn_pps[i];
+        }
+        os << "], \"endpoints\": [";
+        for (std::size_t e = 0; e < round.per_endpoint_pps.size(); ++e) {
+          os << (e > 0 ? ", " : "") << "{\"endpoint\": "
+             << json_quote(options.endpoints[e].spec)
+             << ", \"churn_placements_per_sec\": " << round.per_endpoint_pps[e] << "}";
         }
         os << "]}";
       };

@@ -1,0 +1,246 @@
+// prvm_router — the routing tier of a sharded placement deployment.
+//
+// Listens on the same JSON-lines protocol as prvm_serve and fans requests
+// out to N placement cells (DESIGN.md §7): hash routing with capacity
+// spillover for ungrouped placements, a reserve/commit saga through each
+// group's home cell for anti-collocation groups that span cells, and
+// fan-out merges for stats/health/drain. Clients cannot tell a router from
+// a single-cell daemon.
+//
+// Two cell modes:
+//  - remote:   repeat --cell unix:/path/to/cell.sock or --cell tcp:PORT;
+//              each is a prvm_serve daemon started with --cell-id K.
+//  - embedded: --cells N hosts N full cells in-process (own WAL/snapshot
+//              dirs under --data-dir/cell-<k>/), the zero-ops way to run
+//              a sharded deployment on one box.
+//
+//   prvm_router --socket /tmp/prvm.sock --cells 4 --fleet 10000 \
+//               --data-dir /var/lib/prvm --score-image /var/lib/prvm/img
+//
+// SIGTERM/SIGINT drain: stop accepting, then (embedded mode) drain every
+// cell to a final snapshot. Remote cells are drained by their own daemons.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cells/embedded.hpp"
+#include "core/catalog_graphs.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "router/cell_channel.hpp"
+#include "router/router.hpp"
+#include "service/socket_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void handle_signal(int) { g_shutdown = 1; }
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --socket PATH        listen on a Unix-domain socket (default /tmp/prvm.sock)\n"
+      << "  --port N             listen on loopback TCP instead (0 = ephemeral)\n"
+      << "  --cell SPEC          add a remote cell: unix:/path.sock or tcp:PORT\n"
+      << "                       (repeat once per cell, in cell-id order)\n"
+      << "  --cells N            embedded mode: host N cells in-process (default when\n"
+      << "                       no --cell endpoints are given: 2)\n"
+      << "  --fleet N            embedded: total PM fleet, split round-robin (default 10000)\n"
+      << "  --data-dir PATH      embedded: WAL/snapshot root; cells log under cell-<k>/\n"
+      << "  --batch K            embedded: per-cell engine batch (default 64)\n"
+      << "  --queue N            embedded: per-cell queue capacity (default 4096)\n"
+      << "  --snapshot-every N   embedded: per-cell snapshot cadence (default 100000)\n"
+      << "  --parallel-workers N embedded: per-cell speculative compute workers\n"
+      << "  --flush-group N      embedded: per-cell WAL group commit window\n"
+      << "  --fsync              embedded: fsync the WAL every batch\n"
+      << "  --cache-dir PATH     score-table cache (default $PRVM_CACHE_DIR or .prvm-cache)\n"
+      << "  --score-image DIR    embedded: serve score tables from mmap images under DIR\n"
+      << "  --metrics-port N     serve the router registry as Prometheus text on 127.0.0.1:N\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prvm;
+
+  std::string socket_path = "/tmp/prvm.sock";
+  bool use_tcp = false;
+  int tcp_port = 0;
+  std::vector<std::string> cell_specs;
+  std::size_t embedded_cells = 0;
+  std::size_t fleet = 10000;
+  std::optional<int> metrics_port;
+  std::optional<std::filesystem::path> cache_dir;
+  std::optional<std::filesystem::path> score_image_dir;
+  EmbeddedCellsConfig cells_config;
+  cells_config.service.snapshot_every_ops = 100000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+      use_tcp = false;
+    } else if (arg == "--port") {
+      tcp_port = std::stoi(value());
+      use_tcp = true;
+    } else if (arg == "--cell") {
+      cell_specs.push_back(value());
+    } else if (arg == "--cells") {
+      embedded_cells = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--fleet") {
+      fleet = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--data-dir") {
+      cells_config.data_dir = value();
+    } else if (arg == "--batch") {
+      cells_config.service.batch_size = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--queue") {
+      cells_config.service.queue_capacity = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--snapshot-every") {
+      cells_config.service.snapshot_every_ops = std::stoull(value());
+    } else if (arg == "--parallel-workers") {
+      cells_config.service.parallel_workers =
+          static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--flush-group") {
+      cells_config.service.flush_group_max =
+          static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--fsync") {
+      cells_config.service.fsync_wal = true;
+    } else if (arg == "--cache-dir") {
+      cache_dir = value();
+    } else if (arg == "--score-image") {
+      score_image_dir = value();
+    } else if (arg == "--metrics-port") {
+      metrics_port = std::stoi(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!cell_specs.empty() && embedded_cells > 0) {
+    std::cerr << "prvm_router: --cell and --cells are mutually exclusive\n";
+    return 2;
+  }
+  if (cell_specs.empty() && embedded_cells == 0) embedded_cells = 2;
+
+  try {
+    std::vector<std::unique_ptr<SocketCellChannel>> channels;
+    std::unique_ptr<EmbeddedCells> embedded;
+    std::vector<RequestSink*> sinks;
+
+    if (!cell_specs.empty()) {
+      for (const std::string& spec : cell_specs) {
+        if (spec.rfind("unix:", 0) == 0) {
+          channels.push_back(std::make_unique<SocketCellChannel>(spec.substr(5)));
+        } else if (spec.rfind("tcp:", 0) == 0) {
+          channels.push_back(std::make_unique<SocketCellChannel>(
+              "127.0.0.1", std::stoi(spec.substr(4))));
+        } else {
+          std::cerr << "prvm_router: bad --cell spec '" << spec
+                    << "' (want unix:PATH or tcp:PORT)\n";
+          return 2;
+        }
+        sinks.push_back(channels.back().get());
+      }
+      std::cout << "prvm_router: " << sinks.size() << " remote cells\n";
+    } else {
+      const Catalog catalog = ec2_sim_catalog();
+      std::shared_ptr<const ScoreTableSet> tables;
+      if (score_image_dir.has_value()) {
+        ScoreImageReport report;
+        tables = std::make_shared<const ScoreTableSet>(
+            mapped_score_tables(catalog, *score_image_dir, {}, &report));
+        std::cout << "prvm_router: score tables from image dir "
+                  << *score_image_dir << " (" << report.mapped << " mapped, "
+                  << report.written << " written";
+        if (report.fallback > 0) {
+          std::cout << ", " << report.fallback << " FELL BACK to private memory";
+        }
+        std::cout << ")\n";
+      } else {
+        tables = std::make_shared<const ScoreTableSet>(build_score_tables(
+            catalog, {}, cache_dir.value_or(default_cache_dir())));
+      }
+      cells_config.cells = embedded_cells;
+      embedded = std::make_unique<EmbeddedCells>(
+          catalog, mixed_pm_fleet(catalog, fleet), tables, cells_config);
+      for (std::size_t k = 0; k < embedded->size(); ++k) {
+        const ServiceStats boot = embedded->cell(k).stats();
+        if (boot.recovered) {
+          std::cout << "prvm_router: cell " << k << " recovered "
+                    << embedded->cell(k).datacenter().vm_count() << " VMs ("
+                    << boot.replayed_records << " WAL records replayed)\n";
+        }
+      }
+      embedded->start();
+      sinks = embedded->sinks();
+      std::cout << "prvm_router: " << sinks.size() << " embedded cells, "
+                << fleet << " PMs total\n";
+    }
+
+    RouterConfig router_config;
+    router_config.metrics = obs::global_registry_ptr();
+    Router router(std::move(sinks), router_config);
+
+    SocketServerConfig socket_config;
+    if (use_tcp) {
+      socket_config.tcp_port = tcp_port;
+    } else {
+      socket_config.unix_path = socket_path;
+    }
+    SocketServer server(router, socket_config);
+    server.start();
+    if (use_tcp) {
+      std::cout << "prvm_router: listening on 127.0.0.1:" << server.port()
+                << std::endl;
+    } else {
+      std::cout << "prvm_router: listening on " << socket_path << std::endl;
+    }
+
+    std::unique_ptr<obs::ExpositionServer> exposition;
+    if (metrics_port.has_value()) {
+      exposition = std::make_unique<obs::ExpositionServer>(
+          [] { return obs::Registry::global().render_prometheus(); }, *metrics_port);
+      exposition->start();
+      std::cout << "prvm_router: metrics on 127.0.0.1:" << exposition->port()
+                << std::endl;
+    }
+
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    while (g_shutdown == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::cout << "prvm_router: draining..." << std::endl;
+    server.stop();  // no new client requests
+    if (embedded != nullptr) {
+      embedded->drain();  // per-cell final snapshots
+      for (std::size_t k = 0; k < embedded->size(); ++k) {
+        const ServiceStats s = embedded->cell(k).stats();
+        std::cout << "prvm_router: cell " << k << " drained at op_seq "
+                  << s.op_seq << " (" << s.placed << " placed)\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "prvm_router: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -68,7 +68,12 @@ void usage(const char* argv0) {
       << "  --stats-interval-s N print a human-readable stats line every N seconds\n"
       << "  --cache-dir PATH     score-table cache (default $PRVM_CACHE_DIR or .prvm-cache);\n"
       << "                       shared with the bench/experiment harness, so a warm cache\n"
-      << "                       makes startup skip the expensive table build\n";
+      << "                       makes startup skip the expensive table build\n"
+      << "  --score-image DIR    serve score tables from read-only mmap images under DIR\n"
+      << "                       (written on first use); N cell daemons of one host then\n"
+      << "                       share a single physical copy of each table\n"
+      << "  --cell-id N          identity within a multi-cell deployment: health reports\n"
+      << "                       cell_id N with role \"cell\" (omit for a standalone daemon)\n";
 }
 
 }  // namespace
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
   ServiceConfig config;
   config.snapshot_every_ops = 100000;
   std::optional<std::filesystem::path> cache_dir;
+  std::optional<std::filesystem::path> score_image_dir;
   const char* env_schedule = std::getenv("PRVM_FAULT_SCHEDULE");
   std::string fault_schedule = env_schedule != nullptr ? env_schedule : "";
 
@@ -127,6 +133,10 @@ int main(int argc, char** argv) {
       config.probe_max_ms = std::stoull(value());
     } else if (arg == "--cache-dir") {
       cache_dir = value();
+    } else if (arg == "--score-image") {
+      score_image_dir = value();
+    } else if (arg == "--cell-id") {
+      config.cell_id = std::stoull(value());
     } else if (arg == "--metrics-port") {
       metrics_port = std::stoi(value());
     } else if (arg == "--stats-interval-s") {
@@ -152,9 +162,25 @@ int main(int argc, char** argv) {
     const Catalog catalog = ec2_sim_catalog();
     // The daemon shares the experiment harness's score-table cache (see
     // Ec2ExperimentConfig::cache_dir): a warm cache turns the seconds-long
-    // table build into a file load.
-    const auto tables = std::make_shared<const ScoreTableSet>(
-        build_score_tables(catalog, {}, cache_dir.value_or(default_cache_dir())));
+    // table build into a file load. With --score-image the tables are
+    // instead served from mmap-shared read-only images, so N cell daemons
+    // on one host keep a single physical copy.
+    std::shared_ptr<const ScoreTableSet> tables;
+    if (score_image_dir.has_value()) {
+      ScoreImageReport report;
+      tables = std::make_shared<const ScoreTableSet>(
+          mapped_score_tables(catalog, *score_image_dir, {}, &report));
+      std::cout << "prvm_serve: score tables from image dir " << *score_image_dir
+                << " (" << report.mapped << " mapped, " << report.written
+                << " written";
+      if (report.fallback > 0) {
+        std::cout << ", " << report.fallback << " FELL BACK to private memory";
+      }
+      std::cout << ")\n";
+    } else {
+      tables = std::make_shared<const ScoreTableSet>(
+          build_score_tables(catalog, {}, cache_dir.value_or(default_cache_dir())));
+    }
 
     PlacementService service(catalog, mixed_pm_fleet(catalog, fleet), tables, config);
     const ServiceStats boot = service.stats();
