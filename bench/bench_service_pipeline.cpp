@@ -6,7 +6,9 @@
 // (parallel_workers=0, inline flush) against the parallel pipeline
 // (speculative intra-batch compute + WAL group commit). This isolates the
 // engine/service gap the pipeline closes from the socket+JSON tax that
-// prvm_loadgen measures separately (see BENCH_service_socket.json).
+// prvm_loadgen measures separately (see BENCH_service_socket.json). Also
+// measures the ack_after_replicated tax: the same group-commit churn with
+// every ack gated on a live in-process follower's confirmation.
 //
 // Usage: bench_service_pipeline [--json PATH]
 //   --json PATH   additionally write machine-readable results to PATH
@@ -32,7 +34,9 @@
 #include "placement/pagerank_vm.hpp"
 #include "common/rng.hpp"
 #include "core/catalog_graphs.hpp"
+#include "service/protocol.hpp"
 #include "service/service.hpp"
+#include "service/socket_server.hpp"
 #include "sim/simulator.hpp"
 
 namespace prvm {
@@ -306,6 +310,36 @@ int main(int argc, char** argv) {
   ServiceConfig speculative = group_commit;
   speculative.parallel_workers = std::min<std::size_t>(4, cores);
 
+  // ack_after_replicated on top of group commit: a live in-process follower
+  // behind a unix socket, and every client ack additionally waits for the
+  // follower's confirmation of the covering frame batch. Measures the cost
+  // of the durability upgrade, not a headline candidate.
+  const std::filesystem::path repl_dir =
+      std::filesystem::temp_directory_path() /
+      ("prvm-bench-repl-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(repl_dir);
+  std::filesystem::create_directories(repl_dir / "follower");
+  ServiceConfig follower_config;
+  follower_config.data_dir = repl_dir / "follower";
+  follower_config.repl.follower = true;
+  PlacementService follower(catalog, mixed_pm_fleet(catalog, fleet), tables, follower_config);
+  follower.start();
+  SocketServerConfig follower_socket;
+  follower_socket.unix_path = (repl_dir / "follower.sock").string();
+  follower_socket.max_frame = kMaxReplFrameBytes;
+  SocketServer follower_server(follower, follower_socket);
+  follower_server.start();
+
+  ServiceConfig replicated = group_commit;
+  replicated.repl.replicas = {"unix:" + follower_socket.unix_path};
+  replicated.repl.ack_replicas = 1;
+  // Smaller flush groups when ack-gating on a follower: the client ack
+  // waits for the follower to apply the whole covering group, so group size
+  // bounds ack latency — and with a finite submit window, ack latency
+  // bounds throughput. 256 keeps the round-trip amortized without letting
+  // one group stall the window.
+  replicated.flush_group_max = 256;
+
   const double ceiling_pps = engine_pair_ceiling(catalog, tables, fleet, churn_pairs);
   std::printf("  engine ceiling (no service layer): %8.0f pl/s wall\n", ceiling_pps);
 
@@ -314,10 +348,19 @@ int main(int argc, char** argv) {
   const bool ran_spec = cores > 1;
   const ServiceRun spec_run =
       ran_spec ? run_service(catalog, tables, fleet, churn_pairs, speculative) : gc_run;
+  const ServiceRun repl_run = run_service(catalog, tables, fleet, churn_pairs, replicated);
+  follower_server.stop();
+  follower.stop_now();
+  std::filesystem::remove_all(repl_dir);
 
   print_run("serial", serial_run);
   print_run("gc-only", gc_run);
   if (ran_spec) print_run("spec+gc", spec_run);
+  print_run("gc+repl", repl_run);
+  const double repl_retention =
+      gc_run.churn_pps > 0 ? repl_run.churn_pps / gc_run.churn_pps : 0.0;
+  std::printf("  ack_after_replicated keeps %.0f%% of leader-only group-commit churn\n",
+              100.0 * repl_retention);
 
   // The headline is the best sustained-churn config the operator could pick
   // on this machine; its knob settings are recorded alongside the number.
@@ -367,7 +410,10 @@ int main(int argc, char** argv) {
       os << ",\n";
       json_run(os, "service_speculative", spec_run);
     }
-    os << ",\n      \"pipeline_speedup\": " << speedup << "}\n  ]\n}\n";
+    os << ",\n";
+    json_run(os, "service_ack_after_replicated", repl_run);
+    os << ",\n      \"replication_churn_retention\": " << repl_retention
+       << ",\n      \"pipeline_speedup\": " << speedup << "}\n  ]\n}\n";
     std::cout << "wrote " << json_path << "\n";
   }
   return 0;

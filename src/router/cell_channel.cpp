@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -125,6 +126,107 @@ void SocketCellChannel::fail_all_locked(const std::string& detail) {
     response.message = "cell " + peer_ + " is unreachable: " + detail;
     promise.set_value(std::move(response));
   }
+}
+
+FailoverCellChannel::FailoverCellChannel(Config config) : config_(std::move(config)) {
+  if (config_.endpoints.empty()) throw std::runtime_error("failover channel needs endpoints");
+  if (config_.metrics != nullptr) {
+    failovers_ = &config_.metrics->counter("prvm_router_failovers_total");
+    promotions_ = &config_.metrics->counter("prvm_router_promotions_total");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& spec : config_.endpoints) {
+    if (auto channel = qualify(spec)) {
+      active_ = std::move(channel);
+      active_spec_ = spec;
+      ever_connected_ = true;
+      break;
+    }
+  }
+  if (active_ == nullptr) {
+    throw std::runtime_error("no reachable endpoint among " +
+                             std::to_string(config_.endpoints.size()) + " for this cell");
+  }
+}
+
+bool FailoverCellChannel::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ != nullptr && active_->connected();
+}
+
+std::string FailoverCellChannel::active_endpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ != nullptr && active_->connected() ? active_spec_ : std::string();
+}
+
+std::shared_ptr<SocketCellChannel> FailoverCellChannel::qualify(const std::string& spec) {
+  std::shared_ptr<SocketCellChannel> channel;
+  try {
+    if (spec.rfind("unix:", 0) == 0) {
+      channel = std::make_shared<SocketCellChannel>(spec.substr(5));
+    } else if (spec.rfind("tcp:", 0) == 0) {
+      channel = std::make_shared<SocketCellChannel>("127.0.0.1", std::atoi(spec.c_str() + 4));
+    } else {
+      channel = std::make_shared<SocketCellChannel>(spec);  // bare unix path
+    }
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+
+  Request health;
+  health.op = RequestOp::kHealth;
+  const Response status = channel->submit(health).get();
+  if (!status.ok) return nullptr;
+  std::string role;
+  for (const auto& [key, value] : status.extra) {
+    if (key == "role") role = value;
+  }
+  if (role != "\"follower\"") return channel;  // leader / single / cell: serve as is
+
+  // The preferred endpoints ahead of this one are gone — promote the
+  // follower so the cell keeps accepting writes (manual failover uses the
+  // same op through prvm_ctl).
+  Request promote;
+  promote.op = RequestOp::kPromote;
+  const Response promoted = channel->submit(promote).get();
+  // not_follower means someone else promoted it between the two calls —
+  // equally good news.
+  if (!promoted.ok && promoted.error != "not_follower") return nullptr;
+  if (promoted.ok && promotions_ != nullptr) promotions_->inc();
+  return channel;
+}
+
+std::shared_ptr<SocketCellChannel> FailoverCellChannel::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr && active_->connected()) return active_;
+  for (const std::string& spec : config_.endpoints) {
+    if (auto channel = qualify(spec)) {
+      if (ever_connected_ && failovers_ != nullptr) failovers_->inc();
+      active_ = std::move(channel);
+      active_spec_ = spec;
+      ever_connected_ = true;
+      return active_;
+    }
+  }
+  active_.reset();
+  active_spec_.clear();
+  return nullptr;
+}
+
+std::future<Response> FailoverCellChannel::submit(Request request) {
+  if (const std::shared_ptr<SocketCellChannel> channel = acquire()) {
+    return channel->submit(std::move(request));
+  }
+  std::promise<Response> promise;
+  Response response;
+  response.ok = false;
+  response.op = to_string(request.op);
+  response.vm = request.vm_id;
+  response.error = kCellUnreachable;
+  response.message = "no reachable endpoint among " +
+                     std::to_string(config_.endpoints.size()) + " for this cell";
+  promise.set_value(std::move(response));
+  return promise.get_future();
 }
 
 void SocketCellChannel::reader_loop() {

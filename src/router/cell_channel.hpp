@@ -15,10 +15,13 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/request_sink.hpp"
 
@@ -59,6 +62,58 @@ class SocketCellChannel : public RequestSink {
   std::deque<std::promise<Response>> pending_;  ///< FIFO, matches sent order
   bool down_ = false;
   std::string down_detail_;
+};
+
+/// A cell address with ordered failover replicas (DESIGN.md §8): the first
+/// reachable endpoint whose node is (or can be made) a leader serves the
+/// traffic. Endpoint specs are "unix:PATH" or "tcp:PORT" (loopback).
+///
+/// Failover is driven by reconnection: when the active connection drops,
+/// the next submit walks the endpoint list in order; a node answering
+/// health with role "follower" is promoted (an explicit `promote` op)
+/// before being adopted — this is how the router fails a cell over to its
+/// replica after the leader is SIGKILLed. Endpoints earlier in the list
+/// are always tried first, so the original leader reclaims the traffic
+/// once it is back (it must have been re-seeded as a follower's replica
+/// by the operator; this channel never demotes).
+class FailoverCellChannel : public RequestSink {
+ public:
+  struct Config {
+    /// Ordered endpoints: the preferred leader first, replicas after.
+    std::vector<std::string> endpoints;
+    /// Registry for prvm_router_failovers_total / prvm_router_promotions_total
+    /// (null = counters skipped).
+    obs::Registry* metrics = nullptr;
+  };
+
+  /// Throws std::runtime_error when NO endpoint is usable at construction
+  /// (same contract as SocketCellChannel's connect-or-throw).
+  explicit FailoverCellChannel(Config config);
+
+  FailoverCellChannel(const FailoverCellChannel&) = delete;
+  FailoverCellChannel& operator=(const FailoverCellChannel&) = delete;
+
+  std::future<Response> submit(Request request) override;
+
+  bool connected() const;
+  /// The endpoint currently serving traffic (empty while down).
+  std::string active_endpoint() const;
+
+ private:
+  /// Returns the healthy active channel, failing over if necessary; null
+  /// when every endpoint is unusable right now.
+  std::shared_ptr<SocketCellChannel> acquire();
+  /// Connects `spec` and qualifies the node: healthy leader -> adopted as
+  /// is; healthy follower -> promoted first. Null when unusable.
+  std::shared_ptr<SocketCellChannel> qualify(const std::string& spec);
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::shared_ptr<SocketCellChannel> active_;
+  std::string active_spec_;
+  bool ever_connected_ = false;
+  obs::Counter* failovers_ = nullptr;   ///< active endpoint changes
+  obs::Counter* promotions_ = nullptr;  ///< followers promoted on failover
 };
 
 }  // namespace prvm

@@ -1,6 +1,9 @@
 #include "router/router.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <thread>
 #include <utility>
 
 #include "cells/topology.hpp"
@@ -41,8 +44,9 @@ const char* mode_name(int severity) {
 
 Router::Router(std::vector<RequestSink*> cells, RouterConfig config)
     : cells_(std::move(cells)),
-      metrics_(config.metrics ? std::move(config.metrics)
-                              : std::make_shared<obs::Registry>()) {
+      config_(std::move(config)),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::Registry>()) {
   PRVM_REQUIRE(!cells_.empty(), "router needs at least one cell");
   for (RequestSink* cell : cells_) PRVM_REQUIRE(cell != nullptr, "null cell");
   m_.requests = &metrics_->counter("prvm_router_requests_total");
@@ -54,6 +58,31 @@ Router::Router(std::vector<RequestSink*> cells, RouterConfig config)
   m_.group_aborts = &metrics_->counter("prvm_router_group_aborts_total");
   m_.compensations = &metrics_->counter("prvm_router_compensations_total");
   m_.cell_unreachable = &metrics_->counter("prvm_router_cell_unreachable_total");
+  m_.retries = &metrics_->counter("prvm_router_retries_total");
+}
+
+Response Router::retry_unreachable(std::size_t cell, const Request& request, Response failed) {
+  Response r = std::move(failed);
+  std::size_t attempt = 0;
+  while (!r.ok && r.error == kCellUnreachable) {
+    m_.cell_unreachable->inc();
+    if (attempt >= config_.retry_attempts) break;
+    m_.retries->inc();
+    // Linear backoff: the dominant cause is a cell mid-restart or
+    // mid-failover; each re-submit re-enters the channel, which is where a
+    // FailoverCellChannel reconnects or promotes a replica.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        config_.retry_backoff_ms * static_cast<double>(attempt + 1)));
+    m_.fanout_requests->inc();
+    r = cells_[cell]->submit(request).get();
+    ++attempt;
+  }
+  return r;
+}
+
+Response Router::cell_call(std::size_t cell, const Request& request) {
+  m_.fanout_requests->inc();
+  return retry_unreachable(cell, request, cells_[cell]->submit(request).get());
 }
 
 std::optional<std::size_t> Router::cell_of(std::uint64_t vm) const {
@@ -61,6 +90,67 @@ std::optional<std::size_t> Router::cell_of(std::uint64_t vm) const {
   const auto it = vm_map_.find(vm);
   if (it == vm_map_.end()) return std::nullopt;
   return it->second.cell;
+}
+
+std::size_t Router::vm_map_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return vm_map_.size();
+}
+
+bool Router::save_vm_map(const std::filesystem::path& path) const {
+  // One line per vm: "<vm> <cell> <group>" (the group runs to end of line;
+  // group names never contain newlines — the same constraint the cells'
+  // own serialization relies on).
+  std::string blob;
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = vm_map_.size();
+    for (const auto& [vm, entry] : vm_map_) {
+      blob += std::to_string(vm);
+      blob += ' ';
+      blob += std::to_string(entry.cell);
+      blob += ' ';
+      blob += entry.group;
+      blob += '\n';
+    }
+  }
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) return false;
+    os << "PRVMMAP1 " << count << "\n" << blob;
+    if (!os.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+bool Router::load_vm_map(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return false;
+  std::string magic;
+  std::size_t count = 0;
+  if (!(is >> magic >> count) || magic != "PRVMMAP1") return false;
+  is.get();  // newline after the header
+  std::unordered_map<std::uint64_t, VmEntry> loaded;
+  loaded.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t vm = 0;
+    std::size_t cell = 0;
+    if (!(is >> vm >> cell)) return false;
+    std::string group;
+    std::getline(is, group);
+    if (!group.empty() && group.front() == ' ') group.erase(0, 1);
+    // Topology shrank since the save: drop the entry, the vm resolves via
+    // re-placement (cells stay the durable truth).
+    if (cell >= cells_.size()) continue;
+    loaded.emplace(vm, VmEntry{cell, std::move(group)});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  vm_map_ = std::move(loaded);
+  return true;
 }
 
 Response Router::local_reject(const Request& request, const char* error,
@@ -167,6 +257,16 @@ std::future<Response> Router::submit(Request request) {
     case RequestOp::kMetrics:
       return std::async(std::launch::deferred,
                         [this] { return metrics_response(); });
+    case RequestOp::kReplHello:
+    case RequestOp::kReplSnapshot:
+    case RequestOp::kReplFrames:
+    case RequestOp::kPromote:
+      // Replication and failover ops address one node, not the sharded
+      // deployment — leaders and operators dial the cell directly.
+      return std::async(std::launch::deferred, [this, request = std::move(request)] {
+        return local_reject(request, "unknown_op",
+                            "replication ops address a cell directly, not the router");
+      });
   }
   return std::async(std::launch::deferred, [this, request] {
     return local_reject(request, "unknown_op", "unroutable op");
@@ -184,8 +284,7 @@ Response Router::place_on_cells(const Request& request, std::size_t first,
   for (std::size_t i = 0; i < attempts; ++i) {
     const std::size_t cell = (first + i) % n;
     if (spill_from_start || i > 0) m_.spillover->inc();
-    m_.fanout_requests->inc();
-    Response r = cells_[cell]->submit(request).get();
+    Response r = cell_call(cell, request);
     if (r.ok) {
       *accepted_cell = cell;
       return r;
@@ -201,7 +300,6 @@ Response Router::place_on_cells(const Request& request, std::size_t first,
     // Backpressure, degraded storage, duplicates, transport failure: the
     // verdict is not about THIS cell's capacity, so spilling over would
     // mask it. Stop and forward.
-    if (r.error == kCellUnreachable) m_.cell_unreachable->inc();
     return r;
   }
   if (conflict.has_value()) return std::move(*conflict);
@@ -228,8 +326,7 @@ Response Router::record_or_compensate(const Request& request, Response placed,
   Request undo;
   undo.op = RequestOp::kRelease;
   undo.vm_id = request.vm_id;
-  m_.fanout_requests->inc();
-  cells_[cell]->submit(undo).get();
+  cell_call(cell, undo);
   if (!request.group.empty())
     abort_group_membership(request.group, request.vm_id);
   return local_reject(request, to_string(RejectReason::kDuplicateVm),
@@ -243,19 +340,15 @@ void Router::abort_group_membership(const std::string& group,
   request.vm_id = vm;
   request.group = group;
   m_.group_aborts->inc();
-  m_.fanout_requests->inc();
   // Best effort: if the home cell is unreachable the reservation simply
   // expires on its own (lazy TTL), so failure here is counted, not fatal.
-  const Response r =
-      cells_[cell_of_group(group, cells_.size())]->submit(request).get();
-  if (!r.ok && r.error == kCellUnreachable) m_.cell_unreachable->inc();
+  cell_call(cell_of_group(group, cells_.size()), request);
 }
 
 Response Router::finish_place(Request request, std::future<Response> primary,
                               std::size_t primary_cell) {
-  Response r = primary.get();
+  Response r = retry_unreachable(primary_cell, request, primary.get());
   if (r.ok) return record_or_compensate(request, std::move(r), primary_cell);
-  if (r.error == kCellUnreachable) m_.cell_unreachable->inc();
   if (r.error != to_string(RejectReason::kNoCapacity) || cells_.size() == 1)
     return r;
   std::size_t accepted = 0;
@@ -298,10 +391,8 @@ Response Router::do_grouped_place(const Request& request) {
   reserve.vm_id = request.vm_id;
   reserve.group = request.group;
   m_.group_reserves->inc();
-  m_.fanout_requests->inc();
-  const Response reserved = cells_[home]->submit(reserve).get();
+  const Response reserved = cell_call(home, reserve);
   if (!reserved.ok) {
-    if (reserved.error == kCellUnreachable) m_.cell_unreachable->inc();
     Response r = local_reject(request, reserved.error.c_str(),
                               "group reservation failed: " + reserved.message);
     r.retry_after_ms = reserved.retry_after_ms;
@@ -330,17 +421,13 @@ Response Router::do_grouped_place(const Request& request) {
   commit.group = request.group;
   commit.cell = accepted;
   m_.group_commits->inc();
-  m_.fanout_requests->inc();
-  const Response committed = cells_[home]->submit(commit).get();
-  if (!committed.ok && committed.error == kCellUnreachable)
-    m_.cell_unreachable->inc();
+  cell_call(home, commit);
   return recorded;
 }
 
 Response Router::finish_vm_op(Request request, std::future<Response> eager,
                               std::size_t cell) {
-  Response r = eager.get();
-  if (!r.ok && r.error == kCellUnreachable) m_.cell_unreachable->inc();
+  Response r = retry_unreachable(cell, request, eager.get());
   if (r.ok && request.op == RequestOp::kRelease) {
     std::string group;
     {
@@ -376,11 +463,7 @@ Response Router::do_group_op(const Request& request) {
   if (request.op == RequestOp::kGroupReserve) m_.group_reserves->inc();
   if (request.op == RequestOp::kGroupCommit) m_.group_commits->inc();
   if (request.op == RequestOp::kGroupAbort) m_.group_aborts->inc();
-  m_.fanout_requests->inc();
-  Response r =
-      cells_[cell_of_group(request.group, cells_.size())]->submit(request).get();
-  if (!r.ok && r.error == kCellUnreachable) m_.cell_unreachable->inc();
-  return r;
+  return cell_call(cell_of_group(request.group, cells_.size()), request);
 }
 
 Response Router::merge_stats(std::vector<std::future<Response>> futures) {

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,14 @@ struct RouterConfig {
   /// Registry for the router-level counters (prvm_router_*). Null = the
   /// router creates a private registry.
   std::shared_ptr<obs::Registry> metrics;
+  /// Bounded retry on cell_unreachable: how many times one routed call is
+  /// re-submitted after a transport failure. Each retry re-enters the
+  /// cell's channel, so a FailoverCellChannel gets its chance to reconnect
+  /// or promote a replica in between. 0 = fail fast (the old behavior).
+  std::size_t retry_attempts = 2;
+  /// Backoff before retry i is `retry_backoff_ms * (i + 1)` (linear: the
+  /// common cause is a leader mid-failover, which resolves in tens of ms).
+  double retry_backoff_ms = 25.0;
 };
 
 class Router : public RequestSink {
@@ -75,6 +84,18 @@ class Router : public RequestSink {
   /// The cell currently hosting `vm` according to the router map (test and
   /// tooling hook; nullopt = not placed through this router).
   std::optional<std::size_t> cell_of(std::uint64_t vm) const;
+
+  /// Persists the vm -> cell map (atomic temp-file + rename). The map is a
+  /// cache — cells remain the durable truth — but reloading it on restart
+  /// means a restarted router serves release/migrate/lookup for existing
+  /// vms immediately instead of answering unknown_vm until re-placement.
+  bool save_vm_map(const std::filesystem::path& path) const;
+  /// Loads a map written by save_vm_map, replacing the in-memory map.
+  /// Returns false (leaving the map empty) when the file is missing or
+  /// corrupt. Entries whose cell index exceeds this router's cell count are
+  /// dropped (topology changed; those vms resolve via re-placement).
+  bool load_vm_map(const std::filesystem::path& path);
+  std::size_t vm_map_size() const;
 
  private:
   struct VmEntry {
@@ -113,8 +134,14 @@ class Router : public RequestSink {
   void abort_group_membership(const std::string& group, std::uint64_t vm);
   Response local_reject(const Request& request, const char* error,
                         std::string message) const;
+  /// Routed call with bounded retry/backoff on cell_unreachable (each
+  /// retry re-submits, giving a failover channel time to re-target).
+  Response cell_call(std::size_t cell, const Request& request);
+  /// Applies the same retry policy to an already-failed eager response.
+  Response retry_unreachable(std::size_t cell, const Request& request, Response failed);
 
   std::vector<RequestSink*> cells_;
+  RouterConfig config_;
   std::shared_ptr<obs::Registry> metrics_;
 
   mutable std::mutex mu_;
@@ -130,6 +157,7 @@ class Router : public RequestSink {
     obs::Counter* group_aborts = nullptr;
     obs::Counter* compensations = nullptr;    ///< double-place races undone
     obs::Counter* cell_unreachable = nullptr; ///< transport failures observed
+    obs::Counter* retries = nullptr;          ///< re-submits after cell_unreachable
   };
   Metrics m_;
 };

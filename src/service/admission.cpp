@@ -19,6 +19,9 @@ const char* to_string(RejectReason reason) {
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kDraining: return "draining";
     case RejectReason::kDegradedStorage: return "degraded_storage";
+    case RejectReason::kNotLeader: return "not_leader";
+    case RejectReason::kNotFollower: return "not_follower";
+    case RejectReason::kNotReplicated: return "not_replicated";
   }
   return "?";
 }

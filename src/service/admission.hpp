@@ -40,7 +40,13 @@ enum class RejectReason {
   kQueueFull,        ///< request queue at capacity (backpressure)
   kDraining,         ///< daemon is shutting down / drained
   kDegradedStorage,  ///< WAL/snapshot storage failing; writes are suspended
+  kNotLeader,        ///< mutation sent to a follower replica
+  kNotFollower,      ///< repl/promote op sent to a node that is not a follower
+  kNotReplicated,    ///< ack_after_replicated quorum not reached in time
 };
+
+/// Number of RejectReason values (metrics arrays are indexed by reason).
+inline constexpr std::size_t kRejectReasonCount = 12;
 
 /// Machine-readable wire code ("no_capacity", "group_conflict", ...).
 const char* to_string(RejectReason reason);

@@ -279,6 +279,10 @@ const char* to_string(RequestOp op) {
     case RequestOp::kGroupReserve: return "gres";
     case RequestOp::kGroupCommit: return "gcommit";
     case RequestOp::kGroupAbort: return "gabort";
+    case RequestOp::kReplHello: return "repl_hello";
+    case RequestOp::kReplSnapshot: return "repl_snap";
+    case RequestOp::kReplFrames: return "repl_frames";
+    case RequestOp::kPromote: return "promote";
   }
   return "?";
 }
@@ -294,7 +298,10 @@ std::optional<std::uint64_t> as_u64(const JsonValue& v) {
 }  // namespace
 
 std::variant<Request, ProtocolError> parse_request(std::string_view line) {
-  if (line.size() > kMaxFrameBytes) {
+  // The transport's LineBuffer enforces the per-connection frame policy
+  // (kMaxFrameBytes for client servers, kMaxReplFrameBytes for followers);
+  // this is just the absolute backstop.
+  if (line.size() > kMaxReplFrameBytes) {
     return ProtocolError{"oversized_frame", "request exceeds frame size limit"};
   }
   std::string error;
@@ -333,6 +340,14 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
     request.op = RequestOp::kGroupCommit;
   } else if (op->string == "gabort") {
     request.op = RequestOp::kGroupAbort;
+  } else if (op->string == "repl_hello") {
+    request.op = RequestOp::kReplHello;
+  } else if (op->string == "repl_snap") {
+    request.op = RequestOp::kReplSnapshot;
+  } else if (op->string == "repl_frames") {
+    request.op = RequestOp::kReplFrames;
+  } else if (op->string == "promote") {
+    request.op = RequestOp::kPromote;
   } else {
     return ProtocolError{"unknown_op", "unknown op \"" + op->string + "\""};
   }
@@ -388,6 +403,45 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
       request.cell = id;
     }
   }
+
+  const bool is_repl_op = request.op == RequestOp::kReplHello ||
+                          request.op == RequestOp::kReplSnapshot ||
+                          request.op == RequestOp::kReplFrames;
+  if (is_repl_op || request.op == RequestOp::kPromote) {
+    const JsonValue* seq = doc->find("seq");
+    if (seq != nullptr) {
+      const auto value = as_u64(*seq);
+      if (!value.has_value()) {
+        return ProtocolError{"bad_field", "\"seq\" must be an unsigned integer"};
+      }
+      request.seq = value;
+    } else if (is_repl_op) {
+      return ProtocolError{"missing_field", "missing \"seq\""};
+    }
+  }
+  if (request.op == RequestOp::kReplSnapshot || request.op == RequestOp::kReplFrames) {
+    const JsonValue* data = doc->find("data");
+    if (data == nullptr) return ProtocolError{"missing_field", "missing \"data\""};
+    if (data->kind != JsonValue::Kind::kString) {
+      return ProtocolError{"bad_field", "\"data\" must be a hex string"};
+    }
+    request.data = data->string;
+  }
+  if (request.op == RequestOp::kReplSnapshot) {
+    const JsonValue* offset = doc->find("offset");
+    if (offset == nullptr) return ProtocolError{"missing_field", "missing \"offset\""};
+    const auto value = as_u64(*offset);
+    if (!value.has_value()) {
+      return ProtocolError{"bad_field", "\"offset\" must be an unsigned integer"};
+    }
+    request.offset = value;
+    if (const JsonValue* eof = doc->find("eof"); eof != nullptr) {
+      if (eof->kind != JsonValue::Kind::kBool) {
+        return ProtocolError{"bad_field", "\"eof\" must be a boolean"};
+      }
+      request.eof = eof->boolean;
+    }
+  }
   return request;
 }
 
@@ -401,6 +455,10 @@ std::string encode_request(const Request& request) {
     case RequestOp::kHealth:
     case RequestOp::kMetrics:
     case RequestOp::kDrain:
+    case RequestOp::kReplHello:
+    case RequestOp::kReplSnapshot:
+    case RequestOp::kReplFrames:
+    case RequestOp::kPromote:
       break;
     default:
       out += ",\"vm\":";
@@ -422,6 +480,21 @@ std::string encode_request(const Request& request) {
   if (request.cell.has_value()) {
     out += ",\"cell\":";
     out += std::to_string(*request.cell);
+  }
+  if (request.seq.has_value()) {
+    out += ",\"seq\":";
+    out += std::to_string(*request.seq);
+  }
+  if (request.offset.has_value()) {
+    out += ",\"offset\":";
+    out += std::to_string(*request.offset);
+  }
+  if (request.eof) out += ",\"eof\":true";
+  if (!request.data.empty()) {
+    // Hex payload: no characters that need escaping, so quote directly.
+    out += ",\"data\":\"";
+    out += request.data;
+    out += '"';
   }
   out += "}\n";
   return out;

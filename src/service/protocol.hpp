@@ -43,6 +43,13 @@ namespace prvm {
 /// is hostile or corrupt).
 inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
 
+/// Cap for replication traffic (`repl_snap` snapshot chunks and
+/// `repl_frames` WAL batches carry hex payloads far beyond client frames).
+/// Only servers that opt in (follower mode) raise their LineBuffer to this;
+/// parse_request accepts up to this bound and leaves per-connection policy
+/// to the transport.
+inline constexpr std::size_t kMaxReplFrameBytes = 4 * 1024 * 1024;
+
 /// A parsed JSON value (enough of JSON for this protocol: no nested
 /// containers are produced by well-formed requests, but the parser accepts
 /// arbitrary nesting so garbage input still yields a clean error).
@@ -78,6 +85,10 @@ enum class RequestOp {
   kGroupReserve,  ///< "gres": reserve group membership at the home cell
   kGroupCommit,   ///< "gcommit": promote a reservation to a committed member
   kGroupAbort,    ///< "gabort": drop a reservation (or committed member)
+  kReplHello,     ///< "repl_hello": leader<->follower handshake (op_seq exchange)
+  kReplSnapshot,  ///< "repl_snap": one chunk of a catch-up snapshot (hex)
+  kReplFrames,    ///< "repl_frames": a batch of CRC-framed WAL records (hex)
+  kPromote,       ///< "promote": flip a follower to leader
 };
 
 const char* to_string(RequestOp op);
@@ -92,6 +103,16 @@ struct Request {
   std::string group;
   /// Owning cell recorded by gcommit; absent elsewhere.
   std::optional<std::uint64_t> cell;
+  /// Replication sequence number: the sender's op_seq on repl_hello, the
+  /// snapshot's last op_seq on repl_snap, the batch's last op_seq on
+  /// repl_frames, and an optional minimum-op_seq guard on promote.
+  std::optional<std::uint64_t> seq;
+  /// Byte offset of a repl_snap chunk within the snapshot blob.
+  std::optional<std::uint64_t> offset;
+  /// Last chunk marker on repl_snap.
+  bool eof = false;
+  /// Hex-encoded payload (snapshot chunk or framed WAL records).
+  std::string data;
 };
 
 /// A request that could not be decoded; `code` is machine-readable and goes

@@ -1,0 +1,390 @@
+#include "service/replication.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace prvm {
+
+namespace {
+
+/// Snapshot chunks stay well under kMaxReplFrameBytes after hex doubling.
+constexpr std::size_t kSnapChunkBytes = 512 * 1024;
+/// One repl_frames line carries at most this many raw frame bytes.
+constexpr std::size_t kFrameChunkBytes = 1024 * 1024;
+
+int connect_endpoint(const std::string& spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const int port = std::atoi(spec.c_str() + 4);
+    if (port <= 0 || port > 65535) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    // Loopback-only, like every other socket in this codebase.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+  return -1;
+}
+
+std::uint64_t now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+/// The follower's op_seq, carried in the "op_seq" extra of repl responses.
+std::optional<std::uint64_t> response_op_seq(const Response& response) {
+  for (const auto& [key, encoded] : response.extra) {
+    if (key != "op_seq") continue;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(encoded.c_str(), &end, 10);
+    if (end != encoded.c_str() && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return std::nullopt;
+}
+
+/// Splits a concatenation of CRC-framed records at frame boundaries into
+/// chunks of at most `max_bytes` raw bytes; also counts the frames.
+std::vector<std::string_view> split_frames(std::string_view frames, std::size_t max_bytes,
+                                           std::size_t* frame_count) {
+  std::vector<std::string_view> chunks;
+  std::size_t chunk_start = 0;
+  std::size_t pos = 0;
+  while (pos + 8 <= frames.size()) {
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<std::uint32_t>(static_cast<unsigned char>(frames[pos + i])) << (8 * i);
+    }
+    const std::size_t frame_end = pos + 8 + length;
+    if (frame_end > frames.size()) break;  // malformed; sender never produces this
+    if (frame_count != nullptr) ++*frame_count;
+    if (frame_end - chunk_start > max_bytes && pos > chunk_start) {
+      chunks.push_back(frames.substr(chunk_start, pos - chunk_start));
+      chunk_start = pos;
+    }
+    pos = frame_end;
+  }
+  if (pos > chunk_start) chunks.push_back(frames.substr(chunk_start, pos - chunk_start));
+  return chunks;
+}
+
+}  // namespace
+
+std::string to_hex(std::string_view bytes) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+bool from_hex(std::string_view hex, std::string& out) {
+  if (hex.size() % 2 != 0) return false;
+  // Table-driven: frame batches run to hundreds of KB per flush group, so
+  // this decode sits on the follower's apply hot path.
+  static constexpr auto kNibble = [] {
+    std::array<std::int8_t, 256> table{};
+    table.fill(-1);
+    for (int i = 0; i <= 9; ++i) table[static_cast<std::size_t>('0' + i)] = static_cast<std::int8_t>(i);
+    for (int i = 0; i < 6; ++i) {
+      table[static_cast<std::size_t>('a' + i)] = static_cast<std::int8_t>(10 + i);
+      table[static_cast<std::size_t>('A' + i)] = static_cast<std::int8_t>(10 + i);
+    }
+    return table;
+  }();
+  out.resize(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = kNibble[static_cast<unsigned char>(hex[2 * i])];
+    const int lo = kNibble[static_cast<unsigned char>(hex[2 * i + 1])];
+    if ((hi | lo) < 0) return false;
+    out[i] = static_cast<char>((hi << 4) | lo);
+  }
+  return true;
+}
+
+ReplicationSender::ReplicationSender(std::vector<std::string> endpoints, obs::Registry* registry,
+                                     std::uint64_t ack_timeout_ms)
+    : ack_timeout_ms_(ack_timeout_ms) {
+  links_.reserve(endpoints.size());
+  for (std::string& spec : endpoints) {
+    Link link;
+    link.spec = std::move(spec);
+    links_.push_back(std::move(link));
+  }
+  if (registry != nullptr) {
+    frames_total_ = &registry->counter("prvm_repl_frames_total");
+    bytes_total_ = &registry->counter("prvm_repl_bytes_total");
+    acks_total_ = &registry->counter("prvm_repl_acks_total");
+    snapshots_total_ = &registry->counter("prvm_repl_snapshots_total");
+    link_failures_ = &registry->counter("prvm_repl_link_failures_total");
+    lag_bytes_ = &registry->gauge("prvm_repl_lag_bytes");
+  }
+}
+
+ReplicationSender::~ReplicationSender() {
+  for (Link& link : links_) {
+    if (link.fd >= 0) ::close(link.fd);
+  }
+}
+
+std::size_t ReplicationSender::streaming_links() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Link& link : links_) n += link.state == Link::State::kStreaming ? 1 : 0;
+  return n;
+}
+
+bool ReplicationSender::connect_link(Link& link) {
+  const int fd = connect_endpoint(link.spec);
+  if (fd < 0) return false;
+  link.fd = fd;
+  link.outstanding = 0;
+  link.pending_bytes = 0;
+  link.inbox = LineBuffer();
+  return true;
+}
+
+void ReplicationSender::close_link(Link& link, bool failure) {
+  if (link.fd >= 0) {
+    ::close(link.fd);
+    link.fd = -1;
+  }
+  link.state = Link::State::kDown;
+  link.outstanding = 0;
+  link.pending_bytes = 0;
+  if (failure && link_failures_ != nullptr) link_failures_->inc();
+}
+
+bool ReplicationSender::send_line(Link& link, const std::string& line) {
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ::ssize_t n =
+        ::send(link.fd, line.data() + written, line.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      close_link(link, true);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReplicationSender::read_response(Link& link, std::uint64_t wait_ms) {
+  const std::uint64_t deadline = now_ms() + wait_ms;
+  char buf[16 * 1024];
+  while (true) {
+    // A complete line may already be buffered from a previous read.
+    while (const auto frame = link.inbox.next()) {
+      if (frame->oversized) {
+        close_link(link, true);
+        return false;
+      }
+      if (frame->line.empty()) continue;
+      std::string error;
+      const std::optional<Response> response = parse_response(frame->line, &error);
+      if (!response.has_value()) {
+        close_link(link, true);
+        return false;
+      }
+      if (link.outstanding > 0) --link.outstanding;
+      if (link.outstanding == 0) link.pending_bytes = 0;
+      if (const auto seq = response_op_seq(*response); seq.has_value()) {
+        link.acked_seq = std::max(link.acked_seq, *seq);
+      }
+      if (acks_total_ != nullptr) acks_total_->inc();
+      if (!response->ok) {
+        // repl_gap, degraded_storage, draining, queue_full: whatever the
+        // cause, the follower did not apply this payload — resync with a
+        // snapshot once it is willing again.
+        link.state = Link::State::kNeedsSnapshot;
+        snapshot_needed_.store(true, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    const std::uint64_t now = now_ms();
+    const int timeout =
+        now >= deadline ? 0 : static_cast<int>(std::min<std::uint64_t>(deadline - now, 1u << 30));
+    pollfd pfd{link.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready <= 0) return false;  // timeout (or poll error): caller keeps waiting or gives up
+    const ::ssize_t n = ::recv(link.fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      close_link(link, true);
+      return false;
+    }
+    link.inbox.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+bool ReplicationSender::handshake(Link& link, std::uint64_t leader_seq) {
+  Request hello;
+  hello.op = RequestOp::kReplHello;
+  hello.seq = leader_seq;
+  if (!send_line(link, encode_request(hello))) return false;
+  ++link.outstanding;
+  link.acked_seq = 0;
+  if (!read_response(link, ack_timeout_ms_)) {
+    close_link(link, true);
+    return false;
+  }
+  if (link.acked_seq == leader_seq) {
+    link.state = Link::State::kStreaming;
+  } else if (link.acked_seq < leader_seq) {
+    link.state = Link::State::kNeedsSnapshot;
+    snapshot_needed_.store(true, std::memory_order_relaxed);
+  } else {
+    // The follower is AHEAD of this leader: this node's history is stale
+    // (e.g. an old leader rejoining). Refusing to stream is the safe move.
+    close_link(link, true);
+    return false;
+  }
+  return true;
+}
+
+void ReplicationSender::connect_all(std::uint64_t leader_seq) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Link& link : links_) {
+    if (link.state != Link::State::kDown) continue;
+    if (!connect_link(link)) continue;
+    handshake(link, leader_seq);
+  }
+}
+
+void ReplicationSender::send_snapshot(const std::string& blob, std::uint64_t snap_seq) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Link& link : links_) {
+    if (link.state != Link::State::kNeedsSnapshot) continue;
+    // A fresh socket per catch-up keeps the chunk/ack exchange strictly
+    // alternating — no stale frame acks interleave.
+    close_link(link, false);
+    if (!connect_link(link)) continue;
+    if (!handshake(link, snap_seq)) continue;
+    if (link.state == Link::State::kStreaming) continue;  // already caught up
+    bool ok = true;
+    for (std::size_t offset = 0; offset < blob.size() && ok; offset += kSnapChunkBytes) {
+      Request chunk;
+      chunk.op = RequestOp::kReplSnapshot;
+      chunk.seq = snap_seq;
+      chunk.offset = offset;
+      const std::size_t n = std::min(kSnapChunkBytes, blob.size() - offset);
+      chunk.eof = offset + n == blob.size();
+      chunk.data = to_hex(std::string_view(blob).substr(offset, n));
+      if (!send_line(link, encode_request(chunk))) {
+        ok = false;
+        break;
+      }
+      ++link.outstanding;
+      if (!read_response(link, ack_timeout_ms_) || link.state == Link::State::kDown) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && link.acked_seq >= snap_seq) {
+      link.state = Link::State::kStreaming;
+      if (snapshots_total_ != nullptr) snapshots_total_->inc();
+    } else if (link.fd >= 0 && link.state != Link::State::kNeedsSnapshot) {
+      close_link(link, true);
+    }
+  }
+  bool still_needed = false;
+  for (const Link& link : links_) {
+    still_needed |= link.state == Link::State::kNeedsSnapshot;
+  }
+  snapshot_needed_.store(still_needed, std::memory_order_relaxed);
+}
+
+std::size_t ReplicationSender::replicate(const std::string& frames, std::uint64_t last_seq,
+                                         bool wait) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t frame_count = 0;
+  const std::vector<std::string_view> chunks =
+      split_frames(frames, kFrameChunkBytes, &frame_count);
+  for (Link& link : links_) {
+    if (link.state == Link::State::kDown) {
+      // Cheap reconnect attempt each round: a follower that came (back) up
+      // rejoins on the next flush without any out-of-band signal.
+      if (!connect_link(link)) continue;
+      if (!handshake(link, last_seq)) continue;
+    }
+    if (link.state != Link::State::kStreaming) continue;
+    for (const std::string_view chunk : chunks) {
+      Request batch;
+      batch.op = RequestOp::kReplFrames;
+      batch.seq = last_seq;
+      batch.data = to_hex(chunk);
+      if (!send_line(link, encode_request(batch))) break;
+      ++link.outstanding;
+      link.pending_bytes += chunk.size();
+      if (bytes_total_ != nullptr) bytes_total_->add(chunk.size());
+    }
+    if (link.state == Link::State::kStreaming && frames_total_ != nullptr && !chunks.empty()) {
+      frames_total_->add(frame_count);
+    }
+  }
+
+  // Drain acks: with `wait`, poll each lagging link until it reaches
+  // last_seq or the deadline passes; without, only consume what has
+  // already arrived.
+  const std::uint64_t deadline = now_ms() + (wait ? ack_timeout_ms_ : 0);
+  for (Link& link : links_) {
+    if (link.state != Link::State::kStreaming) continue;
+    while (link.outstanding > 0 && link.acked_seq < last_seq) {
+      const std::uint64_t now = now_ms();
+      const std::uint64_t budget = wait && deadline > now ? deadline - now : 0;
+      if (!read_response(link, budget)) break;
+      if (link.state != Link::State::kStreaming) break;
+    }
+  }
+  update_lag_gauge();
+  std::size_t confirmed = 0;
+  for (const Link& link : links_) {
+    if (link.state == Link::State::kStreaming && link.acked_seq >= last_seq) ++confirmed;
+  }
+  return confirmed;
+}
+
+void ReplicationSender::update_lag_gauge() {
+  if (lag_bytes_ == nullptr) return;
+  std::size_t lag = 0;
+  for (const Link& link : links_) lag += link.pending_bytes;
+  lag_bytes_->set(static_cast<std::int64_t>(lag));
+}
+
+}  // namespace prvm

@@ -36,6 +36,22 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
         "must be >= batch_size (" + std::to_string(config_.batch_size) +
             ") when group commit is enabled — a full batch must fit one flush group");
   }
+  if (config_.repl.follower && !config_.repl.replicas.empty()) {
+    throw ServiceConfigError("repl.replicas",
+                             "a follower cannot itself replicate (chained replication after "
+                             "promotion is not supported)");
+  }
+  if (config_.repl.ack_replicas > config_.repl.replicas.size()) {
+    throw ServiceConfigError(
+        "repl.ack_replicas",
+        "cannot exceed the configured replicas (" +
+            std::to_string(config_.repl.replicas.size()) + ")");
+  }
+  if (!config_.repl.replicas.empty() && config_.data_dir.empty()) {
+    throw ServiceConfigError("repl.replicas",
+                             "replication streams the WAL frames, so a leader needs a data_dir");
+  }
+  follower_.store(config_.repl.follower, std::memory_order_relaxed);
   init_metrics();
   // The engine reports into this service's registry unless the caller wired
   // it elsewhere explicitly.
@@ -64,6 +80,10 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
     wal_ = std::make_unique<WalWriter>(config_.data_dir / kWalFile, config_.fsync_wal, io_);
     // A broken disk at boot is survivable: serve reads, probe for storage.
     if (!wal_->healthy()) enter_degraded(wal_->open_status());
+  }
+  if (!config_.repl.replicas.empty()) {
+    repl_ = std::make_unique<ReplicationSender>(config_.repl.replicas, metrics_.get(),
+                                                config_.repl.ack_timeout_ms);
   }
 }
 
@@ -94,6 +114,9 @@ void PlacementService::init_metrics() {
   m_.spec_commits = &r.counter("prvm_spec_commits_total");
   m_.spec_conflicts = &r.counter("prvm_spec_conflicts_total");
   m_.flush_groups = &r.counter("prvm_flush_groups_total");
+  m_.repl_applied = &r.counter("prvm_repl_applied_records_total");
+  m_.repl_snapshots_in = &r.counter("prvm_repl_snapshots_installed_total");
+  m_.promotions = &r.counter("prvm_repl_promotions_total");
   m_.mode = &r.gauge("prvm_mode");
   m_.queue_depth = &r.gauge("prvm_queue_depth");
   m_.wal_lag = &r.gauge("prvm_wal_lag");
@@ -124,10 +147,10 @@ void PlacementService::recover(const std::vector<std::size_t>& fleet) {
     op_seq_ = snapshot->last_op_seq;
     recovered_ = true;
   }
-  bool torn = false;
-  const std::vector<WalRecord> records = read_wal(config_.data_dir / kWalFile, &torn);
-  wal_torn_tail_ = torn;
-  for (const WalRecord& record : records) {
+  const WalReadResult wal = read_wal_ex(config_.data_dir / kWalFile);
+  wal_tail_ = wal.tail;
+  wal_torn_tail_ = wal.tail != WalTailStatus::kClean;
+  for (const WalRecord& record : wal.records) {
     if (record.op_seq <= snapshot_op_seq_) continue;  // already in the snapshot
     apply_wal_record(record);
     op_seq_ = record.op_seq;
@@ -186,7 +209,16 @@ void PlacementService::apply_wal_record(const WalRecord& record) {
 
 void PlacementService::log_record(WalRecord record) {
   if (wal_ == nullptr) return;
-  batch_wal_bytes_ += wal_->append(record);
+  if (repl_ != nullptr) {
+    // Leaders capture the exact frame bytes for the replication stream (the
+    // follower's re-appended WAL is then byte-identical to the leader's) —
+    // encode once and feed both the WAL buffer and the stream from it.
+    const std::string frame = encode_wal_frame(record);
+    batch_wal_bytes_ += wal_->append_frames(frame, 1);
+    batch_repl_frames_ += frame;
+  } else {
+    batch_wal_bytes_ += wal_->append(record);
+  }
   m_.wal_appends->inc();
   wal_dirty_ = true;
 }
@@ -247,8 +279,12 @@ Response PlacementService::degraded_reject(const Request& request) const {
 void PlacementService::demote_unlogged(Response& response,
                                        const std::string& error_message) const {
   if (!response.ok) return;
+  // repl_frames/repl_snap acks promise follower-side durability, so a
+  // failed follower flush must demote them too — the leader then parks the
+  // link and resyncs once this node's storage recovers.
   if (response.op != "place" && response.op != "release" && response.op != "migrate" &&
-      response.op != "gres" && response.op != "gcommit" && response.op != "gabort") {
+      response.op != "gres" && response.op != "gcommit" && response.op != "gabort" &&
+      response.op != "repl_frames" && response.op != "repl_snap") {
     return;
   }
   Response demoted;
@@ -578,6 +614,230 @@ Response PlacementService::group_abort(const Request& request) {
   return response;
 }
 
+// --- replication (DESIGN.md §8) ---
+
+namespace {
+
+/// Rejections the replication peer interprets by error string rather than
+/// RejectReason (repl_gap / repl_stale / repl_lag / bad_frame). They carry
+/// this node's op_seq so the leader's ack bookkeeping stays exact.
+Response repl_fail(const Request& request, const char* error, std::string message,
+                   std::uint64_t op_seq) {
+  Response response;
+  response.ok = false;
+  response.op = to_string(request.op);
+  response.error = error;
+  response.message = std::move(message);
+  response.extra.emplace_back("op_seq", std::to_string(op_seq));
+  return response;
+}
+
+}  // namespace
+
+Response PlacementService::repl_hello_response(const Request& request) {
+  (void)request;
+  Response response;
+  response.ok = true;
+  response.op = "repl_hello";
+  response.extra.emplace_back("op_seq", std::to_string(op_seq_));
+  response.extra.emplace_back(
+      "role", json_quote(follower_.load(std::memory_order_relaxed) ? "follower" : "leader"));
+  return response;
+}
+
+Response PlacementService::apply_repl_snapshot(const Request& request) {
+  const std::uint64_t snap_seq = request.seq.value_or(0);
+  if (snap_seq < op_seq_) {
+    // This follower is ahead of the pushed snapshot: installing it would
+    // roll back acknowledged state. The leader is stale; refuse.
+    return repl_fail(request, "repl_stale",
+                     "snapshot covers op_seq " + std::to_string(snap_seq) +
+                         " but this follower is at " + std::to_string(op_seq_),
+                     op_seq_);
+  }
+  const std::uint64_t offset = request.offset.value_or(0);
+  if (offset == 0) {
+    repl_snap_buffer_.clear();
+    repl_snap_offset_ = 0;
+  }
+  if (offset != repl_snap_offset_) {
+    const std::uint64_t expected = repl_snap_offset_;
+    repl_snap_buffer_.clear();
+    repl_snap_offset_ = 0;
+    return repl_fail(request, "repl_gap",
+                     "snapshot chunk at offset " + std::to_string(offset) + ", expected " +
+                         std::to_string(expected),
+                     op_seq_);
+  }
+  std::string raw;
+  if (!from_hex(request.data, raw)) {
+    repl_snap_buffer_.clear();
+    repl_snap_offset_ = 0;
+    return repl_fail(request, "bad_frame", "snapshot chunk is not valid hex", op_seq_);
+  }
+  repl_snap_buffer_ += raw;
+  repl_snap_offset_ += raw.size();
+  if (!request.eof) {
+    Response response;
+    response.ok = true;
+    response.op = "repl_snap";
+    response.extra.emplace_back("op_seq", std::to_string(op_seq_));
+    return response;
+  }
+
+  // Final chunk: parse + install the full state, then persist it as this
+  // node's own snapshot so a follower crash recovers locally instead of
+  // needing another catch-up.
+  std::string blob;
+  blob.swap(repl_snap_buffer_);
+  repl_snap_offset_ = 0;
+  ServiceSnapshot snapshot;
+  try {
+    snapshot = parse_snapshot(blob, catalog_);
+  } catch (const std::exception& e) {
+    return repl_fail(request, "bad_frame", std::string("snapshot blob rejected: ") + e.what(),
+                     op_seq_);
+  }
+  if (snapshot.datacenter->pm_count() != dc_.pm_count()) {
+    return repl_fail(request, "bad_frame",
+                     "snapshot fleet size " + std::to_string(snapshot.datacenter->pm_count()) +
+                         " does not match this follower's " + std::to_string(dc_.pm_count()),
+                     op_seq_);
+  }
+  dc_ = std::move(*snapshot.datacenter);
+  admission_ = std::move(snapshot.admission);
+  group_dir_ = std::move(snapshot.groups);
+  op_seq_ = snapshot.last_op_seq;
+  m_.repl_snapshots_in->inc();
+  const IoStatus status = take_snapshot();
+  if (!status.ok()) {
+    enter_degraded(status);
+    return repl_fail(request, "degraded_storage",
+                     "installed state could not be persisted: " + status.message(), op_seq_);
+  }
+  Response response;
+  response.ok = true;
+  response.op = "repl_snap";
+  response.extra.emplace_back("op_seq", std::to_string(op_seq_));
+  return response;
+}
+
+Response PlacementService::apply_repl_frames(const Request& request) {
+  std::string raw;
+  std::vector<WalRecord> records;
+  std::vector<std::size_t> offsets;
+  if (!from_hex(request.data, raw) || !decode_wal_frames(raw, records, &offsets)) {
+    return repl_fail(request, "bad_frame", "frame batch failed hex/CRC decode", op_seq_);
+  }
+  // Skip the already-applied prefix (snapshot/stream overlap), apply the
+  // contiguous continuation, then re-append that run's validated raw bytes
+  // to this node's WAL in ONE splice — no per-record re-encode, and byte
+  // identity with the leader's log falls out by construction.
+  std::size_t i = 0;
+  while (i < records.size() && records[i].op_seq <= op_seq_) ++i;
+  const std::size_t first = i;
+  std::uint64_t gap_seq = 0;
+  for (; i < records.size(); ++i) {
+    if (records[i].op_seq != op_seq_ + 1) {
+      gap_seq = records[i].op_seq;
+      break;
+    }
+    apply_wal_record(records[i]);
+    op_seq_ = records[i].op_seq;
+    m_.repl_applied->inc();
+  }
+  const std::size_t limit = i;
+  if (limit > first && wal_ != nullptr) {
+    const std::size_t end = limit < offsets.size() ? offsets[limit] : raw.size();
+    batch_wal_bytes_ += wal_->append_frames(
+        std::string_view(raw).substr(offsets[first], end - offsets[first]),
+        limit - first);
+    m_.wal_appends->add(limit - first);
+    wal_dirty_ = true;
+  }
+  if (gap_seq != 0) {
+    // The applied-and-logged prefix is fine — it is exactly the contiguous
+    // continuation of this node's history. The leader resyncs the rest via
+    // snapshot catch-up.
+    return repl_fail(request, "repl_gap",
+                     "frame op_seq " + std::to_string(gap_seq) + " leaves a gap after " +
+                         std::to_string(op_seq_),
+                     op_seq_);
+  }
+  Response response;
+  response.ok = true;
+  response.op = "repl_frames";
+  response.extra.emplace_back("op_seq", std::to_string(op_seq_));
+  return response;
+}
+
+Response PlacementService::promote_response(const Request& request) {
+  if (!follower_.load(std::memory_order_relaxed)) {
+    return reject(request, RejectReason::kNotFollower,
+                  "this node is already a leader; promote applies to followers only");
+  }
+  if (request.seq.has_value() && *request.seq > op_seq_) {
+    return repl_fail(request, "repl_lag",
+                     "follower is at op_seq " + std::to_string(op_seq_) +
+                         ", promotion requires " + std::to_string(*request.seq),
+                     op_seq_);
+  }
+  follower_.store(false, std::memory_order_relaxed);
+  m_.promotions->inc();
+  Response response;
+  response.ok = true;
+  response.op = "promote";
+  response.extra.emplace_back("op_seq", std::to_string(op_seq_));
+  response.extra.emplace_back("role", json_quote("leader"));
+  response.extra.emplace_back("state_digest",
+                              json_quote(std::to_string(datacenter_state_digest(dc_))));
+  return response;
+}
+
+Response PlacementService::not_leader_reject(const Request& request) const {
+  Response response = reject(request, RejectReason::kNotLeader,
+                             "this node is a replication follower; send writes to the leader");
+  if (!config_.repl.leader_hint.empty()) {
+    response.extra.emplace_back("leader", json_quote(config_.repl.leader_hint));
+  }
+  return response;
+}
+
+void PlacementService::demote_unreplicated(Response& response) const {
+  if (!response.ok) return;
+  if (response.op != "place" && response.op != "release" && response.op != "migrate" &&
+      response.op != "gres" && response.op != "gcommit" && response.op != "gabort") {
+    return;
+  }
+  m_.reject_by_reason[static_cast<std::size_t>(RejectReason::kNotReplicated)]->inc();
+  Response demoted;
+  demoted.ok = false;
+  demoted.op = response.op;
+  demoted.vm = response.vm;
+  demoted.error = to_string(RejectReason::kNotReplicated);
+  demoted.message =
+      "replication quorum not met; the op is applied and locally durable on this leader";
+  demoted.retry_after_ms = config_.retry_after_ms;
+  response = std::move(demoted);
+}
+
+bool PlacementService::replicate_frames(const std::string& frames, std::uint64_t last_seq) {
+  if (repl_ == nullptr) return true;
+  const std::size_t need = config_.repl.ack_replicas;
+  const std::size_t acked = repl_->replicate(frames, last_seq, need > 0);
+  return need == 0 || acked >= need;
+}
+
+void PlacementService::maybe_send_catchup_snapshot() {
+  if (repl_ == nullptr || !repl_->needs_snapshot()) return;
+  // Quiesce the flusher first so the serialized state covers only locally
+  // durable ops — a follower must never hold an op this leader could still
+  // demote on a failed flush.
+  flusher_barrier();
+  if (flush_failed_.load(std::memory_order_acquire)) return;
+  repl_->send_snapshot(serialize_snapshot(dc_, admission_, group_dir_, op_seq_), op_seq_);
+}
+
 Response PlacementService::health_response() {
   Response response;
   response.ok = true;
@@ -598,9 +858,23 @@ Response PlacementService::health_response() {
   response.extra.emplace_back("mode", json_quote(mode));
   // Deployment identity: multi-cell members report their cell id; a
   // standalone daemon reports the default (cell 0, role "single").
+  // Replication overrides: a follower says so (routers/failover probes key
+  // off this), and a replicating or promoted node reports "leader".
+  const bool follower_now = follower_.load(std::memory_order_relaxed);
+  const bool repl_leader = repl_ != nullptr || (config_.repl.follower && !follower_now);
+  const char* role = follower_now            ? "follower"
+                     : repl_leader           ? "leader"
+                     : config_.cell_id.has_value() ? "cell"
+                                                   : "single";
   response.extra.emplace_back("cell_id", std::to_string(config_.cell_id.value_or(0)));
-  response.extra.emplace_back("role",
-                              json_quote(config_.cell_id.has_value() ? "cell" : "single"));
+  response.extra.emplace_back("role", json_quote(role));
+  if (follower_now && !config_.repl.leader_hint.empty()) {
+    response.extra.emplace_back("leader", json_quote(config_.repl.leader_hint));
+  }
+  if (repl_ != nullptr) {
+    response.extra.emplace_back("repl_links", std::to_string(repl_->link_count()));
+    response.extra.emplace_back("repl_streaming", std::to_string(repl_->streaming_links()));
+  }
   response.extra.emplace_back("queue_depth", std::to_string(queue_depth));
   // Ops acknowledged since the last durable snapshot = replay work a crash
   // right now would need (and the WAL bytes a degraded disk is holding up).
@@ -642,6 +916,9 @@ Response PlacementService::stats_response() {
                               json_quote(std::to_string(datacenter_state_digest(dc_))));
   response.extra.emplace_back("recovered", recovered_ ? "true" : "false");
   response.extra.emplace_back("wal_torn_tail", wal_torn_tail_ ? "true" : "false");
+  response.extra.emplace_back("wal_tail", json_quote(to_string(wal_tail_)));
+  response.extra.emplace_back(
+      "role", json_quote(follower_.load(std::memory_order_relaxed) ? "follower" : "leader"));
   response.extra.emplace_back("draining", draining() ? "true" : "false");
   response.extra.emplace_back(
       "mode", json_quote(degraded_.load(std::memory_order_relaxed) ? "degraded" : "ok"));
@@ -687,16 +964,35 @@ Response PlacementService::execute_locked(const Request& request) {
     case RequestOp::kMetrics: return metrics_response();
     case RequestOp::kLookup: return lookup(request);
     case RequestOp::kDrain: return drain_response();
+    // The handshake is read-only and must work in every mode — a leader
+    // probing a degraded follower needs the truthful op_seq to decide
+    // between streaming and catch-up.
+    case RequestOp::kReplHello: return repl_hello_response(request);
     default: break;
   }
   if (draining()) {
     return reject(request, RejectReason::kDraining, "daemon is draining");
   }
+  // Promotion changes only the role flag, never storage, so it is legal
+  // even while degraded — the promoted leader stays read-only until its
+  // disk recovers, exactly like any other degraded leader.
+  if (request.op == RequestOp::kPromote) return promote_response(request);
   // Read-only degraded mode: no mutation may happen while its WAL record
   // could not be made durable. Rejecting BEFORE the engine runs keeps the
   // in-memory ledger aligned with what clients were told.
   if (degraded_.load(std::memory_order_relaxed)) {
     return degraded_reject(request);
+  }
+  if (follower_.load(std::memory_order_relaxed)) {
+    switch (request.op) {
+      case RequestOp::kReplSnapshot: return apply_repl_snapshot(request);
+      case RequestOp::kReplFrames: return apply_repl_frames(request);
+      default: return not_leader_reject(request);
+    }
+  }
+  if (request.op == RequestOp::kReplSnapshot || request.op == RequestOp::kReplFrames) {
+    return reject(request, RejectReason::kNotFollower,
+                  "this node is not a replication follower");
   }
   switch (request.op) {
     case RequestOp::kPlace: return place(request);
@@ -912,6 +1208,13 @@ Response PlacementService::execute(const Request& request) {
       demote_unlogged(response, last_io_error_);
     }
   }
+  if (repl_ != nullptr) {
+    if (!degraded_.load(std::memory_order_relaxed)) {
+      if (!replicate_frames(batch_repl_frames_, op_seq_)) demote_unreplicated(response);
+      maybe_send_catchup_snapshot();
+    }
+    batch_repl_frames_.clear();
+  }
   return response;
 }
 
@@ -1019,11 +1322,26 @@ void PlacementService::flusher_loop() {
     m_.flush_groups->inc();
     m_.flush_group_ops->record(ops);
 
+    // Replication rides the flusher: stream the (now locally durable)
+    // frames of every coalesced group in one call, then — when an ack
+    // quorum is configured — hold the client acks until enough followers
+    // confirmed, demoting truthfully on a shortfall.
+    bool replicated = true;
+    if (repl_ != nullptr && failure.empty() && !covered.empty()) {
+      std::string frames;
+      for (const FlushGroup& group : covered) frames += group.repl_frames;
+      replicated = replicate_frames(frames, covered.back().last_seq);
+    }
+
     const std::uint64_t acked_ns = obs::now_ns();
     for (FlushGroup& group : covered) {
       m_.flush_lag_ns->record(acked_ns > group.computed_ns ? acked_ns - group.computed_ns : 0);
       for (std::size_t i = 0; i < group.batch.size(); ++i) {
-        if (!failure.empty()) demote_unlogged(group.responses[i], failure);
+        if (!failure.empty()) {
+          demote_unlogged(group.responses[i], failure);
+        } else if (!replicated) {
+          demote_unreplicated(group.responses[i]);
+        }
         group.batch[i].promise.set_value(std::move(group.responses[i]));
       }
     }
@@ -1053,6 +1371,13 @@ void PlacementService::worker_loop() {
   batch.reserve(config_.batch_size);
   std::vector<Response> responses;
   responses.reserve(config_.batch_size);
+
+  // Establish replication links before traffic; a follower that is behind
+  // gets its catch-up snapshot now rather than on the first flush.
+  if (repl_ != nullptr) {
+    repl_->connect_all(op_seq_);
+    maybe_send_catchup_snapshot();
+  }
 
   while (true) {
     {
@@ -1101,6 +1426,12 @@ void PlacementService::worker_loop() {
 
     maybe_probe_storage();
 
+    // A link parked itself (gap, follower restart, rejection) since the
+    // last pass: only this thread may serialize the authoritative state.
+    if (repl_ != nullptr && !degraded_.load(std::memory_order_relaxed)) {
+      maybe_send_catchup_snapshot();
+    }
+
     if (batch.empty()) {  // degraded-mode probe wakeup with no traffic
       std::lock_guard<std::mutex> lock(mu_);
       if (queue_.empty()) drained_cv_.notify_all();
@@ -1123,7 +1454,10 @@ void PlacementService::worker_loop() {
       group.responses = std::move(responses);
       group.wal_bytes = batch_wal_bytes_;
       group.computed_ns = obs::now_ns();
+      group.repl_frames = std::move(batch_repl_frames_);
+      group.last_seq = op_seq_;
       batch_wal_bytes_ = 0;
+      batch_repl_frames_.clear();
       std::size_t depth = 0;
       {
         std::lock_guard<std::mutex> lock(flush_mu_);
@@ -1141,6 +1475,13 @@ void PlacementService::worker_loop() {
         }
       }
       batch_wal_bytes_ = 0;
+      if (repl_ != nullptr) {
+        if (!degraded_.load(std::memory_order_relaxed) &&
+            !replicate_frames(batch_repl_frames_, op_seq_)) {
+          for (Response& response : responses) demote_unreplicated(response);
+        }
+        batch_repl_frames_.clear();
+      }
       for (std::size_t i = 0; i < batch.size(); ++i) {
         batch[i].promise.set_value(std::move(responses[i]));
       }
@@ -1236,6 +1577,8 @@ ServiceStats PlacementService::stats() const {
   copy.op_seq = op_seq_;
   copy.recovered = recovered_;
   copy.wal_torn_tail = wal_torn_tail_;
+  copy.wal_tail = wal_tail_;
+  copy.follower = follower_.load(std::memory_order_relaxed);
   copy.degraded = degraded_.load(std::memory_order_relaxed);
   copy.degraded_entries = m_.degraded_transitions->value();
   copy.storage_probes = m_.probes->value();

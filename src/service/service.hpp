@@ -77,6 +77,7 @@
 #include "placement/pagerank_vm.hpp"
 #include "service/admission.hpp"
 #include "service/protocol.hpp"
+#include "service/replication.hpp"
 #include "service/request_sink.hpp"
 #include "service/wal.hpp"
 
@@ -138,6 +139,8 @@ struct ServiceConfig {
   /// Expiry is lazy: an expired pending entry is simply overwritable by the
   /// next reserve, it is never dropped outside a WAL'd transition.
   std::uint64_t reserve_ttl_ms = 5000;
+  /// WAL replication to follower replicas / follower role (DESIGN.md §8).
+  ReplicationConfig repl;
   PageRankVmOptions engine;
 };
 
@@ -167,6 +170,8 @@ struct ServiceStats {
   std::uint64_t op_seq = 0;           ///< last assigned operation sequence
   bool recovered = false;             ///< state restored from disk at startup
   bool wal_torn_tail = false;         ///< recovery skipped a torn WAL tail
+  WalTailStatus wal_tail = WalTailStatus::kClean;  ///< why WAL replay stopped
+  bool follower = false;              ///< serving as a replication follower
   bool degraded = false;              ///< storage failing; writes suspended
   std::uint64_t degraded_entries = 0; ///< ok -> degraded transitions
   std::uint64_t storage_probes = 0;   ///< recovery probes attempted while degraded
@@ -210,6 +215,10 @@ class PlacementService : public RequestSink {
   /// Synchronous execution, bypassing the queue. Only safe when the worker
   /// is not running (replay, single-threaded tests, benchmarks).
   Response execute(const Request& request);
+
+  /// True while this node serves as a replication follower (mutations are
+  /// rejected with not_leader; repl_* ops and reads are served).
+  bool is_follower() const { return follower_.load(std::memory_order_relaxed); }
 
   /// Read-side accessors. Only consistent while the worker is stopped.
   const Datacenter& datacenter() const { return dc_; }
@@ -262,6 +271,32 @@ class PlacementService : public RequestSink {
   Response health_response();
   Response metrics_response();
   Response drain_response();
+  // --- replication (DESIGN.md §8) ---
+  /// Follower side: answer a leader's handshake with this node's op_seq.
+  Response repl_hello_response(const Request& request);
+  /// Follower side: accumulate snapshot chunks; on eof, parse + install the
+  /// full state and persist it as this node's own snapshot.
+  Response apply_repl_snapshot(const Request& request);
+  /// Follower side: decode a batch of WAL frames and apply each record —
+  /// idempotent skip below op_seq_, "repl_gap" rejection above op_seq_+1.
+  Response apply_repl_frames(const Request& request);
+  /// Failover: flip this follower into a leader (kNotFollower when already
+  /// one; "repl_lag" when the caller supplied a seq this node has not seen).
+  Response promote_response(const Request& request);
+  /// not_leader rejection for client mutations on a follower, carrying the
+  /// configured leader hint.
+  Response not_leader_reject(const Request& request) const;
+  /// Rewrites an acknowledged mutating response whose replication quorum was
+  /// not met into a `not_replicated` rejection. The op stays applied (and
+  /// locally durable) — only the replication guarantee is reported missing.
+  void demote_unreplicated(Response& response) const;
+  /// Leader side: streams `frames` (last record = last_seq) to followers and
+  /// returns true when the configured ack_replicas quorum confirmed (always
+  /// true when ack_replicas == 0 — replication is then best-effort).
+  bool replicate_frames(const std::string& frames, std::uint64_t last_seq);
+  /// Leader side, worker thread: when some link needs catch-up, serialize
+  /// the authoritative state and push it through the sender.
+  void maybe_send_catchup_snapshot();
   std::optional<std::size_t> resolve_vm_type(const Request& request) const;
   bool feasible_anywhere(std::size_t vm_type, const PlacementConstraints& constraints) const;
   void apply_wal_record(const WalRecord& record);
@@ -280,6 +315,8 @@ class PlacementService : public RequestSink {
     std::vector<Response> responses;
     std::size_t wal_bytes = 0;        ///< frame bytes this batch appended
     std::uint64_t computed_ns = 0;    ///< compute-done timestamp (flush-lag metric)
+    std::string repl_frames;          ///< the same frames, for replication
+    std::uint64_t last_seq = 0;       ///< op_seq of the group's last record
   };
   void start_flusher();
   /// Flushes and acks everything still queued, then joins the flusher.
@@ -393,7 +430,7 @@ class PlacementService : public RequestSink {
     obs::Counter* probe_failures = nullptr;
     obs::Counter* probe_successes = nullptr;
     /// Per-RejectReason verdict counters (kNone unused).
-    std::array<obs::Counter*, 9> reject_by_reason{};
+    std::array<obs::Counter*, kRejectReasonCount> reject_by_reason{};
     // Pipeline stages (DESIGN.md §6).
     // Cross-cell group directory transitions (DESIGN.md §7).
     obs::Counter* group_reserves = nullptr;
@@ -403,6 +440,10 @@ class PlacementService : public RequestSink {
     obs::Counter* spec_commits = nullptr;    ///< speculations validated + committed
     obs::Counter* spec_conflicts = nullptr;  ///< speculations invalidated -> serial retry
     obs::Counter* flush_groups = nullptr;    ///< group-commit flush calls
+    // Replication & failover (DESIGN.md §8).
+    obs::Counter* repl_applied = nullptr;     ///< WAL records applied as follower
+    obs::Counter* repl_snapshots_in = nullptr;///< catch-up snapshots installed
+    obs::Counter* promotions = nullptr;       ///< follower -> leader transitions
     obs::Gauge* mode = nullptr;        ///< 0 ok, 1 draining, 2 degraded
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* wal_lag = nullptr;
@@ -419,9 +460,26 @@ class PlacementService : public RequestSink {
   };
   Metrics m_;
 
+  // --- replication state (DESIGN.md §8) ---
+  /// Leader side: the frame sender (null when config_.repl.replicas is
+  /// empty or this node is a follower). Internally synchronized — the
+  /// worker (snapshot catch-up) and flusher (frame stream) share it.
+  std::unique_ptr<ReplicationSender> repl_;
+  /// Role flag; flips exactly once, on promote. Atomic so submit-side
+  /// callers (router health checks, tools) can read it without the lock.
+  std::atomic<bool> follower_{false};
+  /// Leader side, worker-owned: frames of the batch being computed, handed
+  /// to the flusher with the FlushGroup (mirrors batch_wal_bytes_).
+  std::string batch_repl_frames_;
+  /// Follower side, worker-owned: snapshot chunks accumulated during
+  /// catch-up; installed atomically when the eof chunk lands.
+  std::string repl_snap_buffer_;
+  std::uint64_t repl_snap_offset_ = 0;  ///< next expected chunk offset
+
   // Non-counter bits of ServiceStats (worker-owned).
   bool recovered_ = false;
   bool wal_torn_tail_ = false;
+  WalTailStatus wal_tail_ = WalTailStatus::kClean;
   std::string last_io_error_;
   std::uint64_t max_batch_seen_ = 0;
 

@@ -27,12 +27,7 @@ IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& data
 
   // Serialize fully in memory first: a mid-serialization failure must not
   // be able to leave a half-written temp file that a later rename promotes.
-  std::ostringstream blob;
-  blob << kHeaderMagicV2 << " " << last_op_seq << "\n";
-  admission.serialize(blob);
-  groups.serialize(blob);
-  datacenter.serialize(blob);
-  const std::string contents = blob.str();
+  const std::string contents = serialize_snapshot(datacenter, admission, groups, last_op_seq);
 
   const std::filesystem::path tmp = path.string() + ".tmp";
   const int fd = io.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -61,15 +56,15 @@ IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& data
   return status.ok() ? dir_close : status;
 }
 
-std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,
-                                             const Catalog& catalog) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) return std::nullopt;
+namespace {
+
+ServiceSnapshot read_snapshot_stream(std::istream& is, const Catalog& catalog,
+                                     const std::string& what) {
   ServiceSnapshot snapshot;
   std::string magic;
   PRVM_REQUIRE(static_cast<bool>(is >> magic >> snapshot.last_op_seq) &&
                    (magic == kHeaderMagicV1 || magic == kHeaderMagicV2),
-               "not a service snapshot: " + path.string());
+               "not a service snapshot: " + what);
   is.get();  // the newline after the header
   snapshot.admission = AdmissionController::deserialize(is);
   // Pre-sharding snapshots (v1) have no group-directory section; they load
@@ -84,6 +79,30 @@ std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,
   while (is.peek() == '\n') is.get();
   snapshot.datacenter = Datacenter::deserialize(catalog, is);
   return snapshot;
+}
+
+}  // namespace
+
+std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,
+                                             const Catalog& catalog) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return std::nullopt;
+  return read_snapshot_stream(is, catalog, path.string());
+}
+
+std::string serialize_snapshot(const Datacenter& datacenter, const AdmissionController& admission,
+                               const GroupDirectory& groups, std::uint64_t last_op_seq) {
+  std::ostringstream blob;
+  blob << kHeaderMagicV2 << " " << last_op_seq << "\n";
+  admission.serialize(blob);
+  groups.serialize(blob);
+  datacenter.serialize(blob);
+  return blob.str();
+}
+
+ServiceSnapshot parse_snapshot(const std::string& blob, const Catalog& catalog) {
+  std::istringstream is(blob, std::ios::binary);
+  return read_snapshot_stream(is, catalog, "replication snapshot blob");
 }
 
 bool datacenter_state_equal(const Datacenter& a, const Datacenter& b) {

@@ -46,6 +46,16 @@ IoStatus save_snapshot(const std::filesystem::path& path, const Datacenter& data
 std::optional<ServiceSnapshot> load_snapshot(const std::filesystem::path& path,
                                              const Catalog& catalog);
 
+/// Serializes the full snapshot blob in memory (same bytes save_snapshot
+/// writes). Replication uses this for follower catch-up over the wire.
+std::string serialize_snapshot(const Datacenter& datacenter, const AdmissionController& admission,
+                               const GroupDirectory& groups, std::uint64_t last_op_seq);
+
+/// Parses a snapshot blob produced by serialize_snapshot/save_snapshot.
+/// Throws on a corrupt blob or catalog mismatch (same contract as
+/// load_snapshot), so callers on the request path must catch.
+ServiceSnapshot parse_snapshot(const std::string& blob, const Catalog& catalog);
+
 /// Deep state equality across every recovery-relevant invariant: per-PM
 /// usage + canonical keys + hosted VMs with assignments, used order,
 /// activation sequence numbers and counter, per-type bucket membership and

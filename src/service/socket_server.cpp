@@ -157,7 +157,7 @@ void SocketServer::serve_connection(Connection* connection) {
     }
   });
 
-  LineBuffer frames;
+  LineBuffer frames(config_.max_frame);
   char buf[64 * 1024];
   const std::size_t max_pipeline = std::max<std::size_t>(1, config_.max_pipeline);
   while (true) {

@@ -37,6 +37,10 @@ struct SocketServerConfig {
   int backlog = 64;
   /// Max responses in flight per connection before the reader blocks.
   std::size_t max_pipeline = 256;
+  /// Per-connection frame cap. Followers raise this to kMaxReplFrameBytes
+  /// so repl_snap/repl_frames payloads fit on one line; client-facing
+  /// servers keep the tight default.
+  std::size_t max_frame = kMaxFrameBytes;
 };
 
 class SocketServer {

@@ -87,8 +87,6 @@ std::string encode_wal_record(const WalRecord& record) {
   return payload;
 }
 
-namespace {
-
 bool decode_wal_record(const std::string& payload, WalRecord& record) {
   if (payload.empty()) return false;
   const auto type = static_cast<std::uint8_t>(payload[0]);
@@ -115,7 +113,45 @@ bool decode_wal_record(const std::string& payload, WalRecord& record) {
   return cursor.done();
 }
 
-}  // namespace
+std::string encode_wal_frame(const WalRecord& record) {
+  const std::string payload = encode_wal_record(record);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
+bool decode_wal_frames(std::string_view data, std::vector<WalRecord>& out,
+                       std::vector<std::size_t>* offsets) {
+  std::size_t pos = 0;
+  const auto read_u32 = [&](std::uint32_t& v) {
+    if (pos + 4 > data.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  };
+  while (pos < data.size()) {
+    const std::size_t frame_start = pos;
+    std::uint32_t length = 0;
+    std::uint32_t expected_crc = 0;
+    if (!read_u32(length) || !read_u32(expected_crc) || pos + length > data.size()) return false;
+    const std::string payload(data.substr(pos, length));
+    pos += length;
+    WalRecord record;
+    if (crc32(payload.data(), payload.size()) != expected_crc ||
+        !decode_wal_record(payload, record)) {
+      return false;
+    }
+    out.push_back(std::move(record));
+    if (offsets != nullptr) offsets->push_back(frame_start);
+  }
+  return true;
+}
 
 WalWriter::WalWriter(std::filesystem::path path, bool fsync_on_flush, IoEnv* env)
     : path_(std::move(path)),
@@ -148,6 +184,13 @@ std::size_t WalWriter::append(const WalRecord& record) {
   buffer_ += payload;
   ++appended_;
   return 8 + payload.size();
+}
+
+std::size_t WalWriter::append_frames(std::string_view frames, std::uint64_t count) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  buffer_ += frames;
+  appended_ += count;
+  return frames.size();
 }
 
 std::size_t WalWriter::pending_bytes() const {
@@ -225,11 +268,19 @@ IoStatus WalWriter::reopen_truncate() {
   return IoStatus::success();
 }
 
-std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_tail) {
-  if (torn_tail != nullptr) *torn_tail = false;
-  std::vector<WalRecord> records;
+const char* to_string(WalTailStatus status) {
+  switch (status) {
+    case WalTailStatus::kClean: return "clean";
+    case WalTailStatus::kTornTail: return "torn_tail";
+    case WalTailStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+WalReadResult read_wal_ex(const std::filesystem::path& path) {
+  WalReadResult result;
   std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) return records;
+  if (!is.is_open()) return result;
   std::string contents((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
 
   std::size_t pos = 0;
@@ -248,7 +299,10 @@ std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_ta
     std::uint32_t length = 0;
     std::uint32_t expected_crc = 0;
     if (!read_u32(length) || !read_u32(expected_crc) || pos + length > contents.size()) {
-      pos = frame_start;  // torn tail: a record was cut mid-write
+      // A frame was cut short mid-write: the expected shape after a crash,
+      // and only ever holds records that were never acknowledged.
+      pos = frame_start;
+      result.tail = WalTailStatus::kTornTail;
       break;
     }
     const std::string payload = contents.substr(pos, length);
@@ -256,13 +310,23 @@ std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_ta
     WalRecord record;
     if (crc32(payload.data(), payload.size()) != expected_crc ||
         !decode_wal_record(payload, record)) {
-      pos = frame_start;  // corrupt frame: treat as tail, stop replay here
+      // A COMPLETE frame that fails its checksum or decode: not a crash
+      // artifact but damage — anything after it is untrustworthy too.
+      pos = frame_start;
+      result.tail = WalTailStatus::kCorrupt;
       break;
     }
-    records.push_back(std::move(record));
+    result.records.push_back(std::move(record));
   }
-  if (torn_tail != nullptr) *torn_tail = pos < contents.size();
-  return records;
+  result.valid_bytes = pos;
+  result.discarded_bytes = contents.size() - pos;
+  return result;
+}
+
+std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_tail) {
+  WalReadResult result = read_wal_ex(path);
+  if (torn_tail != nullptr) *torn_tail = result.tail != WalTailStatus::kClean;
+  return std::move(result.records);
 }
 
 }  // namespace prvm

@@ -19,6 +19,7 @@
 #include <limits>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -85,6 +86,14 @@ class WalWriter {
   /// the worker while the flusher drains earlier groups.
   std::size_t append(const WalRecord& record);
 
+  /// Appends `count` already-framed records (the exact bytes
+  /// encode_wal_frame produced, concatenated) in one buffer splice and
+  /// returns `frames.size()`. The replication hot paths use this to avoid
+  /// re-encoding: the leader appends the frame it is about to stream, and a
+  /// follower appends the validated raw frame batch it just applied —
+  /// keeping its WAL byte-identical to the leader's by construction.
+  std::size_t append_frames(std::string_view frames, std::uint64_t count);
+
   /// Writes buffered records to the file and (optionally) fsyncs. Must be
   /// called before acknowledging the batched requests. On failure the
   /// unwritten suffix stays buffered; retrying later continues exactly
@@ -132,11 +141,53 @@ class WalWriter {
   IoStatus open_status_;
 };
 
+/// Why WAL reading stopped before the end of the file.
+enum class WalTailStatus {
+  kClean,     ///< every byte decoded into records
+  kTornTail,  ///< final frame cut short mid-write (normal after a crash)
+  kCorrupt,   ///< a complete frame failed its CRC or decode (disk damage)
+};
+
+const char* to_string(WalTailStatus status);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  WalTailStatus tail = WalTailStatus::kClean;
+  /// Byte offset where replay stopped (== file size when kClean).
+  std::size_t valid_bytes = 0;
+  /// Bytes after the stop point that were discarded.
+  std::size_t discarded_bytes = 0;
+};
+
+/// Reads every intact record and reports exactly why it stopped: a torn
+/// final frame (expected after kill -9 — only unacknowledged records are
+/// lost) is distinguished from a complete frame whose CRC/decode fails
+/// (mid-file corruption: acknowledged records after it are gone too).
+WalReadResult read_wal_ex(const std::filesystem::path& path);
+
 /// Reads every intact record, stopping silently at a torn/corrupt tail.
 /// `torn_tail` (optional) reports whether trailing garbage was skipped.
 std::vector<WalRecord> read_wal(const std::filesystem::path& path, bool* torn_tail = nullptr);
 
 /// Serializes one record payload (exposed for tests).
 std::string encode_wal_record(const WalRecord& record);
+
+/// Decodes one record payload (inverse of encode_wal_record).
+bool decode_wal_record(const std::string& payload, WalRecord& record);
+
+/// One fully framed record: u32 length + u32 CRC + payload — the exact
+/// bytes WalWriter::append buffers. Replication streams these frames to
+/// followers, so a follower's re-appended WAL is byte-identical.
+std::string encode_wal_frame(const WalRecord& record);
+
+/// Decodes a concatenation of framed records. All-or-nothing: returns
+/// false (leaving `out` in an unspecified state) on any torn or corrupt
+/// frame — replication batches are either applied whole or rejected.
+/// When `offsets` is non-null it receives the byte offset of each frame's
+/// start within `data` (same index as `out`), letting callers splice the
+/// validated raw bytes — e.g. a follower re-appending a frame batch suffix
+/// to its own WAL without re-encoding.
+bool decode_wal_frames(std::string_view data, std::vector<WalRecord>& out,
+                       std::vector<std::size_t>* offsets = nullptr);
 
 }  // namespace prvm

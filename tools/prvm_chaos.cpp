@@ -16,6 +16,20 @@
 // answered unknown_vm likewise. Requests whose connection died mid-flight
 // or that exhausted retries while degraded are "limbo": the daemon may or
 // may not have applied them, so verification accepts either state for them.
+//
+// --replicated switches to the failover model (DESIGN.md §8): each round
+// runs a leader with --replica --ack-replicas 1 streaming to a live
+// follower, churns grouped and ungrouped traffic, SIGKILLs the leader
+// mid-flight, promotes the follower over a raw socket, and verifies that
+// every *acked* op is present and IDENTICAL (same PM) on the promoted
+// follower, that anti-collocation groups stay pairwise-distinct, and that
+// leader/follower state digests matched at the pre-kill quiesce point.
+// Rounds swap roles: the promoted follower's data dir becomes the next
+// leader's, the old leader's dir is wiped so the fresh follower exercises
+// snapshot catch-up. In this mode a retried mutation answered
+// duplicate_vm/unknown_vm is LIMBO, not applied: the earlier attempt
+// reached the leader but its replication is unknown, and the leader is
+// about to die.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -26,6 +40,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -56,6 +71,9 @@ struct Options {
   /// (--serve-arg, repeatable) — e.g. --parallel-workers / --flush-group to
   /// chaos-test the parallel pipeline under the same fault schedules.
   std::vector<std::string> serve_args;
+  /// Leader/follower failover mode: ack_after_replicated churn with a
+  /// mid-round leader SIGKILL and promotion of the follower.
+  bool replicated = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -315,16 +333,28 @@ struct Ledger {
 enum class OpResult { kApplied, kRejected, kLimbo };
 
 /// One mutating request, retried until definitive. Throws on connection
-/// loss (the caller marks the vm limbo).
+/// loss (the caller marks the vm limbo). In `replicated` mode an op applied
+/// by an earlier, un-acked attempt is limbo, not applied: it reached the
+/// leader but its replication state is unknown and the leader will die.
+/// `pm_out`, when non-null, receives the acked placement's PM index.
 OpResult run_op(Client& client, const std::string& line, bool is_place, Rng& rng,
-                Ledger& ledger) {
+                Ledger& ledger, bool replicated = false, double* pm_out = nullptr) {
   for (std::uint32_t attempt = 0; attempt < 15; ++attempt) {
     const JsonValue doc = client.request(line);
-    if (field_ok(doc)) return OpResult::kApplied;
+    if (field_ok(doc)) {
+      if (pm_out != nullptr) *pm_out = field_number(doc, "pm");
+      return OpResult::kApplied;
+    }
     const std::string reason = field_string(doc, "error");
     if (attempt > 0 && ((is_place && reason == "duplicate_vm") ||
                         (!is_place && reason == "unknown_vm"))) {
-      return OpResult::kApplied;  // an earlier attempt was actually applied
+      // An earlier attempt was actually applied.
+      return replicated ? OpResult::kLimbo : OpResult::kApplied;
+    }
+    if (replicated && reason == "not_replicated") {
+      // Applied + durable on the leader, quorum not met: unknowable on the
+      // follower that is about to be promoted.
+      return OpResult::kLimbo;
     }
     if (reason == "queue_full" || reason == "degraded_storage") {
       ++ledger.retries;
@@ -339,9 +369,11 @@ OpResult run_op(Client& client, const std::string& line, bool is_place, Rng& rng
   return OpResult::kLimbo;  // still degraded after all retries: unknowable
 }
 
-std::string place_line(std::uint64_t vm, std::size_t type) {
-  return "{\"op\":\"place\",\"vm\":" + std::to_string(vm) + ",\"type\":" + std::to_string(type) +
-         "}\n";
+std::string place_line(std::uint64_t vm, std::size_t type, const std::string& group = "") {
+  std::string line = "{\"op\":\"place\",\"vm\":" + std::to_string(vm) +
+                     ",\"type\":" + std::to_string(type);
+  if (!group.empty()) line += ",\"group\":\"" + group + "\"";
+  return line + "}\n";
 }
 
 std::string release_line(std::uint64_t vm) {
@@ -622,6 +654,350 @@ int run(const Options& options) {
   return mismatches == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Replicated failover rounds: leader + live follower, ack_after_replicated,
+// mid-round leader SIGKILL, follower promotion, differential verification.
+
+int run_replicated(const Options& options) {
+  namespace fs = std::filesystem;
+  Rng rng(options.seed);
+
+  fs::path dir = options.data_dir.empty()
+                     ? fs::temp_directory_path() /
+                           ("prvm-chaos-repl-" + std::to_string(options.seed) + "-" +
+                            std::to_string(::getpid()))
+                     : fs::path(options.data_dir);
+  // The two nodes swap roles every round; dirs follow the role swap while
+  // the socket paths stay role-bound.
+  fs::path leader_dir = dir / "node-a";
+  fs::path follower_dir = dir / "node-b";
+  fs::create_directories(leader_dir);
+  fs::create_directories(follower_dir);
+  const std::string leader_sock = (dir / "leader.sock").string();
+  const std::string follower_sock = (dir / "follower.sock").string();
+  const std::string leader_log = (dir / "leader.log").string();
+  const std::string follower_log = (dir / "follower.log").string();
+
+  const Catalog catalog = ec2_sim_catalog();
+  const std::vector<double> mix = default_vm_mix(catalog);
+
+  Ledger ledger;
+  std::unordered_map<std::uint64_t, std::uint64_t> placed_pm;  ///< acked PM per vm
+  std::unordered_map<std::uint64_t, std::string> group_of;     ///< acked group per vm
+  std::uint64_t next_vm = 1;
+  std::uint64_t next_group = 1;
+  std::uint64_t prev_op_seq = 0;  ///< op_seq the previous round drained at
+  std::size_t promotions = 0;
+  std::size_t catchup_rounds = 0;
+  std::size_t mismatches = 0;
+
+  const auto base_args = [&](const fs::path& data_dir, const std::string& sock) {
+    std::vector<std::string> args = {
+        options.serve_binary, "--socket", sock, "--data-dir", data_dir.string(),
+        "--fleet", std::to_string(options.fleet), "--fsync", "--snapshot-every", "200",
+        "--batch", "16"};
+    args.insert(args.end(), options.serve_args.begin(), options.serve_args.end());
+    return args;
+  };
+
+  // Churns `ops` requests against `client`; false = the connection died
+  // mid-op (the op in flight is limbo). ~15% of iterations place a fresh
+  // anti-collocation pair/trio instead of a single op.
+  const auto churn = [&](Client& client, std::size_t ops) -> bool {
+    std::vector<std::uint64_t> live(ledger.present.begin(), ledger.present.end());
+    for (std::size_t op = 0; op < ops; ++op) {
+      if (rng.chance(0.15)) {
+        const std::string group = "cg" + std::to_string(next_group++);
+        const std::size_t members = rng.chance(0.3) ? 3 : 2;
+        for (std::size_t m = 0; m < members; ++m) {
+          const std::uint64_t vm = next_vm++;
+          double pm = 0;
+          try {
+            switch (run_op(client, place_line(vm, rng.weighted_index(mix), group), true,
+                           rng, ledger, /*replicated=*/true, &pm)) {
+              case OpResult::kApplied:
+                ledger.present.insert(vm);
+                placed_pm[vm] = static_cast<std::uint64_t>(pm);
+                group_of[vm] = group;
+                live.push_back(vm);
+                break;
+              case OpResult::kRejected:
+                ++ledger.rejected;
+                break;
+              case OpResult::kLimbo:
+                ledger.mark_limbo(vm);
+                break;
+            }
+          } catch (const std::exception&) {
+            ledger.mark_limbo(vm);
+            return false;
+          }
+        }
+        continue;
+      }
+      const bool do_place = live.empty() || rng.chance(0.6);
+      const std::uint64_t vm = do_place ? next_vm++ : [&] {
+        const std::size_t pick = rng.uniform_index(live.size());
+        const std::uint64_t victim = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        return victim;
+      }();
+      const std::string line =
+          do_place ? place_line(vm, rng.weighted_index(mix)) : release_line(vm);
+      double pm = 0;
+      try {
+        switch (run_op(client, line, do_place, rng, ledger, /*replicated=*/true, &pm)) {
+          case OpResult::kApplied:
+            if (do_place) {
+              ledger.present.insert(vm);
+              placed_pm[vm] = static_cast<std::uint64_t>(pm);
+              live.push_back(vm);
+            } else {
+              ledger.present.erase(vm);
+              ledger.released.insert(vm);
+              placed_pm.erase(vm);
+              group_of.erase(vm);
+            }
+            break;
+          case OpResult::kRejected:
+            ++ledger.rejected;
+            if (!do_place) live.push_back(vm);
+            break;
+          case OpResult::kLimbo:
+            ledger.mark_limbo(vm);
+            placed_pm.erase(vm);
+            group_of.erase(vm);
+            break;
+        }
+      } catch (const std::exception&) {
+        ledger.mark_limbo(vm);
+        placed_pm.erase(vm);
+        group_of.erase(vm);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    std::cout << "prvm_chaos: replicated round " << (round + 1) << "/" << options.rounds
+              << " [leader SIGKILL]\n";
+
+    // Follower first, so the leader's boot-time handshake finds it.
+    auto follower_args = base_args(follower_dir, follower_sock);
+    follower_args.push_back("--follower");
+    follower_args.push_back("--leader-hint");
+    follower_args.push_back("unix:" + leader_sock);
+    const pid_t follower_pid = spawn(follower_args, follower_log);
+    Client follower;
+    if (!wait_ready(follower, follower_sock, follower_pid, 300'000)) {
+      std::cerr << "prvm_chaos: follower did not come up (round " << round + 1 << ")\n";
+      dump_log_tail(follower_log);
+      ::kill(follower_pid, SIGKILL);
+      wait_exit(follower_pid, 5'000);
+      return 1;
+    }
+
+    auto leader_args = base_args(leader_dir, leader_sock);
+    leader_args.push_back("--replica");
+    leader_args.push_back("unix:" + follower_sock);
+    leader_args.push_back("--ack-replicas");
+    leader_args.push_back("1");
+    leader_args.push_back("--repl-timeout-ms");
+    leader_args.push_back("4000");
+    const pid_t leader_pid = spawn(leader_args, leader_log);
+    Client leader;
+    if (!wait_ready(leader, leader_sock, leader_pid, 300'000)) {
+      std::cerr << "prvm_chaos: leader did not come up (round " << round + 1 << ")\n";
+      dump_log_tail(leader_log);
+      ::kill(leader_pid, SIGKILL);
+      ::kill(follower_pid, SIGKILL);
+      wait_exit(leader_pid, 5'000);
+      wait_exit(follower_pid, 5'000);
+      return 1;
+    }
+
+    // Spot-check survivor state on the new leader (booted from the
+    // previously promoted follower's dir): acked ops, identical PMs.
+    try {
+      std::size_t sampled = 0;
+      for (const std::uint64_t vm : ledger.present) {
+        if (++sampled > 50) break;
+        const JsonValue doc = leader.request(lookup_line(vm));
+        if (!field_ok(doc) ||
+            static_cast<std::uint64_t>(field_number(doc, "pm")) != placed_pm[vm]) {
+          std::cerr << "prvm_chaos: VERIFY FAIL: vm " << vm
+                    << " lost or moved across failover round " << round + 1 << "\n";
+          ++mismatches;
+        }
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "prvm_chaos: spot-check connection failed: " << e.what() << "\n";
+      ++mismatches;
+    }
+
+    // Phase 1: fault-free churn, then quiesce and require identical state
+    // digests at identical op_seq — the follower is a byte-faithful replica.
+    bool lost_early = !churn(leader, options.ops_per_round / 2);
+    if (lost_early) {
+      std::cerr << "prvm_chaos: leader dropped the connection un-killed (round "
+                << round + 1 << ")\n";
+      dump_log_tail(leader_log);
+      ::kill(leader_pid, SIGKILL);
+      ::kill(follower_pid, SIGKILL);
+      return 1;
+    }
+    try {
+      bool synced = false;
+      std::string leader_digest, follower_digest;
+      for (int i = 0; i < 100 && !synced; ++i) {
+        const JsonValue ls = leader.request("{\"op\":\"stats\"}\n");
+        const JsonValue fs2 = follower.request("{\"op\":\"stats\"}\n");
+        if (field_number(ls, "op_seq") == field_number(fs2, "op_seq")) {
+          leader_digest = field_string(ls, "state_digest");
+          follower_digest = field_string(fs2, "state_digest");
+          synced = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (!synced || leader_digest.empty() || leader_digest != follower_digest) {
+        std::cerr << "prvm_chaos: VERIFY FAIL: digest mismatch at quiesce (round "
+                  << round + 1 << "): leader=" << leader_digest
+                  << " follower=" << follower_digest
+                  << (synced ? "" : " (op_seq never converged)") << "\n";
+        ++mismatches;
+      }
+      // Rounds after the first boot a wiped follower against a non-empty
+      // leader: catching up MUST have installed a snapshot.
+      if (prev_op_seq > 0) {
+        const JsonValue mdoc = follower.request("{\"op\":\"metrics\"}\n");
+        const JsonValue* metrics = mdoc.find("metrics");
+        const double snaps =
+            metrics != nullptr
+                ? metric_number(*metrics, "counters", "prvm_repl_snapshots_installed_total")
+                : 0.0;
+        if (snaps < 1) {
+          std::cerr << "prvm_chaos: VERIFY FAIL: wiped follower joined a non-empty "
+                       "leader without a snapshot install (round " << round + 1 << ")\n";
+          ++mismatches;
+        } else {
+          ++catchup_rounds;
+        }
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "prvm_chaos: quiesce check failed: " << e.what() << "\n";
+      ++mismatches;
+    }
+
+    // Phase 2: churn with a mid-flight leader SIGKILL. Replicated ops are
+    // fast (local sockets), so the delay window is tight to land the kill
+    // while requests are actually in flight.
+    std::atomic<bool> kill_sent{false};
+    const int delay_ms = rng.uniform_int(1, 60);
+    std::thread killer([leader_pid, delay_ms, &kill_sent] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      kill_sent.store(true);
+      ::kill(leader_pid, SIGKILL);
+    });
+    const bool survived = churn(leader, options.ops_per_round - options.ops_per_round / 2);
+    killer.join();
+    if (!survived && !kill_sent.load()) {
+      std::cerr << "prvm_chaos: leader dropped the connection un-killed (round "
+                << round + 1 << ")\n";
+      dump_log_tail(leader_log);
+      ::kill(follower_pid, SIGKILL);
+      return 1;
+    }
+    leader.disconnect();
+    if (!wait_exit(leader_pid, 30'000).has_value()) {
+      std::cerr << "prvm_chaos: leader survived SIGKILL?!\n";
+      return 1;
+    }
+
+    // Failover: promote the follower and verify the acked ledger on it.
+    try {
+      const JsonValue promoted = follower.request("{\"op\":\"promote\"}\n");
+      if (!field_ok(promoted)) {
+        std::cerr << "prvm_chaos: VERIFY FAIL: promote rejected: "
+                  << field_string(promoted, "error") << " (round " << round + 1 << ")\n";
+        ++mismatches;
+      } else {
+        ++promotions;
+      }
+      const JsonValue again = follower.request("{\"op\":\"promote\"}\n");
+      if (field_ok(again) || field_string(again, "error") != "not_follower") {
+        std::cerr << "prvm_chaos: VERIFY FAIL: double promotion not rejected with "
+                     "not_follower (round " << round + 1 << ")\n";
+        ++mismatches;
+      }
+      const JsonValue health = follower.request("{\"op\":\"health\"}\n");
+      if (field_string(health, "role") != "leader") {
+        std::cerr << "prvm_chaos: VERIFY FAIL: promoted node reports role "
+                  << field_string(health, "role") << " (round " << round + 1 << ")\n";
+        ++mismatches;
+      }
+      mismatches += verify_ledger(follower, ledger);
+      // Acked placements must sit on the SAME PM the leader acked, and
+      // anti-collocation groups must stay pairwise-distinct.
+      std::unordered_map<std::string, std::unordered_set<std::uint64_t>> group_pms;
+      for (const std::uint64_t vm : ledger.present) {
+        const JsonValue doc = follower.request(lookup_line(vm));
+        if (!field_ok(doc)) continue;  // verify_ledger already flagged it
+        const std::uint64_t pm = static_cast<std::uint64_t>(field_number(doc, "pm"));
+        if (pm != placed_pm[vm]) {
+          std::cerr << "prvm_chaos: VERIFY FAIL: vm " << vm << " acked on pm "
+                    << placed_pm[vm] << " but follower has pm " << pm << "\n";
+          ++mismatches;
+        }
+        const auto group = group_of.find(vm);
+        if (group != group_of.end() && !group_pms[group->second].insert(pm).second) {
+          std::cerr << "prvm_chaos: VERIFY FAIL: anti-collocation group "
+                    << group->second << " has two members on pm " << pm << "\n";
+          ++mismatches;
+        }
+      }
+      const JsonValue stats = follower.request("{\"op\":\"stats\"}\n");
+      prev_op_seq = static_cast<std::uint64_t>(field_number(stats, "op_seq"));
+    } catch (const std::exception& e) {
+      std::cerr << "prvm_chaos: failover verification failed: " << e.what() << "\n";
+      ++mismatches;
+    }
+    follower.disconnect();
+
+    ::kill(follower_pid, SIGTERM);
+    const auto status = wait_exit(follower_pid, 120'000);
+    if (!status.has_value() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+      std::cerr << "prvm_chaos: promoted follower failed to drain cleanly\n";
+      if (!status.has_value()) ::kill(follower_pid, SIGKILL);
+      ++mismatches;
+    }
+
+    // Role swap: the promoted follower's dir leads the next round; the old
+    // leader's dir is wiped so the fresh follower must catch up by snapshot.
+    std::swap(leader_dir, follower_dir);
+    std::error_code ec;
+    fs::remove_all(follower_dir, ec);
+    fs::create_directories(follower_dir);
+  }
+
+  std::cout << "prvm_chaos: " << (mismatches == 0 ? "PASS" : "FAIL")
+            << " mode=replicated seed=" << options.seed << " rounds=" << options.rounds
+            << " placed=" << ledger.present.size() << " released="
+            << ledger.released.size() << " limbo=" << ledger.limbo.size()
+            << " retries=" << ledger.retries << " rejected=" << ledger.rejected
+            << " promotions=" << promotions << " catchup_rounds=" << catchup_rounds
+            << "\n";
+  if (mismatches == 0 && options.data_dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  } else if (mismatches != 0) {
+    std::cerr << "prvm_chaos: state kept in " << dir << "\n";
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace prvm
 
@@ -651,10 +1027,12 @@ int main(int argc, char** argv) {
       options.data_dir = value();
     } else if (arg == "--serve-arg") {
       options.serve_args.push_back(value());
+    } else if (arg == "--replicated") {
+      options.replicated = true;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --serve PATH [--seed N] [--rounds R] [--ops N] [--fleet N]"
-                << " [--data-dir PATH] [--serve-arg FLAG]...\n";
+                << " [--data-dir PATH] [--serve-arg FLAG]... [--replicated]\n";
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -664,7 +1042,7 @@ int main(int argc, char** argv) {
   }
   ::signal(SIGPIPE, SIG_IGN);
   try {
-    return run(options);
+    return options.replicated ? run_replicated(options) : run(options);
   } catch (const std::exception& e) {
     std::cerr << "prvm_chaos: fatal: " << e.what() << "\n";
     return 1;

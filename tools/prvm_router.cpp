@@ -19,8 +19,10 @@
 //
 // SIGTERM/SIGINT drain: stop accepting, then (embedded mode) drain every
 // cell to a final snapshot. Remote cells are drained by their own daemons.
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -49,7 +51,9 @@ void usage(const char* argv0) {
       << "  --socket PATH        listen on a Unix-domain socket (default /tmp/prvm.sock)\n"
       << "  --port N             listen on loopback TCP instead (0 = ephemeral)\n"
       << "  --cell SPEC          add a remote cell: unix:/path.sock or tcp:PORT\n"
-      << "                       (repeat once per cell, in cell-id order)\n"
+      << "                       (repeat once per cell, in cell-id order); a comma-\n"
+      << "                       separated list (leader,replica,...) enables failover:\n"
+      << "                       on leader loss the next reachable endpoint is promoted\n"
       << "  --cells N            embedded mode: host N cells in-process (default when\n"
       << "                       no --cell endpoints are given: 2)\n"
       << "  --fleet N            embedded: total PM fleet, split round-robin (default 10000)\n"
@@ -62,7 +66,13 @@ void usage(const char* argv0) {
       << "  --fsync              embedded: fsync the WAL every batch\n"
       << "  --cache-dir PATH     score-table cache (default $PRVM_CACHE_DIR or .prvm-cache)\n"
       << "  --score-image DIR    embedded: serve score tables from mmap images under DIR\n"
-      << "  --metrics-port N     serve the router registry as Prometheus text on 127.0.0.1:N\n";
+      << "  --metrics-port N     serve the router registry as Prometheus text on 127.0.0.1:N\n"
+      << "  --retry-attempts N   re-submits after cell_unreachable (default 2; each retry\n"
+      << "                       re-enters the channel, where failover happens)\n"
+      << "  --retry-backoff-ms X linear backoff base between retries (default 25)\n"
+      << "  --map-file PATH      persist the vm->cell map: loaded at startup, saved\n"
+      << "                       every --map-save-s seconds and on drain\n"
+      << "  --map-save-s N       periodic map save interval (default 30)\n";
 }
 
 }  // namespace
@@ -81,6 +91,9 @@ int main(int argc, char** argv) {
   std::optional<std::filesystem::path> score_image_dir;
   EmbeddedCellsConfig cells_config;
   cells_config.service.snapshot_every_ops = 100000;
+  RouterConfig router_config;
+  std::optional<std::filesystem::path> map_file;
+  unsigned map_save_s = 30;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,6 +138,14 @@ int main(int argc, char** argv) {
       score_image_dir = value();
     } else if (arg == "--metrics-port") {
       metrics_port = std::stoi(value());
+    } else if (arg == "--retry-attempts") {
+      router_config.retry_attempts = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--retry-backoff-ms") {
+      router_config.retry_backoff_ms = std::stod(value());
+    } else if (arg == "--map-file") {
+      map_file = value();
+    } else if (arg == "--map-save-s") {
+      map_save_s = static_cast<unsigned>(std::stoul(value()));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -140,20 +161,36 @@ int main(int argc, char** argv) {
   if (cell_specs.empty() && embedded_cells == 0) embedded_cells = 2;
 
   try {
-    std::vector<std::unique_ptr<SocketCellChannel>> channels;
+    std::vector<std::unique_ptr<RequestSink>> channels;
     std::unique_ptr<EmbeddedCells> embedded;
     std::vector<RequestSink*> sinks;
 
     if (!cell_specs.empty()) {
       for (const std::string& spec : cell_specs) {
-        if (spec.rfind("unix:", 0) == 0) {
+        // "leader,replica,..." builds a failover channel; a single endpoint
+        // keeps the plain pipelined channel (no health qualification).
+        if (spec.find(',') != std::string::npos) {
+          FailoverCellChannel::Config failover;
+          failover.metrics = &obs::Registry::global();
+          std::size_t start = 0;
+          while (start <= spec.size()) {
+            const std::size_t comma = spec.find(',', start);
+            const std::string endpoint =
+                spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                              : comma - start);
+            if (!endpoint.empty()) failover.endpoints.push_back(endpoint);
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+          }
+          channels.push_back(std::make_unique<FailoverCellChannel>(std::move(failover)));
+        } else if (spec.rfind("unix:", 0) == 0) {
           channels.push_back(std::make_unique<SocketCellChannel>(spec.substr(5)));
         } else if (spec.rfind("tcp:", 0) == 0) {
           channels.push_back(std::make_unique<SocketCellChannel>(
               "127.0.0.1", std::stoi(spec.substr(4))));
         } else {
           std::cerr << "prvm_router: bad --cell spec '" << spec
-                    << "' (want unix:PATH or tcp:PORT)\n";
+                    << "' (want unix:PATH or tcp:PORT, comma-separated for failover)\n";
           return 2;
         }
         sinks.push_back(channels.back().get());
@@ -194,9 +231,12 @@ int main(int argc, char** argv) {
                 << fleet << " PMs total\n";
     }
 
-    RouterConfig router_config;
     router_config.metrics = obs::global_registry_ptr();
     Router router(std::move(sinks), router_config);
+    if (map_file.has_value() && router.load_vm_map(*map_file)) {
+      std::cout << "prvm_router: loaded vm map (" << router.vm_map_size()
+                << " entries) from " << *map_file << "\n";
+    }
 
     SocketServerConfig socket_config;
     if (use_tcp) {
@@ -224,12 +264,23 @@ int main(int argc, char** argv) {
 
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGINT, handle_signal);
+    auto next_map_save =
+        std::chrono::steady_clock::now() + std::chrono::seconds(map_save_s);
     while (g_shutdown == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (map_file.has_value() && map_save_s > 0 &&
+          std::chrono::steady_clock::now() >= next_map_save) {
+        next_map_save += std::chrono::seconds(map_save_s);
+        router.save_vm_map(*map_file);
+      }
     }
 
     std::cout << "prvm_router: draining..." << std::endl;
     server.stop();  // no new client requests
+    if (map_file.has_value() && router.save_vm_map(*map_file)) {
+      std::cout << "prvm_router: saved vm map (" << router.vm_map_size()
+                << " entries) to " << *map_file << "\n";
+    }
     if (embedded != nullptr) {
       embedded->drain();  // per-cell final snapshots
       for (std::size_t k = 0; k < embedded->size(); ++k) {

@@ -73,7 +73,16 @@ void usage(const char* argv0) {
       << "                       (written on first use); N cell daemons of one host then\n"
       << "                       share a single physical copy of each table\n"
       << "  --cell-id N          identity within a multi-cell deployment: health reports\n"
-      << "                       cell_id N with role \"cell\" (omit for a standalone daemon)\n";
+      << "                       cell_id N with role \"cell\" (omit for a standalone daemon)\n"
+      << "  --replica SPEC       stream the WAL to a follower at unix:PATH or tcp:PORT\n"
+      << "                       (repeat once per follower; this daemon becomes a leader)\n"
+      << "  --ack-replicas N     hold client acks until N followers confirmed the frames\n"
+      << "                       (ack_after_replicated durability; default 0 = best effort)\n"
+      << "  --repl-timeout-ms N  follower ack wait before demoting to not_replicated\n"
+      << "                       (default 2000)\n"
+      << "  --follower           start as a follower: apply the leader's stream, serve\n"
+      << "                       reads, reject mutations with not_leader until promoted\n"
+      << "  --leader-hint SPEC   leader endpoint advertised in not_leader rejections\n";
 }
 
 }  // namespace
@@ -137,6 +146,16 @@ int main(int argc, char** argv) {
       score_image_dir = value();
     } else if (arg == "--cell-id") {
       config.cell_id = std::stoull(value());
+    } else if (arg == "--replica") {
+      config.repl.replicas.push_back(value());
+    } else if (arg == "--ack-replicas") {
+      config.repl.ack_replicas = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--repl-timeout-ms") {
+      config.repl.ack_timeout_ms = std::stoull(value());
+    } else if (arg == "--follower") {
+      config.repl.follower = true;
+    } else if (arg == "--leader-hint") {
+      config.repl.leader_hint = value();
     } else if (arg == "--metrics-port") {
       metrics_port = std::stoi(value());
     } else if (arg == "--stats-interval-s") {
@@ -191,6 +210,16 @@ int main(int argc, char** argv) {
                 << (boot.wal_torn_tail ? ", torn tail discarded" : "") << ")\n";
     }
     service.start();
+    if (config.repl.follower) {
+      std::cout << "prvm_serve: FOLLOWER (mutations rejected with not_leader"
+                << (config.repl.leader_hint.empty()
+                        ? std::string()
+                        : ", leader hint " + config.repl.leader_hint)
+                << ")\n";
+    } else if (!config.repl.replicas.empty()) {
+      std::cout << "prvm_serve: LEADER replicating to " << config.repl.replicas.size()
+                << " follower(s), ack_replicas=" << config.repl.ack_replicas << "\n";
+    }
 
     SocketServerConfig socket_config;
     if (use_tcp) {
@@ -198,6 +227,9 @@ int main(int argc, char** argv) {
     } else {
       socket_config.unix_path = socket_path;
     }
+    // A follower's inbound stream carries repl_snap / repl_frames lines far
+    // larger than client requests; raise the per-connection frame cap.
+    if (config.repl.follower) socket_config.max_frame = kMaxReplFrameBytes;
     SocketServer server(service, socket_config);
     server.start();
     if (use_tcp) {

@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# Replication & failover smoke test: one cell, leader + follower, end to end.
+#
+# Boots a follower and a leader replicating to it (ack_after_replicated:
+# client acks wait for the follower's confirmation), fronts the pair with
+# prvm_router using a failover cell spec (leader,follower), then:
+#   1. drives loadgen churn through the router,
+#   2. places anti-collocation marker VMs and quiesces until the leader and
+#      follower report identical state digests at identical op_seq,
+#   3. confirms the follower rejects direct writes with not_leader + a
+#      leader hint while serving lookups,
+#   4. SIGKILLs the leader and requires the router to keep serving: the
+#      failover channel reconnects to the follower, promotes it, and the
+#      next placement lands there; pre-kill state is intact (same group,
+#      distinct PMs),
+#   5. restarts the router against the surviving node and proves the
+#      --map-file persisted vm->cell map serves pre-kill lookups instantly,
+#   6. drains everything gracefully and requires exit 0 all around.
+#
+# Usage: tools/replication_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/prvm_serve"
+ROUTER="$BUILD_DIR/tools/prvm_router"
+LOADGEN="$BUILD_DIR/tools/prvm_loadgen"
+[ -x "$SERVE" ] && [ -x "$ROUTER" ] && [ -x "$LOADGEN" ] || {
+  echo "build prvm_serve + prvm_router + prvm_loadgen first"; exit 1; }
+
+WORK="$(mktemp -d)"
+LEADER_PID=""
+FOLLOWER_PID=""
+ROUTER_PID=""
+cleanup() {
+  for pid in "$ROUTER_PID" "$LEADER_PID" "$FOLLOWER_PID"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  local sock="$1" pid="$2" log="$3"
+  for _ in $(seq 1 600); do
+    [ -S "$sock" ] && return 0
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "FAIL: daemon died during startup"; cat "$log"; exit 1
+    fi
+    sleep 0.5
+  done
+  echo "FAIL: daemon did not come up"; cat "$log"; exit 1
+}
+
+# One-shot JSON-lines request over a Unix socket.
+req() {
+  python3 - "$1" "$2" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(sys.argv[2].encode() + b"\n")
+buf = b""
+while not buf.endswith(b"\n"):
+    d = s.recv(65536)
+    if not d:
+        break
+    buf += d
+print(buf.decode().strip())
+EOF
+}
+
+# --- follower first (the leader's boot-time handshake must find it) ---------
+"$SERVE" --socket "$WORK/follower.sock" --fleet 1000 --data-dir "$WORK/follower" \
+  --score-image "$WORK/img" --follower --leader-hint "unix:$WORK/leader.sock" \
+  > "$WORK/follower.log" 2>&1 &
+FOLLOWER_PID=$!
+wait_for_socket "$WORK/follower.sock" "$FOLLOWER_PID" "$WORK/follower.log"
+
+"$SERVE" --socket "$WORK/leader.sock" --fleet 1000 --data-dir "$WORK/leader" \
+  --score-image "$WORK/img" --replica "unix:$WORK/follower.sock" --ack-replicas 1 \
+  > "$WORK/leader.log" 2>&1 &
+LEADER_PID=$!
+wait_for_socket "$WORK/leader.sock" "$LEADER_PID" "$WORK/leader.log"
+
+req "$WORK/leader.sock" '{"op":"health"}' | grep -q '"repl_streaming":1' || {
+  echo "FAIL: leader is not streaming to its follower"; cat "$WORK/leader.log"; exit 1; }
+echo "OK: leader up, 1 follower streaming, acks gated on replication"
+
+# --- the router with a failover cell spec and a persisted vm map ------------
+"$ROUTER" --port 0 --cell "unix:$WORK/leader.sock,unix:$WORK/follower.sock" \
+  --map-file "$WORK/vm.map" > "$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+PORT=""
+for _ in $(seq 1 600); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/router.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$ROUTER_PID" 2>/dev/null || { echo "FAIL: router died"; cat "$WORK/router.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: router did not come up"; cat "$WORK/router.log"; exit 1; }
+echo "OK: router listening on 127.0.0.1:$PORT"
+
+# --- churn through the router, replicated end to end ------------------------
+"$LOADGEN" --port "$PORT" --fill-pms 60 --ops 2000 --connections 2 --pipeline 16
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+expect() {  # expect SUBSTRING <<< sent-request; echoes the response line
+  local want="$1" line
+  cat >&3
+  IFS= read -r line <&3
+  grep -q "$want" <<< "$line" || { echo "FAIL: wanted '$want', got: $line"; exit 1; }
+  echo "$line"
+}
+expect '"ok":true' <<< '{"op":"place","vm":9000001,"type":0,"group":"smoke"}' > /dev/null
+expect '"ok":true' <<< '{"op":"place","vm":9000002,"type":0,"group":"smoke"}' > /dev/null
+echo "OK: loadgen churn + anti-collocation markers through the router"
+
+# --- quiesce: leader and follower digests must agree ------------------------
+SYNCED=""
+for _ in $(seq 1 100); do
+  L="$(req "$WORK/leader.sock" '{"op":"stats"}')"
+  F="$(req "$WORK/follower.sock" '{"op":"stats"}')"
+  LSEQ="$(sed -n 's/.*"op_seq":\([0-9]*\).*/\1/p' <<< "$L")"
+  FSEQ="$(sed -n 's/.*"op_seq":\([0-9]*\).*/\1/p' <<< "$F")"
+  if [ -n "$LSEQ" ] && [ "$LSEQ" = "$FSEQ" ]; then
+    LDIG="$(sed -n 's/.*"state_digest":"\([0-9]*\)".*/\1/p' <<< "$L")"
+    FDIG="$(sed -n 's/.*"state_digest":"\([0-9]*\)".*/\1/p' <<< "$F")"
+    [ -n "$LDIG" ] && [ "$LDIG" = "$FDIG" ] || {
+      echo "FAIL: digest mismatch at op_seq $LSEQ: leader=$LDIG follower=$FDIG"; exit 1; }
+    SYNCED="yes"
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$SYNCED" ] || { echo "FAIL: follower never converged with the leader"; exit 1; }
+echo "OK: leader/follower state digests identical at op_seq $LSEQ"
+
+# --- follower serves reads, rejects writes ----------------------------------
+req "$WORK/follower.sock" '{"op":"lookup","vm":9000001}' | grep -q '"ok":true' || {
+  echo "FAIL: follower does not serve lookups"; exit 1; }
+NOT_LEADER="$(req "$WORK/follower.sock" '{"op":"place","vm":9000099,"type":0}')"
+grep -q '"error":"not_leader"' <<< "$NOT_LEADER" || {
+  echo "FAIL: follower accepted a write: $NOT_LEADER"; exit 1; }
+grep -q "$WORK/leader.sock" <<< "$NOT_LEADER" || {
+  echo "FAIL: not_leader rejection is missing the leader hint: $NOT_LEADER"; exit 1; }
+echo "OK: follower serves reads, rejects writes with not_leader + leader hint"
+
+# --- SIGKILL the leader; the router must keep serving -----------------------
+kill -9 "$LEADER_PID"
+wait "$LEADER_PID" 2>/dev/null || true
+LEADER_PID=""
+expect '"ok":true' <<< '{"op":"place","vm":9000003,"type":0,"group":"smoke"}' > /dev/null
+L1="$(expect '"ok":true' <<< '{"op":"lookup","vm":9000001}')"
+L2="$(expect '"ok":true' <<< '{"op":"lookup","vm":9000002}')"
+PM1="$(sed -n 's/.*"pm":\([0-9]*\).*/\1/p' <<< "$L1")"
+PM2="$(sed -n 's/.*"pm":\([0-9]*\).*/\1/p' <<< "$L2")"
+[ "$PM1" != "$PM2" ] || { echo "FAIL: group smoke collapsed onto pm $PM1"; exit 1; }
+req "$WORK/follower.sock" '{"op":"health"}' | grep -q '"role":"leader"' || {
+  echo "FAIL: surviving node was not promoted"; exit 1; }
+exec 3<&- 3>&-
+echo "OK: leader SIGKILLed, router failed over and promoted the follower," \
+     "pre-kill group intact on distinct PMs"
+
+# --- router restart: the persisted vm map serves pre-kill lookups -----------
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || { echo "FAIL: router drain exited non-zero"; cat "$WORK/router.log"; exit 1; }
+ROUTER_PID=""
+[ -s "$WORK/vm.map" ] || { echo "FAIL: router saved no vm map"; exit 1; }
+
+"$ROUTER" --port 0 --cell "unix:$WORK/leader.sock,unix:$WORK/follower.sock" \
+  --map-file "$WORK/vm.map" > "$WORK/router2.log" 2>&1 &
+ROUTER_PID=$!
+PORT=""
+for _ in $(seq 1 600); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/router2.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$ROUTER_PID" 2>/dev/null || { echo "FAIL: restarted router died"; cat "$WORK/router2.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "loaded vm map" "$WORK/router2.log" || {
+  echo "FAIL: restarted router did not load the vm map"; cat "$WORK/router2.log"; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+expect '"ok":true' <<< '{"op":"lookup","vm":9000001}' > /dev/null
+expect '"ok":true' <<< '{"op":"release","vm":9000003}' > /dev/null
+exec 3<&- 3>&-
+echo "OK: restarted router loaded the vm map and served pre-kill vms"
+
+# --- clean drain ------------------------------------------------------------
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || { echo "FAIL: router drain exited non-zero"; cat "$WORK/router2.log"; exit 1; }
+ROUTER_PID=""
+kill -TERM "$FOLLOWER_PID"
+wait "$FOLLOWER_PID" || { echo "FAIL: promoted node drain exited non-zero"; cat "$WORK/follower.log"; exit 1; }
+FOLLOWER_PID=""
+echo "OK: replication smoke passed"
