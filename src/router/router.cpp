@@ -234,6 +234,63 @@ std::future<Response> Router::submit(Request request) {
                         [this, request = std::move(request)] {
                           return do_group_op(request);
                         });
+    case RequestOp::kUtil: {
+      // A sample goes to the cell that owns its subject. Collectors that
+      // know the topology say {"cell":N} outright (required for pm-keyed
+      // samples: pm indices are per-cell); vm-keyed samples route through
+      // the vm map like any vm op.
+      std::optional<std::size_t> cell;
+      if (request.cell.has_value()) {
+        if (*request.cell >= cells_.size()) {
+          return std::async(std::launch::deferred, [this, request = std::move(request)] {
+            return local_reject(request, "bad_field", "cell index out of range");
+          });
+        }
+        cell = static_cast<std::size_t>(*request.cell);
+      } else if (request.pm.has_value()) {
+        return std::async(std::launch::deferred, [this, request = std::move(request)] {
+          return local_reject(request, "bad_field",
+                              "pm-keyed util needs an explicit \"cell\" behind a router");
+        });
+      } else {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = vm_map_.find(request.vm_id);
+        if (it != vm_map_.end()) cell = it->second.cell;
+      }
+      if (!cell.has_value()) {
+        return std::async(std::launch::deferred, [this, request = std::move(request)] {
+          return local_reject(request, to_string(RejectReason::kUnknownVm),
+                              "vm is not placed");
+        });
+      }
+      m_.fanout_requests->inc();
+      auto eager = cells_[*cell]->submit(request);
+      return std::async(std::launch::deferred,
+                        [this, request = std::move(request), c = *cell,
+                         eager = std::move(eager)]() mutable {
+                          return retry_unreachable(c, request, eager.get());
+                        });
+    }
+    case RequestOp::kRebalance: {
+      // Planner control fans out: every cell runs its own planner, so a
+      // pause/trigger/status addresses all of them and the answer merges.
+      m_.fanout_ops->inc();
+      std::vector<std::future<Response>> futures;
+      futures.reserve(cells_.size());
+      for (RequestSink* cell : cells_) {
+        m_.fanout_requests->inc();
+        futures.push_back(cell->submit(request));
+      }
+      return std::async(std::launch::deferred,
+                        [this, futures = std::move(futures)]() mutable {
+                          return merge_rebalance(std::move(futures));
+                        });
+    }
+    case RequestOp::kRebalanceScan:
+      return std::async(std::launch::deferred, [this, request = std::move(request)] {
+        return local_reject(request, "unknown_op",
+                            "rebalance_scan is planner-internal");
+      });
     case RequestOp::kStats:
     case RequestOp::kHealth:
     case RequestOp::kDrain: {
@@ -529,6 +586,68 @@ Response Router::merge_health(std::vector<std::future<Response>> futures) {
   merged.extra.emplace_back("cells", std::to_string(cells_.size()));
   merged.extra.emplace_back("cells_unreachable", std::to_string(unreachable));
   merged.extra.emplace_back("queue_depth", std::to_string(queue_depth));
+  return merged;
+}
+
+Response Router::merge_rebalance(std::vector<std::future<Response>> futures) {
+  // Busiest state wins the merged verdict; per-cell states ride along so an
+  // operator can still see which cell is doing what.
+  const auto state_rank = [](const std::string& quoted) {
+    if (quoted == "\"migrating\"") return 4;
+    if (quoted == "\"scanning\"") return 3;
+    if (quoted == "\"paused\"") return 2;
+    if (quoted == "\"idle\"") return 1;
+    return 0;  // "off" or anything unknown
+  };
+  const char* state_names[] = {"off", "idle", "paused", "scanning", "migrating"};
+  int rank = 0;
+  std::string cell_states = "[";
+  unsigned long long rounds = 0, last_moves = 0, total_moves = 0;
+  std::size_t unreachable = 0;
+  std::optional<Response> failed;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response r = futures[i].get();
+    if (!r.ok) {
+      if (r.error == kCellUnreachable) {
+        m_.cell_unreachable->inc();
+        ++unreachable;
+      } else if (!failed.has_value()) {
+        // A real rejection (e.g. rebalance_disabled on one cell) outranks a
+        // partial success: control ops must not silently half-apply.
+        failed = r;
+        failed->message = "cell " + std::to_string(i) + ": " + failed->message;
+      }
+      if (cell_states.size() > 1) cell_states += ',';
+      cell_states += "\"unreachable\"";
+      continue;
+    }
+    for (const auto& [key, value] : r.extra) {
+      unsigned long long v = 0;
+      if (key == "state") {
+        rank = std::max(rank, state_rank(value));
+        if (cell_states.size() > 1) cell_states += ',';
+        cell_states += value;
+      } else if (key == "rounds" && parse_u64(value, &v)) {
+        rounds += v;
+      } else if (key == "last_round_moves" && parse_u64(value, &v)) {
+        last_moves += v;
+      } else if (key == "total_moves" && parse_u64(value, &v)) {
+        total_moves += v;
+      }
+    }
+  }
+  if (failed.has_value()) return std::move(*failed);
+  cell_states += ']';
+  Response merged;
+  merged.ok = true;
+  merged.op = "rebalance";
+  merged.extra.emplace_back("state", json_quote(state_names[rank]));
+  merged.extra.emplace_back("cells", std::to_string(cells_.size()));
+  merged.extra.emplace_back("cells_unreachable", std::to_string(unreachable));
+  merged.extra.emplace_back("cell_states", std::move(cell_states));
+  merged.extra.emplace_back("rounds", std::to_string(rounds));
+  merged.extra.emplace_back("last_round_moves", std::to_string(last_moves));
+  merged.extra.emplace_back("total_moves", std::to_string(total_moves));
   return merged;
 }
 

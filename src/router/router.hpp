@@ -18,6 +18,10 @@
 //    a vm nobody placed answers unknown_vm without touching any cell.
 //  - stats: fanned out to every cell, numeric counters summed.
 //  - health: fanned out, worst cell mode wins, role "router".
+//  - util: routed to the owning cell (vm map, or explicit "cell" — required
+//    for pm-keyed samples since pm indices are per-cell).
+//  - rebalance: fanned out (each cell runs its own planner), move counters
+//    summed, busiest planner state wins, per-cell states reported.
 //  - metrics: the router's own registry (per-cell metrics are scraped from
 //    the cells directly).
 //  - drain: fanned out to every cell.
@@ -114,6 +118,7 @@ class Router : public RequestSink {
   Response do_group_op(const Request& request);
   Response merge_stats(std::vector<std::future<Response>> futures);
   Response merge_health(std::vector<std::future<Response>> futures);
+  Response merge_rebalance(std::vector<std::future<Response>> futures);
   Response metrics_response();
   Response merge_drain(std::vector<std::future<Response>> futures);
 

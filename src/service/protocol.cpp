@@ -283,6 +283,9 @@ const char* to_string(RequestOp op) {
     case RequestOp::kReplSnapshot: return "repl_snap";
     case RequestOp::kReplFrames: return "repl_frames";
     case RequestOp::kPromote: return "promote";
+    case RequestOp::kUtil: return "util";
+    case RequestOp::kRebalance: return "rebalance";
+    case RequestOp::kRebalanceScan: return "rebalance_scan";
   }
   return "?";
 }
@@ -348,7 +351,13 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
     request.op = RequestOp::kReplFrames;
   } else if (op->string == "promote") {
     request.op = RequestOp::kPromote;
+  } else if (op->string == "util") {
+    request.op = RequestOp::kUtil;
+  } else if (op->string == "rebalance") {
+    request.op = RequestOp::kRebalance;
   } else {
+    // kRebalanceScan is deliberately absent: it is an in-process handoff
+    // between the planner and the worker, not a wire op.
     return ProtocolError{"unknown_op", "unknown op \"" + op->string + "\""};
   }
 
@@ -442,6 +451,57 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
       request.eof = eof->boolean;
     }
   }
+  if (request.op == RequestOp::kUtil) {
+    const JsonValue* vm = doc->find("vm");
+    const JsonValue* pm = doc->find("pm");
+    if (vm == nullptr && pm == nullptr) {
+      return ProtocolError{"missing_field", "util needs \"vm\" or \"pm\""};
+    }
+    if (vm != nullptr && pm != nullptr) {
+      return ProtocolError{"bad_field", "util takes exactly one of \"vm\" or \"pm\""};
+    }
+    if (vm != nullptr) {
+      const auto id = as_u64(*vm);
+      if (!id.has_value() || *id > 0xFFFFFFFFull) {
+        return ProtocolError{"bad_field", "\"vm\" must be a 32-bit unsigned integer"};
+      }
+      request.vm_id = *id;
+    } else {
+      const auto id = as_u64(*pm);
+      if (!id.has_value()) {
+        return ProtocolError{"bad_field", "\"pm\" must be an unsigned integer"};
+      }
+      request.pm = id;
+    }
+    const JsonValue* cpu = doc->find("cpu");
+    if (cpu == nullptr) return ProtocolError{"missing_field", "missing \"cpu\""};
+    if (cpu->kind != JsonValue::Kind::kNumber || !(cpu->number >= 0.0) || cpu->number > 2.0) {
+      return ProtocolError{"bad_field", "\"cpu\" must be a number in [0, 2]"};
+    }
+    request.cpu = cpu->number;
+    // An explicit cell lets pm-keyed samples traverse the router (vm-keyed
+    // ones route through the vm->cell map).
+    if (const JsonValue* cell = doc->find("cell"); cell != nullptr) {
+      const auto id = as_u64(*cell);
+      if (!id.has_value()) {
+        return ProtocolError{"bad_field", "\"cell\" must be an unsigned integer"};
+      }
+      request.cell = id;
+    }
+  }
+  if (request.op == RequestOp::kRebalance) {
+    if (const JsonValue* action = doc->find("action"); action != nullptr) {
+      if (action->kind != JsonValue::Kind::kString) {
+        return ProtocolError{"bad_field", "\"action\" must be a string"};
+      }
+      if (action->string != "status" && action->string != "trigger" &&
+          action->string != "pause" && action->string != "resume") {
+        return ProtocolError{"bad_field",
+                             "\"action\" must be status, trigger, pause or resume"};
+      }
+      request.action = action->string;
+    }
+  }
   return request;
 }
 
@@ -459,11 +519,34 @@ std::string encode_request(const Request& request) {
     case RequestOp::kReplSnapshot:
     case RequestOp::kReplFrames:
     case RequestOp::kPromote:
+    case RequestOp::kRebalance:
+    case RequestOp::kRebalanceScan:
+      break;
+    case RequestOp::kUtil:
+      // Exactly one key: the PM when present, the VM otherwise.
+      if (!request.pm.has_value()) {
+        out += ",\"vm\":";
+        out += std::to_string(request.vm_id);
+      }
       break;
     default:
       out += ",\"vm\":";
       out += std::to_string(request.vm_id);
       break;
+  }
+  if (request.op == RequestOp::kUtil) {
+    if (request.pm.has_value()) {
+      out += ",\"pm\":";
+      out += std::to_string(*request.pm);
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", request.cpu);
+    out += ",\"cpu\":";
+    out += buf;
+  }
+  if (!request.action.empty()) {
+    out += ",\"action\":";
+    out += json_quote(request.action);
   }
   if (request.op == RequestOp::kPlace) {
     out += ",\"type\":";

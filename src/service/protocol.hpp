@@ -20,6 +20,14 @@
 //   {"op":"gcommit","group":"web","vm":7,"cell":2}    reservation -> committed member
 //   {"op":"gabort","group":"web","vm":7}              drop reservation/membership
 //
+// Online rebalancing (DESIGN.md §9): collector agents push CPU samples and
+// operators steer the background planner:
+//
+//   {"op":"util","vm":7,"cpu":0.83}                   per-VM utilization sample
+//   {"op":"util","pm":3,"cpu":0.95}                   direct per-PM sample
+//   {"op":"rebalance"}                                planner status
+//   {"op":"rebalance","action":"trigger"}             also: pause | resume
+//
 // Failures are structured, never a dropped connection:
 //   {"ok":false,"op":"place","vm":9,"error":"no_capacity","message":"..."}
 //   {"ok":false,"error":"queue_full","retry_after_ms":5}
@@ -31,6 +39,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -89,9 +98,19 @@ enum class RequestOp {
   kReplSnapshot,  ///< "repl_snap": one chunk of a catch-up snapshot (hex)
   kReplFrames,    ///< "repl_frames": a batch of CRC-framed WAL records (hex)
   kPromote,       ///< "promote": flip a follower to leader
+  kUtil,          ///< "util": one CPU utilization sample (vm- or pm-keyed)
+  kRebalance,     ///< "rebalance": planner status / trigger / pause / resume
+  /// Internal: the rebalance planner asks the worker for a frozen ledger
+  /// copy through the normal queue (Request::scan_sink). Never appears on
+  /// the wire — parse_request rejects it as unknown_op.
+  kRebalanceScan,
 };
 
 const char* to_string(RequestOp op);
+
+/// Ledger snapshot handed from the service worker to the rebalance planner
+/// (defined in rebalance/planner.hpp; carried by reference through Request).
+struct ScanSink;
 
 struct Request {
   RequestOp op = RequestOp::kStats;
@@ -113,6 +132,24 @@ struct Request {
   bool eof = false;
   /// Hex-encoded payload (snapshot chunk or framed WAL records).
   std::string data;
+  /// Target PM of a pm-keyed `util` sample; vm-keyed samples use vm_id
+  /// (exactly one of the two is present on a well-formed util request).
+  std::optional<std::uint64_t> pm;
+  /// CPU utilization fraction on `util` (0..2; > 1 means bursting past the
+  /// reservation). Negative = absent.
+  double cpu = -1.0;
+  /// `rebalance` sub-command: "" (status) | trigger | pause | resume.
+  std::string action;
+  /// Internal, never on the wire: destination utilization cap the rebalance
+  /// planner attaches to its migrate requests (the CloudSim rule — a PM at
+  /// or above the threshold cannot receive migrating VMs). Negative = none.
+  double rebalance_dest_cap = -1.0;
+  /// Internal: an underload-consolidation migrate must land on an already
+  /// used PM — packing onto an empty PM would just relocate the underload.
+  bool rebalance_consolidate = false;
+  /// Internal, never on the wire: filled by the worker with a frozen ledger
+  /// copy on a kRebalanceScan request.
+  std::shared_ptr<ScanSink> scan_sink;
 };
 
 /// A request that could not be decoded; `code` is machine-readable and goes

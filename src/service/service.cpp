@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.hpp"
@@ -51,6 +53,23 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
     throw ServiceConfigError("repl.replicas",
                              "replication streams the WAL frames, so a leader needs a data_dir");
   }
+  if (config_.rebalance.enabled) {
+    if (!(config_.rebalance.overload_threshold > 0.0 &&
+          config_.rebalance.overload_threshold <= 1.5)) {
+      throw ServiceConfigError("rebalance.overload_threshold", "must be in (0, 1.5]");
+    }
+    if (config_.rebalance.underload_threshold < 0.0 ||
+        config_.rebalance.underload_threshold >= config_.rebalance.overload_threshold) {
+      throw ServiceConfigError("rebalance.underload_threshold",
+                               "must be >= 0 and below the overload threshold");
+    }
+    if (config_.rebalance.interval_ms == 0) {
+      throw ServiceConfigError("rebalance.interval_ms", "must be positive");
+    }
+    if (config_.rebalance.max_moves_per_round == 0) {
+      throw ServiceConfigError("rebalance.max_moves_per_round", "must be positive");
+    }
+  }
   follower_.store(config_.repl.follower, std::memory_order_relaxed);
   init_metrics();
   // The engine reports into this service's registry unless the caller wired
@@ -64,6 +83,20 @@ PlacementService::PlacementService(Catalog catalog, std::vector<std::size_t> fle
     for (std::size_t i = 0; i < config_.parallel_workers; ++i) {
       spec_engines_.push_back(std::make_unique<PageRankVm>(tables, config_.engine));
     }
+  }
+  // The utilization map always exists (the util op is accepted whether or
+  // not planning is on — operators can warm the feed before enabling), but
+  // the planner thread only when --rebalance asked for it.
+  {
+    UtilizationConfig ucfg;
+    ucfg.pm_count = dc_.pm_count();
+    ucfg.half_life_ms = config_.rebalance.half_life_ms;
+    ucfg.stale_after_ms = config_.rebalance.stale_after_ms;
+    util_map_ = std::make_unique<UtilizationMap>(ucfg, obs::now_ns());
+  }
+  if (config_.rebalance.enabled) {
+    planner_ = std::make_unique<RebalancePlanner>(config_.rebalance, *this, *util_map_,
+                                                  tables, metrics_);
   }
   tables.reset();
   IoEnv* base = config_.io_env != nullptr ? config_.io_env.get() : &IoEnv::real();
@@ -130,6 +163,9 @@ void PlacementService::init_metrics() {
   m_.partition_size = &r.histogram("prvm_partition_size");
   m_.flush_group_ops = &r.histogram("prvm_flush_group_ops");
   m_.flush_lag_ns = &r.histogram("prvm_flush_lag_ns");
+  m_.util_samples = &r.counter("prvm_rebal_util_samples_total");
+  m_.util_dropped = &r.counter("prvm_rebal_util_dropped_total");
+  m_.util_sample_pct = &r.histogram("prvm_rebal_util_sample_pct");
 }
 
 PlacementService::~PlacementService() { stop_now(); }
@@ -479,6 +515,26 @@ Response PlacementService::migrate(const Request& request) {
   const Datacenter::PlacedVm removed = dc_.remove(vm);
   PlacementConstraints constraints = admission_.constraints_for(group);
   constraints.exclude = *old_pm;
+  if (request.rebalance_dest_cap >= 0.0) {
+    // Planner-issued migrate: the destination must stay at or under the
+    // overload threshold (CloudSim's "a PM at the threshold cannot receive
+    // migrants"). Chain with the group anti-collocation veto — both apply.
+    const double cap = request.rebalance_dest_cap;
+    const bool consolidate = request.rebalance_consolidate;
+    const std::uint64_t now = obs::now_ns();
+    auto group_allow = std::move(constraints.allow);
+    const UtilizationMap* map = util_map_.get();
+    constraints.allow = [cap, consolidate, now, map,
+                         group_allow = std::move(group_allow)](const Datacenter& dc,
+                                                               PmIndex candidate) {
+      if (group_allow && !group_allow(dc, candidate)) return false;
+      // Consolidation packs — an empty destination would just relocate the
+      // underloaded PM instead of shrinking the used set.
+      if (consolidate && !dc.pm(candidate).used()) return false;
+      const LoadView view(&dc, map, now);
+      return view.pm_hottest_utilization(candidate) <= cap;
+    };
+  }
   std::optional<PmIndex> new_pm;
   {
     const obs::ScopedTimerNs timer(*m_.place_compute_ns);
@@ -885,7 +941,90 @@ Response PlacementService::health_response() {
   response.extra.emplace_back("storage_probes", std::to_string(m_.probes->value()));
   response.extra.emplace_back("io_errors", std::to_string(m_.io_errors->value()));
   response.extra.emplace_back("last_error", json_quote(last_io_error_));
+  response.extra.emplace_back(
+      "rebalance", json_quote(planner_ != nullptr ? planner_->state_name() : "off"));
+  response.extra.emplace_back(
+      "rebalance_last_moves",
+      std::to_string(planner_ != nullptr ? planner_->last_round_moves() : 0));
   if (degraded_now) response.retry_after_ms = config_.degraded_retry_after_ms;
+  return response;
+}
+
+Response PlacementService::util_response(const Request& request) const {
+  Response response;
+  response.op = "util";
+  if (request.pm.has_value()) {
+    // Bounds come from the map (fixed at construction), not dc_ — this runs
+    // on connection threads and must never race the worker's ledger.
+    if (*request.pm >= util_map_->pm_count()) {
+      response.ok = false;
+      response.error = "bad_field";
+      response.message = "pm index out of range";
+      return response;
+    }
+    util_map_->record_pm(static_cast<PmIndex>(*request.pm), request.cpu, obs::now_ns());
+  } else {
+    if (!util_map_->record_vm(static_cast<VmId>(request.vm_id), request.cpu,
+                              obs::now_ns())) {
+      m_.util_dropped->inc();
+    }
+    response.vm = request.vm_id;
+  }
+  m_.util_samples->inc();
+  m_.util_sample_pct->record(
+      static_cast<std::uint64_t>(std::lround(std::max(0.0, request.cpu) * 100.0)));
+  response.ok = true;
+  return response;
+}
+
+Response PlacementService::rebalance_response(const Request& request) const {
+  Response response;
+  response.op = "rebalance";
+  const bool status_only = request.action.empty() || request.action == "status";
+  if (planner_ == nullptr) {
+    if (status_only) {
+      response.ok = true;
+      response.extra.emplace_back("state", json_quote("off"));
+      return response;
+    }
+    response.ok = false;
+    response.error = "rebalance_disabled";
+    response.message = "daemon started without --rebalance";
+    return response;
+  }
+  if (request.action == "pause") planner_->pause();
+  else if (request.action == "resume") planner_->resume();
+  else if (request.action == "trigger") planner_->trigger();
+  const RebalanceStatus st = planner_->status();
+  response.ok = true;
+  response.extra.emplace_back("state", json_quote(st.state));
+  response.extra.emplace_back("rounds", std::to_string(st.rounds));
+  response.extra.emplace_back("last_round_moves", std::to_string(st.last_round_moves));
+  response.extra.emplace_back("total_moves", std::to_string(st.total_moves));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", config_.rebalance.overload_threshold);
+  response.extra.emplace_back("overload", buf);
+  std::snprintf(buf, sizeof(buf), "%g", config_.rebalance.underload_threshold);
+  response.extra.emplace_back("underload", buf);
+  response.extra.emplace_back("max_moves",
+                              std::to_string(config_.rebalance.max_moves_per_round));
+  return response;
+}
+
+Response PlacementService::rebalance_scan_response(const Request& request) {
+  Response response;
+  response.op = "rebalance_scan";
+  if (request.scan_sink == nullptr) {
+    response.ok = false;
+    response.error = "bad_field";
+    response.message = "rebalance_scan without a sink";
+    return response;
+  }
+  // Worker thread owns dc_, so this copy is a consistent frozen snapshot.
+  request.scan_sink->leader = !follower_.load(std::memory_order_relaxed);
+  request.scan_sink->degraded = degraded_.load(std::memory_order_relaxed);
+  request.scan_sink->dc = dc_;
+  response.ok = true;
   return response;
 }
 
@@ -968,6 +1107,12 @@ Response PlacementService::execute_locked(const Request& request) {
     // probing a degraded follower needs the truthful op_seq to decide
     // between streaming and catch-up.
     case RequestOp::kReplHello: return repl_hello_response(request);
+    // Utilization samples and planner control never touch the ledger, and
+    // the scan answers truthfully (leader/degraded flags) in every mode so
+    // the planner can decide to stand down on its own.
+    case RequestOp::kUtil: return util_response(request);
+    case RequestOp::kRebalance: return rebalance_response(request);
+    case RequestOp::kRebalanceScan: return rebalance_scan_response(request);
     default: break;
   }
   if (draining()) {
@@ -1219,6 +1364,17 @@ Response PlacementService::execute(const Request& request) {
 }
 
 std::future<Response> PlacementService::submit(Request request) {
+  // Utilization samples and planner control touch only lock-free state, so
+  // answer them right here on the connection thread: a 10Hz-per-PM feed must
+  // never compete with placements for queue slots or worker time. The
+  // internal rebalance_scan is the exception — it reads the ledger, so it
+  // queues like any mutation.
+  if (request.op == RequestOp::kUtil || request.op == RequestOp::kRebalance) {
+    std::promise<Response> promise;
+    promise.set_value(request.op == RequestOp::kUtil ? util_response(request)
+                                                     : rebalance_response(request));
+    return promise.get_future();
+  }
   // Pre-decode on the submitting (connection) thread: resolve a textual VM
   // type to its catalog index here so the worker's hot loop never touches
   // the name map. The map is immutable after construction, so concurrent
@@ -1359,11 +1515,16 @@ void PlacementService::flusher_loop() {
 
 void PlacementService::start() {
   start_flusher();  // before the worker exists: worker reads flusher_running_ locklessly
-  std::lock_guard<std::mutex> lock(mu_);
-  if (worker_running_) return;
-  stop_ = false;
-  worker_running_ = true;
-  worker_ = std::thread([this] { worker_loop(); });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (worker_running_) return;
+    stop_ = false;
+    worker_running_ = true;
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+  // The planner scans through the request queue, so it only runs while the
+  // worker does (start() is idempotent and so is planner start()).
+  if (planner_ != nullptr) planner_->start();
 }
 
 void PlacementService::worker_loop() {
@@ -1520,6 +1681,10 @@ void PlacementService::worker_loop() {
 }
 
 void PlacementService::drain() {
+  // Planner first, while the worker is still alive: its in-flight round gets
+  // real answers (or a truthful draining rejection) instead of a futures
+  // deadlock against a worker that already exited.
+  if (planner_ != nullptr) planner_->stop();
   {
     std::unique_lock<std::mutex> lock(mu_);
     draining_ = true;
@@ -1546,6 +1711,7 @@ void PlacementService::drain() {
 }
 
 void PlacementService::stop_now() {
+  if (planner_ != nullptr) planner_->stop();  // same ordering as drain()
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!worker_running_ && !worker_.joinable()) return;

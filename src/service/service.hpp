@@ -75,6 +75,7 @@
 #include "core/catalog_graphs.hpp"
 #include "obs/metrics.hpp"
 #include "placement/pagerank_vm.hpp"
+#include "rebalance/planner.hpp"
 #include "service/admission.hpp"
 #include "service/protocol.hpp"
 #include "service/replication.hpp"
@@ -141,6 +142,10 @@ struct ServiceConfig {
   std::uint64_t reserve_ttl_ms = 5000;
   /// WAL replication to follower replicas / follower role (DESIGN.md §8).
   ReplicationConfig repl;
+  /// Online rebalancer (DESIGN.md §9). The utilization map always exists —
+  /// `util` samples are accepted and observable regardless — but the
+  /// planner thread only runs when rebalance.enabled is set.
+  RebalanceConfig rebalance;
   PageRankVmOptions engine;
 };
 
@@ -232,6 +237,11 @@ class PlacementService : public RequestSink {
   /// The registry every service/engine/IO metric of this instance lives in
   /// (config.metrics, or the private one created when that was null).
   obs::Registry& metrics_registry() const { return *metrics_; }
+  /// Live utilization samples (always present; lock-free, any thread).
+  UtilizationMap& utilization_map() { return *util_map_; }
+  /// The background planner; null unless config.rebalance.enabled. Tests
+  /// drive deterministic rounds through rebalancer()->run_round(now).
+  RebalancePlanner* rebalancer() { return planner_.get(); }
 
  private:
   struct Pending {
@@ -271,6 +281,15 @@ class PlacementService : public RequestSink {
   Response health_response();
   Response metrics_response();
   Response drain_response();
+  // --- online rebalancer (DESIGN.md §9) ---
+  /// Records one utilization sample. Lock-free; submit() answers these on
+  /// the connection thread without a queue slot.
+  Response util_response(const Request& request) const;
+  /// Planner status/trigger/pause/resume; atomics only, any thread.
+  Response rebalance_response(const Request& request) const;
+  /// Worker thread: fills the planner's ScanSink with a frozen ledger copy
+  /// plus this node's role/mode.
+  Response rebalance_scan_response(const Request& request);
   // --- replication (DESIGN.md §8) ---
   /// Follower side: answer a leader's handshake with this node's op_seq.
   Response repl_hello_response(const Request& request);
@@ -353,6 +372,15 @@ class PlacementService : public RequestSink {
   AdmissionController admission_;
   GroupDirectory group_dir_;  ///< cross-cell reservations (home-cell role)
   std::unordered_map<std::string, std::size_t> vm_type_by_name_;
+
+  /// Lock-free sample store; created in the constructor, never replaced, so
+  /// submit-side util handling and the worker-side destination cap read it
+  /// without synchronization.
+  std::unique_ptr<UtilizationMap> util_map_;
+  /// Background migration planner (null unless config.rebalance.enabled).
+  /// Started after the worker, stopped before it: every planner request
+  /// must find a live worker or a truthful draining rejection.
+  std::unique_ptr<RebalancePlanner> planner_;
 
   IoEnv* io_ = nullptr;  ///< instrumented_io_ (wrapping config_.io_env or the real env)
   std::unique_ptr<InstrumentedIoEnv> instrumented_io_;
@@ -444,6 +472,10 @@ class PlacementService : public RequestSink {
     obs::Counter* repl_applied = nullptr;     ///< WAL records applied as follower
     obs::Counter* repl_snapshots_in = nullptr;///< catch-up snapshots installed
     obs::Counter* promotions = nullptr;       ///< follower -> leader transitions
+    // Online rebalancer feed (DESIGN.md §9; planner counters live in
+    // RebalancePlanner, which shares this registry).
+    obs::Counter* util_samples = nullptr;     ///< util ops ingested
+    obs::Counter* util_dropped = nullptr;     ///< samples lost to a full VM table
     obs::Gauge* mode = nullptr;        ///< 0 ok, 1 draining, 2 degraded
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* wal_lag = nullptr;
@@ -457,6 +489,7 @@ class PlacementService : public RequestSink {
     obs::Histogram* partition_size = nullptr;   ///< speculated ops per partition
     obs::Histogram* flush_group_ops = nullptr;  ///< ops covered per group flush
     obs::Histogram* flush_lag_ns = nullptr;     ///< batch compute-done -> ack release
+    obs::Histogram* util_sample_pct = nullptr;  ///< ingested util samples, in %
   };
   Metrics m_;
 

@@ -30,6 +30,18 @@
 // duplicate_vm/unknown_vm is LIMBO, not applied: the earlier attempt
 // reached the leader but its replication is unknown, and the leader is
 // about to die.
+//
+// --rebalance switches to the online-rebalancer model (DESIGN.md §9): each
+// round boots the daemon with the background migration planner enabled at
+// an aggressive interval, packs a small fleet with grouped and ungrouped
+// VMs, feeds a skewed utilization picture (one PM driven hot, the rest
+// cool) so the planner migrates continuously, and SIGKILLs the daemon
+// mid-migration on alternating rounds. Verified differentially: every
+// acked placement survives (planner moves relocate VMs, never lose them),
+// no anti-collocation group is ever collocated — live or recovered — and
+// two consecutive fault-free boots of the final state report identical
+// state digests, so every migration that reached the ledger was
+// WAL-durable rather than an in-memory side effect.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,7 +77,9 @@ struct Options {
   std::uint64_t seed = 42;
   std::size_t rounds = 3;
   std::size_t ops_per_round = 250;
-  std::size_t fleet = 400;
+  /// 0 = auto: 400 for the storage/replicated modes, 24 for --rebalance
+  /// (a hotspot needs a fleet small enough for placements to pack).
+  std::size_t fleet = 0;
   std::string data_dir;  ///< defaults to a fresh directory under /tmp
   /// Extra flags appended verbatim to every prvm_serve invocation
   /// (--serve-arg, repeatable) — e.g. --parallel-workers / --flush-group to
@@ -74,6 +88,9 @@ struct Options {
   /// Leader/follower failover mode: ack_after_replicated churn with a
   /// mid-round leader SIGKILL and promotion of the follower.
   bool replicated = false;
+  /// Online-rebalancer mode: planner-driven migrations under a skewed
+  /// utilization feed with mid-migration SIGKILLs.
+  bool rebalance = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -998,6 +1015,385 @@ int run_replicated(const Options& options) {
   return mismatches == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Rebalancer chaos rounds: --rebalance. The daemon runs its background
+// migration planner while a skewed utilization feed keeps one PM hot, so
+// SIGKILLs land while planner-internal migrates are in the WAL pipeline.
+
+std::string util_vm_line(std::uint64_t vm, double cpu) {
+  return "{\"op\":\"util\",\"vm\":" + std::to_string(vm) +
+         ",\"cpu\":" + std::to_string(cpu) + "}\n";
+}
+
+std::string util_pm_line(std::uint64_t pm, double cpu) {
+  return "{\"op\":\"util\",\"pm\":" + std::to_string(pm) +
+         ",\"cpu\":" + std::to_string(cpu) + "}\n";
+}
+
+int run_rebalance(const Options& options) {
+  namespace fs = std::filesystem;
+  Rng rng(options.seed);
+
+  fs::path dir = options.data_dir.empty()
+                     ? fs::temp_directory_path() /
+                           ("prvm-chaos-rebal-" + std::to_string(options.seed) + "-" +
+                            std::to_string(::getpid()))
+                     : fs::path(options.data_dir);
+  fs::create_directories(dir);
+  const std::string socket_path = (dir / "chaos.sock").string();
+  const std::string log_path = (dir / "daemon.log").string();
+
+  const Catalog catalog = ec2_sim_catalog();
+  const std::vector<double> mix = default_vm_mix(catalog);
+
+  Ledger ledger;
+  std::unordered_map<std::uint64_t, std::string> group_of;  ///< acked group per vm
+  std::uint64_t next_vm = 1;
+  std::uint64_t next_group = 1;
+  std::uint64_t moves_seen = 0;  ///< planner migrations observed across rounds
+  std::size_t crashes_injected = 0;
+  std::size_t mismatches = 0;
+
+  const auto daemon_args = [&](bool planner_on) {
+    std::vector<std::string> args = {
+        options.serve_binary, "--socket", socket_path, "--data-dir", dir.string(),
+        "--fleet", std::to_string(options.fleet), "--fsync", "--snapshot-every", "200",
+        "--batch", "16"};
+    if (planner_on) {
+      const std::vector<std::string> flags = {"--rebalance", "--rebalance-interval-ms",
+                                             "100", "--rebalance-cooldown-ms", "500",
+                                             "--max-moves", "4"};
+      args.insert(args.end(), flags.begin(), flags.end());
+    }
+    args.insert(args.end(), options.serve_args.begin(), options.serve_args.end());
+    return args;
+  };
+
+  // Every acked-present member of an anti-collocation group must sit on a
+  // distinct PM — the planner's migrates go through the same admission as
+  // client placements, so a collocation is a correctness bug whenever seen.
+  const auto check_groups = [&](Client& client, const std::string& when) {
+    std::unordered_map<std::string, std::unordered_map<std::uint64_t, std::uint64_t>> seen;
+    for (const std::uint64_t vm : ledger.present) {
+      const auto group = group_of.find(vm);
+      if (group == group_of.end()) continue;
+      const JsonValue doc = client.request(lookup_line(vm));
+      if (!field_ok(doc)) continue;  // presence is verified separately
+      const std::uint64_t pm = static_cast<std::uint64_t>(field_number(doc, "pm"));
+      const auto [it, fresh] = seen[group->second].emplace(pm, vm);
+      if (!fresh) {
+        std::cerr << "prvm_chaos: VERIFY FAIL: anti-collocation group " << group->second
+                  << " has vm " << it->second << " and vm " << vm << " on pm " << pm
+                  << " (" << when << ")\n";
+        ++mismatches;
+      }
+    }
+  };
+
+  // Mutating churn with ~15% anti-collocation pair/trio placements; false =
+  // connection died mid-op (the op in flight is limbo).
+  const auto churn = [&](Client& client, std::size_t ops) -> bool {
+    std::vector<std::uint64_t> live(ledger.present.begin(), ledger.present.end());
+    for (std::size_t op = 0; op < ops; ++op) {
+      if (rng.chance(0.15)) {
+        const std::string group = "rg" + std::to_string(next_group++);
+        const std::size_t members = rng.chance(0.3) ? 3 : 2;
+        for (std::size_t m = 0; m < members; ++m) {
+          const std::uint64_t vm = next_vm++;
+          try {
+            switch (run_op(client, place_line(vm, rng.weighted_index(mix), group), true,
+                           rng, ledger)) {
+              case OpResult::kApplied:
+                ledger.present.insert(vm);
+                group_of[vm] = group;
+                live.push_back(vm);
+                break;
+              case OpResult::kRejected:
+                ++ledger.rejected;
+                break;
+              case OpResult::kLimbo:
+                ledger.mark_limbo(vm);
+                break;
+            }
+          } catch (const std::exception&) {
+            ledger.mark_limbo(vm);
+            return false;
+          }
+        }
+        continue;
+      }
+      const bool do_place = live.empty() || rng.chance(0.6);
+      const std::uint64_t vm = do_place ? next_vm++ : [&] {
+        const std::size_t pick = rng.uniform_index(live.size());
+        const std::uint64_t victim = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        return victim;
+      }();
+      const std::string line =
+          do_place ? place_line(vm, rng.weighted_index(mix)) : release_line(vm);
+      try {
+        switch (run_op(client, line, do_place, rng, ledger)) {
+          case OpResult::kApplied:
+            if (do_place) {
+              ledger.present.insert(vm);
+              live.push_back(vm);
+            } else {
+              ledger.present.erase(vm);
+              ledger.released.insert(vm);
+              group_of.erase(vm);
+            }
+            break;
+          case OpResult::kRejected:
+            ++ledger.rejected;
+            if (!do_place) live.push_back(vm);
+            break;
+          case OpResult::kLimbo:
+            ledger.mark_limbo(vm);
+            group_of.erase(vm);
+            break;
+        }
+      } catch (const std::exception&) {
+        ledger.mark_limbo(vm);
+        group_of.erase(vm);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // One feed wave: find the fullest PM by resolving live VMs, then report
+  // its residents (and the PM itself) bursting hot while everything else
+  // idles just above the underload threshold. Throws on connection loss.
+  const auto feed_wave = [&](Client& client) {
+    std::unordered_map<std::uint64_t, std::uint64_t> vm_pm;
+    std::unordered_map<std::uint64_t, std::size_t> residents;
+    std::size_t scanned = 0;
+    for (const std::uint64_t vm : ledger.present) {
+      if (++scanned > 300) break;
+      const JsonValue doc = client.request(lookup_line(vm));
+      if (!field_ok(doc)) continue;
+      const std::uint64_t pm = static_cast<std::uint64_t>(field_number(doc, "pm"));
+      vm_pm[vm] = pm;
+      ++residents[pm];
+    }
+    std::uint64_t hot = 0;
+    std::size_t hot_count = 0;
+    for (const auto& [pm, count] : residents) {
+      if (count > hot_count || (count == hot_count && pm < hot)) {
+        hot = pm;
+        hot_count = count;
+      }
+    }
+    for (const auto& [vm, pm] : vm_pm) {
+      client.request(util_vm_line(vm, pm == hot ? 1.3 : 0.05));
+    }
+    for (std::uint64_t pm = 0; pm < options.fleet; ++pm) {
+      client.request(util_pm_line(pm, pm == hot ? 1.3 : 0.3));
+    }
+  };
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    const bool hard_kill = (round % 2) == 1;
+    std::cout << "prvm_chaos: rebalance round " << (round + 1) << "/" << options.rounds
+              << (hard_kill ? " [SIGKILL]" : " [SIGTERM]") << "\n";
+
+    const pid_t pid = spawn(daemon_args(/*planner_on=*/true), log_path);
+    Client client;
+    if (!wait_ready(client, socket_path, pid, 300'000)) {
+      std::cerr << "prvm_chaos: daemon did not come up (round " << round + 1 << ")\n";
+      dump_log_tail(log_path);
+      ::kill(pid, SIGKILL);
+      wait_exit(pid, 5'000);
+      return 1;
+    }
+
+    // Spot-check recovery before adding load: acked state survived the
+    // previous round's kill, and no group got collocated by it.
+    try {
+      std::size_t sampled = 0;
+      for (const std::uint64_t vm : ledger.present) {
+        if (++sampled > 50) break;
+        if (!field_ok(client.request(lookup_line(vm)))) {
+          std::cerr << "prvm_chaos: VERIFY FAIL: vm " << vm << " lost across restart (round "
+                    << round + 1 << ")\n";
+          ++mismatches;
+        }
+      }
+      check_groups(client, "across restart, round " + std::to_string(round + 1));
+    } catch (const std::exception& e) {
+      std::cerr << "prvm_chaos: spot-check connection failed: " << e.what() << "\n";
+      dump_log_tail(log_path);
+      ::kill(pid, SIGKILL);
+      wait_exit(pid, 5'000);
+      return 1;
+    }
+
+    // Build up load first, un-killed: a crash here is a daemon bug.
+    if (!churn(client, options.ops_per_round)) {
+      std::cerr << "prvm_chaos: daemon dropped the connection un-killed (round "
+                << round + 1 << ")\n";
+      dump_log_tail(log_path);
+      ::kill(pid, SIGKILL);
+      wait_exit(pid, 5'000);
+      return 1;
+    }
+
+    // Feed phase: skewed samples drive the planner into continuous
+    // migration; on kill rounds the SIGKILL lands inside this window.
+    std::atomic<bool> kill_sent{false};
+    std::thread killer;
+    if (hard_kill) {
+      const int delay_ms = rng.uniform_int(300, 2000);
+      killer = std::thread([pid, delay_ms, &kill_sent] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        kill_sent.store(true);
+        ::kill(pid, SIGKILL);
+      });
+      ++crashes_injected;
+    }
+    bool connection_lost = false;
+    for (std::size_t wave = 0; wave < 10 && !connection_lost; ++wave) {
+      try {
+        feed_wave(client);
+      } catch (const std::exception&) {
+        connection_lost = true;
+        break;
+      }
+      // Interleave client mutations so the kill also races planner moves
+      // against ordinary traffic in the same WAL.
+      if (!churn(client, 5)) {
+        connection_lost = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+
+    if (hard_kill) {
+      killer.join();
+      client.disconnect();
+      if (!wait_exit(pid, 30'000).has_value()) {
+        std::cerr << "prvm_chaos: daemon survived SIGKILL?!\n";
+        return 1;
+      }
+      continue;
+    }
+
+    if (connection_lost && !kill_sent.load()) {
+      std::cerr << "prvm_chaos: daemon dropped the connection un-killed (round "
+                << round + 1 << ")\n";
+      dump_log_tail(log_path);
+      ::kill(pid, SIGKILL);
+      wait_exit(pid, 5'000);
+      return 1;
+    }
+
+    // Live checks while the planner is still running, then a clean drain.
+    try {
+      check_groups(client, "live, round " + std::to_string(round + 1));
+      const JsonValue health = client.request("{\"op\":\"health\"}\n");
+      if (field_string(health, "rebalance").empty()) {
+        std::cerr << "prvm_chaos: VERIFY FAIL: health response lacks the rebalance "
+                     "state (round " << round + 1 << ")\n";
+        ++mismatches;
+      }
+      const JsonValue mdoc = client.request("{\"op\":\"metrics\"}\n");
+      const JsonValue* metrics = mdoc.find("metrics");
+      if (metrics != nullptr) {
+        moves_seen += static_cast<std::uint64_t>(
+            metric_number(*metrics, "counters", "prvm_rebal_moves_total"));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "prvm_chaos: live check failed: " << e.what() << " (round "
+                << round + 1 << ")\n";
+      ++mismatches;
+    }
+    client.disconnect();
+    ::kill(pid, SIGTERM);
+    const auto status = wait_exit(pid, 120'000);
+    if (!status.has_value() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+      std::cerr << "prvm_chaos: daemon failed to drain cleanly (round " << round + 1
+                << ")\n";
+      if (!status.has_value()) ::kill(pid, SIGKILL);
+      dump_log_tail(log_path);
+      return 1;
+    }
+  }
+
+  // Final differential verification, planner off so the state under
+  // inspection cannot shift: acked ledger intact, groups distinct, and two
+  // consecutive boots agree byte-for-byte on the state digest — every
+  // migration that reached the ledger came back from the WAL.
+  std::cout << "prvm_chaos: verifying " << ledger.present.size() << " placements, "
+            << ledger.released.size() << " releases (" << ledger.limbo.size()
+            << " limbo ignored), planner moves seen=" << moves_seen << "\n";
+  std::string digest_first;
+  for (int boot = 0; boot < 2; ++boot) {
+    const pid_t pid = spawn(daemon_args(/*planner_on=*/false), log_path);
+    Client client;
+    if (!wait_ready(client, socket_path, pid, 300'000)) {
+      std::cerr << "prvm_chaos: verification daemon did not come up (boot " << boot + 1
+                << ")\n";
+      dump_log_tail(log_path);
+      ::kill(pid, SIGKILL);
+      wait_exit(pid, 5'000);
+      return 1;
+    }
+    try {
+      if (boot == 0) {
+        const JsonValue health = client.request("{\"op\":\"health\"}\n");
+        if (field_string(health, "mode") != "ok") {
+          std::cerr << "prvm_chaos: VERIFY FAIL: fault-free boot reports mode="
+                    << field_string(health, "mode") << "\n";
+          ++mismatches;
+        }
+        mismatches += verify_ledger(client, ledger);
+        check_groups(client, "after recovery");
+      }
+      const JsonValue stats = client.request("{\"op\":\"stats\"}\n");
+      const std::string digest = field_string(stats, "state_digest");
+      if (boot == 0) {
+        digest_first = digest;
+      } else if (digest.empty() || digest != digest_first) {
+        std::cerr << "prvm_chaos: VERIFY FAIL: state digest changed across fault-free "
+                     "reboots (" << digest_first << " vs " << digest
+                  << ") — an acked migration was not WAL-durable\n";
+        ++mismatches;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "prvm_chaos: verification connection failed: " << e.what() << "\n";
+      ++mismatches;
+    }
+    client.disconnect();
+    ::kill(pid, SIGTERM);
+    const auto status = wait_exit(pid, 120'000);
+    if (!status.has_value() || !WIFEXITED(*status) || WEXITSTATUS(*status) != 0) {
+      std::cerr << "prvm_chaos: verification daemon failed to drain cleanly\n";
+      if (!status.has_value()) ::kill(pid, SIGKILL);
+      ++mismatches;
+    }
+  }
+  if (moves_seen == 0) {
+    std::cerr << "prvm_chaos: VERIFY FAIL: the planner never migrated anything — the "
+                 "harness exercised nothing\n";
+    ++mismatches;
+  }
+
+  std::cout << "prvm_chaos: " << (mismatches == 0 ? "PASS" : "FAIL")
+            << " mode=rebalance seed=" << options.seed << " rounds=" << options.rounds
+            << " placed=" << ledger.present.size() << " released="
+            << ledger.released.size() << " limbo=" << ledger.limbo.size()
+            << " retries=" << ledger.retries << " rejected=" << ledger.rejected
+            << " crashes=" << crashes_injected << " planner_moves=" << moves_seen << "\n";
+  if (mismatches == 0 && options.data_dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  } else if (mismatches != 0) {
+    std::cerr << "prvm_chaos: state kept in " << dir << "\n";
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace prvm
 
@@ -1029,10 +1425,12 @@ int main(int argc, char** argv) {
       options.serve_args.push_back(value());
     } else if (arg == "--replicated") {
       options.replicated = true;
+    } else if (arg == "--rebalance") {
+      options.rebalance = true;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " --serve PATH [--seed N] [--rounds R] [--ops N] [--fleet N]"
-                << " [--data-dir PATH] [--serve-arg FLAG]... [--replicated]\n";
+                << " [--data-dir PATH] [--serve-arg FLAG]... [--replicated] [--rebalance]\n";
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -1040,8 +1438,10 @@ int main(int argc, char** argv) {
     std::cerr << "prvm_chaos: --serve PATH is required\n";
     return 2;
   }
+  if (options.fleet == 0) options.fleet = options.rebalance ? 24 : 400;
   ::signal(SIGPIPE, SIG_IGN);
   try {
+    if (options.rebalance) return run_rebalance(options);
     return options.replicated ? run_replicated(options) : run(options);
   } catch (const std::exception& e) {
     std::cerr << "prvm_chaos: fatal: " << e.what() << "\n";

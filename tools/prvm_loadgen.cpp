@@ -16,6 +16,9 @@
 //                          line (crash-recovery smoke test hook)
 //   --stats                print the daemon's stats line and exit
 //   --metrics              print the daemon's metrics-op JSON and exit
+//   --util-feed N          collector-agent mode: push skewed per-VM `util`
+//                          samples for VMs 1..N so one PM reads overloaded
+//                          (drives the online rebalancer; see DESIGN.md §9)
 #include <atomic>
 #include <algorithm>
 #include <chrono>
@@ -28,6 +31,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <netinet/in.h>
@@ -74,6 +78,14 @@ struct Options {
   bool stats_only = false;
   bool metrics_only = false;
   std::string json_path;
+  /// --util-feed N: collector-agent mode — push per-VM `util` samples for
+  /// VMs 1..N, skewed so one PM reads hot (the rebalancer smoke scenario).
+  std::size_t util_feed = 0;
+  std::size_t util_rounds = 10;
+  double util_interval_ms = 200.0;
+  double util_hot = 1.0;    ///< fraction fed to VMs on the hot PM
+  double util_cool = 0.05;  ///< fraction fed to everyone else
+  std::optional<std::uint64_t> hot_pm;  ///< default: the fullest PM
 };
 
 /// A blocking JSON-lines client connection with FIFO pipelining.
@@ -474,6 +486,94 @@ RoundResult run_round(const Options& options, const std::vector<double>& mix,
   return round;
 }
 
+/// Collector-agent mode: feed per-VM utilization samples, skewed so one PM
+/// reads hot. Every round re-looks-up vm -> pm, so once the rebalancer moves
+/// a VM off the hot PM the feed reports it cool at its new home — the
+/// hotspot drains for real instead of chasing stale assignments.
+int run_util_feed(const Options& options) {
+  Client client(options.endpoints.front());
+
+  // Pipelined lookup of VMs 1..N; unplaced ids are simply skipped.
+  const auto lookup_all = [&] {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> placed;  // vm, pm
+    std::deque<std::uint64_t> inflight;
+    std::uint64_t next = 1;
+    while (next <= options.util_feed || !inflight.empty()) {
+      while (next <= options.util_feed && inflight.size() < options.pipeline) {
+        client.send_line("{\"op\":\"lookup\",\"vm\":" + std::to_string(next) + "}\n");
+        inflight.push_back(next);
+        ++next;
+      }
+      const JsonValue doc = client.recv_json();
+      const std::uint64_t vm = inflight.front();
+      inflight.pop_front();
+      const JsonValue* ok = doc.find("ok");
+      if (ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean) {
+        placed.emplace_back(vm, static_cast<std::uint64_t>(field_number(doc, "pm")));
+      }
+    }
+    return placed;
+  };
+
+  auto placed = lookup_all();
+  if (placed.empty()) {
+    std::cerr << "prvm_loadgen: --util-feed found no placed VMs in 1.."
+              << options.util_feed << "\n";
+    return 1;
+  }
+  // Hot PM defaults to the fullest one: the densest target is the one a
+  // skewed feed can most plausibly push over the threshold.
+  std::uint64_t hot_pm = 0;
+  if (options.hot_pm.has_value()) {
+    hot_pm = *options.hot_pm;
+  } else {
+    std::unordered_map<std::uint64_t, std::size_t> residents;
+    for (const auto& [vm, pm] : placed) ++residents[pm];
+    std::size_t best = 0;
+    for (const auto& [pm, count] : residents) {
+      if (count > best || (count == best && pm < hot_pm)) {
+        best = count;
+        hot_pm = pm;
+      }
+    }
+  }
+
+  std::size_t samples = 0;
+  for (std::size_t round = 0; round < options.util_rounds; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options.util_interval_ms));
+      placed = lookup_all();
+    }
+    std::size_t hot_residents = 0;
+    std::deque<bool> inflight;  // pipelined util acks (content ignored)
+    char line[96];
+    for (const auto& [vm, pm] : placed) {
+      const bool hot = pm == hot_pm;
+      hot_residents += hot ? 1 : 0;
+      std::snprintf(line, sizeof(line), "{\"op\":\"util\",\"vm\":%llu,\"cpu\":%.4f}\n",
+                    static_cast<unsigned long long>(vm),
+                    hot ? options.util_hot : options.util_cool);
+      client.send_line(line);
+      inflight.push_back(true);
+      ++samples;
+      while (inflight.size() >= options.pipeline) {
+        client.recv_json();
+        inflight.pop_front();
+      }
+    }
+    while (!inflight.empty()) {
+      client.recv_json();
+      inflight.pop_front();
+    }
+    std::printf("util-feed[%zu]: hot_pm=%llu residents=%zu vms=%zu\n", round,
+                static_cast<unsigned long long>(hot_pm), hot_residents, placed.size());
+    std::fflush(stdout);
+  }
+  std::printf("util-feed: %zu samples over %zu rounds\n", samples, options.util_rounds);
+  return 0;
+}
+
 void print_stats_line(const JsonValue& doc) {
   // Re-encode the interesting fields verbatim for shell tooling.
   std::cout << "used_pms=" << static_cast<std::uint64_t>(field_number(doc, "used_pms"))
@@ -558,12 +658,26 @@ int main(int argc, char** argv) {
       options.metrics_only = true;
     } else if (arg == "--json") {
       options.json_path = value();
+    } else if (arg == "--util-feed") {
+      options.util_feed = std::stoull(value());
+    } else if (arg == "--util-rounds") {
+      options.util_rounds = std::stoull(value());
+    } else if (arg == "--util-interval-ms") {
+      options.util_interval_ms = std::stod(value());
+    } else if (arg == "--util-hot") {
+      options.util_hot = std::stod(value());
+    } else if (arg == "--util-cool") {
+      options.util_cool = std::stod(value());
+    } else if (arg == "--hot-pm") {
+      options.hot_pm = std::stoull(value());
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--socket PATH | --port N | --endpoint SPEC ...]\n"
                 << "       [--connections C | --sweep C1,C2,..]\n"
                 << "       [--pipeline W] [--fill-pms N --ops M [--json PATH]] | [--place N]\n"
-                << "       | [--stats] | [--metrics]\n";
+                << "       | [--stats] | [--metrics]\n"
+                << "       | [--util-feed N [--util-rounds R] [--util-interval-ms F]\n"
+                << "          [--util-hot F] [--util-cool F] [--hot-pm P]]\n";
       return 2;
     }
   }
@@ -595,6 +709,10 @@ int main(int argc, char** argv) {
         std::cout << client.recv_line() << "\n";
       }
       return 0;
+    }
+
+    if (options.util_feed > 0) {
+      return run_util_feed(options);
     }
 
     const Catalog catalog = ec2_sim_catalog();

@@ -82,7 +82,18 @@ void usage(const char* argv0) {
       << "                       (default 2000)\n"
       << "  --follower           start as a follower: apply the leader's stream, serve\n"
       << "                       reads, reject mutations with not_leader until promoted\n"
-      << "  --leader-hint SPEC   leader endpoint advertised in not_leader rejections\n";
+      << "  --leader-hint SPEC   leader endpoint advertised in not_leader rejections\n"
+      << "  --rebalance          run the online rebalancer: a background planner drains\n"
+      << "                       overloaded PMs via WAL-durable internal migrations,\n"
+      << "                       fed by `util` protocol samples (DESIGN.md §9)\n"
+      << "  --overload F         hottest-dimension utilization above which a PM is\n"
+      << "                       drained, and the cap migration destinations must stay\n"
+      << "                       under (default 0.9, the simulator's threshold)\n"
+      << "  --underload F        consolidate PMs at or below this away entirely\n"
+      << "                       (default 0.2; must stay below --overload)\n"
+      << "  --rebalance-interval-ms N  planner round cadence (default 1000)\n"
+      << "  --max-moves N        migration budget per planner round (default 8)\n"
+      << "  --rebalance-cooldown-ms N  per-VM re-migration cooldown (default 5000)\n";
 }
 
 }  // namespace
@@ -156,6 +167,18 @@ int main(int argc, char** argv) {
       config.repl.follower = true;
     } else if (arg == "--leader-hint") {
       config.repl.leader_hint = value();
+    } else if (arg == "--rebalance") {
+      config.rebalance.enabled = true;
+    } else if (arg == "--overload") {
+      config.rebalance.overload_threshold = std::stod(value());
+    } else if (arg == "--underload") {
+      config.rebalance.underload_threshold = std::stod(value());
+    } else if (arg == "--rebalance-interval-ms") {
+      config.rebalance.interval_ms = std::stoull(value());
+    } else if (arg == "--max-moves") {
+      config.rebalance.max_moves_per_round = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--rebalance-cooldown-ms") {
+      config.rebalance.cooldown_ms = std::stoull(value());
     } else if (arg == "--metrics-port") {
       metrics_port = std::stoi(value());
     } else if (arg == "--stats-interval-s") {
@@ -219,6 +242,13 @@ int main(int argc, char** argv) {
     } else if (!config.repl.replicas.empty()) {
       std::cout << "prvm_serve: LEADER replicating to " << config.repl.replicas.size()
                 << " follower(s), ack_replicas=" << config.repl.ack_replicas << "\n";
+    }
+    if (config.rebalance.enabled) {
+      std::cout << "prvm_serve: REBALANCER on (overload "
+                << config.rebalance.overload_threshold << ", underload "
+                << config.rebalance.underload_threshold << ", every "
+                << config.rebalance.interval_ms << " ms, max "
+                << config.rebalance.max_moves_per_round << " moves/round)\n";
     }
 
     SocketServerConfig socket_config;

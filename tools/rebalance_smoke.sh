@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Online-rebalancer smoke test (DESIGN.md §9): boots prvm_serve with the
+# background migration planner enabled, fills a fleet over the real socket,
+# then plays collector agent with prvm_loadgen --util-feed — every VM on the
+# fullest PM reports 1.3x its reservation while the rest idle. Asserts the
+# daemon autonomously drains the hotspot:
+#   - the hot PM's resident count drops across the feed rounds
+#   - the `metrics` op reports prvm_rebal_moves_total > 0 and at least one
+#     planner scan
+#   - a clean restart over the same data dir recovers every placement the
+#     planner touched (moves are ordinary WAL'd migrates)
+#
+# Usage: tools/rebalance_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVE="$BUILD_DIR/tools/prvm_serve"
+LOADGEN="$BUILD_DIR/tools/prvm_loadgen"
+[ -x "$SERVE" ] && [ -x "$LOADGEN" ] || { echo "build prvm_serve + prvm_loadgen first"; exit 1; }
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/prvm.sock"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+boot() {
+  "$SERVE" --socket "$SOCK" --fleet 40 --data-dir "$WORK/data" "$@" \
+      >> "$WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 600); do
+    [ -S "$SOCK" ] && return 0
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+      echo "FAIL: daemon died during startup"; cat "$WORK/serve.log"; exit 1
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: daemon did not come up"; cat "$WORK/serve.log"; exit 1
+}
+
+stop_clean() {
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || { echo "FAIL: graceful drain exited non-zero"; cat "$WORK/serve.log"; exit 1; }
+  SERVE_PID=""
+  rm -f "$SOCK"
+}
+
+# A tight interval and generous move budget so the smoke finishes in seconds.
+boot --rebalance --rebalance-interval-ms 200 --rebalance-cooldown-ms 1000 --max-moves 4
+echo "daemon up with planner: socket=$SOCK"
+
+"$LOADGEN" --socket "$SOCK" --place 120 > "$WORK/place.log"
+
+# 15 rounds x 300 ms of skewed samples; each round re-looks-up vm -> pm and
+# prints the hot PM's live resident count, so the drain is visible in the log.
+"$LOADGEN" --socket "$SOCK" --util-feed 120 --util-rounds 15 --util-interval-ms 300 \
+    --util-hot 1.3 --util-cool 0.05 | tee "$WORK/feed.log"
+
+"$LOADGEN" --socket "$SOCK" --metrics > "$WORK/metrics.json"
+
+FIRST="$(sed -n 's/.*residents=\([0-9]*\).*/\1/p' "$WORK/feed.log" | head -1)"
+LAST="$(sed -n 's/.*residents=\([0-9]*\).*/\1/p' "$WORK/feed.log" | tail -1)"
+[ -n "$FIRST" ] && [ -n "$LAST" ] || { echo "FAIL: no resident counts in feed output"; exit 1; }
+if [ "$LAST" -ge "$FIRST" ]; then
+  echo "FAIL: hot PM did not drain (residents $FIRST -> $LAST)"
+  cat "$WORK/serve.log"; exit 1
+fi
+echo "hot PM drained: residents $FIRST -> $LAST"
+
+MOVES="$(python3 -c "
+import json, sys
+counters = json.load(open('$WORK/metrics.json'))['metrics']['counters']
+moves = counters.get('prvm_rebal_moves_total', 0)
+scans = counters.get('prvm_rebal_scans_total', 0)
+print(moves)
+sys.exit(0 if moves > 0 and scans > 0 else 1)
+")" || { echo "FAIL: planner counters flat"; cat "$WORK/metrics.json"; exit 1; }
+
+stop_clean
+
+# Restart planner-off over the same WAL: the migrated fleet must recover and
+# keep serving (planner moves are ordinary durable migrates).
+boot
+"$LOADGEN" --socket "$SOCK" --stats > "$WORK/stats.txt"
+grep -q "recovered=true" "$WORK/stats.txt" || {
+  echo "FAIL: restart did not recover from the WAL"; cat "$WORK/stats.txt"; exit 1; }
+VM_COUNT="$(sed -n 's/.*vm_count=\([0-9]*\).*/\1/p' "$WORK/stats.txt")"
+[ -n "$VM_COUNT" ] && [ "$VM_COUNT" -eq 120 ] || {
+  echo "FAIL: recovery lost VMs (vm_count=${VM_COUNT:-?}, expected 120)"
+  cat "$WORK/stats.txt"; exit 1; }
+stop_clean
+
+echo "OK: planner drained the hotspot ($MOVES moves), metrics live, WAL recovery clean"
