@@ -10,6 +10,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "service/binary_protocol.hpp"
+
 namespace prvm {
 
 namespace {
@@ -45,15 +47,24 @@ int connect_tcp(const std::string& host, int port) {
   return fd;
 }
 
+/// First bytes on a PRVB1 channel: the negotiation preamble the server
+/// sniffs. A send failure here is deliberately ignored — the very next
+/// submit notices the dead connection and fails structurally.
+void send_preamble(int fd) {
+  ::send(fd, kBinaryPreamble, sizeof(kBinaryPreamble), MSG_NOSIGNAL);
+}
+
 }  // namespace
 
-SocketCellChannel::SocketCellChannel(const std::string& unix_path)
-    : fd_(connect_unix(unix_path)), peer_(unix_path) {
+SocketCellChannel::SocketCellChannel(const std::string& unix_path, bool binary)
+    : fd_(connect_unix(unix_path)), peer_(unix_path), binary_(binary) {
+  if (binary_) send_preamble(fd_);
   start_reader();
 }
 
-SocketCellChannel::SocketCellChannel(const std::string& host, int port)
-    : fd_(connect_tcp(host, port)), peer_(host + ":" + std::to_string(port)) {
+SocketCellChannel::SocketCellChannel(const std::string& host, int port, bool binary)
+    : fd_(connect_tcp(host, port)), peer_(host + ":" + std::to_string(port)), binary_(binary) {
+  if (binary_) send_preamble(fd_);
   start_reader();
 }
 
@@ -82,7 +93,6 @@ void SocketCellChannel::start_reader() {
 }
 
 std::future<Response> SocketCellChannel::submit(Request request) {
-  const std::string line = encode_request(request);
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
 
@@ -98,13 +108,35 @@ std::future<Response> SocketCellChannel::submit(Request request) {
     promise.set_value(std::move(response));
     return future;
   }
-  // Promise enqueue and send happen under one lock so the byte stream and
-  // the promise FIFO agree on order across submitting threads.
+  // Encode, promise enqueue and send all happen under one lock so the byte
+  // stream and the promise FIFO agree on order across submitting threads.
+  // The buffer is a member: past the first few requests its capacity covers
+  // every frame, so a warm submit performs zero allocations.
+  encode_buf_.clear();
+  if (binary_) {
+    std::optional<std::uint16_t> slot;
+    if (request.op == RequestOp::kPlace && !request.vm_type_name.empty()) {
+      const auto known = intern_slots_.find(request.vm_type_name);
+      if (known != intern_slots_.end()) {
+        slot = known->second;
+      } else if (intern_slots_.size() < BinaryStringTable::kMaxSlots) {
+        // First sight of this type name: bind it in the cell's string table
+        // with an intern frame riding the same send as the request.
+        slot = static_cast<std::uint16_t>(intern_slots_.size());
+        intern_slots_.emplace(request.vm_type_name, *slot);
+        append_intern_frame(*slot, request.vm_type_name, encode_buf_);
+      }
+      // Table full: the name travels inline (slot stays empty).
+    }
+    encode_binary_request_into(request, encode_buf_, slot);
+  } else {
+    encode_request_into(request, encode_buf_);
+  }
   pending_.push_back(std::move(promise));
   std::size_t written = 0;
-  while (written < line.size()) {
+  while (written < encode_buf_.size()) {
     const ::ssize_t n =
-        ::send(fd_, line.data() + written, line.size() - written, MSG_NOSIGNAL);
+        ::send(fd_, encode_buf_.data() + written, encode_buf_.size() - written, MSG_NOSIGNAL);
     if (n <= 0) {
       fail_all_locked("send failed");
       return future;
@@ -163,11 +195,12 @@ std::shared_ptr<SocketCellChannel> FailoverCellChannel::qualify(const std::strin
   std::shared_ptr<SocketCellChannel> channel;
   try {
     if (spec.rfind("unix:", 0) == 0) {
-      channel = std::make_shared<SocketCellChannel>(spec.substr(5));
+      channel = std::make_shared<SocketCellChannel>(spec.substr(5), config_.binary);
     } else if (spec.rfind("tcp:", 0) == 0) {
-      channel = std::make_shared<SocketCellChannel>("127.0.0.1", std::atoi(spec.c_str() + 4));
+      channel = std::make_shared<SocketCellChannel>("127.0.0.1", std::atoi(spec.c_str() + 4),
+                                                    config_.binary);
     } else {
-      channel = std::make_shared<SocketCellChannel>(spec);  // bare unix path
+      channel = std::make_shared<SocketCellChannel>(spec, config_.binary);  // bare unix path
     }
   } catch (const std::exception&) {
     return nullptr;
@@ -230,6 +263,10 @@ std::future<Response> FailoverCellChannel::submit(Request request) {
 }
 
 void SocketCellChannel::reader_loop() {
+  if (binary_) {
+    reader_loop_binary();
+    return;
+  }
   LineBuffer frames;
   char buf[16 * 1024];
   while (true) {
@@ -264,6 +301,52 @@ void SocketCellChannel::reader_loop() {
         bad.error = kCellUnreachable;
         bad.message = "malformed response from cell " + peer_ + ": " +
                       (frame->oversized ? "oversized frame" : error);
+        promise.set_value(std::move(bad));
+      }
+    }
+  }
+}
+
+void SocketCellChannel::reader_loop_binary() {
+  BinaryFrameBuffer frames;
+  char buf[16 * 1024];
+  while (true) {
+    const ::ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!down_) fail_all_locked("connection closed by cell");
+      return;
+    }
+    frames.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    while (const auto frame = frames.next()) {
+      // The response stream is CRC-framed by our own server; any damage or
+      // non-response frame means the FIFO correspondence is gone, so unlike
+      // a single malformed JSON line the whole connection is condemned.
+      if (frame->status != BinaryFrameBuffer::Status::kOk ||
+          frame->kind != BinaryFrameKind::kResponse) {
+        std::lock_guard<std::mutex> lock(mu_);
+        fail_all_locked("corrupt response stream from cell");
+        return;
+      }
+      std::string error;
+      std::optional<Response> response = parse_binary_response(frame->payload, &error);
+      std::promise<Response> promise;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (pending_.empty()) {
+          fail_all_locked("unsolicited response from cell");
+          return;
+        }
+        promise = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      if (response.has_value()) {
+        promise.set_value(std::move(*response));
+      } else {
+        Response bad;
+        bad.ok = false;
+        bad.error = kCellUnreachable;
+        bad.message = "malformed response from cell " + peer_ + ": " + error;
         promise.set_value(std::move(bad));
       }
     }

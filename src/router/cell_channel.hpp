@@ -2,11 +2,17 @@
 //
 // The router talks to cells through the RequestSink contract; an embedded
 // cell is just the PlacementService itself, a remote cell is this class: a
-// pipelined JSON-lines client over one TCP or Unix-domain connection.
-// submit() atomically enqueues a promise and sends the encoded request
-// under one lock, so the promise FIFO and the byte stream agree on order;
-// a reader thread reassembles response lines and resolves promises
-// first-in-first-out (the daemon answers strictly in request order).
+// pipelined client over one TCP or Unix-domain connection, speaking either
+// JSON-lines or, when constructed with binary = true, the PRVB1 binary
+// protocol (binary_protocol.hpp — the channel sends the preamble at
+// connect and interns vm-type names into the cell's string table, so the
+// router→cell hot path is binary end-to-end). submit() atomically
+// enqueues a promise and sends the encoded request under one lock, so the
+// promise FIFO and the byte stream agree on order; the encode buffer is a
+// member reused across requests, so a warm channel submits without
+// allocating. A reader thread reassembles response frames and resolves
+// promises first-in-first-out (the daemon answers strictly in request
+// order).
 //
 // A dead connection never hangs callers: every pending and future submit
 // resolves to a structured {"ok":false,"error":"cell_unreachable"} reply.
@@ -19,6 +25,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -35,9 +42,10 @@ inline constexpr char kCellUnreachable[] = "cell_unreachable";
 class SocketCellChannel : public RequestSink {
  public:
   /// Connects to a Unix-domain socket. Throws std::runtime_error on failure.
-  explicit SocketCellChannel(const std::string& unix_path);
+  /// `binary` selects the PRVB1 wire protocol (preamble sent at connect).
+  explicit SocketCellChannel(const std::string& unix_path, bool binary = false);
   /// Connects to a TCP endpoint on `host`:`port`.
-  SocketCellChannel(const std::string& host, int port);
+  SocketCellChannel(const std::string& host, int port, bool binary = false);
   ~SocketCellChannel() override;
 
   SocketCellChannel(const SocketCellChannel&) = delete;
@@ -48,18 +56,28 @@ class SocketCellChannel : public RequestSink {
   /// False once the connection dropped (submits fail fast afterwards).
   bool connected() const;
 
+  /// True when the channel speaks PRVB1.
+  bool binary() const { return binary_; }
+
  private:
   void start_reader();
   void reader_loop();
+  void reader_loop_binary();
   /// Fails every queued promise with cell_unreachable (connection loss).
   void fail_all_locked(const std::string& detail);
 
   int fd_ = -1;
   std::string peer_;  ///< human-readable endpoint for error messages
+  const bool binary_ = false;
   std::thread reader_;
 
   mutable std::mutex mu_;
   std::deque<std::promise<Response>> pending_;  ///< FIFO, matches sent order
+  /// Reused across submits (guarded by mu_): a warm channel encodes into
+  /// this buffer's existing capacity instead of allocating per request.
+  std::string encode_buf_;
+  /// vm-type name -> slot already interned in the cell's string table.
+  std::unordered_map<std::string, std::uint16_t> intern_slots_;
   bool down_ = false;
   std::string down_detail_;
 };
@@ -84,6 +102,8 @@ class FailoverCellChannel : public RequestSink {
     /// Registry for prvm_router_failovers_total / prvm_router_promotions_total
     /// (null = counters skipped).
     obs::Registry* metrics = nullptr;
+    /// Speak PRVB1 to every endpoint (qualification included).
+    bool binary = false;
   };
 
   /// Throws std::runtime_error when NO endpoint is usable at construction

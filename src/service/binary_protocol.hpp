@@ -1,0 +1,161 @@
+// PRVB1 — the placement daemon's length-prefixed binary wire protocol.
+//
+// An opt-in alternative to the JSON-lines protocol (protocol.hpp) that
+// removes the per-request parse/allocate cost on the socket hot path. The
+// two protocols are semantically identical: a binary frame decodes to the
+// same Request struct the JSON parser produces (and a Response encodes
+// losslessly, `extra` members included), so the service behind the codec
+// cannot tell clients apart — the trace-replay differential in
+// tests/test_binary_protocol.cpp proves identical WAL bytes and state
+// digests for the same request stream over either protocol.
+//
+// Negotiation: a binary client sends the 5-byte preamble "PRVB1" as its
+// very first bytes on the connection. The server sniffs the first byte: a
+// JSON-lines client always starts with '{' (or whitespace), so a leading
+// 'P' selects the preamble check and anything else falls through to the
+// JSON path. After the preamble, every frame in both directions is:
+//
+//   offset 0  u8   magic   = 0xBF   (never valid JSON-lines start, resync point)
+//          1  u8   kind    (1 = request, 2 = response, 3 = intern)
+//          2  u16  reserved = 0     (little-endian, hostile-input check)
+//          4  u32  payload length   (little-endian)
+//          8  u32  CRC-32 of the payload (same polynomial as the WAL)
+//         12  payload bytes
+//
+// Payloads are flat little-endian structs: an op/flag byte pair, then the
+// fixed-width fields the flags declare (u64 ids, f64 cpu — varint-free),
+// then length-prefixed strings. VM-type names go through a per-connection
+// string table: an `intern` frame (kind 3, fire-and-forget, no response
+// slot) binds a u16 slot to a name once, and every later place refers to
+// the slot — the hot path never re-sends or re-allocates the name.
+//
+// Hostile input mirrors LineBuffer semantics: a bad magic/kind/reserved
+// byte, an oversized length or a CRC mismatch is reported exactly once as
+// a structured error, then the stream scans forward to the next plausible
+// frame header and resynchronizes — garbage never kills the connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace prvm {
+
+/// Connection preamble a binary client sends first ("PRVB1").
+inline constexpr char kBinaryPreamble[5] = {'P', 'R', 'V', 'B', '1'};
+/// First byte of every binary frame; doubles as the resync scan target.
+inline constexpr std::uint8_t kBinaryMagic = 0xBF;
+/// Frame header: magic, kind, reserved u16, payload len u32, payload CRC u32.
+inline constexpr std::size_t kBinaryHeaderBytes = 12;
+
+enum class BinaryFrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  /// Installs one (slot, name) pair in the receiver's string table. One-way:
+  /// no response slot is consumed, so the request/response FIFO stays aligned.
+  kIntern = 3,
+};
+
+/// Per-connection decode-side string table for VM-type names. Bounded; an
+/// intern beyond the cap is dropped and later references fail as bad_field.
+class BinaryStringTable {
+ public:
+  static constexpr std::size_t kMaxSlots = 1024;
+
+  /// Installs `name` at `slot` (re-installs overwrite). False when out of range.
+  bool install(std::uint16_t slot, std::string_view name);
+  /// The name bound to `slot`, or nullptr when the slot was never interned.
+  const std::string* lookup(std::uint16_t slot) const;
+
+ private:
+  std::vector<std::string> slots_;
+};
+
+// --- frame-level encode ----------------------------------------------------
+
+/// Appends one framed payload (header + bytes) to `out`.
+void append_binary_frame(BinaryFrameKind kind, std::string_view payload, std::string& out);
+
+/// Appends an intern frame binding `slot` to `name`.
+void append_intern_frame(std::uint16_t slot, std::string_view name, std::string& out);
+
+/// Appends a framed binary request. Field selection mirrors encode_request()
+/// exactly, so decoding yields the same Request struct either encoder's
+/// output would. When `type_slot` is set, the vm-type name is sent as that
+/// string-table slot (the caller must have interned it); otherwise any name
+/// travels inline.
+void encode_binary_request_into(const Request& request, std::string& out,
+                                std::optional<std::uint16_t> type_slot = std::nullopt);
+
+/// Appends a framed binary response; lossless for every Response field,
+/// `extra` (key, pre-encoded JSON value) pairs included, in order.
+void encode_binary_response_into(const Response& response, std::string& out);
+
+// --- payload-level decode --------------------------------------------------
+
+/// Decodes one request payload (the bytes after a kRequest frame header).
+/// Validation matches parse_request(): same required-field rules, same
+/// machine-readable error codes, plus "bad_frame" for structural payload
+/// damage the JSON protocol cannot express.
+std::variant<Request, ProtocolError> parse_binary_request(std::string_view payload,
+                                                          const BinaryStringTable& types);
+
+/// Decodes one intern payload into (slot, name). Nullopt on damage.
+std::optional<std::pair<std::uint16_t, std::string_view>> parse_intern(
+    std::string_view payload);
+
+/// Decodes one response payload; inverse of encode_binary_response_into.
+std::optional<Response> parse_binary_response(std::string_view payload, std::string* error);
+
+// --- connection framing ----------------------------------------------------
+
+/// Reassembles PRVB1 frames from arbitrary read chunks — the binary
+/// counterpart of LineBuffer. Payloads are returned as views into the
+/// internal buffer (valid until the next feed()/next() call), so the
+/// decode path runs straight out of the connection read buffer without an
+/// intermediate per-frame string.
+class BinaryFrameBuffer {
+ public:
+  explicit BinaryFrameBuffer(std::size_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  void feed(std::string_view bytes);
+
+  enum class Status : std::uint8_t {
+    kOk,         ///< intact frame, payload view set
+    kGarbage,    ///< bytes that never formed a header; reported once per run
+    kOversized,  ///< valid header but payload length beyond the cap
+    kBadCrc,     ///< complete frame whose payload failed its CRC
+  };
+
+  struct Frame {
+    Status status = Status::kOk;
+    BinaryFrameKind kind = BinaryFrameKind::kRequest;
+    std::string_view payload;  ///< only meaningful when status == kOk
+  };
+
+  /// Pops the next frame (or damage report), or nullopt when more bytes are
+  /// needed. After a damage report the stream resynchronizes by scanning to
+  /// the next plausible header; the skipped bytes are not re-reported.
+  std::optional<Frame> next();
+
+ private:
+  /// True when the bytes at `pos` could begin a frame header (enough of one
+  /// is visible to tell).
+  bool plausible_header_at(std::size_t pos, std::size_t available) const;
+
+  std::size_t max_frame_;
+  std::string buffer_;
+  std::size_t start_ = 0;     ///< consumed prefix, compacted lazily
+  bool discarding_ = false;   ///< inside an already-reported garbage run
+};
+
+/// The structured error a server reports for a damaged binary frame.
+ProtocolError binary_frame_error(BinaryFrameBuffer::Status status);
+
+}  // namespace prvm

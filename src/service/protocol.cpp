@@ -508,6 +508,11 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line) {
 std::string encode_request(const Request& request) {
   std::string out;
   out.reserve(64);
+  encode_request_into(request, out);
+  return out;
+}
+
+void encode_request_into(const Request& request, std::string& out) {
   out += "{\"op\":";
   out += json_quote(to_string(request.op));
   switch (request.op) {
@@ -580,7 +585,6 @@ std::string encode_request(const Request& request) {
     out += '"';
   }
   out += "}\n";
-  return out;
 }
 
 std::string encode_response(const Response& response) {

@@ -167,6 +167,10 @@ std::variant<Request, ProtocolError> parse_request(std::string_view line);
 /// round-trips through parse_request().
 std::string encode_request(const Request& request);
 
+/// As above, appending to `out` instead of allocating a fresh string; lets
+/// the router's cell channels reuse one encode buffer across requests.
+void encode_request_into(const Request& request, std::string& out);
+
 /// One response line. `extra` carries pre-encoded JSON members (stats
 /// counters) appended verbatim.
 struct Response {

@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -14,6 +15,7 @@
 #include <filesystem>
 
 #include "common/check.hpp"
+#include "service/binary_protocol.hpp"
 
 namespace prvm {
 
@@ -21,6 +23,9 @@ struct SocketServer::Connection {
   int fd = -1;
   std::thread reader;
   std::thread writer;
+  /// Wire protocol, set by the reader's preamble sniff before the first
+  /// response is enqueued; the writer picks its encoder off this.
+  std::atomic<bool> binary{false};
 
   // Bounded in-order pipeline of response futures, reader -> writer.
   std::mutex mu;
@@ -31,12 +36,26 @@ struct SocketServer::Connection {
 
 namespace {
 
-void write_all(int fd, const std::string& data) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ::ssize_t n = ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+/// Vectored write of a whole response burst: sendmsg is writev with
+/// MSG_NOSIGNAL, so a dead peer surfaces as an error instead of SIGPIPE.
+/// Advances the iovec array across partial writes.
+void writev_all(int fd, ::iovec* iov, std::size_t count) {
+  while (count > 0) {
+    ::msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    const ::ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n <= 0) return;  // peer went away; reader will notice EOF too
-    written += static_cast<std::size_t>(n);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (count > 0 && left >= iov->iov_len) {
+      left -= iov->iov_len;
+      ++iov;
+      --count;
+    }
+    if (count > 0 && left > 0) {
+      iov->iov_base = static_cast<char*>(iov->iov_base) + left;
+      iov->iov_len -= left;
+    }
   }
 }
 
@@ -115,13 +134,25 @@ void SocketServer::accept_loop() {
   }
 }
 
+void SocketServer::enqueue(Connection* connection, std::future<Response> response) {
+  const std::size_t max_pipeline = std::max<std::size_t>(1, config_.max_pipeline);
+  std::unique_lock<std::mutex> lock(connection->mu);
+  connection->cv.wait(lock, [&] { return connection->pipeline.size() < max_pipeline; });
+  connection->pipeline.push_back(std::move(response));
+  connection->cv.notify_all();
+}
+
 void SocketServer::serve_connection(Connection* connection) {
   connection->writer = std::thread([connection] {
-    // One reused output buffer: encode a burst of responses into it and ship
-    // them with a single send(). Under pipelined load this collapses N
-    // per-response syscalls (and N allocations) into one of each.
+    // Gather a burst of responses and ship it with one vectored sendmsg.
+    // Each response encodes into its own reused buffer from a fixed pool;
+    // the iovec array hands the whole burst to the kernel at once, so under
+    // pipelined load N per-response syscalls (and N allocations) collapse
+    // into a single syscall and zero steady-state allocations.
     constexpr std::size_t kMaxBurstBytes = 256 * 1024;
-    std::string out;
+    constexpr std::size_t kMaxBurstResponses = 64;
+    std::vector<std::string> bufs(kMaxBurstResponses);
+    std::vector<::iovec> iov(kMaxBurstResponses);
     while (true) {
       std::future<Response> next;
       {
@@ -134,11 +165,24 @@ void SocketServer::serve_connection(Connection* connection) {
         connection->pipeline.pop_front();
       }
       connection->cv.notify_all();  // reader may be blocked on the cap
-      out.clear();
-      encode_response_into(next.get(), out);
+      const bool binary = connection->binary.load(std::memory_order_relaxed);
+      std::size_t count = 0;
+      std::size_t bytes = 0;
+      const auto gather = [&](Response response) {
+        std::string& buf = bufs[count];
+        buf.clear();
+        if (binary) {
+          encode_binary_response_into(response, buf);
+        } else {
+          encode_response_into(response, buf);
+        }
+        bytes += buf.size();
+        ++count;
+      };
+      gather(next.get());
       // Opportunistically coalesce responses that are already resolved; the
-      // moment one would block (or the burst is large enough), send.
-      while (out.size() < kMaxBurstBytes) {
+      // moment one would block (or the burst is full), send.
+      while (count < kMaxBurstResponses && bytes < kMaxBurstBytes) {
         std::future<Response> more;
         {
           std::lock_guard<std::mutex> lock(connection->mu);
@@ -151,19 +195,64 @@ void SocketServer::serve_connection(Connection* connection) {
           connection->pipeline.pop_front();
         }
         connection->cv.notify_all();
-        encode_response_into(more.get(), out);
+        gather(more.get());
       }
-      write_all(connection->fd, out);
+      for (std::size_t i = 0; i < count; ++i) {
+        iov[i].iov_base = bufs[i].data();
+        iov[i].iov_len = bufs[i].size();
+      }
+      writev_all(connection->fd, iov.data(), count);
     }
   });
 
-  LineBuffer frames(config_.max_frame);
+  // Sniff the protocol off the connection's first bytes: only a PRVB1
+  // client starts with 'P' (JSON-lines requests lead with '{' or
+  // whitespace), and only the exact 5-byte preamble selects binary — a
+  // mismatch falls back to the JSON path, where it reports as bad_json.
   char buf[64 * 1024];
-  const std::size_t max_pipeline = std::max<std::size_t>(1, config_.max_pipeline);
+  std::string prefix;
+  bool binary = false;
+  bool eof = false;
   while (true) {
     const ::ssize_t n = ::recv(connection->fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    frames.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (n <= 0) {
+      eof = true;
+      break;
+    }
+    prefix.append(buf, static_cast<std::size_t>(n));
+    if (prefix[0] != kBinaryPreamble[0]) break;
+    if (prefix.size() >= sizeof(kBinaryPreamble)) {
+      if (std::memcmp(prefix.data(), kBinaryPreamble, sizeof(kBinaryPreamble)) == 0) {
+        binary = true;
+        prefix.erase(0, sizeof(kBinaryPreamble));
+      }
+      break;
+    }
+  }
+  if (!eof) {
+    connection->binary.store(binary, std::memory_order_relaxed);
+    if (binary) {
+      serve_binary(connection, prefix);
+    } else {
+      serve_json(connection, prefix);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connection->mu);
+    connection->closed = true;
+  }
+  connection->cv.notify_all();
+  connection->writer.join();
+  ::shutdown(connection->fd, SHUT_RDWR);
+}
+
+void SocketServer::serve_json(Connection* connection, std::string_view initial) {
+  LineBuffer frames(config_.max_frame);
+  char buf[64 * 1024];
+  std::string_view chunk = initial;
+  while (true) {
+    frames.feed(chunk);
     while (const auto frame = frames.next()) {
       if (!frame->oversized && frame->line.empty()) continue;  // ignore blank lines
       std::future<Response> response;
@@ -178,21 +267,52 @@ void SocketServer::serve_connection(Connection* connection) {
           response = service_.submit(std::get<Request>(std::move(parsed)));
         }
       }
-      std::unique_lock<std::mutex> lock(connection->mu);
-      connection->cv.wait(
-          lock, [&] { return connection->pipeline.size() < max_pipeline; });
-      connection->pipeline.push_back(std::move(response));
-      connection->cv.notify_all();
+      enqueue(connection, std::move(response));
     }
+    const ::ssize_t n = ::recv(connection->fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    chunk = std::string_view(buf, static_cast<std::size_t>(n));
   }
+}
 
-  {
-    std::lock_guard<std::mutex> lock(connection->mu);
-    connection->closed = true;
+void SocketServer::serve_binary(Connection* connection, std::string_view initial) {
+  BinaryFrameBuffer frames(config_.max_frame);
+  BinaryStringTable types;
+  char buf[64 * 1024];
+  std::string_view chunk = initial;
+  while (true) {
+    frames.feed(chunk);
+    while (const auto frame = frames.next()) {
+      std::future<Response> response;
+      if (frame->status != BinaryFrameBuffer::Status::kOk) {
+        response = ready_response(protocol_error_response(binary_frame_error(frame->status)));
+      } else if (frame->kind == BinaryFrameKind::kIntern) {
+        // One-way: consumes no response slot. A damaged or over-cap intern
+        // is dropped; the next request referencing the slot reports
+        // bad_field in its own order slot.
+        if (const auto intern = parse_intern(frame->payload)) {
+          types.install(intern->first, intern->second);
+        }
+        continue;
+      } else if (frame->kind != BinaryFrameKind::kRequest) {
+        response = ready_response(protocol_error_response(
+            ProtocolError{"bad_frame", "unexpected frame kind from a client"}));
+      } else {
+        // Decodes straight out of the frame buffer: the payload view is
+        // borrowed, only the Request's own fields are materialized.
+        auto parsed = parse_binary_request(frame->payload, types);
+        if (auto* error = std::get_if<ProtocolError>(&parsed)) {
+          response = ready_response(protocol_error_response(*error));
+        } else {
+          response = service_.submit(std::get<Request>(std::move(parsed)));
+        }
+      }
+      enqueue(connection, std::move(response));
+    }
+    const ::ssize_t n = ::recv(connection->fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    chunk = std::string_view(buf, static_cast<std::size_t>(n));
   }
-  connection->cv.notify_all();
-  connection->writer.join();
-  ::shutdown(connection->fd, SHUT_RDWR);
 }
 
 void SocketServer::stop() {

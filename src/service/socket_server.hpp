@@ -1,23 +1,33 @@
 // Socket front-end of the placement daemon: accepts TCP or Unix-domain
-// connections speaking the JSON-lines protocol and feeds a RequestSink —
-// the PlacementService queue in a standalone daemon, the multi-cell Router
-// in a routing tier (they share the submit() contract, see
-// request_sink.hpp).
+// connections and feeds a RequestSink — the PlacementService queue in a
+// standalone daemon, the multi-cell Router in a routing tier (they share
+// the submit() contract, see request_sink.hpp).
 //
-// Per connection, a reader thread reassembles frames (LineBuffer handles
-// partial reads and oversized-frame resync), decodes them, and submits to
-// the service; a writer thread emits responses strictly in request order.
-// The pair is coupled by a bounded pipeline of response futures, so a
-// client may stream many requests ahead of its reads (pipelining is what
-// lets one connection keep the batching engine busy) while memory per
-// connection stays bounded — the reader blocks once `max_pipeline`
-// responses are outstanding.
+// Each connection auto-negotiates its wire protocol from the first bytes
+// it sends: the 5-byte preamble "PRVB1" selects the binary protocol
+// (binary_protocol.hpp), anything else — a JSON-lines client always leads
+// with '{' or whitespace — falls through to the JSON path unchanged.
+//
+// Per connection, a reader thread reassembles frames (LineBuffer /
+// BinaryFrameBuffer handle partial reads and hostile-input resync),
+// decodes them, and submits to the service; a writer thread emits
+// responses strictly in request order. Binary frames decode straight out
+// of the connection read buffer (string_view payloads, no per-frame
+// string), and the writer gathers a burst of already-resolved responses
+// into one vectored sendmsg — N responses, one syscall. The pair is
+// coupled by a bounded pipeline of response futures, so a client may
+// stream many requests ahead of its reads (pipelining is what lets one
+// connection keep the batching engine busy) while memory per connection
+// stays bounded — the reader blocks once `max_pipeline` responses are
+// outstanding.
 //
 // Decode failures never kill the connection: they resolve to structured
-// {"ok":false,...} replies in the same order slot the request occupied.
+// error replies in the same order slot the request occupied.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -66,6 +76,13 @@ class SocketServer {
 
   void accept_loop();
   void serve_connection(Connection* connection);
+  /// Protocol-specific read loops; `initial` is whatever arrived past the
+  /// sniffed preamble in the first read(s).
+  void serve_json(Connection* connection, std::string_view initial);
+  void serve_binary(Connection* connection, std::string_view initial);
+  /// Pushes one response future into the ordered pipeline, blocking on the
+  /// `max_pipeline` cap.
+  void enqueue(Connection* connection, std::future<Response> response);
 
   RequestSink& service_;
   SocketServerConfig config_;

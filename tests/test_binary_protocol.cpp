@@ -1,0 +1,511 @@
+// PRVB1 binary codec (DESIGN.md §10): every wire op must round-trip to the
+// exact Request struct the JSON parser produces, responses must round-trip
+// losslessly (extras included), and hostile input — truncation, oversized
+// lengths, CRC damage, raw garbage — must surface as one structured report
+// followed by clean resynchronization, mirroring LineBuffer semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "service/binary_protocol.hpp"
+#include "service/protocol.hpp"
+
+namespace prvm {
+namespace {
+
+Request place_request(std::uint64_t vm, std::size_t type, std::string group = "") {
+  Request request;
+  request.op = RequestOp::kPlace;
+  request.vm_id = vm;
+  request.vm_type_index = type;
+  request.group = std::move(group);
+  return request;
+}
+
+Request vm_request(RequestOp op, std::uint64_t vm) {
+  Request request;
+  request.op = op;
+  request.vm_id = vm;
+  return request;
+}
+
+/// Every wire-encodable request shape (the JSON round-trip test's list plus
+/// util, rebalance and the replication ops).
+std::vector<Request> wire_requests() {
+  std::vector<Request> requests;
+  requests.push_back(place_request(7, 2, "web"));
+  requests.push_back(place_request(8, 0));
+  requests.push_back(vm_request(RequestOp::kRelease, 3));
+  requests.push_back(vm_request(RequestOp::kMigrate, 4));
+  requests.push_back(vm_request(RequestOp::kLookup, 5));
+  for (const RequestOp op :
+       {RequestOp::kStats, RequestOp::kHealth, RequestOp::kMetrics, RequestOp::kDrain,
+        RequestOp::kPromote}) {
+    Request request;
+    request.op = op;
+    requests.push_back(request);
+  }
+  {
+    Request request;
+    request.op = RequestOp::kGroupReserve;
+    request.vm_id = 9;
+    request.group = "g \"quoted\"";
+    requests.push_back(request);
+    request.op = RequestOp::kGroupCommit;
+    request.cell = 3;
+    requests.push_back(request);
+    request.op = RequestOp::kGroupAbort;
+    request.cell.reset();
+    requests.push_back(request);
+  }
+  Request by_name;
+  by_name.op = RequestOp::kPlace;
+  by_name.vm_id = 11;
+  by_name.vm_type_name = "m3.xlarge";
+  requests.push_back(by_name);
+  {
+    Request util;
+    util.op = RequestOp::kUtil;
+    util.vm_id = 12;
+    util.cpu = 0.8125;
+    requests.push_back(util);
+    util.vm_id = 0;
+    util.pm = 4;
+    requests.push_back(util);
+  }
+  {
+    Request rebalance;
+    rebalance.op = RequestOp::kRebalance;
+    requests.push_back(rebalance);
+    rebalance.action = "trigger";
+    requests.push_back(rebalance);
+  }
+  {
+    Request hello;
+    hello.op = RequestOp::kReplHello;
+    hello.seq = 41;
+    requests.push_back(hello);
+    Request snap;
+    snap.op = RequestOp::kReplSnapshot;
+    snap.seq = 42;
+    snap.offset = 128;
+    snap.eof = true;
+    snap.data = "deadbeef";
+    requests.push_back(snap);
+    Request frames;
+    frames.op = RequestOp::kReplFrames;
+    frames.seq = 43;
+    frames.data = "cafe";
+    requests.push_back(frames);
+    Request promote;
+    promote.op = RequestOp::kPromote;
+    promote.seq = 44;
+    requests.push_back(promote);
+  }
+  return requests;
+}
+
+/// Decodes exactly one intact frame out of `bytes`; the payload is copied
+/// into `storage` so it outlives the function-local frame buffer.
+BinaryFrameBuffer::Frame one_frame(std::string_view bytes, std::string& storage) {
+  BinaryFrameBuffer frames;
+  frames.feed(bytes);
+  const auto frame = frames.next();
+  if (!frame.has_value()) {
+    ADD_FAILURE() << "expected one complete frame";
+    return {};
+  }
+  storage.assign(frame->payload);
+  BinaryFrameBuffer::Frame copy = *frame;
+  copy.payload = storage;
+  return copy;
+}
+
+void put_u64_le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void expect_same_request(const Request& a, const Request& b, const char* what) {
+  EXPECT_EQ(a.op, b.op) << what;
+  EXPECT_EQ(a.vm_id, b.vm_id) << what;
+  EXPECT_EQ(a.vm_type_index, b.vm_type_index) << what;
+  EXPECT_EQ(a.vm_type_name, b.vm_type_name) << what;
+  EXPECT_EQ(a.group, b.group) << what;
+  EXPECT_EQ(a.cell, b.cell) << what;
+  EXPECT_EQ(a.seq, b.seq) << what;
+  EXPECT_EQ(a.offset, b.offset) << what;
+  EXPECT_EQ(a.eof, b.eof) << what;
+  EXPECT_EQ(a.data, b.data) << what;
+  EXPECT_EQ(a.pm, b.pm) << what;
+  EXPECT_EQ(a.cpu, b.cpu) << what;
+  EXPECT_EQ(a.action, b.action) << what;
+}
+
+TEST(BinaryProtocol, RequestRoundTripsEveryOpIdenticallyToJson) {
+  const BinaryStringTable empty_table;
+  for (const Request& request : wire_requests()) {
+    std::string encoded;
+    encode_binary_request_into(request, encoded);
+    std::string storage;
+    const auto frame = one_frame(encoded, storage);
+    ASSERT_EQ(frame.status, BinaryFrameBuffer::Status::kOk);
+    ASSERT_EQ(frame.kind, BinaryFrameKind::kRequest);
+    const auto parsed = parse_binary_request(frame.payload, empty_table);
+    const Request* binary_round = std::get_if<Request>(&parsed);
+    ASSERT_NE(binary_round, nullptr)
+        << to_string(request.op) << ": " << std::get<ProtocolError>(parsed).message;
+
+    // The differential anchor: the JSON parse of the JSON encode and the
+    // binary parse of the binary encode must agree field for field.
+    const std::string line = encode_request(request);
+    const auto json_parsed = parse_request(std::string_view(line).substr(0, line.size() - 1));
+    const Request* json_round = std::get_if<Request>(&json_parsed);
+    ASSERT_NE(json_round, nullptr) << line;
+    expect_same_request(*binary_round, *json_round, to_string(request.op));
+  }
+}
+
+TEST(BinaryProtocol, ResponseRoundTripsLosslessIncludingExtras) {
+  std::vector<Response> responses;
+  {
+    Response ok;
+    ok.ok = true;
+    ok.op = "place";
+    ok.vm = 7;
+    ok.pm = 12;
+    responses.push_back(ok);
+  }
+  {
+    Response rejected;
+    rejected.ok = false;
+    rejected.op = "place";
+    rejected.vm = 9;
+    rejected.error = "no_capacity";
+    rejected.message = "no PM fits \"m3.xlarge\"";
+    responses.push_back(rejected);
+  }
+  {
+    Response busy;
+    busy.ok = false;
+    busy.error = "queue_full";
+    busy.retry_after_ms = 5.25;
+    responses.push_back(busy);
+  }
+  {
+    Response stats;
+    stats.ok = true;
+    stats.op = "stats";
+    stats.extra.emplace_back("used_pms", "17");
+    stats.extra.emplace_back("state_digest", "\"123456789\"");
+    stats.extra.emplace_back("role", "\"leader\"");
+    responses.push_back(stats);
+  }
+  {
+    Response odd;
+    odd.ok = true;
+    odd.op = "custom_op_name";  // op outside the wire table travels inline
+    responses.push_back(odd);
+  }
+  for (const Response& response : responses) {
+    std::string encoded;
+    encode_binary_response_into(response, encoded);
+    std::string storage;
+    const auto frame = one_frame(encoded, storage);
+    ASSERT_EQ(frame.status, BinaryFrameBuffer::Status::kOk);
+    ASSERT_EQ(frame.kind, BinaryFrameKind::kResponse);
+    std::string error;
+    const auto round = parse_binary_response(frame.payload, &error);
+    ASSERT_TRUE(round.has_value()) << error;
+    EXPECT_EQ(round->ok, response.ok);
+    EXPECT_EQ(round->op, response.op);
+    EXPECT_EQ(round->vm, response.vm);
+    EXPECT_EQ(round->pm, response.pm);
+    EXPECT_EQ(round->error, response.error);
+    EXPECT_EQ(round->message, response.message);
+    EXPECT_EQ(round->retry_after_ms, response.retry_after_ms);
+    EXPECT_EQ(round->extra, response.extra);
+  }
+}
+
+TEST(BinaryProtocol, InternSlotsResolveAndUnknownSlotIsBadField) {
+  BinaryStringTable table;
+  std::string intern;
+  append_intern_frame(5, "c5.2xlarge", intern);
+  std::string storage;
+  const auto frame = one_frame(intern, storage);
+  ASSERT_EQ(frame.kind, BinaryFrameKind::kIntern);
+  const auto parsed_intern = parse_intern(frame.payload);
+  ASSERT_TRUE(parsed_intern.has_value());
+  EXPECT_TRUE(table.install(parsed_intern->first, parsed_intern->second));
+
+  Request place;
+  place.op = RequestOp::kPlace;
+  place.vm_id = 1;
+  place.vm_type_name = "c5.2xlarge";
+  std::string by_slot;
+  encode_binary_request_into(place, by_slot, 5);
+  const auto slot_frame = one_frame(by_slot, storage);
+  const auto via_slot = parse_binary_request(slot_frame.payload, table);
+  const Request* round = std::get_if<Request>(&via_slot);
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->vm_type_name, "c5.2xlarge");
+
+  // Same bytes against a table that never interned the slot: bad_field, the
+  // same code JSON type confusion reports — never a crash or a wrong type.
+  const BinaryStringTable empty;
+  const auto unknown = parse_binary_request(slot_frame.payload, empty);
+  const ProtocolError* error = std::get_if<ProtocolError>(&unknown);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, "bad_field");
+
+  // The table cap is enforced at install time.
+  EXPECT_FALSE(table.install(BinaryStringTable::kMaxSlots, "overflow"));
+}
+
+TEST(BinaryProtocol, ValidationMatchesJsonErrorCodes) {
+  const BinaryStringTable table;
+  const auto code_of = [&](const Request& request) {
+    std::string encoded;
+    encode_binary_request_into(request, encoded);
+    std::string storage;
+    const auto frame = one_frame(encoded, storage);
+    const auto parsed = parse_binary_request(frame.payload, table);
+    const ProtocolError* error = std::get_if<ProtocolError>(&parsed);
+    return error != nullptr ? error->code : std::string("(accepted)");
+  };
+
+  // A type-less place cannot come out of the encoder (it always sends an
+  // index for a name-less place); build the payload by hand: op 1 (place),
+  // field bits = vm only.
+  {
+    std::string payload;
+    payload.push_back(1);     // op code: place
+    payload.push_back(0x01);  // field bits: vm
+    payload.push_back(0);     // string bits
+    payload.push_back(0);     // reserved
+    put_u64_le(payload, 1);   // vm
+    const auto parsed = parse_binary_request(payload, table);
+    const ProtocolError* error = std::get_if<ProtocolError>(&parsed);
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->code, "missing_field");
+  }
+
+  Request no_group;
+  no_group.op = RequestOp::kGroupReserve;
+  no_group.vm_id = 2;
+  EXPECT_EQ(code_of(no_group), "missing_field");
+
+  Request no_cell;
+  no_cell.op = RequestOp::kGroupCommit;
+  no_cell.vm_id = 2;
+  no_cell.group = "g";
+  EXPECT_EQ(code_of(no_cell), "missing_field");
+
+  Request big_vm = place_request(0x1'0000'0000ull, 0);
+  EXPECT_EQ(code_of(big_vm), "bad_field");  // vm must fit 32 bits, like JSON
+
+  Request bad_cpu;
+  bad_cpu.op = RequestOp::kUtil;
+  bad_cpu.vm_id = 3;
+  bad_cpu.cpu = 2.5;
+  EXPECT_EQ(code_of(bad_cpu), "bad_field");
+
+  // A vm+pm util conflict cannot come out of the encoder either (a pm-keyed
+  // util never sends the vm): op 16 (util), field bits = vm|pm|cpu.
+  {
+    std::string payload;
+    payload.push_back(16);    // op code: util
+    payload.push_back(0x23);  // field bits: vm | pm | cpu
+    payload.push_back(0);     // string bits
+    payload.push_back(0);     // reserved
+    put_u64_le(payload, 3);   // vm
+    put_u64_le(payload, 4);   // pm
+    put_u64_le(payload, 0x3FE0000000000000ull);  // cpu = 0.5 as f64 bits
+    const auto parsed = parse_binary_request(payload, table);
+    const ProtocolError* error = std::get_if<ProtocolError>(&parsed);
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->code, "bad_field");
+  }
+
+  Request bad_action;
+  bad_action.op = RequestOp::kRebalance;
+  bad_action.action = "explode";
+  EXPECT_EQ(code_of(bad_action), "bad_field");
+
+  Request no_seq;
+  no_seq.op = RequestOp::kReplHello;
+  EXPECT_EQ(code_of(no_seq), "missing_field");
+
+  // The internal scan op has no wire code: it encodes to op 0, which must
+  // decode as unknown_op — kRebalanceScan can never cross a socket.
+  Request scan;
+  scan.op = RequestOp::kRebalanceScan;
+  EXPECT_EQ(code_of(scan), "unknown_op");
+}
+
+TEST(BinaryProtocol, FrameBufferReassemblesArbitraryChunks) {
+  const std::vector<Request> requests = wire_requests();
+  std::string stream;
+  for (const Request& request : requests) encode_binary_request_into(request, stream);
+
+  Rng rng(0xb17e5u);
+  for (int round = 0; round < 50; ++round) {
+    BinaryFrameBuffer frames;
+    const BinaryStringTable table;
+    std::size_t decoded = 0;
+    std::size_t fed = 0;
+    while (true) {
+      while (const auto frame = frames.next()) {
+        ASSERT_EQ(frame->status, BinaryFrameBuffer::Status::kOk);
+        const auto parsed = parse_binary_request(frame->payload, table);
+        const Request* round_trip = std::get_if<Request>(&parsed);
+        ASSERT_NE(round_trip, nullptr);
+        ASSERT_LT(decoded, requests.size());
+        expect_same_request(*round_trip, requests[decoded], "chunked");
+        ++decoded;
+      }
+      if (fed >= stream.size()) break;
+      const std::size_t chunk = std::min<std::size_t>(
+          stream.size() - fed, 1 + rng.uniform_index(7));
+      frames.feed(std::string_view(stream).substr(fed, chunk));
+      fed += chunk;
+    }
+    EXPECT_EQ(decoded, requests.size());
+  }
+}
+
+TEST(BinaryProtocol, GarbagePrefixIsReportedOnceAndStreamResyncs) {
+  std::string stream = "GET / HTTP/1.1\r\n\r\n";  // never a PRVB1 header
+  Request place = place_request(21, 1);
+  encode_binary_request_into(place, stream);
+
+  BinaryFrameBuffer frames;
+  frames.feed(stream);
+  const auto garbage = frames.next();
+  ASSERT_TRUE(garbage.has_value());
+  EXPECT_EQ(garbage->status, BinaryFrameBuffer::Status::kGarbage);
+  const auto recovered = frames.next();
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_EQ(recovered->status, BinaryFrameBuffer::Status::kOk);
+  const BinaryStringTable table;
+  const auto parsed = parse_binary_request(recovered->payload, table);
+  const Request* round = std::get_if<Request>(&parsed);
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->vm_id, 21u);
+  EXPECT_FALSE(frames.next().has_value());
+}
+
+TEST(BinaryProtocol, TruncatedFrameWaitsForTheRest) {
+  std::string frame_bytes;
+  encode_binary_request_into(place_request(5, 0), frame_bytes);
+  BinaryFrameBuffer frames;
+  // Byte-by-byte: no spurious frame or damage report mid-way.
+  for (std::size_t i = 0; i + 1 < frame_bytes.size(); ++i) {
+    frames.feed(std::string_view(&frame_bytes[i], 1));
+    EXPECT_FALSE(frames.next().has_value()) << "after byte " << i;
+  }
+  frames.feed(std::string_view(&frame_bytes[frame_bytes.size() - 1], 1));
+  const auto frame = frames.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->status, BinaryFrameBuffer::Status::kOk);
+}
+
+TEST(BinaryProtocol, OversizedLengthIsReportedOnceAndNeverTrusted) {
+  // A hostile header claiming a 1 GiB payload: the buffer must not wait for
+  // (or allocate) a gigabyte — report once, then resync on the next header.
+  std::string stream;
+  stream.push_back(static_cast<char>(kBinaryMagic));
+  stream.push_back(1);  // kRequest
+  stream.push_back(0);
+  stream.push_back(0);
+  const std::uint32_t huge = 1u << 30;
+  for (int i = 0; i < 4; ++i) stream.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  for (int i = 0; i < 4; ++i) stream.push_back(0);  // crc, irrelevant
+  encode_binary_request_into(place_request(6, 0), stream);
+
+  BinaryFrameBuffer frames;
+  frames.feed(stream);
+  const auto oversized = frames.next();
+  ASSERT_TRUE(oversized.has_value());
+  EXPECT_EQ(oversized->status, BinaryFrameBuffer::Status::kOversized);
+  const auto recovered = frames.next();
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_EQ(recovered->status, BinaryFrameBuffer::Status::kOk);
+  const BinaryStringTable table;
+  const auto parsed = parse_binary_request(recovered->payload, table);
+  ASSERT_NE(std::get_if<Request>(&parsed), nullptr);
+}
+
+TEST(BinaryProtocol, BadCrcIsReportedOnceAndTheNextFrameDecodes) {
+  std::string damaged;
+  encode_binary_request_into(place_request(7, 0), damaged);
+  damaged[damaged.size() - 1] ^= 0x40;  // flip a payload bit
+  encode_binary_request_into(place_request(8, 0), damaged);
+
+  BinaryFrameBuffer frames;
+  frames.feed(damaged);
+  const auto bad = frames.next();
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, BinaryFrameBuffer::Status::kBadCrc);
+  const auto good = frames.next();
+  ASSERT_TRUE(good.has_value());
+  ASSERT_EQ(good->status, BinaryFrameBuffer::Status::kOk);
+  const BinaryStringTable table;
+  const auto parsed = parse_binary_request(good->payload, table);
+  const Request* round = std::get_if<Request>(&parsed);
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->vm_id, 8u);
+}
+
+TEST(BinaryProtocol, FuzzMutatedStreamsNeverCrashAndReportsAreFinite) {
+  // Mirror of the JSON fuzz suite: take a healthy stream, smash random bytes
+  // and random truncations into it, and require the decoder to (a) never
+  // crash or hang, (b) produce only well-formed verdicts, (c) keep every
+  // payload it does emit decodable or cleanly rejected.
+  std::string healthy;
+  for (const Request& request : wire_requests()) {
+    encode_binary_request_into(request, healthy);
+  }
+  Rng rng(0xf22du);
+  const BinaryStringTable table;
+  for (int round = 0; round < 200; ++round) {
+    std::string stream = healthy;
+    const int mutations = 1 + static_cast<int>(rng.uniform_index(8));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.uniform_index(stream.size());
+      stream[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    if (rng.chance(0.3)) stream.resize(rng.uniform_index(stream.size()));
+
+    BinaryFrameBuffer frames;
+    std::size_t fed = 0;
+    std::size_t verdicts = 0;
+    while (true) {
+      while (const auto frame = frames.next()) {
+        ++verdicts;
+        ASSERT_LT(verdicts, 10000u) << "decoder is not making progress";
+        if (frame->status != BinaryFrameBuffer::Status::kOk) continue;
+        if (frame->kind == BinaryFrameKind::kRequest) {
+          (void)parse_binary_request(frame->payload, table);
+        } else if (frame->kind == BinaryFrameKind::kIntern) {
+          (void)parse_intern(frame->payload);
+        } else {
+          std::string error;
+          (void)parse_binary_response(frame->payload, &error);
+        }
+      }
+      if (fed >= stream.size()) break;
+      const std::size_t chunk =
+          std::min<std::size_t>(stream.size() - fed, 1 + rng.uniform_index(63));
+      frames.feed(std::string_view(stream).substr(fed, chunk));
+      fed += chunk;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prvm

@@ -45,6 +45,8 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::f
 #include "common/rng.hpp"
 #include "core/catalog_graphs.hpp"
 #include "placement/pagerank_vm.hpp"
+#include "service/binary_protocol.hpp"
+#include "service/protocol.hpp"
 
 #include <gtest/gtest.h>
 
@@ -96,6 +98,80 @@ TEST(EngineAlloc, WarmSpeculateIsAllocationFree) {
   const std::size_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after, before) << "speculate() allocated " << (after - before)
                            << " times across 50 warm rounds";
+}
+
+// The cell channel's submit path (cell_channel.cpp) encodes every request
+// into one member buffer it clears and reuses — the fix this test pins
+// down: a warm channel must encode without touching the heap at all on the
+// binary protocol, and the reused JSON buffer must beat the old
+// fresh-string-per-request encode_request() path. The channel itself is not
+// constructed here (its promise queue allocates by design); the encode
+// calls below are exactly the ones submit() makes.
+TEST(ChannelEncodeAlloc, WarmReusedEncodeBufferDelta) {
+  Request place;
+  place.op = RequestOp::kPlace;
+  place.vm_id = 123456;
+  place.vm_type_index = 7;
+  place.group = "web-tier";
+
+  constexpr int kRounds = 1000;
+  std::string reused;
+
+  // Warm-up sizes the reused buffer once.
+  encode_binary_request_into(place, reused);
+  reused.clear();
+  encode_binary_request_into(place, reused, /*type_slot=*/std::nullopt);
+
+  // Binary encode into the warm buffer: zero heap traffic. This is the
+  // whole point of the PRVB1 hot path — no std::to_string, no json_quote
+  // temporaries, just byte appends into existing capacity.
+  std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kRounds; ++i) {
+    reused.clear();
+    encode_binary_request_into(place, reused);
+  }
+  const std::size_t binary_allocs = g_allocations.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(binary_allocs, 0u) << "warm binary encode allocated";
+
+  // JSON into the same reused buffer: the std::to_string/json_quote
+  // temporaries fit the small-string optimization at this request size, so
+  // buffer reuse alone gets JSON to zero too — larger fields (long group
+  // names, repl hex payloads) spill and allocate where binary still won't.
+  reused.clear();
+  encode_request_into(place, reused);
+  before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kRounds; ++i) {
+    reused.clear();
+    encode_request_into(place, reused);
+  }
+  const std::size_t json_reused_allocs =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  // The old channel behavior: a fresh string per request on top of that.
+  before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string line = encode_request(place);
+    ASSERT_FALSE(line.empty());
+  }
+  const std::size_t json_fresh_allocs =
+      g_allocations.load(std::memory_order_relaxed) - before;
+
+  // Report the per-request deltas the buffer-reuse fix and the binary
+  // codec buy (visible with --gtest_brief=0 and in CI logs).
+  RecordProperty("binary_allocs_per_request", static_cast<int>(binary_allocs / kRounds));
+  RecordProperty("json_reused_allocs_per_request",
+                 static_cast<int>(json_reused_allocs / kRounds));
+  RecordProperty("json_fresh_allocs_per_request",
+                 static_cast<int>(json_fresh_allocs / kRounds));
+  std::printf("[ alloc/req ] binary reused=%.2f  json reused=%.2f  json fresh=%.2f\n",
+              static_cast<double>(binary_allocs) / kRounds,
+              static_cast<double>(json_reused_allocs) / kRounds,
+              static_cast<double>(json_fresh_allocs) / kRounds);
+
+  // Reusing the buffer must strictly beat allocating a line per request;
+  // binary must never be worse than JSON on the same reused buffer.
+  EXPECT_LT(json_reused_allocs, json_fresh_allocs);
+  EXPECT_LE(binary_allocs, json_reused_allocs);
 }
 
 }  // namespace

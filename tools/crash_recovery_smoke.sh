@@ -8,13 +8,20 @@
 # companion of the in-process differential tests in
 # tests/test_service_recovery.cpp.
 #
-# Usage: tools/crash_recovery_smoke.sh [BUILD_DIR] [extra prvm_serve flags...]
+# Usage: tools/crash_recovery_smoke.sh [BUILD_DIR] [extra flags...]
 # e.g.   tools/crash_recovery_smoke.sh build --parallel-workers 4 --flush-group 256
+#        tools/crash_recovery_smoke.sh build --binary    # PRVB1 clients
+# `--binary` goes to the loadgen clients (the daemon negotiates per
+# connection); everything else goes to prvm_serve.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 [ "$#" -gt 0 ] && shift
-SERVE_ARGS=("$@")
+SERVE_ARGS=()
+LOADGEN_ARGS=()
+for arg in "$@"; do
+  if [ "$arg" = "--binary" ]; then LOADGEN_ARGS+=("$arg"); else SERVE_ARGS+=("$arg"); fi
+done
 SERVE="$BUILD_DIR/tools/prvm_serve"
 LOADGEN="$BUILD_DIR/tools/prvm_loadgen"
 [ -x "$SERVE" ] && [ -x "$LOADGEN" ] || { echo "build prvm_serve + prvm_loadgen first"; exit 1; }
@@ -47,7 +54,7 @@ start_daemon() {
 field() { sed -n "s/.*$2=\\([^ ]*\\).*/\\1/p" <<< "$1"; }
 
 start_daemon
-BEFORE="$("$LOADGEN" --socket "$SOCK" --place 500)"
+BEFORE="$("$LOADGEN" --socket "$SOCK" ${LOADGEN_ARGS[@]+"${LOADGEN_ARGS[@]}"} --place 500)"
 echo "before kill -9:  $BEFORE"
 
 kill -9 "$SERVE_PID"
@@ -55,7 +62,7 @@ wait "$SERVE_PID" 2>/dev/null || true
 rm -f "$SOCK"
 
 start_daemon
-AFTER="$("$LOADGEN" --socket "$SOCK" --stats)"
+AFTER="$("$LOADGEN" --socket "$SOCK" ${LOADGEN_ARGS[@]+"${LOADGEN_ARGS[@]}"} --stats)"
 echo "after recovery:  $AFTER"
 
 FAILED=0

@@ -19,6 +19,12 @@
 //   --util-feed N          collector-agent mode: push skewed per-VM `util`
 //                          samples for VMs 1..N so one PM reads overloaded
 //                          (drives the online rebalancer; see DESIGN.md §9)
+//
+// --binary switches the workload connections to the PRVB1 binary protocol
+// (binary_protocol.hpp): same requests, same semantics, measured against
+// the same daemon — the json-vs-binary rows in BENCH_service_socket.json
+// come from two runs differing only in this flag. Stats/metrics queries
+// stay JSON-lines on their own connections either way.
 #include <atomic>
 #include <algorithm>
 #include <chrono>
@@ -43,6 +49,7 @@
 #include "cluster/catalog.hpp"
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
+#include "service/binary_protocol.hpp"
 #include "service/protocol.hpp"
 #include "sim/simulator.hpp"
 
@@ -86,12 +93,17 @@ struct Options {
   double util_hot = 1.0;    ///< fraction fed to VMs on the hot PM
   double util_cool = 0.05;  ///< fraction fed to everyone else
   std::optional<std::uint64_t> hot_pm;  ///< default: the fullest PM
+  /// --binary: speak PRVB1 on the workload connections.
+  bool binary = false;
 };
 
-/// A blocking JSON-lines client connection with FIFO pipelining.
+/// A blocking client connection with FIFO pipelining: JSON-lines by
+/// default, PRVB1 binary when constructed with binary = true (the preamble
+/// goes out at connect). The typed send helpers encode into one reused
+/// buffer, so a warm connection sends without allocating.
 class Client {
  public:
-  Client(const Endpoint& endpoint) {
+  explicit Client(const Endpoint& endpoint, bool binary = false) : binary_(binary) {
     if (endpoint.port >= 0) {
       fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
       sockaddr_in addr{};
@@ -112,6 +124,10 @@ class Client {
         throw std::runtime_error("cannot connect to " + endpoint.socket_path);
       }
     }
+    if (binary_) {
+      out_.assign(kBinaryPreamble, sizeof(kBinaryPreamble));
+      send_buffer();
+    }
   }
 
   ~Client() {
@@ -130,7 +146,78 @@ class Client {
     }
   }
 
-  /// Next response line (blocking).
+  /// Encodes and sends one request in the connection's protocol.
+  void send_request(const Request& request) {
+    out_.clear();
+    if (binary_) {
+      encode_binary_request_into(request, out_);
+    } else {
+      encode_request_into(request, out_);
+    }
+    send_buffer();
+  }
+
+  void send_place(std::uint64_t vm, std::size_t type) {
+    Request request;
+    request.op = RequestOp::kPlace;
+    request.vm_id = vm;
+    request.vm_type_index = type;
+    send_request(request);
+  }
+
+  void send_release(std::uint64_t vm) {
+    Request request;
+    request.op = RequestOp::kRelease;
+    request.vm_id = vm;
+    send_request(request);
+  }
+
+  void send_lookup(std::uint64_t vm) {
+    Request request;
+    request.op = RequestOp::kLookup;
+    request.vm_id = vm;
+    send_request(request);
+  }
+
+  void send_util(std::uint64_t vm, double cpu) {
+    Request request;
+    request.op = RequestOp::kUtil;
+    request.vm_id = vm;
+    request.cpu = cpu;
+    send_request(request);
+  }
+
+  /// Next response, decoded in the connection's protocol (blocking).
+  Response recv_response() {
+    if (!binary_) {
+      std::string error;
+      auto response = parse_response(recv_line(), &error);
+      if (!response.has_value()) {
+        throw std::runtime_error("bad response from daemon: " + error);
+      }
+      return std::move(*response);
+    }
+    while (true) {
+      if (const auto frame = bframes_.next()) {
+        if (frame->status != BinaryFrameBuffer::Status::kOk ||
+            frame->kind != BinaryFrameKind::kResponse) {
+          throw std::runtime_error("corrupt binary response stream from daemon");
+        }
+        std::string error;
+        auto response = parse_binary_response(frame->payload, &error);
+        if (!response.has_value()) {
+          throw std::runtime_error("bad response from daemon: " + error);
+        }
+        return std::move(*response);
+      }
+      char buf[16 * 1024];
+      const ::ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) throw std::runtime_error("connection closed by daemon");
+      bframes_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+  /// Next response line (blocking); JSON-lines connections only.
   std::string recv_line() {
     while (true) {
       if (const auto frame = frames_.next()) {
@@ -152,18 +239,22 @@ class Client {
   }
 
  private:
+  void send_buffer() {
+    std::size_t written = 0;
+    while (written < out_.size()) {
+      const ::ssize_t n =
+          ::send(fd_, out_.data() + written, out_.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) throw std::runtime_error("connection lost while sending");
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
   int fd_ = -1;
+  const bool binary_;
+  std::string out_;  ///< reused encode buffer
   LineBuffer frames_;
+  BinaryFrameBuffer bframes_;
 };
-
-std::string place_line(std::uint64_t vm, std::size_t type) {
-  return "{\"op\":\"place\",\"vm\":" + std::to_string(vm) + ",\"type\":" + std::to_string(type) +
-         "}\n";
-}
-
-std::string release_line(std::uint64_t vm) {
-  return "{\"op\":\"release\",\"vm\":" + std::to_string(vm) + "}\n";
-}
 
 double field_number(const JsonValue& doc, const char* key) {
   const JsonValue* value = doc.find(key);
@@ -225,7 +316,7 @@ double retry_delay_ms(double hint_ms, std::uint32_t attempt, Rng& rng) {
 void run_worker(const Options& options, const std::vector<double>& mix, std::size_t index,
                 std::size_t churn_ops, std::atomic<bool>& fill_done, WorkerResult& result) {
   // Connections are dealt round-robin across the targets.
-  Client client(options.endpoints[index % options.endpoints.size()]);
+  Client client(options.endpoints[index % options.endpoints.size()], options.binary);
   Rng rng(0x10adull * (index + 1));
   // Per-connection id space: the protocol caps VM ids at 32 bits, so each
   // connection gets a 16M-id band.
@@ -242,8 +333,12 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
   std::deque<Resend> resend;
 
   const auto draw_type = [&] { return rng.weighted_index(mix); };
-  const auto line_for = [](const Inflight& r) {
-    return r.is_place ? place_line(r.vm, r.type) : release_line(r.vm);
+  const auto send_inflight = [&](const Inflight& r) {
+    if (r.is_place) {
+      client.send_place(r.vm, r.type);
+    } else {
+      client.send_release(r.vm);
+    }
   };
 
   // Puts every due resend back on the wire. When `wait` and nothing is in
@@ -259,7 +354,7 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
     const auto now = Clock::now();
     for (std::size_t i = 0; i < resend.size();) {
       if (resend[i].due <= now) {
-        client.send_line(line_for(resend[i].request));
+        send_inflight(resend[i].request);
         inflight.push_back(resend[i].request);
         resend[i] = resend.back();
         resend.pop_back();
@@ -274,16 +369,13 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
   const auto settle_one = [&](bool timing) -> int {
     Inflight front = inflight.front();
     inflight.pop_front();
-    const JsonValue doc = client.recv_json();
-    const JsonValue* ok = doc.find("ok");
-    bool accepted = ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean;
+    const Response reply = client.recv_response();
+    bool accepted = reply.ok;
     if (!accepted) {
-      const JsonValue* err = doc.find("error");
-      const std::string reason =
-          err != nullptr && err->kind == JsonValue::Kind::kString ? err->string : "";
+      const std::string& reason = reply.error;
       if ((reason == "queue_full" || reason == "degraded_storage") &&
           front.attempt < kMaxAttempts) {
-        const double delay = retry_delay_ms(field_number(doc, "retry_after_ms"),
+        const double delay = retry_delay_ms(reply.retry_after_ms.value_or(0.0),
                                             front.attempt, rng);
         ++front.attempt;
         ++result.retries;
@@ -333,7 +425,7 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
       request.vm = next_vm++;
       request.type = draw_type();
       request.sent = Clock::now();
-      client.send_line(place_line(request.vm, request.type));
+      client.send_place(request.vm, request.type);
       inflight.push_back(request);
     }
     while (inflight.size() > options.pipeline / 2) {
@@ -362,7 +454,7 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
       const std::uint64_t victim = live[pick];
       live[pick] = live.back();
       live.pop_back();
-      client.send_line(release_line(victim));
+      client.send_release(victim);
       inflight.push_back(Inflight{Clock::now(), false, false, victim, 0, 0});
 
       Inflight request;
@@ -371,7 +463,7 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
       request.vm = next_vm++;
       request.type = draw_type();
       request.sent = Clock::now();
-      client.send_line(place_line(request.vm, request.type));
+      client.send_place(request.vm, request.type);
       inflight.push_back(request);
       ++sent_pairs;
     }
@@ -397,7 +489,7 @@ void run_worker(const Options& options, const std::vector<double>& mix, std::siz
     while (!live.empty() && inflight.size() < options.pipeline) {
       const std::uint64_t victim = live.back();
       live.pop_back();
-      client.send_line(release_line(victim));
+      client.send_release(victim);
       inflight.push_back(Inflight{Clock::now(), false, false, victim, 0, 0});
     }
     if (!inflight.empty()) settle_one(false);
@@ -491,7 +583,7 @@ RoundResult run_round(const Options& options, const std::vector<double>& mix,
 /// a VM off the hot PM the feed reports it cool at its new home — the
 /// hotspot drains for real instead of chasing stale assignments.
 int run_util_feed(const Options& options) {
-  Client client(options.endpoints.front());
+  Client client(options.endpoints.front(), options.binary);
 
   // Pipelined lookup of VMs 1..N; unplaced ids are simply skipped.
   const auto lookup_all = [&] {
@@ -500,17 +592,14 @@ int run_util_feed(const Options& options) {
     std::uint64_t next = 1;
     while (next <= options.util_feed || !inflight.empty()) {
       while (next <= options.util_feed && inflight.size() < options.pipeline) {
-        client.send_line("{\"op\":\"lookup\",\"vm\":" + std::to_string(next) + "}\n");
+        client.send_lookup(next);
         inflight.push_back(next);
         ++next;
       }
-      const JsonValue doc = client.recv_json();
+      const Response reply = client.recv_response();
       const std::uint64_t vm = inflight.front();
       inflight.pop_front();
-      const JsonValue* ok = doc.find("ok");
-      if (ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean) {
-        placed.emplace_back(vm, static_cast<std::uint64_t>(field_number(doc, "pm")));
-      }
+      if (reply.ok) placed.emplace_back(vm, reply.pm.value_or(0));
     }
     return placed;
   };
@@ -547,23 +636,19 @@ int run_util_feed(const Options& options) {
     }
     std::size_t hot_residents = 0;
     std::deque<bool> inflight;  // pipelined util acks (content ignored)
-    char line[96];
     for (const auto& [vm, pm] : placed) {
       const bool hot = pm == hot_pm;
       hot_residents += hot ? 1 : 0;
-      std::snprintf(line, sizeof(line), "{\"op\":\"util\",\"vm\":%llu,\"cpu\":%.4f}\n",
-                    static_cast<unsigned long long>(vm),
-                    hot ? options.util_hot : options.util_cool);
-      client.send_line(line);
+      client.send_util(vm, hot ? options.util_hot : options.util_cool);
       inflight.push_back(true);
       ++samples;
       while (inflight.size() >= options.pipeline) {
-        client.recv_json();
+        client.recv_response();
         inflight.pop_front();
       }
     }
     while (!inflight.empty()) {
-      client.recv_json();
+      client.recv_response();
       inflight.pop_front();
     }
     std::printf("util-feed[%zu]: hot_pm=%llu residents=%zu vms=%zu\n", round,
@@ -670,9 +755,11 @@ int main(int argc, char** argv) {
       options.util_cool = std::stod(value());
     } else if (arg == "--hot-pm") {
       options.hot_pm = std::stoull(value());
+    } else if (arg == "--binary") {
+      options.binary = true;
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--socket PATH | --port N | --endpoint SPEC ...]\n"
+                << " [--socket PATH | --port N | --endpoint SPEC ...] [--binary]\n"
                 << "       [--connections C | --sweep C1,C2,..]\n"
                 << "       [--pipeline W] [--fill-pms N --ops M [--json PATH]] | [--place N]\n"
                 << "       | [--stats] | [--metrics]\n"
@@ -724,7 +811,7 @@ int main(int argc, char** argv) {
       // Transient rejections (queue_full, degraded_storage) are retried with
       // the server's backoff hint; a retried place answered duplicate_vm was
       // actually applied by an earlier attempt and counts as placed.
-      Client client(options.endpoints.front());
+      Client client(options.endpoints.front(), options.binary);
       Rng rng(0x91aceull);  // fixed seed: the smoke test replays this exact stream
       std::size_t placed = 0;
       std::size_t retries = 0;
@@ -733,25 +820,21 @@ int main(int argc, char** argv) {
         const std::uint64_t vm = next_vm++;
         const std::size_t type = rng.weighted_index(mix);
         for (std::uint32_t attempt = 0;; ++attempt) {
-          client.send_line(place_line(vm, type));
-          const JsonValue doc = client.recv_json();
-          const JsonValue* ok = doc.find("ok");
-          if (ok != nullptr && ok->kind == JsonValue::Kind::kBool && ok->boolean) {
+          client.send_place(vm, type);
+          const Response reply = client.recv_response();
+          if (reply.ok) {
             ++placed;
             break;
           }
-          const JsonValue* err = doc.find("error");
-          const std::string reason =
-              err != nullptr && err->kind == JsonValue::Kind::kString ? err->string : "";
-          if (attempt > 0 && reason == "duplicate_vm") {
+          if (attempt > 0 && reply.error == "duplicate_vm") {
             ++placed;
             break;
           }
-          if ((reason == "queue_full" || reason == "degraded_storage") &&
+          if ((reply.error == "queue_full" || reply.error == "degraded_storage") &&
               attempt < 2 * kMaxAttempts) {
             ++retries;
             const double delay =
-                retry_delay_ms(field_number(doc, "retry_after_ms"), attempt, rng);
+                retry_delay_ms(reply.retry_after_ms.value_or(0.0), attempt, rng);
             std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
             continue;
           }
@@ -839,6 +922,7 @@ int main(int argc, char** argv) {
         os << "]}";
       };
       os << "{\n  \"benchmark\": \"service_throughput\",\n  \"catalog\": \"ec2_sim\",\n"
+         << "  \"protocol\": \"" << (options.binary ? "binary" : "json") << "\",\n"
          << "  \"churn_ops\": " << last.churn_places << ",\n  \"connections\": "
          << last.connections << ",\n  \"pipeline\": " << options.pipeline << ",\n"
          << "  \"sweep\": [\n";

@@ -51,6 +51,7 @@ void usage(const char* argv0) {
       << "  --socket PATH        listen on a Unix-domain socket (default /tmp/prvm.sock)\n"
       << "  --port N             listen on loopback TCP instead (0 = ephemeral)\n"
       << "  --cell SPEC          add a remote cell: unix:/path.sock or tcp:PORT\n"
+      << "  --binary-cells       speak the PRVB1 binary protocol to remote cells\n"
       << "                       (repeat once per cell, in cell-id order); a comma-\n"
       << "                       separated list (leader,replica,...) enables failover:\n"
       << "                       on leader loss the next reachable endpoint is promoted\n"
@@ -84,6 +85,7 @@ int main(int argc, char** argv) {
   bool use_tcp = false;
   int tcp_port = 0;
   std::vector<std::string> cell_specs;
+  bool binary_cells = false;
   std::size_t embedded_cells = 0;
   std::size_t fleet = 10000;
   std::optional<int> metrics_port;
@@ -112,6 +114,8 @@ int main(int argc, char** argv) {
       use_tcp = true;
     } else if (arg == "--cell") {
       cell_specs.push_back(value());
+    } else if (arg == "--binary-cells") {
+      binary_cells = true;
     } else if (arg == "--cells") {
       embedded_cells = static_cast<std::size_t>(std::stoull(value()));
     } else if (arg == "--fleet") {
@@ -172,6 +176,7 @@ int main(int argc, char** argv) {
         if (spec.find(',') != std::string::npos) {
           FailoverCellChannel::Config failover;
           failover.metrics = &obs::Registry::global();
+          failover.binary = binary_cells;
           std::size_t start = 0;
           while (start <= spec.size()) {
             const std::size_t comma = spec.find(',', start);
@@ -184,10 +189,11 @@ int main(int argc, char** argv) {
           }
           channels.push_back(std::make_unique<FailoverCellChannel>(std::move(failover)));
         } else if (spec.rfind("unix:", 0) == 0) {
-          channels.push_back(std::make_unique<SocketCellChannel>(spec.substr(5)));
+          channels.push_back(
+              std::make_unique<SocketCellChannel>(spec.substr(5), binary_cells));
         } else if (spec.rfind("tcp:", 0) == 0) {
           channels.push_back(std::make_unique<SocketCellChannel>(
-              "127.0.0.1", std::stoi(spec.substr(4))));
+              "127.0.0.1", std::stoi(spec.substr(4)), binary_cells));
         } else {
           std::cerr << "prvm_router: bad --cell spec '" << spec
                     << "' (want unix:PATH or tcp:PORT, comma-separated for failover)\n";
