@@ -113,36 +113,55 @@ std::future<Response> SocketCellChannel::submit(Request request) {
   // The buffer is a member: past the first few requests its capacity covers
   // every frame, so a warm submit performs zero allocations.
   encode_buf_.clear();
+  const auto send_buffer = [&]() -> bool {
+    std::size_t written = 0;
+    while (written < encode_buf_.size()) {
+      const ::ssize_t n =
+          ::send(fd_, encode_buf_.data() + written, encode_buf_.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      written += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  bool wire_ok = true;
   if (binary_) {
     std::optional<std::uint16_t> slot;
     if (request.op == RequestOp::kPlace && !request.vm_type_name.empty()) {
       const auto known = intern_slots_.find(request.vm_type_name);
       if (known != intern_slots_.end()) {
         slot = known->second;
-      } else if (intern_slots_.size() < BinaryStringTable::kMaxSlots) {
+      } else if (intern_slots_.size() < BinaryStringTable::kMaxSlots &&
+                 append_intern_frame(static_cast<std::uint16_t>(intern_slots_.size()),
+                                     request.vm_type_name, encode_buf_)) {
         // First sight of this type name: bind it in the cell's string table
         // with an intern frame riding the same send as the request.
         slot = static_cast<std::uint16_t>(intern_slots_.size());
         intern_slots_.emplace(request.vm_type_name, *slot);
-        append_intern_frame(*slot, request.vm_type_name, encode_buf_);
       }
-      // Table full: the name travels inline (slot stays empty).
+      // Table full (or name beyond the wire limit): the name travels inline.
     }
-    encode_binary_request_into(request, encode_buf_, slot);
+    wire_ok = encode_binary_request_into(request, encode_buf_, slot);
   } else {
     encode_request_into(request, encode_buf_);
   }
-  pending_.push_back(std::move(promise));
-  std::size_t written = 0;
-  while (written < encode_buf_.size()) {
-    const ::ssize_t n =
-        ::send(fd_, encode_buf_.data() + written, encode_buf_.size() - written, MSG_NOSIGNAL);
-    if (n <= 0) {
-      fail_all_locked("send failed");
-      return future;
-    }
-    written += static_cast<std::size_t>(n);
+  if (!wire_ok) {
+    // The request cannot be represented on the wire (a string field beyond
+    // its length prefix): refuse it in its own slot without consuming a
+    // response slot. The buffer holds at most an intern frame for a slot
+    // already recorded above — flush it so the cell's table stays in sync.
+    if (!send_buffer()) fail_all_locked("send failed");
+    lock.unlock();
+    Response response;
+    response.ok = false;
+    response.op = to_string(request.op);
+    response.vm = request.vm_id;
+    response.error = "bad_field";
+    response.message = "request exceeds binary wire-format limits";
+    promise.set_value(std::move(response));
+    return future;
   }
+  pending_.push_back(std::move(promise));
+  if (!send_buffer()) fail_all_locked("send failed");
   return future;
 }
 
@@ -308,7 +327,12 @@ void SocketCellChannel::reader_loop() {
 }
 
 void SocketCellChannel::reader_loop_binary() {
-  BinaryFrameBuffer frames;
+  // Responses are not bounded by the request frame cap (stats/metrics
+  // extras can be large); the server guarantees every encoded response
+  // stays under kMaxBinaryResponseBytes — substituting a structured
+  // oversized_response error otherwise — so a big-but-valid response can
+  // never look like damage here.
+  BinaryFrameBuffer frames(kMaxBinaryResponseBytes);
   char buf[16 * 1024];
   while (true) {
     const ::ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);

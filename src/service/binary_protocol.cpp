@@ -234,16 +234,25 @@ void finish_frame(std::string& out, std::size_t payload_start) {
 
 }  // namespace
 
-void append_intern_frame(std::uint16_t slot, std::string_view name, std::string& out) {
+bool append_intern_frame(std::uint16_t slot, std::string_view name, std::string& out) {
+  if (name.size() > 0xFFFF) return false;  // u16 length prefix; never truncate
   const std::size_t payload = begin_frame(BinaryFrameKind::kIntern, out);
   put_u16(out, slot);
   put_u16(out, static_cast<std::uint16_t>(name.size()));
   out.append(name);
   finish_frame(out, payload);
+  return true;
 }
 
-void encode_binary_request_into(const Request& request, std::string& out,
+bool encode_binary_request_into(const Request& request, std::string& out,
                                 std::optional<std::uint16_t> type_slot) {
+  // A string beyond its wire length prefix cannot be encoded: a truncated
+  // prefix would leave the tail bytes reinterpreted as later fields —
+  // silent corruption. Refuse up front, before touching `out`.
+  if (request.vm_type_name.size() > 0xFFFF || request.group.size() > 0xFFFF ||
+      request.action.size() > 0xFF || request.data.size() > 0xFFFFFFFFull) {
+    return false;
+  }
   const std::size_t payload = begin_frame(BinaryFrameKind::kRequest, out);
 
   std::uint8_t fields = 0;
@@ -301,9 +310,48 @@ void encode_binary_request_into(const Request& request, std::string& out,
     out.append(request.data);
   }
   finish_frame(out, payload);
+  return true;
 }
 
+namespace {
+
+/// True when `response` fits the wire format: every length prefix holds its
+/// string, at most 65535 extras, whole frame under kMaxBinaryResponseBytes.
+bool response_fits_wire(const Response& response) {
+  if (response.op.size() > 0xFFFF || response.error.size() > 0xFFFF ||
+      response.message.size() > 0xFFFF || response.extra.size() > 0xFFFF) {
+    return false;
+  }
+  // Upper bound on the encoded frame: header, flag bytes, the three fixed
+  // fields, each string with its prefix, the extra count.
+  std::size_t bytes = kBinaryHeaderBytes + 4 + 3 * 8 + 2 +
+                      response.op.size() + response.error.size() + response.message.size() +
+                      2 + 2 + 2;
+  for (const auto& [key, encoded] : response.extra) {
+    if (key.size() > 0xFFFF) return false;
+    bytes += 2 + 4 + key.size() + encoded.size();
+  }
+  return bytes <= kMaxBinaryResponseBytes;
+}
+
+}  // namespace
+
 void encode_binary_response_into(const Response& response, std::string& out) {
+  if (!response_fits_wire(response)) {
+    // Substitute a structured error in the same response slot: the binary
+    // cell channel condemns the whole connection on an oversized or
+    // undecodable frame, so an unrepresentable response must degrade to a
+    // per-slot error exactly like an oversized JSON line does client-side.
+    Response substitute;
+    substitute.ok = false;
+    substitute.op = response.op.size() <= 0xFFFF ? response.op : std::string();
+    substitute.vm = response.vm;
+    substitute.pm = response.pm;
+    substitute.error = "oversized_response";
+    substitute.message = "response exceeds binary wire-format limits";
+    encode_binary_response_into(substitute, out);
+    return;
+  }
   const std::size_t payload = begin_frame(BinaryFrameKind::kResponse, out);
 
   std::uint8_t flags = 0;
@@ -635,28 +683,29 @@ std::optional<BinaryFrameBuffer::Frame> BinaryFrameBuffer::next() {
              << (8 * i);
     }
     if (len > max_frame_) {
-      // A hostile length field must not control how far we skip: report the
-      // oversized frame once and fall into the garbage scan right after the
-      // header, resynchronizing at the next plausible magic byte.
+      // A hostile length field must not control how far we skip: skip only
+      // the header and fall into the garbage scan, resynchronizing at the
+      // next plausible magic byte. Every oversized header is its own report
+      // — each damaged pipelined frame must consume one response slot or
+      // the request/response FIFO shifts — but the untrusted payload bytes
+      // that follow are one already-accounted-for garbage run, so the scan
+      // is marked as reported.
       start_ += kBinaryHeaderBytes;
-      const bool report = !discarding_;
       discarding_ = true;
-      if (report) return Frame{Status::kOversized, BinaryFrameKind::kRequest, {}};
-      continue;
+      return Frame{Status::kOversized, BinaryFrameKind::kRequest, {}};
     }
     if (available < kBinaryHeaderBytes + len) return std::nullopt;  // payload arriving
 
     const std::string_view payload(buffer_.data() + start_ + kBinaryHeaderBytes, len);
     start_ += kBinaryHeaderBytes + len;
+    discarding_ = false;  // a complete plausible frame is a trusted boundary
     if (crc32(payload.data(), payload.size()) != crc) {
       // The header was plausible, so trust its length for consumption; the
-      // payload itself is damaged. Report once per damage run.
-      const bool report = !discarding_;
-      discarding_ = true;
-      if (report) return Frame{Status::kBadCrc, BinaryFrameKind::kRequest, {}};
-      continue;
+      // payload itself is damaged. The boundary is exact, so report every
+      // bad-CRC frame individually — N corrupted pipelined requests must
+      // yield N error responses, mirroring one JSON error per damaged line.
+      return Frame{Status::kBadCrc, BinaryFrameKind::kRequest, {}};
     }
-    discarding_ = false;
     return Frame{Status::kOk, static_cast<BinaryFrameKind>(kind_byte), payload};
   }
 }

@@ -29,10 +29,14 @@
 // slot) binds a u16 slot to a name once, and every later place refers to
 // the slot — the hot path never re-sends or re-allocates the name.
 //
-// Hostile input mirrors LineBuffer semantics: a bad magic/kind/reserved
-// byte, an oversized length or a CRC mismatch is reported exactly once as
-// a structured error, then the stream scans forward to the next plausible
-// frame header and resynchronizes — garbage never kills the connection.
+// Hostile input mirrors LineBuffer semantics: every complete frame whose
+// payload fails its CRC, and every header whose length exceeds the cap,
+// is reported as its own structured error — the frame boundary is known,
+// so per-frame reports keep the request/response FIFO aligned exactly
+// like one JSON error per damaged line. Only unframed garbage (bytes that
+// never formed a header) collapses to one report per run while the stream
+// scans forward to the next plausible header — garbage never kills the
+// connection.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +56,14 @@ inline constexpr char kBinaryPreamble[5] = {'P', 'R', 'V', 'B', '1'};
 inline constexpr std::uint8_t kBinaryMagic = 0xBF;
 /// Frame header: magic, kind, reserved u16, payload len u32, payload CRC u32.
 inline constexpr std::size_t kBinaryHeaderBytes = 12;
+
+/// Frame cap for server→client response streams. Responses (stats/metrics
+/// extras included) are not bounded by the request cap, and a binary cell
+/// channel condemns the connection on an oversized frame — so the server
+/// guarantees every encoded response fits under this bound (substituting a
+/// structured oversized_response error otherwise) and response-side
+/// BinaryFrameBuffers are sized to match. Mirrors kMaxReplFrameBytes.
+inline constexpr std::size_t kMaxBinaryResponseBytes = 4 * 1024 * 1024;
 
 enum class BinaryFrameKind : std::uint8_t {
   kRequest = 1,
@@ -81,19 +93,27 @@ class BinaryStringTable {
 /// Appends one framed payload (header + bytes) to `out`.
 void append_binary_frame(BinaryFrameKind kind, std::string_view payload, std::string& out);
 
-/// Appends an intern frame binding `slot` to `name`.
-void append_intern_frame(std::uint16_t slot, std::string_view name, std::string& out);
+/// Appends an intern frame binding `slot` to `name`. False (with `out`
+/// unchanged) when `name` exceeds its u16 length prefix — never truncates.
+bool append_intern_frame(std::uint16_t slot, std::string_view name, std::string& out);
 
 /// Appends a framed binary request. Field selection mirrors encode_request()
 /// exactly, so decoding yields the same Request struct either encoder's
 /// output would. When `type_slot` is set, the vm-type name is sent as that
 /// string-table slot (the caller must have interned it); otherwise any name
-/// travels inline.
-void encode_binary_request_into(const Request& request, std::string& out,
+/// travels inline. False (with `out` unchanged) when a string field exceeds
+/// its wire length prefix (u16 type/group, u8 action, u32 data) — a request
+/// that cannot be represented is refused, never silently corrupted.
+bool encode_binary_request_into(const Request& request, std::string& out,
                                 std::optional<std::uint16_t> type_slot = std::nullopt);
 
 /// Appends a framed binary response; lossless for every Response field,
-/// `extra` (key, pre-encoded JSON value) pairs included, in order.
+/// `extra` (key, pre-encoded JSON value) pairs included, in order. A
+/// response that cannot be represented on the wire — a string beyond its
+/// length prefix, more than 65535 extras, or a frame beyond
+/// kMaxBinaryResponseBytes — is substituted with a structured
+/// `oversized_response` error carrying the same op/vm/pm, so the frame
+/// stream stays decodable and the response FIFO stays aligned.
 void encode_binary_response_into(const Response& response, std::string& out);
 
 // --- payload-level decode --------------------------------------------------
@@ -129,8 +149,8 @@ class BinaryFrameBuffer {
   enum class Status : std::uint8_t {
     kOk,         ///< intact frame, payload view set
     kGarbage,    ///< bytes that never formed a header; reported once per run
-    kOversized,  ///< valid header but payload length beyond the cap
-    kBadCrc,     ///< complete frame whose payload failed its CRC
+    kOversized,  ///< valid header but payload length beyond the cap; one report per header
+    kBadCrc,     ///< complete frame whose payload failed its CRC; one report per frame
   };
 
   struct Frame {
@@ -140,8 +160,10 @@ class BinaryFrameBuffer {
   };
 
   /// Pops the next frame (or damage report), or nullopt when more bytes are
-  /// needed. After a damage report the stream resynchronizes by scanning to
-  /// the next plausible header; the skipped bytes are not re-reported.
+  /// needed. Framed damage (bad CRC, oversized header) is reported per
+  /// frame so each damaged pipelined request still consumes exactly one
+  /// response slot; only unframed garbage collapses to one report while the
+  /// stream scans to the next plausible header.
   std::optional<Frame> next();
 
  private:
@@ -152,7 +174,7 @@ class BinaryFrameBuffer {
   std::size_t max_frame_;
   std::string buffer_;
   std::size_t start_ = 0;     ///< consumed prefix, compacted lazily
-  bool discarding_ = false;   ///< inside an already-reported garbage run
+  bool discarding_ = false;   ///< inside an already-reported unframed-garbage scan
 };
 
 /// The structured error a server reports for a damaged binary frame.

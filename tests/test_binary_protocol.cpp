@@ -1,8 +1,10 @@
 // PRVB1 binary codec (DESIGN.md §10): every wire op must round-trip to the
 // exact Request struct the JSON parser produces, responses must round-trip
-// losslessly (extras included), and hostile input — truncation, oversized
-// lengths, CRC damage, raw garbage — must surface as one structured report
-// followed by clean resynchronization, mirroring LineBuffer semantics.
+// losslessly (extras included), and hostile input must mirror LineBuffer
+// semantics — every framed damage (bad CRC, oversized header) is its own
+// structured report so each damaged pipelined request consumes exactly one
+// response slot, unframed garbage collapses to one report per run, and the
+// stream always resynchronizes cleanly.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -414,43 +416,59 @@ TEST(BinaryProtocol, TruncatedFrameWaitsForTheRest) {
   EXPECT_EQ(frame->status, BinaryFrameBuffer::Status::kOk);
 }
 
-TEST(BinaryProtocol, OversizedLengthIsReportedOnceAndNeverTrusted) {
-  // A hostile header claiming a 1 GiB payload: the buffer must not wait for
-  // (or allocate) a gigabyte — report once, then resync on the next header.
+TEST(BinaryProtocol, OversizedLengthIsReportedPerHeaderAndNeverTrusted) {
+  // Hostile headers claiming a 1 GiB payload: the buffer must not wait for
+  // (or allocate) a gigabyte, and every oversized header must get its own
+  // report — each one consumed a pipelined request slot — before resyncing
+  // on the next plausible header.
+  const auto hostile_header = [](std::string& out) {
+    out.push_back(static_cast<char>(kBinaryMagic));
+    out.push_back(1);  // kRequest
+    out.push_back(0);
+    out.push_back(0);
+    const std::uint32_t huge = 1u << 30;
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+    for (int i = 0; i < 4; ++i) out.push_back(0);  // crc, irrelevant
+  };
   std::string stream;
-  stream.push_back(static_cast<char>(kBinaryMagic));
-  stream.push_back(1);  // kRequest
-  stream.push_back(0);
-  stream.push_back(0);
-  const std::uint32_t huge = 1u << 30;
-  for (int i = 0; i < 4; ++i) stream.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
-  for (int i = 0; i < 4; ++i) stream.push_back(0);  // crc, irrelevant
+  hostile_header(stream);
+  hostile_header(stream);
   encode_binary_request_into(place_request(6, 0), stream);
 
   BinaryFrameBuffer frames;
   frames.feed(stream);
-  const auto oversized = frames.next();
-  ASSERT_TRUE(oversized.has_value());
-  EXPECT_EQ(oversized->status, BinaryFrameBuffer::Status::kOversized);
+  for (int report = 0; report < 2; ++report) {
+    const auto oversized = frames.next();
+    ASSERT_TRUE(oversized.has_value()) << "report " << report;
+    EXPECT_EQ(oversized->status, BinaryFrameBuffer::Status::kOversized) << "report " << report;
+  }
   const auto recovered = frames.next();
   ASSERT_TRUE(recovered.has_value());
   ASSERT_EQ(recovered->status, BinaryFrameBuffer::Status::kOk);
   const BinaryStringTable table;
   const auto parsed = parse_binary_request(recovered->payload, table);
   ASSERT_NE(std::get_if<Request>(&parsed), nullptr);
+  EXPECT_FALSE(frames.next().has_value());
 }
 
-TEST(BinaryProtocol, BadCrcIsReportedOnceAndTheNextFrameDecodes) {
+TEST(BinaryProtocol, EveryBadCrcFrameIsReportedAndTheNextFrameDecodes) {
+  // Two corrupted pipelined frames must yield two reports: the frame
+  // boundary is exact, and a once-per-run collapse would permanently shift
+  // the request/response FIFO on a live connection.
   std::string damaged;
   encode_binary_request_into(place_request(7, 0), damaged);
-  damaged[damaged.size() - 1] ^= 0x40;  // flip a payload bit
+  damaged[damaged.size() - 1] ^= 0x40;  // flip a payload bit in frame 1
   encode_binary_request_into(place_request(8, 0), damaged);
+  damaged[damaged.size() - 1] ^= 0x40;  // ... and in frame 2
+  encode_binary_request_into(place_request(9, 0), damaged);
 
   BinaryFrameBuffer frames;
   frames.feed(damaged);
-  const auto bad = frames.next();
-  ASSERT_TRUE(bad.has_value());
-  EXPECT_EQ(bad->status, BinaryFrameBuffer::Status::kBadCrc);
+  for (int report = 0; report < 2; ++report) {
+    const auto bad = frames.next();
+    ASSERT_TRUE(bad.has_value()) << "report " << report;
+    EXPECT_EQ(bad->status, BinaryFrameBuffer::Status::kBadCrc) << "report " << report;
+  }
   const auto good = frames.next();
   ASSERT_TRUE(good.has_value());
   ASSERT_EQ(good->status, BinaryFrameBuffer::Status::kOk);
@@ -458,7 +476,96 @@ TEST(BinaryProtocol, BadCrcIsReportedOnceAndTheNextFrameDecodes) {
   const auto parsed = parse_binary_request(good->payload, table);
   const Request* round = std::get_if<Request>(&parsed);
   ASSERT_NE(round, nullptr);
-  EXPECT_EQ(round->vm_id, 8u);
+  EXPECT_EQ(round->vm_id, 9u);
+  EXPECT_FALSE(frames.next().has_value());
+}
+
+TEST(BinaryProtocol, EncoderRefusesStringsBeyondWireLimitsInsteadOfTruncating) {
+  // A string beyond its length prefix must fail the encode outright: a
+  // truncated prefix would leave the tail bytes reinterpreted as later
+  // fields — silent corruption instead of an error.
+  const std::string huge(0x10000, 'g');
+
+  Request big_group;
+  big_group.op = RequestOp::kGroupReserve;
+  big_group.vm_id = 1;
+  big_group.group = huge;
+  std::string out = "prefix";
+  EXPECT_FALSE(encode_binary_request_into(big_group, out));
+  EXPECT_EQ(out, "prefix");  // nothing half-written
+
+  Request big_type;
+  big_type.op = RequestOp::kPlace;
+  big_type.vm_id = 2;
+  big_type.vm_type_name = huge;
+  EXPECT_FALSE(encode_binary_request_into(big_type, out));
+
+  Request big_action;
+  big_action.op = RequestOp::kRebalance;
+  big_action.action = std::string(0x100, 'a');
+  EXPECT_FALSE(encode_binary_request_into(big_action, out));
+  EXPECT_EQ(out, "prefix");
+
+  EXPECT_FALSE(append_intern_frame(1, huge, out));
+  EXPECT_EQ(out, "prefix");
+
+  // The in-range shapes still encode.
+  Request fits;
+  fits.op = RequestOp::kGroupReserve;
+  fits.vm_id = 3;
+  fits.group = std::string(0xFFFF, 'g');
+  out.clear();
+  EXPECT_TRUE(encode_binary_request_into(fits, out));
+  EXPECT_TRUE(append_intern_frame(2, std::string(0xFFFF, 'n'), out));
+}
+
+TEST(BinaryProtocol, UnrepresentableResponseSubstitutesStructuredError) {
+  // A response that cannot be expressed on the wire must degrade to a
+  // decodable per-slot error — never a truncated count that desyncs the
+  // stream, never an oversized frame that condemns a cell channel.
+  Response too_many;
+  too_many.ok = true;
+  too_many.op = "stats";
+  too_many.vm = 3;
+  for (std::size_t i = 0; i < 0x10000; ++i) too_many.extra.emplace_back("k", "1");
+
+  std::string encoded;
+  encode_binary_response_into(too_many, encoded);
+  std::string storage;
+  const auto frame = one_frame(encoded, storage);
+  ASSERT_EQ(frame.status, BinaryFrameBuffer::Status::kOk);
+  std::string error;
+  const auto round = parse_binary_response(frame.payload, &error);
+  ASSERT_TRUE(round.has_value()) << error;
+  EXPECT_FALSE(round->ok);
+  EXPECT_EQ(round->error, "oversized_response");
+  EXPECT_EQ(round->op, "stats");
+  EXPECT_EQ(round->vm, 3u);
+  EXPECT_TRUE(round->extra.empty());
+}
+
+TEST(BinaryProtocol, BigButValidResponseSurvivesTheResponseFrameCap) {
+  // Responses are not bounded by the 64 KB request cap: a stats/metrics
+  // payload beyond kMaxFrameBytes must encode intact and decode through a
+  // response-sized frame buffer — the cell channel condemns the connection
+  // on kOversized, so this is the difference between a big answer and a
+  // dead channel.
+  Response big;
+  big.ok = true;
+  big.op = "metrics";
+  big.extra.emplace_back("text", "\"" + std::string(2 * kMaxFrameBytes, 'm') + "\"");
+
+  std::string encoded;
+  encode_binary_response_into(big, encoded);
+  BinaryFrameBuffer frames(kMaxBinaryResponseBytes);
+  frames.feed(encoded);
+  const auto frame = frames.next();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->status, BinaryFrameBuffer::Status::kOk);
+  std::string error;
+  const auto round = parse_binary_response(frame->payload, &error);
+  ASSERT_TRUE(round.has_value()) << error;
+  EXPECT_EQ(round->extra, big.extra);
 }
 
 TEST(BinaryProtocol, FuzzMutatedStreamsNeverCrashAndReportsAreFinite) {

@@ -301,7 +301,10 @@ TEST_F(BinarySocketTest, GarbageMidStreamGetsOneErrorAndTheConnectionSurvives) {
   service->stop_now();
 }
 
-TEST_F(BinarySocketTest, DamagedCrcMidStreamIsReportedAndTheNextFrameServes) {
+TEST_F(BinarySocketTest, EveryDamagedCrcFrameGetsItsOwnErrorAndFifoHolds) {
+  // Two corrupted pipelined requests must produce two error responses in
+  // their own order slots — a collapsed report would pair every later
+  // response with the wrong request and hang the final ones.
   TempDir dir("crc");
   const std::string socket_path = (dir.path() / "cell.sock").string();
   auto service = make_service(ServiceConfig{});
@@ -324,14 +327,19 @@ TEST_F(BinarySocketTest, DamagedCrcMidStreamIsReportedAndTheNextFrameServes) {
   bytes.back() = static_cast<char>(bytes.back() ^ 0x01);  // corrupt frame 1's payload
   place.vm_id = 8;
   encode_binary_request_into(place, bytes);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);  // ... and frame 2's
+  place.vm_id = 9;
+  encode_binary_request_into(place, bytes);
   client.send(bytes);
 
-  const std::vector<Response> responses = client.recv_binary_responses(2);
-  ASSERT_EQ(responses.size(), 2u);
+  const std::vector<Response> responses = client.recv_binary_responses(3);
+  ASSERT_EQ(responses.size(), 3u);
   EXPECT_FALSE(responses[0].ok);
   EXPECT_EQ(responses[0].error, "bad_frame");
-  EXPECT_TRUE(responses[1].ok) << responses[1].error;
-  EXPECT_EQ(responses[1].vm, 8u);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_EQ(responses[1].error, "bad_frame");
+  EXPECT_TRUE(responses[2].ok) << responses[2].error;
+  EXPECT_EQ(responses[2].vm, 9u);
 
   server.stop();
   service->stop_now();

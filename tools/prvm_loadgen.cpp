@@ -253,7 +253,7 @@ class Client {
   const bool binary_;
   std::string out_;  ///< reused encode buffer
   LineBuffer frames_;
-  BinaryFrameBuffer bframes_;
+  BinaryFrameBuffer bframes_{kMaxBinaryResponseBytes};  ///< responses exceed the request cap
 };
 
 double field_number(const JsonValue& doc, const char* key) {
